@@ -1,0 +1,15 @@
+"""Figure 1: on-chip memory components across NVIDIA generations."""
+
+from conftest import run_once
+
+from repro.experiments.figures import fig1_onchip_memory
+
+
+def test_fig1_onchip_memory(benchmark, save_report):
+    result = run_once(benchmark, fig1_onchip_memory)
+    save_report("fig01_onchip_memory", result.format())
+    # Paper: Pascal's 14 MB register file is ~63% of on-chip storage.
+    assert result.sizes_mb["PASCAL (2016)"]["register_file"] == 14.0
+    assert result.rf_fraction("PASCAL (2016)") > 0.55
+    sizes = [row["register_file"] for row in result.sizes_mb.values()]
+    assert sizes == sorted(sizes)

@@ -1,0 +1,24 @@
+"""Figure 3: eliminated read/write requests vs instruction-window size."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments.figures import fig3_bypass_opportunity
+
+
+def test_fig3_bypass_opportunity(benchmark, save_report):
+    result = run_once(
+        benchmark, lambda: fig3_bypass_opportunity(scale=BENCH_SCALE)
+    )
+    save_report("fig03_bypass_opportunity", result.format())
+
+    # Paper headline: IW=2 bypasses 45% of reads / 35% of writes;
+    # IW=3 bypasses 59% / 52%; reads exceed 70% by IW=7.
+    assert abs(result.average_reads(2) - 0.45) < 0.12
+    assert abs(result.average_reads(3) - 0.59) < 0.10
+    assert abs(result.average_writes(3) - 0.52) < 0.15
+    assert result.average_reads(7) > 0.60
+
+    # Diminishing returns beyond IW=3 (the paper's design argument).
+    gain_2_to_3 = result.average_reads(3) - result.average_reads(2)
+    gain_3_to_7 = result.average_reads(7) - result.average_reads(3)
+    assert gain_3_to_7 < gain_2_to_3 * 4

@@ -1,0 +1,21 @@
+"""Figure 4: time spent in the operand-collection stage (baseline GPU)."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments.figures import fig4_oc_latency
+
+
+def test_fig4_oc_latency(benchmark, save_report):
+    result = run_once(benchmark, lambda: fig4_oc_latency(scale=BENCH_SCALE))
+    save_report("fig04_oc_latency", result.format())
+
+    # Paper: about a quarter of execution time sits in the OC stage.
+    assert 0.10 <= result.average_overall() <= 0.45
+
+    # Memory instructions' long latencies dwarf their collection time.
+    for bench in result.memory:
+        assert result.memory[bench] < result.non_memory[bench]
+
+    # STO is among the most collection-bound benchmarks (paper: 47%).
+    ranked = sorted(result.overall, key=result.overall.get, reverse=True)
+    assert "STO" in ranked[:4]

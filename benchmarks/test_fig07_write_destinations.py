@@ -1,0 +1,21 @@
+"""Figure 7: distribution of write destinations under BOW-WR."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments.figures import fig7_write_destinations
+
+
+def test_fig7_write_destinations(benchmark, save_report):
+    result = run_once(
+        benchmark, lambda: fig7_write_destinations(scale=BENCH_SCALE)
+    )
+    save_report("fig07_write_destinations", result.format())
+
+    rf_only, both, oc_only = result.averages()
+    # Paper: 21% RF-only / 27% OC-then-RF / 52% transient at IW=3.
+    assert abs(rf_only - 0.21) < 0.12
+    assert abs(both - 0.27) < 0.15
+    assert abs(oc_only - 0.52) < 0.12
+    # Transient values dominate — the basis of the effective-RF-size claim.
+    assert oc_only > rf_only
+    assert oc_only > both

@@ -1,0 +1,21 @@
+"""Figure 8: OCU occupancy (register source operands per instruction)."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments.figures import fig8_ocu_occupancy
+
+
+def test_fig8_ocu_occupancy(benchmark, save_report):
+    result = run_once(benchmark, lambda: fig8_ocu_occupancy(scale=BENCH_SCALE))
+    save_report("fig08_ocu_occupancy", result.format())
+
+    # Paper: on average only ~2% of instructions need all three entries.
+    assert result.average(3) < 0.05
+
+    # BFS, BTREE and LPS use no 3-source instructions at all.
+    for bench in ("BFS", "BTREE", "LPS"):
+        assert result.histograms[bench][3] == 0.0
+
+    # Every distribution is a distribution.
+    for bench, histogram in result.histograms.items():
+        assert abs(sum(histogram.values()) - 1.0) < 1e-9, bench

@@ -1,0 +1,15 @@
+"""Figure 9: BOC entry occupancy at IW=3 (the case for half-size BOCs)."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments.figures import fig9_boc_occupancy
+
+
+def test_fig9_boc_occupancy(benchmark, save_report):
+    result = run_once(benchmark, lambda: fig9_boc_occupancy(scale=BENCH_SCALE))
+    save_report("fig09_boc_occupancy", result.format())
+
+    # Paper: the worst case (all 12 entries) never occurred, and only
+    # ~3% of cycles need more than half the entries.
+    assert result.max_observed() < 12
+    assert result.average_above_half() < 0.10

@@ -1,0 +1,28 @@
+"""Figure 10: IPC improvement of BOW (a) and BOW-WR (b) vs window size."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments.figures import fig10_ipc_improvement
+
+
+def test_fig10_ipc_improvement(benchmark, save_report):
+    bow, bow_wr = run_once(
+        benchmark, lambda: fig10_ipc_improvement(scale=BENCH_SCALE)
+    )
+    save_report("fig10_ipc_improvement",
+                bow.format() + "\n\n" + bow_wr.format())
+
+    # Paper headline: ~11% (BOW) / ~13% (BOW-WR) average at IW=3.
+    assert 0.05 <= bow.average(3) <= 0.20
+    assert 0.05 <= bow_wr.average(3) <= 0.20
+
+    # Every benchmark improves (paper: "IPC improvement across all
+    # benchmarks").
+    for bench, per_iw in bow.improvement.items():
+        assert per_iw[3] > 0.0, bench
+
+    # Diminishing returns past IW=3.
+    assert bow.average(4) - bow.average(3) < bow.average(3) - bow.average(2)
+
+    # Register-hungry SAD gains far more than low-reuse WP (SS V-A).
+    assert bow.improvement["SAD"][3] > bow.improvement["WP"][3]

@@ -1,0 +1,20 @@
+"""Figure 12: cycles in the OC stage, normalized to the baseline."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments.figures import fig12_oc_residency
+
+
+def test_fig12_oc_residency(benchmark, save_report):
+    result = run_once(benchmark, lambda: fig12_oc_residency(scale=BENCH_SCALE))
+    save_report("fig12_oc_residency", result.format())
+
+    # Paper: OC residency drops by ~60% at IW=3, with little further
+    # benefit from larger windows.
+    assert result.average(3) < 0.70
+    assert result.average(2) > result.average(3)
+    assert abs(result.average(4) - result.average(3)) < 0.08
+
+    # Residency falls for every benchmark.
+    for bench, per_iw in result.residency.items():
+        assert per_iw[3] < 1.0, bench

@@ -1,0 +1,25 @@
+"""Figure 13: normalized RF dynamic energy (BOW and BOW-WR)."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments.figures import fig13_energy
+
+
+def test_fig13_energy(benchmark, save_report):
+    bow, bow_wr = run_once(benchmark, lambda: fig13_energy(scale=BENCH_SCALE))
+    save_report("fig13_energy", bow.format() + "\n\n" + bow_wr.format())
+
+    # Paper headline: BOW saves 36% of RF dynamic energy (3% overhead),
+    # BOW-WR saves 55% (1.8% overhead).
+    assert abs(bow.average_savings() - 0.36) < 0.08
+    assert abs(bow_wr.average_savings() - 0.55) < 0.08
+    assert bow_wr.average_savings() > bow.average_savings()
+
+    # Overheads are small, and BOW-WR's is no larger than BOW's
+    # (eliminated writes skip the added structures too).
+    assert bow.average_overhead() < 0.05
+    assert bow_wr.average_overhead() <= bow.average_overhead() + 0.005
+
+    # Savings are consistent across benchmarks (paper SS V-A).
+    for bench in bow_wr.rf_fraction:
+        assert bow_wr.total(bench) < 0.80, bench

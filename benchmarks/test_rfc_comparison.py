@@ -1,0 +1,24 @@
+"""SS V-A comparison against Register File Caching (RFC)."""
+
+from conftest import BENCH_SCALE, run_once
+
+import pytest
+
+from repro.experiments.figures import rfc_comparison
+
+
+def test_rfc_comparison(benchmark, save_report):
+    result = run_once(benchmark, lambda: rfc_comparison(scale=BENCH_SCALE))
+    save_report("rfc_comparison", result.format())
+
+    # Paper: RFC yields <2% IPC improvement (it does not fix port
+    # contention); BOW-WR is far ahead.
+    assert result.average_rfc_gain() < 0.06
+    assert result.average_bow_wr_gain() > result.average_rfc_gain() + 0.04
+
+    # BOW-WR saves more energy than RFC.
+    assert result.bow_wr_energy_savings > result.rfc_energy_savings
+
+    # RFC's 24 KB overhead is double BOW-WR's space-optimized 12 KB.
+    assert result.rfc_storage_kb == pytest.approx(24.0)
+    assert result.bow_wr_half_storage_kb == pytest.approx(12.0)

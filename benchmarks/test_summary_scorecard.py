@@ -1,0 +1,13 @@
+"""The headline scorecard: every abstract-level claim, one bench."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments.summary import headline_summary
+
+
+def test_headline_scorecard(benchmark, save_report):
+    result = run_once(benchmark, lambda: headline_summary(scale=BENCH_SCALE))
+    save_report("summary_scorecard", result.format())
+    failing = [claim.name for claim in result.claims if not claim.holds]
+    assert result.all_hold, f"claims out of band: {failing}"
+    assert len(result.claims) == 11

@@ -1,0 +1,27 @@
+"""Table I: RF writes for the Figure 6 BTREE snippet under each design."""
+
+from conftest import run_once
+
+from repro.experiments.tables import table1_btree
+
+
+def test_table1_btree_writes(benchmark, save_report):
+    result = run_once(benchmark, table1_btree)
+    save_report("table1_btree_writes", result.format())
+
+    # The compiler column reproduces the paper exactly: 2 RF writes
+    # ($r1 once, $r3 once).
+    assert result.counts["compiler"] == {0: 0, 1: 1, 2: 0, 3: 1, 4: 0}
+    assert result.total("compiler") == 2
+
+    # Per-register write-through/write-back counts match the paper for
+    # $r0, $r1, $r3 (the paper's own Figure 6/Table I disagree on $r2
+    # and omit $r4 — see EXPERIMENTS.md).
+    for reg, expected in ((0, 3), (1, 4), (3, 1)):
+        assert result.counts["write-through"][reg] == expected
+    for reg, expected in ((0, 1), (1, 2), (3, 1)):
+        assert result.counts["write-back"][reg] == expected
+
+    # The designs strictly reduce write traffic.
+    assert (result.total("write-through") > result.total("write-back")
+            > result.total("compiler"))

@@ -1,0 +1,13 @@
+"""Table III: the benchmark suite listing."""
+
+from conftest import run_once
+
+from repro.experiments.tables import table3_benchmarks
+
+
+def test_table3_suite(benchmark, save_report):
+    result = run_once(benchmark, table3_benchmarks)
+    save_report("table3_suite", result.format())
+    assert len(result.rows) == 15
+    suites = {row[1] for row in result.rows}
+    assert suites == {"ISPASS", "Rodinia", "Tango", "CUDA SDK", "Parboil"}

@@ -1,0 +1,29 @@
+"""Table IV + SS IV-C/V-A: BOC overheads, storage and area arithmetic."""
+
+from conftest import run_once
+
+import pytest
+
+from repro.experiments.tables import table4_overheads
+
+
+def test_table4_overheads(benchmark, save_report):
+    result = run_once(benchmark, table4_overheads)
+    save_report("table4_overheads", result.format())
+
+    # Table IV: 1.5 KB BOC vs 64 KB bank billing unit (~2%).
+    assert result.boc_size_bytes == 1536
+    assert result.bank_size_bytes == 64 * 1024
+
+    # Access energy 2.72 pJ vs 185.26 pJ (~1.4%); leakage ~0.9%.
+    assert result.access_energy_ratio == pytest.approx(0.0147, abs=0.002)
+    assert result.leakage_ratio == pytest.approx(0.0099, abs=0.002)
+
+    # SS IV-C storage story: 36 KB conservative, 12 KB half-size (~4% of RF).
+    assert result.full_added_storage_kb == pytest.approx(36.0)
+    assert result.half_added_storage_kb == pytest.approx(12.0)
+    assert result.half_fraction_of_rf == pytest.approx(0.047, abs=0.01)
+
+    # SS V-A area: network < 3% of a bank; total well under 1% of chip.
+    assert result.area.network_fraction_of_bank < 0.03
+    assert result.area.fraction_of_chip < 0.01

@@ -1,0 +1,86 @@
+"""End-to-end on your own assembly: write SASS-like code, run every design.
+
+Shows the full stack on a hand-written kernel: assemble, classify
+writebacks, expand to a multi-warp launch, simulate baseline / BOW /
+BOW-WR / RFC, and verify that every design produces the same memory
+image as the functional reference executor.
+
+Usage::
+
+    python examples/custom_assembly.py
+"""
+
+from repro import WritebackPolicy, BOWConfig, simulate_design
+from repro.compiler.writeback import classify_linear_writes
+from repro.gpu.reference import execute_reference
+from repro.isa import parse_program
+from repro.kernels.trace import KernelTrace, WarpTrace
+from repro.stats.report import format_percent, format_table
+
+#: A little dot-product-style kernel: accumulator chains, address
+#: arithmetic, loads and a store - the idioms BOW feeds on.
+KERNEL = """
+    mov.u32  $r1, 0x0             // acc = 0
+    mov.u32  $r2, 0x100           // base pointer
+    ld.global.u32 $r3, [$r2]      // x0
+    add.u32  $r4, $r2, 0x4
+    ld.global.u32 $r5, [$r4]      // x1
+    mul.u32  $r6, $r3, $r5
+    add.u32  $r1, $r1, $r6        // acc += x0*x1
+    add.u32  $r4, $r4, 0x4
+    ld.global.u32 $r3, [$r4]      // x2
+    mul.u32  $r6, $r3, $r3
+    add.u32  $r1, $r1, $r6        // acc += x2*x2
+    st.global.u32 [$r2], $r1
+    exit
+"""
+
+WINDOW = 3
+NUM_WARPS = 8
+
+
+def main() -> None:
+    program = parse_program(KERNEL)
+    print(f"Assembled {len(program)} instructions.\n")
+
+    # The compiler's view: where does each computed value belong?
+    decisions = classify_linear_writes(program, WINDOW)
+    hinted = list(program)
+    for item in decisions:
+        hinted[item.index] = hinted[item.index].with_hint(
+            item.writeback.hint
+        )
+    transient = sum(1 for d in decisions if not d.needs_rf)
+    print(f"Writeback classification at IW={WINDOW}: "
+          f"{transient}/{len(decisions)} values never touch the RF.\n")
+
+    trace = KernelTrace(name="dot", warps=[
+        WarpTrace(warp_id=w, instructions=hinted) for w in range(NUM_WARPS)
+    ])
+    reference = execute_reference(trace)
+
+    rows = []
+    for design in ("baseline", "bow", "bow-wb", "bow-wr", "rfc"):
+        result = simulate_design(design, trace, window_size=WINDOW)
+        assert result.memory_image == reference.memory, design
+        counters = result.counters
+        rows.append([
+            design,
+            counters.cycles,
+            f"{result.ipc:.3f}",
+            counters.rf_reads,
+            counters.rf_writes,
+            format_percent(counters.read_bypass_rate),
+        ])
+    print(format_table(
+        ["design", "cycles", "IPC", "RF reads", "RF writes",
+         "reads bypassed"],
+        rows,
+        title=f"Custom kernel across designs ({NUM_WARPS} warps)",
+    ))
+    print("\nAll designs produced the reference memory image. "
+          "Bypassing is invisible to the program - that is the point.")
+
+
+if __name__ == "__main__":
+    main()

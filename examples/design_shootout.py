@@ -1,0 +1,68 @@
+"""Shoot-out: every design on every benchmark of the Table III suite.
+
+Runs baseline, BOW, BOW-WB, BOW-WR, half-size BOW-WR and the RFC
+comparison point over the whole suite and prints an IPC / energy
+summary — the condensed form of the paper's Figures 10-13 plus the
+SS V-A RFC comparison.
+
+Usage::
+
+    python examples/design_shootout.py [--full]
+
+``--full`` uses 32 warps and longer traces (several minutes); the
+default is a quick 8-warp pass.
+"""
+
+import sys
+
+from repro import EnergyModel
+from repro.experiments.runner import FULL, RunScale, run_design
+from repro.kernels.suites import benchmark_names
+from repro.stats.report import format_percent, format_table
+
+DESIGNS = ("bow", "bow-wb", "bow-wr", "bow-wr-half", "rfc")
+
+
+def main() -> None:
+    scale = FULL if "--full" in sys.argv else RunScale(num_warps=8,
+                                                       trace_scale=0.15)
+    model = EnergyModel()
+    rows = []
+    gains = {design: [] for design in DESIGNS}
+    savings = {design: [] for design in DESIGNS}
+
+    for bench in benchmark_names():
+        base = run_design(bench, "baseline", scale=scale)
+        row = [bench]
+        for design in DESIGNS:
+            result = run_design(bench, design, window_size=3, scale=scale)
+            gain = result.ipc / base.ipc - 1.0
+            gains[design].append(gain)
+            savings[design].append(
+                model.savings(result.counters, base.counters)
+            )
+            row.append(format_percent(gain))
+        rows.append(row)
+        print(f"  {bench} done")
+
+    average = ["AVERAGE"]
+    for design in DESIGNS:
+        average.append(
+            format_percent(sum(gains[design]) / len(gains[design]))
+        )
+    rows.append(average)
+
+    print()
+    print(format_table(["benchmark"] + list(DESIGNS), rows,
+                       title="IPC improvement over baseline (IW=3)"))
+
+    print("\nAverage RF dynamic-energy savings:")
+    for design in DESIGNS:
+        value = sum(savings[design]) / len(savings[design])
+        print(f"  {design:12s} {format_percent(value)}")
+    print("\nPaper headlines: BOW +11% IPC / -36% energy; "
+          "BOW-WR +13% / -55%; RFC <+2%.")
+
+
+if __name__ == "__main__":
+    main()

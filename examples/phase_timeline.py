@@ -1,0 +1,87 @@
+"""Phase behaviour over time, on a kernel built with the fluent API.
+
+Constructs a two-phase kernel with the :class:`KernelBuilder` — a
+memory-bound streaming phase followed by a compute-bound accumulation
+phase — then samples the run with a :class:`Timeline` to show IPC and
+bypass activity shifting between phases.
+
+Usage::
+
+    python examples/phase_timeline.py
+"""
+
+from repro.config import BOWConfig
+from repro.core.boc import BOWCollectors
+from repro.gpu.sm import SMEngine
+from repro.kernels.builder import KernelBuilder
+from repro.stats.report import format_percent
+from repro.stats.timeline import Timeline
+
+
+def build_two_phase_kernel() -> KernelBuilder:
+    b = KernelBuilder("two-phase")
+    b.mov(1, imm=0)        # accumulator
+    b.mov(2, imm=0x100)    # stream pointer
+    b.jump("stream")
+
+    # Phase 1: streaming loads, little reuse.
+    b.block("stream")
+    b.ld(3, addr=2)
+    b.add(2, 2, imm=4)
+    b.ld(4, addr=2)
+    b.add(2, 2, imm=4)
+    b.add(5, 3, 4)
+    b.st(addr=2, value=5)
+    b.branch(taken="stream", fallthrough="compute", probability=0.85)
+
+    # Phase 2: dense accumulation, heavy operand reuse.
+    b.block("compute")
+    b.mul(6, 5, 5)
+    b.mad(1, 6, 5, 1)
+    b.add(6, 6, 1)
+    b.mad(1, 6, 6, 1)
+    b.shl(6, 6, imm=1)
+    b.add(1, 1, 6)
+    b.branch(taken="compute", fallthrough="done", probability=0.85)
+
+    b.block("done")
+    b.st(addr=2, value=1)
+    b.exit()
+    return b
+
+
+def main() -> None:
+    trace = build_two_phase_kernel().trace(num_warps=12, seed=3)
+    print(f"Two-phase kernel: {trace.total_instructions} dynamic "
+          f"instructions, {format_percent(trace.memory_fraction())} memory\n")
+
+    timeline = Timeline(interval=200)
+    engine = SMEngine(
+        trace,
+        provider_factory=lambda e: BOWCollectors(e, BOWConfig()),
+        timeline=timeline,
+        memory_seed=9,
+    )
+    result = engine.run()
+
+    print(f"Completed in {result.counters.cycles} cycles "
+          f"(IPC {result.ipc:.3f}); "
+          f"{format_percent(result.counters.read_bypass_rate)} of reads "
+          "forwarded overall.\n")
+    print(timeline.format(width=60))
+    bypass = timeline.bypass_series()
+    if bypass:
+        head = sum(bypass[: len(bypass) // 2]) / max(1, len(bypass) // 2)
+        tail = sum(bypass[len(bypass) // 2:]) / max(1, len(bypass)
+                                                    - len(bypass) // 2)
+        print(f"\nBypass share, first half:  {format_percent(head)}")
+        print(f"Bypass share, second half: {format_percent(tail)}")
+    print("\nThe sparkline shows the run's phases: the issue burst while "
+          "every warp streams, the decay as warps serialize on their "
+          "accumulation chains, and the long drain tail where a few "
+          "stragglers finish - aggregate counters average all of this "
+          "away.")
+
+
+if __name__ == "__main__":
+    main()

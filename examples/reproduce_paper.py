@@ -1,0 +1,34 @@
+"""Regenerate every table and figure of the paper in one go.
+
+Usage::
+
+    python examples/reproduce_paper.py [--full] [ARTIFACT ...]
+
+Without arguments, runs every registered experiment at the quick scale
+and prints each report.  Pass artifact ids (``fig3``, ``table1``,
+``fig10``...) to run a subset; ``--full`` switches to the 32-warp
+configuration the final numbers use.
+"""
+
+import sys
+import time
+
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments.runner import FULL, QUICK
+
+
+def main() -> None:
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    scale = FULL if "--full" in sys.argv else QUICK
+    artifacts = args or list(EXPERIMENTS)
+
+    for artifact in artifacts:
+        description, _ = EXPERIMENTS[artifact.lower()]
+        print(f"\n{'=' * 72}\n{artifact}: {description}\n{'=' * 72}")
+        start = time.time()
+        print(run_experiment(artifact, scale=scale))
+        print(f"\n[{artifact} regenerated in {time.time() - start:.1f}s]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Lane-level view: divergence, predication and memory coalescing.
+
+The scalar timing model treats a warp-register as one value; this
+example drops to the lane level (32 threads per warp, SS II of the
+paper) and shows the substrate underneath: the SIMT reconvergence stack
+splitting and merging lanes across a divergent kernel, per-lane
+predication, and how scattered addresses decompose into memory
+transactions.
+
+Usage::
+
+    python examples/simt_divergence.py
+"""
+
+from repro.isa import parse_program
+from repro.kernels.cfg import BasicBlock, Edge, KernelCFG
+from repro.simt import (
+    execute_masked_trace,
+    expand_masked_trace,
+    immediate_post_dominators,
+)
+from repro.simt.stack import simd_efficiency
+from repro.stats.report import format_percent, format_table
+
+#: A kernel with a data-dependent diamond inside a loop: the classic
+#: divergence shape.
+KERNEL = KernelCFG("divergent", [
+    BasicBlock("entry", parse_program("""
+        mov.u32 $r1, 0x0
+        mov.u32 $r7, 0x40
+    """), [Edge("head")]),
+    BasicBlock("head", parse_program("""
+        add.u32 $r1, $r1, $r2
+    """), [Edge("then", 0.6), Edge("else", 0.4)]),
+    BasicBlock("then", parse_program("""
+        add.u32 $r3, $r1, $r1
+    """), [Edge("join")]),
+    BasicBlock("else", parse_program("""
+        sub.u32 $r3, $r1, $r2
+    """), [Edge("join")]),
+    BasicBlock("join", parse_program("""
+        st.global.u32 [$r7], $r3
+    """), [Edge("head", 0.75), Edge("exit", 0.25)]),
+    BasicBlock("exit", parse_program("exit")),
+], entry="entry")
+
+
+def main() -> None:
+    ipdom = immediate_post_dominators(KERNEL)
+    print("Reconvergence points (immediate post-dominators):")
+    for label, reconv in ipdom.items():
+        print(f"  {label:8s} -> {reconv or '(kernel exit)'}")
+
+    print("\nExpanding one warp through the SIMT stack...")
+    trace = expand_masked_trace(KERNEL, warp_id=0, seed=11,
+                                max_instructions=20_000)
+    rows = []
+    for item in trace[:14]:
+        rows.append([item.block, str(item.inst)[:38],
+                     f"{item.mask}", item.mask.count])
+    print(format_table(["block", "instruction", "mask", "lanes"], rows,
+                       title="First issues of the masked trace"))
+
+    print(f"\nDynamic instructions: {len(trace)}")
+    print(f"SIMD efficiency: {format_percent(simd_efficiency(trace))} "
+          f"(100% would be divergence-free)")
+
+    result = execute_masked_trace(trace)
+    stats = result.coalescing
+    print(f"\nMemory coalescing over {stats.accesses} accesses:")
+    print(f"  average transactions per access: "
+          f"{stats.average_transactions():.2f} (1.0 = fully coalesced)")
+    print(f"  fully coalesced accesses: "
+          f"{format_percent(stats.fully_coalesced_fraction())}")
+
+    # Lanes took different paths; their $r3 values differ accordingly.
+    distinct = len({int(v) for v in result.state.reg(3)})
+    print(f"\nDistinct per-lane $r3 values after divergence: {distinct}/32")
+
+
+if __name__ == "__main__":
+    main()

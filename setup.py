@@ -1,0 +1,6 @@
+"""Legacy shim: the sandbox lacks the `wheel` package, so editable
+installs fall back to `setup.py develop` (pip --no-use-pep517)."""
+
+from setuptools import setup
+
+setup()

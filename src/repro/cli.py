@@ -1,0 +1,171 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list``                      — benchmarks and experiments available.
+* ``run BENCH [--design D]``    — simulate one benchmark, print metrics.
+* ``experiment ID``             — regenerate a paper table/figure.
+* ``ablation NAME``             — run one of the ablation studies.
+* ``compile FILE``              — assemble + classify a kernel file,
+  printing the BOW-WR hints (like ``examples/compiler_walkthrough.py``
+  but for your own code).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .errors import ReproError
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BOW (MICRO 2020) reproduction toolkit",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmarks and experiments")
+
+    run = sub.add_parser("run", help="simulate one benchmark")
+    run.add_argument("benchmark")
+    run.add_argument("--design", default="bow",
+                     help="baseline | bow | bow-wb | bow-wr | "
+                          "bow-wr-half | rfc")
+    run.add_argument("--window", type=int, default=3)
+    run.add_argument("--warps", type=int, default=16)
+    run.add_argument("--scale", type=float, default=0.25)
+
+    experiment = sub.add_parser("experiment",
+                                help="regenerate a paper table/figure")
+    experiment.add_argument("artifact")
+    experiment.add_argument("--full", action="store_true",
+                            help="32-warp configuration")
+
+    ablation = sub.add_parser("ablation", help="run an ablation study")
+    ablation.add_argument(
+        "name",
+        choices=["scheduler", "eviction", "capacity", "window", "rf-size"],
+    )
+    ablation.add_argument("--benchmark", default="SAD")
+
+    compile_cmd = sub.add_parser("compile",
+                                 help="assemble + classify a kernel file")
+    compile_cmd.add_argument("file")
+    compile_cmd.add_argument("--window", type=int, default=3)
+    return parser
+
+
+def _cmd_list() -> int:
+    from .experiments.registry import EXPERIMENTS
+    from .kernels.suites import BENCHMARKS
+
+    print("Benchmarks (paper Table III):")
+    for name, profile in BENCHMARKS.items():
+        print(f"  {name:12s} {profile.suite:10s} {profile.description}")
+    print("\nExperiments (paper artifacts):")
+    for key, (description, _) in EXPERIMENTS.items():
+        print(f"  {key:8s} {description}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from .energy import EnergyModel
+    from .experiments.runner import RunScale, run_design
+    from .stats.report import format_percent
+
+    scale = RunScale(num_warps=args.warps, trace_scale=args.scale)
+    base = run_design(args.benchmark, "baseline", scale=scale)
+    result = run_design(args.benchmark, args.design,
+                        window_size=args.window, scale=scale)
+    counters = result.counters
+    print(f"{args.benchmark.upper()} on {args.design} (IW={args.window}):")
+    print(f"  cycles            {counters.cycles}")
+    print(f"  IPC               {result.ipc:.3f} "
+          f"({format_percent(result.ipc / base.ipc - 1.0)} vs baseline)")
+    print(f"  RF reads/writes   {counters.rf_reads} / {counters.rf_writes}")
+    print(f"  reads bypassed    {format_percent(counters.read_bypass_rate)}")
+    print(f"  writes bypassed   {format_percent(counters.write_bypass_rate)}")
+    savings = EnergyModel().savings(counters, base.counters)
+    print(f"  RF dynamic energy {format_percent(savings)} saved")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from .experiments.registry import run_experiment
+    from .experiments.runner import FULL, QUICK
+
+    print(run_experiment(args.artifact, scale=FULL if args.full else QUICK))
+    return 0
+
+
+def _cmd_ablation(args) -> int:
+    from .experiments import ablations
+
+    if args.name == "scheduler":
+        print(ablations.scheduler_ablation().format())
+    elif args.name == "eviction":
+        print(ablations.eviction_ablation().format())
+    elif args.name == "capacity":
+        print(ablations.capacity_sweep(args.benchmark).format())
+    elif args.name == "window":
+        print(ablations.window_sweep(args.benchmark).format())
+    else:
+        print(ablations.effective_rf_study().format())
+    return 0
+
+
+def _cmd_compile(args) -> int:
+    from .compiler.writeback import classify_linear_writes
+    from .isa import parse_program
+    from .stats.report import format_table
+
+    with open(args.file) as handle:
+        program = parse_program(handle.read())
+    decisions = {
+        item.index: item for item in
+        classify_linear_writes(program, args.window)
+    }
+    rows = []
+    for index, inst in enumerate(program):
+        item = decisions.get(index)
+        rows.append([
+            index,
+            str(inst),
+            item.writeback.value if item else "",
+            "yes" if item and item.needs_rf else "",
+        ])
+    print(format_table(["#", "instruction", "destination", "RF write"],
+                       rows, title=f"{args.file} (IW={args.window})"))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "experiment":
+            return _cmd_experiment(args)
+        if args.command == "ablation":
+            return _cmd_ablation(args)
+        if args.command == "compile":
+            return _cmd_compile(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,62 @@
+"""Compiler substrate: the analyses BOW-WR relies on.
+
+The paper tasks the compiler with liveness analysis and reuse-distance
+checks to classify every destination register into one of three
+writeback targets (RF-only, OC-only, or both) and to elide RF
+allocation for transient values.  This package implements those passes
+over kernel CFGs, plus the dynamic (trace-level) variants used by the
+motivation figures.
+"""
+
+from .dataflow import BackwardDataflow
+from .liveness import LivenessResult, compute_liveness
+from .reuse import ReuseEvent, reuse_distances, read_bypass_fraction
+from .writeback import (
+    WritebackClass,
+    WriteClassification,
+    classify_linear_writes,
+    classify_cfg,
+    annotate_cfg,
+    hint_distribution,
+)
+from .allocation import AllocationResult, effective_register_demand
+from .pipeline import CompiledKernel, compile_kernel
+from .scheduling import (
+    ScheduleResult,
+    build_dependence_dag,
+    schedule_block,
+    schedule_kernel,
+)
+from .dce import (
+    DceResult,
+    dead_write_fraction,
+    eliminate_dead_code,
+    eliminate_dead_code_block,
+)
+
+__all__ = [
+    "DceResult",
+    "dead_write_fraction",
+    "eliminate_dead_code",
+    "eliminate_dead_code_block",
+    "ScheduleResult",
+    "build_dependence_dag",
+    "schedule_block",
+    "schedule_kernel",
+    "BackwardDataflow",
+    "LivenessResult",
+    "compute_liveness",
+    "ReuseEvent",
+    "reuse_distances",
+    "read_bypass_fraction",
+    "WritebackClass",
+    "WriteClassification",
+    "classify_linear_writes",
+    "classify_cfg",
+    "annotate_cfg",
+    "hint_distribution",
+    "AllocationResult",
+    "effective_register_demand",
+    "CompiledKernel",
+    "compile_kernel",
+]

@@ -1,0 +1,81 @@
+"""A small worklist dataflow framework over kernel CFGs.
+
+Only backward problems are needed (liveness), but the framework is
+written generically over a transfer function and a set-union meet so
+additional analyses (e.g. anticipated uses) can reuse it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Iterable, Set
+
+from ..errors import CompilerError
+from ..kernels.cfg import KernelCFG
+
+#: Dataflow facts are sets of register ids.
+Fact = FrozenSet[int]
+
+#: A block-level transfer function: out-fact -> in-fact for backward
+#: problems.
+Transfer = Callable[[str, Fact], Fact]
+
+
+class BackwardDataflow:
+    """Backward may-analysis with set-union meet.
+
+    The classic liveness shape: ``in[B] = transfer(B, out[B])`` and
+    ``out[B] = union(in[S] for S in successors(B))``, iterated to a fixed
+    point with a worklist.
+    """
+
+    def __init__(self, cfg: KernelCFG, transfer: Transfer,
+                 boundary: Fact = frozenset()):
+        self.cfg = cfg
+        self.transfer = transfer
+        self.boundary = boundary
+
+    def solve(self, max_iterations: int = 100_000) -> Dict[str, Dict[str, Fact]]:
+        """Run to a fixed point.
+
+        Returns:
+            ``{label: {"in": fact, "out": fact}}`` for every block.
+
+        Raises:
+            CompilerError: if the fixed point is not reached within
+                ``max_iterations`` worklist pops (an instability guard;
+                union meets over finite sets always converge).
+        """
+        in_facts: Dict[str, Fact] = {label: frozenset() for label in self.cfg.blocks}
+        out_facts: Dict[str, Fact] = {label: frozenset() for label in self.cfg.blocks}
+
+        predecessors: Dict[str, list] = {label: [] for label in self.cfg.blocks}
+        for block in self.cfg:
+            for succ in self.cfg.successors(block.label):
+                predecessors[succ].append(block.label)
+
+        worklist: Set[str] = set(self.cfg.blocks)
+        iterations = 0
+        while worklist:
+            iterations += 1
+            if iterations > max_iterations:
+                raise CompilerError(
+                    f"dataflow did not converge in {max_iterations} iterations"
+                )
+            label = worklist.pop()
+            successors = self.cfg.successors(label)
+            if successors:
+                out_fact: Fact = frozenset().union(
+                    *(in_facts[s] for s in successors)
+                )
+            else:
+                out_fact = self.boundary
+            in_fact = self.transfer(label, out_fact)
+            out_facts[label] = out_fact
+            if in_fact != in_facts[label]:
+                in_facts[label] = in_fact
+                worklist.update(predecessors[label])
+
+        return {
+            label: {"in": in_facts[label], "out": out_facts[label]}
+            for label in self.cfg.blocks
+        }

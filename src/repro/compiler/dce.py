@@ -1,0 +1,137 @@
+"""Dead-code elimination.
+
+A standard liveness-based cleanup pass: instructions whose destination
+is never read (inside the block or along any path out of it) and which
+have no other effect — no memory access, no control transfer, no
+predicate write — are removed, iterating until no more fall.
+
+Two uses here:
+
+* as a normal compiler pass users can run before
+  :func:`repro.compiler.compile_kernel`;
+* as an analysis instrument: the synthetic workloads (like real unoptimized
+  code) contain dead writes, which inflate the write-bypass opportunity
+  (a dead write is trivially eliminable).  Running DCE first separates
+  "bypassed because transient" from "bypassed because dead" — see
+  ``dead_write_fraction``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..errors import CompilerError
+from ..isa import Instruction
+from ..isa.registers import SINK_REGISTER
+from ..kernels.cfg import KernelCFG
+from .liveness import compute_liveness
+
+
+def _has_side_effect(inst: Instruction) -> bool:
+    return (inst.is_memory or inst.is_control
+            or inst.pred_dest is not None)
+
+
+def eliminate_dead_code_block(
+    instructions: Sequence[Instruction],
+    live_out: FrozenSet[int] = frozenset(),
+) -> List[Instruction]:
+    """Remove dead instructions from one linear block.
+
+    An instruction dies when its destination is not read before the next
+    write to it (or block end with the register not in ``live_out``) and
+    it has no side effect.  Iterates to a fixed point, since removing a
+    dead consumer can kill its producers.
+    """
+    current = list(instructions)
+    while True:
+        removed = _sweep_once(current, live_out)
+        if removed is None:
+            return current
+        current = removed
+
+
+def _sweep_once(
+    instructions: List[Instruction],
+    live_out: FrozenSet[int],
+) -> Optional[List[Instruction]]:
+    live: Set[int] = set(live_out)
+    keep_flags: List[bool] = [True] * len(instructions)
+    for index in range(len(instructions) - 1, -1, -1):
+        inst = instructions[index]
+        dest_live = (
+            inst.dest is not None
+            and inst.dest != SINK_REGISTER
+            and inst.dest.id in live
+        )
+        if (inst.dest is not None and inst.dest != SINK_REGISTER
+                and not dest_live and not _has_side_effect(inst)):
+            keep_flags[index] = False
+            continue
+        if inst.dest is not None and inst.dest != SINK_REGISTER:
+            live.discard(inst.dest.id)
+        for src in inst.sources:
+            live.add(src.id)
+    if all(keep_flags):
+        return None
+    return [inst for inst, keep in zip(instructions, keep_flags) if keep]
+
+
+@dataclass(frozen=True)
+class DceResult:
+    """Outcome of DCE over a kernel."""
+
+    removed: int
+    total: int
+
+    @property
+    def dead_fraction(self) -> float:
+        return self.removed / self.total if self.total else 0.0
+
+
+def eliminate_dead_code(cfg: KernelCFG) -> DceResult:
+    """Run DCE over every block of a kernel, in place.
+
+    Cross-block liveness keeps values consumed by successor blocks; only
+    provably dead writes fall.
+    """
+    total = sum(len(block.instructions) for block in cfg)
+    removed = 0
+    # Removing code changes liveness; iterate whole-kernel to fixpoint.
+    while True:
+        liveness = compute_liveness(cfg)
+        changed = False
+        for block in cfg:
+            cleaned = eliminate_dead_code_block(
+                block.instructions, liveness.live_out[block.label]
+            )
+            if len(cleaned) != len(block.instructions):
+                removed += len(block.instructions) - len(cleaned)
+                block.instructions = cleaned
+                changed = True
+        if not changed:
+            return DceResult(removed=removed, total=total)
+
+
+def dead_write_fraction(
+    instructions: Sequence[Instruction],
+    live_out: FrozenSet[int] = frozenset(),
+) -> float:
+    """Fraction of destination writes DCE would remove from a sequence.
+
+    The analysis companion: how much of a workload's write-bypass
+    opportunity is mere dead code rather than genuine transience.
+    """
+    writes = sum(
+        1 for inst in instructions
+        if inst.dest is not None and inst.dest != SINK_REGISTER
+    )
+    if writes == 0:
+        return 0.0
+    cleaned = eliminate_dead_code_block(instructions, live_out)
+    cleaned_writes = sum(
+        1 for inst in cleaned
+        if inst.dest is not None and inst.dest != SINK_REGISTER
+    )
+    return (writes - cleaned_writes) / writes

@@ -1,0 +1,92 @@
+"""Backward liveness analysis over kernel CFGs.
+
+BOW-WR's writeback classifier needs, for every program point, the set of
+registers that may be read again before being overwritten.  This module
+runs the classic liveness dataflow and exposes per-instruction live-out
+sets inside each block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Tuple
+
+from ..isa import Instruction
+from ..isa.registers import SINK_REGISTER
+from ..kernels.cfg import KernelCFG
+from .dataflow import BackwardDataflow, Fact
+
+
+def _block_use_def(instructions) -> Tuple[FrozenSet[int], FrozenSet[int]]:
+    """Upward-exposed uses and definitions of a block body."""
+    uses: set = set()
+    defs: set = set()
+    for inst in instructions:
+        for src in inst.sources:
+            if src.id not in defs:
+                uses.add(src.id)
+        if inst.dest is not None and inst.dest != SINK_REGISTER:
+            defs.add(inst.dest.id)
+    return frozenset(uses), frozenset(defs)
+
+
+@dataclass(frozen=True)
+class LivenessResult:
+    """Liveness facts for one kernel CFG.
+
+    Attributes:
+        live_in: registers live on entry to each block.
+        live_out: registers live on exit of each block.
+        per_instruction_live_out: for each block, the live-out set after
+            each instruction (parallel to the block body).
+    """
+
+    live_in: Dict[str, FrozenSet[int]]
+    live_out: Dict[str, FrozenSet[int]]
+    per_instruction_live_out: Dict[str, List[FrozenSet[int]]]
+
+    def is_live_after(self, block_label: str, index: int, reg_id: int) -> bool:
+        """Is ``reg_id`` live immediately after instruction ``index``?"""
+        return reg_id in self.per_instruction_live_out[block_label][index]
+
+
+def compute_liveness(cfg: KernelCFG,
+                     boundary: FrozenSet[int] = frozenset()) -> LivenessResult:
+    """Solve liveness for ``cfg``.
+
+    Args:
+        cfg: the kernel control-flow graph.
+        boundary: registers considered live at kernel exit (values the
+            caller observes; empty for a complete kernel).
+    """
+    use_def = {
+        block.label: _block_use_def(block.instructions) for block in cfg
+    }
+
+    def transfer(label: str, out_fact: Fact) -> Fact:
+        uses, defs = use_def[label]
+        return uses | (out_fact - defs)
+
+    solution = BackwardDataflow(cfg, transfer, boundary=boundary).solve()
+
+    live_in = {label: facts["in"] for label, facts in solution.items()}
+    live_out = {label: facts["out"] for label, facts in solution.items()}
+
+    per_instruction: Dict[str, List[FrozenSet[int]]] = {}
+    for block in cfg:
+        facts: List[FrozenSet[int]] = [frozenset()] * len(block.instructions)
+        live = set(live_out[block.label])
+        for index in range(len(block.instructions) - 1, -1, -1):
+            inst = block.instructions[index]
+            facts[index] = frozenset(live)
+            if inst.dest is not None and inst.dest != SINK_REGISTER:
+                live.discard(inst.dest.id)
+            for src in inst.sources:
+                live.add(src.id)
+        per_instruction[block.label] = facts
+
+    return LivenessResult(
+        live_in=live_in,
+        live_out=live_out,
+        per_instruction_live_out=per_instruction,
+    )

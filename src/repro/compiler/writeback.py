@@ -1,0 +1,260 @@
+"""Writeback-target classification (the BOW-WR compiler pass).
+
+For every instruction that produces a register value, decide where the
+value must go when the instruction executes (paper SS IV-B):
+
+* ``RF_ONLY``   -- the first reuse is beyond the instruction window, so
+  depositing it in the BOC would be a wasted write;
+* ``OC_ONLY``   -- the value is *transient*: every reuse happens while it
+  still resides in the (extended) window and it is dead afterwards, so
+  the RF write is eliminated and no RF register need be allocated;
+* ``BOTH``      -- the value is reused inside the window *and* stays live
+  beyond it, so it is forwarded now and written back on eviction.
+
+The decision rule follows the paper's wording: a value can stay
+collector-resident as long as the gap between consecutive accesses to it
+stays below the window size (the extended instruction window); the first
+access gap at or above the window size means the reader must find the
+value in the RF.
+
+Two variants are provided:
+
+* :func:`classify_linear_writes` — over a linear instruction sequence
+  with an explicit live-out set (used for the Table I snippet and for
+  dynamic-trace accounting);
+* :func:`classify_cfg` — the real compiler pass: per basic block, with
+  cross-block liveness making boundary values conservatively RF-bound.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import CompilerError
+from ..isa import Instruction, WritebackHint
+from ..isa.registers import SINK_REGISTER
+from ..kernels.cfg import KernelCFG
+from .liveness import LivenessResult, compute_liveness
+
+
+class WritebackClass(enum.Enum):
+    """The three destinations of Figure 7, plus dead writes.
+
+    ``DEAD`` covers values never read at all (and not live-out); they
+    carry the OC-only hint bits but are excluded from Figure 7's
+    three-way split, mirroring the paper's accounting of *used* operands.
+    """
+
+    RF_ONLY = "rf-only"
+    OC_ONLY = "oc-only"
+    BOTH = "both"
+    DEAD = "dead"
+
+    @property
+    def hint(self) -> WritebackHint:
+        if self is WritebackClass.RF_ONLY:
+            return WritebackHint.RF_ONLY
+        if self is WritebackClass.BOTH:
+            return WritebackHint.BOTH
+        return WritebackHint.OC_ONLY
+
+
+@dataclass(frozen=True)
+class WriteClassification:
+    """Classification of one destination write.
+
+    Attributes:
+        index: instruction index within the analyzed sequence/block.
+        register_id: destination register.
+        writeback: assigned class.
+        reads_in_window: number of reads satisfied by forwarding.
+        needs_rf: whether the value must eventually reach the RF.
+    """
+
+    index: int
+    register_id: int
+    writeback: WritebackClass
+    reads_in_window: int
+    needs_rf: bool
+
+
+def _classify_chain(
+    write_index: int,
+    read_indices: Sequence[int],
+    live_after_chain: bool,
+    window_size: int,
+) -> Tuple[WritebackClass, int, bool]:
+    """Classify one value given the indices of its reads.
+
+    Args:
+        write_index: where the value is produced.
+        read_indices: strictly increasing read positions before the next
+            redefinition (or scope end).
+        live_after_chain: value may still be read after the analyzed
+            scope (no redefinition seen and register is live-out).
+        window_size: the nominal instruction window ``IW``.
+    """
+    forwarded = 0
+    needs_rf = live_after_chain
+    previous = write_index
+    resident = True
+    for read_index in read_indices:
+        gap = read_index - previous
+        if resident and gap < window_size:
+            forwarded += 1
+        else:
+            resident = False
+            needs_rf = True
+        previous = read_index
+
+    if not read_indices and not live_after_chain:
+        return WritebackClass.DEAD, 0, False
+    if needs_rf and forwarded:
+        return WritebackClass.BOTH, forwarded, True
+    if needs_rf:
+        return WritebackClass.RF_ONLY, 0, True
+    return WritebackClass.OC_ONLY, forwarded, False
+
+
+def classify_linear_writes(
+    instructions: Sequence[Instruction],
+    window_size: int,
+    live_out: FrozenSet[int] = frozenset(),
+) -> List[WriteClassification]:
+    """Classify every destination write of a linear instruction sequence.
+
+    Args:
+        instructions: the sequence (a block body or a trace).
+        window_size: nominal window ``IW``.
+        live_out: registers that may be read after the sequence ends.
+    """
+    if window_size < 1:
+        raise CompilerError(f"window_size must be >= 1, got {window_size}")
+
+    # Index reads and writes per register.
+    reads: Dict[int, List[int]] = {}
+    writes: Dict[int, List[int]] = {}
+    for index, inst in enumerate(instructions):
+        for src in inst.sources:
+            reads.setdefault(src.id, []).append(index)
+        if inst.dest is not None and inst.dest != SINK_REGISTER:
+            writes.setdefault(inst.dest.id, []).append(index)
+
+    results: List[WriteClassification] = []
+    for reg_id, write_list in sorted(writes.items()):
+        reg_reads = reads.get(reg_id, [])
+        for position, write_index in enumerate(write_list):
+            next_write = (
+                write_list[position + 1]
+                if position + 1 < len(write_list)
+                else None
+            )
+            chain = [
+                r for r in reg_reads
+                if r > write_index and (next_write is None or r <= next_write)
+            ]
+            # A read at the redefinition index itself (e.g. ``add r, r, x``)
+            # consumes the old value; reads beyond it consume the new one.
+            live_after = next_write is None and reg_id in live_out
+            writeback, forwarded, needs_rf = _classify_chain(
+                write_index, chain, live_after, window_size
+            )
+            results.append(
+                WriteClassification(
+                    index=write_index,
+                    register_id=reg_id,
+                    writeback=writeback,
+                    reads_in_window=forwarded,
+                    needs_rf=needs_rf,
+                )
+            )
+    results.sort(key=lambda item: item.index)
+    return results
+
+
+def classify_cfg(
+    cfg: KernelCFG,
+    window_size: int,
+    liveness: Optional[LivenessResult] = None,
+) -> Dict[str, List[WriteClassification]]:
+    """Run the writeback pass over every block of a kernel CFG.
+
+    Values living across a block boundary are conservatively RF-bound:
+    the compiler cannot know which block executes next, so it never tags
+    a boundary-crossing value OC-only (paper SS IV-C's simplifying rule).
+    """
+    liveness = liveness or compute_liveness(cfg)
+    classified: Dict[str, List[WriteClassification]] = {}
+    for block in cfg:
+        classified[block.label] = classify_linear_writes(
+            block.instructions,
+            window_size,
+            live_out=liveness.live_out[block.label],
+        )
+    return classified
+
+
+def annotate_cfg(
+    cfg: KernelCFG,
+    window_size: int,
+    liveness: Optional[LivenessResult] = None,
+) -> Dict[int, WritebackHint]:
+    """Produce the per-instruction hint map and rewrite block bodies.
+
+    Every destination-producing instruction is replaced (in place, inside
+    the CFG's blocks) by a copy carrying its 2-bit writeback hint; the
+    returned map is keyed by instruction ``uid`` so traces expanded from
+    the CFG observe the same hints.
+    """
+    classified = classify_cfg(cfg, window_size, liveness)
+    hints: Dict[int, WritebackHint] = {}
+    for block in cfg:
+        decisions = {item.index: item.writeback.hint
+                     for item in classified[block.label]}
+        for index, inst in enumerate(block.instructions):
+            hint = decisions.get(index)
+            if hint is not None and inst.hint != hint:
+                block.instructions[index] = inst.with_hint(hint)
+            if inst.dest is not None:
+                hints[block.instructions[index].uid] = (
+                    hint if hint is not None else inst.hint
+                )
+    return hints
+
+
+def hint_distribution(
+    classifications: Iterable[WriteClassification],
+    weights: Optional[Dict[int, int]] = None,
+) -> Dict[WritebackClass, float]:
+    """Figure 7's three-way split over classified writes.
+
+    Dead writes are folded into ``OC_ONLY`` (they never reach the RF),
+    matching the paper's transient-operand share.
+
+    Args:
+        classifications: write classifications to aggregate.
+        weights: optional dynamic execution count per *instruction
+            index* (for weighting static decisions by trace frequency).
+    """
+    counts: Dict[WritebackClass, float] = {
+        WritebackClass.RF_ONLY: 0.0,
+        WritebackClass.OC_ONLY: 0.0,
+        WritebackClass.BOTH: 0.0,
+    }
+    total = 0.0
+    for item in classifications:
+        weight = 1.0 if weights is None else float(weights.get(item.index, 0))
+        if weight == 0.0:
+            continue
+        bucket = (
+            WritebackClass.OC_ONLY
+            if item.writeback is WritebackClass.DEAD
+            else item.writeback
+        )
+        counts[bucket] += weight
+        total += weight
+    if total == 0.0:
+        return {bucket: 0.0 for bucket in counts}
+    return {bucket: value / total for bucket, value in counts.items()}

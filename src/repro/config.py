@@ -1,0 +1,280 @@
+"""Machine and BOW configuration.
+
+:class:`GPUConfig` encodes the NVIDIA TITAN X (Pascal) configuration the
+paper simulates (its Table II), plus the structural parameters of the
+register-file / operand-collector subsystem that the timing model needs.
+:class:`BOWConfig` describes one BOW design point (window size, writeback
+policy, buffer capacity).
+
+Both are frozen dataclasses: a configuration is a value, shared freely
+between the compiler, the timing model, and the energy model.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+from .errors import ConfigError
+
+#: Bytes of one warp-register: 32 threads x 32 bits (paper SS II).
+WARP_REGISTER_BYTES = 128
+
+#: Source-operand entries in a conventional operand collector (SASS has
+#: at most 3 register sources).
+BASELINE_OC_ENTRIES = 3
+
+
+class SchedulerPolicy(enum.Enum):
+    """Warp scheduling policy used by the issue stage."""
+
+    GTO = "gto"  # greedy-then-oldest (Table II default)
+    LRR = "lrr"  # loose round-robin
+    # Two-level scheduling (Gebhart et al., the RFC paper's companion):
+    # a small active set issues; stalled warps swap out for pending ones.
+    TWO_LEVEL = "two-level"
+
+
+class EvictionPolicy(enum.Enum):
+    """Replacement policy of a capacity-limited BOC (SS IV-C ablation).
+
+    The paper uses FIFO; LRU is provided for the design-choice ablation
+    (every access refreshes recency, which tracks the extended window
+    more closely at the cost of bookkeeping).
+    """
+
+    FIFO = "fifo"
+    LRU = "lru"
+
+
+class WritebackPolicy(enum.Enum):
+    """How computed results reach the BOC and the register file.
+
+    WRITE_THROUGH  -- baseline BOW: every result goes to both the BOC and
+                      the RF (SS IV-A).
+    WRITE_BACK     -- BOW-WB: results go to the BOC; values sliding out of
+                      the window are written to the RF unless overwritten
+                      inside the window (SS IV-B).
+    COMPILER       -- BOW-WR: per-instruction 2-bit compiler hints select
+                      RF-only / OC-only / both (SS IV-B).
+    """
+
+    WRITE_THROUGH = "write-through"
+    WRITE_BACK = "write-back"
+    COMPILER = "compiler"
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    """Structural parameters of one streaming multiprocessor.
+
+    Defaults reproduce the paper's Table II (TITAN X, Pascal) plus the
+    Figure 2 register-file organization.
+    """
+
+    num_sms: int = 56
+    cores_per_sm: int = 128
+    max_warps_per_sm: int = 32
+    max_threads_per_sm: int = 1024
+    threads_per_warp: int = 32
+
+    # Register file (Figure 2): 256 KB per SM across 32 single-ported banks.
+    register_file_bytes: int = 256 * 1024
+    num_banks: int = 32
+    entries_per_bank: int = 64
+
+    # Issue stage: 4 schedulers, each dual-issue.
+    num_schedulers: int = 4
+    issue_width_per_scheduler: int = 2
+    scheduler_policy: SchedulerPolicy = SchedulerPolicy.GTO
+    # Active-set size for the two-level policy (ignored by GTO/LRR).
+    two_level_active_warps: int = 4
+
+    # Operand collection.
+    num_operand_collectors: int = 32  # one per in-flight warp on Pascal
+    oc_read_ports: int = 1
+    # Cycles from a granted bank read to the operand landing in the
+    # collector (arbitration + bank access + crossbar transfer).
+    rf_read_latency: int = 3
+    # Operands the bank->collector crossbar can deliver per cycle
+    # (Figure 2's 1024-bit-link crossbar).  0 means unconstrained (the
+    # default: with 32 banks granting at most one read each, the
+    # crossbar is rarely the bottleneck; tighten it for ablations).
+    crossbar_width: int = 0
+
+    # Execution latencies (cycles), a latency model in the spirit of
+    # GPGPU-Sim's Pascal configuration.
+    alu_latency: int = 4
+    sfu_latency: int = 16
+    mem_l1_hit_latency: int = 28
+    mem_l2_hit_latency: int = 120
+    mem_global_latency: int = 350
+    shared_mem_latency: int = 24
+    num_alu_units: int = 4
+    num_sfu_units: int = 1
+    num_mem_units: int = 1
+
+    def __post_init__(self) -> None:
+        positive_fields = (
+            "num_sms",
+            "cores_per_sm",
+            "max_warps_per_sm",
+            "threads_per_warp",
+            "register_file_bytes",
+            "num_banks",
+            "entries_per_bank",
+            "num_schedulers",
+            "issue_width_per_scheduler",
+            "num_operand_collectors",
+            "oc_read_ports",
+            "rf_read_latency",
+            "alu_latency",
+            "num_alu_units",
+            "num_sfu_units",
+            "num_mem_units",
+        )
+        for name in positive_fields:
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be positive, got {getattr(self, name)}")
+        if self.crossbar_width < 0:
+            raise ConfigError(
+                f"crossbar_width must be >= 0, got {self.crossbar_width}"
+            )
+        if self.max_threads_per_sm != self.max_warps_per_sm * self.threads_per_warp:
+            raise ConfigError(
+                "max_threads_per_sm must equal max_warps_per_sm * threads_per_warp "
+                f"({self.max_warps_per_sm} * {self.threads_per_warp})"
+            )
+        bank_bytes = self.entries_per_bank * self.warp_register_bytes
+        if bank_bytes * self.num_banks != self.register_file_bytes:
+            raise ConfigError(
+                "register file geometry inconsistent: "
+                f"{self.num_banks} banks x {self.entries_per_bank} entries x "
+                f"{self.warp_register_bytes} B != {self.register_file_bytes} B"
+            )
+
+    @property
+    def warp_register_bytes(self) -> int:
+        """Bytes of one warp-register (32 threads x 4 bytes)."""
+        return self.threads_per_warp * 4
+
+    @property
+    def registers_per_warp(self) -> int:
+        """Architectural warp-registers that fit in the RF per warp slot."""
+        total_entries = self.num_banks * self.entries_per_bank
+        return total_entries // self.max_warps_per_sm
+
+    @property
+    def bank_bytes(self) -> int:
+        """Storage of one register bank."""
+        return self.entries_per_bank * self.warp_register_bytes
+
+    def bank_of(self, warp_id: int, reg_id: int) -> int:
+        """Bank holding register ``reg_id`` of warp ``warp_id``.
+
+        Registers of a warp are striped across banks; interleaving by the
+        warp id spreads the same-numbered registers of different warps
+        (the standard GPGPU-Sim mapping).
+        """
+        return (reg_id + warp_id) % self.num_banks
+
+    def issue_width_total(self) -> int:
+        """Maximum instructions issued per SM per cycle."""
+        return self.num_schedulers * self.issue_width_per_scheduler
+
+
+@dataclass(frozen=True)
+class BOWConfig:
+    """One BOW design point.
+
+    Attributes:
+        window_size: nominal instruction window ``IW`` (paper sweeps 2..7,
+            default 3).
+        writeback: writeback policy (see :class:`WritebackPolicy`).
+        entries_per_instruction: BOC entries reserved per windowed
+            instruction; 4 is the conservative sizing (3 sources + 1
+            destination, SS IV-C).
+        capacity_entries: total BOC operand entries per warp.  ``None``
+            means the conservative ``window_size * entries_per_instruction``;
+            the half-size design point of SS IV-C passes an explicit 6
+            for IW=3.
+        eviction: replacement policy when capacity is exceeded (the
+            paper uses FIFO; LRU is the ablation alternative).
+        enabled: ``False`` turns every bypass off, yielding the baseline
+            GPU with conventional operand collectors.
+    """
+
+    window_size: int = 3
+    writeback: WritebackPolicy = WritebackPolicy.WRITE_THROUGH
+    entries_per_instruction: int = 4
+    capacity_entries: int | None = None
+    eviction: EvictionPolicy = EvictionPolicy.FIFO
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.window_size < 1:
+            raise ConfigError(f"window_size must be >= 1, got {self.window_size}")
+        if self.entries_per_instruction < 1:
+            raise ConfigError(
+                "entries_per_instruction must be >= 1, "
+                f"got {self.entries_per_instruction}"
+            )
+        if self.capacity_entries is not None and self.capacity_entries < 1:
+            raise ConfigError(
+                f"capacity_entries must be >= 1, got {self.capacity_entries}"
+            )
+
+    @property
+    def effective_capacity(self) -> int:
+        """BOC operand entries actually provisioned per warp."""
+        if self.capacity_entries is not None:
+            return self.capacity_entries
+        return self.window_size * self.entries_per_instruction
+
+    @property
+    def conservative_capacity(self) -> int:
+        """The worst-case sizing (4 registers per windowed instruction)."""
+        return self.window_size * self.entries_per_instruction
+
+    def half_size(self) -> "BOWConfig":
+        """The reduced-storage design point of SS IV-C (half the entries)."""
+        return replace(self, capacity_entries=max(1, self.conservative_capacity // 2))
+
+    def boc_bytes(self, gpu: GPUConfig = GPUConfig()) -> int:
+        """Storage of a single BOC in bytes."""
+        return self.effective_capacity * gpu.warp_register_bytes
+
+    def total_boc_bytes(self, gpu: GPUConfig = GPUConfig()) -> int:
+        """Storage added across all BOCs of one SM."""
+        return self.boc_bytes(gpu) * gpu.max_warps_per_sm
+
+    def storage_overhead_fraction(self, gpu: GPUConfig = GPUConfig()) -> float:
+        """Added BOC storage relative to the RF size (paper: 14% full, 4% half).
+
+        The paper reports the *additional* storage relative to the
+        conventional operand collectors (3 entries each).
+        """
+        baseline = BASELINE_OC_ENTRIES * gpu.warp_register_bytes * gpu.max_warps_per_sm
+        added = self.total_boc_bytes(gpu) - baseline
+        return max(0.0, added) / gpu.register_file_bytes
+
+
+def baseline_config() -> BOWConfig:
+    """The unmodified GPU: bypassing disabled."""
+    return BOWConfig(enabled=False, writeback=WritebackPolicy.WRITE_THROUGH)
+
+
+def bow_config(window_size: int = 3) -> BOWConfig:
+    """Baseline BOW (read bypassing, write-through) at ``window_size``."""
+    return BOWConfig(window_size=window_size, writeback=WritebackPolicy.WRITE_THROUGH)
+
+
+def bow_wb_config(window_size: int = 3) -> BOWConfig:
+    """BOW with write-back (no compiler hints)."""
+    return BOWConfig(window_size=window_size, writeback=WritebackPolicy.WRITE_BACK)
+
+
+def bow_wr_config(window_size: int = 3, half_size: bool = False) -> BOWConfig:
+    """BOW-WR: compiler-guided writeback, optionally half-size buffers."""
+    cfg = BOWConfig(window_size=window_size, writeback=WritebackPolicy.COMPILER)
+    return cfg.half_size() if half_size else cfg

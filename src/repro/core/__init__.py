@@ -1,0 +1,46 @@
+"""BOW: the paper's primary contribution.
+
+* :mod:`repro.core.window` — sliding/extended instruction-window
+  semantics and the trace-level bypass-opportunity analyses behind the
+  motivation figures (Figure 3) and Table I.
+* :mod:`repro.core.boc` — the Bypassing Operand Collector: a per-warp
+  collector with forwarding logic, FIFO capacity management, and the
+  three writeback policies (write-through BOW, write-back, and
+  compiler-guided BOW-WR).
+* :mod:`repro.core.bow_sm` — one-call simulation entry points plugging
+  the BOC into the baseline SM engine.
+* :mod:`repro.core.rfc` — the register-file-cache comparison point.
+* :mod:`repro.core.occupancy` — collector occupancy studies (Figures 8/9).
+"""
+
+from .window import (
+    read_bypass_counts,
+    write_bypass_opportunity_counts,
+    writeback_eliminated_counts,
+    table1_write_counts,
+)
+from .boc import BOWCollectors
+from .bow_sm import simulate_bow, simulate_design, DESIGNS
+from .rfc import RFCCollectors, simulate_rfc, RFC_ENTRIES_PER_WARP
+from .occupancy import (
+    source_operand_histogram,
+    boc_occupancy_histogram,
+    OccupancySample,
+)
+
+__all__ = [
+    "read_bypass_counts",
+    "write_bypass_opportunity_counts",
+    "writeback_eliminated_counts",
+    "table1_write_counts",
+    "BOWCollectors",
+    "simulate_bow",
+    "simulate_design",
+    "DESIGNS",
+    "RFCCollectors",
+    "simulate_rfc",
+    "RFC_ENTRIES_PER_WARP",
+    "source_operand_histogram",
+    "boc_occupancy_histogram",
+    "OccupancySample",
+]

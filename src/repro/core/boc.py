@@ -1,0 +1,319 @@
+"""The Bypassing Operand Collector (BOC).
+
+One BOC per warp (paper SS IV-A).  Each BOC:
+
+* holds the in-flight instructions of the last ``IW`` issued
+  instructions of its warp (the sliding window);
+* keeps an operand store of register values accessed inside the window,
+  refreshed by every access (the *extended* window) and capped at the
+  configured capacity with FIFO eviction (SS IV-C);
+* forwards resident operands to newly issued instructions at insert
+  time — forwarded operands consume neither a bank port nor the BOC's
+  single RF-fill port;
+* routes results per the configured writeback policy: write-through
+  (baseline BOW), write-back (BOW-WB), or compiler hints (BOW-WR).
+
+Correctness invariants (exercised by the property tests):
+
+* a value is dropped without reaching the RF only when (a) a newer write
+  to the same register is already resident, or (b) its compiler hint
+  says every consumer forwards from the BOC;
+* a dirty value evicted early — capacity pressure or window slide —
+  is written back before the entry disappears.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..config import BOWConfig, EvictionPolicy, WritebackPolicy
+from ..errors import SimulationError
+from ..isa import WritebackHint
+from ..isa.registers import SINK_REGISTER
+from ..gpu.banks import AccessRequest
+from ..gpu.collector import InflightInstruction, OperandProvider
+
+
+@dataclass
+class _BocEntry:
+    """One operand slot of a BOC."""
+
+    register_id: int
+    value: int
+    dirty: bool = False
+    transient: bool = False  # OC-only: never owes the RF a write
+
+
+@dataclass
+class _WarpBOC:
+    """Per-warp bypassing collector state."""
+
+    warp_id: int
+    seq: int = 0  # issued-instruction counter (window clock)
+    last_access: Dict[int, int] = field(default_factory=dict)
+    entries: "OrderedDict[int, _BocEntry]" = field(default_factory=OrderedDict)
+    inflight: List[InflightInstruction] = field(default_factory=list)
+
+
+class BOWCollectors(OperandProvider):
+    """Per-warp BOCs implementing the three BOW writeback policies."""
+
+    def __init__(self, engine, bow: BOWConfig):
+        if not bow.enabled:
+            raise SimulationError(
+                "BOWCollectors requires an enabled BOWConfig; use the "
+                "baseline provider for bypass-off runs"
+            )
+        self.engine = engine
+        self.bow = bow
+        self.window_size = bow.window_size
+        self.capacity = bow.effective_capacity
+        self._warps: Dict[int, _WarpBOC] = {}
+        #: occupancy histogram: {entries_in_use: warp-cycles}, sampled
+        #: each cycle for warps with work in flight (Figure 9).
+        self.occupancy_histogram: Dict[int, int] = {}
+
+    def _warp(self, warp_id: int) -> _WarpBOC:
+        if warp_id not in self._warps:
+            self._warps[warp_id] = _WarpBOC(warp_id)
+        return self._warps[warp_id]
+
+    # ------------------------------------------------------------------
+    # window bookkeeping
+    # ------------------------------------------------------------------
+
+    def _in_window(self, warp: _WarpBOC, register_id: int) -> bool:
+        last = warp.last_access.get(register_id)
+        return last is not None and warp.seq - last < self.window_size
+
+    def _refresh(self, warp: _WarpBOC, register_id: int) -> None:
+        warp.last_access[register_id] = warp.seq
+
+    def _slide_window(self, warp: _WarpBOC) -> None:
+        """Evict operands whose last access just fell out of the window."""
+        expired = [
+            reg_id
+            for reg_id, entry in warp.entries.items()
+            if not self._in_window(warp, reg_id)
+        ]
+        for reg_id in expired:
+            self._dispose(warp, warp.entries.pop(reg_id), reason="slide")
+
+    def _dispose(self, warp: _WarpBOC, entry: _BocEntry, reason: str) -> None:
+        """Final disposition of a value leaving the BOC."""
+        counters = self.engine.counters
+        if not entry.dirty:
+            return
+        if entry.transient and reason == "slide":
+            # All consumers forwarded from the BOC; the RF write is
+            # eliminated and the value simply evaporates.
+            counters.bypassed_writes += 1
+            return
+        # Dirty value still owed to the RF (write-back slide-out, a
+        # compiler BOTH-value, or a transient evicted early by capacity
+        # pressure — the safety writeback of SS IV-C).
+        self.engine.enqueue_rf_write(
+            None, entry.value, warp_id=warp.warp_id, register_id=entry.register_id
+        )
+        if reason == "evict":
+            counters.eviction_writebacks += 1
+
+    def _deposit(self, warp: _WarpBOC, register_id: int, value: int,
+                 dirty: bool, transient: bool) -> None:
+        """Place a value into the operand store (FIFO capacity)."""
+        counters = self.engine.counters
+        existing = warp.entries.pop(register_id, None)
+        if existing is not None and existing.dirty and dirty:
+            # A newer write lands on a still-dirty value: the old value's
+            # RF write is consolidated away (SS IV-B).
+            counters.bypassed_writes += 1
+        elif existing is not None and existing.dirty:
+            # Clean re-fill over a dirty value cannot happen: a read miss
+            # would have been served by the dirty (newer) value.
+            raise SimulationError(
+                f"warp {warp.warp_id}: clean deposit over dirty $r{register_id}"
+            )
+        while len(warp.entries) >= self.capacity:
+            _, victim = warp.entries.popitem(last=False)
+            counters.boc_evictions += 1
+            self._dispose(warp, victim, reason="evict")
+        warp.entries[register_id] = _BocEntry(
+            register_id=register_id, value=value, dirty=dirty, transient=transient
+        )
+        counters.boc_writes += 1
+
+    # ------------------------------------------------------------------
+    # OperandProvider interface
+    # ------------------------------------------------------------------
+
+    def can_accept(self, warp_id: int) -> bool:
+        return len(self._warp(warp_id).inflight) < self.window_size
+
+    def insert(self, entry: InflightInstruction) -> None:
+        warp = self._warp(entry.warp_id)
+        if len(warp.inflight) >= self.window_size:
+            raise SimulationError("insert into a full BOC")
+        warp.seq += 1
+        self._slide_window(warp)
+
+        counters = self.engine.counters
+        pending: List[int] = []
+        for slot, src in enumerate(entry.inst.sources):
+            resident = (
+                self._in_window(warp, src.id) and src.id in warp.entries
+            )
+            self._refresh(warp, src.id)
+            if resident:
+                entry.operand_values[slot] = warp.entries[src.id].value
+                if self.bow.eviction is EvictionPolicy.LRU:
+                    warp.entries.move_to_end(src.id)
+                counters.bypassed_reads += 1
+                counters.boc_reads += 1
+            else:
+                pending.append(slot)
+        entry.pending_slots = pending
+
+        dest = entry.inst.dest
+        if dest is not None and dest != SINK_REGISTER:
+            if not self._dest_skips_window(entry):
+                self._refresh(warp, dest.id)
+        warp.inflight.append(entry)
+
+    def _dest_skips_window(self, entry: InflightInstruction) -> bool:
+        """RF-only values never enter the window (no reuse to serve)."""
+        return (
+            self.bow.writeback is WritebackPolicy.COMPILER
+            and entry.inst.hint is WritebackHint.RF_ONLY
+        )
+
+    def read_requests(self, cycle: int) -> List[AccessRequest]:
+        requests = []
+        for warp in self._warps.values():
+            if warp.inflight:
+                self._sample_occupancy(warp)
+            for entry in warp.inflight:
+                if not entry.pending_slots:
+                    continue
+                # One fill path per instruction slot (matching the
+                # baseline OCU each slot replaces); operands of a single
+                # instruction still serialize.
+                slot = entry.pending_slots[0]
+                register_id = entry.inst.sources[slot].id
+                requests.append(
+                    AccessRequest(
+                        bank=self.engine.regfile.bank_of(
+                            warp.warp_id, register_id
+                        ),
+                        warp_id=warp.warp_id,
+                        register_id=register_id,
+                        tag=(entry.key, slot),
+                        age=entry.issue_cycle,
+                    )
+                )
+        return requests
+
+    def _sample_occupancy(self, warp: _WarpBOC) -> None:
+        used = len(warp.entries)
+        self.occupancy_histogram[used] = self.occupancy_histogram.get(used, 0) + 1
+
+    def deliver(self, tag: object, value: int) -> None:
+        key, slot = tag
+        warp = self._warp(key[0])
+        for entry in warp.inflight:
+            if entry.key == key:
+                break
+        else:
+            raise SimulationError(f"operand delivery for unknown entry {key}")
+        if not entry.pending_slots or entry.pending_slots[0] != slot:
+            raise SimulationError(f"out-of-order operand delivery {tag!r}")
+        entry.pending_slots.pop(0)
+        entry.operand_values[slot] = value
+        register_id = entry.inst.sources[slot].id
+        # Duplicate sources ($rN appearing in several slots) share one
+        # fetch: the forwarding logic serves the remaining slots from
+        # the just-filled value.
+        duplicates = [
+            s for s in entry.pending_slots
+            if entry.inst.sources[s].id == register_id
+        ]
+        for dup in duplicates:
+            entry.pending_slots.remove(dup)
+            entry.operand_values[dup] = value
+            self.engine.counters.bypassed_reads += 1
+            self.engine.counters.boc_reads += 1
+        # An RF fill deposits the value for later forwarding — but only
+        # while the register is still windowed (it may have slid while
+        # the read waited on a bank port).
+        if self._in_window(warp, register_id) and register_id not in warp.entries:
+            self._deposit(warp, register_id, value, dirty=False, transient=False)
+
+    def ready_entries(self) -> List[InflightInstruction]:
+        ready = []
+        for warp in self._warps.values():
+            for entry in warp.inflight:
+                if entry.operands_ready and entry.dispatch_cycle is None:
+                    ready.append(entry)
+        return ready
+
+    def on_dispatch(self, entry: InflightInstruction) -> None:
+        # The instruction slot frees once the operands are consumed; the
+        # window (and any deposited operand values) persists via the
+        # per-register access clock.
+        self._warp(entry.warp_id).inflight.remove(entry)
+
+    def on_complete(self, entry: InflightInstruction, value: Optional[int]) -> None:
+        warp = self._warp(entry.warp_id)
+        dest = entry.inst.dest
+        if dest is None or value is None or dest == SINK_REGISTER:
+            self.engine.release_scoreboard(entry)
+            return
+
+        policy = self.bow.writeback
+        in_window = self._in_window(warp, dest.id)
+
+        if policy is WritebackPolicy.WRITE_THROUGH:
+            if in_window:
+                self._deposit(warp, dest.id, value, dirty=False, transient=False)
+            self.engine.enqueue_rf_write(entry, value)
+        elif policy is WritebackPolicy.WRITE_BACK:
+            if in_window:
+                self._deposit(warp, dest.id, value, dirty=True, transient=False)
+            else:
+                self.engine.enqueue_rf_write(entry, value)
+        else:  # compiler-guided (BOW-WR)
+            self._complete_with_hint(warp, entry, value, in_window)
+
+        # Forwarding makes the value architecturally available now; the
+        # scoreboard need not wait for any queued RF write.
+        self.engine.release_scoreboard(entry)
+
+    def _complete_with_hint(self, warp: _WarpBOC, entry: InflightInstruction,
+                            value: int, in_window: bool) -> None:
+        hint = entry.inst.hint
+        dest_id = entry.inst.dest.id  # type: ignore[union-attr]
+        if hint is WritebackHint.RF_ONLY:
+            self.engine.enqueue_rf_write(entry, value)
+            return
+        transient = hint is WritebackHint.OC_ONLY
+        if in_window:
+            self._deposit(warp, dest_id, value, dirty=True, transient=transient)
+        elif transient:
+            # Slid out before completing: a transient value has no
+            # remaining consumers (they would have blocked the window),
+            # so it evaporates — the write is bypassed entirely.
+            self.engine.counters.bypassed_writes += 1
+        else:
+            self.engine.enqueue_rf_write(entry, value)
+
+    def drain(self) -> None:
+        """Kernel end: every dirty value leaves its BOC."""
+        for warp in self._warps.values():
+            if warp.inflight:
+                raise SimulationError(
+                    f"drain with instructions in flight in warp {warp.warp_id}"
+                )
+            while warp.entries:
+                _, entry = warp.entries.popitem(last=False)
+                self._dispose(warp, entry, reason="slide")

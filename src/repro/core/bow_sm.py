@@ -1,0 +1,101 @@
+"""One-call simulation entry points for every design point.
+
+``simulate_design`` runs a named design over a trace; the name registry
+(``DESIGNS``) covers the paper's configurations: the unmodified GPU,
+baseline BOW (write-through), BOW-WB, BOW-WR, the half-size BOW-WR, and
+the RFC comparison point.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from ..config import (
+    BOWConfig,
+    GPUConfig,
+    WritebackPolicy,
+    baseline_config,
+    bow_config,
+    bow_wb_config,
+    bow_wr_config,
+)
+from ..errors import SimulationError
+from ..gpu.sm import SimulationResult, SMEngine
+from ..kernels.trace import KernelTrace
+from .boc import BOWCollectors
+
+
+def simulate_bow(
+    trace: KernelTrace,
+    bow: Optional[BOWConfig] = None,
+    config: Optional[GPUConfig] = None,
+    memory_seed: int = 0,
+    preload: Optional[Dict[int, int]] = None,
+) -> SimulationResult:
+    """Simulate ``trace`` on a BOW-enabled SM.
+
+    Args:
+        trace: per-warp dynamic instruction streams.  For the compiler
+            policy, instructions should carry hints (see
+            :func:`repro.compiler.compile_kernel`); unhinted instructions
+            default to the BOTH behaviour, which is correct but saves
+            fewer writes.
+        bow: the design point; defaults to baseline BOW at IW=3.
+        config: machine configuration (Table II defaults).
+        memory_seed: seed of the deterministic memory-latency model.
+    """
+    bow = bow or bow_config()
+    if not bow.enabled:
+        engine = SMEngine(trace, config=config, memory_seed=memory_seed,
+                          preload=preload)
+        return engine.run()
+    engine = SMEngine(
+        trace,
+        config=config,
+        provider_factory=lambda eng: BOWCollectors(eng, bow),
+        memory_seed=memory_seed,
+        preload=preload,
+    )
+    return engine.run()
+
+
+def _run_rfc(trace: KernelTrace, config: Optional[GPUConfig],
+             memory_seed: int,
+             preload: Optional[Dict[int, int]] = None) -> SimulationResult:
+    from .rfc import simulate_rfc
+
+    return simulate_rfc(trace, config=config, memory_seed=memory_seed,
+                        preload=preload)
+
+
+#: Named design points used across the experiment drivers.  Each value
+#: is a factory of the BOWConfig (or ``None`` for non-BOW designs).
+DESIGNS: Dict[str, Callable[[int], Optional[BOWConfig]]] = {
+    "baseline": lambda iw: baseline_config(),
+    "bow": lambda iw: bow_config(iw),
+    "bow-wb": lambda iw: bow_wb_config(iw),
+    "bow-wr": lambda iw: bow_wr_config(iw),
+    "bow-wr-half": lambda iw: bow_wr_config(iw, half_size=True),
+}
+
+
+def simulate_design(
+    design: str,
+    trace: KernelTrace,
+    window_size: int = 3,
+    config: Optional[GPUConfig] = None,
+    memory_seed: int = 0,
+    preload: Optional[Dict[int, int]] = None,
+) -> SimulationResult:
+    """Run a named design (see ``DESIGNS`` plus ``"rfc"``) over ``trace``."""
+    if design == "rfc":
+        return _run_rfc(trace, config, memory_seed, preload)
+    try:
+        factory = DESIGNS[design]
+    except KeyError:
+        known = ", ".join(sorted(DESIGNS) + ["rfc"])
+        raise SimulationError(f"unknown design {design!r}; known: {known}")
+    return simulate_bow(
+        trace, bow=factory(window_size), config=config,
+        memory_seed=memory_seed, preload=preload,
+    )

@@ -1,0 +1,210 @@
+"""Register File Cache (RFC): the closest prior design (SS V-A).
+
+Gebhart et al. add a small cache in front of the RF: every computed
+result is written into the cache; reads check the cache first; dirty
+victims are written back on eviction.  Two structural differences from
+BOW that the paper calls out, both modeled here:
+
+* the RFC is organized like the RF (a single structure behind the
+  collectors), so a cache *hit still serializes through the collector's
+  single port* — it saves bank energy and bank conflicts, not collection
+  latency, which is why its IPC gain is small;
+* every result is cached regardless of future use — no compiler hints —
+  so it pays redundant cache-write energy BOW-WR avoids.
+
+The paper's configuration caches 6 register entries per thread — one
+warp-wide entry per warp-register, i.e. 6 warp-registers per warp, 24 KB
+per SM (double BOW-WR's half-size storage).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..config import GPUConfig
+from ..errors import SimulationError
+from ..gpu.banks import AccessRequest
+from ..gpu.collector import InflightInstruction, OperandProvider
+from ..gpu.sm import SimulationResult, SMEngine
+from ..isa.registers import SINK_REGISTER
+from ..kernels.trace import KernelTrace
+
+#: Warp-registers cached per warp (6 entries per thread in the paper).
+RFC_ENTRIES_PER_WARP = 6
+
+
+@dataclass
+class _CacheLine:
+    value: int
+    dirty: bool
+
+
+@dataclass
+class _WarpCache:
+    """FIFO cache of warp-registers for one warp."""
+
+    warp_id: int
+    lines: "OrderedDict[int, _CacheLine]" = field(default_factory=OrderedDict)
+
+
+class RFCCollectors(OperandProvider):
+    """Conventional collectors backed by a per-warp register-file cache."""
+
+    def __init__(self, engine, num_units: int,
+                 entries_per_warp: int = RFC_ENTRIES_PER_WARP):
+        if entries_per_warp < 1:
+            raise SimulationError("entries_per_warp must be >= 1")
+        self.engine = engine
+        self.num_units = num_units
+        self.entries_per_warp = entries_per_warp
+        self._caches: Dict[int, _WarpCache] = {}
+        self._collecting: List[InflightInstruction] = []
+        # Cache hits in service: the RFC is organized like the RF, so a
+        # hit takes the same pipelined read latency — it skips only the
+        # bank port (and its conflicts).
+        self._hits_due: Dict[int, List[Tuple[Tuple[int, int], int, int]]] = {}
+        self._serving: set = set()
+
+    def _cache(self, warp_id: int) -> _WarpCache:
+        if warp_id not in self._caches:
+            self._caches[warp_id] = _WarpCache(warp_id)
+        return self._caches[warp_id]
+
+    # -- issue ----------------------------------------------------------
+
+    def can_accept(self, warp_id: int) -> bool:
+        return len(self._collecting) < self.num_units
+
+    def insert(self, entry: InflightInstruction) -> None:
+        entry.pending_slots = list(range(len(entry.inst.sources)))
+        self._collecting.append(entry)
+
+    # -- collection: every operand passes the single port; cache hits
+    # skip the bank, not the port ------------------------------------------
+
+    def read_requests(self, cycle: int) -> List[AccessRequest]:
+        self._deliver_due_hits(cycle)
+        requests = []
+        counters = self.engine.counters
+        for entry in self._collecting:
+            if not entry.pending_slots:
+                continue
+            slot = entry.pending_slots[0]
+            tag = (entry.key, slot)
+            if tag in self._serving:
+                continue  # a cache hit for this slot is already in flight
+            register_id = entry.inst.sources[slot].id
+            cache = self._cache(entry.warp_id)
+            line = cache.lines.get(register_id)
+            if line is not None:
+                # Cache hit: no bank access, and one cycle less than a
+                # full RF read (the cache sits closer to the collectors)
+                # — but the collection pipeline itself remains.
+                self._serving.add(tag)
+                due = cycle + max(1, self.engine.config.rf_read_latency - 1)
+                self._hits_due.setdefault(due, []).append(
+                    (entry.key, slot, line.value)
+                )
+                counters.bypassed_reads += 1
+                counters.boc_reads += 1
+                continue
+            requests.append(
+                AccessRequest(
+                    bank=self.engine.regfile.bank_of(entry.warp_id, register_id),
+                    warp_id=entry.warp_id,
+                    register_id=register_id,
+                    tag=tag,
+                    age=entry.issue_cycle,
+                )
+            )
+        return requests
+
+    def _deliver_due_hits(self, cycle: int) -> None:
+        for key, slot, value in self._hits_due.pop(cycle, ()):
+            self._serving.discard((key, slot))
+            for entry in self._collecting:
+                if entry.key == key:
+                    break
+            else:
+                raise SimulationError(f"hit delivery for unknown entry {key}")
+            if not entry.pending_slots or entry.pending_slots[0] != slot:
+                raise SimulationError(f"out-of-order hit delivery {key}/{slot}")
+            entry.pending_slots.pop(0)
+            entry.operand_values[slot] = value
+
+    def deliver(self, tag: object, value: int) -> None:
+        key, slot = tag
+        for entry in self._collecting:
+            if entry.key == key:
+                break
+        else:
+            raise SimulationError(f"operand delivery for unknown entry {key}")
+        if not entry.pending_slots or entry.pending_slots[0] != slot:
+            # The slot may already have been served by a cache hit in the
+            # same cycle the bank request was in flight; treat as stale.
+            raise SimulationError(f"out-of-order operand delivery {tag!r}")
+        entry.pending_slots.pop(0)
+        entry.operand_values[slot] = value
+
+    def ready_entries(self) -> List[InflightInstruction]:
+        return [e for e in self._collecting if e.operands_ready]
+
+    def on_dispatch(self, entry: InflightInstruction) -> None:
+        self._collecting.remove(entry)
+
+    # -- writeback: allocate every result in the cache ----------------------
+
+    def on_complete(self, entry: InflightInstruction, value: Optional[int]) -> None:
+        dest = entry.inst.dest
+        if dest is None or value is None or dest == SINK_REGISTER:
+            self.engine.release_scoreboard(entry)
+            return
+        cache = self._cache(entry.warp_id)
+        counters = self.engine.counters
+        old = cache.lines.pop(dest.id, None)
+        if old is not None and old.dirty:
+            counters.bypassed_writes += 1  # consolidated in the cache
+        while len(cache.lines) >= self.entries_per_warp:
+            victim_id, victim = cache.lines.popitem(last=False)
+            counters.boc_evictions += 1
+            if victim.dirty:
+                self.engine.enqueue_rf_write(
+                    None, victim.value,
+                    warp_id=cache.warp_id, register_id=victim_id,
+                )
+                counters.eviction_writebacks += 1
+        cache.lines[dest.id] = _CacheLine(value=value, dirty=True)
+        counters.boc_writes += 1
+        self.engine.release_scoreboard(entry)
+
+    def drain(self) -> None:
+        for cache in self._caches.values():
+            while cache.lines:
+                register_id, line = cache.lines.popitem(last=False)
+                if line.dirty:
+                    self.engine.enqueue_rf_write(
+                        None, line.value,
+                        warp_id=cache.warp_id, register_id=register_id,
+                    )
+
+
+def simulate_rfc(
+    trace: KernelTrace,
+    config: Optional[GPUConfig] = None,
+    memory_seed: int = 0,
+    entries_per_warp: int = RFC_ENTRIES_PER_WARP,
+    preload: Optional[Dict[int, int]] = None,
+) -> SimulationResult:
+    """Run the RFC comparison design over ``trace``."""
+    engine = SMEngine(
+        trace,
+        config=config,
+        provider_factory=lambda eng: RFCCollectors(
+            eng, eng.config.num_operand_collectors, entries_per_warp
+        ),
+        memory_seed=memory_seed,
+        preload=preload,
+    )
+    return engine.run()

@@ -1,0 +1,182 @@
+"""Sliding-window bypass analyses over dynamic traces.
+
+These are the *opportunity* analyses behind the paper's motivation: for
+a window of ``IW`` consecutive instructions, how many register-file
+reads and writes could be eliminated (Figure 3), and how many RF writes
+each writeback policy performs on a concrete snippet (Table I).
+
+Window semantics shared with the hardware model (see DESIGN.md SS5):
+
+* two accesses fall in the same window when their dynamic instruction
+  indices differ by less than ``IW``;
+* the window is *extended*: every access to a value refreshes its
+  residency, so a chain of accesses with every gap below ``IW`` keeps the
+  value collector-resident throughout;
+* bypassing never reaches past the nominal window even when buffer
+  space would allow it (the SS IV-C simplification).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from ..compiler.writeback import WritebackClass, classify_linear_writes
+from ..errors import CompilerError
+from ..isa import Instruction
+from ..isa.registers import SINK_REGISTER
+
+
+def read_bypass_counts(
+    trace: Sequence[Instruction], window_size: int
+) -> Tuple[int, int]:
+    """(bypassed, total) source-operand reads for a window of ``IW``.
+
+    A read is bypassed when the register was accessed — read or written —
+    by one of the previous ``IW - 1`` instructions: a prior write
+    deposited the value in the collector, a prior read fetched it there.
+    """
+    if window_size < 1:
+        raise CompilerError(f"window_size must be >= 1, got {window_size}")
+    last_access: Dict[int, int] = {}
+    bypassed = 0
+    total = 0
+    for index, inst in enumerate(trace):
+        for src in inst.sources:
+            total += 1
+            previous = last_access.get(src.id)
+            if previous is not None and index - previous < window_size:
+                bypassed += 1
+            last_access[src.id] = index
+        if inst.dest is not None and inst.dest != SINK_REGISTER:
+            last_access[inst.dest.id] = index
+    return bypassed, total
+
+
+def write_bypass_opportunity_counts(
+    trace: Sequence[Instruction],
+    window_size: int,
+    live_out: FrozenSet[int] = frozenset(),
+) -> Tuple[int, int]:
+    """(eliminable, total) destination writes for a window of ``IW``.
+
+    A write is eliminable when its value never needs to reach the RF:
+    every read of the value occurs while it is still collector-resident
+    (all access gaps below ``IW``) and the value is dead afterwards —
+    exactly the compiler's transient (OC-only) class, which upper-bounds
+    what any of the writeback designs can save.
+    """
+    classifications = classify_linear_writes(trace, window_size, live_out)
+    total = len(classifications)
+    eliminable = sum(
+        1
+        for item in classifications
+        if item.writeback in (WritebackClass.OC_ONLY, WritebackClass.DEAD)
+    )
+    return eliminable, total
+
+
+def writeback_eliminated_counts(
+    trace: Sequence[Instruction], window_size: int
+) -> Tuple[int, int]:
+    """(eliminated, total) RF writes under the *write-back* policy (BOW-WB).
+
+    The hardware-only rule (no compiler knowledge): a value's RF write is
+    skipped when the same register is written again while the old value
+    is still collector-resident — i.e. the chain of accesses from the
+    producing write to the next write keeps every gap below ``IW``.  A
+    residency lapse writes the value back at slide-out; a value never
+    rewritten is written back when it finally slides out (or at drain).
+    """
+    if window_size < 1:
+        raise CompilerError(f"window_size must be >= 1, got {window_size}")
+
+    accesses: Dict[int, List[Tuple[int, bool]]] = {}
+    for index, inst in enumerate(trace):
+        for src in inst.sources:
+            accesses.setdefault(src.id, []).append((index, False))
+        if inst.dest is not None and inst.dest != SINK_REGISTER:
+            accesses.setdefault(inst.dest.id, []).append((index, True))
+
+    eliminated = 0
+    total = 0
+    for events in accesses.values():
+        for position, (_, is_write) in enumerate(events):
+            if not is_write:
+                continue
+            total += 1
+            if follow_is_write(events, position, window_size):
+                eliminated += 1
+    return eliminated, total
+
+
+def follow_is_write(
+    events: List[Tuple[int, bool]], position: int, window_size: int
+) -> bool:
+    """Does the value written at ``events[position]`` get consolidated?
+
+    Helper for :func:`writeback_eliminated_counts`: walks the access
+    chain and reports whether a subsequent write is reached while every
+    gap stays below ``window_size``.
+    """
+    previous_index = events[position][0]
+    for follow in range(position + 1, len(events)):
+        index, is_write = events[follow]
+        if index - previous_index >= window_size:
+            return False
+        if is_write:
+            return True
+        previous_index = index
+    return False
+
+
+def table1_write_counts(
+    trace: Sequence[Instruction],
+    window_size: int,
+    live_out: FrozenSet[int] = frozenset(),
+) -> Dict[str, Dict[int, int]]:
+    """Per-register RF write counts under the three designs (Table I).
+
+    Returns ``{"write-through": {reg: n}, "write-back": ..., "compiler": ...}``.
+    Write-through equals the unmodified GPU: every destination write
+    reaches the RF.
+    """
+    write_through: Dict[int, int] = {}
+    for inst in trace:
+        if inst.dest is not None and inst.dest != SINK_REGISTER:
+            write_through[inst.dest.id] = write_through.get(inst.dest.id, 0) + 1
+
+    write_back = dict(write_through)
+    eliminated_by_reg = _writeback_eliminated_by_register(trace, window_size)
+    for reg_id, count in eliminated_by_reg.items():
+        write_back[reg_id] = write_back[reg_id] - count
+
+    compiler = {reg_id: 0 for reg_id in write_through}
+    for item in classify_linear_writes(trace, window_size, live_out):
+        if item.needs_rf:
+            compiler[item.register_id] = compiler.get(item.register_id, 0) + 1
+
+    return {
+        "write-through": write_through,
+        "write-back": write_back,
+        "compiler": compiler,
+    }
+
+
+def _writeback_eliminated_by_register(
+    trace: Sequence[Instruction], window_size: int
+) -> Dict[int, int]:
+    accesses: Dict[int, List[Tuple[int, bool]]] = {}
+    for index, inst in enumerate(trace):
+        for src in inst.sources:
+            accesses.setdefault(src.id, []).append((index, False))
+        if inst.dest is not None and inst.dest != SINK_REGISTER:
+            accesses.setdefault(inst.dest.id, []).append((index, True))
+
+    eliminated: Dict[int, int] = {}
+    for reg_id, events in accesses.items():
+        for position, (_, is_write) in enumerate(events):
+            if not is_write:
+                continue
+            if follow_is_write(events, position, window_size):
+                eliminated[reg_id] = eliminated.get(reg_id, 0) + 1
+    return eliminated

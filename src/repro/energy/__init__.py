@@ -1,0 +1,43 @@
+"""Energy and area models.
+
+The paper derives its energy numbers from CACTI 7 (register bank and
+BOC access energies, Table IV) and an RTL synthesis of the modified
+interconnect.  We encode those published component costs as constants
+and bill them against the event counters the simulator produces, which
+reproduces the paper's normalized dynamic-energy results (Figure 13)
+and overhead percentages.
+"""
+
+from .cacti import (
+    BOC_PARAMS,
+    REGISTER_BANK_PARAMS,
+    INTERCONNECT_POWER_W,
+    ComponentParams,
+)
+from .model import EnergyBreakdown, EnergyModel
+from .area import AreaModel, AreaReport
+from .static import (
+    StaticBreakdown,
+    StaticEnergyModel,
+    TotalEnergyReport,
+    total_energy,
+)
+from .power import PowerReport, RF_SHARE_OF_CHIP_POWER, power_report
+
+__all__ = [
+    "BOC_PARAMS",
+    "REGISTER_BANK_PARAMS",
+    "INTERCONNECT_POWER_W",
+    "ComponentParams",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "AreaModel",
+    "AreaReport",
+    "StaticBreakdown",
+    "StaticEnergyModel",
+    "TotalEnergyReport",
+    "total_energy",
+    "PowerReport",
+    "RF_SHARE_OF_CHIP_POWER",
+    "power_report",
+]

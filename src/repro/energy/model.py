@@ -1,0 +1,104 @@
+"""Dynamic-energy accounting (paper Figure 13).
+
+Bills the simulator's event counters against the Table IV component
+energies: every physical RF access costs a bank access; every BOC fill
+or forward costs a BOC access (that is the *overhead* segment on top of
+the Figure 13 bars).  Normalizing a design's total against the baseline
+run reproduces the paper's normalized-dynamic-energy figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import SimulationError
+from ..stats.counters import Counters
+from .cacti import BOC_PARAMS, ComponentParams, boc_params_for_capacity
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Dynamic energy of one run, in picojoules.
+
+    Attributes:
+        rf_energy_pj: register-bank access energy (reads + writes).
+        overhead_pj: added-structure energy — BOC fills, forwards, and
+            the modified interconnect's per-access share.
+    """
+
+    rf_energy_pj: float
+    overhead_pj: float
+
+    @property
+    def total_pj(self) -> float:
+        return self.rf_energy_pj + self.overhead_pj
+
+    def normalized_to(self, baseline: "EnergyBreakdown") -> "EnergyBreakdown":
+        """Both segments as fractions of the baseline total (Figure 13)."""
+        if baseline.total_pj <= 0:
+            raise SimulationError("baseline energy is zero; cannot normalize")
+        return EnergyBreakdown(
+            rf_energy_pj=self.rf_energy_pj / baseline.total_pj,
+            overhead_pj=self.overhead_pj / baseline.total_pj,
+        )
+
+
+class EnergyModel:
+    """Bills counters against component access energies."""
+
+    def __init__(
+        self,
+        bank: Optional[ComponentParams] = None,
+        boc: Optional[ComponentParams] = None,
+        boc_capacity_entries: Optional[int] = None,
+        interconnect_pj_per_access: float = 0.4,
+    ):
+        """
+        Args:
+            bank: register-bank parameters (Table IV default).
+            boc: BOC parameters; overrides ``boc_capacity_entries``.
+            boc_capacity_entries: scale the default BOC to this capacity
+                (the half-size design point bills ~half per access).
+            interconnect_pj_per_access: energy of moving one operand over
+                the modified BOC network (derived from the paper's 33.2 mW
+                at ~80 accesses/cycle-equivalent traffic; small relative
+                to a bank access).
+        """
+        from .cacti import REGISTER_BANK_PARAMS
+
+        self.bank = bank or REGISTER_BANK_PARAMS
+        if boc is not None:
+            self.boc = boc
+        elif boc_capacity_entries is not None:
+            self.boc = boc_params_for_capacity(boc_capacity_entries)
+        else:
+            self.boc = BOC_PARAMS
+        if interconnect_pj_per_access < 0:
+            raise SimulationError("interconnect energy must be non-negative")
+        self.interconnect_pj_per_access = interconnect_pj_per_access
+
+    def breakdown(self, counters: Counters) -> EnergyBreakdown:
+        """Dynamic energy of one run."""
+        rf_accesses = counters.rf_reads + counters.rf_writes
+        rf_energy = rf_accesses * self.bank.access_energy_pj
+
+        boc_accesses = counters.boc_reads + counters.boc_writes
+        overhead = boc_accesses * (
+            self.boc.access_energy_pj + self.interconnect_pj_per_access
+        )
+        return EnergyBreakdown(rf_energy_pj=rf_energy, overhead_pj=overhead)
+
+    def normalized(self, counters: Counters,
+                   baseline: Counters) -> EnergyBreakdown:
+        """This run's breakdown normalized to a baseline run's total."""
+        return self.breakdown(counters).normalized_to(self.breakdown(baseline))
+
+    def savings(self, counters: Counters, baseline: Counters) -> float:
+        """Fractional dynamic-energy reduction vs the baseline.
+
+        The paper's headline numbers: ~36% for BOW, ~55% for BOW-WR at
+        IW=3, overheads included.
+        """
+        normalized = self.normalized(counters, baseline)
+        return 1.0 - normalized.total_pj

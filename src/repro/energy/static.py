@@ -1,0 +1,123 @@
+"""Static (leakage) energy and the effective-RF-size connection.
+
+The paper's dynamic-energy story is Figure 13; its SS IV-B.2a adds a
+second lever: transient values never allocate RF registers, so the GPU
+could provision a *smaller* register file for the same performance —
+cutting leakage, which related work (Jeon et al., RegLess) attacks
+directly.  This module quantifies that: leakage of the RF and the BOCs
+over a run, and the leakage a right-sized RF would save given the
+compiler's transient fraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..config import BOWConfig, GPUConfig
+from ..errors import SimulationError
+from ..stats.counters import Counters
+from .cacti import (
+    BOC_PARAMS,
+    ComponentParams,
+    REGISTER_BANK_PARAMS,
+    boc_params_for_capacity,
+)
+
+
+@dataclass(frozen=True)
+class StaticBreakdown:
+    """Leakage energy of one run, in picojoules.
+
+    Attributes:
+        rf_leakage_pj: leakage of all register banks over the run.
+        boc_leakage_pj: leakage of all BOCs (zero for the baseline).
+    """
+
+    rf_leakage_pj: float
+    boc_leakage_pj: float
+
+    @property
+    def total_pj(self) -> float:
+        return self.rf_leakage_pj + self.boc_leakage_pj
+
+
+class StaticEnergyModel:
+    """Leakage accounting from the Table IV component parameters."""
+
+    def __init__(self, gpu: Optional[GPUConfig] = None,
+                 clock_ghz: float = 1.0):
+        if clock_ghz <= 0:
+            raise SimulationError("clock_ghz must be positive")
+        self.gpu = gpu or GPUConfig()
+        self.clock_ghz = clock_ghz
+
+    def breakdown(self, counters: Counters,
+                  bow: Optional[BOWConfig] = None) -> StaticBreakdown:
+        """Leakage over ``counters.cycles`` for one SM.
+
+        Args:
+            counters: the run's counters (only ``cycles`` is used).
+            bow: the BOW design point; ``None`` or disabled means the
+                baseline (no BOC leakage beyond the conventional
+                collectors, which both machines share).
+        """
+        cycles = counters.cycles
+        rf = (REGISTER_BANK_PARAMS.leakage_energy_pj(cycles, self.clock_ghz)
+              * self._banks_equivalent())
+        boc = 0.0
+        if bow is not None and bow.enabled:
+            params = boc_params_for_capacity(bow.effective_capacity)
+            boc = (params.leakage_energy_pj(cycles, self.clock_ghz)
+                   * self.gpu.max_warps_per_sm)
+        return StaticBreakdown(rf_leakage_pj=rf, boc_leakage_pj=boc)
+
+    def _banks_equivalent(self) -> float:
+        """RF size expressed in Table IV 64 KB billing units."""
+        return self.gpu.register_file_bytes / REGISTER_BANK_PARAMS.size_bytes
+
+    def resized_rf_savings(self, transient_fraction: float,
+                           counters: Counters) -> float:
+        """Leakage saved by shrinking the RF by the transient fraction.
+
+        The SS IV-B.2a argument: if ``transient_fraction`` of computed
+        values never need RF slots, a proportionally smaller RF leaks
+        proportionally less.  Returns saved pJ over the run (first-order:
+        leakage scales with capacity).
+        """
+        if not 0.0 <= transient_fraction <= 1.0:
+            raise SimulationError(
+                f"transient_fraction must be in [0, 1], got {transient_fraction}"
+            )
+        full = self.breakdown(counters).rf_leakage_pj
+        return full * transient_fraction
+
+
+@dataclass(frozen=True)
+class TotalEnergyReport:
+    """Dynamic + static energy of one run, for whole-picture comparisons."""
+
+    dynamic_pj: float
+    static_pj: float
+
+    @property
+    def total_pj(self) -> float:
+        return self.dynamic_pj + self.static_pj
+
+
+def total_energy(
+    counters: Counters,
+    bow: Optional[BOWConfig] = None,
+    gpu: Optional[GPUConfig] = None,
+    clock_ghz: float = 1.0,
+) -> TotalEnergyReport:
+    """Dynamic + leakage energy of one run on one SM."""
+    from .model import EnergyModel
+
+    capacity = bow.effective_capacity if (bow and bow.enabled) else None
+    dynamic = EnergyModel(boc_capacity_entries=capacity).breakdown(counters)
+    static = StaticEnergyModel(gpu, clock_ghz).breakdown(counters, bow)
+    return TotalEnergyReport(
+        dynamic_pj=dynamic.total_pj,
+        static_pj=static.total_pj,
+    )

@@ -1,0 +1,68 @@
+"""Exception hierarchy for the BOW reproduction library.
+
+Every error raised by the library derives from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the common failure families.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value."""
+
+
+class IsaError(ReproError):
+    """Base class for ISA-level failures."""
+
+
+class ParseError(IsaError):
+    """The assembly parser rejected its input.
+
+    Attributes:
+        line_number: 1-based line of the offending source line, if known.
+        line: the raw source text of that line, if known.
+    """
+
+    def __init__(self, message: str, line_number: int = 0, line: str = ""):
+        self.line_number = line_number
+        self.line = line
+        if line_number:
+            message = f"line {line_number}: {message}: {line!r}"
+        super().__init__(message)
+
+
+class EncodingError(IsaError):
+    """An instruction could not be encoded or decoded."""
+
+
+class KernelError(ReproError):
+    """A malformed kernel CFG or trace."""
+
+
+class CompilerError(ReproError):
+    """A compiler pass failed or produced inconsistent results."""
+
+
+class SimulationError(ReproError):
+    """The timing simulator reached an inconsistent state."""
+
+
+class DeadlockError(SimulationError):
+    """The simulator made no forward progress for too many cycles.
+
+    Attributes:
+        cycle: cycle at which the deadlock was declared.
+    """
+
+    def __init__(self, message: str, cycle: int):
+        self.cycle = cycle
+        super().__init__(f"{message} (cycle {cycle})")
+
+
+class ExperimentError(ReproError):
+    """An experiment driver was asked for something it cannot produce."""

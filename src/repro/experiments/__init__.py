@@ -1,0 +1,50 @@
+"""Experiment drivers: one per table and figure of the paper.
+
+Each driver returns a small result object with the series the paper
+plots plus a ``format()`` text rendering; the benchmark harness under
+``benchmarks/`` and the examples call these.  Timing runs are cached per
+process (see :mod:`repro.experiments.runner`), so drivers that share
+runs — Figures 10, 12 and 13 all need the same baseline — pay for them
+once.
+"""
+
+from .runner import RunScale, QUICK, FULL, run_design, clear_cache
+from .figures import (
+    fig1_onchip_memory,
+    fig3_bypass_opportunity,
+    fig4_oc_latency,
+    fig7_write_destinations,
+    fig8_ocu_occupancy,
+    fig9_boc_occupancy,
+    fig10_ipc_improvement,
+    fig11_halfsize_ipc,
+    fig12_oc_residency,
+    fig13_energy,
+    rfc_comparison,
+)
+from .tables import table1_btree, table2_configuration, table4_overheads
+from .registry import EXPERIMENTS, run_experiment
+
+__all__ = [
+    "RunScale",
+    "QUICK",
+    "FULL",
+    "run_design",
+    "clear_cache",
+    "fig1_onchip_memory",
+    "fig3_bypass_opportunity",
+    "fig4_oc_latency",
+    "fig7_write_destinations",
+    "fig8_ocu_occupancy",
+    "fig9_boc_occupancy",
+    "fig10_ipc_improvement",
+    "fig11_halfsize_ipc",
+    "fig12_oc_residency",
+    "fig13_energy",
+    "rfc_comparison",
+    "table1_btree",
+    "table2_configuration",
+    "table4_overheads",
+    "EXPERIMENTS",
+    "run_experiment",
+]

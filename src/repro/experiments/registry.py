@@ -1,0 +1,133 @@
+"""Registry mapping experiment ids to their drivers.
+
+``run_experiment("fig10")`` returns the formatted report for that paper
+artifact; ``EXPERIMENTS`` lists everything reproducible.  The examples
+and the command line both go through here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..errors import ExperimentError
+from .figures import (
+    fig1_onchip_memory,
+    fig3_bypass_opportunity,
+    fig4_oc_latency,
+    fig7_write_destinations,
+    fig8_ocu_occupancy,
+    fig9_boc_occupancy,
+    fig10_ipc_improvement,
+    fig11_halfsize_ipc,
+    fig12_oc_residency,
+    fig13_energy,
+    rfc_comparison,
+)
+from .runner import QUICK, RunScale
+from .tables import (
+    table1_btree,
+    table2_configuration,
+    table3_benchmarks,
+    table4_overheads,
+)
+
+
+def _fig10_report(scale: RunScale) -> str:
+    bow, bow_wr = fig10_ipc_improvement(scale=scale)
+    return bow.format() + "\n\n" + bow_wr.format()
+
+
+def _fig13_report(scale: RunScale) -> str:
+    bow, bow_wr = fig13_energy(scale=scale)
+    return bow.format() + "\n\n" + bow_wr.format()
+
+
+def _warp_scaling_report(scale: RunScale) -> str:
+    from .ablations import warp_scaling
+
+    return warp_scaling(trace_scale=scale.trace_scale,
+                        memory_seed=scale.memory_seed).format()
+
+
+def _simt_report() -> str:
+    from .simt_study import simt_suite_study
+
+    return simt_suite_study().format()
+
+
+def _reorder_report() -> str:
+    from .ablations import reorder_study
+
+    return reorder_study().format()
+
+
+def _summary_report(scale: RunScale) -> str:
+    from .summary import headline_summary
+
+    return headline_summary(scale=scale).format()
+
+
+def _dce_report() -> str:
+    from .ablations import dce_study
+
+    return dce_study().format()
+
+
+#: Experiment id -> (description, report function taking a RunScale).
+EXPERIMENTS: Dict[str, tuple] = {
+    "fig1": ("On-chip memory sizes across GPU generations",
+             lambda scale: fig1_onchip_memory().format()),
+    "fig3": ("Eliminated read/write requests vs window size",
+             lambda scale: fig3_bypass_opportunity(scale=scale).format()),
+    "fig4": ("Time in the operand-collection stage",
+             lambda scale: fig4_oc_latency(scale=scale).format()),
+    "table1": ("RF writes for the Figure 6 BTREE snippet",
+               lambda scale: table1_btree().format()),
+    "table2": ("Machine configuration",
+               lambda scale: table2_configuration().format()),
+    "table3": ("Benchmark suite",
+               lambda scale: table3_benchmarks().format()),
+    "fig7": ("Write-destination distribution under BOW-WR",
+             lambda scale: fig7_write_destinations(scale=scale).format()),
+    "fig8": ("OCU source-operand occupancy",
+             lambda scale: fig8_ocu_occupancy(scale=scale).format()),
+    "fig9": ("BOC entry occupancy",
+             lambda scale: fig9_boc_occupancy(scale=scale).format()),
+    "fig10": ("IPC improvement (BOW and BOW-WR)", _fig10_report),
+    "fig11": ("IPC improvement with half-size BOCs",
+              lambda scale: fig11_halfsize_ipc(scale=scale).format()),
+    "fig12": ("OC-stage residency, normalized",
+              lambda scale: fig12_oc_residency(scale=scale).format()),
+    "fig13": ("Normalized RF dynamic energy", _fig13_report),
+    "table4": ("BOC overheads and storage/area arithmetic",
+               lambda scale: table4_overheads().format()),
+    "rfc": ("Register-file-cache comparison",
+            lambda scale: rfc_comparison(scale=scale).format()),
+    # ---- extensions beyond the paper (DESIGN.md SS6) -------------------
+    "warps": ("Extension: BOW gain vs warp occupancy", _warp_scaling_report),
+    "simt": ("Extension: lane-level divergence and coalescing",
+             lambda scale: _simt_report()),
+    "reorder": ("Extension: bypass-aware instruction scheduling",
+                lambda scale: _reorder_report()),
+    "summary": ("Headline scorecard: every abstract-level claim",
+                lambda scale: _summary_report(scale)),
+    "dce": ("Extension: dead code vs transience in write bypassing",
+            lambda scale: _dce_report()),
+}
+
+
+def run_experiment(experiment_id: str, scale: RunScale = QUICK) -> str:
+    """Format the report for one paper artifact.
+
+    Args:
+        experiment_id: a key of ``EXPERIMENTS`` (e.g. ``"fig10"``).
+        scale: run size for the timing-based experiments.
+    """
+    key = experiment_id.lower()
+    if key not in EXPERIMENTS:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; "
+            f"known: {', '.join(EXPERIMENTS)}"
+        )
+    _, driver = EXPERIMENTS[key]
+    return driver(scale)

@@ -1,0 +1,121 @@
+"""Shared run infrastructure for the experiment drivers.
+
+``run_design`` builds the benchmark trace (compiled with hints when the
+design needs them), runs the timing simulator, and memoizes the result:
+Figures 10, 12 and 13 all consume the same runs, and pytest-benchmark
+calls each driver several times.
+
+Two standard sizes are provided:
+
+* ``QUICK`` — 16 warps, quarter-length traces; seconds per run, the
+  default for the benchmark harness and CI.
+* ``FULL``  — the full 32-warp complement with longer traces; use for
+  final numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
+
+from ..config import WritebackPolicy
+from ..core.bow_sm import DESIGNS, simulate_design
+from ..errors import ExperimentError
+from ..gpu.sm import SimulationResult
+from ..kernels.suites import get_profile
+from ..kernels.synthetic import generate_compiled_trace, generate_trace
+from ..kernels.trace import KernelTrace
+
+
+@dataclass(frozen=True)
+class RunScale:
+    """Size of one experiment run.
+
+    Attributes:
+        num_warps: warps per launch (the SM supports up to 32).
+        trace_scale: multiplier on each benchmark's nominal trace length.
+        memory_seed: seed of the deterministic memory-latency model.
+    """
+
+    num_warps: int = 16
+    trace_scale: float = 0.25
+    memory_seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.num_warps < 1:
+            raise ExperimentError("num_warps must be >= 1")
+        if self.trace_scale <= 0:
+            raise ExperimentError("trace_scale must be positive")
+
+
+QUICK = RunScale(num_warps=16, trace_scale=0.25)
+FULL = RunScale(num_warps=32, trace_scale=0.5)
+
+#: Designs whose traces must carry compiler hints.
+_HINTED_DESIGNS = frozenset({"bow-wr", "bow-wr-half"})
+
+_trace_cache: Dict[Tuple, KernelTrace] = {}
+_run_cache: Dict[Tuple, SimulationResult] = {}
+
+
+def clear_cache() -> None:
+    """Drop all memoized traces and runs (tests use this for isolation)."""
+    _trace_cache.clear()
+    _run_cache.clear()
+
+
+def benchmark_trace(
+    benchmark: str,
+    scale: RunScale,
+    window_size: Optional[int] = None,
+) -> KernelTrace:
+    """The benchmark's trace, hint-compiled when ``window_size`` is given."""
+    key = (benchmark.upper(), scale.num_warps, scale.trace_scale, window_size)
+    if key in _trace_cache:
+        return _trace_cache[key]
+    spec = get_profile(benchmark).spec
+    spec = replace(
+        spec,
+        num_warps=scale.num_warps,
+        loop_iterations=max(1, round(spec.loop_iterations * scale.trace_scale)),
+    )
+    if window_size is None:
+        trace = generate_trace(spec)
+    else:
+        trace = generate_compiled_trace(spec, window_size)
+    _trace_cache[key] = trace
+    return trace
+
+
+def run_design(
+    benchmark: str,
+    design: str,
+    window_size: int = 3,
+    scale: RunScale = QUICK,
+) -> SimulationResult:
+    """Run (or fetch the memoized run of) one design point.
+
+    Args:
+        benchmark: a Table III benchmark name.
+        design: one of ``DESIGNS`` plus ``"rfc"``.
+        window_size: the instruction window (ignored by baseline/rfc).
+        scale: run size.
+    """
+    if design not in DESIGNS and design != "rfc":
+        known = ", ".join(sorted(DESIGNS) + ["rfc"])
+        raise ExperimentError(f"unknown design {design!r}; known: {known}")
+    effective_iw = window_size if design not in ("baseline", "rfc") else 0
+    key = (benchmark.upper(), design, effective_iw,
+           scale.num_warps, scale.trace_scale, scale.memory_seed)
+    if key in _run_cache:
+        return _run_cache[key]
+
+    hinted = design in _HINTED_DESIGNS
+    trace = benchmark_trace(
+        benchmark, scale, window_size=window_size if hinted else None
+    )
+    result = simulate_design(
+        design, trace, window_size=window_size, memory_seed=scale.memory_seed
+    )
+    _run_cache[key] = result
+    return result

@@ -1,0 +1,119 @@
+"""One-shot headline summary: the paper's claims vs this run's numbers.
+
+``headline_summary`` runs the minimal set of simulations needed to
+measure every headline claim of the paper's abstract/conclusion and
+renders a paper-vs-measured table — the quantitative core of
+EXPERIMENTS.md, regenerated live.  Used by ``python -m repro
+experiment summary`` and by the release-check bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..config import bow_wr_config
+from ..energy.model import EnergyModel
+from ..kernels.suites import benchmark_names
+from ..stats.report import format_table
+from .figures import (
+    fig3_bypass_opportunity,
+    fig7_write_destinations,
+    fig10_ipc_improvement,
+    fig11_halfsize_ipc,
+    fig12_oc_residency,
+    fig13_energy,
+    rfc_comparison,
+)
+from .runner import QUICK, RunScale
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One headline claim of the paper and our measurement of it."""
+
+    name: str
+    paper: str
+    measured: str
+    holds: bool
+
+
+@dataclass(frozen=True)
+class HeadlineSummary:
+    """The paper-vs-measured scorecard."""
+
+    claims: Tuple[Claim, ...]
+
+    @property
+    def all_hold(self) -> bool:
+        return all(claim.holds for claim in self.claims)
+
+    def format(self) -> str:
+        rows = [
+            [claim.name, claim.paper, claim.measured,
+             "yes" if claim.holds else "NO"]
+            for claim in self.claims
+        ]
+        return format_table(
+            ["claim (IW=3)", "paper", "measured", "holds"],
+            rows,
+            title="Headline scorecard: paper vs this run",
+        )
+
+
+def headline_summary(scale: RunScale = QUICK) -> HeadlineSummary:
+    """Measure every abstract-level claim at ``scale``."""
+    claims: List[Claim] = []
+
+    def add(name: str, paper: str, value: float, fmt: str,
+            low: float, high: float) -> None:
+        claims.append(Claim(
+            name=name, paper=paper, measured=fmt.format(value),
+            holds=low <= value <= high,
+        ))
+
+    fig3 = fig3_bypass_opportunity(windows=(2, 3), scale=scale)
+    add("reads bypassed", "59%", fig3.average_reads(3), "{:.1%}",
+        0.49, 0.69)
+    add("writes eliminable", "52%", fig3.average_writes(3), "{:.1%}",
+        0.40, 0.70)
+
+    bow, bow_wr = fig10_ipc_improvement(windows=(3,), scale=scale)
+    add("IPC gain, BOW", "+11%", bow.average(3), "{:+.1%}", 0.05, 0.22)
+    add("IPC gain, BOW-WR", "+13%", bow_wr.average(3), "{:+.1%}",
+        0.05, 0.22)
+
+    half = fig11_halfsize_ipc(scale=scale)
+    add("IPC gain, half-size", "+11%", half.average(3), "{:+.1%}",
+        0.05, 0.22)
+
+    energy_bow, energy_wr = fig13_energy(scale=scale)
+    add("RF energy saved, BOW", "36%", energy_bow.average_savings(),
+        "{:.1%}", 0.25, 0.50)
+    add("RF energy saved, BOW-WR", "55%", energy_wr.average_savings(),
+        "{:.1%}", 0.45, 0.65)
+
+    fig12 = fig12_oc_residency(windows=(3,), scale=scale)
+    add("OC residency reduction", "60%", 1.0 - fig12.average(3),
+        "{:.1%}", 0.30, 0.70)
+
+    fig7 = fig7_write_destinations(scale=scale)
+    _, _, transient = fig7.averages()
+    add("transient operands", "52%", transient, "{:.1%}", 0.40, 0.70)
+
+    rfc = rfc_comparison(scale=scale)
+    add("RFC IPC gain", "<2%", rfc.average_rfc_gain(), "{:+.1%}",
+        -0.02, 0.06)
+
+    overhead_kb = (
+        bow_wr_config(3, half_size=True).total_boc_bytes()
+        - 3 * 128 * 32
+    ) / 1024
+    claims.append(Claim(
+        name="added storage, half-size",
+        paper="12 KB (4% of RF)",
+        measured=f"{overhead_kb:.0f} KB",
+        holds=overhead_kb == 12.0,
+    ))
+
+    return HeadlineSummary(claims=tuple(claims))

@@ -1,0 +1,57 @@
+"""Baseline GPU streaming-multiprocessor microarchitecture.
+
+This package is the substrate the paper's evaluation runs on: a
+cycle-level model of one SM with the Figure 2 register-file organization
+(32 single-ported banks behind a crossbar and a bank arbitrator),
+conventional single-ported operand-collector units, GTO warp schedulers,
+a scoreboard, and latency-modeled SIMD/SFU/memory pipelines.
+
+The BOW designs (package :mod:`repro.core`) plug into the same engine
+through the :class:`~repro.gpu.collector.OperandProvider` interface, so
+baseline and bypassing runs share every other pipeline mechanism.
+"""
+
+from .banks import BankArbiter, AccessRequest
+from .regfile import BankedRegisterFile
+from .scoreboard import Scoreboard
+from .scheduler import (
+    make_scheduler,
+    GTOScheduler,
+    LRRScheduler,
+    TwoLevelScheduler,
+)
+from .execution import ExecutionUnits, latency_for
+from .memory import MemoryModel
+from .collector import (
+    InflightInstruction,
+    OperandProvider,
+    BaselineCollectorPool,
+)
+from .sm import SMEngine, SimulationResult, simulate_baseline
+from .reference import ReferenceResult, execute_reference
+from .launch import LaunchResult, partition_warps, simulate_launch
+
+__all__ = [
+    "ReferenceResult",
+    "execute_reference",
+    "LaunchResult",
+    "partition_warps",
+    "simulate_launch",
+    "BankArbiter",
+    "AccessRequest",
+    "BankedRegisterFile",
+    "Scoreboard",
+    "make_scheduler",
+    "GTOScheduler",
+    "LRRScheduler",
+    "TwoLevelScheduler",
+    "ExecutionUnits",
+    "latency_for",
+    "MemoryModel",
+    "InflightInstruction",
+    "OperandProvider",
+    "BaselineCollectorPool",
+    "SMEngine",
+    "SimulationResult",
+    "simulate_baseline",
+]

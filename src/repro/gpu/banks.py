@@ -1,0 +1,90 @@
+"""Register-file bank arbitration.
+
+The RF is split into single-ported banks (Figure 2): each bank serves at
+most one access per cycle, and concurrent requests to the same bank
+serialize.  The arbiter receives this cycle's read and write requests
+and grants at most one per bank, preferring writes (draining the
+writeback queue keeps the pipeline from backing up, the usual GPGPU-Sim
+choice), then the oldest read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True)
+class AccessRequest:
+    """One bank access request.
+
+    Attributes:
+        bank: target bank index.
+        warp_id: requesting warp (for accounting and value lookup).
+        register_id: architectural register accessed.
+        tag: opaque requester handle (collector key or write-queue id)
+            handed back with the grant.
+        age: request age used for oldest-first arbitration (lower = older).
+    """
+
+    bank: int
+    warp_id: int
+    register_id: int
+    tag: object
+    age: int = 0
+
+
+@dataclass
+class ArbitrationResult:
+    """Outcome of one arbitration cycle."""
+
+    granted_reads: List[AccessRequest] = field(default_factory=list)
+    granted_writes: List[AccessRequest] = field(default_factory=list)
+    conflicts: int = 0
+
+
+class BankArbiter:
+    """Single-port-per-bank arbitration with write priority."""
+
+    def __init__(self, num_banks: int):
+        if num_banks < 1:
+            raise SimulationError(f"num_banks must be >= 1, got {num_banks}")
+        self.num_banks = num_banks
+
+    def arbitrate(
+        self,
+        reads: Iterable[AccessRequest],
+        writes: Iterable[AccessRequest],
+    ) -> ArbitrationResult:
+        """Grant at most one access per bank this cycle.
+
+        Denied requests count as conflicts; the caller retries them next
+        cycle (requests are regenerated from collector/queue state).
+        """
+        by_bank: Dict[int, Dict[str, List[AccessRequest]]] = {}
+        for request in writes:
+            self._check(request)
+            by_bank.setdefault(request.bank, {"r": [], "w": []})["w"].append(request)
+        for request in reads:
+            self._check(request)
+            by_bank.setdefault(request.bank, {"r": [], "w": []})["r"].append(request)
+
+        result = ArbitrationResult()
+        for bank_requests in by_bank.values():
+            write_list = sorted(bank_requests["w"], key=lambda r: r.age)
+            read_list = sorted(bank_requests["r"], key=lambda r: r.age)
+            if write_list:
+                result.granted_writes.append(write_list[0])
+                result.conflicts += len(write_list) - 1 + len(read_list)
+            elif read_list:
+                result.granted_reads.append(read_list[0])
+                result.conflicts += len(read_list) - 1
+        return result
+
+    def _check(self, request: AccessRequest) -> None:
+        if not 0 <= request.bank < self.num_banks:
+            raise SimulationError(
+                f"bank {request.bank} out of range [0, {self.num_banks})"
+            )

@@ -1,0 +1,171 @@
+"""Operand collection: the provider interface and the baseline OCU pool.
+
+The engine (:mod:`repro.gpu.sm`) is agnostic to how operands reach an
+instruction: it talks to an :class:`OperandProvider`, which owns the
+collector storage.  The baseline provider models conventional operand
+collector units — a shared pool, three operand entries each, a single
+read port per unit, every operand fetched from the RF.  The BOW provider
+(:mod:`repro.core.boc`) implements the same interface with per-warp
+bypassing collectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import SimulationError
+from ..isa import Instruction
+from ..isa.registers import SINK_REGISTER
+from .banks import AccessRequest
+
+
+@dataclass
+class InflightInstruction:
+    """One instruction between issue and completion.
+
+    Attributes:
+        warp_id: owning warp.
+        trace_index: position in the warp's dynamic trace (identity key:
+            static instructions repeat across loop iterations).
+        inst: the static instruction.
+        issue_cycle: when it entered the collector stage.
+        dispatch_cycle: when its operands were complete and it went to a
+            functional unit (``None`` while collecting).
+        operand_values: collected source values by operand slot.
+        pending_slots: operand slots still waiting on an RF read, in
+            request order (the single collector port serializes them).
+    """
+
+    warp_id: int
+    trace_index: int
+    inst: Instruction
+    issue_cycle: int
+    dispatch_cycle: Optional[int] = None
+    operand_values: Dict[int, int] = field(default_factory=dict)
+    pending_slots: List[int] = field(default_factory=list)
+
+    @property
+    def key(self) -> Tuple[int, int]:
+        return (self.warp_id, self.trace_index)
+
+    @property
+    def operands_ready(self) -> bool:
+        return not self.pending_slots
+
+
+class OperandProvider:
+    """Interface between the engine and a collector organization."""
+
+    def can_accept(self, warp_id: int) -> bool:
+        """Can a new instruction of ``warp_id`` enter the collectors?"""
+        raise NotImplementedError
+
+    def insert(self, entry: InflightInstruction) -> None:
+        """Accept a newly issued instruction (resolve forwarding here)."""
+        raise NotImplementedError
+
+    def read_requests(self, cycle: int) -> List[AccessRequest]:
+        """This cycle's RF read requests (one per collector port)."""
+        raise NotImplementedError
+
+    def deliver(self, tag: object, value: int) -> None:
+        """An RF read granted by the arbiter returns its data."""
+        raise NotImplementedError
+
+    def ready_entries(self) -> List[InflightInstruction]:
+        """Instructions whose operands are complete, oldest-first per warp."""
+        raise NotImplementedError
+
+    def on_dispatch(self, entry: InflightInstruction) -> None:
+        """The engine dispatched ``entry`` to a functional unit."""
+        raise NotImplementedError
+
+    def on_complete(self, entry: InflightInstruction, value: Optional[int]) -> None:
+        """``entry`` finished executing and produced ``value`` (or none).
+
+        The provider routes the result: RF write queue, collector
+        storage, or both — this is where the writeback policies differ.
+        """
+        raise NotImplementedError
+
+    def drain(self) -> None:
+        """Kernel end: flush any state that still owes RF writes."""
+
+
+class BaselineCollectorPool(OperandProvider):
+    """Conventional OCUs: shared pool, no bypassing (Figure 2).
+
+    Every source operand is fetched from the RF; each OCU's single port
+    serializes its fetches; results are written back to the RF through
+    the engine's write queue, and the scoreboard releases only when the
+    bank accepts the write.
+    """
+
+    def __init__(self, engine, num_units: int):
+        if num_units < 1:
+            raise SimulationError(f"num_units must be >= 1, got {num_units}")
+        self.engine = engine
+        self.num_units = num_units
+        self._occupied: Dict[Tuple[int, int], InflightInstruction] = {}
+        # Entries currently collecting (i.e. consuming an OCU).
+        self._collecting: List[InflightInstruction] = []
+
+    # -- issue ----------------------------------------------------------
+
+    def can_accept(self, warp_id: int) -> bool:
+        return len(self._collecting) < self.num_units
+
+    def insert(self, entry: InflightInstruction) -> None:
+        if not self.can_accept(entry.warp_id):
+            raise SimulationError("insert called with no free OCU")
+        entry.pending_slots = list(range(len(entry.inst.sources)))
+        self._occupied[entry.key] = entry
+        self._collecting.append(entry)
+
+    # -- collection ------------------------------------------------------
+
+    def read_requests(self, cycle: int) -> List[AccessRequest]:
+        requests = []
+        for entry in self._collecting:
+            if not entry.pending_slots:
+                continue
+            slot = entry.pending_slots[0]
+            register_id = entry.inst.sources[slot].id
+            requests.append(
+                AccessRequest(
+                    bank=self.engine.regfile.bank_of(entry.warp_id, register_id),
+                    warp_id=entry.warp_id,
+                    register_id=register_id,
+                    tag=(entry.key, slot),
+                    age=entry.issue_cycle,
+                )
+            )
+        return requests
+
+    def deliver(self, tag: object, value: int) -> None:
+        key, slot = tag
+        entry = self._occupied.get(key)
+        if entry is None or not entry.pending_slots or entry.pending_slots[0] != slot:
+            raise SimulationError(f"unexpected operand delivery {tag!r}")
+        entry.pending_slots.pop(0)
+        entry.operand_values[slot] = value
+
+    def ready_entries(self) -> List[InflightInstruction]:
+        return [e for e in self._collecting if e.operands_ready]
+
+    def on_dispatch(self, entry: InflightInstruction) -> None:
+        self._collecting.remove(entry)
+
+    # -- writeback --------------------------------------------------------
+
+    def on_complete(self, entry: InflightInstruction, value: Optional[int]) -> None:
+        self._occupied.pop(entry.key, None)
+        if (value is None or entry.inst.dest is None
+                or entry.inst.dest == SINK_REGISTER):
+            # Predicate-only results ($o127 sink) never touch the banks.
+            self.engine.release_scoreboard(entry)
+            return
+        # Conventional path: result goes to the RF; the scoreboard holds
+        # until the bank accepts the write.
+        self.engine.enqueue_rf_write(entry, value, release_on_grant=True)

@@ -1,0 +1,73 @@
+"""Execution units: dispatch-width limits and completion scheduling.
+
+Units are fully pipelined (initiation interval one), so the structural
+constraint is dispatch width per class per cycle — four ALU groups, one
+SFU, one memory unit in the Pascal-like default.  Completion times are
+tracked in a cycle-indexed map the engine drains.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..config import GPUConfig
+from ..errors import SimulationError
+from ..isa import Instruction, OpClass
+
+
+def latency_for(inst: Instruction, config: GPUConfig) -> int:
+    """Fixed execution latency of a non-memory instruction.
+
+    Memory latencies are sampled per access by the memory model; control
+    instructions take an ALU-like resolution latency plus a small branch
+    penalty.
+    """
+    op_class = inst.op_class
+    if op_class is OpClass.ALU:
+        return config.alu_latency
+    if op_class is OpClass.SFU:
+        return config.sfu_latency
+    if op_class is OpClass.CONTROL:
+        return config.alu_latency + 2
+    if op_class is OpClass.NOP:
+        return 1
+    raise SimulationError(f"latency_for called for memory op {inst.opcode.name}")
+
+
+class ExecutionUnits:
+    """Per-class dispatch-width tracker for one cycle."""
+
+    def __init__(self, config: GPUConfig):
+        self.config = config
+        self._capacity = {
+            OpClass.ALU: config.num_alu_units,
+            OpClass.SFU: config.num_sfu_units,
+            OpClass.MEM_LOAD: config.num_mem_units,
+            OpClass.MEM_STORE: config.num_mem_units,
+            # Control and NOP resolve in the scheduler/branch unit; model
+            # them as sharing the ALU dispatch ports.
+            OpClass.CONTROL: config.num_alu_units,
+            OpClass.NOP: config.num_alu_units,
+        }
+        self._used: Dict[OpClass, int] = {}
+
+    def new_cycle(self) -> None:
+        """Reset this cycle's dispatch budget."""
+        self._used = {}
+
+    def _bucket(self, op_class: OpClass) -> OpClass:
+        if op_class in (OpClass.MEM_LOAD, OpClass.MEM_STORE):
+            return OpClass.MEM_LOAD
+        if op_class in (OpClass.CONTROL, OpClass.NOP):
+            return OpClass.ALU
+        return op_class
+
+    def can_dispatch(self, op_class: OpClass) -> bool:
+        bucket = self._bucket(op_class)
+        return self._used.get(bucket, 0) < self._capacity[bucket]
+
+    def dispatch(self, op_class: OpClass) -> None:
+        bucket = self._bucket(op_class)
+        if not self.can_dispatch(op_class):
+            raise SimulationError(f"dispatch over capacity for {op_class}")
+        self._used[bucket] = self._used.get(bucket, 0) + 1

@@ -1,0 +1,127 @@
+"""Kernel launches across multiple SMs.
+
+The paper's background (SS II) describes the GPU execution model: a
+kernel is decomposed into thread blocks, thread blocks are assigned to
+SMs, and each SM schedules its warps independently.  The evaluation
+itself is per-SM (SMs share only the L2/DRAM, which our latency model
+folds into per-access draws), so a launch is simulated as independent
+per-SM runs whose counters are aggregated and whose finish time is the
+slowest SM.
+
+This is the entry point for whole-GPU numbers: speedups measured here
+match the per-SM figures when thread blocks are balanced, and expose
+load imbalance when they are not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..config import BOWConfig, GPUConfig
+from ..errors import SimulationError
+from ..kernels.trace import KernelTrace, WarpTrace
+from ..stats.counters import Counters
+from .sm import SimulationResult
+
+
+@dataclass(frozen=True)
+class LaunchResult:
+    """Outcome of a multi-SM kernel launch.
+
+    Attributes:
+        per_sm: each SM's simulation result, keyed by SM id.
+        counters: aggregated event counts (cycles = slowest SM).
+    """
+
+    per_sm: Dict[int, SimulationResult]
+    counters: Counters
+
+    @property
+    def ipc_per_sm(self) -> float:
+        """Aggregate IPC normalized per SM (comparable to one-SM runs)."""
+        if not self.per_sm or self.counters.cycles == 0:
+            return 0.0
+        return (self.counters.instructions
+                / self.counters.cycles / len(self.per_sm))
+
+    @property
+    def finish_cycle(self) -> int:
+        return self.counters.cycles
+
+    def load_imbalance(self) -> float:
+        """Slowest SM's cycles over the mean (1.0 = perfectly balanced)."""
+        cycles = [r.counters.cycles for r in self.per_sm.values()]
+        mean = sum(cycles) / len(cycles)
+        return max(cycles) / mean if mean else 0.0
+
+
+def partition_warps(
+    trace: KernelTrace,
+    num_sms: int,
+    warps_per_block: int = 4,
+) -> Dict[int, KernelTrace]:
+    """Assign thread blocks (groups of warps) to SMs round-robin.
+
+    Consecutive ``warps_per_block`` warps form one thread block — the
+    unit of SM assignment, as in the execution model of SS II.  Warp ids
+    are renumbered per SM so each SM sees a dense launch.
+    """
+    if num_sms < 1:
+        raise SimulationError(f"num_sms must be >= 1, got {num_sms}")
+    if warps_per_block < 1:
+        raise SimulationError(
+            f"warps_per_block must be >= 1, got {warps_per_block}"
+        )
+    warps = sorted(trace.warps, key=lambda w: w.warp_id)
+    blocks = [
+        warps[i:i + warps_per_block]
+        for i in range(0, len(warps), warps_per_block)
+    ]
+    assignment: Dict[int, List[WarpTrace]] = {}
+    for index, block in enumerate(blocks):
+        assignment.setdefault(index % num_sms, []).extend(block)
+
+    partitioned: Dict[int, KernelTrace] = {}
+    for sm_id, sm_warps in sorted(assignment.items()):
+        renumbered = [
+            WarpTrace(warp_id=slot, instructions=warp.instructions)
+            for slot, warp in enumerate(sm_warps)
+        ]
+        partitioned[sm_id] = KernelTrace(
+            name=f"{trace.name}@sm{sm_id}", warps=renumbered
+        )
+    return partitioned
+
+
+def simulate_launch(
+    trace: KernelTrace,
+    design: str = "baseline",
+    num_sms: int = 4,
+    warps_per_block: int = 4,
+    window_size: int = 3,
+    config: Optional[GPUConfig] = None,
+    memory_seed: int = 0,
+) -> LaunchResult:
+    """Simulate a kernel launch across ``num_sms`` SMs.
+
+    Each SM runs the given design independently over its share of the
+    thread blocks; counters are summed and the launch finishes when the
+    slowest SM does.
+    """
+    from ..core.bow_sm import simulate_design
+
+    partitioned = partition_warps(trace, num_sms, warps_per_block)
+    per_sm: Dict[int, SimulationResult] = {}
+    total = Counters()
+    slowest = 0
+    for sm_id, sm_trace in partitioned.items():
+        result = simulate_design(
+            design, sm_trace, window_size=window_size, config=config,
+            memory_seed=memory_seed + sm_id,
+        )
+        per_sm[sm_id] = result
+        total = total + result.counters
+        slowest = max(slowest, result.counters.cycles)
+    total.cycles = slowest
+    return LaunchResult(per_sm=per_sm, counters=total)

@@ -1,0 +1,69 @@
+"""The banked register file: storage, bank mapping, and access counts.
+
+Holds architecturally-visible register values per warp (used by the
+functional layer of the simulator to verify that bypassing never changes
+results) and counts the physical accesses the energy model bills.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..config import GPUConfig
+from ..errors import SimulationError
+
+
+class BankedRegisterFile:
+    """Register storage split across single-ported banks.
+
+    Values default to a deterministic per-register seed so kernels
+    reading registers they never wrote still behave reproducibly (real
+    kernels read launch-time state we do not model).
+    """
+
+    def __init__(self, config: GPUConfig):
+        self.config = config
+        self._values: Dict[Tuple[int, int], int] = {}
+        self.reads = 0
+        self.writes = 0
+
+    def bank_of(self, warp_id: int, register_id: int) -> int:
+        """Bank serving ``register_id`` of ``warp_id``."""
+        return self.config.bank_of(warp_id, register_id)
+
+    @staticmethod
+    def _initial_value(warp_id: int, register_id: int) -> int:
+        # Deterministic, distinct per (warp, register): stands in for the
+        # launch-time state (thread ids, kernel params) real kernels see.
+        return (warp_id * 2654435761 + register_id * 40503 + 17) & 0xFFFFFFFF
+
+    def read(self, warp_id: int, register_id: int) -> int:
+        """A physical bank read."""
+        self.reads += 1
+        return self.peek(warp_id, register_id)
+
+    def write(self, warp_id: int, register_id: int, value: int) -> None:
+        """A physical bank write."""
+        self.writes += 1
+        self._values[(warp_id, register_id)] = value & 0xFFFFFFFF
+
+    def peek(self, warp_id: int, register_id: int) -> int:
+        """Read a value without counting a physical access."""
+        key = (warp_id, register_id)
+        if key not in self._values:
+            self._values[key] = self._initial_value(warp_id, register_id)
+        return self._values[key]
+
+    def poke(self, warp_id: int, register_id: int, value: int) -> None:
+        """Update a value without counting a physical access.
+
+        Used to keep the RF architecturally coherent when the physical
+        write is modeled separately (a queued writeback's port usage is
+        billed when the bank grants it, but the value must be visible to
+        any read that the queue would forward to).
+        """
+        self._values[(warp_id, register_id)] = value & 0xFFFFFFFF
+
+    def snapshot(self) -> Dict[Tuple[int, int], int]:
+        """A copy of the current register state (tests compare designs)."""
+        return dict(self._values)

@@ -1,0 +1,139 @@
+"""Warp schedulers: greedy-then-oldest (GTO) and loose round-robin (LRR).
+
+The SM has several schedulers (four on Pascal, Table II), each owning
+the warps whose id is congruent to the scheduler index.  Every cycle a
+scheduler proposes an ordering of its ready warps; the issue stage walks
+that order and issues up to ``issue_width`` instructions.
+
+GTO keeps issuing from the warp it issued from last (the *greedy* warp)
+and falls back to the oldest warp when the greedy one stalls — the
+policy in the paper's Table II.  LRR rotates a fair pointer and is
+provided for the scheduler-sensitivity ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+from ..config import SchedulerPolicy
+from ..errors import SimulationError
+
+
+class WarpSchedulerBase:
+    """Shared bookkeeping: which warps this scheduler owns."""
+
+    def __init__(self, scheduler_id: int, warp_ids: Sequence[int]):
+        if not warp_ids:
+            raise SimulationError(f"scheduler {scheduler_id} owns no warps")
+        self.scheduler_id = scheduler_id
+        self.warp_ids = list(warp_ids)
+
+    def candidate_order(self) -> List[int]:
+        """Warp ids in this cycle's issue-priority order."""
+        raise NotImplementedError
+
+    def note_issue(self, warp_id: int) -> None:
+        """Record that ``warp_id`` issued this cycle."""
+
+    def note_stall(self, warp_id: int) -> None:
+        """Record that ``warp_id`` could not issue when tried."""
+
+
+class GTOScheduler(WarpSchedulerBase):
+    """Greedy-then-oldest.
+
+    Oldest is approximated by warp id, which matches GPGPU-Sim's GTO for
+    kernels where all warps start together (our launches do).
+    """
+
+    def __init__(self, scheduler_id: int, warp_ids: Sequence[int]):
+        super().__init__(scheduler_id, warp_ids)
+        self._greedy: int | None = None
+
+    def candidate_order(self) -> List[int]:
+        ordered = sorted(self.warp_ids)
+        if self._greedy is not None and self._greedy in self.warp_ids:
+            ordered.remove(self._greedy)
+            ordered.insert(0, self._greedy)
+        return ordered
+
+    def note_issue(self, warp_id: int) -> None:
+        self._greedy = warp_id
+
+    def note_stall(self, warp_id: int) -> None:
+        if warp_id == self._greedy:
+            self._greedy = None
+
+
+class TwoLevelScheduler(WarpSchedulerBase):
+    """Two-level scheduling (Gebhart et al.).
+
+    Only a small *active set* of warps competes for issue; a warp that
+    stalls repeatedly (typically on a long-latency load) is demoted to
+    the pending queue and the oldest pending warp takes its slot.  The
+    original motivation is a smaller register working set — the same
+    observation the RFC design builds on.
+    """
+
+    #: Consecutive stalls before a warp is swapped out.
+    DEMOTE_AFTER = 2
+
+    def __init__(self, scheduler_id: int, warp_ids: Sequence[int],
+                 active_size: int = 4):
+        super().__init__(scheduler_id, warp_ids)
+        if active_size < 1:
+            raise SimulationError(
+                f"active_size must be >= 1, got {active_size}"
+            )
+        ordered = sorted(warp_ids)
+        self.active: List[int] = ordered[:active_size]
+        self.pending: List[int] = ordered[active_size:]
+        self._stalls: dict = {}
+
+    def candidate_order(self) -> List[int]:
+        return list(self.active)
+
+    def note_issue(self, warp_id: int) -> None:
+        self._stalls[warp_id] = 0
+        # Issuing warp moves to the front (greedy within the active set).
+        if warp_id in self.active:
+            self.active.remove(warp_id)
+            self.active.insert(0, warp_id)
+
+    def note_stall(self, warp_id: int) -> None:
+        if warp_id not in self.active or not self.pending:
+            return
+        self._stalls[warp_id] = self._stalls.get(warp_id, 0) + 1
+        if self._stalls[warp_id] >= self.DEMOTE_AFTER:
+            self._stalls[warp_id] = 0
+            self.active.remove(warp_id)
+            self.pending.append(warp_id)
+            self.active.append(self.pending.pop(0))
+
+
+class LRRScheduler(WarpSchedulerBase):
+    """Loose round-robin: rotate priority one warp per cycle."""
+
+    def __init__(self, scheduler_id: int, warp_ids: Sequence[int]):
+        super().__init__(scheduler_id, warp_ids)
+        self._pointer = 0
+
+    def candidate_order(self) -> List[int]:
+        ordered = sorted(self.warp_ids)
+        pivot = self._pointer % len(ordered)
+        self._pointer += 1
+        return ordered[pivot:] + ordered[:pivot]
+
+
+def make_scheduler(policy: SchedulerPolicy, scheduler_id: int,
+                   warp_ids: Sequence[int],
+                   active_size: int = 4) -> WarpSchedulerBase:
+    """Factory keyed by the configured policy."""
+    if policy is SchedulerPolicy.GTO:
+        return GTOScheduler(scheduler_id, warp_ids)
+    if policy is SchedulerPolicy.LRR:
+        return LRRScheduler(scheduler_id, warp_ids)
+    if policy is SchedulerPolicy.TWO_LEVEL:
+        return TwoLevelScheduler(scheduler_id, warp_ids,
+                                 active_size=active_size)
+    raise SimulationError(f"unknown scheduler policy {policy!r}")

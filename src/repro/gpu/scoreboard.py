@@ -1,0 +1,111 @@
+"""Per-warp scoreboard: RAW/WAW hazard tracking at issue.
+
+The paper relies on the scoreboard to guarantee that two dependent
+instructions are never simultaneously resident in an operand collector
+(SS IV-A): an instruction only issues once every register it reads or
+writes has no pending producer.  This is the standard GPU in-order-issue
+scoreboard.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from ..errors import SimulationError
+from ..isa import Instruction
+from ..isa.registers import SINK_REGISTER
+
+
+class Scoreboard:
+    """Pending destination registers per warp.
+
+    Warp ids need not be dense (launches may occupy arbitrary slots);
+    state is created on first touch.
+    """
+
+    def __init__(self, num_warps: int):
+        if num_warps < 1:
+            raise SimulationError(f"num_warps must be >= 1, got {num_warps}")
+        self._pending: Dict[int, Set[int]] = {w: set() for w in range(num_warps)}
+        # Registers with in-flight *readers* (issued, operands not yet
+        # collected), reference-counted: a writer must not overtake them
+        # (WAR through the register file).
+        self._pending_reads: Dict[int, Dict[int, int]] = {}
+        # Predicate registers with in-flight producers (set.* compares):
+        # a guarded instruction must wait for its guard.
+        self._pending_preds: Dict[int, Set[int]] = {}
+
+    def _warp(self, warp_id: int) -> Set[int]:
+        if warp_id not in self._pending:
+            self._pending[warp_id] = set()
+        return self._pending[warp_id]
+
+    def _warp_reads(self, warp_id: int) -> Dict[int, int]:
+        if warp_id not in self._pending_reads:
+            self._pending_reads[warp_id] = {}
+        return self._pending_reads[warp_id]
+
+    def _warp_preds(self, warp_id: int) -> Set[int]:
+        if warp_id not in self._pending_preds:
+            self._pending_preds[warp_id] = set()
+        return self._pending_preds[warp_id]
+
+    def can_issue(self, warp_id: int, inst: Instruction) -> bool:
+        """True when ``inst`` has no RAW, WAW or WAR hazard in ``warp_id``."""
+        pending = self._warp(warp_id)
+        for src in inst.sources:
+            if src.id in pending:
+                return False  # RAW
+        if inst.dest is not None and inst.dest != SINK_REGISTER:
+            if inst.dest.id in pending:
+                return False  # WAW
+            if self._warp_reads(warp_id).get(inst.dest.id):
+                return False  # WAR: an earlier reader has not collected yet
+        pending_preds = self._warp_preds(warp_id)
+        if inst.predicate is not None and inst.predicate.id in pending_preds:
+            return False  # guard not resolved yet
+        if inst.pred_dest is not None and inst.pred_dest.id in pending_preds:
+            return False  # predicate WAW
+        return True
+
+    def reserve(self, warp_id: int, inst: Instruction) -> None:
+        """Mark ``inst``'s destinations pending (called at issue)."""
+        if inst.dest is not None and inst.dest != SINK_REGISTER:
+            pending = self._warp(warp_id)
+            if inst.dest.id in pending:
+                raise SimulationError(
+                    f"warp {warp_id}: double reservation of $r{inst.dest.id}"
+                )
+            pending.add(inst.dest.id)
+        if inst.pred_dest is not None:
+            self._warp_preds(warp_id).add(inst.pred_dest.id)
+
+    def release(self, warp_id: int, inst: Instruction) -> None:
+        """Clear ``inst``'s destinations (called when values are visible)."""
+        if inst.dest is not None and inst.dest != SINK_REGISTER:
+            self._warp(warp_id).discard(inst.dest.id)
+        if inst.pred_dest is not None:
+            self._warp_preds(warp_id).discard(inst.pred_dest.id)
+
+    def reserve_reads(self, warp_id: int, inst: Instruction) -> None:
+        """Mark ``inst``'s sources as having an in-flight reader (at issue)."""
+        reads = self._warp_reads(warp_id)
+        for src in inst.sources:
+            reads[src.id] = reads.get(src.id, 0) + 1
+
+    def release_reads(self, warp_id: int, inst: Instruction) -> None:
+        """Drop the reader marks (called once operands are collected)."""
+        reads = self._warp_reads(warp_id)
+        for src in inst.sources:
+            remaining = reads.get(src.id, 0) - 1
+            if remaining > 0:
+                reads[src.id] = remaining
+            else:
+                reads.pop(src.id, None)
+
+    def pending_count(self, warp_id: int) -> int:
+        return len(self._warp(warp_id))
+
+    def is_idle(self) -> bool:
+        """No pending writes anywhere (used by drain/termination checks)."""
+        return all(not pending for pending in self._pending.values())

@@ -1,0 +1,524 @@
+"""The cycle-level SM engine.
+
+One :class:`SMEngine` simulates a single streaming multiprocessor
+running a :class:`~repro.kernels.trace.KernelTrace`.  The pipeline per
+cycle, processed back-to-front so results never skip a stage:
+
+1. **writeback** — queued RF writes arbitrate for bank ports together
+   with operand reads; granted writes may release the scoreboard.
+2. **complete** — functional units finishing this cycle hand results to
+   the operand provider, which routes them (RF queue / collector / both,
+   depending on the design).
+3. **dispatch** — instructions whose operands are complete go to a
+   functional unit, round-robin across warps, limited by unit widths.
+4. **collect** — collectors request missing operands; the bank arbiter
+   grants at most one access per bank.
+5. **issue** — schedulers pick warps (GTO by default); the next trace
+   instruction issues when the scoreboard is clear, the provider has
+   room, and no branch is unresolved.
+
+The engine also executes instruction *semantics* (functional layer):
+operand values travel through collectors and forwarding paths exactly as
+the hardware would move them, and tests compare final memory/register
+images across designs to prove bypassing preserves results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..config import GPUConfig
+from ..errors import DeadlockError, SimulationError
+from ..isa import Instruction, OpClass
+from ..isa.registers import SINK_REGISTER
+from ..kernels.trace import KernelTrace
+from ..stats.counters import Counters
+from .banks import AccessRequest, BankArbiter
+from .collector import BaselineCollectorPool, InflightInstruction, OperandProvider
+from .execution import ExecutionUnits, latency_for
+from .memory import MemoryModel
+from .regfile import BankedRegisterFile
+from .scheduler import make_scheduler
+from .scoreboard import Scoreboard
+
+#: Cycles without any progress before the engine declares a deadlock.
+_DEADLOCK_LIMIT = 20_000
+
+
+@dataclass
+class _QueuedWrite:
+    """One pending RF write awaiting a bank port."""
+
+    warp_id: int
+    register_id: int
+    value: int
+    age: int
+    entry: Optional[InflightInstruction] = None
+    release_on_grant: bool = False
+
+
+@dataclass
+class _WarpState:
+    """Issue-side state of one warp."""
+
+    warp_id: int
+    trace: List[Instruction]
+    pc: int = 0
+    control_pending: bool = False
+
+    @property
+    def done(self) -> bool:
+        return self.pc >= len(self.trace)
+
+    @property
+    def next_instruction(self) -> Optional[Instruction]:
+        return None if self.done else self.trace[self.pc]
+
+
+@dataclass
+class SimulationResult:
+    """Everything a run produces."""
+
+    counters: Counters
+    register_image: Dict[Tuple[int, int], int]
+    memory_image: Dict[int, int]
+
+    @property
+    def ipc(self) -> float:
+        return self.counters.ipc
+
+
+class SMEngine:
+    """Cycle-level simulator of one SM over a kernel trace."""
+
+    def __init__(
+        self,
+        trace: KernelTrace,
+        config: Optional[GPUConfig] = None,
+        provider_factory=None,
+        memory_seed: int = 0,
+        timeline=None,
+        preload: Optional[Dict[int, int]] = None,
+    ):
+        self.config = config or GPUConfig()
+        if trace.num_warps > self.config.max_warps_per_sm:
+            raise SimulationError(
+                f"{trace.num_warps} warps exceed the SM limit "
+                f"{self.config.max_warps_per_sm}"
+            )
+        self.trace = trace
+        self.counters = Counters()
+        self.regfile = BankedRegisterFile(self.config)
+        self.memory = MemoryModel(self.config, seed=memory_seed)
+        if preload:
+            # Launch-time input data (absolute addresses; use
+            # MemoryModel.thread_address to target a warp's window).
+            for address, value in preload.items():
+                self.memory.store(address, value)
+        self.arbiter = BankArbiter(self.config.num_banks)
+        self.units = ExecutionUnits(self.config)
+        self.scoreboard = Scoreboard(max(1, trace.num_warps))
+
+        self.warps = [
+            _WarpState(warp.warp_id, list(warp.instructions)) for warp in trace
+        ]
+        self.warps.sort(key=lambda w: w.warp_id)
+        self._warp_index_by_id = {
+            warp.warp_id: index for index, warp in enumerate(self.warps)
+        }
+
+        factory = provider_factory or (
+            lambda engine: BaselineCollectorPool(
+                engine, engine.config.num_operand_collectors
+            )
+        )
+        self.provider: OperandProvider = factory(self)
+
+        self.schedulers = self._build_schedulers()
+
+        self.cycle = 0
+        self._write_queue: List[_QueuedWrite] = []
+        self._completions: Dict[int, List[Tuple[InflightInstruction, Optional[int]]]] = {}
+        self._in_flight = 0
+        self._dispatch_rotor = 0
+        self._write_age = 0
+        # Granted reads in flight through the bank/crossbar pipeline:
+        # delivery cycle -> [(tag, warp_id, register_id)].
+        self._reads_in_flight: Dict[int, List[Tuple[object, int, int]]] = {}
+        self._inflight_read_tags: set = set()
+        # Per-warp issued-but-undispatched memory instructions: memory
+        # effects apply at dispatch, so dispatching them in program order
+        # preserves same-address load/store ordering within a warp.
+        self._undispatched_mem: Dict[int, set] = {}
+        # Warp-uniform predicate file (the lane-accurate version lives in
+        # repro.simt): (warp_id, predicate_id) -> bool.
+        self.predicates: Dict[Tuple[int, int], bool] = {}
+        # Optional per-interval sampler (see repro.stats.timeline).
+        self.timeline = timeline
+
+    def _build_schedulers(self):
+        groups: Dict[int, List[int]] = {}
+        for warp in self.warps:
+            groups.setdefault(
+                warp.warp_id % self.config.num_schedulers, []
+            ).append(warp.warp_id)
+        return [
+            make_scheduler(self.config.scheduler_policy, sched_id, warp_ids,
+                           active_size=self.config.two_level_active_warps)
+            for sched_id, warp_ids in sorted(groups.items())
+        ]
+
+    # ------------------------------------------------------------------
+    # services used by providers
+    # ------------------------------------------------------------------
+
+    def enqueue_rf_write(
+        self,
+        entry: Optional[InflightInstruction],
+        value: int,
+        warp_id: Optional[int] = None,
+        register_id: Optional[int] = None,
+        release_on_grant: bool = False,
+    ) -> None:
+        """Queue a physical RF write.
+
+        The value becomes architecturally visible immediately (a read
+        racing the queued write would be served by write-buffer
+        forwarding in hardware); the queue entry models only the bank
+        port the write will consume.
+        """
+        if entry is not None:
+            warp_id = entry.warp_id
+            register_id = entry.inst.dest.id  # type: ignore[union-attr]
+        if warp_id is None or register_id is None:
+            raise SimulationError("enqueue_rf_write needs a target register")
+        self.regfile.poke(warp_id, register_id, value)
+        self._write_age += 1
+        self._write_queue.append(
+            _QueuedWrite(
+                warp_id=warp_id,
+                register_id=register_id,
+                value=value,
+                age=self._write_age,
+                entry=entry if release_on_grant else None,
+                release_on_grant=release_on_grant,
+            )
+        )
+
+    def release_scoreboard(self, entry: InflightInstruction) -> None:
+        """Release ``entry``'s destination and retire the instruction."""
+        warp = self.warps[self._warp_index(entry.warp_id)]
+        self.scoreboard.release(entry.warp_id, entry.inst)
+        if entry.inst.is_control:
+            warp.control_pending = False
+        self._retire(entry)
+
+    def _retire(self, entry: InflightInstruction) -> None:
+        self._in_flight -= 1
+        self.counters.instructions += 1
+        if entry.inst.is_memory:
+            self.counters.mem_instructions += 1
+        if entry.dispatch_cycle is not None:
+            wait = entry.dispatch_cycle - entry.issue_cycle
+            lifetime = self.cycle - entry.issue_cycle
+            self.counters.oc_wait_cycles += wait
+            self.counters.lifetime_cycles += lifetime
+            if entry.inst.is_memory:
+                self.counters.oc_wait_cycles_memory += wait
+                self.counters.lifetime_cycles_memory += lifetime
+
+    def _warp_index(self, warp_id: int) -> int:
+        try:
+            return self._warp_index_by_id[warp_id]
+        except KeyError:
+            raise SimulationError(f"unknown warp id {warp_id}") from None
+
+    # ------------------------------------------------------------------
+    # the cycle loop
+    # ------------------------------------------------------------------
+
+    def run(self, max_cycles: int = 5_000_000) -> SimulationResult:
+        """Simulate until every warp drains (or raise on deadlock)."""
+        idle_cycles = 0
+        while not self._finished():
+            if self.cycle >= max_cycles:
+                raise DeadlockError("max_cycles exceeded", self.cycle)
+            progress = self._step()
+            idle_cycles = 0 if progress else idle_cycles + 1
+            if idle_cycles > _DEADLOCK_LIMIT:
+                raise DeadlockError("no forward progress", self.cycle)
+        self.provider.drain()
+        self._drain_write_queue()
+        self.counters.rf_reads = self.regfile.reads
+        self.counters.rf_writes = self.regfile.writes
+        return SimulationResult(
+            counters=self.counters,
+            register_image=self.regfile.snapshot(),
+            memory_image=self.memory.image_snapshot(),
+        )
+
+    def _finished(self) -> bool:
+        return (
+            all(warp.done for warp in self.warps)
+            and self._in_flight == 0
+            and not self._write_queue
+        )
+
+    def _step(self) -> bool:
+        """Advance one cycle; returns whether any event happened."""
+        self.cycle += 1
+        self.units.new_cycle()
+        progress = False
+
+        progress |= self._complete_stage()
+        progress |= self._memory_and_bank_stage()
+        progress |= self._dispatch_stage()
+        progress |= self._issue_stage()
+        self.counters.cycles = self.cycle
+        if self.timeline is not None:
+            self.timeline.maybe_sample(
+                self.cycle, self.counters,
+                self.regfile.reads, self.regfile.writes,
+            )
+        return progress
+
+    # -- completion -------------------------------------------------------
+
+    def _complete_stage(self) -> bool:
+        finishing = self._completions.pop(self.cycle, None)
+        if not finishing:
+            return False
+        for entry, value in finishing:
+            self.provider.on_complete(entry, value)
+        return True
+
+    # -- banks: reads + writes arbitrate together ---------------------------
+
+    def _memory_and_bank_stage(self) -> bool:
+        delivered = self._deliver_due_reads()
+        reads = [
+            request
+            for request in self.provider.read_requests(self.cycle)
+            if request.tag not in self._inflight_read_tags
+        ]
+        writes = [
+            AccessRequest(
+                bank=self.regfile.bank_of(qw.warp_id, qw.register_id),
+                warp_id=qw.warp_id,
+                register_id=qw.register_id,
+                tag=index,
+                age=qw.age,
+            )
+            for index, qw in enumerate(self._write_queue)
+        ]
+        if not reads and not writes:
+            return delivered
+
+        result = self.arbiter.arbitrate(reads, writes)
+        self.counters.bank_conflicts += result.conflicts
+
+        granted_write_indexes = sorted(
+            (request.tag for request in result.granted_writes), reverse=True
+        )
+        for index in granted_write_indexes:
+            queued = self._write_queue.pop(index)
+            self.regfile.write(queued.warp_id, queued.register_id, queued.value)
+            if queued.release_on_grant and queued.entry is not None:
+                self.release_scoreboard(queued.entry)
+
+        # Granted reads occupy the bank port now; the data lands in the
+        # collector after the bank/crossbar pipeline latency.
+        due = self.cycle + max(1, self.config.rf_read_latency)
+        for request in result.granted_reads:
+            self._inflight_read_tags.add(request.tag)
+            self._reads_in_flight.setdefault(due, []).append(
+                (request.tag, request.warp_id, request.register_id)
+            )
+
+        return bool(result.granted_reads or result.granted_writes or delivered)
+
+    def _deliver_due_reads(self) -> bool:
+        due = self._reads_in_flight.pop(self.cycle, None)
+        if not due:
+            return False
+        width = self.config.crossbar_width
+        if width and len(due) > width:
+            # The crossbar moves at most `width` operands per cycle;
+            # the overflow slips to the next cycle.
+            due, deferred = due[:width], due[width:]
+            self._reads_in_flight.setdefault(self.cycle + 1, []).extend(
+                deferred
+            )
+        for tag, warp_id, register_id in due:
+            self._inflight_read_tags.discard(tag)
+            value = self.regfile.read(warp_id, register_id)
+            self.provider.deliver(tag, value)
+        return True
+
+    def _drain_write_queue(self) -> None:
+        """Flush writes left after the last instruction retires."""
+        for queued in self._write_queue:
+            self.regfile.write(queued.warp_id, queued.register_id, queued.value)
+            self.counters.cycles += 1  # each residual write costs a port cycle
+        self._write_queue.clear()
+
+    # -- dispatch -----------------------------------------------------------
+
+    def _dispatch_stage(self) -> bool:
+        ready = self.provider.ready_entries()
+        if not ready:
+            return False
+        # Round-robin across warps (paper SS IV-A), oldest-first per warp.
+        ready.sort(key=lambda e: (e.warp_id, e.issue_cycle, e.trace_index))
+        warp_order = sorted({entry.warp_id for entry in ready})
+        if warp_order:
+            rotor = self._dispatch_rotor % len(warp_order)
+            warp_order = warp_order[rotor:] + warp_order[:rotor]
+            self._dispatch_rotor += 1
+        by_warp: Dict[int, List[InflightInstruction]] = {}
+        for entry in ready:
+            by_warp.setdefault(entry.warp_id, []).append(entry)
+
+        dispatched = False
+        for warp_id in warp_order:
+            for entry in by_warp[warp_id]:
+                if entry.inst.is_memory and not self._memory_order_clear(entry):
+                    continue
+                if not self.units.can_dispatch(entry.inst.op_class):
+                    self.counters.exec_busy_stalls += 1
+                    continue
+                self.units.dispatch(entry.inst.op_class)
+                self.provider.on_dispatch(entry)
+                entry.dispatch_cycle = self.cycle
+                self.scoreboard.release_reads(entry.warp_id, entry.inst)
+                if entry.inst.is_memory:
+                    self._undispatched_mem[entry.warp_id].discard(
+                        entry.trace_index
+                    )
+                if entry.inst.is_control:
+                    # The next PC is determined once the branch leaves the
+                    # collector; issue of the successor may resume.
+                    self.warps[self._warp_index(entry.warp_id)].control_pending = False
+                self._start_execution(entry)
+                dispatched = True
+        return dispatched
+
+    def _memory_order_clear(self, entry: InflightInstruction) -> bool:
+        """Is ``entry`` the oldest undispatched memory op of its warp?"""
+        pending = self._undispatched_mem.get(entry.warp_id)
+        return not pending or min(pending) == entry.trace_index
+
+    def _start_execution(self, entry: InflightInstruction) -> None:
+        inst = entry.inst
+        if inst.is_memory:
+            latency = self.memory.latency(inst, entry.warp_id, entry.trace_index)
+        else:
+            latency = latency_for(inst, self.config)
+        value = self._execute(entry)
+        finish = self.cycle + max(1, latency)
+        self._completions.setdefault(finish, []).append((entry, value))
+
+    def _guard_satisfied(self, entry: InflightInstruction) -> bool:
+        guard = entry.inst.predicate
+        if guard is None:
+            return True
+        value = self.predicates.get((entry.warp_id, guard.id), False)
+        return (not value) if guard.negated else value
+
+    def _execute(self, entry: InflightInstruction) -> Optional[int]:
+        """Functional semantics using the *collected* operand values."""
+        inst = entry.inst
+        if not self._guard_satisfied(entry):
+            # Predicated off: consumes the pipeline slot, produces nothing.
+            return None
+        operands = [
+            entry.operand_values.get(slot, 0)
+            for slot in range(len(inst.sources))
+        ]
+        while len(operands) < 3:
+            operands.append(inst.immediate or 0)
+
+        if inst.is_load:
+            address = self.memory.thread_address(entry.warp_id, operands[0])
+            return self.memory.load(address)
+        if inst.is_store:
+            address = self.memory.thread_address(entry.warp_id, operands[0])
+            self.memory.store(address, operands[1])
+            return None
+        if inst.is_control or inst.op_class is OpClass.NOP:
+            return None
+        if inst.opcode.semantic is None:
+            raise SimulationError(f"no semantics for {inst.opcode.name}")
+        if inst.dest is None:
+            return None
+        value = inst.opcode.semantic(operands[0], operands[1], operands[2])
+        if inst.pred_dest is not None:
+            self.predicates[(entry.warp_id, inst.pred_dest.id)] = bool(value)
+        return value
+
+    # -- issue ----------------------------------------------------------------
+
+    def _issue_stage(self) -> bool:
+        issued_any = False
+        warp_by_id = {warp.warp_id: warp for warp in self.warps}
+        for scheduler in self.schedulers:
+            budget = self.config.issue_width_per_scheduler
+            for warp_id in scheduler.candidate_order():
+                if budget == 0:
+                    break
+                warp = warp_by_id[warp_id]
+                issued_here = 0
+                while budget > 0 and self._try_issue(warp):
+                    issued_here += 1
+                    budget -= 1
+                    issued_any = True
+                if issued_here:
+                    scheduler.note_issue(warp_id)
+                else:
+                    # Drained warps must report stalls too: a two-level
+                    # scheduler has to swap them out of the active set
+                    # or pending warps would starve.
+                    scheduler.note_stall(warp_id)
+        return issued_any
+
+    def _try_issue(self, warp: _WarpState) -> bool:
+        inst = warp.next_instruction
+        if inst is None or warp.control_pending:
+            return False
+        if not self.scoreboard.can_issue(warp.warp_id, inst):
+            self.counters.issue_stalls_scoreboard += 1
+            return False
+        if not self.provider.can_accept(warp.warp_id):
+            self.counters.issue_stalls_collector += 1
+            return False
+
+        entry = InflightInstruction(
+            warp_id=warp.warp_id,
+            trace_index=warp.pc,
+            inst=inst,
+            issue_cycle=self.cycle,
+        )
+        self.scoreboard.reserve(warp.warp_id, inst)
+        self.scoreboard.reserve_reads(warp.warp_id, inst)
+        self.provider.insert(entry)
+        if inst.is_memory:
+            self._undispatched_mem.setdefault(warp.warp_id, set()).add(warp.pc)
+        warp.pc += 1
+        self._in_flight += 1
+        self.counters.issued += 1
+        if inst.is_control:
+            warp.control_pending = True
+        return True
+
+
+def simulate_baseline(
+    trace: KernelTrace,
+    config: Optional[GPUConfig] = None,
+    memory_seed: int = 0,
+    preload: Optional[Dict[int, int]] = None,
+) -> SimulationResult:
+    """Run the unmodified-GPU configuration over ``trace``."""
+    engine = SMEngine(trace, config=config, memory_seed=memory_seed,
+                      preload=preload)
+    return engine.run()

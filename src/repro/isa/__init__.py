@@ -1,0 +1,31 @@
+"""A small SASS-like instruction set.
+
+The paper studies NVIDIA SASS, whose instructions carry at most three
+register source operands and one destination (plus predicates and
+immediates).  This package provides a typed, minimal ISA with the same
+operand shape, an assembler for a human-readable text syntax, and a
+binary encoder that carries the two writeback-hint bits BOW-WR adds.
+"""
+
+from .opcodes import Opcode, OpClass, OPCODE_TABLE, opcode_by_name
+from .registers import Register, Predicate, SINK_REGISTER
+from .instruction import Instruction, WritebackHint, MemSpace
+from .parser import parse_program, parse_instruction
+from .encoder import encode_instruction, decode_instruction
+
+__all__ = [
+    "Opcode",
+    "OpClass",
+    "OPCODE_TABLE",
+    "opcode_by_name",
+    "Register",
+    "Predicate",
+    "SINK_REGISTER",
+    "Instruction",
+    "WritebackHint",
+    "MemSpace",
+    "parse_program",
+    "parse_instruction",
+    "encode_instruction",
+    "decode_instruction",
+]

@@ -1,0 +1,146 @@
+"""Binary encoding of instructions, including BOW-WR's two hint bits.
+
+The paper's BOW-WR passes its compiler decision to the hardware "using
+two bits in the instruction".  This module defines a compact 64-bit
+encoding that carries those bits, demonstrating that the hint fits in an
+instruction word, and provides a loss-tolerant decoder used by tests to
+round-trip programs.
+
+Layout (LSB first):
+
+======  =====  ==========================================
+bits    width  field
+======  =====  ==========================================
+0-7     8      opcode index (into the sorted opcode table)
+8-15    8      destination register (0xFF when absent)
+16-23   8      source 0 (0xFF when absent)
+24-31   8      source 1
+32-39   8      source 2
+40-41   2      writeback hint (to_oc, to_rf)
+42      1      has-immediate flag
+43-45   3      guard predicate id
+46      1      guard predicate negated
+47      1      guard predicate present
+48-63   16     immediate low half — or, when the has-immediate flag is
+               clear: bits 48-50 predicate-destination id, bit 51 its
+               present flag (compares write a predicate instead of
+               carrying a 16-bit immediate, as in SASS)
+======  =====  ==========================================
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..errors import EncodingError
+from .instruction import Instruction, WritebackHint
+from .opcodes import OPCODE_TABLE, Opcode
+from .registers import Predicate, Register
+
+_NO_REG = 0xFF
+
+#: Stable opcode numbering: sorted mnemonics.
+_OPCODE_INDEX = {name: i for i, name in enumerate(sorted(OPCODE_TABLE))}
+_OPCODE_BY_INDEX = {i: OPCODE_TABLE[name] for name, i in _OPCODE_INDEX.items()}
+
+
+def _hint_bits(hint: WritebackHint) -> int:
+    to_oc, to_rf = hint.bits
+    return (int(to_oc)) | (int(to_rf) << 1)
+
+
+def _hint_from_bits(bits: int) -> WritebackHint:
+    return WritebackHint.from_bits(bool(bits & 1), bool(bits & 2))
+
+
+def encode_instruction(inst: Instruction) -> int:
+    """Encode an instruction into a 64-bit word."""
+    try:
+        opcode_index = _OPCODE_INDEX[inst.opcode.name]
+    except KeyError:
+        raise EncodingError(f"opcode {inst.opcode.name!r} not in table") from None
+
+    word = opcode_index & 0xFF
+    word |= (inst.dest.id if inst.dest is not None else _NO_REG) << 8
+    for slot in range(3):
+        value = inst.sources[slot].id if slot < len(inst.sources) else _NO_REG
+        word |= value << (16 + 8 * slot)
+    word |= _hint_bits(inst.hint) << 40
+    if inst.immediate is not None and inst.pred_dest is not None:
+        raise EncodingError(
+            "an instruction cannot carry both a 16-bit immediate and a "
+            "predicate destination (they share encoding space)"
+        )
+    if inst.immediate is not None:
+        word |= 1 << 42
+        word |= (inst.immediate & 0xFFFF) << 48
+    elif inst.pred_dest is not None:
+        word |= (inst.pred_dest.id & 0x7) << 48
+        word |= 1 << 51
+    if inst.predicate is not None:
+        word |= (inst.predicate.id & 0x7) << 43
+        word |= int(inst.predicate.negated) << 46
+        word |= 1 << 47
+    return word
+
+
+def decode_instruction(word: int) -> Instruction:
+    """Decode a 64-bit word produced by :func:`encode_instruction`.
+
+    Immediates are truncated to their low 16 bits by the encoding; the
+    decoder restores that truncated value.  ``uid`` is freshly assigned.
+    """
+    if word < 0 or word >= (1 << 64):
+        raise EncodingError(f"word out of range: {word:#x}")
+
+    opcode_index = word & 0xFF
+    opcode = _OPCODE_BY_INDEX.get(opcode_index)
+    if opcode is None:
+        raise EncodingError(f"unknown opcode index {opcode_index}")
+
+    dest_bits = (word >> 8) & 0xFF
+    if dest_bits == _NO_REG:
+        # 0xFF is both the no-dest sentinel and the sink register's id;
+        # the opcode's shape disambiguates.
+        dest: Optional[Register] = Register(_NO_REG) if opcode.has_dest else None
+    else:
+        dest = Register(dest_bits)
+
+    sources = []
+    for slot in range(3):
+        bits = (word >> (16 + 8 * slot)) & 0xFF
+        if bits != _NO_REG:
+            sources.append(Register(bits))
+
+    hint = _hint_from_bits((word >> 40) & 0x3)
+
+    immediate: Optional[int] = None
+    pred_dest: Optional[Predicate] = None
+    if (word >> 42) & 1:
+        immediate = (word >> 48) & 0xFFFF
+    elif (word >> 51) & 1:
+        pred_dest = Predicate((word >> 48) & 0x7)
+
+    predicate: Optional[Predicate] = None
+    if (word >> 47) & 1:
+        predicate = Predicate((word >> 43) & 0x7, negated=bool((word >> 46) & 1))
+
+    return Instruction(
+        opcode=opcode,
+        dest=dest,
+        sources=tuple(sources),
+        immediate=immediate,
+        predicate=predicate,
+        pred_dest=pred_dest,
+        hint=hint,
+    )
+
+
+def encode_program(program) -> Tuple[int, ...]:
+    """Encode a sequence of instructions."""
+    return tuple(encode_instruction(inst) for inst in program)
+
+
+def decode_program(words) -> Tuple[Instruction, ...]:
+    """Decode a sequence of 64-bit words."""
+    return tuple(decode_instruction(word) for word in words)

@@ -1,0 +1,197 @@
+"""Opcode table for the SASS-like ISA.
+
+Each opcode carries its operand shape (how many register sources it can
+take, whether it writes a destination), its execution class (which
+functional unit runs it and with what latency family), and its semantic
+function used by the functional reference executor.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Sequence
+
+from ..errors import IsaError
+
+_MASK32 = 0xFFFFFFFF
+
+
+class OpClass(enum.Enum):
+    """Functional-unit class of an opcode (drives latency and Fig. 4 split)."""
+
+    ALU = "alu"  # integer / simple FP pipeline
+    SFU = "sfu"  # transcendental / special function
+    MEM_LOAD = "mem-load"
+    MEM_STORE = "mem-store"
+    CONTROL = "control"  # branches, barriers, exit
+    NOP = "nop"
+
+    @property
+    def is_memory(self) -> bool:
+        return self in (OpClass.MEM_LOAD, OpClass.MEM_STORE)
+
+    @property
+    def is_control(self) -> bool:
+        return self is OpClass.CONTROL
+
+
+def _s32(x: int) -> int:
+    """Interpret a 32-bit pattern as a signed integer."""
+    x &= _MASK32
+    return x - (1 << 32) if x & 0x80000000 else x
+
+
+def _alu_add(a: int, b: int, c: int) -> int:
+    return (a + b) & _MASK32
+
+
+def _alu_sub(a: int, b: int, c: int) -> int:
+    return (a - b) & _MASK32
+
+
+def _alu_mul(a: int, b: int, c: int) -> int:
+    return (a * b) & _MASK32
+
+
+def _alu_mad(a: int, b: int, c: int) -> int:
+    return (a * b + c) & _MASK32
+
+
+def _alu_mov(a: int, b: int, c: int) -> int:
+    return a & _MASK32
+
+
+def _alu_and(a: int, b: int, c: int) -> int:
+    return (a & b) & _MASK32
+
+
+def _alu_or(a: int, b: int, c: int) -> int:
+    return (a | b) & _MASK32
+
+
+def _alu_xor(a: int, b: int, c: int) -> int:
+    return (a ^ b) & _MASK32
+
+
+def _alu_shl(a: int, b: int, c: int) -> int:
+    return (a << (b & 31)) & _MASK32
+
+
+def _alu_shr(a: int, b: int, c: int) -> int:
+    return (a & _MASK32) >> (b & 31)
+
+
+def _alu_min(a: int, b: int, c: int) -> int:
+    return min(_s32(a), _s32(b)) & _MASK32
+
+
+def _alu_max(a: int, b: int, c: int) -> int:
+    return max(_s32(a), _s32(b)) & _MASK32
+
+
+def _alu_set_ne(a: int, b: int, c: int) -> int:
+    return 1 if (a & _MASK32) != (b & _MASK32) else 0
+
+
+def _alu_set_lt(a: int, b: int, c: int) -> int:
+    return 1 if _s32(a) < _s32(b) else 0
+
+
+def _alu_sel(a: int, b: int, c: int) -> int:
+    return (b if a else c) & _MASK32
+
+
+def _sfu_rcp(a: int, b: int, c: int) -> int:
+    # Fixed-point reciprocal stand-in; exact semantics are irrelevant to
+    # the pipeline study, determinism is what matters.
+    return (0xFFFFFFFF // a) & _MASK32 if a else _MASK32
+
+
+def _sfu_sqrt(a: int, b: int, c: int) -> int:
+    return int((a & _MASK32) ** 0.5) & _MASK32
+
+
+@dataclass(frozen=True)
+class Opcode:
+    """One entry of the opcode table.
+
+    Attributes:
+        name: assembly mnemonic (e.g. ``add``, ``ld.global``).
+        op_class: functional-unit class.
+        num_sources: maximum register sources the opcode accepts.
+        has_dest: whether the opcode writes a destination register.
+        semantic: pure function on up to three 32-bit source values used
+            by the reference executor (``None`` for control/memory ops,
+            whose semantics live in the executor itself).
+    """
+
+    name: str
+    op_class: OpClass
+    num_sources: int
+    has_dest: bool
+    semantic: Optional[Callable[[int, int, int], int]] = field(
+        default=None, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.num_sources <= 3:
+            raise IsaError(f"{self.name}: num_sources must be 0..3")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def _build_table() -> Dict[str, Opcode]:
+    entries: Sequence[Opcode] = [
+        # Arithmetic / logic (ALU class).
+        Opcode("mov", OpClass.ALU, 1, True, _alu_mov),
+        Opcode("add", OpClass.ALU, 2, True, _alu_add),
+        Opcode("sub", OpClass.ALU, 2, True, _alu_sub),
+        Opcode("mul", OpClass.ALU, 2, True, _alu_mul),
+        Opcode("mad", OpClass.ALU, 3, True, _alu_mad),
+        Opcode("fma", OpClass.ALU, 3, True, _alu_mad),
+        Opcode("and", OpClass.ALU, 2, True, _alu_and),
+        Opcode("or", OpClass.ALU, 2, True, _alu_or),
+        Opcode("xor", OpClass.ALU, 2, True, _alu_xor),
+        Opcode("shl", OpClass.ALU, 2, True, _alu_shl),
+        Opcode("shr", OpClass.ALU, 2, True, _alu_shr),
+        Opcode("min", OpClass.ALU, 2, True, _alu_min),
+        Opcode("max", OpClass.ALU, 2, True, _alu_max),
+        Opcode("set.ne", OpClass.ALU, 2, True, _alu_set_ne),
+        Opcode("set.lt", OpClass.ALU, 2, True, _alu_set_lt),
+        Opcode("sel", OpClass.ALU, 3, True, _alu_sel),
+        # Special function unit.
+        Opcode("rcp", OpClass.SFU, 1, True, _sfu_rcp),
+        Opcode("sqrt", OpClass.SFU, 1, True, _sfu_sqrt),
+        Opcode("sin", OpClass.SFU, 1, True, _sfu_sqrt),
+        Opcode("exp", OpClass.SFU, 1, True, _sfu_sqrt),
+        # Memory.  Loads take an address register; stores take address +
+        # value and write no destination.
+        Opcode("ld.global", OpClass.MEM_LOAD, 1, True),
+        Opcode("ld.shared", OpClass.MEM_LOAD, 1, True),
+        Opcode("ld.local", OpClass.MEM_LOAD, 1, True),
+        Opcode("st.global", OpClass.MEM_STORE, 2, False),
+        Opcode("st.shared", OpClass.MEM_STORE, 2, False),
+        Opcode("st.local", OpClass.MEM_STORE, 2, False),
+        # Control.
+        Opcode("bra", OpClass.CONTROL, 0, False),
+        Opcode("ssy", OpClass.CONTROL, 0, False),
+        Opcode("bar.sync", OpClass.CONTROL, 0, False),
+        Opcode("ret", OpClass.CONTROL, 0, False),
+        Opcode("exit", OpClass.CONTROL, 0, False),
+        Opcode("nop", OpClass.NOP, 0, False),
+    ]
+    return {op.name: op for op in entries}
+
+
+#: The immutable opcode table, keyed by mnemonic.
+OPCODE_TABLE: Dict[str, Opcode] = _build_table()
+
+
+def opcode_by_name(name: str) -> Opcode:
+    """Look up an opcode; raise :class:`IsaError` for unknown mnemonics."""
+    try:
+        return OPCODE_TABLE[name]
+    except KeyError:
+        raise IsaError(f"unknown opcode {name!r}") from None

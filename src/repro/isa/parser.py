@@ -1,0 +1,213 @@
+"""Assembler for the SASS-like text syntax.
+
+The syntax mirrors the decuda-style listings the paper uses in its
+Figure 6 snippet::
+
+    ld.global.u32 $r3, [$r8];
+    mov.u32 $r2, 0x00000ff4;
+    mad.wide.u16 $r1, $r0.hi, $r2.lo, $r1;
+    set.ne.s32.s32 $p0/$o127, $r3, $r1;
+
+Rules:
+
+* ``//`` starts a comment; blank lines are skipped; trailing ``;`` is
+  optional.
+* The mnemonic is matched against the opcode table after stripping type
+  and width suffixes (``.u32``, ``.wide.u16``, ``.half``...), so
+  ``mad.wide.u16`` assembles to the ``mad`` opcode.
+* ``$rN`` is a register; ``$rN.lo``/``$rN.hi`` read halves of a register
+  (modeled as a plain read of ``$rN`` — the RF access is the same).
+* ``[$rN]`` is a memory address held in ``$rN``.
+* ``s[0x18]`` / ``c[0x18]`` are shared/constant addresses (immediates —
+  they do not touch the register file, matching the paper's accounting).
+* ``$pN/$o127`` destinations write predicate ``$pN`` and discard the
+  integer result (``$o127`` is the bit bucket).
+* ``@$pN`` / ``@!$pN`` prefixes guard the instruction with a predicate.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from ..errors import ParseError
+from .instruction import Instruction
+from .opcodes import OPCODE_TABLE, Opcode
+from .registers import Predicate, Register, SINK_REGISTER
+
+_REGISTER_RE = re.compile(r"^\$r(\d+)(?:\.(?:lo|hi))?$")
+_MEM_RE = re.compile(r"^\[\$r(\d+)(?:\+(?:0x)?[0-9a-fA-F]+)?\]$")
+_IMM_RE = re.compile(r"^-?(?:0x[0-9a-fA-F]+|\d+)$")
+_SPACE_IMM_RE = re.compile(r"^[sc]\[(0x[0-9a-fA-F]+|\d+)\]$")
+_PRED_RE = re.compile(r"^\$p(\d+)$")
+_PRED_SINK_RE = re.compile(r"^\$p(\d+)/\$o\d+$")
+
+#: Suffixes stripped from mnemonics before opcode lookup.
+_TYPE_SUFFIXES = {
+    "u8", "u16", "u32", "u64",
+    "s8", "s16", "s32", "s64",
+    "f16", "f32", "f64", "b32",
+    "wide", "half", "lo", "hi", "rn", "sat",
+}
+
+
+def _strip_mnemonic(raw: str) -> str:
+    """Reduce e.g. ``mad.wide.u16`` to the table mnemonic ``mad``.
+
+    Memory and compound opcodes keep their meaningful middle parts
+    (``ld.global.u32`` -> ``ld.global``, ``set.ne.s32.s32`` -> ``set.ne``).
+    """
+    parts = raw.split(".")
+    kept = [parts[0]]
+    for part in parts[1:]:
+        if part.lower() in _TYPE_SUFFIXES:
+            continue
+        kept.append(part)
+    return ".".join(kept).lower()
+
+
+def _parse_operand(token: str) -> Tuple[str, object]:
+    """Classify one operand token.
+
+    Returns one of ``("reg", Register)``, ``("mem", Register)``,
+    ``("imm", int)``, ``("pred_dest", Predicate)``.
+    """
+    token = token.strip()
+    match = _REGISTER_RE.match(token)
+    if match:
+        return "reg", Register(int(match.group(1)))
+    match = _MEM_RE.match(token)
+    if match:
+        return "mem", Register(int(match.group(1)))
+    if _IMM_RE.match(token):
+        return "imm", int(token, 0)
+    match = _SPACE_IMM_RE.match(token)
+    if match:
+        return "imm", int(match.group(1), 0)
+    match = _PRED_SINK_RE.match(token) or _PRED_RE.match(token)
+    if match:
+        return "pred_dest", Predicate(int(match.group(1)))
+    raise ParseError(f"unrecognized operand {token!r}")
+
+
+def _split_operands(text: str) -> List[str]:
+    """Split the operand field on commas that are outside brackets."""
+    operands: List[str] = []
+    depth = 0
+    current = []
+    for char in text:
+        if char == "[":
+            depth += 1
+        elif char == "]":
+            depth -= 1
+        if char == "," and depth == 0:
+            operands.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+    tail = "".join(current).strip()
+    if tail:
+        operands.append(tail)
+    return operands
+
+
+def parse_instruction(line: str, line_number: int = 0) -> Optional[Instruction]:
+    """Assemble one source line; ``None`` for blank/comment-only lines."""
+    text = line.split("//", 1)[0].strip().rstrip(";").strip()
+    if not text:
+        return None
+
+    predicate: Optional[Predicate] = None
+    if text.startswith("@"):
+        guard, _, text = text.partition(" ")
+        guard = guard[1:]
+        negated = guard.startswith("!")
+        match = _PRED_RE.match(guard.lstrip("!"))
+        if not match:
+            raise ParseError("malformed predicate guard", line_number, line)
+        predicate = Predicate(int(match.group(1)), negated=negated)
+        text = text.strip()
+
+    mnemonic, _, operand_text = text.partition(" ")
+    name = _strip_mnemonic(mnemonic)
+    opcode = OPCODE_TABLE.get(name)
+    if opcode is None:
+        raise ParseError(f"unknown opcode {mnemonic!r} (-> {name!r})",
+                         line_number, line)
+
+    try:
+        operands = [_parse_operand(tok) for tok in _split_operands(operand_text)]
+    except ParseError as exc:
+        raise ParseError(str(exc), line_number, line) from None
+
+    return _assemble(opcode, operands, predicate, line_number, line)
+
+
+def _assemble(
+    opcode: Opcode,
+    operands: List[Tuple[str, object]],
+    predicate: Optional[Predicate],
+    line_number: int,
+    line: str,
+) -> Instruction:
+    dest: Optional[Register] = None
+    pred_dest: Optional[Predicate] = None
+    sources: List[Register] = []
+    immediate: Optional[int] = None
+
+    remaining = list(operands)
+    if opcode.has_dest:
+        if not remaining:
+            raise ParseError(f"{opcode.name} needs a destination",
+                             line_number, line)
+        kind, value = remaining.pop(0)
+        if kind == "reg":
+            dest = value  # type: ignore[assignment]
+        elif kind == "pred_dest":
+            # Predicate-writing compares: the integer result is discarded
+            # ($o127); model as a write to the sink register so the RF
+            # write accounting matches SASS (a predicate write does not
+            # touch the banked RF).  The boolean target is kept for the
+            # SIMT lane-level executor.
+            dest = SINK_REGISTER
+            pred_dest = value  # type: ignore[assignment]
+        else:
+            raise ParseError(
+                f"{opcode.name} destination must be a register", line_number, line
+            )
+
+    for kind, value in remaining:
+        if kind in ("reg", "mem"):
+            sources.append(value)  # type: ignore[arg-type]
+        elif kind == "imm":
+            immediate = value  # type: ignore[assignment]
+        else:
+            raise ParseError("predicate destination must come first",
+                             line_number, line)
+
+    if len(sources) > opcode.num_sources:
+        raise ParseError(
+            f"{opcode.name} takes at most {opcode.num_sources} register "
+            f"sources, got {len(sources)}",
+            line_number,
+            line,
+        )
+
+    return Instruction(
+        opcode=opcode,
+        dest=dest,
+        sources=tuple(sources),
+        immediate=immediate,
+        predicate=predicate,
+        pred_dest=pred_dest,
+    )
+
+
+def parse_program(source: str) -> List[Instruction]:
+    """Assemble a multi-line program, skipping blanks and comments."""
+    program: List[Instruction] = []
+    for number, line in enumerate(source.splitlines(), start=1):
+        inst = parse_instruction(line, number)
+        if inst is not None:
+            program.append(inst)
+    return program

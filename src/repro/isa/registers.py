@@ -1,0 +1,76 @@
+"""Architectural register and predicate names.
+
+A *warp register* is the unit the register file stores and the unit BOW
+forwards: one 32-bit value per thread in the warp, 128 bytes in all.
+Registers are identified by a small non-negative integer; ``Register``
+wraps that integer with validation and a SASS-like ``$rN`` rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import total_ordering
+
+from ..errors import IsaError
+
+#: Upper bound on architectural register ids; generous relative to the
+#: 255-register SASS limit but keeps encodings to one byte.
+MAX_REGISTER_ID = 255
+
+#: Upper bound on predicate ids (SASS has 7 predicate registers).
+MAX_PREDICATE_ID = 7
+
+
+@total_ordering
+@dataclass(frozen=True)
+class Register:
+    """An architectural warp-register ``$rN``."""
+
+    id: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.id <= MAX_REGISTER_ID:
+            raise IsaError(
+                f"register id must be in [0, {MAX_REGISTER_ID}], got {self.id}"
+            )
+
+    def __str__(self) -> str:
+        return f"$r{self.id}"
+
+    def __lt__(self, other: object) -> bool:
+        if not isinstance(other, Register):
+            return NotImplemented
+        return self.id < other.id
+
+    def __int__(self) -> int:
+        return self.id
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A predicate register ``$pN`` guarding an instruction."""
+
+    id: int
+    negated: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.id <= MAX_PREDICATE_ID:
+            raise IsaError(
+                f"predicate id must be in [0, {MAX_PREDICATE_ID}], got {self.id}"
+            )
+
+    def __str__(self) -> str:
+        prefix = "!" if self.negated else ""
+        return f"{prefix}$p{self.id}"
+
+
+#: SASS's ``$o127`` bit-bucket: writes to it are discarded and allocate
+#: no register-file storage.  Modeled as a distinguished register id one
+#: past the architectural range's rendering (kept inside the numeric
+#: range so encodings stay uniform).
+SINK_REGISTER = Register(MAX_REGISTER_ID)
+
+
+def reg(n: int) -> Register:
+    """Shorthand constructor used heavily in tests and generators."""
+    return Register(n)

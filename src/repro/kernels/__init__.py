@@ -1,0 +1,47 @@
+"""Kernel substrate: control-flow graphs, warp traces, and workloads.
+
+The paper runs CUDA binaries from Rodinia, Parboil, ISPASS, the CUDA
+SDK, and Tango under GPGPU-Sim.  We have neither the binaries nor a
+CUDA toolchain, so this package synthesizes kernels whose register
+reuse, operand mix, and memory behaviour are calibrated per benchmark to
+the statistics the paper reports (its Figures 3, 4, 8 and 9).
+
+A kernel is a :class:`~repro.kernels.cfg.KernelCFG` of basic blocks; a
+*trace* is the dynamic per-warp instruction stream after control flow is
+resolved, which is what the analysis passes and the timing model consume.
+"""
+
+from .cfg import BasicBlock, KernelCFG
+from .trace import WarpTrace, KernelTrace, RegisterAccess, iter_accesses
+from .snippets import btree_snippet
+from .synthetic import SyntheticKernelSpec, IdiomWeights, generate_kernel
+from .suites import (
+    BenchmarkProfile,
+    BENCHMARKS,
+    benchmark_names,
+    get_profile,
+    build_benchmark_trace,
+)
+from .serialize import load_trace, save_trace, trace_from_dict, trace_to_dict
+
+__all__ = [
+    "load_trace",
+    "save_trace",
+    "trace_from_dict",
+    "trace_to_dict",
+    "BasicBlock",
+    "KernelCFG",
+    "WarpTrace",
+    "KernelTrace",
+    "RegisterAccess",
+    "iter_accesses",
+    "btree_snippet",
+    "SyntheticKernelSpec",
+    "IdiomWeights",
+    "generate_kernel",
+    "BenchmarkProfile",
+    "BENCHMARKS",
+    "benchmark_names",
+    "get_profile",
+    "build_benchmark_trace",
+]

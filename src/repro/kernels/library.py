@@ -1,0 +1,197 @@
+"""A library of classic GPU kernels, hand-written with the builder.
+
+Where :mod:`repro.kernels.suites` provides *statistically calibrated*
+stand-ins for the paper's benchmarks, this module provides small, real
+algorithms whose results can be checked functionally: simulate one and
+assert the memory image contains the right answer.  They double as
+idiomatic examples of the :class:`~repro.kernels.builder.KernelBuilder`
+API and as extra workloads for the BOW designs.
+
+The kernels are fully unrolled (trace expansion of probabilistic loop
+edges cannot guarantee exact trip counts, and exactness is the point
+here); unrolled streams are also how these kernels exercise BOW
+hardest, since every reuse distance is explicit in the instruction
+stream.
+
+Conventions:
+
+* each factory returns a fresh :class:`KernelBuilder`; call ``.build()``
+  or ``.trace(...)`` on it;
+* inputs live at fixed offsets inside the warp's private address window
+  (documented per kernel); use :func:`seed_memory` to place them and
+  :func:`read_outputs` to fetch results;
+* register 0 is never used.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from ..errors import KernelError
+from ..gpu.memory import MemoryModel
+from .builder import KernelBuilder
+
+#: Where each kernel's input array begins (per-warp window offset).
+INPUT_BASE = 0x1000
+#: Where each kernel writes its outputs.
+OUTPUT_BASE = 0x8000
+
+
+def seed_memory(memory: MemoryModel, warp_id: int,
+                values: Sequence[int], base: int = INPUT_BASE) -> None:
+    """Place ``values`` as consecutive 32-bit words for ``warp_id``."""
+    for index, value in enumerate(values):
+        address = memory.thread_address(warp_id, base + 4 * index)
+        memory.store(address, value)
+
+
+def read_outputs(image: Dict[int, int], warp_id: int, count: int,
+                 base: int = OUTPUT_BASE) -> List[int]:
+    """Fetch ``count`` consecutive output words of ``warp_id``."""
+    return [
+        image.get(MemoryModel.thread_address(warp_id, base + 4 * i), 0)
+        for i in range(count)
+    ]
+
+
+def _check_length(length: int) -> None:
+    if length < 1:
+        raise KernelError(f"length must be >= 1, got {length}")
+
+
+def vector_add(length: int = 16) -> KernelBuilder:
+    """``out[i] = a[i] + b[i]``.
+
+    ``a`` at INPUT_BASE, ``b`` at INPUT_BASE + 4*length; outputs at
+    OUTPUT_BASE.
+    """
+    _check_length(length)
+    b = KernelBuilder("vector_add")
+    stride = 4 * length
+    b.mov(1, imm=INPUT_BASE)
+    b.mov(2, imm=INPUT_BASE + stride)
+    b.mov(3, imm=OUTPUT_BASE)
+    for _ in range(length):
+        b.ld(5, addr=1)
+        b.ld(6, addr=2)
+        b.add(7, 5, 6)
+        b.st(addr=3, value=7)
+        b.add(1, 1, imm=4)
+        b.add(2, 2, imm=4)
+        b.add(3, 3, imm=4)
+    b.exit()
+    return b
+
+
+def reduction_sum(length: int = 16) -> KernelBuilder:
+    """Sum ``length`` input words; the total lands at OUTPUT_BASE."""
+    _check_length(length)
+    b = KernelBuilder("reduction_sum")
+    b.mov(1, imm=INPUT_BASE)
+    b.mov(2, imm=0)
+    for _ in range(length):
+        b.ld(4, addr=1)
+        b.add(2, 2, 4)
+        b.add(1, 1, imm=4)
+    b.mov(5, imm=OUTPUT_BASE)
+    b.st(addr=5, value=2)
+    b.exit()
+    return b
+
+
+def saxpy(length: int = 16, scale: int = 3) -> KernelBuilder:
+    """``y[i] = scale * x[i] + y[i]``, overwriting ``y``.
+
+    ``x`` at INPUT_BASE, ``y`` at INPUT_BASE + 4*length.
+    """
+    _check_length(length)
+    b = KernelBuilder("saxpy")
+    stride = 4 * length
+    b.mov(1, imm=INPUT_BASE)
+    b.mov(2, imm=INPUT_BASE + stride)
+    b.mov(3, imm=scale)
+    for _ in range(length):
+        b.ld(5, addr=1)
+        b.ld(6, addr=2)
+        b.mad(7, 5, 3, 6)
+        b.st(addr=2, value=7)
+        b.add(1, 1, imm=4)
+        b.add(2, 2, imm=4)
+    b.exit()
+    return b
+
+
+def stencil3(length: int = 16) -> KernelBuilder:
+    """1D 3-point stencil: ``out[i] = in[i] + in[i+1] + in[i+2]``.
+
+    Input of ``length + 2`` words at INPUT_BASE (one halo word each
+    side of the logical array); ``length`` outputs at OUTPUT_BASE.
+    """
+    _check_length(length)
+    b = KernelBuilder("stencil3")
+    b.mov(1, imm=INPUT_BASE)
+    b.mov(2, imm=OUTPUT_BASE)
+    for _ in range(length):
+        b.ld(4, addr=1)
+        b.add(5, 1, imm=4)
+        b.ld(6, addr=5)
+        b.add(5, 5, imm=4)
+        b.ld(7, addr=5)
+        b.add(8, 4, 6)
+        b.add(8, 8, 7)
+        b.st(addr=2, value=8)
+        b.add(1, 1, imm=4)
+        b.add(2, 2, imm=4)
+    b.exit()
+    return b
+
+
+def dot_product(length: int = 16) -> KernelBuilder:
+    """Dot product of two vectors; the scalar lands at OUTPUT_BASE.
+
+    ``a`` at INPUT_BASE, ``b`` at INPUT_BASE + 4*length.
+    """
+    _check_length(length)
+    b = KernelBuilder("dot_product")
+    stride = 4 * length
+    b.mov(1, imm=INPUT_BASE)
+    b.mov(2, imm=INPUT_BASE + stride)
+    b.mov(3, imm=0)
+    for _ in range(length):
+        b.ld(5, addr=1)
+        b.ld(6, addr=2)
+        b.mad(3, 5, 6, 3)
+        b.add(1, 1, imm=4)
+        b.add(2, 2, imm=4)
+    b.mov(7, imm=OUTPUT_BASE)
+    b.st(addr=7, value=3)
+    b.exit()
+    return b
+
+
+def prefix_sum(length: int = 16) -> KernelBuilder:
+    """Inclusive prefix sum: ``out[i] = in[0] + ... + in[i]``."""
+    _check_length(length)
+    b = KernelBuilder("prefix_sum")
+    b.mov(1, imm=INPUT_BASE)
+    b.mov(2, imm=OUTPUT_BASE)
+    b.mov(3, imm=0)  # running sum
+    for _ in range(length):
+        b.ld(4, addr=1)
+        b.add(3, 3, 4)
+        b.st(addr=2, value=3)
+        b.add(1, 1, imm=4)
+        b.add(2, 2, imm=4)
+    b.exit()
+    return b
+
+
+#: Name -> factory(length) for enumeration in tests and examples.
+LIBRARY: Dict[str, Callable[..., KernelBuilder]] = {
+    "vector_add": vector_add,
+    "reduction_sum": reduction_sum,
+    "saxpy": saxpy,
+    "stencil3": stencil3,
+    "dot_product": dot_product,
+    "prefix_sum": prefix_sum,
+}

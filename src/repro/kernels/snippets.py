@@ -1,0 +1,36 @@
+"""Named code snippets used by the paper's worked examples.
+
+:func:`btree_snippet` reproduces the 13-instruction BTREE excerpt of the
+paper's Figure 6, which drives the Table I writeback accounting and the
+SS IV-B discussion of the three writeback destinations.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..isa import Instruction, parse_program
+
+#: Figure 6 of the paper, transcribed in our assembly syntax.  Line
+#: numbers in the paper (2..14) correspond to indices 0..12 here.
+BTREE_SNIPPET_ASM = """
+// write to $r3, immediate use in the final set.ne
+ld.global.u32 $r3, [$r8];
+mov.u32 $r2, 0x00000ff4;
+mul.wide.u16 $r1, $r0.lo, $r2.hi;
+mad.wide.u16 $r1, $r0.hi, $r2.lo, $r1;
+shl.u32 $r1, $r1, 0x00000010;
+mad.wide.u16 $r0, $r0.lo, $r2.lo, $r1;
+add.half.u32 $r0, s[0x0018], $r0;
+add.half.u32 $r0, $r9, $r0;
+add.u32 $r1, $r0, 0x000007f8;
+ld.global.u32 $r2, [$r1];
+shl.u32 $r2, $r2, 0x00000100;
+add.u32 $r4, $r2, 0x0000008f;
+set.ne.s32.s32 $p0/$o127, $r3, $r1;
+"""
+
+
+def btree_snippet() -> List[Instruction]:
+    """The Figure 6 BTREE snippet as parsed instructions."""
+    return parse_program(BTREE_SNIPPET_ASM)

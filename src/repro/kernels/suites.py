@@ -1,0 +1,254 @@
+"""The 15-benchmark workload suite of the paper (Table III).
+
+The paper evaluates on benchmarks from ISPASS, Rodinia, Tango, the CUDA
+SDK and Parboil.  Each :class:`BenchmarkProfile` here configures the
+synthetic generator (see :mod:`repro.kernels.synthetic`) so the
+resulting traces exhibit that benchmark's qualitative character as the
+paper reports it:
+
+* BFS, BTREE and LPS issue no 3-source-operand instructions and have low
+  collector occupancy (Figures 8 and 9);
+* WP has low register reuse and gains little from bypassing; SAD is
+  register-hungry with high collector occupancy (SS V-A);
+* STO spends the largest share of its time in the operand-collection
+  stage (Figure 4);
+* the Tango DNN workloads are mad/fma-heavy with strong accumulator
+  locality;
+* VectorAdd is a streaming kernel dominated by memory traffic.
+
+``paper_read_bypass`` / ``paper_write_bypass`` record the approximate
+IW=3 values read off the paper's Figure 3 — they are calibration
+*targets* (shape), not assertions of exact equality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..errors import KernelError
+from .synthetic import IdiomWeights, SyntheticKernelSpec, generate_trace
+from .trace import KernelTrace
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """One benchmark of Table III plus its generator configuration."""
+
+    name: str
+    suite: str
+    description: str
+    spec: SyntheticKernelSpec
+    paper_read_bypass: float
+    paper_write_bypass: float
+
+    def build_trace(self, num_warps: int | None = None,
+                    scale: float = 1.0) -> KernelTrace:
+        """Expand the benchmark into per-warp traces.
+
+        Args:
+            num_warps: override the profile's warp count (tests use small
+                counts for speed).
+            scale: multiply the expected trace length.
+        """
+        spec = self.spec
+        if scale != 1.0:
+            spec = spec.scaled(scale)
+        if num_warps is not None:
+            from dataclasses import replace
+
+            spec = replace(spec, num_warps=num_warps)
+        return generate_trace(spec)
+
+
+def _profile(
+    name: str,
+    suite: str,
+    description: str,
+    read_bypass: float,
+    write_bypass: float,
+    **spec_kwargs,
+) -> BenchmarkProfile:
+    spec = SyntheticKernelSpec(name=name, **spec_kwargs)
+    return BenchmarkProfile(
+        name=name,
+        suite=suite,
+        description=description,
+        spec=spec,
+        paper_read_bypass=read_bypass,
+        paper_write_bypass=write_bypass,
+    )
+
+
+def _build_suite() -> Dict[str, BenchmarkProfile]:
+    profiles: List[BenchmarkProfile] = [
+        # ---- ISPASS ------------------------------------------------------
+        _profile(
+            "LIB", "ISPASS", "LIBOR Monte Carlo",
+            read_bypass=0.62, write_bypass=0.55,
+            num_registers=20, body_instructions=70, loop_iterations=24,
+            weights=IdiomWeights(accumulate_chain=4.0, address_load=1.0,
+                                 load_use=1.0, compute_mix=3.0, far_read=1.5,
+                                 store=0.6, sfu=1.2, three_src=0.15),
+            locality=0.6, seed=101,
+        ),
+        _profile(
+            "LPS", "ISPASS", "3D Laplace solver",
+            read_bypass=0.63, write_bypass=0.56,
+            num_registers=18, body_instructions=64, loop_iterations=22,
+            weights=IdiomWeights(accumulate_chain=4.5, address_load=2.0,
+                                 load_use=1.5, compute_mix=2.5, far_read=1.2,
+                                 store=1.0, sfu=0.1, three_src=0.00),
+            max_source_operands=2,
+            locality=0.7, seed=102,
+        ),
+        _profile(
+            "STO", "ISPASS", "StoreGPU",
+            read_bypass=0.66, write_bypass=0.60,
+            num_registers=28, body_instructions=90, loop_iterations=20,
+            weights=IdiomWeights(accumulate_chain=5.0, address_load=1.2,
+                                 load_use=0.8, compute_mix=4.0, far_read=1.0,
+                                 store=0.5, sfu=0.2, three_src=0.20),
+            locality=0.6, chain_length=4, seed=103,
+        ),
+        _profile(
+            "WP", "ISPASS", "Weather prediction",
+            read_bypass=0.38, write_bypass=0.33,
+            num_registers=40, body_instructions=80, loop_iterations=18,
+            weights=IdiomWeights(accumulate_chain=1.0, address_load=1.5,
+                                 load_use=1.5, compute_mix=1.5, far_read=5.0,
+                                 store=1.2, sfu=0.6, three_src=0.30),
+            locality=0.45, chain_length=2, seed=104,
+        ),
+        # ---- Rodinia ------------------------------------------------------
+        _profile(
+            "BACKPROP", "Rodinia", "Back-propagation",
+            read_bypass=0.60, write_bypass=0.54,
+            num_registers=22, body_instructions=60, loop_iterations=20,
+            weights=IdiomWeights(accumulate_chain=4.0, address_load=1.5,
+                                 load_use=1.5, compute_mix=2.5, far_read=1.5,
+                                 store=1.0, sfu=0.5, three_src=0.17),
+            locality=0.6, seed=105,
+        ),
+        _profile(
+            "BFS", "Rodinia", "Breadth-first search",
+            read_bypass=0.52, write_bypass=0.45,
+            num_registers=16, body_instructions=44, loop_iterations=26,
+            weights=IdiomWeights(accumulate_chain=2.2, address_load=2.5,
+                                 load_use=2.5, compute_mix=1.5, far_read=2.0,
+                                 store=1.0, sfu=0.0, three_src=0.00),
+            locality=0.65, max_source_operands=2, chain_length=2, branch_every=10,
+            seed=106,
+        ),
+        _profile(
+            "BTREE", "Rodinia", "Braided B+ tree",
+            read_bypass=0.57, write_bypass=0.50,
+            num_registers=18, body_instructions=52, loop_iterations=22,
+            weights=IdiomWeights(accumulate_chain=3.0, address_load=2.5,
+                                 load_use=2.0, compute_mix=2.0, far_read=1.6,
+                                 store=0.8, sfu=0.0, three_src=0.00),
+            locality=0.7, max_source_operands=2, branch_every=12,
+            seed=107,
+        ),
+        _profile(
+            "GAUSSIAN", "Rodinia", "Gaussian elimination",
+            read_bypass=0.65, write_bypass=0.58,
+            num_registers=20, body_instructions=56, loop_iterations=24,
+            weights=IdiomWeights(accumulate_chain=4.5, address_load=1.8,
+                                 load_use=1.2, compute_mix=2.5, far_read=1.0,
+                                 store=0.8, sfu=0.3, three_src=0.20),
+            locality=0.65, chain_length=4, seed=108,
+        ),
+        _profile(
+            "MUM", "Rodinia", "MummerGPU sequence matching",
+            read_bypass=0.50, write_bypass=0.43,
+            num_registers=26, body_instructions=58, loop_iterations=20,
+            weights=IdiomWeights(accumulate_chain=2.0, address_load=2.5,
+                                 load_use=2.5, compute_mix=1.5, far_read=2.8,
+                                 store=0.8, sfu=0.0, three_src=0.07),
+            locality=0.75, chain_length=2, branch_every=10, seed=109,
+        ),
+        _profile(
+            "NW", "Rodinia", "Needleman-Wunsch",
+            read_bypass=0.58, write_bypass=0.51,
+            num_registers=20, body_instructions=54, loop_iterations=22,
+            weights=IdiomWeights(accumulate_chain=3.2, address_load=2.2,
+                                 load_use=1.8, compute_mix=2.2, far_read=1.6,
+                                 store=1.0, sfu=0.0, three_src=0.10),
+            locality=0.5, seed=110,
+        ),
+        _profile(
+            "SRAD", "Rodinia", "Speckle-reducing anisotropic diffusion",
+            read_bypass=0.63, write_bypass=0.56,
+            num_registers=22, body_instructions=66, loop_iterations=22,
+            weights=IdiomWeights(accumulate_chain=4.2, address_load=1.8,
+                                 load_use=1.4, compute_mix=2.8, far_read=1.2,
+                                 store=1.0, sfu=0.8, three_src=0.17),
+            locality=0.65, seed=111,
+        ),
+        # ---- Tango (DNN) ---------------------------------------------------
+        _profile(
+            "CIFARNET", "Tango", "CifarNet CNN inference",
+            read_bypass=0.64, write_bypass=0.58,
+            num_registers=24, body_instructions=72, loop_iterations=24,
+            weights=IdiomWeights(accumulate_chain=5.0, address_load=1.5,
+                                 load_use=1.5, compute_mix=2.0, far_read=1.0,
+                                 store=0.6, sfu=0.3, three_src=0.38),
+            locality=0.5, chain_length=4, seed=112,
+        ),
+        _profile(
+            "SQUEEZENET", "Tango", "SqueezeNet CNN inference",
+            read_bypass=0.62, write_bypass=0.56,
+            num_registers=26, body_instructions=76, loop_iterations=22,
+            weights=IdiomWeights(accumulate_chain=4.6, address_load=1.6,
+                                 load_use=1.6, compute_mix=2.2, far_read=1.2,
+                                 store=0.7, sfu=0.3, three_src=0.35),
+            locality=0.5, chain_length=4, seed=113,
+        ),
+        # ---- CUDA SDK --------------------------------------------------------
+        _profile(
+            "VECTORADD", "CUDA SDK", "Vector-vector addition",
+            read_bypass=0.55, write_bypass=0.48,
+            num_registers=14, body_instructions=36, loop_iterations=30,
+            weights=IdiomWeights(accumulate_chain=2.5, address_load=3.0,
+                                 load_use=3.0, compute_mix=1.0, far_read=1.5,
+                                 store=2.0, sfu=0.0, three_src=0.05),
+            locality=0.45, chain_length=2, seed=114,
+        ),
+        # ---- Parboil -----------------------------------------------------------
+        _profile(
+            "SAD", "Parboil", "Sum of absolute differences",
+            read_bypass=0.70, write_bypass=0.63,
+            num_registers=30, body_instructions=88, loop_iterations=22,
+            weights=IdiomWeights(accumulate_chain=5.5, address_load=1.5,
+                                 load_use=1.2, compute_mix=3.0, far_read=0.8,
+                                 store=0.6, sfu=0.1, three_src=0.40),
+            locality=0.7, chain_length=5, seed=115,
+        ),
+    ]
+    return {profile.name: profile for profile in profiles}
+
+
+#: The full Table III suite, keyed by benchmark name.
+BENCHMARKS: Dict[str, BenchmarkProfile] = _build_suite()
+
+
+def benchmark_names() -> Tuple[str, ...]:
+    """All benchmark names, in the suite's canonical order."""
+    return tuple(BENCHMARKS)
+
+
+def get_profile(name: str) -> BenchmarkProfile:
+    """Look up a benchmark profile by (case-insensitive) name."""
+    key = name.upper()
+    if key not in BENCHMARKS:
+        raise KernelError(
+            f"unknown benchmark {name!r}; available: {', '.join(BENCHMARKS)}"
+        )
+    return BENCHMARKS[key]
+
+
+def build_benchmark_trace(name: str, num_warps: int | None = None,
+                          scale: float = 1.0) -> KernelTrace:
+    """Convenience wrapper: profile lookup + trace expansion."""
+    return get_profile(name).build_trace(num_warps=num_warps, scale=scale)

@@ -1,0 +1,39 @@
+"""SIMT lane-level substrate.
+
+The paper's background (SS II) rests on the SIMT execution model: 32
+threads execute each warp instruction in lock-step under an *active
+mask*, branches may diverge lanes, and a reconvergence stack brings them
+back together at the immediate post-dominator.  The scalar timing model
+in :mod:`repro.gpu` abstracts a warp-register to one value; this package
+supplies the lane-accurate layer underneath it:
+
+* :mod:`repro.simt.mask` — 32-lane active masks;
+* :mod:`repro.simt.dominators` — immediate post-dominators of a kernel
+  CFG (the reconvergence points);
+* :mod:`repro.simt.stack` — the SIMT reconvergence stack, expanding a
+  CFG into a *masked trace* with per-lane divergence;
+* :mod:`repro.simt.lanes` — lane-wise functional execution with
+  predication (numpy-vectorized);
+* :mod:`repro.simt.coalescing` — memory-transaction counting for
+  per-lane addresses.
+"""
+
+from .mask import FULL_MASK, WARP_WIDTH, ActiveMask
+from .dominators import immediate_post_dominators
+from .stack import MaskedInstruction, SIMTStack, expand_masked_trace
+from .lanes import LaneState, execute_masked_trace
+from .coalescing import CoalescingStats, transactions_for_addresses
+
+__all__ = [
+    "FULL_MASK",
+    "WARP_WIDTH",
+    "ActiveMask",
+    "immediate_post_dominators",
+    "MaskedInstruction",
+    "SIMTStack",
+    "expand_masked_trace",
+    "LaneState",
+    "execute_masked_trace",
+    "CoalescingStats",
+    "transactions_for_addresses",
+]

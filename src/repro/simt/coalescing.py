@@ -1,0 +1,77 @@
+"""Memory-access coalescing analysis.
+
+A warp's 32 lanes issue one address each; the memory system services the
+access as one transaction per distinct cache line touched.  Fully
+coalesced access = 1 transaction (consecutive 4-byte words in one 128 B
+line); worst case = one transaction per active lane.  The transaction
+count is the lane-level ground truth behind the scalar memory model's
+latency draws.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from ..errors import SimulationError
+from .mask import ActiveMask
+
+
+def transactions_for_addresses(addresses, mask: ActiveMask,
+                               line_bytes: int = 128) -> int:
+    """Distinct ``line_bytes``-sized lines touched by the active lanes."""
+    if line_bytes <= 0 or line_bytes & (line_bytes - 1):
+        raise SimulationError(
+            f"line_bytes must be a positive power of two, got {line_bytes}"
+        )
+    lines = {
+        int(addresses[lane]) // line_bytes for lane in mask.lanes()
+    }
+    return len(lines)
+
+
+@dataclass
+class CoalescingStats:
+    """Accumulated transaction counts over a run.
+
+    ``histogram[n]`` counts memory instructions needing ``n``
+    transactions; a perfectly coalesced kernel has everything at 1.
+    """
+
+    histogram: Dict[int, int] = field(default_factory=dict)
+
+    def record(self, transactions: int) -> None:
+        if transactions < 0:
+            raise SimulationError("transaction count cannot be negative")
+        if transactions == 0:
+            return  # fully predicated-off access: no traffic
+        self.histogram[transactions] = (
+            self.histogram.get(transactions, 0) + 1
+        )
+
+    @property
+    def accesses(self) -> int:
+        return sum(self.histogram.values())
+
+    @property
+    def total_transactions(self) -> int:
+        return sum(n * count for n, count in self.histogram.items())
+
+    def average_transactions(self) -> float:
+        """Mean transactions per memory instruction (1.0 = perfect)."""
+        return (self.total_transactions / self.accesses
+                if self.accesses else 0.0)
+
+    def fully_coalesced_fraction(self) -> float:
+        """Fraction of accesses served by a single transaction."""
+        if not self.accesses:
+            return 0.0
+        return self.histogram.get(1, 0) / self.accesses
+
+    def merge(self, other: "CoalescingStats") -> "CoalescingStats":
+        merged = CoalescingStats(histogram=dict(self.histogram))
+        for key, value in other.histogram.items():
+            merged.histogram[key] = merged.histogram.get(key, 0) + value
+        return merged

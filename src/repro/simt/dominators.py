@@ -1,0 +1,116 @@
+"""Immediate post-dominators of a kernel CFG.
+
+The SIMT stack reconverges diverged lanes at the *immediate
+post-dominator* of the branch block — the first block every path from
+the branch must pass through.  Computed with the Cooper-Harvey-Kennedy
+iterative algorithm on the reverse CFG, with a virtual exit node tying
+together all exit blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import CompilerError
+from ..kernels.cfg import KernelCFG
+
+#: Label of the virtual exit node (never collides: real labels come from
+#: user CFGs, and we check).
+VIRTUAL_EXIT = "__exit__"
+
+
+def _reverse_postorder(successors: Dict[str, List[str]],
+                       root: str) -> List[str]:
+    """Reverse postorder of the graph reachable from ``root``."""
+    order: List[str] = []
+    visited = set()
+    # Iterative DFS with an explicit stack (CFGs can be deep).
+    stack: List[tuple] = [(root, iter(successors.get(root, ())))]
+    visited.add(root)
+    while stack:
+        node, children = stack[-1]
+        advanced = False
+        for child in children:
+            if child not in visited:
+                visited.add(child)
+                stack.append((child, iter(successors.get(child, ()))))
+                advanced = True
+                break
+        if not advanced:
+            order.append(node)
+            stack.pop()
+    order.reverse()
+    return order
+
+
+def immediate_post_dominators(cfg: KernelCFG) -> Dict[str, Optional[str]]:
+    """Map each block label to its immediate post-dominator label.
+
+    Exit blocks (and blocks whose only post-dominator is the virtual
+    exit) map to ``None``.
+
+    Raises:
+        CompilerError: if a block cannot reach any exit (lanes entering
+            it could never reconverge).
+    """
+    if VIRTUAL_EXIT in cfg.blocks:
+        raise CompilerError(f"block label {VIRTUAL_EXIT!r} is reserved")
+
+    # Post-dominance is dominance on the reverse graph.  A reverse-graph
+    # successor of block B is every predecessor of B in the original
+    # CFG; the virtual exit's successors are the real exit blocks.
+    reverse_succ: Dict[str, List[str]] = {label: [] for label in cfg.blocks}
+    reverse_succ[VIRTUAL_EXIT] = [b.label for b in cfg if b.is_exit]
+    for block in cfg:
+        for edge in block.edges:
+            reverse_succ[edge.target].append(block.label)
+
+    order = _reverse_postorder(reverse_succ, VIRTUAL_EXIT)
+    unreachable = set(cfg.blocks) - set(order)
+    if unreachable:
+        raise CompilerError(
+            f"blocks cannot reach an exit: {sorted(unreachable)}"
+        )
+    index = {label: i for i, label in enumerate(order)}
+
+    idom: Dict[str, Optional[str]] = {label: None for label in order}
+    idom[VIRTUAL_EXIT] = VIRTUAL_EXIT
+
+    def intersect(a: str, b: str) -> str:
+        while a != b:
+            while index[a] > index[b]:
+                a = idom[a]  # type: ignore[assignment]
+            while index[b] > index[a]:
+                b = idom[b]  # type: ignore[assignment]
+        return a
+
+    # Predecessors in the reverse graph = successors in the original CFG
+    # (plus the virtual edge for exits).
+    reverse_pred: Dict[str, List[str]] = {label: [] for label in order}
+    for label, succs in reverse_succ.items():
+        for succ in succs:
+            if succ in reverse_pred:
+                reverse_pred[succ].append(label)
+
+    changed = True
+    while changed:
+        changed = False
+        for label in order:
+            if label == VIRTUAL_EXIT:
+                continue
+            candidates = [p for p in reverse_pred[label]
+                          if idom[p] is not None]
+            if not candidates:
+                continue
+            new_idom = candidates[0]
+            for other in candidates[1:]:
+                new_idom = intersect(new_idom, other)
+            if idom[label] != new_idom:
+                idom[label] = new_idom
+                changed = True
+
+    result: Dict[str, Optional[str]] = {}
+    for label in cfg.blocks:
+        dominator = idom.get(label)
+        result[label] = None if dominator in (VIRTUAL_EXIT, None) else dominator
+    return result

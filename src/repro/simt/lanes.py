@@ -1,0 +1,211 @@
+"""Lane-wise functional execution of masked traces.
+
+Executes a masked trace with one 32-bit value *per lane* per register —
+the state a warp-register actually holds (32 threads x 32 bits = 128 B,
+paper SS II).  Instruction semantics are numpy-vectorized across lanes;
+writes land only in active lanes; guarded instructions additionally
+require the guard predicate; compares with a predicate destination set
+per-lane predicate bits.
+
+This layer grounds the scalar timing model: its per-warp value is the
+lane-0 projection of this state, and tests check the projection is
+consistent for non-divergent programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..isa import Instruction, OpClass
+from ..isa.registers import SINK_REGISTER
+from .coalescing import CoalescingStats, transactions_for_addresses
+from .mask import WARP_WIDTH, ActiveMask
+
+_U32 = np.uint32
+_MASK32 = np.uint64(0xFFFFFFFF)
+
+
+def _lane_init(warp_id: int, register_id: int) -> np.ndarray:
+    """Deterministic per-lane launch values (lane id folded in)."""
+    lanes = np.arange(WARP_WIDTH, dtype=np.uint64)
+    base = np.uint64((warp_id * 2654435761 + register_id * 40503 + 17)
+                     & 0xFFFFFFFF)
+    return ((base + lanes * np.uint64(0x9E3779B1)) & _MASK32).astype(_U32)
+
+
+@dataclass
+class LaneState:
+    """Per-lane architectural state of one warp."""
+
+    warp_id: int = 0
+    registers: Dict[int, np.ndarray] = field(default_factory=dict)
+    predicates: Dict[int, np.ndarray] = field(default_factory=dict)
+    memory: Dict[int, int] = field(default_factory=dict)
+
+    def reg(self, register_id: int) -> np.ndarray:
+        if register_id not in self.registers:
+            self.registers[register_id] = _lane_init(self.warp_id,
+                                                     register_id)
+        return self.registers[register_id]
+
+    def pred(self, predicate_id: int) -> np.ndarray:
+        if predicate_id not in self.predicates:
+            self.predicates[predicate_id] = np.zeros(WARP_WIDTH, dtype=bool)
+        return self.predicates[predicate_id]
+
+    def write_reg(self, register_id: int, values: np.ndarray,
+                  mask: ActiveMask) -> None:
+        current = self.reg(register_id).copy()
+        lanes = np.fromiter(
+            (lane in mask for lane in range(WARP_WIDTH)),
+            dtype=bool, count=WARP_WIDTH,
+        )
+        current[lanes] = values.astype(_U32)[lanes]
+        self.registers[register_id] = current
+
+    def lane_view(self, register_id: int, lane: int = 0) -> int:
+        return int(self.reg(register_id)[lane])
+
+
+def _vector_op(name: str, a: np.ndarray, b: np.ndarray,
+               c: np.ndarray) -> np.ndarray:
+    """Vectorized 32-bit semantics matching the scalar opcode table."""
+    a64 = a.astype(np.uint64)
+    b64 = b.astype(np.uint64)
+    c64 = c.astype(np.uint64)
+    if name == "mov":
+        result = a64
+    elif name == "add":
+        result = a64 + b64
+    elif name == "sub":
+        result = a64 - b64
+    elif name == "mul":
+        result = a64 * b64
+    elif name in ("mad", "fma"):
+        result = a64 * b64 + c64
+    elif name == "and":
+        result = a64 & b64
+    elif name == "or":
+        result = a64 | b64
+    elif name == "xor":
+        result = a64 ^ b64
+    elif name == "shl":
+        result = a64 << (b64 & np.uint64(31))
+    elif name == "shr":
+        result = (a64 & _MASK32) >> (b64 & np.uint64(31))
+    elif name == "min":
+        result = np.minimum(a.astype(np.int32), b.astype(np.int32)) \
+            .astype(np.int64).astype(np.uint64)
+    elif name == "max":
+        result = np.maximum(a.astype(np.int32), b.astype(np.int32)) \
+            .astype(np.int64).astype(np.uint64)
+    elif name == "set.ne":
+        result = (a64 != b64).astype(np.uint64)
+    elif name == "set.lt":
+        result = (a.astype(np.int32) < b.astype(np.int32)).astype(np.uint64)
+    elif name == "sel":
+        result = np.where(a64 != 0, b64, c64)
+    elif name in ("rcp",):
+        safe = np.where(a64 == 0, np.uint64(1), a64)
+        result = np.where(a64 == 0, _MASK32, np.uint64(0xFFFFFFFF) // safe)
+    elif name in ("sqrt", "sin", "exp"):
+        result = np.sqrt((a64 & _MASK32).astype(np.float64)).astype(np.uint64)
+    else:
+        raise SimulationError(f"no lane semantics for {name!r}")
+    return (result & _MASK32).astype(_U32)
+
+
+@dataclass
+class LaneExecutionResult:
+    """Outcome of executing a masked trace lane-wise."""
+
+    state: LaneState
+    coalescing: CoalescingStats
+    instructions_executed: int
+    lanes_executed: int
+
+    @property
+    def simd_efficiency(self) -> float:
+        total = self.instructions_executed * WARP_WIDTH
+        return self.lanes_executed / total if total else 0.0
+
+
+def execute_masked_trace(trace, warp_id: int = 0,
+                         line_bytes: int = 128) -> LaneExecutionResult:
+    """Execute a masked trace (from :mod:`repro.simt.stack`) lane-wise.
+
+    Args:
+        trace: iterable of :class:`~repro.simt.stack.MaskedInstruction`.
+        warp_id: warp identity (seeds launch state and addressing).
+        line_bytes: memory transaction granularity for coalescing stats.
+    """
+    state = LaneState(warp_id=warp_id)
+    coalescing = CoalescingStats()
+    executed = 0
+    lanes_total = 0
+
+    for item in trace:
+        inst: Instruction = item.inst
+        mask = item.mask
+        if inst.predicate is not None:
+            flags = state.pred(inst.predicate.id)
+            if inst.predicate.negated:
+                flags = ~flags
+            mask = mask & ActiveMask.from_bools(flags)
+        if not mask:
+            continue
+        executed += 1
+        lanes_total += mask.count
+
+        operands: List[np.ndarray] = [
+            state.reg(src.id) for src in inst.sources
+        ]
+        imm = np.full(WARP_WIDTH, inst.immediate or 0, dtype=_U32)
+        while len(operands) < 3:
+            operands.append(imm)
+
+        if inst.op_class is OpClass.MEM_LOAD:
+            addresses = operands[0]
+            coalescing.record(transactions_for_addresses(
+                addresses, mask, line_bytes))
+            values = np.fromiter(
+                (state.memory.get(int(addr), int(addr) * 2654435761 & 0xFFFFFFFF)
+                 for addr in addresses),
+                dtype=np.uint64, count=WARP_WIDTH,
+            ).astype(_U32)
+            if inst.dest is not None and inst.dest != SINK_REGISTER:
+                state.write_reg(inst.dest.id, values, mask)
+            continue
+        if inst.op_class is OpClass.MEM_STORE:
+            addresses, values = operands[0], operands[1]
+            coalescing.record(transactions_for_addresses(
+                addresses, mask, line_bytes))
+            for lane in mask.lanes():
+                state.memory[int(addresses[lane])] = int(values[lane])
+            continue
+        if inst.op_class in (OpClass.CONTROL, OpClass.NOP):
+            continue
+
+        result = _vector_op(inst.opcode.name, operands[0], operands[1],
+                            operands[2])
+        if inst.pred_dest is not None:
+            flags = state.pred(inst.pred_dest.id).copy()
+            active = np.fromiter(
+                (lane in mask for lane in range(WARP_WIDTH)),
+                dtype=bool, count=WARP_WIDTH,
+            )
+            flags[active] = result.astype(bool)[active]
+            state.predicates[inst.pred_dest.id] = flags
+        if inst.dest is not None and inst.dest != SINK_REGISTER:
+            state.write_reg(inst.dest.id, result, mask)
+
+    return LaneExecutionResult(
+        state=state,
+        coalescing=coalescing,
+        instructions_executed=executed,
+        lanes_executed=lanes_total,
+    )

@@ -1,0 +1,111 @@
+"""32-lane active masks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from ..errors import SimulationError
+
+#: Threads per warp (lanes per mask).
+WARP_WIDTH = 32
+
+_ALL = (1 << WARP_WIDTH) - 1
+
+
+@dataclass(frozen=True)
+class ActiveMask:
+    """An immutable 32-bit lane mask."""
+
+    bits: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.bits <= _ALL:
+            raise SimulationError(f"mask out of range: {self.bits:#x}")
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def full(cls) -> "ActiveMask":
+        return cls(_ALL)
+
+    @classmethod
+    def none(cls) -> "ActiveMask":
+        return cls(0)
+
+    @classmethod
+    def from_lanes(cls, lanes) -> "ActiveMask":
+        bits = 0
+        for lane in lanes:
+            if not 0 <= lane < WARP_WIDTH:
+                raise SimulationError(f"lane {lane} out of range")
+            bits |= 1 << lane
+        return cls(bits)
+
+    @classmethod
+    def from_bools(cls, flags) -> "ActiveMask":
+        """Mask from an iterable of 32 booleans (lane 0 first)."""
+        flags = list(flags)
+        if len(flags) != WARP_WIDTH:
+            raise SimulationError(
+                f"need exactly {WARP_WIDTH} flags, got {len(flags)}"
+            )
+        bits = 0
+        for lane, flag in enumerate(flags):
+            if flag:
+                bits |= 1 << lane
+        return cls(bits)
+
+    # -- queries -----------------------------------------------------------
+
+    def __bool__(self) -> bool:
+        return self.bits != 0
+
+    def __len__(self) -> int:
+        return bin(self.bits).count("1")
+
+    @property
+    def count(self) -> int:
+        return len(self)
+
+    def __contains__(self, lane: int) -> bool:
+        return bool(self.bits >> lane & 1)
+
+    def lanes(self) -> Iterator[int]:
+        """Active lane indices, ascending."""
+        for lane in range(WARP_WIDTH):
+            if self.bits >> lane & 1:
+                yield lane
+
+    @property
+    def is_full(self) -> bool:
+        return self.bits == _ALL
+
+    def utilization(self) -> float:
+        """Fraction of lanes active (SIMD efficiency of this issue)."""
+        return len(self) / WARP_WIDTH
+
+    # -- algebra --------------------------------------------------------------
+
+    def __and__(self, other: "ActiveMask") -> "ActiveMask":
+        return ActiveMask(self.bits & other.bits)
+
+    def __or__(self, other: "ActiveMask") -> "ActiveMask":
+        return ActiveMask(self.bits | other.bits)
+
+    def __invert__(self) -> "ActiveMask":
+        return ActiveMask(~self.bits & _ALL)
+
+    def minus(self, other: "ActiveMask") -> "ActiveMask":
+        return ActiveMask(self.bits & ~other.bits & _ALL)
+
+    def partition(self, taken: "ActiveMask") -> Tuple["ActiveMask", "ActiveMask"]:
+        """Split into (taken, not-taken) submasks of this mask."""
+        taken_part = self & taken
+        return taken_part, self.minus(taken_part)
+
+    def __str__(self) -> str:
+        return f"{self.bits:08x}"
+
+
+FULL_MASK = ActiveMask.full()

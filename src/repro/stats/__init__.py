@@ -1,0 +1,18 @@
+"""Statistics: event counters, derived metrics, and table rendering."""
+
+from .counters import Counters
+from .metrics import RunMetrics, bypass_rates, ipc_improvement
+from .report import format_barchart, format_table, format_percent
+from .timeline import Timeline, TimelineSample
+
+__all__ = [
+    "Counters",
+    "RunMetrics",
+    "bypass_rates",
+    "ipc_improvement",
+    "format_table",
+    "format_percent",
+    "format_barchart",
+    "Timeline",
+    "TimelineSample",
+]

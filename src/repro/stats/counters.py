@@ -1,0 +1,108 @@
+"""Event counters collected during simulation and analysis.
+
+:class:`Counters` is a thin, explicit record of every event class the
+energy model and the metrics layer care about.  Using named integer
+fields (rather than a free-form dict) makes the contract between the
+timing model and the energy model checkable: a counter the energy model
+bills must exist here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class Counters:
+    """Raw event counts from one simulation run.
+
+    Register-file events:
+        rf_reads: physical reads served by the register-file banks.
+        rf_writes: physical writes into the register-file banks.
+        bank_conflicts: accesses delayed by a busy bank port.
+
+    Bypass events:
+        bypassed_reads: source operands forwarded from a BOC (no RF read).
+        bypassed_writes: result values whose RF write was eliminated.
+        boc_reads: operand deliveries out of BOC storage.
+        boc_writes: result values deposited into BOC storage.
+        boc_evictions: values evicted from a BOC by capacity pressure.
+        eviction_writebacks: dirty evictions forced to write the RF early.
+
+    Pipeline events:
+        cycles: simulated cycles.
+        instructions: dynamic instructions completed (all warps).
+        issued: instructions issued to collectors.
+        issue_stalls_scoreboard: issue attempts blocked by RAW/WAW hazards.
+        issue_stalls_collector: issue attempts blocked by a full collector.
+        oc_wait_cycles: cycles instructions spent in the operand-collection
+            stage (the paper's Figure 4/12 quantity).
+        oc_wait_cycles_memory: the portion for memory instructions.
+        lifetime_cycles: issue-to-completion cycles summed over all
+            instructions (the denominator of the paper's Figure 4).
+        lifetime_cycles_memory: the portion for memory instructions.
+        mem_instructions: dynamic memory instructions completed.
+        exec_busy_stalls: dispatches delayed by a busy functional unit.
+    """
+
+    rf_reads: int = 0
+    rf_writes: int = 0
+    bank_conflicts: int = 0
+
+    bypassed_reads: int = 0
+    bypassed_writes: int = 0
+    boc_reads: int = 0
+    boc_writes: int = 0
+    boc_evictions: int = 0
+    eviction_writebacks: int = 0
+
+    cycles: int = 0
+    instructions: int = 0
+    issued: int = 0
+    issue_stalls_scoreboard: int = 0
+    issue_stalls_collector: int = 0
+    oc_wait_cycles: int = 0
+    oc_wait_cycles_memory: int = 0
+    lifetime_cycles: int = 0
+    lifetime_cycles_memory: int = 0
+    mem_instructions: int = 0
+    exec_busy_stalls: int = 0
+
+    def __add__(self, other: "Counters") -> "Counters":
+        if not isinstance(other, Counters):
+            return NotImplemented
+        merged = Counters()
+        for item in fields(Counters):
+            setattr(merged, item.name,
+                    getattr(self, item.name) + getattr(other, item.name))
+        return merged
+
+    @property
+    def total_reads(self) -> int:
+        """All source-operand deliveries (RF + forwarded)."""
+        return self.rf_reads + self.bypassed_reads
+
+    @property
+    def total_writes(self) -> int:
+        """All result values produced (written or bypassed)."""
+        return self.rf_writes + self.bypassed_writes
+
+    @property
+    def read_bypass_rate(self) -> float:
+        """Fraction of operand reads that never touched the RF."""
+        total = self.total_reads
+        return self.bypassed_reads / total if total else 0.0
+
+    @property
+    def write_bypass_rate(self) -> float:
+        """Fraction of result writes that never touched the RF."""
+        total = self.total_writes
+        return self.bypassed_writes / total if total else 0.0
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle across the simulated SM."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def as_dict(self) -> dict:
+        return {item.name: getattr(self, item.name) for item in fields(Counters)}

@@ -1,0 +1,72 @@
+"""Derived metrics over raw counters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import SimulationError
+from .counters import Counters
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Headline metrics of one simulation run.
+
+    Built from :class:`~repro.stats.counters.Counters` by
+    :meth:`RunMetrics.from_counters`; a baseline run can be attached to
+    compute the paper's normalized quantities (IPC improvement,
+    normalized OC residency).
+    """
+
+    ipc: float
+    read_bypass_rate: float
+    write_bypass_rate: float
+    rf_reads: int
+    rf_writes: int
+    oc_wait_cycles: int
+    cycles: int
+    instructions: int
+
+    @classmethod
+    def from_counters(cls, counters: Counters) -> "RunMetrics":
+        return cls(
+            ipc=counters.ipc,
+            read_bypass_rate=counters.read_bypass_rate,
+            write_bypass_rate=counters.write_bypass_rate,
+            rf_reads=counters.rf_reads,
+            rf_writes=counters.rf_writes,
+            oc_wait_cycles=counters.oc_wait_cycles,
+            cycles=counters.cycles,
+            instructions=counters.instructions,
+        )
+
+    def ipc_improvement_over(self, baseline: "RunMetrics") -> float:
+        """Relative IPC gain over a baseline run (paper Figures 10/11)."""
+        if baseline.ipc <= 0:
+            raise SimulationError("baseline IPC is zero; cannot normalize")
+        return self.ipc / baseline.ipc - 1.0
+
+    def oc_residency_vs(self, baseline: "RunMetrics") -> float:
+        """OC-stage cycles normalized to a baseline run (paper Figure 12).
+
+        Residency is normalized per completed instruction so runs of
+        slightly different lengths compare fairly.
+        """
+        if baseline.oc_wait_cycles <= 0:
+            raise SimulationError("baseline has no OC residency to normalize by")
+        own = self.oc_wait_cycles / max(1, self.instructions)
+        base = baseline.oc_wait_cycles / max(1, baseline.instructions)
+        return own / base
+
+
+def bypass_rates(counters: Counters) -> tuple:
+    """(read, write) bypass rates of a run."""
+    return counters.read_bypass_rate, counters.write_bypass_rate
+
+
+def ipc_improvement(run: Counters, baseline: Counters) -> float:
+    """Relative IPC gain of ``run`` over ``baseline``."""
+    return RunMetrics.from_counters(run).ipc_improvement_over(
+        RunMetrics.from_counters(baseline)
+    )

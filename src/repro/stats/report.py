@@ -1,0 +1,89 @@
+"""Plain-text table rendering for the experiment drivers.
+
+The paper's figures are bar charts over benchmarks; without a plotting
+dependency we render the same series as aligned ASCII tables, which is
+what the benchmark harness prints and what EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    """Render a fraction as a percentage string (0.553 -> '55.3%')."""
+    return f"{value * 100:.{digits}f}%"
+
+
+def _render_cell(cell: Cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Cell]],
+                 title: str = "") -> str:
+    """Render an aligned text table.
+
+    Args:
+        headers: column headers.
+        rows: row cells; floats are rendered with three decimals, other
+            values with ``str``.
+        title: optional title line printed above the table.
+    """
+    rendered: List[List[str]] = [[_render_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append(line(["-" * w for w in widths]))
+    parts.extend(line(row) for row in rendered)
+    return "\n".join(parts)
+
+
+def format_barchart(
+    series: Sequence[tuple],
+    title: str = "",
+    width: int = 40,
+    max_value: float = 0.0,
+    render_value=None,
+) -> str:
+    """Render labeled values as a horizontal text bar chart.
+
+    The paper's figures are bar charts over benchmarks; this gives the
+    text reports the same at-a-glance shape.
+
+    Args:
+        series: ``(label, value)`` pairs; values must be non-negative.
+        title: optional heading.
+        width: characters of the longest bar.
+        max_value: bar-scale maximum; defaults to the series maximum.
+        render_value: value formatter (default: percentage).
+    """
+    render_value = render_value or format_percent
+    pairs = [(str(label), float(value)) for label, value in series]
+    if any(value < 0 for _, value in pairs):
+        raise ValueError("bar chart values must be non-negative")
+    scale = max_value or max((value for _, value in pairs), default=0.0)
+    label_width = max((len(label) for label, _ in pairs), default=0)
+
+    lines: List[str] = [title] if title else []
+    for label, value in pairs:
+        length = round(value / scale * width) if scale else 0
+        bar = "#" * length
+        lines.append(
+            f"{label.ljust(label_width)}  {bar.ljust(width)} "
+            f"{render_value(value)}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,98 @@
+"""Time-series sampling of a simulation run.
+
+Aggregate counters hide phase behaviour — warm-up, steady state, the
+drain tail.  A :class:`Timeline` records a snapshot every ``interval``
+cycles so IPC and bypass activity can be plotted (or tabulated) over
+time.  Attach one to the engine via ``SMEngine(..., timeline=...)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True)
+class TimelineSample:
+    """One snapshot of cumulative counters.
+
+    Attributes:
+        cycle: sample time.
+        instructions: cumulative completed instructions.
+        rf_accesses: cumulative physical RF reads + writes.
+        bypassed: cumulative forwarded operands + eliminated writes.
+    """
+
+    cycle: int
+    instructions: int
+    rf_accesses: int
+    bypassed: int
+
+
+@dataclass
+class Timeline:
+    """Collects samples every ``interval`` cycles during a run."""
+
+    interval: int = 100
+    samples: List[TimelineSample] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.interval < 1:
+            raise SimulationError(
+                f"interval must be >= 1, got {self.interval}"
+            )
+
+    def maybe_sample(self, cycle: int, counters, rf_reads: int,
+                     rf_writes: int) -> None:
+        """Record a snapshot when ``cycle`` hits the sampling grid."""
+        if cycle % self.interval != 0:
+            return
+        self.samples.append(TimelineSample(
+            cycle=cycle,
+            instructions=counters.instructions,
+            rf_accesses=rf_reads + rf_writes,
+            bypassed=counters.bypassed_reads + counters.bypassed_writes,
+        ))
+
+    # -- derived series -----------------------------------------------------
+
+    def ipc_series(self) -> List[float]:
+        """Per-interval IPC (not cumulative)."""
+        series = []
+        previous = TimelineSample(0, 0, 0, 0)
+        for sample in self.samples:
+            cycles = sample.cycle - previous.cycle
+            if cycles > 0:
+                series.append(
+                    (sample.instructions - previous.instructions) / cycles
+                )
+            previous = sample
+        return series
+
+    def bypass_series(self) -> List[float]:
+        """Per-interval fraction of operand traffic served by bypassing."""
+        series = []
+        previous = TimelineSample(0, 0, 0, 0)
+        for sample in self.samples:
+            accesses = sample.rf_accesses - previous.rf_accesses
+            bypassed = sample.bypassed - previous.bypassed
+            total = accesses + bypassed
+            series.append(bypassed / total if total else 0.0)
+            previous = sample
+        return series
+
+    def format(self, width: int = 50) -> str:
+        """A text sparkline of per-interval IPC."""
+        series = self.ipc_series()
+        if not series:
+            return "(no samples)"
+        peak = max(series) or 1.0
+        glyphs = " .:-=+*#%@"
+        line = "".join(
+            glyphs[min(len(glyphs) - 1,
+                       int(value / peak * (len(glyphs) - 1)))]
+            for value in series[:width]
+        )
+        return f"IPC/interval (peak {peak:.2f}): [{line}]"

@@ -1,0 +1,84 @@
+"""Tests for transient-register allocation elision (SS IV-B.2a)."""
+
+import pytest
+
+from repro.compiler.allocation import (
+    effective_register_demand,
+    linear_register_demand,
+)
+from repro.errors import CompilerError
+from repro.isa import parse_program
+from repro.kernels.cfg import straightline_kernel
+from repro.kernels.snippets import BTREE_SNIPPET_ASM
+from repro.kernels.suites import get_profile
+from repro.kernels.synthetic import generate_kernel
+
+
+class TestLinear:
+    def test_pure_transient_kernel(self):
+        result = linear_register_demand(parse_program("""
+            mov.u32 $r1, 0x1
+            add.u32 $r2, $r1, $r1
+            st.global.u32 [$r3], $r2
+        """), window_size=3)
+        # $r1 and $r2 die inside the window; $r3 is read-only (no write).
+        assert result.transient_registers == 2
+        assert result.transient_write_fraction == pytest.approx(1.0)
+        assert result.total_registers == 3
+
+    def test_live_out_register_needs_rf(self):
+        result = linear_register_demand(
+            parse_program("mov.u32 $r1, 0x1"),
+            window_size=3,
+            live_out=frozenset({1}),
+        )
+        assert result.transient_registers == 0
+        assert result.rf_resident_registers == 1
+
+    def test_register_savings_fraction(self):
+        result = linear_register_demand(parse_program("""
+            mov.u32 $r1, 0x1
+            add.u32 $r2, $r1, $r1
+        """), window_size=3)
+        assert result.register_savings == pytest.approx(1.0)
+
+    def test_btree_snippet_demand(self):
+        result = linear_register_demand(parse_program(BTREE_SNIPPET_ASM), 3)
+        # $r1 and $r3 must reach the RF (Table I); the transient set is
+        # everything else that is written ($r0, $r2, $r4).
+        assert result.transient_registers == 3
+
+
+class TestCfg:
+    def test_mixed_kernel(self):
+        kernel = straightline_kernel("k", parse_program("""
+            mov.u32 $r1, 0x1
+            add.u32 $r2, $r1, $r1
+            mov.u32 $r5, 0x0
+            mov.u32 $r6, 0x0
+            add.u32 $r3, $r1, $r2
+        """))
+        result = effective_register_demand(kernel, 3)
+        # $r1 is reused beyond the window => RF-resident.
+        assert result.rf_resident_registers >= 1
+        assert 0.0 <= result.transient_write_fraction <= 1.0
+
+    def test_rejects_bad_window(self):
+        kernel = straightline_kernel("k", parse_program("mov.u32 $r1, 0x1"))
+        with pytest.raises(CompilerError):
+            effective_register_demand(kernel, 0)
+
+    def test_benchmark_transient_fraction_near_paper(self):
+        # The paper reports ~52% of operands transient at IW=3; the
+        # synthetic suite should land in the same region.
+        kernel = generate_kernel(get_profile("BACKPROP").spec)
+        result = effective_register_demand(kernel, 3)
+        assert 0.3 <= result.transient_write_fraction <= 0.75
+
+    def test_window_size_monotone(self):
+        kernel = generate_kernel(get_profile("NW").spec)
+        fractions = [
+            effective_register_demand(kernel, iw).transient_write_fraction
+            for iw in (2, 3, 5)
+        ]
+        assert fractions[0] <= fractions[1] <= fractions[2]

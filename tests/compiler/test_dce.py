@@ -1,0 +1,125 @@
+"""Tests for dead-code elimination."""
+
+import pytest
+
+from repro.compiler.dce import (
+    dead_write_fraction,
+    eliminate_dead_code,
+    eliminate_dead_code_block,
+)
+from repro.gpu.reference import execute_reference
+from repro.isa import parse_program
+from repro.kernels.cfg import BasicBlock, Edge, KernelCFG, straightline_kernel
+from repro.kernels.trace import KernelTrace, WarpTrace
+
+
+def program(text):
+    return parse_program(text)
+
+
+class TestBlockLevel:
+    def test_removes_unread_write(self):
+        cleaned = eliminate_dead_code_block(program("""
+            mov.u32 $r1, 0x1
+            mov.u32 $r2, 0x2
+            st.global.u32 [$r3], $r2
+        """))
+        assert [str(i) for i in cleaned] == [
+            "mov $r2, 0x00000002",
+            "st.global $r3, $r2",
+        ]
+
+    def test_cascading_removal(self):
+        # Removing the dead consumer kills its producer too.
+        cleaned = eliminate_dead_code_block(program("""
+            mov.u32 $r1, 0x1
+            add.u32 $r2, $r1, $r1
+            nop
+        """))
+        assert [i.opcode.name for i in cleaned] == ["nop"]
+
+    def test_live_out_protects(self):
+        cleaned = eliminate_dead_code_block(
+            program("mov.u32 $r1, 0x1"), live_out=frozenset({1})
+        )
+        assert len(cleaned) == 1
+
+    def test_overwritten_before_read_is_dead(self):
+        cleaned = eliminate_dead_code_block(program("""
+            mov.u32 $r1, 0x1
+            mov.u32 $r1, 0x2
+            st.global.u32 [$r3], $r1
+        """))
+        assert len(cleaned) == 2
+        assert cleaned[0].immediate == 2
+
+    def test_side_effects_never_removed(self):
+        text = """
+            ld.global.u32 $r1, [$r2]
+            st.global.u32 [$r2], $r3
+            set.ne.s32.s32 $p0/$o127, $r4, $r5
+            bra 0x40
+        """
+        cleaned = eliminate_dead_code_block(program(text))
+        assert len(cleaned) == 4  # load kept: memory access is an effect
+
+    def test_semantics_preserved(self):
+        text = """
+            mov.u32 $r1, 0x1
+            mov.u32 $r9, 0x63
+            add.u32 $r2, $r1, $r1
+            st.global.u32 [$r1], $r2
+        """
+        original = program(text)
+        cleaned = eliminate_dead_code_block(original)
+        ref_a = execute_reference(
+            KernelTrace(name="a", warps=[WarpTrace(0, list(original))])
+        )
+        ref_b = execute_reference(
+            KernelTrace(name="b", warps=[WarpTrace(0, list(cleaned))])
+        )
+        assert ref_a.memory == ref_b.memory
+
+
+class TestKernelLevel:
+    def test_cross_block_liveness_respected(self):
+        cfg = KernelCFG("k", [
+            BasicBlock("a", program("mov.u32 $r1, 0x1"), [Edge("b")]),
+            BasicBlock("b", program("st.global.u32 [$r2], $r1")),
+        ], entry="a")
+        result = eliminate_dead_code(cfg)
+        assert result.removed == 0  # $r1 consumed in the next block
+
+    def test_kernel_fixpoint(self):
+        kernel = straightline_kernel("k", program("""
+            mov.u32 $r1, 0x1
+            add.u32 $r2, $r1, $r1
+            add.u32 $r3, $r2, $r2
+            st.global.u32 [$r9], $r9
+        """))
+        result = eliminate_dead_code(kernel)
+        assert result.removed == 3
+        assert result.dead_fraction == pytest.approx(3 / 4)
+
+    def test_benchmark_kernels_contain_dead_writes(self):
+        # The calibration note: part of the suite's write-bypass headroom
+        # is dead code (as in real unoptimized kernels).
+        from repro.kernels.suites import get_profile
+        from repro.kernels.synthetic import generate_kernel
+
+        cfg = generate_kernel(get_profile("WP").spec)
+        result = eliminate_dead_code(cfg)
+        assert 0.0 <= result.dead_fraction < 0.5
+
+
+class TestDeadWriteFraction:
+    def test_fraction(self):
+        fraction = dead_write_fraction(program("""
+            mov.u32 $r1, 0x1
+            mov.u32 $r2, 0x2
+            st.global.u32 [$r3], $r2
+        """))
+        assert fraction == pytest.approx(0.5)
+
+    def test_no_writes(self):
+        assert dead_write_fraction(program("nop")) == 0.0

@@ -1,0 +1,93 @@
+"""Tests for backward liveness analysis."""
+
+from repro.compiler.liveness import compute_liveness
+from repro.isa import parse_program
+from repro.kernels.cfg import BasicBlock, Edge, KernelCFG, straightline_kernel
+
+
+def simple_kernel():
+    return straightline_kernel("simple", parse_program("""
+        mov.u32 $r1, 0x1
+        add.u32 $r2, $r1, $r1
+        st.global.u32 [$r3], $r2
+    """))
+
+
+class TestStraightline:
+    def test_live_in_contains_unwritten_reads(self):
+        result = compute_liveness(simple_kernel())
+        assert result.live_in["entry"] == frozenset({3})
+
+    def test_per_instruction_live_out(self):
+        result = compute_liveness(simple_kernel())
+        live = result.per_instruction_live_out["entry"]
+        # After mov: $r1 (for the add), $r3 (for the store).
+        assert live[0] == frozenset({1, 3})
+        # After add: $r2 and $r3 for the store.
+        assert live[1] == frozenset({2, 3})
+        # After the store: nothing.
+        assert live[2] == frozenset()
+
+    def test_is_live_after_helper(self):
+        result = compute_liveness(simple_kernel())
+        assert result.is_live_after("entry", 0, 1)
+        assert not result.is_live_after("entry", 1, 1)
+
+    def test_boundary_registers_live_at_exit(self):
+        result = compute_liveness(simple_kernel(), boundary=frozenset({2}))
+        live = result.per_instruction_live_out["entry"]
+        assert 2 in live[2]
+
+
+class TestAcrossBlocks:
+    def _cfg(self):
+        return KernelCFG(
+            "cross",
+            [
+                BasicBlock("a", parse_program("mov.u32 $r1, 0x1"),
+                           [Edge("b", 0.5), Edge("c", 0.5)]),
+                BasicBlock("b", parse_program("add.u32 $r2, $r1, $r1"),
+                           [Edge("d")]),
+                BasicBlock("c", parse_program("mov.u32 $r2, 0x9"),
+                           [Edge("d")]),
+                BasicBlock("d", parse_program("st.global.u32 [$r2], $r1")),
+            ],
+            entry="a",
+        )
+
+    def test_value_live_across_branch(self):
+        result = compute_liveness(self._cfg())
+        # $r1 used in b and d: live out of a.
+        assert 1 in result.live_out["a"]
+        # $r2 defined on both paths, used in d.
+        assert 2 in result.live_out["b"]
+        assert 2 in result.live_out["c"]
+        assert 2 not in result.live_in["a"]
+
+    def test_loop_keeps_accumulator_live(self):
+        cfg = KernelCFG(
+            "loop",
+            [
+                BasicBlock("entry", parse_program("mov.u32 $r1, 0x0"),
+                           [Edge("body")]),
+                BasicBlock("body", parse_program("add.u32 $r1, $r1, $r2"),
+                           [Edge("body", 0.8), Edge("exit", 0.2)]),
+                BasicBlock("exit", parse_program("st.global.u32 [$r3], $r1")),
+            ],
+            entry="entry",
+        )
+        result = compute_liveness(cfg)
+        assert 1 in result.live_out["body"]  # live around the back edge
+        assert 2 in result.live_in["entry"]  # read-only input
+
+
+class TestSinkRegister:
+    def test_sink_never_live(self):
+        kernel = straightline_kernel("sink", parse_program("""
+            set.ne.s32.s32 $p0/$o127, $r1, $r2
+            st.global.u32 [$r3], $r1
+        """))
+        result = compute_liveness(kernel)
+        from repro.isa.registers import SINK_REGISTER
+
+        assert SINK_REGISTER.id not in result.live_in["entry"]

@@ -1,0 +1,54 @@
+"""Tests for the compile() driver."""
+
+import pytest
+
+from repro.compiler import compile_kernel
+from repro.compiler.writeback import WritebackClass
+from repro.isa import WritebackHint, parse_program
+from repro.kernels.cfg import straightline_kernel
+from repro.kernels.suites import get_profile
+from repro.kernels.synthetic import generate_kernel
+
+
+@pytest.fixture
+def compiled():
+    kernel = straightline_kernel("k", parse_program("""
+        mov.u32 $r1, 0x1
+        add.u32 $r2, $r1, $r1
+        st.global.u32 [$r3], $r2
+    """))
+    return compile_kernel(kernel, window_size=3)
+
+
+class TestCompileKernel:
+    def test_result_fields(self, compiled):
+        assert compiled.window_size == 3
+        assert "entry" in compiled.classifications
+        assert compiled.allocation.total_registers == 3
+
+    def test_instructions_annotated_in_place(self, compiled):
+        block = compiled.cfg.blocks["entry"]
+        assert block.instructions[0].hint is WritebackHint.OC_ONLY
+
+    def test_hint_map_covers_all_dests(self, compiled):
+        dest_uids = [
+            inst.uid
+            for block in compiled.cfg
+            for inst in block.instructions
+            if inst.dest is not None
+        ]
+        assert set(dest_uids) <= set(compiled.hints)
+
+    def test_hint_distribution(self, compiled):
+        dist = compiled.hint_distribution()
+        assert dist[WritebackClass.OC_ONLY] == pytest.approx(1.0)
+
+    def test_benchmark_kernel_compiles(self):
+        kernel = generate_kernel(get_profile("SRAD").spec)
+        compiled = compile_kernel(kernel, window_size=3)
+        dist = compiled.hint_distribution()
+        assert sum(dist.values()) == pytest.approx(1.0)
+        # All three targets appear in a realistic kernel.
+        assert dist[WritebackClass.RF_ONLY] > 0
+        assert dist[WritebackClass.OC_ONLY] > 0
+        assert dist[WritebackClass.BOTH] > 0

@@ -1,0 +1,116 @@
+"""Tests for reuse-distance analysis."""
+
+import pytest
+
+from repro.compiler.reuse import (
+    distance_histogram,
+    read_bypass_fraction,
+    reuse_distances,
+)
+from repro.errors import CompilerError
+from repro.isa import parse_program
+
+
+def trace(text):
+    return parse_program(text)
+
+
+class TestReuseDistances:
+    def test_first_access_has_no_distance(self):
+        events = list(reuse_distances(trace("add.u32 $r1, $r2, $r3")))
+        assert all(e.distance is None for e in events)
+
+    def test_distance_counts_instructions(self):
+        program = trace("""
+            mov.u32 $r1, 0x1
+            mov.u32 $r2, 0x2
+            add.u32 $r3, $r1, $r2
+        """)
+        events = [e for e in reuse_distances(program) if not e.is_write]
+        by_reg = {e.register_id: e.distance for e in events}
+        assert by_reg[1] == 2  # written at 0, read at 2
+        assert by_reg[2] == 1
+
+    def test_same_instruction_read_then_write(self):
+        # add $r1, $r1, $r1: reads see the previous access; the write
+        # sees the reads at distance zero.
+        program = trace("""
+            mov.u32 $r1, 0x1
+            add.u32 $r1, $r1, $r1
+        """)
+        events = list(reuse_distances(program))
+        write_events = [e for e in events if e.is_write and e.index == 1]
+        assert write_events[0].distance == 0
+
+    def test_sink_register_writes_skipped(self):
+        program = trace("set.ne.s32.s32 $p0/$o127, $r1, $r2")
+        assert all(not e.is_write for e in reuse_distances(program))
+
+
+class TestReadBypassFraction:
+    def test_no_reuse_means_zero(self):
+        program = trace("""
+            add.u32 $r1, $r2, $r3
+            add.u32 $r4, $r5, $r6
+        """)
+        assert read_bypass_fraction(program, 3) == 0.0
+
+    def test_adjacent_reuse_bypassed_at_iw2(self):
+        program = trace("""
+            mov.u32 $r1, 0x1
+            add.u32 $r2, $r1, $r1
+        """)
+        assert read_bypass_fraction(program, 2) == 1.0
+
+    def test_distance_equal_to_window_not_bypassed(self):
+        program = trace("""
+            mov.u32 $r1, 0x1
+            mov.u32 $r9, 0x2
+            add.u32 $r2, $r1, $r1
+        """)
+        # Distance 2 needs IW >= 3.
+        assert read_bypass_fraction(program, 2) == pytest.approx(0.5)
+        assert read_bypass_fraction(program, 3) == 1.0
+
+    def test_monotone_in_window(self):
+        program = trace("""
+            mov.u32 $r1, 0x1
+            mov.u32 $r2, 0x2
+            mov.u32 $r3, 0x3
+            add.u32 $r4, $r1, $r2
+            add.u32 $r5, $r3, $r4
+        """)
+        fractions = [read_bypass_fraction(program, iw) for iw in range(1, 6)]
+        assert fractions == sorted(fractions)
+
+    def test_window_one_only_same_instruction(self):
+        program = trace("""
+            mov.u32 $r1, 0x1
+            add.u32 $r2, $r1, $r1
+        """)
+        # IW=1: no cross-instruction forwarding; the second read of $r1
+        # in the same instruction has distance 0.
+        assert read_bypass_fraction(program, 1) == pytest.approx(0.5)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(CompilerError):
+            read_bypass_fraction([], 0)
+
+
+class TestHistogram:
+    def test_histogram_keys(self):
+        program = trace("""
+            mov.u32 $r1, 0x1
+            add.u32 $r2, $r1, $r1
+            add.u32 $r3, $r1, $r2
+        """)
+        hist = distance_histogram(program)
+        assert hist[1] >= 1
+        assert sum(hist.values()) == 4
+
+    def test_clamping(self):
+        lines = ["mov.u32 $r1, 0x1"]
+        lines += [f"mov.u32 $r{2 + i}, 0x0" for i in range(30)]
+        lines += ["add.u32 $r40, $r1, $r1"]
+        hist = distance_histogram(trace("\n".join(lines)), max_distance=8)
+        assert 8 in hist  # the distant read clamps to the max bucket

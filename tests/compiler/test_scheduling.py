@@ -1,0 +1,173 @@
+"""Tests for bypass-aware instruction scheduling (footnote-1 extension)."""
+
+import random
+
+import pytest
+
+from repro.compiler.scheduling import (
+    build_dependence_dag,
+    schedule_block,
+    schedule_kernel,
+)
+from repro.core.window import read_bypass_counts
+from repro.errors import CompilerError
+from repro.gpu.reference import execute_reference
+from repro.isa import parse_program
+from repro.kernels.cfg import straightline_kernel
+from repro.kernels.trace import KernelTrace, WarpTrace
+
+
+def program(text):
+    return parse_program(text)
+
+
+class TestDependenceDag:
+    def test_raw_edge(self):
+        dag = build_dependence_dag(program("""
+            mov.u32 $r1, 0x1
+            add.u32 $r2, $r1, $r1
+        """))
+        assert 0 in dag[1]
+
+    def test_waw_edge(self):
+        dag = build_dependence_dag(program("""
+            mov.u32 $r1, 0x1
+            mov.u32 $r1, 0x2
+        """))
+        assert 0 in dag[1]
+
+    def test_war_edge(self):
+        dag = build_dependence_dag(program("""
+            add.u32 $r2, $r1, $r1
+            mov.u32 $r1, 0x2
+        """))
+        assert 0 in dag[1]
+
+    def test_independent_no_edge(self):
+        dag = build_dependence_dag(program("""
+            mov.u32 $r1, 0x1
+            mov.u32 $r2, 0x2
+        """))
+        assert not dag[1]
+
+    def test_memory_order_preserved(self):
+        dag = build_dependence_dag(program("""
+            st.global.u32 [$r1], $r2
+            ld.global.u32 $r3, [$r4]
+        """))
+        assert 0 in dag[1]
+
+    def test_control_orders_everything(self):
+        dag = build_dependence_dag(program("""
+            mov.u32 $r1, 0x1
+            bra 0x40
+            mov.u32 $r2, 0x2
+        """))
+        assert 0 in dag[1]  # mov before branch
+        assert 1 in dag[2]  # branch before later mov
+
+
+class TestScheduleBlock:
+    def test_identity_when_no_improvement(self):
+        block = program("""
+            mov.u32 $r1, 0x1
+            add.u32 $r2, $r1, $r1
+        """)
+        result = schedule_block(block, 3)
+        assert result.permutation == (0, 1)
+        assert result.moved == 0
+
+    def test_pulls_consumer_toward_producer(self):
+        # $r1's consumer sits 4 instructions away behind independent
+        # fillers; scheduling should shrink the distance below IW=3.
+        block = program("""
+            mov.u32 $r1, 0x1
+            mov.u32 $r4, 0x4
+            mov.u32 $r5, 0x5
+            mov.u32 $r6, 0x6
+            add.u32 $r2, $r1, $r1
+        """)
+        result = schedule_block(block, 3)
+        ordered = [str(i) for i in result.instructions]
+        producer = ordered.index("mov $r1, 0x00000001")
+        consumer = ordered.index("add $r2, $r1, $r1")
+        assert consumer - producer < 3
+        assert result.moved > 0
+
+    def test_never_regresses_block_locality(self):
+        rng = random.Random(5)
+        ops = ["mov.u32 $r{d}, 0x1", "add.u32 $r{d}, $r{a}, $r{b}"]
+        for trial in range(20):
+            lines = []
+            for _ in range(12):
+                template = rng.choice(ops)
+                lines.append(template.format(
+                    d=rng.randint(1, 6), a=rng.randint(1, 6),
+                    b=rng.randint(1, 6),
+                ))
+            block = program("\n".join(lines))
+            before, total = read_bypass_counts(block, 3)
+            result = schedule_block(block, 3)
+            after, _ = read_bypass_counts(list(result.instructions), 3)
+            assert after >= before, trial
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(CompilerError):
+            schedule_block(program("nop"), 0)
+
+
+class TestSemanticsPreserved:
+    def _run(self, instructions):
+        trace = KernelTrace(name="s", warps=[WarpTrace(0, list(instructions))])
+        return execute_reference(trace)
+
+    def test_scheduled_block_computes_same_values(self):
+        block = program("""
+            mov.u32 $r1, 0x1
+            mov.u32 $r4, 0x4
+            mov.u32 $r5, 0x5
+            add.u32 $r2, $r1, $r1
+            add.u32 $r3, $r4, $r5
+            st.global.u32 [$r2], $r3
+        """)
+        result = schedule_block(block, 3)
+        assert self._run(block).memory == self._run(result.instructions).memory
+
+    def test_random_programs_preserved(self):
+        rng = random.Random(11)
+        for trial in range(15):
+            lines = []
+            for _ in range(14):
+                choice = rng.random()
+                d, a, b = (rng.randint(1, 7) for _ in range(3))
+                if choice < 0.5:
+                    lines.append(f"add.u32 $r{d}, $r{a}, $r{b}")
+                elif choice < 0.7:
+                    lines.append(f"mov.u32 $r{d}, 0x{rng.randint(0, 255):x}")
+                elif choice < 0.85:
+                    lines.append(f"ld.global.u32 $r{d}, [$r{a}]")
+                else:
+                    lines.append(f"st.global.u32 [$r{a}], $r{b}")
+            block = program("\n".join(lines))
+            scheduled = schedule_block(block, 3).instructions
+            before = self._run(block)
+            after = self._run(scheduled)
+            assert before.memory == after.memory, trial
+            assert before.registers == after.registers, trial
+
+
+class TestScheduleKernel:
+    def test_in_place_rewrite(self):
+        kernel = straightline_kernel("k", program("""
+            mov.u32 $r1, 0x1
+            mov.u32 $r4, 0x4
+            mov.u32 $r5, 0x5
+            mov.u32 $r6, 0x6
+            add.u32 $r2, $r1, $r1
+        """))
+        moved = schedule_kernel(kernel, 3)
+        assert moved > 0
+        bypassed, _ = read_bypass_counts(
+            kernel.blocks["entry"].instructions, 3
+        )
+        assert bypassed >= 2

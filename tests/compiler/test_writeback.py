@@ -1,0 +1,220 @@
+"""Tests for the BOW-WR writeback classifier — the heart of the paper's
+compiler contribution (SS IV-B)."""
+
+import pytest
+
+from repro.compiler.liveness import compute_liveness
+from repro.compiler.writeback import (
+    WritebackClass,
+    annotate_cfg,
+    classify_cfg,
+    classify_linear_writes,
+    hint_distribution,
+)
+from repro.errors import CompilerError
+from repro.isa import WritebackHint, parse_program
+from repro.kernels.cfg import BasicBlock, Edge, KernelCFG, straightline_kernel
+from repro.kernels.snippets import btree_snippet
+
+
+def classify(text, window_size=3, live_out=frozenset()):
+    return classify_linear_writes(parse_program(text), window_size, live_out)
+
+
+def by_reg_index(items):
+    return {(item.register_id, item.index): item.writeback for item in items}
+
+
+class TestChains:
+    def test_transient_chain_is_oc_only(self):
+        # Fig. 6 style: value produced, consumed next instruction, dead.
+        items = classify("""
+            mov.u32 $r1, 0x1
+            add.u32 $r2, $r1, $r1
+            st.global.u32 [$r3], $r2
+        """)
+        classes = by_reg_index(items)
+        assert classes[(1, 0)] is WritebackClass.OC_ONLY
+        assert classes[(2, 1)] is WritebackClass.OC_ONLY
+
+    def test_reuse_beyond_window_is_rf_only(self):
+        items = classify("""
+            mov.u32 $r1, 0x1
+            mov.u32 $r4, 0x0
+            mov.u32 $r5, 0x0
+            mov.u32 $r6, 0x0
+            add.u32 $r2, $r1, $r1
+        """)
+        classes = by_reg_index(items)
+        assert classes[(1, 0)] is WritebackClass.RF_ONLY
+
+    def test_reuse_inside_and_beyond_is_both(self):
+        # Read at distance 1 (forwarded) and at distance 4 (from RF).
+        items = classify("""
+            mov.u32 $r1, 0x1
+            add.u32 $r2, $r1, $r1
+            mov.u32 $r5, 0x0
+            mov.u32 $r6, 0x0
+            add.u32 $r3, $r1, $r2
+        """)
+        classes = by_reg_index(items)
+        assert classes[(1, 0)] is WritebackClass.BOTH
+
+    def test_extended_window_chains_stay_resident(self):
+        # Every gap < IW: accesses at 0,1,2,3 then dead => transient,
+        # even though the last read is 3 instructions after the write.
+        items = classify("""
+            mov.u32 $r1, 0x1
+            add.u32 $r2, $r1, $r4
+            add.u32 $r3, $r1, $r5
+            add.u32 $r6, $r1, $r2
+        """)
+        classes = by_reg_index(items)
+        assert classes[(1, 0)] is WritebackClass.OC_ONLY
+
+    def test_chain_gap_at_window_breaks_residency(self):
+        items = classify("""
+            mov.u32 $r1, 0x1
+            add.u32 $r2, $r1, $r4
+            mov.u32 $r5, 0x0
+            mov.u32 $r6, 0x0
+            add.u32 $r3, $r1, $r2
+        """)
+        # Read at 1 (forwarded), then gap 3 >= IW: the second read needs
+        # the RF => BOTH.
+        classes = by_reg_index(items)
+        assert classes[(1, 0)] is WritebackClass.BOTH
+
+    def test_dead_write_classified_dead(self):
+        items = classify("mov.u32 $r1, 0x1")
+        assert items[0].writeback is WritebackClass.DEAD
+
+    def test_live_out_forces_rf(self):
+        items = classify("mov.u32 $r1, 0x1", live_out=frozenset({1}))
+        assert items[0].writeback is WritebackClass.RF_ONLY
+        assert items[0].needs_rf
+
+    def test_overwritten_value_not_live_out(self):
+        # live_out applies only to the final write of the register.
+        items = classify("""
+            mov.u32 $r1, 0x1
+            mov.u32 $r1, 0x2
+        """, live_out=frozenset({1}))
+        classes = by_reg_index(items)
+        assert classes[(1, 0)] is WritebackClass.DEAD
+        assert classes[(1, 1)] is WritebackClass.RF_ONLY
+
+    def test_read_at_redefinition_belongs_to_old_value(self):
+        # add $r1, $r1, $r2 reads the old $r1 and writes a new one.
+        items = classify("""
+            mov.u32 $r1, 0x1
+            add.u32 $r1, $r1, $r2
+        """)
+        classes = by_reg_index(items)
+        assert classes[(1, 0)] is WritebackClass.OC_ONLY
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(CompilerError):
+            classify("mov.u32 $r1, 0x1", window_size=0)
+
+
+class TestBtreeSnippet:
+    """Pin the classifier to the paper's own worked example."""
+
+    def test_table1_compiler_column(self, snippet):
+        items = classify_linear_writes(snippet, 3)
+        rf_writes = {}
+        for item in items:
+            if item.needs_rf:
+                rf_writes[item.register_id] = rf_writes.get(
+                    item.register_id, 0) + 1
+        # Paper Table I, BOW-WR column: r0=0, r1=1, r2=0, r3=1.
+        assert rf_writes.get(0, 0) == 0
+        assert rf_writes.get(1, 0) == 1
+        assert rf_writes.get(2, 0) == 0
+        assert rf_writes.get(3, 0) == 1
+        assert sum(rf_writes.values()) == 2
+
+    def test_r3_is_rf_only(self, snippet):
+        # ld.global $r3 (line 2): first reuse at line 14, outside IW=3.
+        items = classify_linear_writes(snippet, 3)
+        first = next(i for i in items if i.register_id == 3)
+        assert first.writeback is WritebackClass.RF_ONLY
+
+    def test_r2_line3_is_transient(self, snippet):
+        # mov $r2 (line 3): reuses at 4, 5, 7 all within gaps < 3.
+        items = classify_linear_writes(snippet, 3)
+        first = next(i for i in items if i.register_id == 2)
+        assert first.writeback is WritebackClass.OC_ONLY
+        assert first.reads_in_window == 3
+
+    def test_r1_line10_is_both(self, snippet):
+        # add $r1 (line 10): forwarded to line 11, read again at line 14.
+        items = classify_linear_writes(snippet, 3)
+        r1_items = [i for i in items if i.register_id == 1]
+        assert r1_items[-1].writeback is WritebackClass.BOTH
+
+
+class TestCfgClassification:
+    def test_block_boundary_conservative(self):
+        # $r1 is written at the end of block a and read at the start of
+        # block b: within IW dynamically, but the compiler must not tag
+        # it OC-only across the boundary.
+        cfg = KernelCFG(
+            "cross",
+            [
+                BasicBlock("a", parse_program("mov.u32 $r1, 0x1"),
+                           [Edge("b")]),
+                BasicBlock("b", parse_program("st.global.u32 [$r2], $r1")),
+            ],
+            entry="a",
+        )
+        classified = classify_cfg(cfg, 3)
+        assert classified["a"][0].writeback is WritebackClass.RF_ONLY
+
+    def test_annotate_rewrites_hints(self):
+        kernel = straightline_kernel("k", parse_program("""
+            mov.u32 $r1, 0x1
+            add.u32 $r2, $r1, $r1
+            st.global.u32 [$r3], $r2
+        """))
+        hints = annotate_cfg(kernel, 3)
+        block = kernel.blocks["entry"]
+        assert block.instructions[0].hint is WritebackHint.OC_ONLY
+        assert block.instructions[1].hint is WritebackHint.OC_ONLY
+        assert hints[block.instructions[0].uid] is WritebackHint.OC_ONLY
+
+    def test_annotate_preserves_uids(self):
+        kernel = straightline_kernel("k", parse_program("""
+            mov.u32 $r1, 0x1
+            add.u32 $r2, $r1, $r1
+        """))
+        uids_before = [i.uid for i in kernel.blocks["entry"].instructions]
+        annotate_cfg(kernel, 3)
+        uids_after = [i.uid for i in kernel.blocks["entry"].instructions]
+        assert uids_before == uids_after
+
+
+class TestHintDistribution:
+    def test_distribution_sums_to_one(self, snippet):
+        items = classify_linear_writes(snippet, 3)
+        dist = hint_distribution(items)
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_dead_folds_into_oc_only(self):
+        items = classify("mov.u32 $r1, 0x1")
+        dist = hint_distribution(items)
+        assert dist[WritebackClass.OC_ONLY] == pytest.approx(1.0)
+
+    def test_weighted_distribution(self):
+        items = classify("""
+            mov.u32 $r1, 0x1
+            add.u32 $r2, $r1, $r1
+        """)
+        # Weight the first write 3x, drop the second.
+        dist = hint_distribution(items, weights={0: 3, 1: 0})
+        assert dist[WritebackClass.OC_ONLY] == pytest.approx(1.0)
+
+    def test_empty_distribution(self):
+        dist = hint_distribution([])
+        assert all(v == 0.0 for v in dist.values())

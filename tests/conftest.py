@@ -1,0 +1,77 @@
+"""Shared fixtures: small traces and cached simulation runs.
+
+Timing runs are the expensive part of this suite, so anything reusable
+is session-scoped.  Tests that need isolation build their own traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.gpu.reference import execute_reference
+from repro.kernels.snippets import btree_snippet
+from repro.kernels.suites import get_profile
+from repro.kernels.synthetic import (
+    SyntheticKernelSpec,
+    generate_compiled_trace,
+    generate_trace,
+)
+from repro.core.bow_sm import simulate_design
+
+#: Memory seed shared by the cached runs.
+SEED = 11
+
+
+def small_spec(name: str = "NW", warps: int = 4,
+               iterations: int = 5) -> SyntheticKernelSpec:
+    """A small, fast benchmark spec for timing tests."""
+    return replace(get_profile(name).spec, num_warps=warps,
+                   loop_iterations=iterations)
+
+
+@pytest.fixture(scope="session")
+def snippet():
+    """The Figure 6 BTREE snippet."""
+    return btree_snippet()
+
+
+@pytest.fixture(scope="session")
+def small_trace():
+    """A small multi-warp trace (NW profile, 4 warps)."""
+    return generate_trace(small_spec())
+
+
+@pytest.fixture(scope="session")
+def small_hinted_trace():
+    """The same small trace compiled with IW=3 hints."""
+    return generate_compiled_trace(small_spec(), window_size=3)
+
+
+@pytest.fixture(scope="session")
+def reference_result(small_trace):
+    """Ground-truth state for the small trace."""
+    return execute_reference(small_trace, memory_seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def baseline_run(small_trace):
+    return simulate_design("baseline", small_trace, memory_seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def bow_run(small_trace):
+    return simulate_design("bow", small_trace, window_size=3, memory_seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def bow_wb_run(small_trace):
+    return simulate_design("bow-wb", small_trace, window_size=3,
+                           memory_seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def bow_wr_run(small_hinted_trace):
+    return simulate_design("bow-wr", small_hinted_trace, window_size=3,
+                           memory_seed=SEED)

@@ -1,0 +1,66 @@
+"""Tests for collector occupancy analyses (Figures 8/9)."""
+
+import pytest
+
+from repro.config import bow_wr_config
+from repro.core.occupancy import (
+    OccupancySample,
+    boc_occupancy_histogram,
+    source_operand_histogram,
+)
+from repro.isa import parse_program
+from repro.kernels.trace import KernelTrace, WarpTrace
+
+
+def single_warp(text):
+    return KernelTrace(name="t", warps=[
+        WarpTrace(warp_id=0, instructions=parse_program(text))
+    ])
+
+
+class TestSourceOperandHistogram:
+    def test_counts_by_operand_count(self):
+        trace = single_warp("""
+            nop
+            mov.u32 $r1, $r9
+            add.u32 $r2, $r1, $r1
+            mad.u32 $r3, $r1, $r2, $r1
+        """)
+        histogram = source_operand_histogram(trace)
+        assert histogram[0] == pytest.approx(0.25)
+        assert histogram[1] == pytest.approx(0.25)
+        assert histogram[2] == pytest.approx(0.25)
+        assert histogram[3] == pytest.approx(0.25)
+
+    def test_sums_to_one(self, small_trace):
+        histogram = source_operand_histogram(small_trace)
+        assert sum(histogram.values()) == pytest.approx(1.0)
+
+    def test_empty_trace(self):
+        histogram = source_operand_histogram(KernelTrace(name="e"))
+        assert all(v == 0.0 for v in histogram.values())
+
+
+class TestBocOccupancy:
+    def test_sample_fields(self, small_trace):
+        sample = boc_occupancy_histogram(small_trace, memory_seed=11)
+        assert sample.capacity == bow_wr_config().effective_capacity
+        assert 0 < sample.max_observed <= sample.capacity
+        assert sum(sample.histogram.values()) == pytest.approx(1.0)
+
+    def test_never_exceeds_capacity(self, small_trace):
+        sample = boc_occupancy_histogram(small_trace, memory_seed=11)
+        assert max(sample.histogram) <= sample.capacity
+
+    def test_fraction_above(self):
+        sample = OccupancySample(
+            histogram={2: 0.5, 5: 0.3, 8: 0.2}, max_observed=8, capacity=12
+        )
+        assert sample.fraction_above(6) == pytest.approx(0.2)
+        assert sample.fraction_above(1) == pytest.approx(1.0)
+        assert sample.fraction_above(8) == 0.0
+
+    def test_half_capacity_rarely_exceeded(self, small_trace):
+        # The Figure 9 observation that justifies halving the storage.
+        sample = boc_occupancy_histogram(small_trace, memory_seed=11)
+        assert sample.fraction_above(sample.capacity // 2) < 0.25

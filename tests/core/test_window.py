@@ -1,0 +1,171 @@
+"""Tests for sliding-window bypass analyses (Figure 3 / Table I logic)."""
+
+import pytest
+
+from repro.core.window import (
+    read_bypass_counts,
+    table1_write_counts,
+    write_bypass_opportunity_counts,
+    writeback_eliminated_counts,
+)
+from repro.errors import CompilerError
+from repro.isa import parse_program
+
+
+def program(text):
+    return parse_program(text)
+
+
+class TestReadBypass:
+    def test_counts_pairs(self):
+        bypassed, total = read_bypass_counts(program("""
+            mov.u32 $r1, 0x1
+            add.u32 $r2, $r1, $r1
+        """), 2)
+        assert (bypassed, total) == (2, 2)
+
+    def test_read_after_read_bypasses(self):
+        # A prior read deposits the value in the collector too.
+        bypassed, total = read_bypass_counts(program("""
+            add.u32 $r2, $r1, $r3
+            add.u32 $r4, $r1, $r5
+        """), 2)
+        assert bypassed == 1  # the second read of $r1
+
+    def test_sliding_window_chains(self):
+        # Paper: with IW=2 a value reused in three consecutive
+        # instructions keeps being bypassed (the window slides).
+        bypassed, total = read_bypass_counts(program("""
+            mov.u32 $r1, 0x1
+            add.u32 $r2, $r1, $r6
+            add.u32 $r3, $r1, $r7
+            add.u32 $r4, $r1, $r8
+        """), 2)
+        assert bypassed == 3
+
+    def test_window_boundary_exact(self):
+        trace = program("""
+            mov.u32 $r1, 0x1
+            nop
+            nop
+            add.u32 $r2, $r1, $r1
+        """)
+        # Distance 3 > IW-1 for the first read; the same-instruction
+        # duplicate (distance 0) is always within the window.
+        assert read_bypass_counts(trace, 3)[0] == 1
+        assert read_bypass_counts(trace, 4)[0] == 2
+
+    def test_sink_write_does_not_refresh(self):
+        trace = program("""
+            set.ne.s32.s32 $p0/$o127, $r1, $r2
+            add.u32 $r3, $r1, $r2
+        """)
+        bypassed, total = read_bypass_counts(trace, 2)
+        assert bypassed == 2  # from the reads, not the sink write
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(CompilerError):
+            read_bypass_counts([], 0)
+
+
+class TestWriteOpportunity:
+    def test_transient_write_eliminable(self):
+        eliminated, total = write_bypass_opportunity_counts(program("""
+            mov.u32 $r1, 0x1
+            add.u32 $r2, $r1, $r1
+        """), 3)
+        assert (eliminated, total) == (2, 2)
+
+    def test_long_lived_write_not_eliminable(self):
+        eliminated, total = write_bypass_opportunity_counts(program("""
+            mov.u32 $r1, 0x1
+            nop
+            nop
+            nop
+            add.u32 $r2, $r1, $r1
+        """), 3)
+        assert eliminated == 1  # only $r2's (dead) write
+
+    def test_live_out_not_eliminable(self):
+        eliminated, total = write_bypass_opportunity_counts(
+            program("mov.u32 $r1, 0x1"), 3, live_out=frozenset({1})
+        )
+        assert (eliminated, total) == (0, 1)
+
+
+class TestWritebackPolicy:
+    def test_consolidation_within_window(self):
+        eliminated, total = writeback_eliminated_counts(program("""
+            mov.u32 $r1, 0x1
+            mov.u32 $r1, 0x2
+        """), 3)
+        assert (eliminated, total) == (1, 2)
+
+    def test_lapse_prevents_consolidation(self):
+        eliminated, total = writeback_eliminated_counts(program("""
+            mov.u32 $r1, 0x1
+            nop
+            nop
+            nop
+            mov.u32 $r1, 0x2
+        """), 3)
+        assert eliminated == 0
+
+    def test_reads_extend_residency(self):
+        # Accesses at 0,1,2,3: every gap < 3, so the rewrite at 3
+        # consolidates the write at 0 despite distance 3.
+        eliminated, total = writeback_eliminated_counts(program("""
+            mov.u32 $r1, 0x1
+            add.u32 $r2, $r1, $r6
+            add.u32 $r3, $r1, $r7
+            mov.u32 $r1, 0x2
+        """), 3)
+        assert eliminated == 1
+
+    def test_wb_never_beats_opportunity(self):
+        text = """
+            mov.u32 $r1, 0x1
+            add.u32 $r1, $r1, $r2
+            add.u32 $r3, $r1, $r1
+            mov.u32 $r4, 0x2
+            add.u32 $r4, $r4, $r3
+            st.global.u32 [$r5], $r4
+        """
+        for iw in (2, 3, 4):
+            wb, _ = writeback_eliminated_counts(program(text), iw)
+            opportunity, _ = write_bypass_opportunity_counts(program(text), iw)
+            assert wb <= opportunity
+
+
+class TestTable1:
+    """Pin the Table I computation to the paper's worked example."""
+
+    def test_write_through_counts(self, snippet):
+        counts = table1_write_counts(snippet, 3)["write-through"]
+        # Computed from Figure 6 as printed: r0=3, r1=4, r2=3, r3=1, r4=1.
+        # (The paper's table omits the $r4 write and counts $r2 as 2.)
+        assert counts == {0: 3, 1: 4, 2: 3, 3: 1, 4: 1}
+
+    def test_write_back_counts(self, snippet):
+        counts = table1_write_counts(snippet, 3)["write-back"]
+        assert counts[0] == 1  # paper: 1
+        assert counts[1] == 2  # paper: 2
+        assert counts[3] == 1  # paper: 1
+
+    def test_compiler_counts_match_paper_exactly(self, snippet):
+        counts = table1_write_counts(snippet, 3)["compiler"]
+        assert counts == {0: 0, 1: 1, 2: 0, 3: 1, 4: 0}
+        assert sum(counts.values()) == 2  # the paper's total
+
+    def test_policies_strictly_improve(self, snippet):
+        counts = table1_write_counts(snippet, 3)
+        wt = sum(counts["write-through"].values())
+        wb = sum(counts["write-back"].values())
+        wr = sum(counts["compiler"].values())
+        assert wt > wb > wr
+
+    def test_sink_not_counted(self, snippet):
+        counts = table1_write_counts(snippet, 3)
+        from repro.isa.registers import SINK_REGISTER
+
+        assert SINK_REGISTER.id not in counts["write-through"]

@@ -1,0 +1,45 @@
+"""Tests for area-overhead arithmetic (SS V-A hardware overhead)."""
+
+import pytest
+
+from repro.config import GPUConfig, baseline_config, bow_config, bow_wr_config
+from repro.energy.area import (
+    ADDED_NETWORK_AREA_MM2,
+    AreaModel,
+    REGISTER_BANK_AREA_MM2,
+)
+from repro.errors import ConfigError
+
+
+class TestAreaReport:
+    def test_network_under_3_percent_of_bank(self):
+        # The paper: added network area < 3% of a register bank.
+        report = AreaModel().report(bow_wr_config(3, half_size=True))
+        assert report.network_fraction_of_bank < 0.03
+
+    def test_network_area_is_published_value(self):
+        assert ADDED_NETWORK_AREA_MM2 == pytest.approx(0.04)
+        assert REGISTER_BANK_AREA_MM2 == pytest.approx(1.72)
+
+    def test_total_chip_fraction_well_under_one_percent(self):
+        report = AreaModel().report(bow_wr_config(3, half_size=True))
+        assert report.fraction_of_chip < 0.01
+
+    def test_half_size_smaller_than_full(self):
+        model = AreaModel()
+        full = model.report(bow_config(3))
+        half = model.report(bow_wr_config(3, half_size=True))
+        assert half.boc_storage_mm2 < full.boc_storage_mm2
+
+    def test_per_sm_area_positive(self):
+        report = AreaModel().report(bow_config(3))
+        assert report.per_sm_mm2 > 0
+        assert report.fraction_of_rf > 0
+
+    def test_disabled_config_rejected(self):
+        with pytest.raises(ConfigError):
+            AreaModel().report(baseline_config())
+
+    def test_num_sms_from_config(self):
+        report = AreaModel(GPUConfig()).report(bow_config(3))
+        assert report.num_sms == 56

@@ -1,0 +1,72 @@
+"""Tests pinning the Table IV component parameters."""
+
+import pytest
+
+from repro.energy.cacti import (
+    BOC_PARAMS,
+    ComponentParams,
+    REGISTER_BANK_PARAMS,
+    boc_params_for_capacity,
+)
+from repro.errors import ConfigError
+
+
+class TestTable4Constants:
+    def test_boc_parameters(self):
+        assert BOC_PARAMS.size_bytes == 1536  # 1.5 KB
+        assert BOC_PARAMS.vdd == 0.96
+        assert BOC_PARAMS.access_energy_pj == 2.72
+        assert BOC_PARAMS.leakage_power_mw == 1.11
+
+    def test_bank_parameters(self):
+        assert REGISTER_BANK_PARAMS.size_bytes == 64 * 1024
+        assert REGISTER_BANK_PARAMS.access_energy_pj == 185.26
+        assert REGISTER_BANK_PARAMS.leakage_power_mw == 111.84
+
+    def test_access_energy_ratio_matches_paper(self):
+        # Table IV reports ~1.4%.
+        ratio = BOC_PARAMS.access_energy_pj / REGISTER_BANK_PARAMS.access_energy_pj
+        assert ratio == pytest.approx(0.0147, abs=0.001)
+
+    def test_leakage_ratio_matches_paper(self):
+        # Table IV reports ~0.9%.
+        ratio = BOC_PARAMS.leakage_power_mw / REGISTER_BANK_PARAMS.leakage_power_mw
+        assert ratio == pytest.approx(0.0099, abs=0.001)
+
+
+class TestComponentParams:
+    def test_leakage_energy(self):
+        # 1 mW for 1000 cycles at 1 GHz = 1000 pJ.
+        component = ComponentParams("x", 100, 1.0, 1.0, 1.0)
+        assert component.leakage_energy_pj(1000) == pytest.approx(1000.0)
+
+    def test_leakage_scales_with_clock(self):
+        component = ComponentParams("x", 100, 1.0, 1.0, 2.0)
+        assert component.leakage_energy_pj(100, clock_ghz=2.0) == pytest.approx(100.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ComponentParams("x", 0, 1.0, 1.0, 1.0)
+        with pytest.raises(ConfigError):
+            ComponentParams("x", 1, 1.0, -1.0, 1.0)
+        with pytest.raises(ConfigError):
+            ComponentParams("x", 1, 1.0, 1.0, 1.0).leakage_energy_pj(-1)
+
+
+class TestCapacityScaling:
+    def test_half_capacity_halves_energy(self):
+        half = boc_params_for_capacity(6)
+        assert half.access_energy_pj == pytest.approx(
+            BOC_PARAMS.access_energy_pj / 2
+        )
+        assert half.size_bytes == 768
+
+    def test_full_capacity_is_reference(self):
+        full = boc_params_for_capacity(12)
+        assert full.access_energy_pj == pytest.approx(
+            BOC_PARAMS.access_energy_pj
+        )
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigError):
+            boc_params_for_capacity(0)

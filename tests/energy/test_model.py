@@ -1,0 +1,79 @@
+"""Tests for dynamic-energy accounting (Figure 13 logic)."""
+
+import pytest
+
+from repro.energy.model import EnergyBreakdown, EnergyModel
+from repro.errors import SimulationError
+from repro.stats.counters import Counters
+
+
+def counters(rf_reads=0, rf_writes=0, boc_reads=0, boc_writes=0):
+    c = Counters()
+    c.rf_reads = rf_reads
+    c.rf_writes = rf_writes
+    c.boc_reads = boc_reads
+    c.boc_writes = boc_writes
+    return c
+
+
+class TestBreakdown:
+    def test_rf_energy_proportional_to_accesses(self):
+        model = EnergyModel()
+        one = model.breakdown(counters(rf_reads=1))
+        ten = model.breakdown(counters(rf_reads=10))
+        assert ten.rf_energy_pj == pytest.approx(10 * one.rf_energy_pj)
+
+    def test_boc_accesses_are_overhead(self):
+        model = EnergyModel()
+        breakdown = model.breakdown(counters(boc_reads=5, boc_writes=5))
+        assert breakdown.rf_energy_pj == 0
+        assert breakdown.overhead_pj > 0
+
+    def test_boc_access_far_cheaper_than_bank(self):
+        model = EnergyModel()
+        rf = model.breakdown(counters(rf_reads=1)).rf_energy_pj
+        boc = model.breakdown(counters(boc_reads=1)).overhead_pj
+        assert boc < rf * 0.05  # Table IV: ~1.4% plus interconnect
+
+    def test_total(self):
+        breakdown = EnergyBreakdown(rf_energy_pj=10.0, overhead_pj=2.0)
+        assert breakdown.total_pj == 12.0
+
+
+class TestNormalization:
+    def test_identical_runs_normalize_to_one(self):
+        model = EnergyModel()
+        run = counters(rf_reads=100, rf_writes=50)
+        normalized = model.normalized(run, run)
+        assert normalized.total_pj == pytest.approx(1.0)
+
+    def test_savings(self):
+        model = EnergyModel()
+        base = counters(rf_reads=100, rf_writes=100)
+        improved = counters(rf_reads=40, rf_writes=50)
+        assert model.savings(improved, base) == pytest.approx(0.55, abs=0.01)
+
+    def test_bypass_overhead_reduces_savings(self):
+        model = EnergyModel()
+        base = counters(rf_reads=100)
+        without_boc = counters(rf_reads=50)
+        with_boc = counters(rf_reads=50, boc_reads=50)
+        assert model.savings(with_boc, base) < model.savings(without_boc, base)
+
+    def test_zero_baseline_rejected(self):
+        model = EnergyModel()
+        with pytest.raises(SimulationError):
+            model.normalized(counters(rf_reads=1), counters())
+
+
+class TestConfiguration:
+    def test_half_capacity_boc_cheaper(self):
+        full = EnergyModel(boc_capacity_entries=12)
+        half = EnergyModel(boc_capacity_entries=6)
+        run = counters(boc_reads=100)
+        assert (half.breakdown(run).overhead_pj
+                < full.breakdown(run).overhead_pj)
+
+    def test_negative_interconnect_rejected(self):
+        with pytest.raises(SimulationError):
+            EnergyModel(interconnect_pj_per_access=-1.0)

@@ -1,0 +1,81 @@
+"""Tests for static (leakage) energy accounting."""
+
+import pytest
+
+from repro.config import BOWConfig, GPUConfig, baseline_config, bow_wr_config
+from repro.energy.static import StaticEnergyModel, total_energy
+from repro.errors import SimulationError
+from repro.stats.counters import Counters
+
+
+def counters(cycles=1000, rf_reads=0):
+    c = Counters()
+    c.cycles = cycles
+    c.rf_reads = rf_reads
+    return c
+
+
+class TestStaticBreakdown:
+    def test_rf_leakage_scales_with_cycles(self):
+        model = StaticEnergyModel()
+        short = model.breakdown(counters(cycles=100))
+        long = model.breakdown(counters(cycles=1000))
+        assert long.rf_leakage_pj == pytest.approx(10 * short.rf_leakage_pj)
+
+    def test_rf_leakage_magnitude(self):
+        # 256 KB RF = 4 Table IV units of 111.84 mW; 1000 cycles at
+        # 1 GHz = 1000 ns => 4 * 111.84 * 1000 pJ.
+        breakdown = StaticEnergyModel().breakdown(counters(cycles=1000))
+        assert breakdown.rf_leakage_pj == pytest.approx(4 * 111.84 * 1000)
+
+    def test_baseline_has_no_boc_leakage(self):
+        breakdown = StaticEnergyModel().breakdown(
+            counters(), bow=baseline_config()
+        )
+        assert breakdown.boc_leakage_pj == 0.0
+
+    def test_bow_boc_leakage_small_vs_rf(self):
+        breakdown = StaticEnergyModel().breakdown(
+            counters(), bow=BOWConfig(window_size=3)
+        )
+        assert 0 < breakdown.boc_leakage_pj < breakdown.rf_leakage_pj * 0.10
+
+    def test_half_size_leaks_less(self):
+        model = StaticEnergyModel()
+        full = model.breakdown(counters(), bow=BOWConfig(window_size=3))
+        half = model.breakdown(counters(),
+                               bow=bow_wr_config(3, half_size=True))
+        assert half.boc_leakage_pj < full.boc_leakage_pj
+
+    def test_clock_validation(self):
+        with pytest.raises(SimulationError):
+            StaticEnergyModel(clock_ghz=0)
+
+
+class TestResizedRf:
+    def test_savings_proportional(self):
+        model = StaticEnergyModel()
+        run = counters(cycles=500)
+        half = model.resized_rf_savings(0.5, run)
+        full = model.breakdown(run).rf_leakage_pj
+        assert half == pytest.approx(full / 2)
+
+    def test_fraction_validated(self):
+        with pytest.raises(SimulationError):
+            StaticEnergyModel().resized_rf_savings(1.5, counters())
+
+
+class TestTotalEnergy:
+    def test_combines_dynamic_and_static(self):
+        report = total_energy(counters(cycles=100, rf_reads=10))
+        assert report.dynamic_pj > 0
+        assert report.static_pj > 0
+        assert report.total_pj == pytest.approx(
+            report.dynamic_pj + report.static_pj
+        )
+
+    def test_bow_adds_boc_leakage(self):
+        run = counters(cycles=100, rf_reads=10)
+        base = total_energy(run)
+        bow = total_energy(run, bow=BOWConfig(window_size=3))
+        assert bow.static_pj > base.static_pj

@@ -1,0 +1,83 @@
+"""Tests for the experiment run infrastructure."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.runner import (
+    QUICK,
+    RunScale,
+    benchmark_trace,
+    clear_cache,
+    run_design,
+)
+
+TINY = RunScale(num_warps=2, trace_scale=0.1)
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestRunScale:
+    def test_quick_defaults(self):
+        assert QUICK.num_warps == 16
+        assert QUICK.trace_scale == 0.25
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            RunScale(num_warps=0)
+        with pytest.raises(ExperimentError):
+            RunScale(trace_scale=0)
+
+
+class TestTraceCache:
+    def test_same_key_returns_same_object(self):
+        first = benchmark_trace("BFS", TINY)
+        second = benchmark_trace("BFS", TINY)
+        assert first is second
+
+    def test_window_size_distinguishes_hinted(self):
+        plain = benchmark_trace("BFS", TINY)
+        hinted = benchmark_trace("BFS", TINY, window_size=3)
+        assert plain is not hinted
+
+    def test_scale_applied(self):
+        trace = benchmark_trace("BFS", TINY)
+        assert trace.num_warps == 2
+
+
+class TestRunDesign:
+    def test_memoization(self):
+        first = run_design("BFS", "baseline", scale=TINY)
+        second = run_design("BFS", "baseline", scale=TINY)
+        assert first is second
+
+    def test_window_ignored_for_baseline(self):
+        first = run_design("BFS", "baseline", window_size=2, scale=TINY)
+        second = run_design("BFS", "baseline", window_size=4, scale=TINY)
+        assert first is second
+
+    def test_window_respected_for_bow(self):
+        first = run_design("BFS", "bow", window_size=2, scale=TINY)
+        second = run_design("BFS", "bow", window_size=4, scale=TINY)
+        assert first is not second
+
+    def test_unknown_design(self):
+        with pytest.raises(ExperimentError):
+            run_design("BFS", "quantum", scale=TINY)
+
+    def test_hinted_designs_get_compiled_traces(self):
+        from repro.isa import WritebackHint
+
+        run_design("BFS", "bow-wr", window_size=3, scale=TINY)
+        hinted = benchmark_trace("BFS", TINY, window_size=3)
+        hints = {
+            inst.hint
+            for warp in hinted
+            for inst in warp
+            if inst.dest is not None
+        }
+        assert hints != {WritebackHint.BOTH}

@@ -1,0 +1,43 @@
+"""Tests for the headline-summary driver (tiny scale)."""
+
+import pytest
+
+from repro.experiments.runner import RunScale, clear_cache
+from repro.experiments.summary import Claim, HeadlineSummary, headline_summary
+
+
+@pytest.fixture(scope="module", autouse=True)
+def fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestStructure:
+    def test_claim_rendering(self):
+        summary = HeadlineSummary(claims=(
+            Claim("a", "1%", "2%", True),
+            Claim("b", "3%", "9%", False),
+        ))
+        text = summary.format()
+        assert "NO" in text
+        assert not summary.all_hold
+
+    def test_all_hold_when_all_hold(self):
+        summary = HeadlineSummary(claims=(Claim("a", "1", "1", True),))
+        assert summary.all_hold
+
+
+class TestLive:
+    def test_summary_runs_at_tiny_scale(self):
+        summary = headline_summary(
+            scale=RunScale(num_warps=6, trace_scale=0.1)
+        )
+        assert len(summary.claims) == 11
+        names = {claim.name for claim in summary.claims}
+        assert "IPC gain, BOW" in names
+        assert "added storage, half-size" in names
+        # Storage arithmetic is scale-independent; it must always hold.
+        storage = next(c for c in summary.claims
+                       if c.name == "added storage, half-size")
+        assert storage.holds

@@ -1,0 +1,132 @@
+"""Tests for the timing-based experiment drivers at tiny scale.
+
+These assert the *shape* of the paper's results: who wins and in which
+direction, not absolute magnitudes (a 4-warp run underestimates port
+contention, so improvements are smaller than at full scale).
+"""
+
+import pytest
+
+from repro.experiments.figures import (
+    fig4_oc_latency,
+    fig9_boc_occupancy,
+    fig10_ipc_improvement,
+    fig11_halfsize_ipc,
+    fig12_oc_residency,
+    fig13_energy,
+    rfc_comparison,
+)
+from repro.experiments.runner import RunScale, clear_cache
+
+SMALL = RunScale(num_warps=8, trace_scale=0.12)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig4_oc_latency(scale=SMALL)
+
+    def test_oc_share_substantial(self, result):
+        # Paper: roughly a quarter of execution time overall.
+        assert 0.08 <= result.average_overall() <= 0.50
+
+    def test_memory_instructions_lower_share(self, result):
+        # Long memory latencies dwarf the collection stage.
+        for bench in result.memory:
+            assert result.memory[bench] < result.non_memory[bench]
+
+
+class TestFig9:
+    def test_occupancy_never_full(self):
+        result = fig9_boc_occupancy(scale=SMALL)
+        # Paper: the worst case (12 entries) never occurred.
+        assert result.max_observed() < 12
+
+    def test_above_half_rare(self):
+        result = fig9_boc_occupancy(scale=SMALL)
+        # Paper: ~3% of cycles need more than half the entries.
+        assert result.average_above_half() < 0.15
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return fig10_ipc_improvement(windows=(2, 3), scale=SMALL)
+
+    def test_bow_improves_on_average(self, results):
+        bow, _ = results
+        assert bow.average(3) > 0.0
+
+    def test_iw3_beats_iw2_on_average(self, results):
+        bow, _ = results
+        assert bow.average(3) >= bow.average(2)
+
+    def test_formats(self, results):
+        bow, bow_wr = results
+        assert "IW3" in bow.format()
+        assert "bow-wr" in bow_wr.format()
+
+
+class TestFig11:
+    def test_half_size_close_to_full(self):
+        half = fig11_halfsize_ipc(scale=SMALL)
+        bow, bow_wr = fig10_ipc_improvement(windows=(3,), scale=SMALL)
+        # Paper: ~2% loss from halving the storage.
+        assert half.average(3) == pytest.approx(bow_wr.average(3), abs=0.04)
+
+
+class TestFig12:
+    def test_residency_reduced(self):
+        result = fig12_oc_residency(windows=(3,), scale=SMALL)
+        assert result.average(3) < 0.9
+        for bench, per_iw in result.residency.items():
+            assert per_iw[3] < 1.1, bench
+
+
+class TestFig13:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return fig13_energy(scale=SMALL)
+
+    def test_bow_saves_energy(self, results):
+        bow, _ = results
+        assert 0.1 <= bow.average_savings() <= 0.6
+
+    def test_bow_wr_saves_more(self, results):
+        bow, bow_wr = results
+        assert bow_wr.average_savings() > bow.average_savings()
+
+    def test_overhead_small(self, results):
+        bow, bow_wr = results
+        assert bow.average_overhead() < 0.05
+        assert bow_wr.average_overhead() <= bow.average_overhead() + 0.01
+
+    def test_totals_below_one(self, results):
+        bow, bow_wr = results
+        for result in (bow, bow_wr):
+            for bench in result.rf_fraction:
+                assert result.total(bench) < 1.0
+
+
+class TestRfc:
+    def test_rfc_well_below_bow_wr(self):
+        result = rfc_comparison(scale=SMALL)
+        assert result.average_rfc_gain() < result.average_bow_wr_gain()
+
+    def test_rfc_gain_small(self):
+        result = rfc_comparison(scale=SMALL)
+        # Paper: less than 2% improvement.
+        assert result.average_rfc_gain() < 0.08
+
+    def test_storage_comparison(self):
+        result = rfc_comparison(scale=SMALL)
+        assert result.rfc_storage_kb == pytest.approx(24.0)
+        assert result.bow_wr_half_storage_kb == pytest.approx(12.0)
+        assert result.rfc_storage_kb == 2 * result.bow_wr_half_storage_kb

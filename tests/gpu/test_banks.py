@@ -1,0 +1,72 @@
+"""Tests for single-ported bank arbitration."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpu.banks import AccessRequest, BankArbiter
+
+
+def read(bank, tag, age=0):
+    return AccessRequest(bank=bank, warp_id=0, register_id=0, tag=tag, age=age)
+
+
+class TestArbitration:
+    def test_distinct_banks_all_granted(self):
+        arbiter = BankArbiter(4)
+        result = arbiter.arbitrate([read(0, "a"), read(1, "b")], [])
+        assert {r.tag for r in result.granted_reads} == {"a", "b"}
+        assert result.conflicts == 0
+
+    def test_same_bank_serializes(self):
+        arbiter = BankArbiter(4)
+        result = arbiter.arbitrate([read(2, "a", age=5), read(2, "b", age=1)], [])
+        assert [r.tag for r in result.granted_reads] == ["b"]  # oldest wins
+        assert result.conflicts == 1
+
+    def test_write_priority_over_read(self):
+        arbiter = BankArbiter(4)
+        result = arbiter.arbitrate(
+            [read(1, "r", age=0)],
+            [read(1, "w", age=9)],
+        )
+        assert [r.tag for r in result.granted_writes] == ["w"]
+        assert not result.granted_reads
+        assert result.conflicts == 1
+
+    def test_oldest_write_wins(self):
+        arbiter = BankArbiter(2)
+        result = arbiter.arbitrate([], [read(0, "w1", 3), read(0, "w2", 1)])
+        assert [r.tag for r in result.granted_writes] == ["w2"]
+
+    def test_at_most_one_grant_per_bank(self):
+        arbiter = BankArbiter(2)
+        requests = [read(0, f"t{i}") for i in range(5)]
+        result = arbiter.arbitrate(requests, [])
+        assert len(result.granted_reads) == 1
+        assert result.conflicts == 4
+
+    def test_conflict_count_mixed(self):
+        arbiter = BankArbiter(2)
+        result = arbiter.arbitrate(
+            [read(0, "r1"), read(0, "r2"), read(1, "r3")],
+            [read(0, "w1")],
+        )
+        # Bank 0: write granted, two reads denied. Bank 1: read granted.
+        assert result.conflicts == 2
+        assert len(result.granted_reads) == 1
+        assert len(result.granted_writes) == 1
+
+    def test_bank_out_of_range_rejected(self):
+        arbiter = BankArbiter(2)
+        with pytest.raises(SimulationError):
+            arbiter.arbitrate([read(2, "x")], [])
+
+    def test_empty_requests(self):
+        result = BankArbiter(2).arbitrate([], [])
+        assert not result.granted_reads
+        assert not result.granted_writes
+        assert result.conflicts == 0
+
+    def test_invalid_bank_count(self):
+        with pytest.raises(SimulationError):
+            BankArbiter(0)

@@ -1,0 +1,80 @@
+"""Tests for execution-unit dispatch limits and latency table."""
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.errors import SimulationError
+from repro.gpu.execution import ExecutionUnits, latency_for
+from repro.isa import OpClass, parse_program
+
+
+def inst(text):
+    return parse_program(text)[0]
+
+
+class TestLatency:
+    def test_alu_latency(self):
+        cfg = GPUConfig()
+        assert latency_for(inst("add.u32 $r1, $r2, $r3"), cfg) == cfg.alu_latency
+
+    def test_sfu_latency(self):
+        cfg = GPUConfig()
+        assert latency_for(inst("rcp.f32 $r1, $r2"), cfg) == cfg.sfu_latency
+
+    def test_control_latency(self):
+        cfg = GPUConfig()
+        assert latency_for(inst("bra 0x40"), cfg) == cfg.alu_latency + 2
+
+    def test_nop_latency(self):
+        assert latency_for(inst("nop"), GPUConfig()) == 1
+
+    def test_memory_rejected(self):
+        with pytest.raises(SimulationError):
+            latency_for(inst("ld.global.u32 $r1, [$r2]"), GPUConfig())
+
+
+class TestDispatchLimits:
+    def test_alu_width(self):
+        cfg = GPUConfig()
+        units = ExecutionUnits(cfg)
+        units.new_cycle()
+        for _ in range(cfg.num_alu_units):
+            assert units.can_dispatch(OpClass.ALU)
+            units.dispatch(OpClass.ALU)
+        assert not units.can_dispatch(OpClass.ALU)
+
+    def test_new_cycle_resets(self):
+        units = ExecutionUnits(GPUConfig())
+        units.new_cycle()
+        units.dispatch(OpClass.SFU)
+        assert not units.can_dispatch(OpClass.SFU)
+        units.new_cycle()
+        assert units.can_dispatch(OpClass.SFU)
+
+    def test_loads_and_stores_share_memory_unit(self):
+        units = ExecutionUnits(GPUConfig())
+        units.new_cycle()
+        units.dispatch(OpClass.MEM_LOAD)
+        assert not units.can_dispatch(OpClass.MEM_STORE)
+
+    def test_control_shares_alu_ports(self):
+        cfg = GPUConfig()
+        units = ExecutionUnits(cfg)
+        units.new_cycle()
+        for _ in range(cfg.num_alu_units):
+            units.dispatch(OpClass.CONTROL)
+        assert not units.can_dispatch(OpClass.ALU)
+
+    def test_over_dispatch_raises(self):
+        units = ExecutionUnits(GPUConfig())
+        units.new_cycle()
+        units.dispatch(OpClass.SFU)
+        with pytest.raises(SimulationError):
+            units.dispatch(OpClass.SFU)
+
+    def test_classes_independent(self):
+        units = ExecutionUnits(GPUConfig())
+        units.new_cycle()
+        units.dispatch(OpClass.MEM_LOAD)
+        assert units.can_dispatch(OpClass.ALU)
+        assert units.can_dispatch(OpClass.SFU)

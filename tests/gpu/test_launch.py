@@ -1,0 +1,90 @@
+"""Tests for multi-SM kernel launches."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpu.launch import partition_warps, simulate_launch
+from repro.gpu.reference import execute_reference
+from repro.isa import parse_program
+from repro.kernels.trace import KernelTrace, WarpTrace
+
+PROGRAM = """
+    mov.u32 $r1, 0x5
+    add.u32 $r2, $r1, $r1
+    st.global.u32 [$r1], $r2
+"""
+
+
+def launch_trace(num_warps=8):
+    return KernelTrace(name="launch", warps=[
+        WarpTrace(warp_id=w, instructions=parse_program(PROGRAM))
+        for w in range(num_warps)
+    ])
+
+
+class TestPartition:
+    def test_blocks_round_robin(self):
+        partitioned = partition_warps(launch_trace(8), num_sms=2,
+                                      warps_per_block=2)
+        assert set(partitioned) == {0, 1}
+        assert partitioned[0].num_warps == 4
+        assert partitioned[1].num_warps == 4
+
+    def test_block_stays_together(self):
+        # Warps 0-3 form block 0 -> SM 0; warps 4-7 block 1 -> SM 1.
+        partitioned = partition_warps(launch_trace(8), num_sms=2,
+                                      warps_per_block=4)
+        assert partitioned[0].num_warps == 4
+        assert partitioned[1].num_warps == 4
+
+    def test_warp_ids_renumbered_dense(self):
+        partitioned = partition_warps(launch_trace(6), num_sms=3,
+                                      warps_per_block=1)
+        for sm_trace in partitioned.values():
+            ids = [w.warp_id for w in sm_trace]
+            assert ids == list(range(len(ids)))
+
+    def test_uneven_split(self):
+        partitioned = partition_warps(launch_trace(5), num_sms=2,
+                                      warps_per_block=2)
+        total = sum(t.num_warps for t in partitioned.values())
+        assert total == 5
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            partition_warps(launch_trace(2), num_sms=0)
+        with pytest.raises(SimulationError):
+            partition_warps(launch_trace(2), num_sms=1, warps_per_block=0)
+
+
+class TestLaunch:
+    def test_all_instructions_complete(self):
+        trace = launch_trace(8)
+        result = simulate_launch(trace, num_sms=2)
+        assert result.counters.instructions == trace.total_instructions
+
+    def test_finish_is_slowest_sm(self):
+        result = simulate_launch(launch_trace(8), num_sms=2)
+        slowest = max(r.counters.cycles for r in result.per_sm.values())
+        assert result.finish_cycle == slowest
+
+    def test_load_imbalance_balanced(self):
+        # Long enough for per-SM memory-latency draws to average out.
+        program = parse_program(PROGRAM) * 40
+        trace = KernelTrace(name="big", warps=[
+            WarpTrace(warp_id=w, instructions=list(program))
+            for w in range(8)
+        ])
+        result = simulate_launch(trace, num_sms=2)
+        assert result.load_imbalance() == pytest.approx(1.0, abs=0.25)
+
+    def test_bow_launch_beats_baseline(self):
+        # Use enough warps per SM for contention to matter.
+        trace = launch_trace(16)
+        base = simulate_launch(trace, design="baseline", num_sms=2)
+        bow = simulate_launch(trace, design="bow", num_sms=2)
+        assert bow.counters.rf_reads < base.counters.rf_reads
+
+    def test_ipc_per_sm(self):
+        result = simulate_launch(launch_trace(8), num_sms=4)
+        assert result.ipc_per_sm > 0

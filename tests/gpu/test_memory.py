@@ -1,0 +1,97 @@
+"""Tests for the deterministic memory latency/data model."""
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.errors import SimulationError
+from repro.gpu.memory import CacheMix, MemoryModel
+from repro.isa import parse_program
+
+
+def inst(text):
+    return parse_program(text)[0]
+
+
+class TestLatency:
+    def test_deterministic_per_access(self):
+        cfg = GPUConfig()
+        first = MemoryModel(cfg, seed=3)
+        second = MemoryModel(cfg, seed=3)
+        load = inst("ld.global.u32 $r1, [$r2]")
+        assert first.latency(load, 2, 17) == second.latency(load, 2, 17)
+
+    def test_seed_changes_latency_mix(self):
+        cfg = GPUConfig()
+        load = inst("ld.global.u32 $r1, [$r2]")
+        lat_a = [MemoryModel(cfg, seed=1).latency(load, 0, i) for i in range(50)]
+        lat_b = [MemoryModel(cfg, seed=2).latency(load, 0, i) for i in range(50)]
+        assert lat_a != lat_b
+
+    def test_global_latencies_from_hierarchy(self):
+        cfg = GPUConfig()
+        model = MemoryModel(cfg, seed=0)
+        load = inst("ld.global.u32 $r1, [$r2]")
+        latencies = {model.latency(load, w, i)
+                     for w in range(4) for i in range(100)}
+        assert latencies <= {cfg.mem_l1_hit_latency, cfg.mem_l2_hit_latency,
+                             cfg.mem_global_latency}
+        assert len(latencies) >= 2  # the mix actually mixes
+
+    def test_shared_latency_fixed(self):
+        cfg = GPUConfig()
+        model = MemoryModel(cfg)
+        load = inst("ld.shared.u32 $r1, [$r2]")
+        assert model.latency(load, 0, 0) == cfg.shared_mem_latency
+
+    def test_non_memory_rejected(self):
+        model = MemoryModel(GPUConfig())
+        with pytest.raises(SimulationError):
+            model.latency(inst("add.u32 $r1, $r2, $r3"), 0, 0)
+
+    def test_mix_validation(self):
+        with pytest.raises(SimulationError):
+            CacheMix(l1_hit=0.8, l2_hit=0.3)
+
+
+class TestData:
+    def test_store_then_load(self):
+        model = MemoryModel(GPUConfig())
+        model.store(0x100, 42)
+        assert model.load(0x100) == 42
+
+    def test_unwritten_load_deterministic(self):
+        first = MemoryModel(GPUConfig())
+        second = MemoryModel(GPUConfig())
+        assert first.load(0xABC) == second.load(0xABC)
+
+    def test_values_masked(self):
+        model = MemoryModel(GPUConfig())
+        model.store(0x10, 0x1_2345_6789)
+        assert model.load(0x10) == 0x23456789
+
+    def test_image_snapshot(self):
+        model = MemoryModel(GPUConfig())
+        model.store(1, 2)
+        snap = model.image_snapshot()
+        model.store(1, 3)
+        assert snap == {1: 2}
+
+
+class TestThreadAddress:
+    def test_warps_disjoint(self):
+        a = MemoryModel.thread_address(0, 0x1234)
+        b = MemoryModel.thread_address(1, 0x1234)
+        assert a != b
+
+    def test_no_cross_warp_collisions(self):
+        # Warp windows are disjoint: any two warps, any two offsets.
+        seen = {}
+        for warp in range(4):
+            for offset in (0, 0xFFFFF, 0x55555):
+                addr = MemoryModel.thread_address(warp, offset)
+                assert addr not in seen
+                seen[addr] = (warp, offset)
+
+    def test_offset_masked_into_window(self):
+        addr = MemoryModel.thread_address(2, 0xFFF_FFFFF)
+        assert addr >> 20 == 2

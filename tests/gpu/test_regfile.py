@@ -1,0 +1,71 @@
+"""Tests for the banked register file."""
+
+from repro.config import GPUConfig
+from repro.gpu.regfile import BankedRegisterFile
+
+
+class TestValues:
+    def test_write_then_read(self):
+        rf = BankedRegisterFile(GPUConfig())
+        rf.write(0, 1, 42)
+        assert rf.read(0, 1) == 42
+
+    def test_values_isolated_per_warp(self):
+        rf = BankedRegisterFile(GPUConfig())
+        rf.write(0, 1, 10)
+        rf.write(1, 1, 20)
+        assert rf.peek(0, 1) == 10
+        assert rf.peek(1, 1) == 20
+
+    def test_initial_values_deterministic(self):
+        first = BankedRegisterFile(GPUConfig())
+        second = BankedRegisterFile(GPUConfig())
+        assert first.peek(3, 7) == second.peek(3, 7)
+
+    def test_initial_values_distinct(self):
+        rf = BankedRegisterFile(GPUConfig())
+        assert rf.peek(0, 1) != rf.peek(0, 2)
+        assert rf.peek(0, 1) != rf.peek(1, 1)
+
+    def test_values_masked_to_32_bits(self):
+        rf = BankedRegisterFile(GPUConfig())
+        rf.write(0, 1, 0x1_FFFF_FFFF)
+        assert rf.peek(0, 1) == 0xFFFFFFFF
+
+
+class TestAccessCounting:
+    def test_read_write_counted(self):
+        rf = BankedRegisterFile(GPUConfig())
+        rf.write(0, 1, 5)
+        rf.read(0, 1)
+        rf.read(0, 1)
+        assert rf.writes == 1
+        assert rf.reads == 2
+
+    def test_peek_poke_not_counted(self):
+        rf = BankedRegisterFile(GPUConfig())
+        rf.poke(0, 1, 5)
+        rf.peek(0, 1)
+        assert rf.reads == 0
+        assert rf.writes == 0
+
+    def test_poke_makes_value_visible(self):
+        # Architectural visibility of queued writes (write-buffer
+        # forwarding) relies on poke-then-write semantics.
+        rf = BankedRegisterFile(GPUConfig())
+        rf.poke(0, 1, 77)
+        assert rf.read(0, 1) == 77
+
+
+class TestSnapshot:
+    def test_snapshot_is_copy(self):
+        rf = BankedRegisterFile(GPUConfig())
+        rf.write(0, 1, 5)
+        snap = rf.snapshot()
+        rf.write(0, 1, 9)
+        assert snap[(0, 1)] == 5
+
+    def test_bank_mapping_delegates_to_config(self):
+        cfg = GPUConfig()
+        rf = BankedRegisterFile(cfg)
+        assert rf.bank_of(3, 9) == cfg.bank_of(3, 9)

@@ -1,0 +1,130 @@
+"""Tests for GTO and LRR warp schedulers."""
+
+import pytest
+
+from repro.config import SchedulerPolicy
+from repro.errors import SimulationError
+from repro.gpu.scheduler import GTOScheduler, LRRScheduler, make_scheduler
+
+
+class TestGTO:
+    def test_initial_order_is_oldest_first(self):
+        sched = GTOScheduler(0, [4, 0, 8])
+        assert sched.candidate_order() == [0, 4, 8]
+
+    def test_greedy_warp_promoted(self):
+        sched = GTOScheduler(0, [0, 4, 8])
+        sched.note_issue(4)
+        assert sched.candidate_order()[0] == 4
+
+    def test_stall_demotes_greedy(self):
+        sched = GTOScheduler(0, [0, 4, 8])
+        sched.note_issue(8)
+        sched.note_stall(8)
+        assert sched.candidate_order() == [0, 4, 8]
+
+    def test_stall_of_non_greedy_ignored(self):
+        sched = GTOScheduler(0, [0, 4])
+        sched.note_issue(4)
+        sched.note_stall(0)
+        assert sched.candidate_order()[0] == 4
+
+
+class TestLRR:
+    def test_rotates_each_cycle(self):
+        sched = LRRScheduler(0, [0, 1, 2])
+        assert sched.candidate_order() == [0, 1, 2]
+        assert sched.candidate_order() == [1, 2, 0]
+        assert sched.candidate_order() == [2, 0, 1]
+        assert sched.candidate_order() == [0, 1, 2]
+
+    def test_order_is_permutation(self):
+        sched = LRRScheduler(0, [3, 1, 7])
+        for _ in range(5):
+            assert sorted(sched.candidate_order()) == [1, 3, 7]
+
+
+class TestTwoLevel:
+    def _sched(self, warps=6, active=2):
+        from repro.gpu.scheduler import TwoLevelScheduler
+
+        return TwoLevelScheduler(0, list(range(warps)), active_size=active)
+
+    def test_only_active_set_considered(self):
+        sched = self._sched()
+        assert sched.candidate_order() == [0, 1]
+
+    def test_issue_promotes_to_front(self):
+        sched = self._sched()
+        sched.note_issue(1)
+        assert sched.candidate_order()[0] == 1
+
+    def test_repeated_stall_swaps_out(self):
+        sched = self._sched()
+        sched.note_stall(0)
+        sched.note_stall(0)
+        order = sched.candidate_order()
+        assert 0 not in order
+        assert 2 in order  # oldest pending warp promoted
+
+    def test_single_stall_keeps_warp(self):
+        sched = self._sched()
+        sched.note_stall(0)
+        assert 0 in sched.candidate_order()
+
+    def test_issue_resets_stall_counter(self):
+        sched = self._sched()
+        sched.note_stall(0)
+        sched.note_issue(0)
+        sched.note_stall(0)
+        assert 0 in sched.candidate_order()
+
+    def test_no_pending_means_no_swap(self):
+        sched = self._sched(warps=2, active=2)
+        sched.note_stall(0)
+        sched.note_stall(0)
+        assert 0 in sched.candidate_order()
+
+    def test_active_size_validated(self):
+        with pytest.raises(SimulationError):
+            self._sched(active=0)
+
+    def test_engine_runs_with_two_level(self):
+        from repro.config import GPUConfig
+        from repro.gpu.sm import simulate_baseline
+        from repro.isa import parse_program
+        from repro.kernels.trace import KernelTrace, WarpTrace
+
+        trace = KernelTrace(name="t", warps=[
+            WarpTrace(w, parse_program("""
+                mov.u32 $r1, 0x1
+                ld.global.u32 $r2, [$r1]
+                add.u32 $r3, $r2, $r1
+            """))
+            for w in range(8)
+        ])
+        config = GPUConfig(scheduler_policy=SchedulerPolicy.TWO_LEVEL,
+                           two_level_active_warps=2)
+        result = simulate_baseline(trace, config=config)
+        assert result.counters.instructions == trace.total_instructions
+
+
+class TestFactory:
+    def test_makes_gto(self):
+        assert isinstance(make_scheduler(SchedulerPolicy.GTO, 0, [0]),
+                          GTOScheduler)
+
+    def test_makes_lrr(self):
+        assert isinstance(make_scheduler(SchedulerPolicy.LRR, 0, [0]),
+                          LRRScheduler)
+
+    def test_makes_two_level(self):
+        from repro.gpu.scheduler import TwoLevelScheduler
+
+        sched = make_scheduler(SchedulerPolicy.TWO_LEVEL, 0, [0, 1, 2],
+                               active_size=2)
+        assert isinstance(sched, TwoLevelScheduler)
+
+    def test_empty_warps_rejected(self):
+        with pytest.raises(SimulationError):
+            GTOScheduler(0, [])

@@ -1,0 +1,83 @@
+"""Tests for the issue-stage scoreboard."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpu.scoreboard import Scoreboard
+from repro.isa import parse_program
+
+
+def inst(text):
+    return parse_program(text)[0]
+
+
+class TestHazards:
+    def test_raw_blocks(self):
+        sb = Scoreboard(2)
+        producer = inst("mov.u32 $r1, 0x1")
+        consumer = inst("add.u32 $r2, $r1, $r1")
+        sb.reserve(0, producer)
+        assert not sb.can_issue(0, consumer)
+        sb.release(0, producer)
+        assert sb.can_issue(0, consumer)
+
+    def test_waw_blocks(self):
+        sb = Scoreboard(1)
+        first = inst("mov.u32 $r1, 0x1")
+        second = inst("mov.u32 $r1, 0x2")
+        sb.reserve(0, first)
+        assert not sb.can_issue(0, second)
+
+    def test_independent_instructions_pass(self):
+        sb = Scoreboard(1)
+        sb.reserve(0, inst("mov.u32 $r1, 0x1"))
+        assert sb.can_issue(0, inst("add.u32 $r2, $r3, $r4"))
+
+    def test_warps_independent(self):
+        sb = Scoreboard(2)
+        sb.reserve(0, inst("mov.u32 $r1, 0x1"))
+        assert sb.can_issue(1, inst("add.u32 $r2, $r1, $r1"))
+
+    def test_store_never_blocks_on_dest(self):
+        sb = Scoreboard(1)
+        store = inst("st.global.u32 [$r1], $r2")
+        assert sb.can_issue(0, store)
+        sb.reserve(0, store)  # no-op: stores have no destination
+        assert sb.pending_count(0) == 0
+
+
+class TestSinkRegister:
+    def test_sink_not_tracked(self):
+        sb = Scoreboard(1)
+        compare = inst("set.ne.s32.s32 $p0/$o127, $r1, $r2")
+        sb.reserve(0, compare)
+        assert sb.pending_count(0) == 0
+        # A second predicate write has no WAW hazard.
+        assert sb.can_issue(0, inst("set.ne.s32.s32 $p1/$o127, $r3, $r4"))
+
+
+class TestBookkeeping:
+    def test_double_reserve_rejected(self):
+        sb = Scoreboard(1)
+        producer = inst("mov.u32 $r1, 0x1")
+        sb.reserve(0, producer)
+        with pytest.raises(SimulationError):
+            sb.reserve(0, inst("mov.u32 $r1, 0x9"))
+
+    def test_release_idempotent(self):
+        sb = Scoreboard(1)
+        producer = inst("mov.u32 $r1, 0x1")
+        sb.reserve(0, producer)
+        sb.release(0, producer)
+        sb.release(0, producer)
+        assert sb.is_idle()
+
+    def test_is_idle(self):
+        sb = Scoreboard(2)
+        assert sb.is_idle()
+        sb.reserve(1, inst("mov.u32 $r1, 0x1"))
+        assert not sb.is_idle()
+
+    def test_invalid_warp_count(self):
+        with pytest.raises(SimulationError):
+            Scoreboard(0)

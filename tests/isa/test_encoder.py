@@ -1,0 +1,118 @@
+"""Tests for the 64-bit instruction encoding (including hint bits)."""
+
+import pytest
+
+from repro.errors import EncodingError
+from repro.isa import (
+    Instruction,
+    WritebackHint,
+    decode_instruction,
+    encode_instruction,
+)
+from repro.isa.encoder import decode_program, encode_program
+from repro.isa.opcodes import OPCODE_TABLE, opcode_by_name
+from repro.isa.registers import Predicate, Register
+from repro.kernels.snippets import btree_snippet
+
+
+def roundtrip(inst):
+    return decode_instruction(encode_instruction(inst))
+
+
+class TestRoundtrip:
+    def test_simple_alu(self):
+        inst = Instruction(opcode=opcode_by_name("add"), dest=Register(1),
+                           sources=(Register(2), Register(3)))
+        back = roundtrip(inst)
+        assert back.opcode.name == "add"
+        assert back.dest == Register(1)
+        assert back.sources == (Register(2), Register(3))
+
+    def test_store_no_dest(self):
+        inst = Instruction(opcode=opcode_by_name("st.global"),
+                           sources=(Register(4), Register(5)))
+        back = roundtrip(inst)
+        assert back.dest is None
+        assert back.sources == (Register(4), Register(5))
+
+    def test_immediate_low_16_bits(self):
+        inst = Instruction(opcode=opcode_by_name("mov"), dest=Register(1),
+                           sources=(Register(2),), immediate=0xABCD)
+        assert roundtrip(inst).immediate == 0xABCD
+
+    def test_immediate_truncated_to_16_bits(self):
+        inst = Instruction(opcode=opcode_by_name("mov"), dest=Register(1),
+                           sources=(Register(2),), immediate=0x12345)
+        assert roundtrip(inst).immediate == 0x2345
+
+    def test_predicate(self):
+        inst = Instruction(opcode=opcode_by_name("add"), dest=Register(1),
+                           sources=(Register(2), Register(3)),
+                           predicate=Predicate(3, negated=True))
+        back = roundtrip(inst)
+        assert back.predicate == Predicate(3, negated=True)
+
+    def test_pred_dest_roundtrip(self):
+        from repro.isa import parse_instruction
+
+        inst = parse_instruction("set.ne.s32.s32 $p2/$o127, $r3, $r1")
+        back = roundtrip(inst)
+        assert back.pred_dest == Predicate(2)
+        assert back.dest == inst.dest  # the sink register
+
+    def test_pred_dest_and_immediate_conflict(self):
+        from repro.isa import parse_instruction
+
+        inst = parse_instruction("set.ne.s32.s32 $p0/$o127, $r3, $r1")
+        conflicted = inst.__class__(
+            opcode=inst.opcode, dest=inst.dest, sources=inst.sources,
+            immediate=0x10, pred_dest=inst.pred_dest,
+        )
+        with pytest.raises(EncodingError):
+            encode_instruction(conflicted)
+
+    @pytest.mark.parametrize("hint", list(WritebackHint))
+    def test_hint_bits_roundtrip(self, hint):
+        # The 2 writeback-hint bits of BOW-WR (paper SS IV-B).
+        inst = Instruction(opcode=opcode_by_name("add"), dest=Register(1),
+                           sources=(Register(2), Register(3)), hint=hint)
+        assert roundtrip(inst).hint is hint
+
+    def test_every_opcode_roundtrips(self):
+        for name, opcode in OPCODE_TABLE.items():
+            sources = tuple(Register(i + 1) for i in range(opcode.num_sources))
+            dest = Register(0) if opcode.has_dest else None
+            inst = Instruction(opcode=opcode, dest=dest, sources=sources)
+            back = roundtrip(inst)
+            assert back.opcode.name == name
+            assert back.sources == sources
+            assert back.dest == dest
+
+    def test_btree_snippet_roundtrips(self):
+        program = btree_snippet()
+        back = decode_program(encode_program(program))
+        assert len(back) == len(program)
+        for original, decoded in zip(program, back):
+            assert decoded.opcode.name == original.opcode.name
+            assert decoded.dest == original.dest
+            assert decoded.sources == original.sources
+
+
+class TestErrors:
+    def test_decode_rejects_out_of_range(self):
+        with pytest.raises(EncodingError):
+            decode_instruction(-1)
+        with pytest.raises(EncodingError):
+            decode_instruction(1 << 64)
+
+    def test_decode_rejects_unknown_opcode_index(self):
+        with pytest.raises(EncodingError):
+            decode_instruction(0xFF)  # opcode index 255 does not exist
+
+    def test_word_fits_64_bits(self):
+        inst = Instruction(opcode=opcode_by_name("mad"), dest=Register(255),
+                           sources=(Register(255), Register(254), Register(253)),
+                           immediate=0xFFFF, predicate=Predicate(7, negated=True),
+                           hint=WritebackHint.RF_ONLY)
+        word = encode_instruction(inst)
+        assert 0 <= word < (1 << 64)

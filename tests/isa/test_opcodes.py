@@ -1,0 +1,101 @@
+"""Tests for the opcode table and instruction semantics."""
+
+import pytest
+
+from repro.errors import IsaError
+from repro.isa.opcodes import OPCODE_TABLE, OpClass, opcode_by_name
+
+
+class TestTable:
+    def test_lookup_known(self):
+        assert opcode_by_name("add").name == "add"
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(IsaError):
+            opcode_by_name("frobnicate")
+
+    def test_memory_ops_classified(self):
+        assert opcode_by_name("ld.global").op_class is OpClass.MEM_LOAD
+        assert opcode_by_name("st.shared").op_class is OpClass.MEM_STORE
+        assert opcode_by_name("ld.global").op_class.is_memory
+        assert not opcode_by_name("add").op_class.is_memory
+
+    def test_control_ops_classified(self):
+        for name in ("bra", "ret", "exit", "ssy", "bar.sync"):
+            assert opcode_by_name(name).op_class.is_control
+
+    def test_stores_have_no_dest(self):
+        for name in ("st.global", "st.shared", "st.local"):
+            assert not opcode_by_name(name).has_dest
+
+    def test_loads_have_dest(self):
+        for name in ("ld.global", "ld.shared", "ld.local"):
+            assert opcode_by_name(name).has_dest
+
+    def test_source_counts_at_most_three(self):
+        # SASS instructions carry at most 3 register sources (paper SS II).
+        assert all(0 <= op.num_sources <= 3 for op in OPCODE_TABLE.values())
+
+    def test_three_source_ops(self):
+        assert opcode_by_name("mad").num_sources == 3
+        assert opcode_by_name("sel").num_sources == 3
+
+
+class TestSemantics:
+    def _run(self, name, a=0, b=0, c=0):
+        return opcode_by_name(name).semantic(a, b, c)
+
+    def test_add_wraps_32_bits(self):
+        assert self._run("add", 0xFFFFFFFF, 1) == 0
+
+    def test_sub_wraps(self):
+        assert self._run("sub", 0, 1) == 0xFFFFFFFF
+
+    def test_mul(self):
+        assert self._run("mul", 7, 6) == 42
+
+    def test_mad(self):
+        assert self._run("mad", 3, 4, 5) == 17
+
+    def test_mov_passes_first(self):
+        assert self._run("mov", 99, 1, 2) == 99
+
+    def test_logic_ops(self):
+        assert self._run("and", 0b1100, 0b1010) == 0b1000
+        assert self._run("or", 0b1100, 0b1010) == 0b1110
+        assert self._run("xor", 0b1100, 0b1010) == 0b0110
+
+    def test_shifts_mask_count(self):
+        assert self._run("shl", 1, 33) == 2  # count masked to 5 bits
+        assert self._run("shr", 4, 1) == 2
+
+    def test_min_max_signed(self):
+        negative_one = 0xFFFFFFFF
+        assert self._run("min", negative_one, 1) == negative_one
+        assert self._run("max", negative_one, 1) == 1
+
+    def test_set_ne(self):
+        assert self._run("set.ne", 1, 2) == 1
+        assert self._run("set.ne", 2, 2) == 0
+
+    def test_set_lt_signed(self):
+        assert self._run("set.lt", 0xFFFFFFFF, 0) == 1  # -1 < 0
+
+    def test_sel(self):
+        assert self._run("sel", 1, 10, 20) == 10
+        assert self._run("sel", 0, 10, 20) == 20
+
+    def test_rcp_of_zero_saturates(self):
+        assert self._run("rcp", 0) == 0xFFFFFFFF
+
+    def test_sqrt(self):
+        assert self._run("sqrt", 16) == 4
+
+    def test_semantics_stay_in_32_bits(self):
+        for name in ("add", "mul", "mad", "shl", "xor"):
+            value = self._run(name, 0xFFFFFFFF, 0xFFFFFFFF, 0xFFFFFFFF)
+            assert 0 <= value <= 0xFFFFFFFF
+
+    def test_memory_and_control_have_no_semantic(self):
+        assert opcode_by_name("ld.global").semantic is None
+        assert opcode_by_name("bra").semantic is None

@@ -1,0 +1,181 @@
+"""Tests for the SASS-like assembler."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.isa import MemSpace, parse_instruction, parse_program
+from repro.isa.registers import SINK_REGISTER
+
+
+class TestBasics:
+    def test_blank_and_comment_lines(self):
+        assert parse_instruction("") is None
+        assert parse_instruction("   // just a comment") is None
+        assert parse_instruction("; ") is None
+
+    def test_simple_add(self):
+        inst = parse_instruction("add.u32 $r1, $r2, $r3;")
+        assert inst.opcode.name == "add"
+        assert inst.dest.id == 1
+        assert [s.id for s in inst.sources] == [2, 3]
+
+    def test_trailing_semicolon_optional(self):
+        assert parse_instruction("mov.u32 $r1, $r2") is not None
+
+    def test_inline_comment_stripped(self):
+        inst = parse_instruction("add.u32 $r1, $r2, $r3 // sum")
+        assert inst.opcode.name == "add"
+
+
+class TestSuffixStripping:
+    def test_wide_u16(self):
+        assert parse_instruction("mad.wide.u16 $r1, $r0, $r2, $r1").opcode.name == "mad"
+
+    def test_half_u32(self):
+        assert parse_instruction("add.half.u32 $r0, $r9, $r0").opcode.name == "add"
+
+    def test_memory_keeps_space(self):
+        inst = parse_instruction("ld.global.u32 $r3, [$r8]")
+        assert inst.opcode.name == "ld.global"
+        assert inst.mem_space is MemSpace.GLOBAL
+
+    def test_set_ne_keeps_condition(self):
+        inst = parse_instruction("set.ne.s32.s32 $p0/$o127, $r3, $r1")
+        assert inst.opcode.name == "set.ne"
+
+    def test_case_insensitive_mnemonic(self):
+        assert parse_instruction("Shl.u32 $r2, $r2, 0x100").opcode.name == "shl"
+
+
+class TestOperands:
+    def test_register_halves_read_whole_register(self):
+        inst = parse_instruction("mul.wide.u16 $r1, $r0.lo, $r2.hi")
+        assert [s.id for s in inst.sources] == [0, 2]
+
+    def test_memory_operand(self):
+        inst = parse_instruction("ld.global.u32 $r3, [$r8]")
+        assert [s.id for s in inst.sources] == [8]
+
+    def test_memory_operand_with_offset(self):
+        inst = parse_instruction("ld.global.u32 $r3, [$r8+0x10]")
+        assert [s.id for s in inst.sources] == [8]
+
+    def test_hex_immediate(self):
+        inst = parse_instruction("mov.u32 $r2, 0x00000ff4")
+        assert inst.immediate == 0xFF4
+
+    def test_decimal_immediate(self):
+        assert parse_instruction("mov.u32 $r2, 42").immediate == 42
+
+    def test_shared_space_immediate(self):
+        # s[0x18] is a shared-memory constant: an immediate, not an RF read.
+        inst = parse_instruction("add.half.u32 $r0, s[0x0018], $r0")
+        assert inst.immediate == 0x18
+        assert [s.id for s in inst.sources] == [0]
+
+    def test_predicate_dest_maps_to_sink(self):
+        inst = parse_instruction("set.ne.s32.s32 $p0/$o127, $r3, $r1")
+        assert inst.dest == SINK_REGISTER
+        assert [s.id for s in inst.sources] == [3, 1]
+
+    def test_store_operands(self):
+        inst = parse_instruction("st.global.u32 [$r4], $r5")
+        assert inst.dest is None
+        assert [s.id for s in inst.sources] == [4, 5]
+
+
+class TestPredicateGuards:
+    def test_positive_guard(self):
+        inst = parse_instruction("@$p1 add.u32 $r1, $r2, $r3")
+        assert inst.predicate.id == 1
+        assert not inst.predicate.negated
+
+    def test_negated_guard(self):
+        inst = parse_instruction("@!$p2 bra 0x40")
+        assert inst.predicate.negated
+
+    def test_malformed_guard(self):
+        with pytest.raises(ParseError):
+            parse_instruction("@$q1 add.u32 $r1, $r2, $r3")
+
+
+class TestErrors:
+    def test_unknown_opcode(self):
+        with pytest.raises(ParseError):
+            parse_instruction("frob.u32 $r1, $r2")
+
+    def test_unknown_operand(self):
+        with pytest.raises(ParseError):
+            parse_instruction("add.u32 $r1, %weird, $r2")
+
+    def test_too_many_sources(self):
+        with pytest.raises(ParseError):
+            parse_instruction("mov.u32 $r1, $r2, $r3, $r4")
+
+    def test_missing_destination(self):
+        with pytest.raises(ParseError):
+            parse_instruction("add.u32")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_program("mov.u32 $r1, $r2\nbogus.u32 $r1\n")
+        assert excinfo.value.line_number == 2
+
+
+class TestPrograms:
+    def test_parse_program_skips_blanks(self):
+        program = parse_program("""
+            // header comment
+            mov.u32 $r1, 0x1;
+
+            add.u32 $r2, $r1, $r1;
+        """)
+        assert [i.opcode.name for i in program] == ["mov", "add"]
+
+    def test_program_order_preserved(self):
+        program = parse_program("mov.u32 $r1, 0x1\nexit\n")
+        assert [i.opcode.name for i in program] == ["mov", "exit"]
+
+
+class TestMoreEdgeCases:
+    def test_bar_sync(self):
+        inst = parse_instruction("bar.sync")
+        assert inst.opcode.name == "bar.sync"
+        assert inst.is_control
+
+    def test_pred_dest_recorded(self):
+        inst = parse_instruction("set.lt.s32.s32 $p3/$o127, $r1, $r2")
+        assert inst.pred_dest.id == 3
+        assert inst.dest == SINK_REGISTER
+
+    def test_guard_plus_pred_dest(self):
+        inst = parse_instruction("@!$p0 set.ne.s32.s32 $p1/$o127, $r1, $r2")
+        assert inst.predicate.id == 0 and inst.predicate.negated
+        assert inst.pred_dest.id == 1
+
+    def test_store_with_offset_address(self):
+        inst = parse_instruction("st.global.u32 [$r4+0x20], $r5")
+        assert [s.id for s in inst.sources] == [4, 5]
+
+    def test_constant_space_operand(self):
+        inst = parse_instruction("add.u32 $r1, c[0x8], $r2")
+        assert inst.immediate == 8
+        assert [s.id for s in inst.sources] == [2]
+
+    def test_whitespace_tolerance(self):
+        inst = parse_instruction("   add.u32   $r1 ,  $r2 ,$r3  ;  ")
+        assert [s.id for s in inst.sources] == [2, 3]
+
+    def test_rendering_roundtrip_via_parser(self):
+        # str() output of a parsed instruction parses back equivalently.
+        from repro.isa import parse_program
+
+        for line in ("add.u32 $r1, $r2, $r3",
+                     "ld.global.u32 $r3, [$r8]",
+                     "set.ne.s32.s32 $p0/$o127, $r3, $r1"):
+            first = parse_instruction(line)
+            second = parse_instruction(str(first))
+            assert second.opcode.name == first.opcode.name
+            assert second.sources == first.sources
+            assert second.dest == first.dest
+            assert second.pred_dest == first.pred_dest

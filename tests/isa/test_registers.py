@@ -1,0 +1,57 @@
+"""Tests for register and predicate value types."""
+
+import pytest
+
+from repro.errors import IsaError
+from repro.isa.registers import (
+    MAX_PREDICATE_ID,
+    MAX_REGISTER_ID,
+    Predicate,
+    Register,
+    SINK_REGISTER,
+    reg,
+)
+
+
+class TestRegister:
+    def test_str_rendering(self):
+        assert str(Register(3)) == "$r3"
+
+    def test_equality_and_hash(self):
+        assert Register(5) == Register(5)
+        assert hash(Register(5)) == hash(Register(5))
+        assert Register(5) != Register(6)
+
+    def test_ordering(self):
+        assert Register(1) < Register(2)
+        assert sorted([Register(3), Register(1)]) == [Register(1), Register(3)]
+
+    def test_int_conversion(self):
+        assert int(Register(9)) == 9
+
+    def test_bounds(self):
+        Register(0)
+        Register(MAX_REGISTER_ID)
+        with pytest.raises(IsaError):
+            Register(-1)
+        with pytest.raises(IsaError):
+            Register(MAX_REGISTER_ID + 1)
+
+    def test_reg_shorthand(self):
+        assert reg(4) == Register(4)
+
+    def test_sink_register_is_max_id(self):
+        assert SINK_REGISTER.id == MAX_REGISTER_ID
+
+
+class TestPredicate:
+    def test_str_rendering(self):
+        assert str(Predicate(0)) == "$p0"
+        assert str(Predicate(2, negated=True)) == "!$p2"
+
+    def test_bounds(self):
+        Predicate(MAX_PREDICATE_ID)
+        with pytest.raises(IsaError):
+            Predicate(MAX_PREDICATE_ID + 1)
+        with pytest.raises(IsaError):
+            Predicate(-1)

@@ -1,0 +1,134 @@
+"""Tests for the fluent kernel builder."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.gpu.reference import execute_reference
+from repro.kernels.builder import KernelBuilder
+
+
+def saxpy_builder():
+    b = KernelBuilder("saxpy")
+    b.mov(1, imm=0)
+    b.mov(2, imm=0x100)
+    b.mov(4, imm=3)
+    b.jump("body")
+    b.block("body")
+    b.ld(3, addr=2)
+    b.mad(1, 3, 4, 1)
+    b.add(2, 2, imm=4)
+    b.branch(taken="body", fallthrough="done", probability=0.8)
+    b.block("done")
+    b.st(addr=2, value=1)
+    b.exit()
+    return b
+
+
+class TestStructure:
+    def test_build_produces_valid_cfg(self):
+        cfg = saxpy_builder().build()
+        assert set(cfg.blocks) == {"entry", "body", "done"}
+        assert cfg.entry == "entry"
+        assert cfg.successors("body") == ["body", "done"]
+
+    def test_branch_appends_bra(self):
+        cfg = saxpy_builder().build()
+        assert cfg.blocks["body"].instructions[-1].opcode.name == "bra"
+
+    def test_exit_appends_exit(self):
+        cfg = saxpy_builder().build()
+        assert cfg.blocks["done"].instructions[-1].opcode.name == "exit"
+
+    def test_unsealed_block_becomes_exit(self):
+        b = KernelBuilder("flat")
+        b.mov(1, imm=1)
+        cfg = b.build()
+        assert cfg.blocks["entry"].is_exit
+
+    def test_sealed_block_rejects_instructions(self):
+        b = KernelBuilder("k")
+        b.exit()
+        with pytest.raises(KernelError):
+            b.mov(1, imm=1)
+
+    def test_double_terminator_rejected(self):
+        b = KernelBuilder("k")
+        b.jump("next")
+        with pytest.raises(KernelError):
+            b._seal([])
+
+    def test_resuming_sealed_block_rejected(self):
+        b = KernelBuilder("k")
+        b.jump("next")
+        with pytest.raises(KernelError):
+            b.block("entry")
+
+    def test_dangling_target_caught_at_build(self):
+        b = KernelBuilder("k")
+        b.jump("ghost")
+        with pytest.raises(KernelError):
+            b.build()
+
+
+class TestSugar:
+    def test_mov_requires_operand(self):
+        with pytest.raises(KernelError):
+            KernelBuilder("k").mov(1)
+
+    def test_binary_requires_second_operand(self):
+        with pytest.raises(KernelError):
+            KernelBuilder("k").add(1, 2)
+
+    def test_immediate_forms(self):
+        b = KernelBuilder("k")
+        b.add(1, 2, imm=5)
+        inst = b.build().blocks["entry"].instructions[0]
+        assert inst.immediate == 5
+        assert [s.id for s in inst.sources] == [2]
+
+    def test_predicates(self):
+        b = KernelBuilder("k")
+        b.set_lt(0, 1, 2)
+        b.mov(3, imm=7, guard=0)
+        b.mov(3, imm=9, guard=0, guard_negated=True)
+        block = b.build().blocks["entry"].instructions
+        assert block[0].pred_dest.id == 0
+        assert block[1].predicate.id == 0 and not block[1].predicate.negated
+        assert block[2].predicate.negated
+
+    def test_memory_spaces(self):
+        b = KernelBuilder("k")
+        b.ld(1, addr=2, space="shared")
+        b.st(addr=2, value=1, space="shared")
+        block = b.build().blocks["entry"].instructions
+        assert block[0].opcode.name == "ld.shared"
+        assert block[1].opcode.name == "st.shared"
+
+    def test_invalid_register(self):
+        with pytest.raises(KernelError):
+            KernelBuilder("k").mov("r1", imm=0)
+
+
+class TestExecution:
+    def test_trace_expansion(self):
+        trace = saxpy_builder().trace(num_warps=3, seed=2)
+        assert trace.num_warps == 3
+        assert all(len(w) > 5 for w in trace)
+
+    def test_built_kernel_simulates(self):
+        from repro.core.bow_sm import simulate_design
+
+        trace = saxpy_builder().trace(num_warps=4, seed=2)
+        base = simulate_design("baseline", trace, memory_seed=1)
+        bow = simulate_design("bow", trace, window_size=3, memory_seed=1)
+        reference = execute_reference(trace, memory_seed=1)
+        assert base.memory_image == reference.memory
+        assert bow.memory_image == reference.memory
+        assert bow.counters.bypassed_reads > 0
+
+    def test_builder_kernel_compiles(self):
+        from repro.compiler import compile_kernel
+
+        cfg = saxpy_builder().build()
+        compiled = compile_kernel(cfg, window_size=3)
+        assert compiled.allocation.total_registers >= 4

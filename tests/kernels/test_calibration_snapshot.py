@@ -1,0 +1,64 @@
+"""Golden-snapshot regression pin for the calibrated suite.
+
+The generator is fully deterministic, so each benchmark's trace length
+and IW=3 bypass statistics are exact constants.  This pin catches
+accidental drift: any change to the generator, the profiles, or the
+window analysis that moves these numbers fails loudly, pointing at
+`docs/CALIBRATION.md` for the re-calibration procedure.
+
+Regenerate the snapshot (after an *intentional* change) with::
+
+    python - <<'PY'
+    ... see the file's git history, or rebuild via the same loop below.
+    PY
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.window import (
+    read_bypass_counts,
+    write_bypass_opportunity_counts,
+)
+from repro.kernels.suites import BENCHMARKS, build_benchmark_trace
+
+GOLDEN_PATH = Path(__file__).parent / "calibration_golden.json"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def measure(name):
+    trace = build_benchmark_trace(name, num_warps=2, scale=0.3)
+    read_hits = read_total = write_hits = write_total = 0
+    for warp in trace:
+        h, t = read_bypass_counts(warp.instructions, 3)
+        read_hits, read_total = read_hits + h, read_total + t
+        h, t = write_bypass_opportunity_counts(warp.instructions, 3)
+        write_hits, write_total = write_hits + h, write_total + t
+    return {
+        "instructions": trace.total_instructions,
+        "read_bypass_iw3": round(read_hits / read_total, 6),
+        "write_bypass_iw3": round(write_hits / write_total, 6),
+    }
+
+
+def test_snapshot_covers_suite(golden):
+    assert set(golden) == set(BENCHMARKS)
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+def test_benchmark_matches_snapshot(name, golden):
+    measured = measure(name)
+    expected = golden[name]
+    assert measured["instructions"] == expected["instructions"], (
+        f"{name}: trace length drifted - generator changed?"
+    )
+    for key in ("read_bypass_iw3", "write_bypass_iw3"):
+        assert measured[key] == pytest.approx(expected[key], abs=1e-6), (
+            f"{name}.{key} drifted - recalibrate (docs/CALIBRATION.md)"
+        )

@@ -1,0 +1,142 @@
+"""Tests for kernel control-flow graphs and trace expansion."""
+
+import random
+
+import pytest
+
+from repro.errors import KernelError
+from repro.isa import parse_program
+from repro.kernels.cfg import (
+    BasicBlock,
+    Edge,
+    KernelCFG,
+    loop_kernel,
+    straightline_kernel,
+)
+
+
+def insts(text):
+    return parse_program(text)
+
+
+def diamond_cfg():
+    """entry -> {left, right} -> exit."""
+    return KernelCFG(
+        name="diamond",
+        blocks=[
+            BasicBlock("entry", insts("mov.u32 $r1, 0x1"),
+                       [Edge("left", 0.5), Edge("right", 0.5)]),
+            BasicBlock("left", insts("add.u32 $r2, $r1, $r1"), [Edge("exit")]),
+            BasicBlock("right", insts("sub.u32 $r2, $r1, $r1"), [Edge("exit")]),
+            BasicBlock("exit", insts("exit")),
+        ],
+        entry="entry",
+    )
+
+
+class TestValidation:
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(KernelError):
+            KernelCFG("bad", [BasicBlock("a"), BasicBlock("a")], entry="a")
+
+    def test_missing_entry_rejected(self):
+        with pytest.raises(KernelError):
+            KernelCFG("bad", [BasicBlock("a")], entry="nope")
+
+    def test_dangling_edge_rejected(self):
+        with pytest.raises(KernelError):
+            KernelCFG("bad", [BasicBlock("a", [], [Edge("ghost")])], entry="a")
+
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(KernelError):
+            BasicBlock("a", [], [Edge("x", 0.5), Edge("y", 0.4)]).validate()
+
+    def test_more_than_two_successors_rejected(self):
+        block = BasicBlock("a", [], [Edge("x"), Edge("y"), Edge("z")])
+        with pytest.raises(KernelError):
+            block.validate()
+
+    def test_edge_probability_bounds(self):
+        with pytest.raises(KernelError):
+            Edge("x", 1.5)
+
+
+class TestStructure:
+    def test_successors_predecessors(self):
+        cfg = diamond_cfg()
+        assert set(cfg.successors("entry")) == {"left", "right"}
+        assert cfg.predecessors("exit") == ["left", "right"] or \
+            set(cfg.predecessors("exit")) == {"left", "right"}
+
+    def test_static_instructions_entry_first(self):
+        cfg = diamond_cfg()
+        static = cfg.static_instructions
+        assert static[0].opcode.name == "mov"
+        assert len(static) == 4
+
+    def test_len_and_iter(self):
+        cfg = diamond_cfg()
+        assert len(cfg) == 4
+        assert {b.label for b in cfg} == {"entry", "left", "right", "exit"}
+
+
+class TestExpansion:
+    def test_straightline_expansion(self):
+        kernel = straightline_kernel("flat", insts("mov.u32 $r1, 0x1\nexit"))
+        trace = kernel.expand_trace(random.Random(0))
+        assert [i.opcode.name for i in trace] == ["mov", "exit"]
+
+    def test_diamond_takes_one_side(self):
+        trace = diamond_cfg().expand_trace(random.Random(1))
+        names = [i.opcode.name for i in trace]
+        assert names[0] == "mov"
+        assert names[-1] == "exit"
+        assert len(names) == 3  # entry + one side + exit
+
+    def test_expansion_deterministic_in_seed(self):
+        cfg = diamond_cfg()
+        first = cfg.expand_trace(random.Random(42))
+        second = cfg.expand_trace(random.Random(42))
+        assert [i.uid for i in first] == [i.uid for i in second]
+
+    def test_max_instructions_truncates(self):
+        body = insts("add.u32 $r1, $r1, $r1") * 10
+        kernel = straightline_kernel("long", body)
+        trace = kernel.expand_trace(random.Random(0), max_instructions=4)
+        assert len(trace) == 4
+
+    def test_runaway_loop_detected(self):
+        cfg = KernelCFG(
+            "spin",
+            [BasicBlock("a", insts("add.u32 $r1, $r1, $r1"),
+                        [Edge("a")], max_visits=10)],
+            entry="a",
+        )
+        with pytest.raises(KernelError):
+            cfg.expand_trace(random.Random(0))
+
+
+class TestLoopKernel:
+    def test_loop_shape(self):
+        kernel = loop_kernel(
+            "loop",
+            preamble=insts("mov.u32 $r1, 0x0"),
+            body=insts("add.u32 $r1, $r1, $r1"),
+            epilogue=insts("exit"),
+            iterations=5,
+        )
+        assert set(kernel.blocks) == {"entry", "body", "exit"}
+
+    def test_expected_trip_count(self):
+        kernel = loop_kernel("loop", [], insts("add.u32 $r1, $r1, $r1"),
+                             [], iterations=8)
+        lengths = [
+            len(kernel.expand_trace(random.Random(seed)))
+            for seed in range(200)
+        ]
+        mean = sum(lengths) / len(lengths)
+        assert 5 <= mean <= 12  # expected 8 body visits
+
+    def test_rejects_zero_iterations(self):
+        with pytest.raises(KernelError):
+            loop_kernel("bad", [], insts("exit"), [], iterations=0)

@@ -1,0 +1,133 @@
+"""Functional tests for the classic-kernel library.
+
+Each kernel is seeded with known inputs and simulated end-to-end; the
+memory image must contain the algorithm's exact answer — on the
+baseline GPU *and* on every bypassing design.
+"""
+
+import pytest
+
+from repro.core.bow_sm import simulate_design
+from repro.errors import KernelError
+from repro.gpu.memory import MemoryModel
+from repro.kernels.library import (
+    INPUT_BASE,
+    LIBRARY,
+    OUTPUT_BASE,
+    dot_product,
+    prefix_sum,
+    read_outputs,
+    reduction_sum,
+    saxpy,
+    stencil3,
+    vector_add,
+)
+
+N = 6
+A = [3, 1, 4, 1, 5, 9]
+B = [2, 7, 1, 8, 2, 8]
+
+
+def preload_for(warp_ids, values, base=INPUT_BASE):
+    data = {}
+    for warp_id in warp_ids:
+        for index, value in enumerate(values):
+            address = MemoryModel.thread_address(warp_id, base + 4 * index)
+            data[address] = value
+    return data
+
+
+def run(builder, preload, design="baseline", warps=1):
+    trace = builder.trace(num_warps=warps, seed=1)
+    return simulate_design(design, trace, window_size=3, preload=preload,
+                           memory_seed=5)
+
+
+class TestVectorAdd:
+    def test_exact_result(self):
+        preload = preload_for([0], A + B)
+        result = run(vector_add(N), preload)
+        outputs = read_outputs(result.memory_image, 0, N)
+        assert outputs == [a + b for a, b in zip(A, B)]
+
+    def test_multi_warp_independent(self):
+        preload = preload_for([0, 1], A + B)
+        result = run(vector_add(N), preload, warps=2)
+        for warp in (0, 1):
+            assert read_outputs(result.memory_image, warp, N) == \
+                [a + b for a, b in zip(A, B)]
+
+
+class TestReduction:
+    def test_exact_sum(self):
+        preload = preload_for([0], A)
+        result = run(reduction_sum(N), preload)
+        assert read_outputs(result.memory_image, 0, 1) == [sum(A)]
+
+
+class TestSaxpy:
+    def test_exact_result(self):
+        preload = preload_for([0], A + B)
+        result = run(saxpy(N, scale=3), preload)
+        # y is overwritten in place at INPUT_BASE + 4*N.
+        outputs = read_outputs(result.memory_image, 0, N,
+                               base=INPUT_BASE + 4 * N)
+        assert outputs == [3 * a + b for a, b in zip(A, B)]
+
+
+class TestStencil:
+    def test_exact_result(self):
+        padded = [10] + A + [20]  # halo on both sides
+        preload = preload_for([0], padded)
+        result = run(stencil3(N), preload)
+        outputs = read_outputs(result.memory_image, 0, N)
+        expected = [padded[i] + padded[i + 1] + padded[i + 2]
+                    for i in range(N)]
+        assert outputs == expected
+
+
+class TestDotProduct:
+    def test_exact_result(self):
+        preload = preload_for([0], A + B)
+        result = run(dot_product(N), preload)
+        expected = sum(a * b for a, b in zip(A, B))
+        assert read_outputs(result.memory_image, 0, 1) == [expected]
+
+
+class TestPrefixSum:
+    def test_exact_result(self):
+        preload = preload_for([0], A)
+        result = run(prefix_sum(N), preload)
+        outputs = read_outputs(result.memory_image, 0, N)
+        running = 0
+        expected = []
+        for value in A:
+            running += value
+            expected.append(running)
+        assert outputs == expected
+
+
+class TestAcrossDesigns:
+    @pytest.mark.parametrize("design", ["bow", "bow-wb", "bow-wr", "rfc"])
+    @pytest.mark.parametrize("name", sorted(LIBRARY))
+    def test_every_kernel_on_every_design(self, name, design):
+        factory = LIBRARY[name]
+        inputs = A + B if name in ("vector_add", "saxpy", "dot_product") \
+            else [10] + A + [20]
+        preload = preload_for([0], inputs)
+        baseline = run(factory(N), preload)
+        other = run(factory(N), preload, design=design)
+        assert other.memory_image == baseline.memory_image, (name, design)
+
+
+class TestValidation:
+    def test_zero_length_rejected(self):
+        for factory in LIBRARY.values():
+            with pytest.raises(KernelError):
+                factory(0)
+
+    def test_library_enumerates_all(self):
+        assert set(LIBRARY) == {
+            "vector_add", "reduction_sum", "saxpy", "stencil3",
+            "dot_product", "prefix_sum",
+        }

@@ -1,0 +1,35 @@
+"""Tests pinning the Figure 6 BTREE snippet to the paper's listing."""
+
+from repro.isa.registers import SINK_REGISTER
+from repro.kernels.snippets import btree_snippet
+
+
+class TestBtreeSnippet:
+    def test_thirteen_instructions(self, snippet):
+        assert len(snippet) == 13
+
+    def test_opcode_sequence(self, snippet):
+        names = [i.opcode.name for i in snippet]
+        assert names == [
+            "ld.global", "mov", "mul", "mad", "shl", "mad", "add", "add",
+            "add", "ld.global", "shl", "add", "set.ne",
+        ]
+
+    def test_destination_sequence(self, snippet):
+        # Paper lines 2..14: r3, r2, r1, r1, r1, r0, r0, r0, r1, r2, r2, r4, p0.
+        dests = [i.dest.id for i in snippet]
+        assert dests[:12] == [3, 2, 1, 1, 1, 0, 0, 0, 1, 2, 2, 4]
+        assert snippet[12].dest == SINK_REGISTER
+
+    def test_r3_defined_line2_used_line14(self, snippet):
+        assert snippet[0].dest.id == 3
+        assert 3 in [s.id for s in snippet[12].sources]
+
+    def test_fresh_instances_each_call(self):
+        first = btree_snippet()
+        second = btree_snippet()
+        assert [i.uid for i in first] != [i.uid for i in second]
+
+    def test_memory_instructions(self, snippet):
+        loads = [i for i in snippet if i.is_load]
+        assert len(loads) == 2  # lines 2 and 11

@@ -1,0 +1,112 @@
+"""Tests for the Table III benchmark suite and its calibration."""
+
+import pytest
+
+from repro.core.window import read_bypass_counts, write_bypass_opportunity_counts
+from repro.errors import KernelError
+from repro.kernels.suites import (
+    BENCHMARKS,
+    benchmark_names,
+    build_benchmark_trace,
+    get_profile,
+)
+
+EXPECTED = {
+    "LIB": "ISPASS", "LPS": "ISPASS", "STO": "ISPASS", "WP": "ISPASS",
+    "BACKPROP": "Rodinia", "BFS": "Rodinia", "BTREE": "Rodinia",
+    "GAUSSIAN": "Rodinia", "MUM": "Rodinia", "NW": "Rodinia",
+    "SRAD": "Rodinia", "CIFARNET": "Tango", "SQUEEZENET": "Tango",
+    "VECTORADD": "CUDA SDK", "SAD": "Parboil",
+}
+
+
+class TestSuiteStructure:
+    def test_fifteen_benchmarks(self):
+        assert len(BENCHMARKS) == 15
+
+    def test_names_and_suites_match_table3(self):
+        for name, suite in EXPECTED.items():
+            assert get_profile(name).suite == suite
+
+    def test_lookup_case_insensitive(self):
+        assert get_profile("btree").name == "BTREE"
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KernelError):
+            get_profile("DOOM")
+
+    def test_benchmark_names_order_stable(self):
+        assert benchmark_names() == tuple(BENCHMARKS)
+
+    def test_no_three_source_ops_in_bfs_btree_lps(self):
+        # Paper Figure 8: these issue no 3-source instructions.
+        for name in ("BFS", "BTREE", "LPS"):
+            assert get_profile(name).spec.max_source_operands == 2
+
+
+class TestTraceBuilding:
+    def test_build_with_overrides(self):
+        trace = build_benchmark_trace("VECTORADD", num_warps=3, scale=0.2)
+        assert trace.num_warps == 3
+        assert trace.total_instructions > 0
+
+    def test_deterministic(self):
+        first = build_benchmark_trace("BFS", num_warps=2, scale=0.2)
+        second = build_benchmark_trace("BFS", num_warps=2, scale=0.2)
+        assert first.total_instructions == second.total_instructions
+
+
+def _suite_rates(window_size, scale=0.3):
+    reads, writes = [], []
+    for name in benchmark_names():
+        trace = build_benchmark_trace(name, num_warps=2, scale=scale)
+        read_hits = read_total = write_hits = write_total = 0
+        for warp in trace:
+            h, t = read_bypass_counts(warp.instructions, window_size)
+            read_hits, read_total = read_hits + h, read_total + t
+            h, t = write_bypass_opportunity_counts(warp.instructions,
+                                                   window_size)
+            write_hits, write_total = write_hits + h, write_total + t
+        reads.append(read_hits / read_total)
+        writes.append(write_hits / write_total)
+    return reads, writes
+
+
+class TestCalibration:
+    """The suite reproduces the paper's Figure 3 aggregates (shape)."""
+
+    def test_iw3_suite_averages(self):
+        reads, writes = _suite_rates(3)
+        # Paper: 59% reads, 52% writes at IW=3.
+        assert 0.50 <= sum(reads) / len(reads) <= 0.68
+        assert 0.42 <= sum(writes) / len(writes) <= 0.66
+
+    def test_iw2_lower_than_iw3(self):
+        reads2, _ = _suite_rates(2)
+        reads3, _ = _suite_rates(3)
+        assert sum(reads2) < sum(reads3)
+
+    def test_per_benchmark_read_targets_within_band(self):
+        for name in benchmark_names():
+            profile = get_profile(name)
+            trace = build_benchmark_trace(name, num_warps=2, scale=0.3)
+            hits = total = 0
+            for warp in trace:
+                h, t = read_bypass_counts(warp.instructions, 3)
+                hits, total = hits + h, total + t
+            measured = hits / total
+            assert measured == pytest.approx(profile.paper_read_bypass,
+                                             abs=0.10), name
+
+    def test_wp_has_least_reuse(self):
+        # The paper singles out WP for low operand reuse.
+        rates = {}
+        for name in benchmark_names():
+            trace = build_benchmark_trace(name, num_warps=2, scale=0.3)
+            hits = total = 0
+            for warp in trace:
+                h, t = read_bypass_counts(warp.instructions, 3)
+                hits, total = hits + h, total + t
+            rates[name] = hits / total
+        assert min(rates, key=rates.get) == "WP"
+        assert rates["SAD"] > rates["WP"] + 0.2

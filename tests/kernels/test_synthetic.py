@@ -1,0 +1,127 @@
+"""Tests for the synthetic kernel generator."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.window import read_bypass_counts
+from repro.errors import KernelError
+from repro.kernels.synthetic import (
+    IdiomWeights,
+    SyntheticKernelSpec,
+    generate_compiled_trace,
+    generate_kernel,
+    generate_trace,
+)
+
+
+def spec(**kwargs):
+    defaults = dict(name="test", num_warps=2, loop_iterations=6)
+    defaults.update(kwargs)
+    return SyntheticKernelSpec(**defaults)
+
+
+class TestSpecValidation:
+    def test_rejects_tiny_register_pool(self):
+        with pytest.raises(KernelError):
+            spec(num_registers=3)
+
+    def test_rejects_bad_body(self):
+        with pytest.raises(KernelError):
+            spec(body_instructions=2)
+
+    def test_rejects_bad_locality(self):
+        with pytest.raises(KernelError):
+            spec(locality=1.5)
+
+    def test_rejects_bad_source_cap(self):
+        with pytest.raises(KernelError):
+            spec(max_source_operands=4)
+
+    def test_scaled_changes_iterations(self):
+        assert spec(loop_iterations=20).scaled(0.5).loop_iterations == 10
+        assert spec(loop_iterations=20).scaled(0.01).loop_iterations == 1
+
+
+class TestGeneration:
+    def test_deterministic_in_seed(self):
+        first = generate_trace(spec(seed=9))
+        second = generate_trace(spec(seed=9))
+        for w1, w2 in zip(first, second):
+            assert [str(i) for i in w1] == [str(i) for i in w2]
+
+    def test_different_seeds_differ(self):
+        first = generate_trace(spec(seed=1))
+        second = generate_trace(spec(seed=2))
+        assert [str(i) for i in first.warps[0]] != [str(i) for i in second.warps[0]]
+
+    def test_warps_diverge(self):
+        trace = generate_trace(spec(num_warps=4))
+        lengths = {len(w) for w in trace}
+        assert len(lengths) > 1  # different trip counts per warp
+
+    def test_body_size_respected(self):
+        cfg = generate_kernel(spec(body_instructions=50))
+        body = cfg.blocks["body"].instructions
+        assert 50 <= len(body) <= 70  # idioms may overshoot slightly
+
+    def test_max_source_operands_cap(self):
+        trace = generate_trace(spec(max_source_operands=2))
+        assert all(
+            len(inst.sources) <= 2 for warp in trace for inst in warp
+        )
+
+    def test_register_ids_within_pool(self):
+        trace = generate_trace(spec(num_registers=12))
+        for warp in trace:
+            assert all(r < 12 for r in warp.registers_used())
+
+    def test_contains_memory_and_branches(self):
+        trace = generate_trace(spec())
+        warp = trace.warps[0]
+        assert warp.num_memory > 0
+        assert any(inst.is_branch for inst in warp)
+
+    def test_zero_weight_idiom_absent(self):
+        weights = IdiomWeights(sfu=0.0, store=0.0, accumulate_chain=5.0,
+                               address_load=0.0, load_use=0.0,
+                               compute_mix=1.0, far_read=1.0, three_src=0.0)
+        trace = generate_trace(spec(weights=weights))
+        names = {inst.opcode.name for warp in trace for inst in warp}
+        assert "rcp" not in names and "sqrt" not in names
+
+    def test_locality_knob_monotone(self):
+        # Higher locality => more bypassable reads at IW=3.
+        def bypass(locality):
+            trace = generate_trace(spec(locality=locality, seed=3))
+            hits, total = read_bypass_counts(trace.warps[0].instructions, 3)
+            return hits / total
+
+        low, high = bypass(0.2), bypass(1.0)
+        assert high > low + 0.1
+
+
+class TestCompiledTrace:
+    def test_hints_present(self):
+        from repro.isa import WritebackHint
+
+        trace = generate_compiled_trace(spec(), window_size=3)
+        hints = {
+            inst.hint
+            for warp in trace
+            for inst in warp
+            if inst.dest is not None
+        }
+        # A realistic kernel exercises all three writeback targets.
+        assert WritebackHint.OC_ONLY in hints
+        assert WritebackHint.RF_ONLY in hints
+
+    def test_same_instruction_stream_as_uncompiled(self):
+        plain = generate_trace(spec(seed=5))
+        hinted = generate_compiled_trace(spec(seed=5), window_size=3)
+        for w1, w2 in zip(plain, hinted):
+            assert len(w1) == len(w2)
+            for a, b in zip(w1, w2):
+                assert a.opcode.name == b.opcode.name
+                assert a.dest == b.dest
+                assert a.sources == b.sources

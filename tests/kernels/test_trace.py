@@ -1,0 +1,81 @@
+"""Tests for warp/kernel traces and access iteration."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.isa import parse_program
+from repro.kernels.trace import KernelTrace, WarpTrace, iter_accesses
+
+PROGRAM = """
+mov.u32 $r1, 0x1
+add.u32 $r2, $r1, $r1
+ld.global.u32 $r3, [$r2]
+st.global.u32 [$r2], $r3
+exit
+"""
+
+
+@pytest.fixture
+def warp():
+    return WarpTrace(warp_id=0, instructions=parse_program(PROGRAM))
+
+
+class TestWarpTrace:
+    def test_len_iter_getitem(self, warp):
+        assert len(warp) == 5
+        assert warp[0].opcode.name == "mov"
+        assert [i.opcode.name for i in warp][-1] == "exit"
+
+    def test_counts(self, warp):
+        assert warp.num_reads == 0 + 2 + 1 + 2  # mov has imm only
+        assert warp.num_writes == 3  # mov, add, ld
+        assert warp.num_memory == 2
+
+    def test_registers_used(self, warp):
+        assert warp.registers_used() == (1, 2, 3)
+
+    def test_negative_warp_id_rejected(self):
+        with pytest.raises(KernelError):
+            WarpTrace(warp_id=-1)
+
+
+class TestKernelTrace:
+    def test_aggregates(self, warp):
+        other = WarpTrace(warp_id=1, instructions=parse_program(PROGRAM))
+        kernel = KernelTrace(name="k", warps=[warp, other])
+        assert kernel.num_warps == 2
+        assert kernel.total_instructions == 10
+        assert kernel.total_reads == 2 * warp.num_reads
+        assert kernel.total_writes == 6
+        assert kernel.memory_fraction() == pytest.approx(4 / 10)
+
+    def test_duplicate_warp_ids_rejected(self, warp):
+        clone = WarpTrace(warp_id=0, instructions=[])
+        with pytest.raises(KernelError):
+            KernelTrace(name="k", warps=[warp, clone])
+
+    def test_empty_kernel(self):
+        kernel = KernelTrace(name="empty")
+        assert kernel.total_instructions == 0
+        assert kernel.memory_fraction() == 0.0
+
+
+class TestIterAccesses:
+    def test_sources_before_dest(self, warp):
+        accesses = list(iter_accesses(warp.instructions))
+        add_accesses = [a for a in accesses if a.index == 1]
+        assert [a.is_write for a in add_accesses] == [False, False, True]
+        assert [a.register_id for a in add_accesses] == [1, 1, 2]
+
+    def test_operand_slots(self, warp):
+        accesses = [a for a in iter_accesses(warp.instructions) if a.index == 1]
+        assert [a.operand_slot for a in accesses] == [0, 1, -1]
+
+    def test_store_has_no_write(self, warp):
+        store_accesses = [a for a in iter_accesses(warp.instructions)
+                          if a.index == 3]
+        assert all(not a.is_write for a in store_accesses)
+
+    def test_total_access_count(self, warp):
+        accesses = list(iter_accesses(warp.instructions))
+        assert len(accesses) == warp.num_reads + warp.num_writes

@@ -1,0 +1,73 @@
+"""Tests for memory coalescing analysis."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.simt.coalescing import CoalescingStats, transactions_for_addresses
+from repro.simt.mask import FULL_MASK, WARP_WIDTH, ActiveMask
+
+
+def addresses(values):
+    return np.array(values, dtype=np.uint32)
+
+
+class TestTransactions:
+    def test_consecutive_words_one_line(self):
+        addrs = addresses([lane * 4 for lane in range(WARP_WIDTH)])
+        assert transactions_for_addresses(addrs, FULL_MASK, 128) == 1
+
+    def test_strided_access_splits(self):
+        addrs = addresses([lane * 128 for lane in range(WARP_WIDTH)])
+        assert transactions_for_addresses(addrs, FULL_MASK, 128) == WARP_WIDTH
+
+    def test_same_address_broadcast(self):
+        addrs = addresses([0x1000] * WARP_WIDTH)
+        assert transactions_for_addresses(addrs, FULL_MASK, 128) == 1
+
+    def test_only_active_lanes_counted(self):
+        addrs = addresses([lane * 128 for lane in range(WARP_WIDTH)])
+        mask = ActiveMask.from_lanes([0, 1])
+        assert transactions_for_addresses(addrs, mask, 128) == 2
+
+    def test_empty_mask_is_zero(self):
+        addrs = addresses([0] * WARP_WIDTH)
+        assert transactions_for_addresses(addrs, ActiveMask.none(), 128) == 0
+
+    def test_line_size_validated(self):
+        addrs = addresses([0] * WARP_WIDTH)
+        with pytest.raises(SimulationError):
+            transactions_for_addresses(addrs, FULL_MASK, 100)
+        with pytest.raises(SimulationError):
+            transactions_for_addresses(addrs, FULL_MASK, 0)
+
+
+class TestStats:
+    def test_accumulation(self):
+        stats = CoalescingStats()
+        stats.record(1)
+        stats.record(1)
+        stats.record(32)
+        assert stats.accesses == 3
+        assert stats.total_transactions == 34
+        assert stats.average_transactions() == pytest.approx(34 / 3)
+        assert stats.fully_coalesced_fraction() == pytest.approx(2 / 3)
+
+    def test_zero_transaction_accesses_ignored(self):
+        stats = CoalescingStats()
+        stats.record(0)
+        assert stats.accesses == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            CoalescingStats().record(-1)
+
+    def test_merge(self):
+        a = CoalescingStats()
+        a.record(1)
+        b = CoalescingStats()
+        b.record(1)
+        b.record(4)
+        merged = a.merge(b)
+        assert merged.histogram == {1: 2, 4: 1}
+        assert a.histogram == {1: 1}  # originals untouched

@@ -1,0 +1,100 @@
+"""Tests for immediate post-dominator computation."""
+
+import pytest
+
+from repro.compiler import compute_liveness  # noqa: F401 (import sanity)
+from repro.errors import CompilerError
+from repro.isa import parse_program
+from repro.kernels.cfg import BasicBlock, Edge, KernelCFG
+from repro.simt.dominators import immediate_post_dominators
+
+
+def block(label, edges=()):
+    return BasicBlock(label, parse_program("nop"),
+                      [Edge(*e) if isinstance(e, tuple) else Edge(e)
+                       for e in edges])
+
+
+def diamond():
+    return KernelCFG("diamond", [
+        block("a", [("b", 0.5), ("c", 0.5)]),
+        block("b", ["d"]),
+        block("c", ["d"]),
+        block("d"),
+    ], entry="a")
+
+
+class TestStructures:
+    def test_diamond_reconverges_at_join(self):
+        ipdom = immediate_post_dominators(diamond())
+        assert ipdom["a"] == "d"
+        assert ipdom["b"] == "d"
+        assert ipdom["c"] == "d"
+        assert ipdom["d"] is None
+
+    def test_chain(self):
+        cfg = KernelCFG("chain", [
+            block("a", ["b"]), block("b", ["c"]), block("c"),
+        ], entry="a")
+        ipdom = immediate_post_dominators(cfg)
+        assert ipdom["a"] == "b"
+        assert ipdom["b"] == "c"
+        assert ipdom["c"] is None
+
+    def test_loop(self):
+        cfg = KernelCFG("loop", [
+            block("entry", ["body"]),
+            block("body", [("body", 0.8), ("exit", 0.2)]),
+            block("exit"),
+        ], entry="entry")
+        ipdom = immediate_post_dominators(cfg)
+        assert ipdom["body"] == "exit"
+        assert ipdom["entry"] == "body"
+
+    def test_nested_diamond(self):
+        cfg = KernelCFG("nested", [
+            block("a", [("b", 0.5), ("e", 0.5)]),
+            block("b", [("c", 0.5), ("d", 0.5)]),
+            block("c", ["join_inner"]),
+            block("d", ["join_inner"]),
+            block("join_inner", ["f"]),
+            block("e", ["f"]),
+            block("f"),
+        ], entry="a")
+        ipdom = immediate_post_dominators(cfg)
+        assert ipdom["b"] == "join_inner"
+        assert ipdom["a"] == "f"
+
+    def test_branch_to_distinct_exits(self):
+        cfg = KernelCFG("exits", [
+            block("a", [("b", 0.5), ("c", 0.5)]),
+            block("b"),
+            block("c"),
+        ], entry="a")
+        ipdom = immediate_post_dominators(cfg)
+        # Paths only meet at the virtual exit: no real reconvergence.
+        assert ipdom["a"] is None
+
+    def test_block_unable_to_reach_exit_rejected(self):
+        cfg = KernelCFG("spin", [
+            block("a", ["b"]),
+            block("b", [("b", 1.0)]),  # infinite self-loop, no exit
+        ], entry="a")
+        with pytest.raises(CompilerError):
+            immediate_post_dominators(cfg)
+
+    def test_reserved_label_rejected(self):
+        cfg = KernelCFG("bad", [block("__exit__")], entry="__exit__")
+        with pytest.raises(CompilerError):
+            immediate_post_dominators(cfg)
+
+
+class TestOnGeneratedKernels:
+    def test_every_benchmark_kernel_has_ipdoms(self):
+        from repro.kernels.suites import benchmark_names, get_profile
+        from repro.kernels.synthetic import generate_kernel
+
+        for name in list(benchmark_names())[:5]:
+            cfg = generate_kernel(get_profile(name).spec)
+            ipdom = immediate_post_dominators(cfg)
+            assert set(ipdom) == set(cfg.blocks)

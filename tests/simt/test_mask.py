@@ -1,0 +1,64 @@
+"""Tests for 32-lane active masks."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simt.mask import FULL_MASK, WARP_WIDTH, ActiveMask
+
+
+class TestConstruction:
+    def test_full_and_none(self):
+        assert FULL_MASK.count == WARP_WIDTH
+        assert FULL_MASK.is_full
+        assert ActiveMask.none().count == 0
+        assert not ActiveMask.none()
+
+    def test_from_lanes(self):
+        mask = ActiveMask.from_lanes([0, 5, 31])
+        assert list(mask.lanes()) == [0, 5, 31]
+        assert 5 in mask
+        assert 6 not in mask
+
+    def test_from_lanes_rejects_out_of_range(self):
+        with pytest.raises(SimulationError):
+            ActiveMask.from_lanes([32])
+
+    def test_from_bools(self):
+        flags = [False] * WARP_WIDTH
+        flags[3] = True
+        assert list(ActiveMask.from_bools(flags).lanes()) == [3]
+
+    def test_from_bools_length_checked(self):
+        with pytest.raises(SimulationError):
+            ActiveMask.from_bools([True])
+
+    def test_bits_bounds(self):
+        with pytest.raises(SimulationError):
+            ActiveMask(1 << 32)
+        with pytest.raises(SimulationError):
+            ActiveMask(-1)
+
+
+class TestAlgebra:
+    def test_and_or_invert(self):
+        a = ActiveMask.from_lanes([0, 1, 2])
+        b = ActiveMask.from_lanes([1, 2, 3])
+        assert list((a & b).lanes()) == [1, 2]
+        assert list((a | b).lanes()) == [0, 1, 2, 3]
+        assert (~a).count == WARP_WIDTH - 3
+
+    def test_minus(self):
+        a = ActiveMask.from_lanes([0, 1, 2])
+        b = ActiveMask.from_lanes([1])
+        assert list(a.minus(b).lanes()) == [0, 2]
+
+    def test_partition_covers_and_is_disjoint(self):
+        mask = ActiveMask.from_lanes([0, 1, 4, 9])
+        taken, fall = mask.partition(ActiveMask.from_lanes([1, 9, 20]))
+        assert (taken | fall) == mask
+        assert not (taken & fall)
+        assert list(taken.lanes()) == [1, 9]
+
+    def test_utilization(self):
+        assert ActiveMask.from_lanes(range(8)).utilization() == 0.25
+        assert FULL_MASK.utilization() == 1.0

@@ -1,0 +1,107 @@
+"""Tests for the SIMT reconvergence stack."""
+
+import pytest
+
+from repro.isa import parse_program
+from repro.kernels.cfg import BasicBlock, Edge, KernelCFG
+from repro.simt.mask import FULL_MASK, WARP_WIDTH, ActiveMask
+from repro.simt.stack import expand_masked_trace, simd_efficiency
+
+
+def cfg_from(blocks, entry):
+    return KernelCFG("t", blocks, entry=entry)
+
+
+def block(label, asm, edges=()):
+    return BasicBlock(label, parse_program(asm),
+                      [Edge(*e) if isinstance(e, tuple) else Edge(e)
+                       for e in edges])
+
+
+def diamond(prob=0.5):
+    return cfg_from([
+        block("a", "mov.u32 $r1, 0x1", [("b", prob), ("c", 1 - prob)]),
+        block("b", "add.u32 $r2, $r1, $r1", ["d"]),
+        block("c", "sub.u32 $r2, $r1, $r1", ["d"]),
+        block("d", "exit"),
+    ], entry="a")
+
+
+class TestStraightline:
+    def test_no_divergence_full_masks(self):
+        cfg = cfg_from([
+            block("a", "mov.u32 $r1, 0x1\nadd.u32 $r2, $r1, $r1", ["b"]),
+            block("b", "exit"),
+        ], entry="a")
+        trace = expand_masked_trace(cfg)
+        assert all(item.mask == FULL_MASK for item in trace)
+        assert simd_efficiency(trace) == 1.0
+
+    def test_unconditional_branch_keeps_mask(self):
+        cfg = diamond(prob=1.0)
+        trace = expand_masked_trace(cfg)
+        assert all(item.mask == FULL_MASK for item in trace)
+        # Only one side executed.
+        blocks = {item.block for item in trace}
+        assert "c" not in blocks
+
+
+class TestDivergence:
+    def test_sides_partition_the_warp(self):
+        trace = expand_masked_trace(diamond(0.5), seed=3)
+        side_b = [i.mask for i in trace if i.block == "b"]
+        side_c = [i.mask for i in trace if i.block == "c"]
+        assert side_b and side_c
+        assert (side_b[0] | side_c[0]) == FULL_MASK
+        assert not (side_b[0] & side_c[0])
+
+    def test_reconvergence_restores_mask(self):
+        trace = expand_masked_trace(diamond(0.5), seed=3)
+        join = [i.mask for i in trace if i.block == "d"]
+        assert join and join[0] == FULL_MASK
+
+    def test_each_block_body_emitted_once_per_visit(self):
+        trace = expand_masked_trace(diamond(0.5), seed=3)
+        # a(1) + b(1) + c(1) + d(1) instructions.
+        assert len(trace) == 4
+
+    def test_deterministic_in_seed(self):
+        first = expand_masked_trace(diamond(0.5), seed=9)
+        second = expand_masked_trace(diamond(0.5), seed=9)
+        assert [(i.block, i.mask.bits) for i in first] == \
+            [(i.block, i.mask.bits) for i in second]
+
+    def test_warp_id_changes_divergence(self):
+        first = expand_masked_trace(diamond(0.5), warp_id=0, seed=1)
+        second = expand_masked_trace(diamond(0.5), warp_id=1, seed=1)
+        masks_first = [i.mask.bits for i in first]
+        masks_second = [i.mask.bits for i in second]
+        assert masks_first != masks_second
+
+
+class TestLoops:
+    def _loop(self, prob=0.7):
+        return cfg_from([
+            block("entry", "mov.u32 $r1, 0x0", ["body"]),
+            block("body", "add.u32 $r1, $r1, $r1", [("body", prob),
+                                                    ("exit", 1 - prob)]),
+            block("exit", "exit"),
+        ], entry="entry")
+
+    def test_loop_lanes_drop_out_and_reconverge(self):
+        trace = expand_masked_trace(self._loop(), seed=5,
+                                    max_instructions=100_000)
+        exit_masks = [i.mask for i in trace if i.block == "exit"]
+        assert exit_masks[-1] == FULL_MASK  # everyone reaches the exit
+        body_masks = [i.mask.count for i in trace if i.block == "body"]
+        # Active lane counts in the loop body never grow.
+        assert all(b >= a for b, a in zip(body_masks, body_masks[1:]))
+
+    def test_efficiency_below_one_with_divergence(self):
+        trace = expand_masked_trace(self._loop(), seed=5)
+        assert 0.0 < simd_efficiency(trace) < 1.0
+
+    def test_max_instructions_bound(self):
+        trace = expand_masked_trace(self._loop(0.99), seed=1,
+                                    max_instructions=50)
+        assert len(trace) == 50

@@ -1,0 +1,46 @@
+"""Tests for text bar-chart rendering."""
+
+import pytest
+
+from repro.stats.report import format_barchart
+
+
+class TestBarchart:
+    def test_basic_shape(self):
+        chart = format_barchart([("a", 0.5), ("bb", 1.0)], width=10)
+        lines = chart.splitlines()
+        assert lines[0].startswith("a ")
+        assert lines[1].count("#") == 10  # the max fills the width
+        assert lines[0].count("#") == 5
+
+    def test_labels_aligned(self):
+        chart = format_barchart([("x", 0.5), ("longer", 0.5)], width=4)
+        lines = chart.splitlines()
+        assert lines[0].index("#") == lines[1].index("#")
+
+    def test_title(self):
+        chart = format_barchart([("a", 1.0)], title="Chart")
+        assert chart.splitlines()[0] == "Chart"
+
+    def test_explicit_scale(self):
+        chart = format_barchart([("a", 0.25)], width=8, max_value=1.0)
+        assert chart.count("#") == 2
+
+    def test_values_rendered_as_percent_by_default(self):
+        assert "25.0%" in format_barchart([("a", 0.25)])
+
+    def test_custom_renderer(self):
+        chart = format_barchart([("a", 3.0)],
+                                render_value=lambda v: f"{v:.1f}x")
+        assert "3.0x" in chart
+
+    def test_zero_series(self):
+        chart = format_barchart([("a", 0.0)])
+        assert "#" not in chart
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_barchart([("a", -1.0)])
+
+    def test_empty_series(self):
+        assert format_barchart([], title="t") == "t"

@@ -1,0 +1,60 @@
+"""Tests for the event-counter record."""
+
+import pytest
+
+from repro.stats.counters import Counters
+
+
+class TestDerived:
+    def test_bypass_rates(self):
+        counters = Counters()
+        counters.rf_reads = 40
+        counters.bypassed_reads = 60
+        counters.rf_writes = 70
+        counters.bypassed_writes = 30
+        assert counters.read_bypass_rate == pytest.approx(0.6)
+        assert counters.write_bypass_rate == pytest.approx(0.3)
+        assert counters.total_reads == 100
+        assert counters.total_writes == 100
+
+    def test_rates_zero_when_empty(self):
+        counters = Counters()
+        assert counters.read_bypass_rate == 0.0
+        assert counters.write_bypass_rate == 0.0
+        assert counters.ipc == 0.0
+
+    def test_ipc(self):
+        counters = Counters()
+        counters.instructions = 300
+        counters.cycles = 100
+        assert counters.ipc == pytest.approx(3.0)
+
+
+class TestAlgebra:
+    def test_addition(self):
+        a = Counters()
+        a.rf_reads = 5
+        a.cycles = 10
+        b = Counters()
+        b.rf_reads = 7
+        b.oc_wait_cycles = 3
+        merged = a + b
+        assert merged.rf_reads == 12
+        assert merged.cycles == 10
+        assert merged.oc_wait_cycles == 3
+
+    def test_addition_leaves_operands_unchanged(self):
+        a = Counters()
+        a.rf_reads = 5
+        b = Counters()
+        _ = a + b
+        assert a.rf_reads == 5
+        assert b.rf_reads == 0
+
+    def test_as_dict_roundtrip(self):
+        counters = Counters()
+        counters.rf_writes = 9
+        data = counters.as_dict()
+        assert data["rf_writes"] == 9
+        assert set(data) >= {"rf_reads", "cycles", "bypassed_reads",
+                             "boc_evictions", "lifetime_cycles"}

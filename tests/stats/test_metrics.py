@@ -1,0 +1,59 @@
+"""Tests for derived run metrics."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.stats.counters import Counters
+from repro.stats.metrics import RunMetrics, bypass_rates, ipc_improvement
+
+
+def run_counters(instructions, cycles, oc_wait=0):
+    counters = Counters()
+    counters.instructions = instructions
+    counters.cycles = cycles
+    counters.oc_wait_cycles = oc_wait
+    return counters
+
+
+class TestRunMetrics:
+    def test_from_counters(self):
+        metrics = RunMetrics.from_counters(run_counters(100, 50))
+        assert metrics.ipc == pytest.approx(2.0)
+        assert metrics.instructions == 100
+
+    def test_ipc_improvement(self):
+        base = RunMetrics.from_counters(run_counters(100, 100))
+        fast = RunMetrics.from_counters(run_counters(100, 80))
+        assert fast.ipc_improvement_over(base) == pytest.approx(0.25)
+
+    def test_ipc_improvement_zero_baseline(self):
+        base = RunMetrics.from_counters(run_counters(0, 100))
+        other = RunMetrics.from_counters(run_counters(10, 10))
+        with pytest.raises(SimulationError):
+            other.ipc_improvement_over(base)
+
+    def test_oc_residency_normalized_per_instruction(self):
+        base = RunMetrics.from_counters(run_counters(100, 100, oc_wait=200))
+        bow = RunMetrics.from_counters(run_counters(100, 90, oc_wait=80))
+        assert bow.oc_residency_vs(base) == pytest.approx(0.4)
+
+    def test_oc_residency_zero_baseline(self):
+        base = RunMetrics.from_counters(run_counters(100, 100, oc_wait=0))
+        bow = RunMetrics.from_counters(run_counters(100, 100, oc_wait=10))
+        with pytest.raises(SimulationError):
+            bow.oc_residency_vs(base)
+
+
+class TestHelpers:
+    def test_bypass_rates(self):
+        counters = Counters()
+        counters.rf_reads = 1
+        counters.bypassed_reads = 3
+        reads, writes = bypass_rates(counters)
+        assert reads == pytest.approx(0.75)
+        assert writes == 0.0
+
+    def test_ipc_improvement_helper(self):
+        assert ipc_improvement(
+            run_counters(100, 50), run_counters(100, 100)
+        ) == pytest.approx(1.0)

@@ -1,0 +1,46 @@
+"""Tests for ASCII table rendering."""
+
+from repro.stats.report import format_percent, format_table
+
+
+class TestFormatPercent:
+    def test_basic(self):
+        assert format_percent(0.553) == "55.3%"
+
+    def test_digits(self):
+        assert format_percent(0.5, digits=0) == "50%"
+        assert format_percent(0.12345, digits=2) == "12.35%"
+
+    def test_over_one(self):
+        assert format_percent(1.1) == "110.0%"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["name", "value"],
+                             [["a", 1], ["longer", 22]])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert "------" in lines[1]
+        # Columns align: 'value' column starts at the same offset.
+        assert lines[2].index("1") == lines[3].index("22")
+
+    def test_title(self):
+        table = format_table(["x"], [[1]], title="My Table")
+        assert table.splitlines()[0] == "My Table"
+
+    def test_floats_three_decimals(self):
+        table = format_table(["x"], [[0.123456]])
+        assert "0.123" in table
+
+    def test_wide_cell_expands_column(self):
+        table = format_table(["x"], [["averylongcellvalue"]])
+        assert "averylongcellvalue" in table
+
+    def test_no_trailing_whitespace(self):
+        table = format_table(["a", "b"], [["x", "y"]])
+        assert all(line == line.rstrip() for line in table.splitlines())
+
+    def test_empty_rows(self):
+        table = format_table(["a"], [])
+        assert len(table.splitlines()) == 2

@@ -1,0 +1,95 @@
+"""Tests for time-series sampling."""
+
+import pytest
+
+from repro.core.boc import BOWCollectors
+from repro.config import BOWConfig
+from repro.errors import SimulationError
+from repro.gpu.sm import SMEngine
+from repro.isa import parse_program
+from repro.kernels.trace import KernelTrace, WarpTrace
+from repro.stats.counters import Counters
+from repro.stats.timeline import Timeline, TimelineSample
+
+
+def counters(instructions=0, bypassed_reads=0):
+    c = Counters()
+    c.instructions = instructions
+    c.bypassed_reads = bypassed_reads
+    return c
+
+
+class TestSampling:
+    def test_samples_on_grid_only(self):
+        timeline = Timeline(interval=10)
+        timeline.maybe_sample(5, counters(), 0, 0)
+        timeline.maybe_sample(10, counters(instructions=3), 2, 1)
+        timeline.maybe_sample(15, counters(), 0, 0)
+        timeline.maybe_sample(20, counters(instructions=8), 5, 2)
+        assert [s.cycle for s in timeline.samples] == [10, 20]
+        assert timeline.samples[0].instructions == 3
+        assert timeline.samples[1].rf_accesses == 7
+
+    def test_interval_validated(self):
+        with pytest.raises(SimulationError):
+            Timeline(interval=0)
+
+
+class TestDerivedSeries:
+    def _timeline(self):
+        timeline = Timeline(interval=10)
+        timeline.samples.extend([
+            TimelineSample(10, 20, 10, 0),
+            TimelineSample(20, 50, 15, 5),
+        ])
+        return timeline
+
+    def test_ipc_series_is_per_interval(self):
+        series = self._timeline().ipc_series()
+        assert series == [pytest.approx(2.0), pytest.approx(3.0)]
+
+    def test_bypass_series(self):
+        series = self._timeline().bypass_series()
+        assert series[0] == 0.0
+        assert series[1] == pytest.approx(0.5)  # 5 of 10 in interval 2
+
+    def test_format_sparkline(self):
+        text = self._timeline().format()
+        assert text.startswith("IPC/interval")
+
+    def test_empty_format(self):
+        assert Timeline().format() == "(no samples)"
+
+
+class TestEngineIntegration:
+    def test_engine_fills_timeline(self):
+        trace = KernelTrace(name="t", warps=[
+            WarpTrace(0, parse_program("""
+                mov.u32 $r1, 0x1
+                add.u32 $r2, $r1, $r1
+                add.u32 $r3, $r2, $r1
+                st.global.u32 [$r3], $r2
+            """))
+        ])
+        timeline = Timeline(interval=5)
+        engine = SMEngine(trace, timeline=timeline)
+        engine.run()
+        assert timeline.samples
+        final = timeline.samples[-1]
+        assert final.instructions <= 4
+
+    def test_bow_timeline_shows_bypassing(self):
+        trace = KernelTrace(name="t", warps=[
+            WarpTrace(0, parse_program("\n".join(
+                ["mov.u32 $r1, 0x1"]
+                + ["add.u32 $r1, $r1, $r1"] * 8
+            )))
+        ])
+        timeline = Timeline(interval=5)
+        engine = SMEngine(
+            trace,
+            provider_factory=lambda e: BOWCollectors(e, BOWConfig()),
+            timeline=timeline,
+        )
+        engine.run()
+        assert max(timeline.bypass_series(), default=0.0) > 0.0

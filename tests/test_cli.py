@@ -1,0 +1,85 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_benchmarks_and_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "BTREE" in out
+        assert "fig10" in out
+
+
+class TestRun:
+    def test_run_prints_metrics(self, capsys):
+        code = main(["run", "BFS", "--warps", "4", "--scale", "0.1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out
+        assert "reads bypassed" in out
+
+    def test_unknown_benchmark_fails_cleanly(self, capsys):
+        code = main(["run", "DOOM", "--warps", "2", "--scale", "0.1"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_design_fails_cleanly(self, capsys):
+        code = main(["run", "BFS", "--design", "magic",
+                     "--warps", "2", "--scale", "0.1"])
+        assert code == 1
+
+
+class TestExperiment:
+    def test_static_experiment(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_unknown_artifact(self, capsys):
+        assert main(["experiment", "fig99"]) == 1
+
+
+class TestAblation:
+    def test_rf_size_ablation(self, capsys):
+        assert main(["ablation", "rf-size"]) == 0
+        out = capsys.readouterr().out
+        assert "transient" in out
+
+    def test_unknown_ablation_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["ablation", "quantum"])
+
+
+class TestCompile:
+    def test_compile_file(self, tmp_path, capsys):
+        source = tmp_path / "kernel.asm"
+        source.write_text(
+            "mov.u32 $r1, 0x1\n"
+            "add.u32 $r2, $r1, $r1\n"
+            "st.global.u32 [$r3], $r2\n"
+        )
+        assert main(["compile", str(source)]) == 0
+        out = capsys.readouterr().out
+        assert "oc-only" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["compile", "/nonexistent.asm"]) == 1
+
+    def test_parse_error_reported(self, tmp_path, capsys):
+        source = tmp_path / "bad.asm"
+        source.write_text("frobnicate $r1\n")
+        assert main(["compile", str(source)]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestParser:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

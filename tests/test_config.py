@@ -1,0 +1,134 @@
+"""Tests for machine and BOW configuration."""
+
+import pytest
+
+from repro.config import (
+    BASELINE_OC_ENTRIES,
+    BOWConfig,
+    GPUConfig,
+    SchedulerPolicy,
+    WritebackPolicy,
+    baseline_config,
+    bow_config,
+    bow_wb_config,
+    bow_wr_config,
+)
+from repro.errors import ConfigError
+
+
+class TestGPUConfig:
+    def test_defaults_match_table2(self):
+        cfg = GPUConfig()
+        assert cfg.num_sms == 56
+        assert cfg.cores_per_sm == 128
+        assert cfg.max_warps_per_sm == 32
+        assert cfg.max_threads_per_sm == 1024
+        assert cfg.register_file_bytes == 256 * 1024
+        assert cfg.num_banks == 32
+        assert cfg.num_schedulers == 4
+        assert cfg.scheduler_policy is SchedulerPolicy.GTO
+
+    def test_warp_register_is_128_bytes(self):
+        assert GPUConfig().warp_register_bytes == 128
+
+    def test_bank_geometry_consistent(self):
+        cfg = GPUConfig()
+        assert cfg.bank_bytes * cfg.num_banks == cfg.register_file_bytes
+
+    def test_registers_per_warp(self):
+        # 2048 warp-registers over 32 warp slots = 64 each.
+        assert GPUConfig().registers_per_warp == 64
+
+    def test_bank_mapping_in_range(self):
+        cfg = GPUConfig()
+        for warp in (0, 7, 31):
+            for reg in (0, 1, 63, 255):
+                assert 0 <= cfg.bank_of(warp, reg) < cfg.num_banks
+
+    def test_bank_mapping_spreads_same_register_across_warps(self):
+        cfg = GPUConfig()
+        banks = {cfg.bank_of(w, 5) for w in range(cfg.num_banks)}
+        assert len(banks) == cfg.num_banks
+
+    def test_issue_width_total(self):
+        assert GPUConfig().issue_width_total() == 8
+
+    def test_rejects_nonpositive_banks(self):
+        with pytest.raises(ConfigError):
+            GPUConfig(num_banks=0)
+
+    def test_rejects_inconsistent_thread_count(self):
+        with pytest.raises(ConfigError):
+            GPUConfig(max_threads_per_sm=999)
+
+    def test_rejects_inconsistent_rf_geometry(self):
+        with pytest.raises(ConfigError):
+            GPUConfig(entries_per_bank=63)
+
+    def test_rejects_nonpositive_read_latency(self):
+        with pytest.raises(ConfigError):
+            GPUConfig(rf_read_latency=0)
+
+
+class TestBOWConfig:
+    def test_default_window_is_three(self):
+        assert BOWConfig().window_size == 3
+
+    def test_conservative_capacity(self):
+        # 3 instructions x 4 registers (paper SS IV-C).
+        assert BOWConfig(window_size=3).effective_capacity == 12
+
+    def test_explicit_capacity_overrides(self):
+        cfg = BOWConfig(window_size=3, capacity_entries=6)
+        assert cfg.effective_capacity == 6
+        assert cfg.conservative_capacity == 12
+
+    def test_half_size(self):
+        assert BOWConfig(window_size=3).half_size().effective_capacity == 6
+
+    def test_boc_bytes_full_is_1_5kb(self):
+        # The paper's 1.5 KB per BOC at IW=3.
+        assert BOWConfig(window_size=3).boc_bytes() == 1536
+
+    def test_total_boc_bytes(self):
+        assert BOWConfig(window_size=3).total_boc_bytes() == 1536 * 32
+
+    def test_storage_overhead_full_is_36kb_equiv(self):
+        # Added storage = 48 KB total - 12 KB baseline = 36 KB => ~14% of RF.
+        frac = BOWConfig(window_size=3).storage_overhead_fraction()
+        assert frac == pytest.approx(36 * 1024 / (256 * 1024))
+
+    def test_storage_overhead_half_is_12kb_equiv(self):
+        frac = BOWConfig(window_size=3).half_size().storage_overhead_fraction()
+        assert frac == pytest.approx(12 * 1024 / (256 * 1024))
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ConfigError):
+            BOWConfig(window_size=0)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ConfigError):
+            BOWConfig(capacity_entries=0)
+
+    def test_baseline_oc_entries_constant(self):
+        assert BASELINE_OC_ENTRIES == 3
+
+
+class TestFactories:
+    def test_baseline_is_disabled(self):
+        assert not baseline_config().enabled
+
+    def test_bow_is_write_through(self):
+        cfg = bow_config(4)
+        assert cfg.enabled
+        assert cfg.window_size == 4
+        assert cfg.writeback is WritebackPolicy.WRITE_THROUGH
+
+    def test_bow_wb_is_write_back(self):
+        assert bow_wb_config().writeback is WritebackPolicy.WRITE_BACK
+
+    def test_bow_wr_is_compiler(self):
+        assert bow_wr_config().writeback is WritebackPolicy.COMPILER
+
+    def test_bow_wr_half_capacity(self):
+        assert bow_wr_config(3, half_size=True).effective_capacity == 6

@@ -1,0 +1,51 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    CompilerError,
+    ConfigError,
+    DeadlockError,
+    EncodingError,
+    ExperimentError,
+    IsaError,
+    KernelError,
+    ParseError,
+    ReproError,
+    SimulationError,
+)
+
+
+@pytest.mark.parametrize("exc_class", [
+    ConfigError, IsaError, ParseError, EncodingError, KernelError,
+    CompilerError, SimulationError, DeadlockError, ExperimentError,
+])
+def test_all_derive_from_repro_error(exc_class):
+    assert issubclass(exc_class, ReproError)
+
+
+def test_parse_error_is_isa_error():
+    assert issubclass(ParseError, IsaError)
+    assert issubclass(EncodingError, IsaError)
+
+
+def test_deadlock_is_simulation_error():
+    assert issubclass(DeadlockError, SimulationError)
+
+
+def test_parse_error_formats_location():
+    err = ParseError("bad operand", line_number=7, line="mov $r1")
+    assert "line 7" in str(err)
+    assert "mov $r1" in str(err)
+    assert err.line_number == 7
+
+
+def test_parse_error_without_location():
+    err = ParseError("bad operand")
+    assert str(err) == "bad operand"
+
+
+def test_deadlock_error_carries_cycle():
+    err = DeadlockError("stuck", cycle=123)
+    assert err.cycle == 123
+    assert "123" in str(err)

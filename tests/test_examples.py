@@ -1,0 +1,70 @@
+"""Smoke tests: the fast examples run end-to-end as subprocesses.
+
+The slow, sweep-style examples (design_shootout, reproduce_paper,
+window_design_space, quickstart at its default size) are exercised
+through the experiment drivers they call; these tests run the ones that
+finish in seconds exactly as a user would.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "compiler_walkthrough.py",
+    "custom_assembly.py",
+    "simt_divergence.py",
+    "phase_timeline.py",
+    "pipeline_app.py",
+]
+
+
+def run_example(name, *args, timeout=240):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_example_runs_clean(name):
+    result = run_example(name)
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()
+
+
+def test_quickstart_small():
+    result = run_example("quickstart.py", "BFS", "4", "0.1")
+    assert result.returncode == 0, result.stderr
+    assert "identical across designs: True" in result.stdout
+
+
+def test_all_examples_present():
+    expected = set(FAST_EXAMPLES) | {
+        "quickstart.py", "window_design_space.py", "design_shootout.py",
+        "reproduce_paper.py",
+    }
+    assert expected <= {p.name for p in EXAMPLES.glob("*.py")}
+
+
+def test_compiler_walkthrough_reproduces_table1():
+    result = run_example("compiler_walkthrough.py")
+    assert "Table I" in result.stdout
+    # The compiler column total of 2 appears in the regenerated table.
+    assert "Total" in result.stdout
+
+
+def test_pipeline_app_is_functionally_correct():
+    result = run_example("pipeline_app.py")
+    assert "[OK]" in result.stdout
+    assert "WRONG" not in result.stdout
+
+
+def test_custom_assembly_checks_all_designs():
+    result = run_example("custom_assembly.py")
+    assert "rfc" in result.stdout
+    assert "reference memory image" in result.stdout

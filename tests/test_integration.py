@@ -1,0 +1,118 @@
+"""End-to-end integration: benchmarks through every design.
+
+These runs are the same shape as the paper's evaluation pipeline:
+benchmark -> (compiler) -> timing simulation -> counters -> energy.
+"""
+
+import pytest
+
+from repro import (
+    BOWConfig,
+    EnergyModel,
+    WritebackPolicy,
+    build_benchmark_trace,
+    simulate_design,
+)
+from repro.compiler import compile_kernel
+from repro.core.window import read_bypass_counts
+from repro.gpu.reference import execute_reference
+from repro.kernels.suites import get_profile
+from repro.kernels.synthetic import generate_compiled_trace, generate_kernel
+
+SEED = 3
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return build_benchmark_trace("GAUSSIAN", num_warps=6, scale=0.15)
+
+
+@pytest.fixture(scope="module")
+def runs(trace):
+    return {
+        design: simulate_design(design, trace, window_size=3,
+                                memory_seed=SEED)
+        for design in ("baseline", "bow", "bow-wb", "rfc")
+    }
+
+
+class TestDesignsEndToEnd:
+    def test_all_complete_all_instructions(self, trace, runs):
+        for design, result in runs.items():
+            assert result.counters.instructions == trace.total_instructions, design
+
+    def test_memory_images_all_equal(self, trace, runs):
+        reference = execute_reference(trace, memory_seed=SEED)
+        for design, result in runs.items():
+            assert result.memory_image == reference.memory, design
+
+    def test_bypassing_reduces_rf_traffic(self, runs):
+        base = runs["baseline"].counters
+        bow = runs["bow"].counters
+        wb = runs["bow-wb"].counters
+        assert bow.rf_reads < base.rf_reads
+        assert wb.rf_reads < base.rf_reads
+        assert wb.rf_writes < base.rf_writes
+        assert bow.rf_writes == base.rf_writes  # write-through
+
+    def test_dynamic_bypass_rate_tracks_static_analysis(self, trace, runs):
+        # The timing model's realized read-bypass rate should sit near
+        # the trace analysis (it can differ slightly: capacity, timing).
+        hits = total = 0
+        for warp in trace:
+            h, t = read_bypass_counts(warp.instructions, 3)
+            hits, total = hits + h, total + t
+        static_rate = hits / total
+        dynamic_rate = runs["bow"].counters.read_bypass_rate
+        assert dynamic_rate == pytest.approx(static_rate, abs=0.12)
+
+    def test_energy_ordering(self, runs):
+        model = EnergyModel()
+        base = runs["baseline"].counters
+        savings = {
+            design: model.savings(runs[design].counters, base)
+            for design in ("bow", "bow-wb", "rfc")
+        }
+        assert savings["bow-wb"] > savings["bow"] > 0
+
+    def test_ipc_ordering(self, runs):
+        assert runs["bow"].ipc > runs["baseline"].ipc
+        assert runs["bow-wb"].ipc > runs["baseline"].ipc
+
+
+class TestCompilerIntegration:
+    def test_compiled_kernel_runs_with_fewer_rf_writes(self):
+        spec = get_profile("SRAD").spec
+        from dataclasses import replace
+
+        spec = replace(spec, num_warps=4, loop_iterations=4)
+        hinted = generate_compiled_trace(spec, window_size=3)
+
+        wb = simulate_design("bow-wb", hinted, window_size=3,
+                             memory_seed=SEED)
+        wr = simulate_design("bow-wr", hinted, window_size=3,
+                             memory_seed=SEED)
+        assert wr.counters.rf_writes <= wb.counters.rf_writes
+        assert wr.memory_image == wb.memory_image
+
+    def test_transient_fraction_consistent_with_fig7(self):
+        kernel = generate_kernel(get_profile("SRAD").spec)
+        compiled = compile_kernel(kernel, window_size=3)
+        from repro.compiler.writeback import WritebackClass
+
+        distribution = compiled.hint_distribution()
+        assert distribution[WritebackClass.OC_ONLY] > 0.3
+
+
+class TestHalfSizeDesign:
+    def test_half_size_stays_correct_and_close(self):
+        trace = generate_compiled_trace(
+            get_profile("SAD").spec.scaled(0.2), window_size=3
+        )
+        full = simulate_design("bow-wr", trace, window_size=3,
+                               memory_seed=SEED)
+        half = simulate_design("bow-wr-half", trace, window_size=3,
+                               memory_seed=SEED)
+        assert half.memory_image == full.memory_image
+        # Paper: ~2% loss; allow a modest band at small scale.
+        assert half.ipc >= full.ipc * 0.9

@@ -1,0 +1,291 @@
+"""Property-based tests for the extension subsystems.
+
+Covers the SIMT mask algebra, reconvergence invariants on random
+structured CFGs, trace-serialization round trips, and the scheduling
+pass's two contracts (semantics preserved, locality never regresses).
+"""
+
+from __future__ import annotations
+
+import random as random_module
+
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler.scheduling import schedule_block
+from repro.core.window import read_bypass_counts
+from repro.gpu.reference import execute_reference
+from repro.isa import Instruction
+from repro.isa.opcodes import opcode_by_name
+from repro.isa.registers import Register
+from repro.kernels.cfg import BasicBlock, Edge, KernelCFG
+from repro.kernels.serialize import trace_from_dict, trace_to_dict
+from repro.kernels.trace import KernelTrace, WarpTrace
+from repro.simt.mask import FULL_MASK, WARP_WIDTH, ActiveMask
+from repro.simt.stack import expand_masked_trace
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+masks = st.integers(min_value=0, max_value=(1 << WARP_WIDTH) - 1).map(ActiveMask)
+
+_REG = st.integers(min_value=0, max_value=9)
+
+
+@st.composite
+def straightline_program(draw, max_size=20):
+    size = draw(st.integers(min_value=1, max_value=max_size))
+    instructions = []
+    for _ in range(size):
+        kind = draw(st.integers(0, 9))
+        if kind < 6:
+            name = draw(st.sampled_from(["add", "sub", "mul", "xor", "mov"]))
+            opcode = opcode_by_name(name)
+            sources = tuple(Register(draw(_REG))
+                            for _ in range(opcode.num_sources))
+            instructions.append(Instruction(
+                opcode=opcode, dest=Register(draw(_REG)), sources=sources,
+                immediate=draw(st.integers(0, 0xFFFF)),
+            ))
+        elif kind < 8:
+            instructions.append(Instruction(
+                opcode=opcode_by_name("ld.global"),
+                dest=Register(draw(_REG)), sources=(Register(draw(_REG)),),
+            ))
+        else:
+            instructions.append(Instruction(
+                opcode=opcode_by_name("st.global"),
+                sources=(Register(draw(_REG)), Register(draw(_REG))),
+            ))
+    return instructions
+
+
+@st.composite
+def diamond_chain_cfg(draw):
+    """A random chain of diamonds and loops (structured control flow)."""
+    segments = draw(st.integers(min_value=1, max_value=3))
+    blocks = []
+    labels = []
+    counter = 0
+
+    def alu(dest, src_a, src_b):
+        return Instruction(
+            opcode=opcode_by_name("add"),
+            dest=Register(dest),
+            sources=(Register(src_a), Register(src_b)),
+        )
+
+    entry_label = "b0"
+    previous_tail = None
+    for segment in range(segments):
+        kind = draw(st.sampled_from(["diamond", "loop", "chain"]))
+        head = f"b{counter}"
+        if kind == "diamond":
+            left, right, join = (f"b{counter + i}" for i in (1, 2, 3))
+            probability = draw(st.floats(min_value=0.1, max_value=0.9))
+            blocks += [
+                BasicBlock(head, [alu(1, 2, 3)],
+                           [Edge(left, probability),
+                            Edge(right, 1 - probability)]),
+                BasicBlock(left, [alu(4, 1, 1)], [Edge(join)]),
+                BasicBlock(right, [alu(4, 1, 2)], [Edge(join)]),
+                BasicBlock(join, [alu(5, 4, 4)]),
+            ]
+            tail = join
+            counter += 4
+        elif kind == "loop":
+            body, exit_label = f"b{counter + 1}", f"b{counter + 2}"
+            probability = draw(st.floats(min_value=0.1, max_value=0.8))
+            blocks += [
+                BasicBlock(head, [alu(1, 1, 2)], [Edge(body)]),
+                BasicBlock(body, [alu(1, 1, 1)],
+                           [Edge(body, probability),
+                            Edge(exit_label, 1 - probability)]),
+                BasicBlock(exit_label, [alu(6, 1, 1)]),
+            ]
+            tail = exit_label
+            counter += 3
+        else:
+            blocks += [BasicBlock(head, [alu(1, 2, 3), alu(2, 1, 1)])]
+            tail = head
+            counter += 1
+        if previous_tail is not None:
+            for block in blocks:
+                if block.label == previous_tail:
+                    block.edges.append(Edge(head))
+        previous_tail = tail
+    return KernelCFG("random", blocks, entry=entry_label)
+
+
+# ---------------------------------------------------------------------------
+# mask properties
+# ---------------------------------------------------------------------------
+
+class TestMaskProperties:
+    @given(masks, masks)
+    @settings(max_examples=150, deadline=None)
+    def test_partition_is_exact(self, mask, taken):
+        part_taken, part_fall = mask.partition(taken)
+        assert (part_taken | part_fall) == mask
+        assert not (part_taken & part_fall)
+
+    @given(masks)
+    @settings(max_examples=100, deadline=None)
+    def test_double_complement(self, mask):
+        assert ~~mask == mask
+
+    @given(masks, masks)
+    @settings(max_examples=100, deadline=None)
+    def test_de_morgan(self, a, b):
+        assert ~(a & b) == (~a | ~b)
+
+    @given(masks)
+    @settings(max_examples=100, deadline=None)
+    def test_count_matches_lanes(self, mask):
+        assert mask.count == len(list(mask.lanes()))
+
+
+# ---------------------------------------------------------------------------
+# SIMT stack properties
+# ---------------------------------------------------------------------------
+
+class TestStackProperties:
+    @given(diamond_chain_cfg(), st.integers(min_value=0, max_value=50))
+    @settings(max_examples=40, deadline=None)
+    def test_lane_work_is_consistent(self, cfg, seed):
+        """Per-lane instruction counts equal a scalar per-lane walk.
+
+        Each lane's journey through the CFG is an independent walk; the
+        SIMT stack must issue every lane exactly the instructions its
+        walk requires — divergence changes *grouping*, never work.
+        """
+        trace = expand_masked_trace(cfg, seed=seed,
+                                    max_instructions=100_000)
+        per_lane = [0] * WARP_WIDTH
+        for item in trace:
+            for lane in item.mask.lanes():
+                per_lane[lane] += 1
+        # Every lane executes at least the entry block and at most the
+        # instruction bound.
+        entry_len = len(cfg.blocks[cfg.entry].instructions)
+        assert all(count >= entry_len for count in per_lane)
+
+    @given(diamond_chain_cfg(), st.integers(min_value=0, max_value=50))
+    @settings(max_examples=40, deadline=None)
+    def test_masks_never_empty_or_overflow(self, cfg, seed):
+        trace = expand_masked_trace(cfg, seed=seed,
+                                    max_instructions=100_000)
+        for item in trace:
+            assert item.mask
+            assert item.mask.count <= WARP_WIDTH
+
+    @given(diamond_chain_cfg(), st.integers(min_value=0, max_value=50))
+    @settings(max_examples=40, deadline=None)
+    def test_entry_block_runs_full(self, cfg, seed):
+        trace = expand_masked_trace(cfg, seed=seed,
+                                    max_instructions=100_000)
+        assert trace[0].mask == FULL_MASK
+
+
+# ---------------------------------------------------------------------------
+# serialization properties
+# ---------------------------------------------------------------------------
+
+class TestSerializationProperties:
+    @given(straightline_program(), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_preserves_everything(self, program, warps):
+        trace = KernelTrace(name="p", warps=[
+            WarpTrace(w, list(program)) for w in range(warps)
+        ])
+        back = trace_from_dict(trace_to_dict(trace))
+        assert back.total_instructions == trace.total_instructions
+        for warp_in, warp_out in zip(trace, back):
+            for a, b in zip(warp_in, warp_out):
+                assert a.opcode.name == b.opcode.name
+                assert a.dest == b.dest
+                assert a.sources == b.sources
+                assert a.immediate == b.immediate
+
+    @given(straightline_program())
+    @settings(max_examples=40, deadline=None)
+    def test_reloaded_trace_simulates_identically(self, program):
+        trace = KernelTrace(name="p", warps=[WarpTrace(0, list(program))])
+        back = trace_from_dict(trace_to_dict(trace))
+        first = execute_reference(trace, memory_seed=3)
+        second = execute_reference(back, memory_seed=3)
+        assert first.memory == second.memory
+        assert first.registers == second.registers
+
+
+# ---------------------------------------------------------------------------
+# scheduling properties
+# ---------------------------------------------------------------------------
+
+class TestSchedulingProperties:
+    @given(straightline_program(), st.integers(min_value=2, max_value=5))
+    @settings(max_examples=60, deadline=None)
+    def test_semantics_preserved(self, program, window):
+        scheduled = schedule_block(program, window).instructions
+        trace_a = KernelTrace(name="a", warps=[WarpTrace(0, list(program))])
+        trace_b = KernelTrace(name="b",
+                              warps=[WarpTrace(0, list(scheduled))])
+        ref_a = execute_reference(trace_a, memory_seed=1)
+        ref_b = execute_reference(trace_b, memory_seed=1)
+        assert ref_a.memory == ref_b.memory
+        assert ref_a.registers == ref_b.registers
+
+    @given(straightline_program(), st.integers(min_value=2, max_value=5))
+    @settings(max_examples=60, deadline=None)
+    def test_locality_never_regresses(self, program, window):
+        before, _ = read_bypass_counts(program, window)
+        scheduled = schedule_block(program, window).instructions
+        after, _ = read_bypass_counts(list(scheduled), window)
+        assert after >= before or _writes_improved(program, scheduled, window)
+
+    @given(straightline_program(), st.integers(min_value=2, max_value=5))
+    @settings(max_examples=60, deadline=None)
+    def test_schedule_is_permutation(self, program, window):
+        result = schedule_block(program, window)
+        assert sorted(result.permutation) == list(range(len(program)))
+
+
+class TestDceProperties:
+    @given(straightline_program())
+    @settings(max_examples=60, deadline=None)
+    def test_dce_preserves_memory_semantics(self, program):
+        from repro.compiler.dce import eliminate_dead_code_block
+
+        cleaned = eliminate_dead_code_block(program)
+        trace_a = KernelTrace(name="a", warps=[WarpTrace(0, list(program))])
+        trace_b = KernelTrace(name="b", warps=[WarpTrace(0, list(cleaned))])
+        ref_a = execute_reference(trace_a, memory_seed=4)
+        ref_b = execute_reference(trace_b, memory_seed=4)
+        assert ref_a.memory == ref_b.memory
+
+    @given(straightline_program())
+    @settings(max_examples=60, deadline=None)
+    def test_dce_is_idempotent(self, program):
+        from repro.compiler.dce import eliminate_dead_code_block
+
+        once = eliminate_dead_code_block(program)
+        twice = eliminate_dead_code_block(once)
+        assert [i.uid for i in once] == [i.uid for i in twice]
+
+    @given(straightline_program())
+    @settings(max_examples=60, deadline=None)
+    def test_dce_never_removes_side_effects(self, program):
+        from repro.compiler.dce import eliminate_dead_code_block
+
+        cleaned = eliminate_dead_code_block(program)
+        effects_before = [i for i in program if i.is_memory]
+        effects_after = [i for i in cleaned if i.is_memory]
+        assert len(effects_before) == len(effects_after)
+
+
+def _writes_improved(before, after, window) -> bool:
+    from repro.core.window import write_bypass_opportunity_counts
+
+    b, _ = write_bypass_opportunity_counts(before, window)
+    a, _ = write_bypass_opportunity_counts(list(after), window)
+    return a >= b
