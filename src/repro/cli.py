@@ -4,6 +4,9 @@ Commands:
 
 * ``list``                      — benchmarks and experiments available.
 * ``run BENCH [--design D]``    — simulate one benchmark, print metrics.
+* ``sweep [BENCH ...]``         — run a benchmark x design x IW grid in
+  parallel (``--jobs``) with a persistent on-disk run cache
+  (``--cache-dir`` / ``--no-cache``).
 * ``experiment ID``             — regenerate a paper table/figure.
 * ``ablation NAME``             — run one of the ablation studies.
 * ``compile FILE``              — assemble + classify a kernel file,
@@ -39,12 +42,39 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--window", type=int, default=3)
     run.add_argument("--warps", type=int, default=16)
     run.add_argument("--scale", type=float, default=0.25)
+    run.add_argument("--seed", type=int, default=7,
+                     help="memory-latency seed (default matches the "
+                          "experiment drivers)")
+
+    sweep = sub.add_parser(
+        "sweep", help="run a benchmark x design x IW grid, cached")
+    sweep.add_argument("benchmarks", nargs="*", metavar="BENCH",
+                       help="benchmarks to sweep (default: the full suite)")
+    sweep.add_argument("--designs", default="baseline,bow,bow-wr",
+                       help="comma-separated design list")
+    sweep.add_argument("--windows", default="3",
+                       help="comma-separated instruction windows")
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (1 = serial)")
+    sweep.add_argument("--warps", type=int, default=16)
+    sweep.add_argument("--scale", type=float, default=0.25)
+    sweep.add_argument("--seed", type=int, default=7)
+    sweep.add_argument("--cache-dir", default=None,
+                       help="run-cache directory (default: "
+                            "$REPRO_CACHE_DIR or ~/.cache/repro-bow/runs)")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="disable the on-disk run cache")
+    sweep.add_argument("--expect-warm", action="store_true",
+                       help="fail unless every run is a cache/memo hit "
+                            "(CI warm-cache check)")
 
     experiment = sub.add_parser("experiment",
                                 help="regenerate a paper table/figure")
     experiment.add_argument("artifact")
     experiment.add_argument("--full", action="store_true",
                             help="32-warp configuration")
+    experiment.add_argument("--jobs", type=int, default=None,
+                            help="worker processes for the timing grids")
 
     ablation = sub.add_parser("ablation", help="run an ablation study")
     ablation.add_argument(
@@ -78,7 +108,8 @@ def _cmd_run(args) -> int:
     from .experiments.runner import RunScale, run_design
     from .stats.report import format_percent
 
-    scale = RunScale(num_warps=args.warps, trace_scale=args.scale)
+    scale = RunScale(num_warps=args.warps, trace_scale=args.scale,
+                     memory_seed=args.seed)
     base = run_design(args.benchmark, "baseline", scale=scale)
     result = run_design(args.benchmark, args.design,
                         window_size=args.window, scale=scale)
@@ -95,11 +126,49 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    from .experiments.cache import RunCache, default_cache_dir
+    from .experiments.grid import run_grid
+    from .experiments.runner import RunScale
+    from .kernels.suites import benchmark_names
+
+    benchmarks = tuple(args.benchmarks) or benchmark_names()
+    designs = tuple(
+        name.strip() for name in args.designs.split(",") if name.strip()
+    )
+    try:
+        windows = tuple(
+            int(item) for item in args.windows.split(",") if item.strip()
+        )
+    except ValueError:
+        print(f"error: --windows expects comma-separated integers, "
+              f"got {args.windows!r}", file=sys.stderr)
+        return 2
+    scale = RunScale(num_warps=args.warps, trace_scale=args.scale,
+                     memory_seed=args.seed)
+    if args.no_cache:
+        cache = None
+    else:
+        cache = RunCache(args.cache_dir or default_cache_dir())
+    grid = run_grid(
+        benchmarks, designs, windows, scale=scale, jobs=args.jobs,
+        cache=cache,
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+    print(grid.format())
+    if args.expect_warm and grid.simulated:
+        print(f"error: expected a warm cache but {grid.simulated} run(s) "
+              f"had to be simulated", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_experiment(args) -> int:
     from .experiments.registry import run_experiment
     from .experiments.runner import FULL, QUICK
 
-    print(run_experiment(args.artifact, scale=FULL if args.full else QUICK))
+    print(run_experiment(args.artifact, scale=FULL if args.full else QUICK,
+                         jobs=args.jobs))
     return 0
 
 
@@ -152,6 +221,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_list()
         if args.command == "run":
             return _cmd_run(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
         if args.command == "experiment":
             return _cmd_experiment(args)
         if args.command == "ablation":

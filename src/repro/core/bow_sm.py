@@ -94,7 +94,9 @@ def simulate_design(
         factory = DESIGNS[design]
     except KeyError:
         known = ", ".join(sorted(DESIGNS) + ["rfc"])
-        raise SimulationError(f"unknown design {design!r}; known: {known}")
+        raise SimulationError(
+            f"unknown design {design!r}; known: {known}"
+        ) from None
     return simulate_bow(
         trace, bow=factory(window_size), config=config,
         memory_seed=memory_seed, preload=preload,

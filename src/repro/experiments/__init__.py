@@ -5,10 +5,25 @@ plots plus a ``format()`` text rendering; the benchmark harness under
 ``benchmarks/`` and the examples call these.  Timing runs are cached per
 process (see :mod:`repro.experiments.runner`), so drivers that share
 runs — Figures 10, 12 and 13 all need the same baseline — pay for them
-once.
+once.  The drivers route their grids through
+:func:`~repro.experiments.grid.run_grid`, which adds parallel fan-out
+(``jobs=N``) and a persistent on-disk run cache
+(:class:`~repro.experiments.cache.RunCache`) shared across processes.
 """
 
-from .runner import RunScale, QUICK, FULL, run_design, clear_cache
+from .cache import CACHE_SCHEMA_VERSION, RunCache, run_key
+from .grid import GridPoint, GridResult, RunRecord, run_grid
+from .runner import (
+    RunScale,
+    QUICK,
+    FULL,
+    cache_stats,
+    clear_cache,
+    get_cache,
+    run_design,
+    set_cache,
+    simulations_run,
+)
 from .figures import (
     fig1_onchip_memory,
     fig3_bypass_opportunity,
@@ -30,7 +45,18 @@ __all__ = [
     "QUICK",
     "FULL",
     "run_design",
+    "run_grid",
     "clear_cache",
+    "cache_stats",
+    "get_cache",
+    "set_cache",
+    "simulations_run",
+    "CACHE_SCHEMA_VERSION",
+    "RunCache",
+    "run_key",
+    "GridPoint",
+    "GridResult",
+    "RunRecord",
     "fig1_onchip_memory",
     "fig3_bypass_opportunity",
     "fig4_oc_latency",

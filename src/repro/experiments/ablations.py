@@ -32,6 +32,7 @@ from ..core.window import read_bypass_counts
 from ..kernels.suites import benchmark_names, get_profile
 from ..kernels.synthetic import generate_kernel
 from ..stats.report import format_percent, format_table
+from .grid import run_grid
 from .runner import QUICK, RunScale, benchmark_trace
 
 
@@ -214,18 +215,15 @@ def window_sweep(
 ) -> WindowSweep:
     """Extend the Figure 3/10 sweep beyond IW=7 (the paper's future work)."""
     trace = benchmark_trace(benchmark, scale)
-    base = simulate_bow(trace, bow=replace(BOWConfig(), enabled=False),
-                        memory_seed=scale.memory_seed)
+    grid = run_grid((benchmark,), ("baseline", "bow"), windows, scale=scale)
+    base = grid.get(benchmark, "baseline")
     points = []
     for window_size in windows:
         hits = total = 0
         for warp in trace:
             h, t = read_bypass_counts(warp.instructions, window_size)
             hits, total = hits + h, total + t
-        result = simulate_bow(
-            trace, bow=BOWConfig(window_size=window_size),
-            memory_seed=scale.memory_seed,
-        )
+        result = grid.get(benchmark, "bow", window_size)
         points.append((window_size, hits / max(1, total),
                        result.ipc / base.ipc - 1.0))
     return WindowSweep(benchmark=benchmark, points=points)
@@ -438,11 +436,10 @@ def warp_scaling(
     for warps in warp_counts:
         scale = RunScale(num_warps=warps, trace_scale=trace_scale,
                          memory_seed=memory_seed)
-        trace = benchmark_trace(benchmark, scale)
-        base = simulate_bow(trace, bow=replace(BOWConfig(), enabled=False),
-                            memory_seed=memory_seed)
-        bow = simulate_bow(trace, bow=BOWConfig(window_size=window_size),
-                           memory_seed=memory_seed)
+        grid = run_grid((benchmark,), ("baseline", "bow"), (window_size,),
+                        scale=scale)
+        base = grid.get(benchmark, "baseline")
+        bow = grid.get(benchmark, "bow", window_size)
         points.append((warps, base.ipc, bow.ipc, bow.ipc / base.ipc - 1.0))
     return WarpScaling(benchmark=benchmark, points=points)
 

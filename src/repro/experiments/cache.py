@@ -1,0 +1,201 @@
+"""Content-addressed, on-disk cache of simulation runs.
+
+Every headline artifact (Figures 10-13, the scorecard, the ablations)
+is a grid of ``benchmark x design x IW`` timing runs.  The in-process
+memo in :mod:`repro.experiments.runner` already shares runs *within* a
+process; this cache shares them *across* processes and CI jobs, so a
+re-run of the FULL grid after an unrelated change costs file reads, not
+hours of simulation.
+
+Keys are content hashes over everything that determines a run's output:
+
+* the benchmark profile (every generator-spec field, so re-calibrating
+  a workload invalidates only that workload's entries);
+* the design name and the *effective* instruction window (0 for
+  designs that ignore it);
+* the :class:`~repro.experiments.runner.RunScale`;
+* the default machine configuration (``GPUConfig()`` field by field);
+* :data:`CACHE_SCHEMA_VERSION`.
+
+Values are :class:`~repro.gpu.sm.SimulationResult` payloads in the
+JSON format of :mod:`repro.kernels.serialize`.  Entries are written
+atomically (temp file + rename) so concurrent sweep workers and CI
+jobs can share one cache directory.
+
+Bump :data:`CACHE_SCHEMA_VERSION` whenever simulator *behaviour*
+changes in a way the key cannot see (e.g. a timing-model fix): stale
+entries then miss instead of silently serving old numbers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional, Union
+
+from ..config import GPUConfig
+from ..errors import KernelError
+from ..kernels.serialize import result_from_dict, result_to_dict
+from ..kernels.suites import get_profile
+from ..stats.cache import CacheStats
+
+if TYPE_CHECKING:
+    from ..gpu.sm import SimulationResult
+    from .runner import RunScale
+
+#: Bump when simulator behaviour changes without a key-visible config
+#: change; see the module docstring for the policy.
+CACHE_SCHEMA_VERSION = 1
+
+#: Environment variable naming the default cache directory.  Unset
+#: means no on-disk caching unless a cache is configured explicitly.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def _jsonable(value):
+    """Canonical JSON-compatible form of config/spec values."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            item.name: _jsonable(getattr(value, item.name))
+            for item in dataclasses.fields(value)
+        }
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _jsonable(val) for key, val in sorted(value.items())}
+    return value
+
+
+def run_key(
+    benchmark: str,
+    design: str,
+    window_size: int,
+    scale: "RunScale",
+    config: Optional[GPUConfig] = None,
+) -> str:
+    """Content hash identifying one run of the experiment grid.
+
+    ``window_size`` should be the *effective* window (0 for designs
+    that ignore it) so equivalent runs share an entry.
+    """
+    profile = get_profile(benchmark)
+    payload = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "benchmark": profile.name,
+        "profile": _jsonable(profile.spec),
+        "design": design,
+        "window": window_size,
+        "scale": _jsonable(scale),
+        "gpu": _jsonable(config or GPUConfig()),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def default_cache_dir() -> Path:
+    """The cache directory named by the environment, or a per-user one."""
+    configured = os.environ.get(CACHE_DIR_ENV)
+    if configured:
+        return Path(configured).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME", "~/.cache")
+    return Path(xdg).expanduser() / "repro-bow" / "runs"
+
+
+def cache_from_env() -> Optional["RunCache"]:
+    """A :class:`RunCache` at ``$REPRO_CACHE_DIR``, or ``None`` if unset."""
+    if os.environ.get(CACHE_DIR_ENV):
+        return RunCache(default_cache_dir())
+    return None
+
+
+class RunCache:
+    """A directory of serialized simulation results, addressed by key.
+
+    Layout: ``<root>/v<schema>/<key[:2]>/<key>.json`` — the two-level
+    fan-out keeps directories small on FULL-grid sweeps, and the
+    schema-versioned root makes version bumps a clean miss.
+    """
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root).expanduser()
+        self.stats = CacheStats()
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"v{CACHE_SCHEMA_VERSION}" / key[:2] / f"{key}.json"
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).is_file()
+
+    def get(self, key: str) -> Optional["SimulationResult"]:
+        """The cached result for ``key``, or ``None`` (counted as a miss).
+
+        Unreadable entries (truncated writes, format drift) are deleted
+        and counted under ``errors`` as well as ``misses``.
+        """
+        path = self._path(key)
+        try:
+            text = path.read_text()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        try:
+            result = result_from_dict(json.loads(text))
+        except (json.JSONDecodeError, KernelError):
+            self.stats.errors += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        self.stats.bytes_read += len(text)
+        return result
+
+    def put(self, key: str, result: "SimulationResult") -> None:
+        """Store ``result`` under ``key``, atomically."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        text = json.dumps(result_to_dict(result))
+        fd, temp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(text)
+            os.replace(temp_name, path)
+        except OSError:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+        self.stats.bytes_written += len(text)
+
+    def entry_count(self) -> int:
+        """Entries currently on disk for the active schema version."""
+        versioned = self.root / f"v{CACHE_SCHEMA_VERSION}"
+        if not versioned.is_dir():
+            return 0
+        return sum(1 for _ in versioned.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry of the active schema version; returns count."""
+        versioned = self.root / f"v{CACHE_SCHEMA_VERSION}"
+        removed = 0
+        if versioned.is_dir():
+            for entry in versioned.glob("*/*.json"):
+                try:
+                    entry.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

@@ -24,8 +24,10 @@ from ..errors import ExperimentError
 from ..isa import WritebackHint
 from ..isa.registers import SINK_REGISTER
 from ..kernels.suites import benchmark_names
+from ..stats.metrics import RunMetrics
 from ..stats.report import format_barchart, format_percent, format_table
-from .runner import QUICK, RunScale, benchmark_trace, run_design
+from .grid import run_grid
+from .runner import QUICK, RunScale, benchmark_trace
 
 _DEFAULT_WINDOWS = (2, 3, 4, 5, 6, 7)
 _IPC_WINDOWS = (2, 3, 4)
@@ -186,11 +188,12 @@ class Fig4Result:
 
 def fig4_oc_latency(scale: RunScale = QUICK) -> Fig4Result:
     """Reproduce Figure 4 from baseline timing runs."""
+    grid = run_grid(benchmark_names(), ("baseline",), scale=scale)
     overall: Dict[str, float] = {}
     memory: Dict[str, float] = {}
     non_memory: Dict[str, float] = {}
     for bench in benchmark_names():
-        counters = run_design(bench, "baseline", scale=scale).counters
+        counters = grid.get(bench, "baseline").counters
         lifetime = max(1, counters.lifetime_cycles)
         lifetime_mem = max(1, counters.lifetime_cycles_memory)
         lifetime_non = max(1, lifetime - counters.lifetime_cycles_memory)
@@ -394,13 +397,15 @@ class IpcResult:
 def _ipc_improvement(
     design: str, windows: Tuple[int, ...], scale: RunScale
 ) -> IpcResult:
+    grid = run_grid(benchmark_names(), ("baseline", design), windows,
+                    scale=scale)
     improvement: Dict[str, Dict[int, float]] = {}
     for bench in benchmark_names():
-        base = run_design(bench, "baseline", scale=scale)
-        improvement[bench] = {}
-        for iw in windows:
-            result = run_design(bench, design, window_size=iw, scale=scale)
-            improvement[bench][iw] = result.ipc / base.ipc - 1.0
+        base = grid.get(bench, "baseline")
+        improvement[bench] = {
+            iw: grid.get(bench, design, iw).ipc / base.ipc - 1.0
+            for iw in windows
+        }
     return IpcResult(design=design, windows=windows, improvement=improvement)
 
 
@@ -454,16 +459,17 @@ def fig12_oc_residency(
     windows: Tuple[int, ...] = _IPC_WINDOWS, scale: RunScale = QUICK
 ) -> Fig12Result:
     """Reproduce Figure 12 from the BOW runs' residency counters."""
+    grid = run_grid(benchmark_names(), ("baseline", "bow"), windows,
+                    scale=scale)
     residency: Dict[str, Dict[int, float]] = {}
     for bench in benchmark_names():
-        base = run_design(bench, "baseline", scale=scale).counters
-        base_per_inst = base.oc_wait_cycles / max(1, base.instructions)
-        residency[bench] = {}
-        for iw in windows:
-            counters = run_design(bench, "bow", window_size=iw,
-                                  scale=scale).counters
-            per_inst = counters.oc_wait_cycles / max(1, counters.instructions)
-            residency[bench][iw] = per_inst / max(1e-12, base_per_inst)
+        base = RunMetrics.from_counters(grid.get(bench, "baseline").counters)
+        residency[bench] = {
+            iw: RunMetrics.from_counters(
+                grid.get(bench, "bow", iw).counters
+            ).oc_residency_vs(base)
+            for iw in windows
+        }
     return Fig12Result(windows=windows, residency=residency)
 
 
@@ -520,15 +526,16 @@ def fig13_energy(
     window_size: int = 3, scale: RunScale = QUICK
 ) -> Tuple[Fig13Result, Fig13Result]:
     """Reproduce Figure 13: (a) BOW and (b) BOW-WR normalized energy."""
+    grid = run_grid(benchmark_names(), ("baseline", "bow", "bow-wr"),
+                    (window_size,), scale=scale)
     results = []
     for design in ("bow", "bow-wr"):
         model = EnergyModel()
         rf_fraction: Dict[str, float] = {}
         overhead_fraction: Dict[str, float] = {}
         for bench in benchmark_names():
-            base = run_design(bench, "baseline", scale=scale).counters
-            counters = run_design(bench, design, window_size=window_size,
-                                  scale=scale).counters
+            base = grid.get(bench, "baseline").counters
+            counters = grid.get(bench, design, window_size).counters
             normalized = model.normalized(counters, base)
             rf_fraction[bench] = normalized.rf_energy_pj
             overhead_fraction[bench] = normalized.overhead_pj
@@ -588,15 +595,17 @@ def rfc_comparison(
     """Reproduce the SS V-A comparison against register-file caching."""
     from ..core.rfc import RFC_ENTRIES_PER_WARP
 
+    grid = run_grid(benchmark_names(), ("baseline", "rfc", "bow-wr"),
+                    (window_size,), scale=scale)
     model = EnergyModel()
     rfc_gain: Dict[str, float] = {}
     wr_gain: Dict[str, float] = {}
     rfc_energy = []
     wr_energy = []
     for bench in benchmark_names():
-        base = run_design(bench, "baseline", scale=scale)
-        rfc = run_design(bench, "rfc", scale=scale)
-        wr = run_design(bench, "bow-wr", window_size=window_size, scale=scale)
+        base = grid.get(bench, "baseline")
+        rfc = grid.get(bench, "rfc")
+        wr = grid.get(bench, "bow-wr", window_size)
         rfc_gain[bench] = rfc.ipc / base.ipc - 1.0
         wr_gain[bench] = wr.ipc / base.ipc - 1.0
         rfc_energy.append(model.savings(rfc.counters, base.counters))

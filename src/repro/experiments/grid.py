@@ -1,0 +1,297 @@
+"""Parallel fan-out over the ``benchmark x design x IW`` experiment grid.
+
+``run_grid`` is the sweep engine every figure/table driver routes its
+timing runs through: it resolves each grid point against the in-process
+memo and the on-disk cache (:mod:`repro.experiments.cache`), then
+executes the remaining points — serially for ``jobs=1``, or across a
+:class:`~concurrent.futures.ProcessPoolExecutor` otherwise — and fans
+the results back into both cache layers.  Determinism is independent of
+parallelism: every point's memory seed comes from its
+:class:`~repro.experiments.runner.RunScale`, never from worker identity
+or completion order, so ``jobs=8`` and ``jobs=1`` produce bit-identical
+results.
+
+The returned :class:`GridResult` carries per-run wall times and
+provenance (memo / cache / simulated) plus a cache-counter snapshot, so
+callers — and the CI warm-cache smoke test — can verify claims like
+"this pass performed zero simulator invocations".
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ExperimentError
+from ..gpu.sm import SimulationResult
+from ..stats.cache import CacheStats
+from ..stats.report import format_table
+from . import runner
+from .cache import RunCache, run_key
+from .runner import QUICK, RunScale
+
+#: Environment variable giving the default worker count for sweeps.
+JOBS_ENV = "REPRO_JOBS"
+
+_default_jobs: Optional[int] = None
+
+
+def default_jobs() -> int:
+    """The worker count used when ``run_grid`` is called without one."""
+    if _default_jobs is not None:
+        return _default_jobs
+    try:
+        return max(1, int(os.environ.get(JOBS_ENV, "1")))
+    except ValueError:
+        return 1
+
+
+def set_default_jobs(jobs: Optional[int]) -> None:
+    """Set (or with ``None`` unset) the process-wide default worker count."""
+    global _default_jobs
+    _default_jobs = None if jobs is None else max(1, int(jobs))
+
+
+@contextmanager
+def using_jobs(jobs: Optional[int]):
+    """Temporarily override the default worker count (CLI plumbing)."""
+    previous = _default_jobs
+    set_default_jobs(jobs)
+    try:
+        yield
+    finally:
+        set_default_jobs(previous)
+
+
+@dataclass(frozen=True)
+class GridPoint:
+    """One cell of the experiment grid."""
+
+    benchmark: str
+    design: str
+    window: int
+
+    def label(self) -> str:
+        suffix = f" IW{self.window}" if self.window else ""
+        return f"{self.benchmark}/{self.design}{suffix}"
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """Provenance and wall time of one resolved grid point."""
+
+    point: GridPoint
+    source: str  # "memo" | "cache" | "sim"
+    seconds: float
+
+
+@dataclass
+class GridResult:
+    """Everything one ``run_grid`` call resolved."""
+
+    scale: RunScale
+    jobs: int
+    results: Dict[Tuple[str, str, int], SimulationResult]
+    records: List[RunRecord] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    cache_stats: CacheStats = field(default_factory=CacheStats)
+
+    def get(self, benchmark: str, design: str,
+            window: int = 3) -> SimulationResult:
+        """The result of one grid point (raises if it was not in the grid)."""
+        key = (benchmark.upper(), design,
+               runner.effective_window(design, window))
+        try:
+            return self.results[key]
+        except KeyError:
+            raise ExperimentError(
+                f"{benchmark}/{design} IW{window} was not part of this grid"
+            ) from None
+
+    @property
+    def simulated(self) -> int:
+        """Points that required a simulator invocation."""
+        return sum(1 for record in self.records if record.source == "sim")
+
+    @property
+    def from_cache(self) -> int:
+        """Points served by the on-disk cache."""
+        return sum(1 for record in self.records if record.source == "cache")
+
+    @property
+    def from_memo(self) -> int:
+        """Points served by the in-process memo."""
+        return sum(1 for record in self.records if record.source == "memo")
+
+    def format(self) -> str:
+        """Per-run table plus a one-line totals summary."""
+        rows = []
+        for record in sorted(
+            self.records,
+            key=lambda r: (r.point.benchmark, r.point.design, r.point.window),
+        ):
+            result = self.results[(
+                record.point.benchmark.upper(), record.point.design,
+                record.point.window,
+            )]
+            rows.append([
+                record.point.benchmark,
+                record.point.design,
+                record.point.window or "-",
+                result.counters.cycles,
+                f"{result.ipc:.3f}",
+                record.source,
+                f"{record.seconds:.2f}s",
+            ])
+        table = format_table(
+            ["benchmark", "design", "IW", "cycles", "IPC", "source", "time"],
+            rows,
+            title=(f"Sweep: {len(self.records)} runs, jobs={self.jobs}, "
+                   f"{self.scale.num_warps} warps x{self.scale.trace_scale} "
+                   f"seed {self.scale.memory_seed}"),
+        )
+        summary = (
+            f"\n{self.simulated} simulated, {self.from_cache} from disk "
+            f"cache, {self.from_memo} memoized in {self.wall_seconds:.2f}s"
+            f"\ncache: {self.cache_stats.format()}"
+        )
+        return table + summary
+
+
+def _grid_worker(
+    args: Tuple[str, str, int, RunScale],
+) -> Tuple[float, SimulationResult]:
+    """Execute one grid point in a pool worker; returns (seconds, result)."""
+    benchmark, design, window, scale = args
+    started = time.perf_counter()
+    result = runner.execute_run(benchmark, design, window_size=window,
+                                scale=scale)
+    return time.perf_counter() - started, result
+
+
+_CACHE_DEFAULT = object()
+
+
+def run_grid(
+    benchmarks: Sequence[str],
+    designs: Sequence[str],
+    windows: Sequence[int] = (3,),
+    scale: RunScale = QUICK,
+    jobs: Optional[int] = None,
+    cache: object = _CACHE_DEFAULT,
+    progress: Optional[Callable[[str], None]] = None,
+) -> GridResult:
+    """Resolve the full ``benchmarks x designs x windows`` grid.
+
+    Args:
+        benchmarks: Table III benchmark names.
+        designs: entries of ``DESIGNS`` plus ``"rfc"``.
+        windows: instruction windows; designs that ignore the window
+            (baseline, rfc) contribute one point regardless.
+        scale: run size; also the source of every point's memory seed.
+        jobs: worker processes; ``None`` uses :func:`default_jobs`,
+            ``1`` runs serially in-process (no executor).
+        cache: a :class:`RunCache`, ``None`` to disable disk caching for
+            this call, or leave unset to use the runner's active cache.
+        progress: optional callback receiving one line per resolved run.
+    """
+    started = time.perf_counter()
+    if jobs is None:
+        jobs = default_jobs()
+    jobs = max(1, int(jobs))
+    disk = runner.get_cache() if cache is _CACHE_DEFAULT else cache
+    if disk is not None and not isinstance(disk, RunCache):
+        raise ExperimentError("cache must be a RunCache or None")
+
+    for design in designs:
+        runner.validate_design(design)
+
+    points: List[GridPoint] = []
+    seen = set()
+    for benchmark in benchmarks:
+        for design in designs:
+            for window in windows:
+                effective = runner.effective_window(design, window)
+                key = (benchmark.upper(), design, effective)
+                if key in seen:
+                    continue
+                seen.add(key)
+                points.append(GridPoint(benchmark, design, effective))
+    if not points:
+        raise ExperimentError("empty grid: no benchmarks/designs/windows")
+
+    result = GridResult(scale=scale, jobs=jobs, results={})
+
+    def note(record: RunRecord) -> None:
+        result.records.append(record)
+        if progress is not None:
+            progress(
+                f"[{len(result.records)}/{len(points)}] "
+                f"{record.point.label()} ({record.source}, "
+                f"{record.seconds:.2f}s)"
+            )
+
+    # Layer 1 + 2: memo, then disk.
+    pending: List[GridPoint] = []
+    for point in points:
+        key = (point.benchmark.upper(), point.design, point.window)
+        memoized = runner.memo_lookup(point.benchmark, point.design,
+                                      point.window, scale)
+        if memoized is not None:
+            result.results[key] = memoized
+            note(RunRecord(point, "memo", 0.0))
+            continue
+        if disk is not None:
+            fetch_started = time.perf_counter()
+            cached = disk.get(run_key(point.benchmark, point.design,
+                                      point.window, scale))
+            if cached is not None:
+                result.results[key] = cached
+                runner.memo_store(point.benchmark, point.design,
+                                  point.window, scale, cached)
+                note(RunRecord(point, "cache",
+                               time.perf_counter() - fetch_started))
+                continue
+        pending.append(point)
+
+    # Layer 3: simulate what remains.
+    def finish(point: GridPoint, seconds: float,
+               run: SimulationResult) -> None:
+        key = (point.benchmark.upper(), point.design, point.window)
+        result.results[key] = run
+        runner.memo_store(point.benchmark, point.design, point.window,
+                          scale, run)
+        if disk is not None:
+            disk.put(run_key(point.benchmark, point.design, point.window,
+                             scale), run)
+        note(RunRecord(point, "sim", seconds))
+
+    if pending and (jobs == 1 or len(pending) == 1):
+        for point in pending:
+            seconds, run = _grid_worker(
+                (point.benchmark, point.design, point.window, scale)
+            )
+            finish(point, seconds, run)
+    elif pending:
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(pending))
+        ) as pool:
+            futures = {
+                pool.submit(
+                    _grid_worker,
+                    (point.benchmark, point.design, point.window, scale),
+                ): point
+                for point in pending
+            }
+            for future in as_completed(futures):
+                seconds, run = future.result()
+                finish(futures[future], seconds, run)
+
+    result.wall_seconds = time.perf_counter() - started
+    if disk is not None:
+        result.cache_stats = disk.stats.snapshot()
+    return result

@@ -7,7 +7,7 @@ and the command line both go through here.
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 from ..errors import ExperimentError
 from .figures import (
@@ -116,12 +116,18 @@ EXPERIMENTS: Dict[str, tuple] = {
 }
 
 
-def run_experiment(experiment_id: str, scale: RunScale = QUICK) -> str:
+def run_experiment(
+    experiment_id: str,
+    scale: RunScale = QUICK,
+    jobs: Optional[int] = None,
+) -> str:
     """Format the report for one paper artifact.
 
     Args:
         experiment_id: a key of ``EXPERIMENTS`` (e.g. ``"fig10"``).
         scale: run size for the timing-based experiments.
+        jobs: worker processes for the driver's timing grids; ``None``
+            keeps the process default (see ``grid.default_jobs``).
     """
     key = experiment_id.lower()
     if key not in EXPERIMENTS:
@@ -130,4 +136,9 @@ def run_experiment(experiment_id: str, scale: RunScale = QUICK) -> str:
             f"known: {', '.join(EXPERIMENTS)}"
         )
     _, driver = EXPERIMENTS[key]
-    return driver(scale)
+    if jobs is None:
+        return driver(scale)
+    from .grid import using_jobs
+
+    with using_jobs(jobs):
+        return driver(scale)

@@ -5,12 +5,23 @@ design needs them), runs the timing simulator, and memoizes the result:
 Figures 10, 12 and 13 all consume the same runs, and pytest-benchmark
 calls each driver several times.
 
+Results are cached at two levels:
+
+* a process-local memo (``_run_cache``), exactly as before, so repeated
+  driver calls within one process are free and return identical objects;
+* optionally a persistent on-disk cache
+  (:class:`~repro.experiments.cache.RunCache`) shared across processes
+  and CI jobs — configure with :func:`set_cache`, or set
+  ``$REPRO_CACHE_DIR`` to enable it for a whole process.
+
 Two standard sizes are provided:
 
 * ``QUICK`` — 16 warps, quarter-length traces; seconds per run, the
   default for the benchmark harness and CI.
 * ``FULL``  — the full 32-warp complement with longer traces; use for
   final numbers.
+
+Grid fan-out lives in :mod:`repro.experiments.grid` (``run_grid``).
 """
 
 from __future__ import annotations
@@ -18,13 +29,14 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, Optional, Tuple
 
-from ..config import WritebackPolicy
 from ..core.bow_sm import DESIGNS, simulate_design
 from ..errors import ExperimentError
 from ..gpu.sm import SimulationResult
 from ..kernels.suites import get_profile
 from ..kernels.synthetic import generate_compiled_trace, generate_trace
 from ..kernels.trace import KernelTrace
+from ..stats.cache import CacheStats
+from .cache import RunCache, cache_from_env, run_key
 
 
 @dataclass(frozen=True)
@@ -54,14 +66,97 @@ FULL = RunScale(num_warps=32, trace_scale=0.5)
 #: Designs whose traces must carry compiler hints.
 _HINTED_DESIGNS = frozenset({"bow-wr", "bow-wr-half"})
 
+#: Designs that ignore the instruction window.
+_WINDOWLESS_DESIGNS = frozenset({"baseline", "rfc"})
+
 _trace_cache: Dict[Tuple, KernelTrace] = {}
 _run_cache: Dict[Tuple, SimulationResult] = {}
 
+#: The configured on-disk cache; ``False`` means "not yet resolved"
+#: (resolve lazily from the environment on first use).
+_disk_cache: object = False
+
+#: Simulator invocations performed by this process (memo/disk hits do
+#: not count) — the "zero simulator invocations on a warm cache" check.
+_simulations_run: int = 0
+
 
 def clear_cache() -> None:
-    """Drop all memoized traces and runs (tests use this for isolation)."""
+    """Drop all memoized traces and runs (tests use this for isolation).
+
+    Only the in-process memo is dropped; a configured on-disk cache is
+    left untouched (use :meth:`RunCache.clear` for that).
+    """
     _trace_cache.clear()
     _run_cache.clear()
+
+
+def set_cache(cache: Optional[RunCache]) -> Optional[RunCache]:
+    """Install (or with ``None`` disable) the on-disk run cache.
+
+    Returns the previously configured cache so callers can restore it.
+    """
+    global _disk_cache
+    previous = _disk_cache
+    _disk_cache = cache
+    return None if previous is False else previous  # type: ignore[return-value]
+
+
+def get_cache() -> Optional[RunCache]:
+    """The active on-disk cache (``$REPRO_CACHE_DIR`` by default)."""
+    global _disk_cache
+    if _disk_cache is False:
+        _disk_cache = cache_from_env()
+    return _disk_cache  # type: ignore[return-value]
+
+
+def cache_stats() -> CacheStats:
+    """A snapshot of the active on-disk cache's counters (zeros if none)."""
+    cache = get_cache()
+    return cache.stats.snapshot() if cache is not None else CacheStats()
+
+
+def simulations_run() -> int:
+    """Simulator invocations this process has performed so far."""
+    return _simulations_run
+
+
+def effective_window(design: str, window_size: int) -> int:
+    """The window a design actually uses (0 when it ignores the knob)."""
+    return 0 if design in _WINDOWLESS_DESIGNS else window_size
+
+
+def validate_design(design: str) -> None:
+    """Raise :class:`ExperimentError` unless ``design`` is runnable."""
+    if design not in DESIGNS and design != "rfc":
+        known = ", ".join(sorted(DESIGNS) + ["rfc"])
+        raise ExperimentError(f"unknown design {design!r}; known: {known}")
+
+
+def memo_key(
+    benchmark: str, design: str, window_size: int, scale: RunScale
+) -> Tuple:
+    """The process-local memo key of one design point."""
+    return (benchmark.upper(), design, effective_window(design, window_size),
+            scale.num_warps, scale.trace_scale, scale.memory_seed)
+
+
+def memo_store(
+    benchmark: str,
+    design: str,
+    window_size: int,
+    scale: RunScale,
+    result: SimulationResult,
+) -> None:
+    """Insert a result into the process-local memo (grid fan-in uses this)."""
+    _run_cache[memo_key(benchmark, design, window_size, scale)] = result
+
+
+def memo_lookup(
+    benchmark: str, design: str, window_size: int, scale: RunScale
+) -> Optional[SimulationResult]:
+    """The memoized result of one design point, if present."""
+    return _run_cache.get(memo_key(benchmark, design, window_size, scale))
 
 
 def benchmark_trace(
@@ -87,13 +182,41 @@ def benchmark_trace(
     return trace
 
 
+def execute_run(
+    benchmark: str,
+    design: str,
+    window_size: int = 3,
+    scale: RunScale = QUICK,
+) -> SimulationResult:
+    """Simulate one design point, bypassing every cache.
+
+    This is the single place the experiment layer invokes the timing
+    simulator; ``run_design`` and the grid workers both come through
+    here, which is what makes the invocation counter trustworthy.
+    """
+    global _simulations_run
+    validate_design(design)
+    hinted = design in _HINTED_DESIGNS
+    trace = benchmark_trace(
+        benchmark, scale, window_size=window_size if hinted else None
+    )
+    _simulations_run += 1
+    return simulate_design(
+        design, trace, window_size=window_size, memory_seed=scale.memory_seed
+    )
+
+
 def run_design(
     benchmark: str,
     design: str,
     window_size: int = 3,
     scale: RunScale = QUICK,
 ) -> SimulationResult:
-    """Run (or fetch the memoized run of) one design point.
+    """Run (or fetch the cached run of) one design point.
+
+    Lookup order: process-local memo, then the on-disk cache (if one is
+    configured), then :func:`execute_run`.  Fresh and disk-fetched
+    results are stored back into both layers.
 
     Args:
         benchmark: a Table III benchmark name.
@@ -101,21 +224,24 @@ def run_design(
         window_size: the instruction window (ignored by baseline/rfc).
         scale: run size.
     """
-    if design not in DESIGNS and design != "rfc":
-        known = ", ".join(sorted(DESIGNS) + ["rfc"])
-        raise ExperimentError(f"unknown design {design!r}; known: {known}")
-    effective_iw = window_size if design not in ("baseline", "rfc") else 0
-    key = (benchmark.upper(), design, effective_iw,
-           scale.num_warps, scale.trace_scale, scale.memory_seed)
+    validate_design(design)
+    key = memo_key(benchmark, design, window_size, scale)
     if key in _run_cache:
         return _run_cache[key]
 
-    hinted = design in _HINTED_DESIGNS
-    trace = benchmark_trace(
-        benchmark, scale, window_size=window_size if hinted else None
-    )
-    result = simulate_design(
-        design, trace, window_size=window_size, memory_seed=scale.memory_seed
-    )
+    disk = get_cache()
+    digest = None
+    if disk is not None:
+        digest = run_key(benchmark, design,
+                         effective_window(design, window_size), scale)
+        cached = disk.get(digest)
+        if cached is not None:
+            _run_cache[key] = cached
+            return cached
+
+    result = execute_run(benchmark, design, window_size=window_size,
+                         scale=scale)
+    if disk is not None and digest is not None:
+        disk.put(digest, result)
     _run_cache[key] = result
     return result

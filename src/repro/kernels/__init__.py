@@ -22,10 +22,23 @@ from .suites import (
     get_profile,
     build_benchmark_trace,
 )
-from .serialize import load_trace, save_trace, trace_from_dict, trace_to_dict
+from .serialize import (
+    load_result,
+    load_trace,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+    save_trace,
+    trace_from_dict,
+    trace_to_dict,
+)
 
 __all__ = [
+    "load_result",
     "load_trace",
+    "result_from_dict",
+    "result_to_dict",
+    "save_result",
     "save_trace",
     "trace_from_dict",
     "trace_to_dict",

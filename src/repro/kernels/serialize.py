@@ -15,16 +15,23 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import TYPE_CHECKING, Dict, List, Union
 
 from ..errors import KernelError
 from ..isa import Instruction, WritebackHint
 from ..isa.opcodes import opcode_by_name
 from ..isa.registers import Predicate, Register
+from ..stats.counters import Counters
 from .trace import KernelTrace, WarpTrace
+
+if TYPE_CHECKING:  # avoid the kernels -> gpu import cycle at runtime
+    from ..gpu.sm import SimulationResult
 
 #: Format version written into every file.
 FORMAT_VERSION = 1
+
+#: Format version of serialized simulation results.
+RESULT_FORMAT_VERSION = 1
 
 
 def _instruction_to_dict(inst: Instruction) -> Dict:
@@ -124,3 +131,71 @@ def load_trace(path: Union[str, Path]) -> KernelTrace:
     except json.JSONDecodeError as error:
         raise KernelError(f"not a trace file: {error}") from None
     return trace_from_dict(data)
+
+
+# ---------------------------------------------------------------------------
+# SimulationResult round-trip (the run-cache payload format)
+# ---------------------------------------------------------------------------
+
+def result_to_dict(result: "SimulationResult") -> Dict:
+    """Serialize a simulation result to a JSON-compatible dict.
+
+    The register image's ``(warp, register)`` tuple keys and the memory
+    image's integer keys are flattened to sorted triple/pair lists so
+    the encoding is canonical: equal results serialize to equal JSON.
+    """
+    return {
+        "version": RESULT_FORMAT_VERSION,
+        "counters": result.counters.as_dict(),
+        "registers": [
+            [warp_id, register_id, value]
+            for (warp_id, register_id), value
+            in sorted(result.register_image.items())
+        ],
+        "memory": [
+            [address, value]
+            for address, value in sorted(result.memory_image.items())
+        ],
+    }
+
+
+def result_from_dict(data: Dict) -> "SimulationResult":
+    """Rebuild a simulation result from :func:`result_to_dict` output."""
+    from ..gpu.sm import SimulationResult
+
+    version = data.get("version")
+    if version != RESULT_FORMAT_VERSION:
+        raise KernelError(
+            f"unsupported result format version {version!r} "
+            f"(expected {RESULT_FORMAT_VERSION})"
+        )
+    try:
+        counters = Counters(**data["counters"])
+        register_image = {
+            (int(warp_id), int(register_id)): int(value)
+            for warp_id, register_id, value in data["registers"]
+        }
+        memory_image = {
+            int(address): int(value) for address, value in data["memory"]
+        }
+    except (KeyError, TypeError, ValueError) as error:
+        raise KernelError(f"malformed result record: {error}") from None
+    return SimulationResult(
+        counters=counters,
+        register_image=register_image,
+        memory_image=memory_image,
+    )
+
+
+def save_result(result: "SimulationResult", path: Union[str, Path]) -> None:
+    """Write a simulation result to a JSON file."""
+    Path(path).write_text(json.dumps(result_to_dict(result)))
+
+
+def load_result(path: Union[str, Path]) -> "SimulationResult":
+    """Read a result written by :func:`save_result`."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as error:
+        raise KernelError(f"not a result file: {error}") from None
+    return result_from_dict(data)

@@ -1,11 +1,13 @@
 """Statistics: event counters, derived metrics, and table rendering."""
 
+from .cache import CacheStats
 from .counters import Counters
 from .metrics import RunMetrics, bypass_rates, ipc_improvement
 from .report import format_barchart, format_table, format_percent
 from .timeline import Timeline, TimelineSample
 
 __all__ = [
+    "CacheStats",
     "Counters",
     "RunMetrics",
     "bypass_rates",

@@ -1,0 +1,80 @@
+"""Counters for the persistent run cache.
+
+:class:`CacheStats` is the cache-side analogue of
+:class:`~repro.stats.counters.Counters`: a plain record of every event
+class the sweep harness reports — hits, misses, stores, traffic in
+bytes, and unreadable entries.  The on-disk cache
+(:class:`repro.experiments.cache.RunCache`) owns one instance per cache,
+and :func:`repro.experiments.runner.cache_stats` aggregates the
+process-wide view the acceptance checks read (a warm sweep must show
+zero misses and zero simulator invocations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+
+
+@dataclass
+class CacheStats:
+    """Raw event counts from one run cache.
+
+    Attributes:
+        hits: lookups served from the cache.
+        misses: lookups that found no usable entry.
+        stores: results written into the cache.
+        bytes_read: payload bytes deserialized on hits.
+        bytes_written: payload bytes serialized on stores.
+        errors: entries that existed but could not be decoded (these
+            also count as misses; the entry is dropped and re-stored).
+    """
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    errors: int = 0
+
+    def __add__(self, other: "CacheStats") -> "CacheStats":
+        if not isinstance(other, CacheStats):
+            return NotImplemented
+        merged = CacheStats()
+        for item in fields(CacheStats):
+            setattr(merged, item.name,
+                    getattr(self, item.name) + getattr(other, item.name))
+        return merged
+
+    @property
+    def lookups(self) -> int:
+        """All lookups, hit or miss."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def snapshot(self) -> "CacheStats":
+        """An independent copy of the current counts."""
+        return replace(self)
+
+    def reset(self) -> None:
+        """Zero every counter in place."""
+        for item in fields(CacheStats):
+            setattr(self, item.name, 0)
+
+    def as_dict(self) -> dict:
+        return {item.name: getattr(self, item.name)
+                for item in fields(CacheStats)}
+
+    def format(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.hits} hit{'s' if self.hits != 1 else ''} / "
+            f"{self.misses} miss{'es' if self.misses != 1 else ''} "
+            f"({self.hit_rate:.0%}), {self.stores} stored, "
+            f"{self.bytes_read} B read, {self.bytes_written} B written"
+            + (f", {self.errors} unreadable" if self.errors else "")
+        )

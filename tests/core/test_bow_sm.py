@@ -16,6 +16,14 @@ class TestRegistry:
         with pytest.raises(SimulationError):
             simulate_design("warp-drive", small_trace)
 
+    def test_unknown_design_suppresses_keyerror_context(self, small_trace):
+        # Regression: the registry lookup's KeyError must not surface as
+        # "During handling of the above exception..." in user tracebacks.
+        with pytest.raises(SimulationError) as excinfo:
+            simulate_design("warp-drive", small_trace)
+        assert excinfo.value.__suppress_context__
+        assert "known:" in str(excinfo.value)
+
     def test_baseline_through_registry(self, small_trace, baseline_run):
         result = simulate_design("baseline", small_trace, memory_seed=11)
         assert result.counters.cycles == baseline_run.counters.cycles

@@ -1,0 +1,146 @@
+"""Tests for the persistent on-disk run cache."""
+
+import json
+
+import pytest
+
+from repro.experiments.cache import (
+    CACHE_SCHEMA_VERSION,
+    RunCache,
+    cache_from_env,
+    default_cache_dir,
+    run_key,
+)
+from repro.experiments.runner import (
+    RunScale,
+    clear_cache,
+    execute_run,
+    run_design,
+    set_cache,
+)
+
+TINY = RunScale(num_warps=2, trace_scale=0.1)
+
+
+@pytest.fixture(autouse=True)
+def isolated_caches():
+    clear_cache()
+    previous = set_cache(None)
+    yield
+    set_cache(previous)
+    clear_cache()
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return RunCache(tmp_path / "runs")
+
+
+class TestRunKey:
+    def test_deterministic(self):
+        assert (run_key("BFS", "bow", 3, TINY)
+                == run_key("bfs", "bow", 3, TINY))
+
+    def test_distinguishes_every_axis(self):
+        base = run_key("BFS", "bow", 3, TINY)
+        assert run_key("NW", "bow", 3, TINY) != base
+        assert run_key("BFS", "bow-wb", 3, TINY) != base
+        assert run_key("BFS", "bow", 4, TINY) != base
+        assert run_key("BFS", "bow", 3,
+                       RunScale(num_warps=3, trace_scale=0.1)) != base
+        assert run_key("BFS", "bow", 3,
+                       RunScale(num_warps=2, trace_scale=0.2)) != base
+        assert run_key("BFS", "bow", 3,
+                       RunScale(num_warps=2, trace_scale=0.1,
+                                memory_seed=8)) != base
+
+    def test_machine_config_invalidates(self):
+        from repro.config import GPUConfig
+
+        assert (run_key("BFS", "bow", 3, TINY,
+                        config=GPUConfig(mem_global_latency=400))
+                != run_key("BFS", "bow", 3, TINY))
+
+
+class TestRunCache:
+    def test_miss_then_hit_round_trip(self, cache):
+        result = execute_run("BFS", "baseline", scale=TINY)
+        key = run_key("BFS", "baseline", 0, TINY)
+        assert cache.get(key) is None
+        cache.put(key, result)
+        fetched = cache.get(key)
+        assert fetched == result
+        assert fetched is not result
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.stores == 1
+        assert cache.stats.bytes_written > 0
+        assert cache.stats.bytes_read == cache.stats.bytes_written
+
+    def test_contains_and_entry_count(self, cache):
+        result = execute_run("BFS", "baseline", scale=TINY)
+        key = run_key("BFS", "baseline", 0, TINY)
+        assert key not in cache
+        cache.put(key, result)
+        assert key in cache
+        assert cache.entry_count() == 1
+        assert cache.clear() == 1
+        assert cache.entry_count() == 0
+
+    def test_corrupt_entry_is_a_counted_miss(self, cache):
+        result = execute_run("BFS", "baseline", scale=TINY)
+        key = run_key("BFS", "baseline", 0, TINY)
+        cache.put(key, result)
+        cache._path(key).write_text("corrupt {")
+        assert cache.get(key) is None
+        assert cache.stats.errors == 1
+        assert key not in cache  # dropped, will be re-stored
+
+    def test_schema_version_embedded_in_layout(self, cache):
+        result = execute_run("BFS", "baseline", scale=TINY)
+        key = run_key("BFS", "baseline", 0, TINY)
+        cache.put(key, result)
+        assert f"v{CACHE_SCHEMA_VERSION}" in str(cache._path(key))
+
+
+class TestRunDesignIntegration:
+    def test_cross_process_equivalent_hit(self, cache):
+        """clear_cache() simulates a fresh process: disk must serve it."""
+        set_cache(cache)
+        first = run_design("BFS", "bow", window_size=3, scale=TINY)
+        clear_cache()  # drop the in-process memo, keep the disk
+        second = run_design("BFS", "bow", window_size=3, scale=TINY)
+        assert second == first
+        assert second is not first  # deserialized, not memoized
+        assert cache.stats.hits == 1
+
+    def test_fresh_run_equals_cached_run(self, cache):
+        set_cache(cache)
+        cached = run_design("BFS", "bow-wr", window_size=3, scale=TINY)
+        clear_cache()
+        set_cache(None)
+        fresh = run_design("BFS", "bow-wr", window_size=3, scale=TINY)
+        assert cached == fresh
+
+    def test_scale_change_misses(self, cache):
+        set_cache(cache)
+        run_design("BFS", "baseline", scale=TINY)
+        clear_cache()
+        run_design("BFS", "baseline",
+                   scale=RunScale(num_warps=2, trace_scale=0.1,
+                                  memory_seed=99))
+        assert cache.stats.hits == 0
+        assert cache.stats.stores == 2
+
+
+class TestEnvironment:
+    def test_cache_from_env_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert cache_from_env() is None
+
+    def test_cache_from_env_set(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
+        cache = cache_from_env()
+        assert cache is not None
+        assert cache.root == tmp_path / "env-cache"
+        assert default_cache_dir() == tmp_path / "env-cache"

@@ -69,6 +69,14 @@ class TestRunDesign:
         with pytest.raises(ExperimentError):
             run_design("BFS", "quantum", scale=TINY)
 
+    def test_unknown_design_error_has_clean_traceback(self):
+        # Regression: the unknown-design error used to leak the internal
+        # KeyError as "During handling of the above exception..." noise.
+        with pytest.raises(ExperimentError) as excinfo:
+            run_design("BFS", "quantum", scale=TINY)
+        error = excinfo.value
+        assert error.__context__ is None or error.__suppress_context__
+
     def test_hinted_designs_get_compiled_traces(self):
         from repro.isa import WritebackHint
 

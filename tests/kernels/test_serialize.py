@@ -114,3 +114,62 @@ class TestErrors:
         data["warps"][0]["instructions"] = [999]
         with pytest.raises(KernelError):
             trace_from_dict(data)
+
+
+class TestResultRoundTrip:
+    def _run(self):
+        from repro.core.bow_sm import simulate_design
+
+        trace = build_benchmark_trace("NW", num_warps=2, scale=0.1)
+        return simulate_design("bow", trace, window_size=3, memory_seed=4)
+
+    def test_dict_round_trip_equality(self):
+        from repro.kernels.serialize import result_from_dict, result_to_dict
+
+        result = self._run()
+        assert result_from_dict(result_to_dict(result)) == result
+
+    def test_file_round_trip_equality(self, tmp_path):
+        from repro.kernels.serialize import load_result, save_result
+
+        result = self._run()
+        path = tmp_path / "run.json"
+        save_result(result, path)
+        assert load_result(path) == result
+
+    def test_encoding_is_canonical(self):
+        import json
+
+        from repro.kernels.serialize import result_to_dict
+
+        result = self._run()
+        assert (json.dumps(result_to_dict(result))
+                == json.dumps(result_to_dict(self._run())))
+
+    def test_version_checked(self):
+        from repro.kernels.serialize import (
+            RESULT_FORMAT_VERSION,
+            result_from_dict,
+            result_to_dict,
+        )
+
+        data = result_to_dict(self._run())
+        data["version"] = RESULT_FORMAT_VERSION + 1
+        with pytest.raises(KernelError):
+            result_from_dict(data)
+
+    def test_unknown_counter_rejected(self):
+        from repro.kernels.serialize import result_from_dict, result_to_dict
+
+        data = result_to_dict(self._run())
+        data["counters"]["flux_capacitor"] = 1
+        with pytest.raises(KernelError):
+            result_from_dict(data)
+
+    def test_not_json(self, tmp_path):
+        from repro.kernels.serialize import load_result
+
+        path = tmp_path / "junk.json"
+        path.write_text("not json {")
+        with pytest.raises(KernelError):
+            load_result(path)

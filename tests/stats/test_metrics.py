@@ -38,10 +38,21 @@ class TestRunMetrics:
         assert bow.oc_residency_vs(base) == pytest.approx(0.4)
 
     def test_oc_residency_zero_baseline(self):
+        # Regression: a baseline with no OC waits (tiny traces) must not
+        # raise; the denominator is guarded like the instruction counts.
         base = RunMetrics.from_counters(run_counters(100, 100, oc_wait=0))
-        bow = RunMetrics.from_counters(run_counters(100, 100, oc_wait=10))
-        with pytest.raises(SimulationError):
-            bow.oc_residency_vs(base)
+        quiet = RunMetrics.from_counters(run_counters(100, 100, oc_wait=0))
+        busy = RunMetrics.from_counters(run_counters(100, 100, oc_wait=10))
+        assert quiet.oc_residency_vs(base) == pytest.approx(0.0)
+        ratio = busy.oc_residency_vs(base)
+        assert ratio > 0.0
+        assert ratio == ratio  # finite, not NaN
+
+    def test_oc_residency_zero_instructions(self):
+        # Regression: empty runs must not divide by zero either.
+        base = RunMetrics.from_counters(run_counters(0, 10, oc_wait=0))
+        bow = RunMetrics.from_counters(run_counters(0, 10, oc_wait=0))
+        assert bow.oc_residency_vs(base) == pytest.approx(0.0)
 
 
 class TestHelpers:

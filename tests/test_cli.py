@@ -32,6 +32,85 @@ class TestRun:
         assert code == 1
 
 
+class TestRunSeed:
+    def test_seed_flag_accepted(self, capsys):
+        code = main(["run", "BFS", "--warps", "2", "--scale", "0.1",
+                     "--seed", "13"])
+        assert code == 0
+        assert "IPC" in capsys.readouterr().out
+
+    def test_seed_threaded_into_scale(self, monkeypatch, capsys):
+        # Regression: `run` used to drop the memory seed on the floor and
+        # always simulate with the RunScale default.
+        import repro.experiments.runner as runner
+
+        seeds = []
+        real = runner.run_design
+
+        def spy(benchmark, design, window_size=3, scale=None):
+            seeds.append(scale.memory_seed)
+            return real(benchmark, design, window_size=window_size,
+                        scale=scale)
+
+        monkeypatch.setattr(runner, "run_design", spy)
+        assert main(["run", "BFS", "--warps", "2", "--scale", "0.1",
+                     "--seed", "13"]) == 0
+        assert seeds and all(seed == 13 for seed in seeds)
+
+
+class TestSweep:
+    @pytest.fixture(autouse=True)
+    def isolated_caches(self):
+        from repro.experiments.runner import clear_cache, set_cache
+
+        clear_cache()
+        previous = set_cache(None)
+        yield
+        set_cache(previous)
+        clear_cache()
+
+    def test_cold_then_warm(self, tmp_path, capsys):
+        from repro.experiments.runner import clear_cache
+
+        argv = ["sweep", "BFS", "NW", "--designs", "baseline,bow",
+                "--warps", "2", "--scale", "0.1",
+                "--cache-dir", str(tmp_path / "runs")]
+        assert main(argv) == 0
+        assert "4 simulated" in capsys.readouterr().out
+        clear_cache()  # a second process would start with an empty memo
+        assert main(argv + ["--expect-warm"]) == 0
+        out = capsys.readouterr().out
+        assert "0 simulated" in out
+        assert "4 from disk cache" in out
+
+    def test_expect_warm_fails_on_cold_cache(self, tmp_path, capsys):
+        code = main(["sweep", "BFS", "--designs", "baseline",
+                     "--warps", "2", "--scale", "0.1",
+                     "--cache-dir", str(tmp_path / "runs"),
+                     "--expect-warm"])
+        assert code == 1
+        assert "expected a warm cache" in capsys.readouterr().err
+
+    def test_no_cache_leaves_disk_untouched(self, tmp_path, capsys,
+                                            monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "unused"))
+        assert main(["sweep", "BFS", "--designs", "baseline",
+                     "--warps", "2", "--scale", "0.1", "--no-cache"]) == 0
+        assert not (tmp_path / "unused").exists()
+
+    def test_unknown_design_fails_cleanly(self, capsys):
+        code = main(["sweep", "BFS", "--designs", "magic",
+                     "--warps", "2", "--scale", "0.1", "--no-cache"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_windows_fails_cleanly(self, capsys):
+        code = main(["sweep", "BFS", "--windows", "abc",
+                     "--warps", "2", "--scale", "0.1", "--no-cache"])
+        assert code == 2
+        assert "comma-separated integers" in capsys.readouterr().err
+
+
 class TestExperiment:
     def test_static_experiment(self, capsys):
         assert main(["experiment", "table1"]) == 0
