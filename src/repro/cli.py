@@ -6,7 +6,9 @@ Commands:
 * ``run BENCH [--design D]``    — simulate one benchmark, print metrics.
 * ``sweep [BENCH ...]``         — run a benchmark x design x IW grid in
   parallel (``--jobs``) with a persistent on-disk run cache
-  (``--cache-dir`` / ``--no-cache``).
+  (``--cache-dir`` / ``--no-cache``) and fault-tolerant execution
+  (``--keep-going`` / ``--retries`` / ``--timeout``); a partial sweep
+  under ``--keep-going`` exits with status 3.
 * ``experiment ID``             — regenerate a paper table/figure.
 * ``ablation NAME``             — run one of the ablation studies.
 * ``compile FILE``              — assemble + classify a kernel file,
@@ -67,6 +69,23 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--expect-warm", action="store_true",
                        help="fail unless every run is a cache/memo hit "
                             "(CI warm-cache check)")
+    sweep.add_argument("--expect-sims", type=int, default=None,
+                       metavar="N",
+                       help="fail unless exactly N run(s) had to be "
+                            "simulated (CI healing check)")
+    sweep.add_argument("--keep-going", action="store_true",
+                       help="report failed grid points and continue "
+                            "instead of aborting the sweep (partial "
+                            "results exit with status 3)")
+    sweep.add_argument("--retries", type=int, default=None, metavar="N",
+                       help="attempts per point before it is recorded "
+                            "as failed (default: 3 for transient "
+                            "errors, 1 for permanent ones)")
+    sweep.add_argument("--timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-point wall-clock budget; over-budget "
+                            "points are retried, then recorded as "
+                            "failed")
 
     experiment = sub.add_parser("experiment",
                                 help="regenerate a paper table/figure")
@@ -129,6 +148,7 @@ def _cmd_run(args) -> int:
 def _cmd_sweep(args) -> int:
     from .experiments.cache import RunCache, default_cache_dir
     from .experiments.grid import run_grid
+    from .experiments.resilience import DEFAULT_POLICY, RetryPolicy
     from .experiments.runner import RunScale
     from .kernels.suites import benchmark_names
 
@@ -144,15 +164,23 @@ def _cmd_sweep(args) -> int:
         print(f"error: --windows expects comma-separated integers, "
               f"got {args.windows!r}", file=sys.stderr)
         return 2
+    if args.retries is not None and args.retries < 1:
+        print("error: --retries must be >= 1", file=sys.stderr)
+        return 2
     scale = RunScale(num_warps=args.warps, trace_scale=args.scale,
                      memory_seed=args.seed)
     if args.no_cache:
         cache = None
     else:
         cache = RunCache(args.cache_dir or default_cache_dir())
+    retry = RetryPolicy(
+        max_attempts=(DEFAULT_POLICY.max_attempts if args.retries is None
+                      else args.retries),
+        timeout=args.timeout,
+    )
     grid = run_grid(
         benchmarks, designs, windows, scale=scale, jobs=args.jobs,
-        cache=cache,
+        cache=cache, retry=retry, strict=not args.keep_going,
         progress=lambda line: print(line, file=sys.stderr),
     )
     print(grid.format())
@@ -160,6 +188,14 @@ def _cmd_sweep(args) -> int:
         print(f"error: expected a warm cache but {grid.simulated} run(s) "
               f"had to be simulated", file=sys.stderr)
         return 1
+    if args.expect_sims is not None and grid.simulated != args.expect_sims:
+        print(f"error: expected exactly {args.expect_sims} simulated "
+              f"run(s) but {grid.simulated} were", file=sys.stderr)
+        return 1
+    if grid.failures:
+        print(f"warning: {len(grid.failures)} grid point(s) failed; "
+              f"see the failure table above", file=sys.stderr)
+        return 3
     return 0
 
 

@@ -60,9 +60,83 @@ class DeadlockError(SimulationError):
     """
 
     def __init__(self, message: str, cycle: int):
+        self._message = message
         self.cycle = cycle
         super().__init__(f"{message} (cycle {cycle})")
+
+    def __reduce__(self):
+        # Default exception pickling replays __init__ with the formatted
+        # ``args``, which lacks ``cycle`` — sweep workers must be able to
+        # send a deadlock across the process boundary intact.
+        return (type(self), (self._message, self.cycle))
 
 
 class ExperimentError(ReproError):
     """An experiment driver was asked for something it cannot produce."""
+
+
+class SweepTimeoutError(ExperimentError, TimeoutError):
+    """A grid point exceeded its per-point wall-clock budget.
+
+    Also a :class:`TimeoutError`, so the failure taxonomy
+    (:func:`~repro.experiments.resilience.classify_failure`) treats it
+    as *transient* — a slow machine may well finish within budget on a
+    retry.
+
+    Attributes:
+        label: the grid point's label.
+        seconds: wall-clock seconds the point had been running.
+        limit: the configured per-point timeout in seconds.
+    """
+
+    def __init__(self, label: str, seconds: float, limit: float):
+        self.label = label
+        self.seconds = seconds
+        self.limit = limit
+        super().__init__(
+            f"{label} exceeded the per-point timeout "
+            f"({seconds:.2f}s > {limit:.2f}s)"
+        )
+
+    def __reduce__(self):
+        return (type(self), (self.label, self.seconds, self.limit))
+
+
+class SweepPointError(ExperimentError):
+    """A grid point failed after exhausting its retry policy.
+
+    Raised by :meth:`repro.experiments.grid.GridResult.get` when the
+    requested point is recorded on ``GridResult.failures``, and by
+    ``run_grid`` itself after fan-in when ``strict`` is set.  It names
+    the original failure so a sweep log is enough to diagnose the run.
+
+    Attributes:
+        label: the grid point's label (or a summary for multi-point
+            strict failures).
+        kind: ``"transient"`` or ``"permanent"``.
+        attempts: execution attempts consumed before giving up.
+        error_type: class name of the original exception.
+        cause_message: message of the original exception.
+        traceback_text: formatted traceback of the final attempt, when
+            one was captured.
+    """
+
+    def __init__(self, label: str, kind: str, attempts: int,
+                 error_type: str, cause_message: str,
+                 traceback_text: str = ""):
+        self.label = label
+        self.kind = kind
+        self.attempts = attempts
+        self.error_type = error_type
+        self.cause_message = cause_message
+        self.traceback_text = traceback_text
+        plural = "s" if attempts != 1 else ""
+        super().__init__(
+            f"{label} failed ({kind}, {attempts} attempt{plural}): "
+            f"{error_type}: {cause_message}"
+        )
+
+    def __reduce__(self):
+        return (type(self), (self.label, self.kind, self.attempts,
+                             self.error_type, self.cause_message,
+                             self.traceback_text))

@@ -7,12 +7,29 @@ process (see :mod:`repro.experiments.runner`), so drivers that share
 runs — Figures 10, 12 and 13 all need the same baseline — pay for them
 once.  The drivers route their grids through
 :func:`~repro.experiments.grid.run_grid`, which adds parallel fan-out
-(``jobs=N``) and a persistent on-disk run cache
-(:class:`~repro.experiments.cache.RunCache`) shared across processes.
+(``jobs=N``), a persistent on-disk run cache
+(:class:`~repro.experiments.cache.RunCache`) shared across processes,
+and fault-tolerant execution (:mod:`repro.experiments.resilience`):
+failing points are retried, then recorded on ``GridResult.failures``
+instead of killing the sweep.
 """
 
-from .cache import CACHE_SCHEMA_VERSION, RunCache, run_key
+from .cache import (
+    CACHE_SCHEMA_VERSION,
+    CacheDegradedWarning,
+    RunCache,
+    run_key,
+)
 from .grid import GridPoint, GridResult, RunRecord, run_grid
+from .resilience import (
+    DEFAULT_POLICY,
+    NO_RETRY,
+    PERMANENT,
+    TRANSIENT,
+    PointFailure,
+    RetryPolicy,
+    classify_failure,
+)
 from .runner import (
     RunScale,
     QUICK,
@@ -52,11 +69,19 @@ __all__ = [
     "set_cache",
     "simulations_run",
     "CACHE_SCHEMA_VERSION",
+    "CacheDegradedWarning",
     "RunCache",
     "run_key",
     "GridPoint",
     "GridResult",
     "RunRecord",
+    "RetryPolicy",
+    "PointFailure",
+    "DEFAULT_POLICY",
+    "NO_RETRY",
+    "TRANSIENT",
+    "PERMANENT",
+    "classify_failure",
     "fig1_onchip_memory",
     "fig3_bypass_opportunity",
     "fig4_oc_latency",

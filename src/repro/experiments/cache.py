@@ -25,6 +25,13 @@ jobs can share one cache directory.
 Bump :data:`CACHE_SCHEMA_VERSION` whenever simulator *behaviour*
 changes in a way the key cannot see (e.g. a timing-model fix): stale
 entries then miss instead of silently serving old numbers.
+
+The cache is an accelerator, never a point of failure: ``get`` and
+``put`` swallow OS-level errors (a full disk, a permission change
+mid-sweep) and count them in :class:`CacheStats.io_errors`; after
+:attr:`RunCache.error_threshold` such failures the cache self-disables
+for the rest of the process with a single
+:class:`CacheDegradedWarning`, and the sweep finishes uncached.
 """
 
 from __future__ import annotations
@@ -35,6 +42,7 @@ import hashlib
 import json
 import os
 import tempfile
+import warnings
 from pathlib import Path
 from typing import TYPE_CHECKING, Optional, Union
 
@@ -55,6 +63,14 @@ CACHE_SCHEMA_VERSION = 1
 #: Environment variable naming the default cache directory.  Unset
 #: means no on-disk caching unless a cache is configured explicitly.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: I/O failures tolerated before a cache self-disables (default for
+#: :attr:`RunCache.error_threshold`).
+DEFAULT_ERROR_THRESHOLD = 8
+
+
+class CacheDegradedWarning(RuntimeWarning):
+    """Emitted once when a :class:`RunCache` self-disables."""
 
 
 def _jsonable(value):
@@ -121,11 +137,21 @@ class RunCache:
     Layout: ``<root>/v<schema>/<key[:2]>/<key>.json`` — the two-level
     fan-out keeps directories small on FULL-grid sweeps, and the
     schema-versioned root makes version bumps a clean miss.
+
+    ``get``/``put`` never propagate :class:`OSError`: each failure is
+    counted (``CacheStats.io_errors``), and after ``error_threshold``
+    failures the cache self-disables for the rest of the process —
+    every later call becomes a silent no-op, so a full disk costs one
+    :class:`CacheDegradedWarning` instead of a dead sweep.
     """
 
-    def __init__(self, root: Union[str, Path]):
+    def __init__(self, root: Union[str, Path],
+                 error_threshold: int = DEFAULT_ERROR_THRESHOLD):
         self.root = Path(root).expanduser()
         self.stats = CacheStats()
+        self.error_threshold = max(1, int(error_threshold))
+        self._io_errors = 0
+        self._disabled = False
 
     def _path(self, key: str) -> Path:
         return self.root / f"v{CACHE_SCHEMA_VERSION}" / key[:2] / f"{key}.json"
@@ -133,17 +159,73 @@ class RunCache:
     def __contains__(self, key: str) -> bool:
         return self._path(key).is_file()
 
+    @property
+    def disabled(self) -> bool:
+        """Whether the cache has self-disabled after repeated I/O errors."""
+        return self._disabled
+
+    def reenable(self) -> None:
+        """Re-arm a self-disabled cache (e.g. after freeing disk space)."""
+        self._disabled = False
+        self._io_errors = 0
+
+    def _note_io_error(self, action: str, error: OSError) -> None:
+        """Count one swallowed I/O failure; disable at the threshold."""
+        self.stats.io_errors += 1
+        self._io_errors += 1
+        if not self._disabled and self._io_errors >= self.error_threshold:
+            self._disabled = True
+            self.stats.disables += 1
+            warnings.warn(
+                f"run cache at {self.root} disabled after "
+                f"{self._io_errors} I/O errors (last {action} failed: "
+                f"{error}); continuing uncached",
+                CacheDegradedWarning,
+                stacklevel=3,
+            )
+
+    def _read_text(self, path: Path) -> str:
+        """Read one entry's payload (fault-injection seam)."""
+        return path.read_text()
+
+    def _write_entry(self, path: Path, text: str) -> None:
+        """Atomically publish one entry (fault-injection seam)."""
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, temp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{path.stem[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(text)
+            os.replace(temp_name, path)
+        except OSError:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+
     def get(self, key: str) -> Optional["SimulationResult"]:
         """The cached result for ``key``, or ``None`` (counted as a miss).
 
-        Unreadable entries (truncated writes, format drift) are deleted
-        and counted under ``errors`` as well as ``misses``.
+        A missing file is a plain miss.  An *unreadable* file (EACCES,
+        EIO, ...) additionally counts under ``errors``/``io_errors``
+        and feeds the self-disable threshold.  Undecodable entries
+        (truncated writes, format drift) are deleted and counted under
+        ``errors`` as well as ``misses``.  Never raises ``OSError``.
         """
+        if self._disabled:
+            return None
         path = self._path(key)
         try:
-            text = path.read_text()
-        except OSError:
+            text = self._read_text(path)
+        except FileNotFoundError:
             self.stats.misses += 1
+            return None
+        except OSError as error:
+            self.stats.misses += 1
+            self.stats.errors += 1
+            self._note_io_error("read", error)
             return None
         try:
             result = result_from_dict(json.loads(text))
@@ -160,23 +242,17 @@ class RunCache:
         return result
 
     def put(self, key: str, result: "SimulationResult") -> None:
-        """Store ``result`` under ``key``, atomically."""
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
+        """Store ``result`` under ``key``, atomically.  Never raises
+        ``OSError`` — a failed write is counted and the result simply
+        stays uncached."""
+        if self._disabled:
+            return
         text = json.dumps(result_to_dict(result))
-        fd, temp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
-        )
         try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(text)
-            os.replace(temp_name, path)
-        except OSError:
-            try:
-                os.unlink(temp_name)
-            except OSError:
-                pass
-            raise
+            self._write_entry(self._path(key), text)
+        except OSError as error:
+            self._note_io_error("write", error)
+            return
         self.stats.stores += 1
         self.stats.bytes_written += len(text)
 
@@ -188,7 +264,11 @@ class RunCache:
         return sum(1 for _ in versioned.glob("*/*.json"))
 
     def clear(self) -> int:
-        """Delete every entry of the active schema version; returns count."""
+        """Delete every entry of the active schema version; returns count.
+
+        Emptied ``<key[:2]>`` fan-out directories are removed as well,
+        so a cleared cache leaves no skeleton behind.
+        """
         versioned = self.root / f"v{CACHE_SCHEMA_VERSION}"
         removed = 0
         if versioned.is_dir():
@@ -198,4 +278,10 @@ class RunCache:
                     removed += 1
                 except OSError:
                     pass
+            for subdir in versioned.iterdir():
+                if subdir.is_dir():
+                    try:
+                        subdir.rmdir()
+                    except OSError:
+                        pass  # not empty (foreign files) or in use
         return removed

@@ -15,29 +15,59 @@ The returned :class:`GridResult` carries per-run wall times and
 provenance (memo / cache / simulated) plus a cache-counter snapshot, so
 callers — and the CI warm-cache smoke test — can verify claims like
 "this pass performed zero simulator invocations".
+
+Execution is **fault tolerant** (see :mod:`repro.experiments.resilience`
+for the policy pieces): a failing point is retried per its
+:class:`~repro.experiments.resilience.RetryPolicy` and, once exhausted,
+recorded as a :class:`~repro.experiments.resilience.PointFailure` on
+``GridResult.failures`` instead of killing the sweep.  Completed
+results are drained into the memo and disk cache as they arrive, so
+nothing finished is ever lost to a sibling's crash; a dead worker pool
+(``BrokenProcessPool``) is rebuilt and its in-flight points
+resubmitted.  With ``strict`` (the default for figure drivers) any
+residual failure raises *after* fan-in; with ``strict=False``
+(``repro sweep --keep-going``) the partial grid is returned.
 """
 
 from __future__ import annotations
 
 import os
+import shutil
+import signal
+import tempfile
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..errors import ExperimentError
+from ..errors import ExperimentError, SweepPointError, SweepTimeoutError
 from ..gpu.sm import SimulationResult
 from ..stats.cache import CacheStats
 from ..stats.report import format_table
 from . import runner
 from .cache import RunCache, run_key
+from .resilience import (
+    DEFAULT_POLICY,
+    TRANSIENT,
+    PointFailure,
+    RetryPolicy,
+    classify_failure,
+    describe_failure,
+)
 from .runner import QUICK, RunScale
 
 #: Environment variable giving the default worker count for sweeps.
 JOBS_ENV = "REPRO_JOBS"
 
 _default_jobs: Optional[int] = None
+
+#: Optional ``(function, args)`` pair run in every pool worker at
+#: start-up.  ``repro.testing.faults`` sets this so its hooks are
+#: installed inside workers even under spawn-based multiprocessing
+#: (fork inherits the parent's monkeypatches automatically).
+_pool_initializer: Optional[Tuple[Callable, tuple]] = None
 
 
 def default_jobs() -> int:
@@ -91,26 +121,45 @@ class RunRecord:
 
 @dataclass
 class GridResult:
-    """Everything one ``run_grid`` call resolved."""
+    """Everything one ``run_grid`` call resolved.
+
+    ``results`` holds the points that succeeded; ``failures`` the
+    points that exhausted their retry policy.  Every point appears in
+    exactly one of the two, so ``len(results) + len(failures)`` always
+    equals the grid size — a failing sibling never loses a completed
+    result.
+    """
 
     scale: RunScale
     jobs: int
     results: Dict[Tuple[str, str, int], SimulationResult]
     records: List[RunRecord] = field(default_factory=list)
+    failures: List[PointFailure] = field(default_factory=list)
     wall_seconds: float = 0.0
     cache_stats: CacheStats = field(default_factory=CacheStats)
 
     def get(self, benchmark: str, design: str,
             window: int = 3) -> SimulationResult:
-        """The result of one grid point (raises if it was not in the grid)."""
+        """The result of one grid point.
+
+        Raises :class:`~repro.errors.SweepPointError` naming the
+        original failure if the point failed, and
+        :class:`~repro.errors.ExperimentError` if it was never part of
+        this grid.
+        """
         key = (benchmark.upper(), design,
                runner.effective_window(design, window))
         try:
             return self.results[key]
         except KeyError:
-            raise ExperimentError(
-                f"{benchmark}/{design} IW{window} was not part of this grid"
-            ) from None
+            pass
+        for failure in self.failures:
+            if (failure.benchmark.upper(), failure.design,
+                    failure.window) == key:
+                raise failure.to_error()
+        raise ExperimentError(
+            f"{benchmark}/{design} IW{window} was not part of this grid"
+        ) from None
 
     @property
     def simulated(self) -> int:
@@ -126,6 +175,29 @@ class GridResult:
     def from_memo(self) -> int:
         """Points served by the in-process memo."""
         return sum(1 for record in self.records if record.source == "memo")
+
+    @property
+    def failed(self) -> int:
+        """Points that exhausted their retry policy."""
+        return len(self.failures)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every point resolved."""
+        return not self.failures
+
+    def raise_failures(self) -> None:
+        """Raise a :class:`~repro.errors.SweepPointError` if any point
+        failed (what ``strict`` mode does after fan-in)."""
+        if not self.failures:
+            return
+        first = self.failures[0]
+        if len(self.failures) == 1:
+            raise first.to_error()
+        raise SweepPointError(
+            first.label, first.kind, first.attempts, first.error_type,
+            f"{first.message} (+{len(self.failures) - 1} more failed "
+            f"point(s))", first.traceback_text)
 
     def format(self) -> str:
         """Per-run table plus a one-line totals summary."""
@@ -157,20 +229,328 @@ class GridResult:
         summary = (
             f"\n{self.simulated} simulated, {self.from_cache} from disk "
             f"cache, {self.from_memo} memoized in {self.wall_seconds:.2f}s"
-            f"\ncache: {self.cache_stats.format()}"
+            + (f", {self.failed} FAILED" if self.failures else "")
+            + f"\ncache: {self.cache_stats.format()}"
         )
+        if self.failures:
+            failure_rows = [
+                [failure.label, failure.kind, failure.attempts,
+                 f"{failure.seconds:.2f}s",
+                 f"{failure.error_type}: {failure.message}"[:60]]
+                for failure in sorted(self.failures,
+                                      key=lambda item: item.label)
+            ]
+            summary += "\n" + format_table(
+                ["point", "kind", "attempts", "time", "error"],
+                failure_rows,
+                title=f"Failures: {len(self.failures)} point(s)",
+            )
         return table + summary
 
 
 def _grid_worker(
     args: Tuple[str, str, int, RunScale],
+    marker: Optional[str] = None,
 ) -> Tuple[float, SimulationResult]:
-    """Execute one grid point in a pool worker; returns (seconds, result)."""
+    """Execute one grid point in a pool worker; returns (seconds, result).
+
+    ``marker`` names a file written with this worker's PID when
+    execution starts and removed when it finishes: if the worker dies
+    mid-point the orphaned marker tells the parent *which* worker this
+    point had started on when the pool broke (see ``_run_parallel``'s
+    blame accounting).
+    """
     benchmark, design, window, scale = args
+    if marker is not None:
+        try:
+            with open(marker, "w") as handle:
+                handle.write(str(os.getpid()))
+        except OSError:
+            marker = None  # sweep already tore the marker dir down
     started = time.perf_counter()
-    result = runner.execute_run(benchmark, design, window_size=window,
-                                scale=scale)
+    try:
+        result = runner.execute_run(benchmark, design, window_size=window,
+                                    scale=scale)
+    finally:
+        if marker is not None:
+            try:
+                os.unlink(marker)
+            except OSError:
+                pass
     return time.perf_counter() - started, result
+
+
+def _point_failure(point: GridPoint, error: BaseException, attempts: int,
+                   seconds: float) -> PointFailure:
+    return describe_failure(point.benchmark, point.design, point.window,
+                            point.label(), error, attempts, seconds)
+
+
+def _run_serial(
+    pending: Sequence[GridPoint],
+    scale: RunScale,
+    policy: RetryPolicy,
+    finish: Callable[[GridPoint, float, SimulationResult], None],
+    fail: Callable[[PointFailure], None],
+) -> None:
+    """Resolve ``pending`` in-process, honouring the retry policy.
+
+    The per-point timeout cannot preempt an in-process simulation, so
+    it is enforced *after* each attempt returns: an over-budget result
+    is discarded and recorded exactly as the parallel path would — the
+    two modes produce identical failure records for the same faults.
+    """
+    for point in pending:
+        attempts = 0
+        total = 0.0
+        while True:
+            attempts += 1
+            started = time.perf_counter()
+            try:
+                seconds, run = _grid_worker(
+                    (point.benchmark, point.design, point.window, scale)
+                )
+            except Exception as error:  # noqa: BLE001 — taxonomy decides
+                total += time.perf_counter() - started
+                kind = classify_failure(error)
+                if policy.should_retry(kind, attempts):
+                    time.sleep(policy.delay(attempts))
+                    continue
+                fail(_point_failure(point, error, attempts, total))
+                break
+            total += seconds
+            if policy.timeout is not None and seconds > policy.timeout:
+                error = SweepTimeoutError(point.label(), seconds,
+                                          policy.timeout)
+                if policy.should_retry(TRANSIENT, attempts):
+                    time.sleep(policy.delay(attempts))
+                    continue
+                fail(_point_failure(point, error, attempts, total))
+                break
+            finish(point, seconds, run)
+            break
+
+
+def _dead_worker_pids(pool: ProcessPoolExecutor):
+    """PIDs of workers that died abnormally, or ``None`` if unknown.
+
+    After a ``BrokenProcessPool`` the executor SIGTERMs its surviving
+    workers, so exit codes separate the culprit (a fault's exit code, a
+    kernel OOM-kill's ``-SIGKILL``) from innocents cleaned up with
+    ``-SIGTERM``.  Inspects the executor's private process table —
+    returns ``None`` (attribution unavailable) if the internals ever
+    change shape, and the caller falls back to charging every started
+    point.
+    """
+    try:
+        processes = dict(pool._processes)
+    except (AttributeError, TypeError):
+        return None
+    if not processes:
+        return None
+    culprits = set()
+    for pid, process in processes.items():
+        try:
+            process.join(timeout=5.0)
+            code = process.exitcode
+        except (OSError, ValueError, AssertionError):
+            code = None
+        if code is None or code not in (0, -signal.SIGTERM):
+            culprits.add(pid)
+    return culprits or None
+
+
+def _marker_pid(marker: Optional[str]) -> Optional[int]:
+    """The worker PID recorded in a started-marker, if it exists."""
+    if not marker:
+        return None
+    try:
+        with open(marker) as handle:
+            return int(handle.read().strip() or "0")
+    except (OSError, ValueError):
+        return None
+
+
+def _run_parallel(
+    pending: Sequence[GridPoint],
+    scale: RunScale,
+    jobs: int,
+    policy: RetryPolicy,
+    finish: Callable[[GridPoint, float, SimulationResult], None],
+    fail: Callable[[PointFailure], None],
+) -> None:
+    """Resolve ``pending`` on a worker pool, honouring the retry policy.
+
+    Completed futures are always drained (and handed to ``finish``,
+    which caches them) before anything else happens, so a crashing
+    sibling can never lose finished work.  A ``BrokenProcessPool``
+    tears the pool down, rebuilds it, and resubmits every in-flight
+    point; per-point deadlines abandon the running future (the worker
+    cannot be killed, but its eventual result is ignored) and retry or
+    fail the point.
+
+    Blame accounting on a pool break: a dead worker is anonymous, so
+    the engine cannot directly observe *which* point killed it.  Each
+    worker records its PID in a per-submission marker file when it
+    starts a point and removes the marker when done.  On a break the
+    engine joins the dead workers and reads their exit codes: points
+    whose orphaned marker names an abnormally-dead worker are charged
+    an attempt; points that never started, or whose worker was merely
+    SIGTERMed by pool cleanup, are resubmitted for free.  A sibling
+    therefore cannot exhaust its retry budget just because a crashier
+    neighbour keeps breaking the pool — the same fault yields the same
+    failure records at ``jobs=1`` and ``jobs=8``.
+    """
+    attempts: Dict[GridPoint, int] = {point: 0 for point in pending}
+    elapsed: Dict[GridPoint, float] = {point: 0.0 for point in pending}
+    #: (point, earliest submission time) — backoff delays live here.
+    ready: List[Tuple[GridPoint, float]] = [(p, 0.0) for p in pending]
+    futures: Dict[object, GridPoint] = {}
+    started_at: Dict[object, float] = {}
+    markers: Dict[object, str] = {}
+    marker_dir = tempfile.mkdtemp(prefix="repro-grid-")
+    marker_serial = 0
+    pool: Optional[ProcessPoolExecutor] = None
+
+    def open_pool(size_hint: int) -> ProcessPoolExecutor:
+        kwargs = {}
+        if _pool_initializer is not None:
+            func, initargs = _pool_initializer
+            kwargs = {"initializer": func, "initargs": initargs}
+        return ProcessPoolExecutor(
+            max_workers=min(jobs, max(1, size_hint)), **kwargs
+        )
+
+    def retry_or_fail(point: GridPoint, error: BaseException,
+                      extra_seconds: float) -> None:
+        elapsed[point] += extra_seconds
+        kind = classify_failure(error)
+        if policy.should_retry(kind, attempts[point]):
+            ready.append(
+                (point, time.monotonic() + policy.delay(attempts[point]))
+            )
+        else:
+            fail(_point_failure(point, error, attempts[point],
+                                elapsed[point]))
+
+    def resubmit_free(point: GridPoint) -> None:
+        attempts[point] -= 1  # the attempt never really ran
+        ready.append((point, 0.0))
+
+    try:
+        while ready or futures:
+            now = time.monotonic()
+            if pool is None and ready:
+                pool = open_pool(len(ready))
+            waiting = []
+            for point, not_before in ready:
+                if not_before <= now:
+                    attempts[point] += 1
+                    marker_serial += 1
+                    marker = os.path.join(marker_dir,
+                                          f"started-{marker_serial}")
+                    future = pool.submit(
+                        _grid_worker,
+                        (point.benchmark, point.design, point.window, scale),
+                        marker,
+                    )
+                    futures[future] = point
+                    started_at[future] = time.monotonic()
+                    markers[future] = marker
+                else:
+                    waiting.append((point, not_before))
+            ready = waiting
+
+            if not futures:
+                # Everything live is waiting out a backoff delay.
+                wake = min(not_before for _, not_before in ready)
+                time.sleep(max(0.0, wake - time.monotonic()))
+                continue
+
+            # Sleep until a completion, the nearest per-point deadline,
+            # or the nearest backoff expiry — whichever comes first.
+            wakeups = [not_before for _, not_before in ready]
+            if policy.timeout is not None:
+                wakeups.extend(started_at[future] + policy.timeout
+                               for future in futures)
+            timeout = (max(0.0, min(wakeups) - time.monotonic())
+                       if wakeups else None)
+            done, _ = wait(set(futures), timeout=timeout,
+                           return_when=FIRST_COMPLETED)
+
+            broken: List[Tuple[object, GridPoint, float, BaseException]] = []
+            for future in done:
+                point = futures.pop(future)
+                begun = started_at.pop(future)
+                try:
+                    seconds, run = future.result()
+                except BrokenProcessPool as error:
+                    broken.append((future, point, begun, error))
+                    continue
+                except Exception as error:  # noqa: BLE001 — taxonomy decides
+                    markers.pop(future, None)
+                    retry_or_fail(point, error, time.monotonic() - begun)
+                else:
+                    markers.pop(future, None)
+                    elapsed[point] += seconds
+                    if policy.timeout is not None and seconds > policy.timeout:
+                        retry_or_fail(
+                            point,
+                            SweepTimeoutError(point.label(), seconds,
+                                              policy.timeout),
+                            0.0,
+                        )
+                    else:
+                        finish(point, seconds, run)
+
+            if policy.timeout is not None:
+                now = time.monotonic()
+                expired = [future for future in futures
+                           if started_at[future] + policy.timeout <= now]
+                for future in expired:
+                    point = futures.pop(future)
+                    begun = started_at.pop(future)
+                    markers.pop(future, None)
+                    future.cancel()  # running futures stay; result ignored
+                    retry_or_fail(
+                        point,
+                        SweepTimeoutError(point.label(), now - begun,
+                                          policy.timeout),
+                        now - begun,
+                    )
+
+            if broken and pool is not None:
+                # The pool is dead: every remaining future died with it.
+                for future in list(futures):
+                    point = futures.pop(future)
+                    begun = started_at.pop(future)
+                    broken.append((
+                        future, point, begun,
+                        BrokenProcessPool(
+                            "process pool died with this point in flight"),
+                    ))
+                culprits = _dead_worker_pids(pool)
+                for future, point, begun, error in broken:
+                    marker = markers.pop(future, None)
+                    pid = _marker_pid(marker)
+                    if marker:
+                        try:
+                            os.unlink(marker)
+                        except OSError:
+                            pass
+                    if pid is None:
+                        resubmit_free(point)  # never started
+                    elif culprits is None or pid in culprits:
+                        retry_or_fail(point, error,
+                                      time.monotonic() - begun)
+                    else:
+                        resubmit_free(point)  # worker exonerated
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = None
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+        shutil.rmtree(marker_dir, ignore_errors=True)
 
 
 _CACHE_DEFAULT = object()
@@ -184,6 +564,8 @@ def run_grid(
     jobs: Optional[int] = None,
     cache: object = _CACHE_DEFAULT,
     progress: Optional[Callable[[str], None]] = None,
+    retry: Optional[RetryPolicy] = None,
+    strict: bool = True,
 ) -> GridResult:
     """Resolve the full ``benchmarks x designs x windows`` grid.
 
@@ -198,11 +580,18 @@ def run_grid(
         cache: a :class:`RunCache`, ``None`` to disable disk caching for
             this call, or leave unset to use the runner's active cache.
         progress: optional callback receiving one line per resolved run.
+        retry: retry/timeout policy for failing points (``None`` uses
+            :data:`~repro.experiments.resilience.DEFAULT_POLICY`).
+        strict: raise a :class:`~repro.errors.SweepPointError` after
+            fan-in if any point failed (every completed result is
+            cached first either way); ``False`` returns the partial
+            grid with ``failures`` populated.
     """
     started = time.perf_counter()
     if jobs is None:
         jobs = default_jobs()
     jobs = max(1, int(jobs))
+    policy = DEFAULT_POLICY if retry is None else retry
     disk = runner.get_cache() if cache is _CACHE_DEFAULT else cache
     if disk is not None and not isinstance(disk, RunCache):
         raise ExperimentError("cache must be a RunCache or None")
@@ -229,10 +618,21 @@ def run_grid(
     def note(record: RunRecord) -> None:
         result.records.append(record)
         if progress is not None:
+            done = len(result.records) + len(result.failures)
             progress(
-                f"[{len(result.records)}/{len(points)}] "
+                f"[{done}/{len(points)}] "
                 f"{record.point.label()} ({record.source}, "
                 f"{record.seconds:.2f}s)"
+            )
+
+    def note_failure(failure: PointFailure) -> None:
+        result.failures.append(failure)
+        if progress is not None:
+            done = len(result.records) + len(result.failures)
+            progress(
+                f"[{done}/{len(points)}] {failure.label} FAILED "
+                f"({failure.kind}, {failure.attempts} attempt(s): "
+                f"{failure.error_type}: {failure.message})"
             )
 
     # Layer 1 + 2: memo, then disk.
@@ -271,27 +671,13 @@ def run_grid(
         note(RunRecord(point, "sim", seconds))
 
     if pending and (jobs == 1 or len(pending) == 1):
-        for point in pending:
-            seconds, run = _grid_worker(
-                (point.benchmark, point.design, point.window, scale)
-            )
-            finish(point, seconds, run)
+        _run_serial(pending, scale, policy, finish, note_failure)
     elif pending:
-        with ProcessPoolExecutor(
-            max_workers=min(jobs, len(pending))
-        ) as pool:
-            futures = {
-                pool.submit(
-                    _grid_worker,
-                    (point.benchmark, point.design, point.window, scale),
-                ): point
-                for point in pending
-            }
-            for future in as_completed(futures):
-                seconds, run = future.result()
-                finish(futures[future], seconds, run)
+        _run_parallel(pending, scale, jobs, policy, finish, note_failure)
 
     result.wall_seconds = time.perf_counter() - started
     if disk is not None:
         result.cache_stats = disk.stats.snapshot()
+    if strict:
+        result.raise_failures()
     return result

@@ -1,0 +1,198 @@
+"""Fault-tolerance policy for the sweep engine.
+
+``run_grid`` fans a ``benchmark x design x IW`` grid across worker
+processes; one bad point must not destroy the pass.  This module holds
+the pieces the grid layers on top of its executor to degrade
+gracefully:
+
+* a **failure taxonomy** — :func:`classify_failure` sorts exceptions
+  into ``transient`` (worker crashes, OS-level errors, timeouts: worth
+  retrying) and ``permanent`` (deterministic simulator failures such as
+  :class:`~repro.errors.DeadlockError`: retrying reproduces them);
+* a :class:`RetryPolicy` — bounded retries with *deterministic*
+  exponential backoff (no jitter, so two sweeps with the same policy
+  replay the same schedule) plus an optional per-point wall-clock
+  timeout;
+* a :class:`PointFailure` record — everything ``GridResult.failures``
+  keeps about a point that exhausted its policy: attempts, elapsed
+  time, the original exception's type/message, and its formatted
+  traceback.
+
+Determinism contract: nothing here consults wall-clock time, worker
+identity, or randomness when *classifying* or *deciding* — given the
+same faults, the same policy produces the same failure records at
+``jobs=1`` and ``jobs=8`` (see ``repro.testing.faults`` for the
+injection harness that proves it).
+"""
+
+from __future__ import annotations
+
+import traceback as traceback_module
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..errors import ExperimentError, SweepPointError
+
+#: Failure kinds (the values stored on :class:`PointFailure`).
+TRANSIENT = "transient"
+PERMANENT = "permanent"
+
+#: Exception families whose failures are environmental rather than
+#: deterministic: a dead worker, an OS-level error (ENOSPC, EACCES,
+#: OOM-kills surfacing as ``BrokenProcessPool``), or a timeout.  A
+#: retry has a real chance of succeeding.  Everything else — most
+#: importantly :class:`~repro.errors.DeadlockError` and its
+#: :class:`~repro.errors.SimulationError` siblings — is deterministic
+#: with respect to the run's inputs, so retrying just reproduces it.
+_TRANSIENT_TYPES: Tuple[type, ...] = (
+    BrokenProcessPool,
+    OSError,
+    MemoryError,
+    TimeoutError,
+)
+
+
+def classify_failure(error: BaseException) -> str:
+    """``TRANSIENT`` or ``PERMANENT`` for one grid-point exception."""
+    if isinstance(error, _TRANSIENT_TYPES):
+        return TRANSIENT
+    return PERMANENT
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded, deterministic retry behaviour for one sweep.
+
+    Attributes:
+        max_attempts: total executions allowed per point (1 = never
+            retry).
+        backoff_base: delay in seconds before the first retry.
+        backoff_factor: multiplier applied per further retry.
+        backoff_max: ceiling on any single delay.
+        timeout: per-point wall-clock budget in seconds; ``None``
+            disables the deadline.  In parallel sweeps an over-budget
+            point is abandoned (and retried, if attempts remain); in
+            serial sweeps the budget is checked after the point
+            returns, so both modes record the same timeout failures.
+        retry_permanent: also retry ``permanent`` failures (off by
+            default — a deterministic simulator reproduces them).
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    timeout: float = None  # type: ignore[assignment]
+    retry_permanent: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ExperimentError("max_attempts must be >= 1")
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ExperimentError("backoff delays must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ExperimentError("backoff_factor must be >= 1")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ExperimentError("timeout must be positive (or None)")
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to wait after failed attempt number ``attempt`` (1-based).
+
+        Deterministic exponential backoff:
+        ``min(backoff_max, backoff_base * backoff_factor**(attempt-1))``.
+        """
+        if attempt < 1:
+            raise ExperimentError("attempt numbers are 1-based")
+        return min(self.backoff_max,
+                   self.backoff_base * self.backoff_factor ** (attempt - 1))
+
+    def should_retry(self, kind: str, attempt: int) -> bool:
+        """Whether a failure of ``kind`` on attempt ``attempt`` retries."""
+        if attempt >= self.max_attempts:
+            return False
+        return kind == TRANSIENT or self.retry_permanent
+
+
+#: The policy ``run_grid`` uses when the caller passes none.
+DEFAULT_POLICY = RetryPolicy()
+
+#: Fail fast: one attempt, no backoff, no deadline.
+NO_RETRY = RetryPolicy(max_attempts=1, backoff_base=0.0)
+
+
+@dataclass(frozen=True)
+class PointFailure:
+    """One grid point that exhausted its retry policy.
+
+    Attributes:
+        benchmark / design / window: the grid coordinates.
+        label: the point's display label.
+        kind: ``"transient"`` or ``"permanent"``.
+        attempts: executions consumed (including the first).
+        seconds: total wall-clock seconds across all attempts.
+        error_type: class name of the final exception.
+        message: message of the final exception.
+        traceback_text: formatted traceback of the final attempt
+            (empty when none was captured, e.g. an abandoned timeout).
+    """
+
+    benchmark: str
+    design: str
+    window: int
+    label: str
+    kind: str
+    attempts: int
+    seconds: float
+    error_type: str
+    message: str
+    traceback_text: str = ""
+
+    def signature(self) -> Tuple[str, str, int]:
+        """The determinism-stable identity of this failure.
+
+        ``(label, kind, attempts)`` — everything a fault seed pins down
+        regardless of worker count.  ``error_type`` is excluded because
+        the *same* fault surfaces differently by transport: a worker
+        killed mid-point raises ``BrokenProcessPool`` under ``jobs>1``
+        but the injector's crash error under ``jobs=1``.
+        """
+        return (self.label, self.kind, self.attempts)
+
+    def to_error(self) -> SweepPointError:
+        """The exception equivalent of this record."""
+        return SweepPointError(self.label, self.kind, self.attempts,
+                               self.error_type, self.message,
+                               self.traceback_text)
+
+
+def describe_failure(
+    benchmark: str,
+    design: str,
+    window: int,
+    label: str,
+    error: BaseException,
+    attempts: int,
+    seconds: float,
+) -> PointFailure:
+    """Build the :class:`PointFailure` record for one final exception."""
+    if error.__traceback__ is not None:
+        text = "".join(traceback_module.format_exception(
+            type(error), error, error.__traceback__))
+    else:
+        # Pool workers strip tracebacks in transit; concurrent.futures
+        # smuggles the remote one through __cause__.
+        cause = error.__cause__
+        text = str(cause) if cause is not None else ""
+    return PointFailure(
+        benchmark=benchmark,
+        design=design,
+        window=window,
+        label=label,
+        kind=classify_failure(error),
+        attempts=attempts,
+        seconds=seconds,
+        error_type=type(error).__name__,
+        message=str(error),
+        traceback_text=text,
+    )

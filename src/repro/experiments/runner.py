@@ -121,6 +121,13 @@ def simulations_run() -> int:
     return _simulations_run
 
 
+def reset_simulations_counter() -> None:
+    """Zero the invocation counter (the chaos harness and tests use
+    this to assert per-pass deltas rather than process totals)."""
+    global _simulations_run
+    _simulations_run = 0
+
+
 def effective_window(design: str, window_size: int) -> int:
     """The window a design actually uses (0 when it ignores the knob)."""
     return 0 if design in _WINDOWLESS_DESIGNS else window_size

@@ -25,8 +25,13 @@ class CacheStats:
         stores: results written into the cache.
         bytes_read: payload bytes deserialized on hits.
         bytes_written: payload bytes serialized on stores.
-        errors: entries that existed but could not be decoded (these
-            also count as misses; the entry is dropped and re-stored).
+        errors: entries that existed but could not be read or decoded
+            (these also count as misses; decode failures drop the
+            entry so it is re-stored).
+        io_errors: OS-level failures (ENOSPC, EACCES, ...) swallowed
+            by the cache instead of propagating into the sweep.
+        disables: times the cache self-disabled after crossing its
+            I/O-error threshold (0 or 1 per cache per process).
     """
 
     hits: int = 0
@@ -35,6 +40,8 @@ class CacheStats:
     bytes_read: int = 0
     bytes_written: int = 0
     errors: int = 0
+    io_errors: int = 0
+    disables: int = 0
 
     def __add__(self, other: "CacheStats") -> "CacheStats":
         if not isinstance(other, CacheStats):
@@ -77,4 +84,6 @@ class CacheStats:
             f"({self.hit_rate:.0%}), {self.stores} stored, "
             f"{self.bytes_read} B read, {self.bytes_written} B written"
             + (f", {self.errors} unreadable" if self.errors else "")
+            + (f", {self.io_errors} I/O errors" if self.io_errors else "")
+            + (", cache disabled" if self.disables else "")
         )

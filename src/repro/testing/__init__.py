@@ -1,0 +1,36 @@
+"""Test support for the sweep engine.
+
+:mod:`repro.testing.faults` is a deterministic, seed-driven fault
+injector: it monkeypatches ``runner.execute_run`` and the
+``RunCache`` I/O seams to simulate worker crashes, hangs, deadlocks,
+torn cache writes, and OS-level cache errors (ENOSPC/EACCES), with
+firing decisions derived purely from a seed and a shared on-disk state
+directory — the same faults fire at ``jobs=1`` and ``jobs=8``.
+
+:mod:`repro.testing.chaos` is the CI chaos-smoke driver
+(``python -m repro.testing.chaos``): a QUICK sweep under injected
+faults that asserts graceful degradation end to end.
+
+Nothing in :mod:`repro` proper imports this package; it exists for the
+test suite, the chaos-smoke CI job, and anyone hardening a deployment.
+"""
+
+from .faults import (
+    FaultPlan,
+    FaultSpec,
+    InjectedFaultError,
+    WorkerCrashError,
+    injected_faults,
+    install,
+    uninstall,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFaultError",
+    "WorkerCrashError",
+    "injected_faults",
+    "install",
+    "uninstall",
+]

@@ -1,11 +1,14 @@
 """Tests for the persistent on-disk run cache."""
 
+import errno
 import json
+import warnings
 
 import pytest
 
 from repro.experiments.cache import (
     CACHE_SCHEMA_VERSION,
+    CacheDegradedWarning,
     RunCache,
     cache_from_env,
     default_cache_dir,
@@ -101,6 +104,119 @@ class TestRunCache:
         key = run_key("BFS", "baseline", 0, TINY)
         cache.put(key, result)
         assert f"v{CACHE_SCHEMA_VERSION}" in str(cache._path(key))
+
+    def test_clear_removes_empty_fanout_dirs(self, cache):
+        result = execute_run("BFS", "baseline", scale=TINY)
+        for design in ("baseline", "bow", "bow-wr"):
+            cache.put(run_key("BFS", design, 0, TINY), result)
+        assert cache.clear() == 3
+        versioned = cache.root / f"v{CACHE_SCHEMA_VERSION}"
+        assert list(versioned.iterdir()) == []  # no skeleton left
+
+    def test_clear_keeps_dirs_holding_foreign_files(self, cache):
+        result = execute_run("BFS", "baseline", scale=TINY)
+        key = run_key("BFS", "baseline", 0, TINY)
+        cache.put(key, result)
+        foreign = cache._path(key).parent / "unrelated.txt"
+        foreign.write_text("keep me")
+        cache.clear()
+        assert foreign.read_text() == "keep me"
+
+
+class TestGracefulDegradation:
+    """get/put never raise; repeated I/O errors self-disable the cache."""
+
+    def entry(self, cache):
+        result = execute_run("BFS", "baseline", scale=TINY)
+        key = run_key("BFS", "baseline", 0, TINY)
+        cache.put(key, result)
+        return key
+
+    def test_missing_entry_is_a_plain_miss(self, cache):
+        assert cache.get(run_key("BFS", "baseline", 0, TINY)) is None
+        assert cache.stats.misses == 1
+        assert cache.stats.errors == 0
+        assert cache.stats.io_errors == 0
+
+    def test_unreadable_entry_counts_an_io_error(self, cache, monkeypatch):
+        """Satellite regression: EACCES used to look identical to a
+        plain miss — it must feed ``errors``/``io_errors`` instead."""
+        key = self.entry(cache)
+        monkeypatch.setattr(
+            RunCache, "_read_text",
+            lambda self, path: (_ for _ in ()).throw(
+                PermissionError(errno.EACCES, "denied", str(path))))
+        assert cache.get(key) is None  # swallowed
+        assert cache.stats.misses == 1
+        assert cache.stats.errors == 1
+        assert cache.stats.io_errors == 1
+
+    def test_failed_write_is_swallowed_and_counted(self, cache, monkeypatch):
+        monkeypatch.setattr(
+            RunCache, "_write_entry",
+            lambda self, path, text: (_ for _ in ()).throw(
+                OSError(errno.ENOSPC, "no space left on device")))
+        self.entry(cache)  # must not raise
+        assert cache.stats.stores == 0
+        assert cache.stats.io_errors == 1
+        assert not cache.disabled
+
+    def test_self_disables_after_threshold_with_one_warning(
+            self, tmp_path, monkeypatch):
+        cache = RunCache(tmp_path / "runs", error_threshold=3)
+        monkeypatch.setattr(
+            RunCache, "_write_entry",
+            lambda self, path, text: (_ for _ in ()).throw(
+                OSError(errno.ENOSPC, "no space left on device")))
+        result = execute_run("BFS", "baseline", scale=TINY)
+        key = run_key("BFS", "baseline", 0, TINY)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for _ in range(6):
+                cache.put(key, result)
+        degraded = [w for w in caught
+                    if issubclass(w.category, CacheDegradedWarning)]
+        assert len(degraded) == 1
+        assert "continuing uncached" in str(degraded[0].message)
+        assert cache.disabled
+        assert cache.stats.disables == 1
+        # Past the threshold every call is a no-op: no further errors.
+        assert cache.stats.io_errors == 3
+
+    def test_disabled_cache_ignores_reads_and_writes(self, cache,
+                                                     monkeypatch):
+        key = self.entry(cache)
+        cache._disabled = True
+        assert cache.get(key) is None
+        assert cache.stats.hits == 0
+        cache.reenable()
+        assert cache.get(key) is not None
+
+    def test_read_errors_also_feed_the_threshold(self, tmp_path,
+                                                 monkeypatch):
+        cache = RunCache(tmp_path / "runs", error_threshold=2)
+        key = self.entry(cache)
+        monkeypatch.setattr(
+            RunCache, "_read_text",
+            lambda self, path: (_ for _ in ()).throw(
+                OSError(errno.EIO, "I/O error")))
+        with pytest.warns(CacheDegradedWarning):
+            cache.get(key)
+            cache.get(key)
+        assert cache.disabled
+
+    def test_stats_format_reports_degradation(self, tmp_path, monkeypatch):
+        cache = RunCache(tmp_path / "runs", error_threshold=1)
+        monkeypatch.setattr(
+            RunCache, "_write_entry",
+            lambda self, path, text: (_ for _ in ()).throw(
+                OSError(errno.ENOSPC, "full")))
+        result = execute_run("BFS", "baseline", scale=TINY)
+        with pytest.warns(CacheDegradedWarning):
+            cache.put(run_key("BFS", "baseline", 0, TINY), result)
+        text = cache.stats.format()
+        assert "1 I/O error" in text
+        assert "cache disabled" in text
 
 
 class TestRunDesignIntegration:

@@ -1,0 +1,210 @@
+"""Tests for the deterministic fault injector (:mod:`repro.testing.faults`)."""
+
+import errno
+
+import pytest
+
+from repro.errors import DeadlockError, ExperimentError
+from repro.experiments import grid, runner
+from repro.experiments.cache import RunCache
+from repro.experiments.runner import RunScale, clear_cache, set_cache
+from repro.testing.faults import (
+    FaultPlan,
+    FaultSpec,
+    InjectedFaultError,
+    WorkerCrashError,
+    active_plan,
+    injected_faults,
+    install,
+    uninstall,
+)
+
+TINY = RunScale(num_warps=2, trace_scale=0.1)
+
+
+@pytest.fixture(autouse=True)
+def isolated(tmp_path):
+    clear_cache()
+    previous = set_cache(None)
+    yield
+    uninstall()
+    set_cache(previous)
+    clear_cache()
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown fault kind"):
+            FaultSpec("meteor")
+
+    def test_rate_bounds_enforced(self):
+        with pytest.raises(ExperimentError):
+            FaultSpec("raise", rate=1.5)
+        with pytest.raises(ExperimentError):
+            FaultSpec("raise", rate=-0.1)
+
+    def test_negative_times_and_duration_rejected(self):
+        with pytest.raises(ExperimentError):
+            FaultSpec("raise", times=-1)
+        with pytest.raises(ExperimentError):
+            FaultSpec("hang", duration=-1.0)
+
+
+class TestDeterministicSelection:
+    def test_selection_depends_only_on_seed_and_token(self, tmp_path):
+        specs = [FaultSpec("raise", rate=0.5)]
+        one = FaultPlan(3, tmp_path / "a", specs)
+        two = FaultPlan(3, tmp_path / "b", specs)
+        tokens = [f"BFS/bow IW{w}" for w in range(20)]
+        assert ([one.selected(0, t) for t in tokens]
+                == [two.selected(0, t) for t in tokens])
+
+    def test_different_seeds_differ(self, tmp_path):
+        specs = [FaultSpec("raise", rate=0.5)]
+        tokens = [f"BFS/bow IW{w}" for w in range(50)]
+        picks = {
+            seed: tuple(FaultPlan(seed, tmp_path / str(seed),
+                                  specs).selected(0, t) for t in tokens)
+            for seed in (1, 2)
+        }
+        assert picks[1] != picks[2]
+
+    def test_match_filters_tokens(self, tmp_path):
+        plan = FaultPlan(1, tmp_path, [FaultSpec("raise", match="NW/")])
+        assert plan.selected(0, "NW/bow IW3")
+        assert not plan.selected(0, "BFS/bow IW3")
+
+    def test_zero_rate_never_fires(self, tmp_path):
+        plan = FaultPlan(1, tmp_path, [FaultSpec("raise", rate=0.0)])
+        assert not any(plan.selected(0, f"BFS/bow IW{w}")
+                       for w in range(50))
+
+
+class TestFiringBookkeeping:
+    def test_times_bounds_firings_then_heals(self, tmp_path):
+        plan = FaultPlan(1, tmp_path, [FaultSpec("raise", times=2)])
+        fired = sum(plan._claim(0, "BFS/bow IW3") for _ in range(5))
+        assert fired == 2
+        assert plan.spec_firings(0) == 2
+
+    def test_claims_shared_across_plan_instances(self, tmp_path):
+        """Two plans on one state dir model two processes: the firing
+        budget is global, not per-process."""
+        specs = [FaultSpec("raise", times=1)]
+        first = FaultPlan(1, tmp_path, specs)
+        second = FaultPlan(1, tmp_path, specs)
+        assert first._claim(0, "BFS/bow IW3")
+        assert not second._claim(0, "BFS/bow IW3")
+
+    def test_zero_times_never_heals(self, tmp_path):
+        plan = FaultPlan(1, tmp_path, [FaultSpec("raise", times=0)])
+        assert all(plan._claim(0, "BFS/bow IW3") for _ in range(5))
+
+    def test_reset_forgets_firings(self, tmp_path):
+        plan = FaultPlan(1, tmp_path, [FaultSpec("raise", times=1)])
+        assert plan._claim(0, "BFS/bow IW3")
+        plan.reset()
+        assert plan.firings() == 0
+        assert plan._claim(0, "BFS/bow IW3")
+
+
+class TestRunFaults:
+    def test_raise_fires_through_execute_run(self, tmp_path):
+        with injected_faults(1, tmp_path, [FaultSpec("raise", times=0)]):
+            with pytest.raises(InjectedFaultError, match="BFS/bow IW3"):
+                runner.execute_run("BFS", "bow", window_size=3, scale=TINY)
+
+    def test_oserror_carries_eio(self, tmp_path):
+        with injected_faults(1, tmp_path, [FaultSpec("oserror", times=0)]):
+            with pytest.raises(OSError) as excinfo:
+                runner.execute_run("BFS", "bow", window_size=3, scale=TINY)
+        assert excinfo.value.errno == errno.EIO
+
+    def test_deadlock_fires_as_deadlock_error(self, tmp_path):
+        with injected_faults(1, tmp_path, [FaultSpec("deadlock", times=0)]):
+            with pytest.raises(DeadlockError):
+                runner.execute_run("BFS", "bow", window_size=3, scale=TINY)
+
+    def test_kill_outside_a_worker_raises_instead(self, tmp_path):
+        """In the parent process a kill fault must not take down the
+        test runner — it degrades to WorkerCrashError."""
+        with injected_faults(1, tmp_path, [FaultSpec("kill", times=0)]):
+            with pytest.raises(WorkerCrashError):
+                runner.execute_run("BFS", "bow", window_size=3, scale=TINY)
+
+    def test_token_uses_the_effective_window(self, tmp_path):
+        """baseline ignores IW, so its token is windowless — a match on
+        the windowed form must not fire."""
+        with injected_faults(1, tmp_path,
+                             [FaultSpec("raise", times=0,
+                                        match="BFS/baseline IW3")]):
+            assert runner.execute_run("BFS", "baseline", window_size=3,
+                                      scale=TINY) is not None
+
+    def test_healed_fault_lets_the_run_through(self, tmp_path):
+        with injected_faults(1, tmp_path, [FaultSpec("raise", times=1)]):
+            with pytest.raises(InjectedFaultError):
+                runner.execute_run("BFS", "bow", window_size=3, scale=TINY)
+            assert runner.execute_run("BFS", "bow", window_size=3,
+                                      scale=TINY) is not None
+
+
+class TestCacheFaults:
+    def put_one(self, cache):
+        result = runner.execute_run("BFS", "baseline", scale=TINY)
+        from repro.experiments.cache import run_key
+        key = run_key("BFS", "baseline", 0, TINY)
+        cache.put(key, result)
+        return key
+
+    def test_eacces_read_surfaces_via_the_seam(self, tmp_path):
+        cache = RunCache(tmp_path / "runs")
+        key = self.put_one(cache)
+        with injected_faults(1, tmp_path / "faults",
+                             [FaultSpec("cache-eacces", times=0)]):
+            assert cache.get(key) is None  # swallowed, counted
+        assert cache.stats.io_errors == 1
+
+    def test_enospc_write_is_swallowed(self, tmp_path):
+        cache = RunCache(tmp_path / "runs")
+        with injected_faults(1, tmp_path / "faults",
+                             [FaultSpec("cache-enospc", times=0)]):
+            self.put_one(cache)
+        assert cache.stats.stores == 0
+        assert cache.stats.io_errors == 1
+
+    def test_corrupt_write_is_a_later_counted_miss(self, tmp_path):
+        cache = RunCache(tmp_path / "runs")
+        with injected_faults(1, tmp_path / "faults",
+                             [FaultSpec("cache-corrupt", times=0)]):
+            key = self.put_one(cache)
+        assert cache.get(key) is None
+        assert cache.stats.errors == 1
+        assert key not in cache  # torn entry deleted
+
+
+class TestInstallation:
+    def test_install_is_exclusive(self, tmp_path):
+        plan = FaultPlan(1, tmp_path, [FaultSpec("raise")])
+        install(plan)
+        with pytest.raises(ExperimentError, match="already installed"):
+            install(plan)
+
+    def test_uninstall_restores_the_originals(self, tmp_path):
+        execute = runner.execute_run
+        read = RunCache._read_text
+        write = RunCache._write_entry
+        initializer = grid._pool_initializer
+        with injected_faults(1, tmp_path, [FaultSpec("raise")]):
+            assert runner.execute_run is not execute
+            assert active_plan() is not None
+            assert grid._pool_initializer is not initializer
+        assert runner.execute_run is execute
+        assert RunCache._read_text is read
+        assert RunCache._write_entry is write
+        assert grid._pool_initializer is initializer
+        assert active_plan() is None
+
+    def test_uninstall_without_install_is_a_noop(self):
+        uninstall()
+        assert active_plan() is None

@@ -111,6 +111,94 @@ class TestSweep:
         assert "comma-separated integers" in capsys.readouterr().err
 
 
+class TestSweepResilience:
+    ARGV = ["sweep", "BFS", "NW", "--designs", "baseline,bow",
+            "--warps", "2", "--scale", "0.1"]
+
+    @pytest.fixture(autouse=True)
+    def isolated_caches(self):
+        from repro.experiments.runner import clear_cache, set_cache
+
+        clear_cache()
+        previous = set_cache(None)
+        yield
+        set_cache(previous)
+        clear_cache()
+
+    @pytest.fixture
+    def faulted(self, tmp_path):
+        """A permanent injected failure on one of the four grid points."""
+        from repro.testing.faults import FaultSpec, injected_faults
+
+        with injected_faults(7, tmp_path / "faults",
+                             [FaultSpec("raise", times=0,
+                                        match="BFS/bow IW3")]):
+            yield
+
+    def test_strict_sweep_aborts_naming_the_point(self, faulted, capsys):
+        code = main(self.ARGV + ["--no-cache"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "BFS/bow IW3" in err
+
+    def test_keep_going_prints_partial_grid_and_exits_3(self, faulted,
+                                                        capsys):
+        code = main(self.ARGV + ["--no-cache", "--keep-going"])
+        assert code == 3
+        captured = capsys.readouterr()
+        assert "3 simulated" in captured.out
+        assert "1 FAILED" in captured.out
+        assert "1 grid point(s) failed" in captured.err
+
+    def test_keep_going_then_heal(self, faulted, tmp_path, capsys):
+        from repro.experiments.runner import clear_cache
+        from repro.testing.faults import uninstall
+
+        cached = self.ARGV + ["--cache-dir", str(tmp_path / "runs")]
+        assert main(cached + ["--keep-going"]) == 3
+        uninstall()  # the fault "goes away"
+        clear_cache()
+        assert main(cached + ["--expect-sims", "1"]) == 0
+        clear_cache()
+        assert main(cached + ["--expect-warm"]) == 0
+
+    def test_expect_sims_mismatch_fails(self, tmp_path, capsys):
+        code = main(self.ARGV + ["--cache-dir", str(tmp_path / "runs"),
+                                 "--expect-sims", "0"])
+        assert code == 1
+        assert "expected exactly 0 simulated" in capsys.readouterr().err
+
+    def test_retries_flag_bounds_attempts(self, tmp_path, capsys):
+        from repro.testing.faults import FaultSpec, injected_faults
+
+        with injected_faults(7, tmp_path / "faults",
+                             [FaultSpec("oserror", times=0,
+                                        match="BFS/bow IW3")]):
+            code = main(self.ARGV + ["--no-cache", "--keep-going",
+                                     "--retries", "2"])
+        assert code == 3
+        assert "2 attempt(s)" in capsys.readouterr().err
+
+    def test_bad_retries_rejected(self, capsys):
+        code = main(self.ARGV + ["--no-cache", "--retries", "0"])
+        assert code == 2
+        assert "--retries" in capsys.readouterr().err
+
+    def test_timeout_flag_is_threaded_through(self, capsys, monkeypatch):
+        import repro.experiments.grid as grid_module
+
+        policies = []
+        real = grid_module.run_grid
+
+        def spy(*args, **kwargs):
+            policies.append(kwargs.get("retry"))
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(grid_module, "run_grid", spy)
+        assert main(self.ARGV + ["--no-cache", "--timeout", "60"]) == 0
+        assert policies and policies[0].timeout == 60.0
+
+
 class TestExperiment:
     def test_static_experiment(self, capsys):
         assert main(["experiment", "table1"]) == 0
