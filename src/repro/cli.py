@@ -9,11 +9,21 @@ Commands:
   (``--cache-dir`` / ``--no-cache``) and fault-tolerant execution
   (``--keep-going`` / ``--retries`` / ``--timeout``); a partial sweep
   under ``--keep-going`` exits with status 3.
+* ``trace BENCH [--design D]``  — simulate one benchmark with a
+  cycle-level :class:`~repro.stats.trace.TraceRecorder` attached,
+  print the per-stage event rollup, and optionally export the events
+  (``--out`` + ``--format chrome|jsonl|csv``) for ``chrome://tracing``
+  or downstream tooling.
 * ``experiment ID``             — regenerate a paper table/figure.
 * ``ablation NAME``             — run one of the ablation studies.
 * ``compile FILE``              — assemble + classify a kernel file,
   printing the BOW-WR hints (like ``examples/compiler_walkthrough.py``
   but for your own code).
+
+``sweep --telemetry FILE`` additionally streams one JSONL record per
+resolved grid point (wall time, attempts, cache provenance) plus a
+summary — the schema is checked in at
+:data:`repro.observe.schema.TELEMETRY_SCHEMA`.
 """
 
 from __future__ import annotations
@@ -86,6 +96,33 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="per-point wall-clock budget; over-budget "
                             "points are retried, then recorded as "
                             "failed")
+    sweep.add_argument("--telemetry", default=None, metavar="FILE",
+                       help="stream per-point telemetry (JSONL) to FILE "
+                            "while the sweep runs")
+
+    trace = sub.add_parser(
+        "trace", help="simulate one benchmark with cycle-level tracing")
+    trace.add_argument("benchmark")
+    trace.add_argument("--design", default="bow",
+                       help="baseline | bow | bow-wb | bow-wr | "
+                            "bow-wr-half | rfc")
+    trace.add_argument("--window", type=int, default=3)
+    trace.add_argument("--warps", type=int, default=16)
+    trace.add_argument("--scale", type=float, default=0.25)
+    trace.add_argument("--seed", type=int, default=7)
+    trace.add_argument("--capacity", type=int, default=65536,
+                       help="ring-buffer size; the oldest events beyond "
+                            "it are dropped (aggregates still cover them)")
+    trace.add_argument("--kinds", default=None,
+                       help="comma-separated event kinds to record "
+                            "(default: all; see repro.stats.trace."
+                            "EventKind)")
+    trace.add_argument("--out", default=None, metavar="FILE",
+                       help="export the retained events to FILE")
+    trace.add_argument("--format", default="chrome",
+                       choices=["chrome", "jsonl", "csv"],
+                       help="export format for --out (default: chrome "
+                            "trace-event JSON for chrome://tracing)")
 
     experiment = sub.add_parser("experiment",
                                 help="regenerate a paper table/figure")
@@ -178,11 +215,23 @@ def _cmd_sweep(args) -> int:
                       else args.retries),
         timeout=args.timeout,
     )
-    grid = run_grid(
-        benchmarks, designs, windows, scale=scale, jobs=args.jobs,
-        cache=cache, retry=retry, strict=not args.keep_going,
-        progress=lambda line: print(line, file=sys.stderr),
-    )
+    telemetry = None
+    if args.telemetry:
+        from .observe.telemetry import TelemetryWriter
+        telemetry = TelemetryWriter(args.telemetry)
+    try:
+        grid = run_grid(
+            benchmarks, designs, windows, scale=scale, jobs=args.jobs,
+            cache=cache, retry=retry, strict=not args.keep_going,
+            progress=lambda line: print(line, file=sys.stderr),
+            telemetry=telemetry,
+        )
+    finally:
+        if telemetry is not None:
+            telemetry.close()
+    if args.telemetry:
+        print(f"telemetry: {telemetry.records} record(s) -> "
+              f"{args.telemetry}", file=sys.stderr)
     print(grid.format())
     if args.expect_warm and grid.simulated:
         print(f"error: expected a warm cache but {grid.simulated} run(s) "
@@ -196,6 +245,61 @@ def _cmd_sweep(args) -> int:
         print(f"warning: {len(grid.failures)} grid point(s) failed; "
               f"see the failure table above", file=sys.stderr)
         return 3
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from .core.bow_sm import simulate_design
+    from .experiments.runner import (RunScale, benchmark_trace,
+                                     validate_design)
+    from .observe.export import (write_chrome_trace, write_events_csv,
+                                 write_events_jsonl)
+    from .stats.trace import EventKind, TraceRecorder
+
+    validate_design(args.design)
+    if args.capacity < 1:
+        print("error: --capacity must be >= 1", file=sys.stderr)
+        return 2
+    kinds = None
+    if args.kinds:
+        try:
+            kinds = frozenset(
+                EventKind(item.strip())
+                for item in args.kinds.split(",") if item.strip()
+            )
+        except ValueError:
+            known = ", ".join(kind.value for kind in EventKind)
+            print(f"error: --kinds expects a comma-separated subset of: "
+                  f"{known}", file=sys.stderr)
+            return 2
+    scale = RunScale(num_warps=args.warps, trace_scale=args.scale,
+                     memory_seed=args.seed)
+    hinted = args.design in ("bow-wr", "bow-wr-half")
+    trace = benchmark_trace(
+        args.benchmark, scale,
+        window_size=args.window if hinted else None,
+    )
+    recorder = TraceRecorder(capacity=args.capacity, kinds=kinds)
+    result = simulate_design(
+        args.design, trace, window_size=args.window,
+        memory_seed=args.seed, recorder=recorder,
+    )
+    title = (f"{args.benchmark.upper()} on {args.design} "
+             f"(IW={args.window}): {result.counters.cycles} cycles, "
+             f"IPC {result.ipc:.3f}")
+    print(title)
+    print(recorder.format())
+    if args.out:
+        if args.format == "chrome":
+            write_chrome_trace(
+                recorder, args.out,
+                process_name=f"{args.benchmark.upper()}/{args.design}")
+        elif args.format == "jsonl":
+            write_events_jsonl(recorder, args.out)
+        else:
+            write_events_csv(recorder, args.out)
+        print(f"wrote {len(recorder.events)} of {recorder.emitted} "
+              f"event(s) ({args.format}) -> {args.out}")
     return 0
 
 
@@ -259,6 +363,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_run(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
         if args.command == "experiment":
             return _cmd_experiment(args)
         if args.command == "ablation":

@@ -34,6 +34,7 @@ from ..isa import WritebackHint
 from ..isa.registers import SINK_REGISTER
 from ..gpu.banks import AccessRequest
 from ..gpu.collector import InflightInstruction, OperandProvider
+from ..stats.trace import EventKind
 
 
 @dataclass
@@ -102,14 +103,31 @@ class BOWCollectors(OperandProvider):
             self._dispose(warp, warp.entries.pop(reg_id), reason="slide")
 
     def _dispose(self, warp: _WarpBOC, entry: _BocEntry, reason: str) -> None:
-        """Final disposition of a value leaving the BOC."""
+        """Final disposition of a value leaving the BOC.
+
+        ``reason`` is ``"slide"`` (window expiry), ``"capacity"``
+        (FIFO/LRU pressure), or ``"drain"`` (kernel end — every window
+        expires at once).
+        """
         counters = self.engine.counters
+        recorder = self.engine.recorder
+        if recorder is not None:
+            recorder.emit(
+                self.engine.cycle, EventKind.BOC_EVICT, warp=warp.warp_id,
+                reason=reason, register=entry.register_id,
+            )
         if not entry.dirty:
             return
-        if entry.transient and reason == "slide":
+        if entry.transient and reason != "capacity":
             # All consumers forwarded from the BOC; the RF write is
             # eliminated and the value simply evaporates.
             counters.bypassed_writes += 1
+            if recorder is not None:
+                recorder.emit(
+                    self.engine.cycle, EventKind.WRITE_ELIMINATED,
+                    warp=warp.warp_id, reason="transient",
+                    register=entry.register_id,
+                )
             return
         # Dirty value still owed to the RF (write-back slide-out, a
         # compiler BOTH-value, or a transient evicted early by capacity
@@ -117,18 +135,30 @@ class BOWCollectors(OperandProvider):
         self.engine.enqueue_rf_write(
             None, entry.value, warp_id=warp.warp_id, register_id=entry.register_id
         )
-        if reason == "evict":
+        if reason == "capacity":
             counters.eviction_writebacks += 1
+            if recorder is not None:
+                recorder.emit(
+                    self.engine.cycle, EventKind.EVICTION_WRITEBACK,
+                    warp=warp.warp_id, register=entry.register_id,
+                )
 
     def _deposit(self, warp: _WarpBOC, register_id: int, value: int,
                  dirty: bool, transient: bool) -> None:
         """Place a value into the operand store (FIFO capacity)."""
         counters = self.engine.counters
+        recorder = self.engine.recorder
         existing = warp.entries.pop(register_id, None)
         if existing is not None and existing.dirty and dirty:
             # A newer write lands on a still-dirty value: the old value's
             # RF write is consolidated away (SS IV-B).
             counters.bypassed_writes += 1
+            if recorder is not None:
+                recorder.emit(
+                    self.engine.cycle, EventKind.WRITE_ELIMINATED,
+                    warp=warp.warp_id, reason="consolidated",
+                    register=register_id,
+                )
         elif existing is not None and existing.dirty:
             # Clean re-fill over a dirty value cannot happen: a read miss
             # would have been served by the dirty (newer) value.
@@ -138,11 +168,16 @@ class BOWCollectors(OperandProvider):
         while len(warp.entries) >= self.capacity:
             _, victim = warp.entries.popitem(last=False)
             counters.boc_evictions += 1
-            self._dispose(warp, victim, reason="evict")
+            self._dispose(warp, victim, reason="capacity")
         warp.entries[register_id] = _BocEntry(
             register_id=register_id, value=value, dirty=dirty, transient=transient
         )
         counters.boc_writes += 1
+        if recorder is not None:
+            recorder.emit(
+                self.engine.cycle, EventKind.BOC_INSERT, warp=warp.warp_id,
+                reason="dirty" if dirty else "clean", register=register_id,
+            )
 
     # ------------------------------------------------------------------
     # OperandProvider interface
@@ -159,6 +194,7 @@ class BOWCollectors(OperandProvider):
         self._slide_window(warp)
 
         counters = self.engine.counters
+        recorder = self.engine.recorder
         pending: List[int] = []
         for slot, src in enumerate(entry.inst.sources):
             resident = (
@@ -171,6 +207,13 @@ class BOWCollectors(OperandProvider):
                     warp.entries.move_to_end(src.id)
                 counters.bypassed_reads += 1
                 counters.boc_reads += 1
+                if recorder is not None:
+                    recorder.emit(
+                        self.engine.cycle, EventKind.BOC_HIT,
+                        warp=warp.warp_id, register=src.id,
+                        trace_index=entry.trace_index,
+                        opcode=entry.inst.opcode.name,
+                    )
             else:
                 pending.append(slot)
         entry.pending_slots = pending
@@ -243,6 +286,13 @@ class BOWCollectors(OperandProvider):
             entry.operand_values[dup] = value
             self.engine.counters.bypassed_reads += 1
             self.engine.counters.boc_reads += 1
+            if self.engine.recorder is not None:
+                self.engine.recorder.emit(
+                    self.engine.cycle, EventKind.BOC_HIT,
+                    warp=warp.warp_id, register=register_id,
+                    trace_index=entry.trace_index,
+                    opcode=entry.inst.opcode.name,
+                )
         # An RF fill deposits the value for later forwarding — but only
         # while the register is still windowed (it may have slid while
         # the read waited on a bank port).
@@ -304,6 +354,11 @@ class BOWCollectors(OperandProvider):
             # remaining consumers (they would have blocked the window),
             # so it evaporates — the write is bypassed entirely.
             self.engine.counters.bypassed_writes += 1
+            if self.engine.recorder is not None:
+                self.engine.recorder.emit(
+                    self.engine.cycle, EventKind.WRITE_ELIMINATED,
+                    warp=warp.warp_id, reason="transient", register=dest_id,
+                )
         else:
             self.engine.enqueue_rf_write(entry, value)
 
@@ -316,4 +371,4 @@ class BOWCollectors(OperandProvider):
                 )
             while warp.entries:
                 _, entry = warp.entries.popitem(last=False)
-                self._dispose(warp, entry, reason="slide")
+                self._dispose(warp, entry, reason="drain")

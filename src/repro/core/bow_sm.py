@@ -31,6 +31,7 @@ def simulate_bow(
     config: Optional[GPUConfig] = None,
     memory_seed: int = 0,
     preload: Optional[Dict[int, int]] = None,
+    recorder=None,
 ) -> SimulationResult:
     """Simulate ``trace`` on a BOW-enabled SM.
 
@@ -43,11 +44,13 @@ def simulate_bow(
         bow: the design point; defaults to baseline BOW at IW=3.
         config: machine configuration (Table II defaults).
         memory_seed: seed of the deterministic memory-latency model.
+        recorder: optional :class:`~repro.stats.trace.TraceRecorder`
+            receiving cycle-level events (``None`` = no tracing work).
     """
     bow = bow or bow_config()
     if not bow.enabled:
         engine = SMEngine(trace, config=config, memory_seed=memory_seed,
-                          preload=preload)
+                          preload=preload, recorder=recorder)
         return engine.run()
     engine = SMEngine(
         trace,
@@ -55,17 +58,19 @@ def simulate_bow(
         provider_factory=lambda eng: BOWCollectors(eng, bow),
         memory_seed=memory_seed,
         preload=preload,
+        recorder=recorder,
     )
     return engine.run()
 
 
 def _run_rfc(trace: KernelTrace, config: Optional[GPUConfig],
              memory_seed: int,
-             preload: Optional[Dict[int, int]] = None) -> SimulationResult:
+             preload: Optional[Dict[int, int]] = None,
+             recorder=None) -> SimulationResult:
     from .rfc import simulate_rfc
 
     return simulate_rfc(trace, config=config, memory_seed=memory_seed,
-                        preload=preload)
+                        preload=preload, recorder=recorder)
 
 
 #: Named design points used across the experiment drivers.  Each value
@@ -86,10 +91,11 @@ def simulate_design(
     config: Optional[GPUConfig] = None,
     memory_seed: int = 0,
     preload: Optional[Dict[int, int]] = None,
+    recorder=None,
 ) -> SimulationResult:
     """Run a named design (see ``DESIGNS`` plus ``"rfc"``) over ``trace``."""
     if design == "rfc":
-        return _run_rfc(trace, config, memory_seed, preload)
+        return _run_rfc(trace, config, memory_seed, preload, recorder)
     try:
         factory = DESIGNS[design]
     except KeyError:
@@ -99,5 +105,5 @@ def simulate_design(
         ) from None
     return simulate_bow(
         trace, bow=factory(window_size), config=config,
-        memory_seed=memory_seed, preload=preload,
+        memory_seed=memory_seed, preload=preload, recorder=recorder,
     )

@@ -30,6 +30,7 @@ from ..gpu.collector import InflightInstruction, OperandProvider
 from ..gpu.sm import SimulationResult, SMEngine
 from ..isa.registers import SINK_REGISTER
 from ..kernels.trace import KernelTrace
+from ..stats.trace import EventKind
 
 #: Warp-registers cached per warp (6 entries per thread in the paper).
 RFC_ENTRIES_PER_WARP = 6
@@ -109,6 +110,13 @@ class RFCCollectors(OperandProvider):
                 )
                 counters.bypassed_reads += 1
                 counters.boc_reads += 1
+                if self.engine.recorder is not None:
+                    self.engine.recorder.emit(
+                        self.engine.cycle, EventKind.BOC_HIT,
+                        warp=entry.warp_id, register=register_id,
+                        trace_index=entry.trace_index,
+                        opcode=entry.inst.opcode.name,
+                    )
                 continue
             requests.append(
                 AccessRequest(
@@ -163,26 +171,55 @@ class RFCCollectors(OperandProvider):
             return
         cache = self._cache(entry.warp_id)
         counters = self.engine.counters
+        recorder = self.engine.recorder
         old = cache.lines.pop(dest.id, None)
         if old is not None and old.dirty:
             counters.bypassed_writes += 1  # consolidated in the cache
+            if recorder is not None:
+                recorder.emit(
+                    self.engine.cycle, EventKind.WRITE_ELIMINATED,
+                    warp=cache.warp_id, reason="consolidated",
+                    register=dest.id,
+                )
         while len(cache.lines) >= self.entries_per_warp:
             victim_id, victim = cache.lines.popitem(last=False)
             counters.boc_evictions += 1
+            if recorder is not None:
+                recorder.emit(
+                    self.engine.cycle, EventKind.BOC_EVICT,
+                    warp=cache.warp_id, reason="capacity",
+                    register=victim_id,
+                )
             if victim.dirty:
                 self.engine.enqueue_rf_write(
                     None, victim.value,
                     warp_id=cache.warp_id, register_id=victim_id,
                 )
                 counters.eviction_writebacks += 1
+                if recorder is not None:
+                    recorder.emit(
+                        self.engine.cycle, EventKind.EVICTION_WRITEBACK,
+                        warp=cache.warp_id, register=victim_id,
+                    )
         cache.lines[dest.id] = _CacheLine(value=value, dirty=True)
         counters.boc_writes += 1
+        if recorder is not None:
+            recorder.emit(
+                self.engine.cycle, EventKind.BOC_INSERT,
+                warp=cache.warp_id, reason="dirty", register=dest.id,
+            )
         self.engine.release_scoreboard(entry)
 
     def drain(self) -> None:
         for cache in self._caches.values():
             while cache.lines:
                 register_id, line = cache.lines.popitem(last=False)
+                if self.engine.recorder is not None:
+                    self.engine.recorder.emit(
+                        self.engine.cycle, EventKind.BOC_EVICT,
+                        warp=cache.warp_id, reason="drain",
+                        register=register_id,
+                    )
                 if line.dirty:
                     self.engine.enqueue_rf_write(
                         None, line.value,
@@ -196,6 +233,7 @@ def simulate_rfc(
     memory_seed: int = 0,
     entries_per_warp: int = RFC_ENTRIES_PER_WARP,
     preload: Optional[Dict[int, int]] = None,
+    recorder=None,
 ) -> SimulationResult:
     """Run the RFC comparison design over ``trace``."""
     engine = SMEngine(
@@ -206,5 +244,6 @@ def simulate_rfc(
         ),
         memory_seed=memory_seed,
         preload=preload,
+        recorder=recorder,
     )
     return engine.run()

@@ -140,3 +140,15 @@ class SweepPointError(ExperimentError):
         return (type(self), (self.label, self.kind, self.attempts,
                              self.error_type, self.cause_message,
                              self.traceback_text))
+
+
+class SchemaError(ReproError):
+    """An exported artifact does not match its checked-in schema.
+
+    Raised by the validators in :mod:`repro.observe.schema`; carries the
+    path into the offending document when the validator can name one.
+    """
+
+    def __init__(self, message: str, path: str = ""):
+        self.path = path
+        super().__init__(f"{message} (at {path})" if path else message)

@@ -112,11 +112,17 @@ class GridPoint:
 
 @dataclass(frozen=True)
 class RunRecord:
-    """Provenance and wall time of one resolved grid point."""
+    """Provenance and wall time of one resolved grid point.
+
+    ``attempts`` counts simulator executions this resolution consumed:
+    ``0`` for memo/cache hits, ``1`` for a clean simulation, more when
+    the retry policy re-ran a faulting point.
+    """
 
     point: GridPoint
     source: str  # "memo" | "cache" | "sim"
     seconds: float
+    attempts: int = 0
 
 
 @dataclass
@@ -290,7 +296,7 @@ def _run_serial(
     pending: Sequence[GridPoint],
     scale: RunScale,
     policy: RetryPolicy,
-    finish: Callable[[GridPoint, float, SimulationResult], None],
+    finish: Callable[[GridPoint, float, SimulationResult, int], None],
     fail: Callable[[PointFailure], None],
 ) -> None:
     """Resolve ``pending`` in-process, honouring the retry policy.
@@ -327,7 +333,7 @@ def _run_serial(
                     continue
                 fail(_point_failure(point, error, attempts, total))
                 break
-            finish(point, seconds, run)
+            finish(point, seconds, run, attempts)
             break
 
 
@@ -376,7 +382,7 @@ def _run_parallel(
     scale: RunScale,
     jobs: int,
     policy: RetryPolicy,
-    finish: Callable[[GridPoint, float, SimulationResult], None],
+    finish: Callable[[GridPoint, float, SimulationResult, int], None],
     fail: Callable[[PointFailure], None],
 ) -> None:
     """Resolve ``pending`` on a worker pool, honouring the retry policy.
@@ -501,7 +507,7 @@ def _run_parallel(
                             0.0,
                         )
                     else:
-                        finish(point, seconds, run)
+                        finish(point, seconds, run, attempts[point])
 
             if policy.timeout is not None:
                 now = time.monotonic()
@@ -566,6 +572,7 @@ def run_grid(
     progress: Optional[Callable[[str], None]] = None,
     retry: Optional[RetryPolicy] = None,
     strict: bool = True,
+    telemetry=None,
 ) -> GridResult:
     """Resolve the full ``benchmarks x designs x windows`` grid.
 
@@ -586,6 +593,13 @@ def run_grid(
             fan-in if any point failed (every completed result is
             cached first either way); ``False`` returns the partial
             grid with ``failures`` populated.
+        telemetry: optional
+            :class:`~repro.observe.telemetry.TelemetryWriter` (or any
+            object with ``emit(dict)``) receiving the JSONL stream —
+            a ``start`` header, one ``point``/``failure`` record per
+            grid point as it resolves, and a closing ``summary``
+            (written before a strict-mode raise, so a failed sweep
+            still leaves a complete stream).
     """
     started = time.perf_counter()
     if jobs is None:
@@ -615,8 +629,42 @@ def run_grid(
 
     result = GridResult(scale=scale, jobs=jobs, results={})
 
+    if telemetry is not None:
+        from ..observe.telemetry import TELEMETRY_SCHEMA_VERSION
+
+        telemetry.emit({
+            "type": "start",
+            "schema": TELEMETRY_SCHEMA_VERSION,
+            "points": len(points),
+            "jobs": jobs,
+            "benchmarks": sorted({p.benchmark.upper() for p in points}),
+            "designs": sorted({p.design for p in points}),
+            "windows": sorted({p.window for p in points}),
+            "scale": {
+                "num_warps": scale.num_warps,
+                "trace_scale": scale.trace_scale,
+                "memory_seed": scale.memory_seed,
+            },
+        })
+
     def note(record: RunRecord) -> None:
         result.records.append(record)
+        if telemetry is not None:
+            key = (record.point.benchmark.upper(), record.point.design,
+                   record.point.window)
+            run = result.results[key]
+            telemetry.emit({
+                "type": "point",
+                "benchmark": record.point.benchmark.upper(),
+                "design": record.point.design,
+                "window": record.point.window,
+                "source": record.source,
+                "seconds": record.seconds,
+                "attempts": record.attempts,
+                "cycles": run.counters.cycles,
+                "instructions": run.counters.instructions,
+                "ipc": run.ipc,
+            })
         if progress is not None:
             done = len(result.records) + len(result.failures)
             progress(
@@ -627,6 +675,19 @@ def run_grid(
 
     def note_failure(failure: PointFailure) -> None:
         result.failures.append(failure)
+        if telemetry is not None:
+            telemetry.emit({
+                "type": "failure",
+                "benchmark": failure.benchmark.upper(),
+                "design": failure.design,
+                "window": failure.window,
+                "label": failure.label,
+                "kind": failure.kind,
+                "attempts": failure.attempts,
+                "seconds": failure.seconds,
+                "error_type": failure.error_type,
+                "message": failure.message,
+            })
         if progress is not None:
             done = len(result.records) + len(result.failures)
             progress(
@@ -660,7 +721,7 @@ def run_grid(
 
     # Layer 3: simulate what remains.
     def finish(point: GridPoint, seconds: float,
-               run: SimulationResult) -> None:
+               run: SimulationResult, attempts: int = 1) -> None:
         key = (point.benchmark.upper(), point.design, point.window)
         result.results[key] = run
         runner.memo_store(point.benchmark, point.design, point.window,
@@ -668,7 +729,7 @@ def run_grid(
         if disk is not None:
             disk.put(run_key(point.benchmark, point.design, point.window,
                              scale), run)
-        note(RunRecord(point, "sim", seconds))
+        note(RunRecord(point, "sim", seconds, attempts))
 
     if pending and (jobs == 1 or len(pending) == 1):
         _run_serial(pending, scale, policy, finish, note_failure)
@@ -678,6 +739,18 @@ def run_grid(
     result.wall_seconds = time.perf_counter() - started
     if disk is not None:
         result.cache_stats = disk.stats.snapshot()
+    if telemetry is not None:
+        telemetry.emit({
+            "type": "summary",
+            "wall_seconds": result.wall_seconds,
+            "points": len(points),
+            "ok": result.ok,
+            "simulated": result.simulated,
+            "from_cache": result.from_cache,
+            "from_memo": result.from_memo,
+            "failed": result.failed,
+            "cache": result.cache_stats.as_dict(),
+        })
     if strict:
         result.raise_failures()
     return result

@@ -12,7 +12,7 @@ forwarding is semantics-preserving).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..config import GPUConfig
 from ..errors import SimulationError
@@ -25,10 +25,20 @@ from .regfile import BankedRegisterFile
 
 @dataclass(frozen=True)
 class ReferenceResult:
-    """Ground-truth architectural state after a kernel trace."""
+    """Ground-truth architectural state after a kernel trace.
+
+    ``committed`` is the architectural commit stream — one
+    ``(warp_id, trace_index, opcode_name)`` triple per dynamic
+    instruction, in program order per warp.  A timing model is
+    equivalent iff it retires exactly this multiset (predicated-off
+    instructions still commit: they consume a slot without producing a
+    value), which is what the differential-oracle harness checks
+    against the engine's ``commit`` trace events.
+    """
 
     registers: Dict[Tuple[int, int], int]
     memory: Dict[int, int]
+    committed: Tuple[Tuple[int, int, str], ...] = ()
 
 
 def execute_reference(
@@ -50,6 +60,7 @@ def execute_reference(
             memory.store(address, value)
     registers: Dict[Tuple[int, int], int] = {}
     predicates: Dict[Tuple[int, int], bool] = {}
+    committed: List[Tuple[int, int, str]] = []
 
     def read_reg(warp_id: int, register_id: int) -> int:
         key = (warp_id, register_id)
@@ -60,7 +71,8 @@ def execute_reference(
         return registers[key]
 
     for warp in trace:
-        for inst in warp:
+        for index, inst in enumerate(warp):
+            committed.append((warp.warp_id, index, inst.opcode.name))
             if inst.predicate is not None:
                 flag = predicates.get((warp.warp_id, inst.predicate.id),
                                       False)
@@ -79,7 +91,8 @@ def execute_reference(
             if inst.dest is not None and inst.dest != SINK_REGISTER:
                 registers[(warp.warp_id, inst.dest.id)] = value & 0xFFFFFFFF
 
-    return ReferenceResult(registers=registers, memory=memory.image_snapshot())
+    return ReferenceResult(registers=registers, memory=memory.image_snapshot(),
+                           committed=tuple(committed))
 
 
 def _execute_one(

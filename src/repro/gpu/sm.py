@@ -34,6 +34,7 @@ from ..isa import Instruction, OpClass
 from ..isa.registers import SINK_REGISTER
 from ..kernels.trace import KernelTrace
 from ..stats.counters import Counters
+from ..stats.trace import EventKind
 from .banks import AccessRequest, BankArbiter
 from .collector import BaselineCollectorPool, InflightInstruction, OperandProvider
 from .execution import ExecutionUnits, latency_for
@@ -100,6 +101,7 @@ class SMEngine:
         memory_seed: int = 0,
         timeline=None,
         preload: Optional[Dict[int, int]] = None,
+        recorder=None,
     ):
         self.config = config or GPUConfig()
         if trace.num_warps > self.config.max_warps_per_sm:
@@ -156,6 +158,10 @@ class SMEngine:
         self.predicates: Dict[Tuple[int, int], bool] = {}
         # Optional per-interval sampler (see repro.stats.timeline).
         self.timeline = timeline
+        # Optional cycle-level event recorder (see repro.stats.trace).
+        # Every emit site below is guarded by one `is not None` check so
+        # the untraced hot path does no tracing work at all.
+        self.recorder = recorder
 
     def _build_schedulers(self):
         groups: Dict[int, List[int]] = {}
@@ -217,6 +223,11 @@ class SMEngine:
     def _retire(self, entry: InflightInstruction) -> None:
         self._in_flight -= 1
         self.counters.instructions += 1
+        if self.recorder is not None:
+            self.recorder.emit(
+                self.cycle, EventKind.COMMIT, warp=entry.warp_id,
+                trace_index=entry.trace_index, opcode=entry.inst.opcode.name,
+            )
         if entry.inst.is_memory:
             self.counters.mem_instructions += 1
         if entry.dispatch_cycle is not None:
@@ -252,6 +263,14 @@ class SMEngine:
         self._drain_write_queue()
         self.counters.rf_reads = self.regfile.reads
         self.counters.rf_writes = self.regfile.writes
+        if self.timeline is not None:
+            # The drain tail (provider flush + residual writes) falls
+            # between sampling-grid points; emit one final sample so the
+            # series always reaches the end of the run.
+            self.timeline.finalize(
+                self.counters.cycles, self.counters,
+                self.regfile.reads, self.regfile.writes,
+            )
         return SimulationResult(
             counters=self.counters,
             register_image=self.regfile.snapshot(),
@@ -317,6 +336,9 @@ class SMEngine:
 
         result = self.arbiter.arbitrate(reads, writes)
         self.counters.bank_conflicts += result.conflicts
+        if self.recorder is not None and result.conflicts:
+            self.recorder.emit(self.cycle, EventKind.BANK_CONFLICT,
+                               count=result.conflicts)
 
         granted_write_indexes = sorted(
             (request.tag for request in result.granted_writes), reverse=True
@@ -324,6 +346,13 @@ class SMEngine:
         for index in granted_write_indexes:
             queued = self._write_queue.pop(index)
             self.regfile.write(queued.warp_id, queued.register_id, queued.value)
+            if self.recorder is not None:
+                self.recorder.emit(
+                    self.cycle, EventKind.WRITEBACK, warp=queued.warp_id,
+                    reason="granted", register=queued.register_id,
+                    bank=self.regfile.bank_of(queued.warp_id,
+                                              queued.register_id),
+                )
             if queued.release_on_grant and queued.entry is not None:
                 self.release_scoreboard(queued.entry)
 
@@ -361,6 +390,12 @@ class SMEngine:
         for queued in self._write_queue:
             self.regfile.write(queued.warp_id, queued.register_id, queued.value)
             self.counters.cycles += 1  # each residual write costs a port cycle
+            if self.recorder is not None:
+                self.recorder.emit(
+                    self.counters.cycles, EventKind.WRITEBACK,
+                    warp=queued.warp_id, reason="drain",
+                    register=queued.register_id,
+                )
         self._write_queue.clear()
 
     # -- dispatch -----------------------------------------------------------
@@ -387,10 +422,23 @@ class SMEngine:
                     continue
                 if not self.units.can_dispatch(entry.inst.op_class):
                     self.counters.exec_busy_stalls += 1
+                    if self.recorder is not None:
+                        self.recorder.emit(
+                            self.cycle, EventKind.DISPATCH_STALL,
+                            warp=entry.warp_id, reason="exec_busy",
+                            trace_index=entry.trace_index,
+                            opcode=entry.inst.opcode.name,
+                        )
                     continue
                 self.units.dispatch(entry.inst.op_class)
                 self.provider.on_dispatch(entry)
                 entry.dispatch_cycle = self.cycle
+                if self.recorder is not None:
+                    self.recorder.emit(
+                        self.cycle, EventKind.DISPATCH, warp=entry.warp_id,
+                        trace_index=entry.trace_index,
+                        opcode=entry.inst.opcode.name,
+                    )
                 self.scoreboard.release_reads(entry.warp_id, entry.inst)
                 if entry.inst.is_memory:
                     self._undispatched_mem[entry.warp_id].discard(
@@ -488,9 +536,21 @@ class SMEngine:
             return False
         if not self.scoreboard.can_issue(warp.warp_id, inst):
             self.counters.issue_stalls_scoreboard += 1
+            if self.recorder is not None:
+                self.recorder.emit(
+                    self.cycle, EventKind.ISSUE_STALL, warp=warp.warp_id,
+                    reason="scoreboard", trace_index=warp.pc,
+                    opcode=inst.opcode.name,
+                )
             return False
         if not self.provider.can_accept(warp.warp_id):
             self.counters.issue_stalls_collector += 1
+            if self.recorder is not None:
+                self.recorder.emit(
+                    self.cycle, EventKind.ISSUE_STALL, warp=warp.warp_id,
+                    reason="collector", trace_index=warp.pc,
+                    opcode=inst.opcode.name,
+                )
             return False
 
         entry = InflightInstruction(
@@ -507,6 +567,11 @@ class SMEngine:
         warp.pc += 1
         self._in_flight += 1
         self.counters.issued += 1
+        if self.recorder is not None:
+            self.recorder.emit(
+                self.cycle, EventKind.ISSUE, warp=warp.warp_id,
+                trace_index=entry.trace_index, opcode=inst.opcode.name,
+            )
         if inst.is_control:
             warp.control_pending = True
         return True
@@ -517,8 +582,9 @@ def simulate_baseline(
     config: Optional[GPUConfig] = None,
     memory_seed: int = 0,
     preload: Optional[Dict[int, int]] = None,
+    recorder=None,
 ) -> SimulationResult:
     """Run the unmodified-GPU configuration over ``trace``."""
     engine = SMEngine(trace, config=config, memory_seed=memory_seed,
-                      preload=preload)
+                      preload=preload, recorder=recorder)
     return engine.run()

@@ -1,0 +1,52 @@
+"""Observability: trace export, schemas, and sweep telemetry.
+
+The recording machinery lives next to the other statistics
+(:mod:`repro.stats.trace`); this package holds everything that turns
+recorded events into artifacts downstream tooling can consume:
+
+* :mod:`repro.observe.export` — Chrome trace-event JSON (load it in
+  ``chrome://tracing`` / Perfetto), CSV, and JSONL event dumps;
+* :mod:`repro.observe.telemetry` — the JSONL sweep-telemetry stream
+  ``run_grid(..., telemetry=...)`` produces (per-point wall time,
+  attempts, cache provenance, failure records, and a final summary);
+* :mod:`repro.observe.schema` — the checked-in JSON schemas those
+  exporters promise to honour, plus validators the schema tests (and
+  any downstream consumer) can call.
+"""
+
+from ..stats.trace import EventKind, STAGE_OF, STAGES, TraceEvent, TraceRecorder
+from .export import (
+    chrome_trace,
+    write_chrome_trace,
+    write_events_csv,
+    write_events_jsonl,
+)
+from .schema import (
+    CHROME_TRACE_SCHEMA,
+    EVENT_SCHEMA,
+    TELEMETRY_SCHEMA,
+    validate_chrome_trace,
+    validate_event,
+    validate_telemetry_record,
+)
+from .telemetry import TELEMETRY_SCHEMA_VERSION, TelemetryWriter
+
+__all__ = [
+    "CHROME_TRACE_SCHEMA",
+    "EVENT_SCHEMA",
+    "EventKind",
+    "STAGE_OF",
+    "STAGES",
+    "TELEMETRY_SCHEMA",
+    "TELEMETRY_SCHEMA_VERSION",
+    "TelemetryWriter",
+    "TraceEvent",
+    "TraceRecorder",
+    "chrome_trace",
+    "validate_chrome_trace",
+    "validate_event",
+    "validate_telemetry_record",
+    "write_chrome_trace",
+    "write_events_csv",
+    "write_events_jsonl",
+]

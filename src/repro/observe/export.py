@@ -1,0 +1,99 @@
+"""Exporters for recorded trace events.
+
+Three formats, all covered by the schemas in
+:mod:`repro.observe.schema`:
+
+* **Chrome trace-event JSON** — the ``chrome://tracing`` / Perfetto
+  "JSON Array Format".  Each simulator event becomes an *instant* event
+  (``"ph": "i"``) at ``ts = cycle`` (microsecond units stand in for
+  cycles); warps map to thread lanes so per-warp activity lines up
+  visually, and metadata records name the process and threads.
+* **CSV** — one row per retained event, fixed column order, empty cells
+  for absent fields.
+* **JSONL** — one JSON object per retained event, ``None`` fields
+  omitted (the format the accounting tests reconcile against).
+
+Only the events still in the ring are exported; the recorder's
+aggregates cover the dropped remainder and are included in the Chrome
+export's metadata for context.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Dict, List
+
+from ..stats.trace import STAGE_OF, TraceRecorder
+
+#: CSV column order (also the JSONL field vocabulary).
+CSV_COLUMNS = ("cycle", "kind", "warp", "reason", "register", "bank",
+               "trace_index", "opcode", "count")
+
+
+def chrome_trace(recorder: TraceRecorder, process_name: str = "SM0") -> dict:
+    """The recorder's retained events as a Chrome trace-event document."""
+    events: List[dict] = [
+        {"name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+         "args": {"name": process_name}},
+    ]
+    warps = sorted({event.warp for event in recorder.events})
+    for warp in warps:
+        label = f"warp {warp}" if warp >= 0 else "sm-wide"
+        events.append({"name": "thread_name", "ph": "M", "pid": 0,
+                       "tid": warp + 1, "args": {"name": label}})
+    for event in recorder.events:
+        args: Dict[str, object] = {"stage": STAGE_OF[event.kind],
+                                   "count": event.count}
+        for name in ("reason", "register", "bank", "trace_index", "opcode"):
+            value = getattr(event, name)
+            if value is not None:
+                args[name] = value
+        events.append({
+            "name": event.kind.value,
+            "cat": STAGE_OF[event.kind],
+            "ph": "i",
+            "ts": event.cycle,
+            "pid": 0,
+            "tid": event.warp + 1,  # tid must be >= 0; -1 is the SM lane
+            "s": "t",
+            "args": args,
+        })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "emitted": recorder.emitted,
+            "dropped": recorder.dropped,
+            "capacity": recorder.capacity,
+            "counts": {kind.value: total
+                       for kind, total in sorted(recorder.counts.items(),
+                                                 key=lambda kv: kv[0].value)},
+        },
+    }
+
+
+def write_chrome_trace(recorder: TraceRecorder, path: str,
+                       process_name: str = "SM0") -> None:
+    """Write the Chrome trace-event JSON document to ``path``."""
+    with open(path, "w") as handle:
+        json.dump(chrome_trace(recorder, process_name=process_name), handle)
+        handle.write("\n")
+
+
+def write_events_csv(recorder: TraceRecorder, path: str) -> None:
+    """Write the retained events as CSV (header + one row per event)."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(CSV_COLUMNS)
+        for event in recorder.events:
+            record = event.as_dict()
+            writer.writerow([record.get(column, "") for column in CSV_COLUMNS])
+
+
+def write_events_jsonl(recorder: TraceRecorder, path: str) -> None:
+    """Write the retained events as JSONL (one object per line)."""
+    with open(path, "w") as handle:
+        for event in recorder.events:
+            handle.write(json.dumps(event.as_dict(), sort_keys=True))
+            handle.write("\n")

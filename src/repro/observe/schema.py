@@ -1,0 +1,296 @@
+"""Checked-in JSON schemas for every exported observability artifact.
+
+Downstream tooling (trace viewers, telemetry dashboards, the CI
+artifact consumers) parses what the exporters in
+:mod:`repro.observe.export` and :mod:`repro.observe.telemetry` emit;
+these schemas are the contract.  The schema tests validate real
+exporter output against them, so a format change that would break a
+consumer fails the suite instead of shipping silently.
+
+The documents are standard JSON Schema (draft 2020-12).  Validation
+uses the ``jsonschema`` package when it is importable and otherwise
+falls back to a built-in interpreter of the keyword subset these
+schemas use (``type``, ``properties``, ``required``, ``enum``,
+``const``, ``items``, ``minimum``, ``additionalProperties``,
+``oneOf``) — so the validators work, and agree, in both environments.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ..errors import SchemaError
+from ..stats.trace import EventKind, STAGES
+
+#: Wire names of every event kind (the ``kind`` enum in the schemas).
+EVENT_KINDS: List[str] = [kind.value for kind in EventKind]
+
+#: One line of an events JSONL dump (``write_events_jsonl``), and the
+#: ``args``-free core of every CSV row.
+EVENT_SCHEMA: Dict[str, Any] = {
+    "$schema": "https://json-schema.org/draft/2020-12/schema",
+    "$id": "repro/observe/event.schema.json",
+    "title": "repro trace event",
+    "type": "object",
+    "properties": {
+        "cycle": {"type": "integer", "minimum": 0},
+        "kind": {"enum": EVENT_KINDS},
+        "warp": {"type": "integer", "minimum": -1},
+        "count": {"type": "integer", "minimum": 1},
+        "reason": {"type": "string"},
+        "register": {"type": "integer", "minimum": 0},
+        "bank": {"type": "integer", "minimum": 0},
+        "trace_index": {"type": "integer", "minimum": 0},
+        "opcode": {"type": "string"},
+    },
+    "required": ["cycle", "kind", "warp", "count"],
+    "additionalProperties": False,
+}
+
+#: A Chrome trace-event document (``chrome_trace`` /
+#: ``write_chrome_trace``): the "JSON Array Format" subset we emit —
+#: metadata records plus instant events.
+CHROME_TRACE_SCHEMA: Dict[str, Any] = {
+    "$schema": "https://json-schema.org/draft/2020-12/schema",
+    "$id": "repro/observe/chrome-trace.schema.json",
+    "title": "repro Chrome trace export",
+    "type": "object",
+    "properties": {
+        "traceEvents": {
+            "type": "array",
+            "items": {
+                "oneOf": [
+                    {  # metadata record (process/thread naming)
+                        "type": "object",
+                        "properties": {
+                            "name": {"enum": ["process_name", "thread_name"]},
+                            "ph": {"const": "M"},
+                            "pid": {"type": "integer", "minimum": 0},
+                            "tid": {"type": "integer", "minimum": 0},
+                            "args": {"type": "object"},
+                        },
+                        "required": ["name", "ph", "pid", "args"],
+                        "additionalProperties": False,
+                    },
+                    {  # instant event (one simulator trace event)
+                        "type": "object",
+                        "properties": {
+                            "name": {"enum": EVENT_KINDS},
+                            "cat": {"enum": list(STAGES)},
+                            "ph": {"const": "i"},
+                            "ts": {"type": "integer", "minimum": 0},
+                            "pid": {"type": "integer", "minimum": 0},
+                            "tid": {"type": "integer", "minimum": 0},
+                            "s": {"enum": ["t", "p", "g"]},
+                            "args": {"type": "object"},
+                        },
+                        "required": ["name", "cat", "ph", "ts", "pid", "tid",
+                                     "s"],
+                        "additionalProperties": False,
+                    },
+                ],
+            },
+        },
+        "displayTimeUnit": {"enum": ["ms", "ns"]},
+        "otherData": {
+            "type": "object",
+            "properties": {
+                "emitted": {"type": "integer", "minimum": 0},
+                "dropped": {"type": "integer", "minimum": 0},
+                "capacity": {"type": "integer", "minimum": 1},
+                "counts": {"type": "object"},
+            },
+            "required": ["emitted", "dropped", "capacity", "counts"],
+            "additionalProperties": False,
+        },
+    },
+    "required": ["traceEvents"],
+    "additionalProperties": False,
+}
+
+_SCALE_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "properties": {
+        "num_warps": {"type": "integer", "minimum": 1},
+        "trace_scale": {"type": "number"},
+        "memory_seed": {"type": "integer"},
+    },
+    "required": ["num_warps", "trace_scale", "memory_seed"],
+    "additionalProperties": False,
+}
+
+#: One line of a sweep-telemetry JSONL stream (``TelemetryWriter``):
+#: a ``start`` header, one ``point`` or ``failure`` per grid point,
+#: and a closing ``summary``.
+TELEMETRY_SCHEMA: Dict[str, Any] = {
+    "$schema": "https://json-schema.org/draft/2020-12/schema",
+    "$id": "repro/observe/telemetry.schema.json",
+    "title": "repro sweep telemetry record",
+    "oneOf": [
+        {
+            "type": "object",
+            "properties": {
+                "type": {"const": "start"},
+                "schema": {"type": "integer", "minimum": 1},
+                "points": {"type": "integer", "minimum": 1},
+                "jobs": {"type": "integer", "minimum": 1},
+                "benchmarks": {"type": "array", "items": {"type": "string"}},
+                "designs": {"type": "array", "items": {"type": "string"}},
+                "windows": {"type": "array", "items": {"type": "integer"}},
+                "scale": _SCALE_SCHEMA,
+            },
+            "required": ["type", "schema", "points", "jobs", "scale"],
+            "additionalProperties": False,
+        },
+        {
+            "type": "object",
+            "properties": {
+                "type": {"const": "point"},
+                "benchmark": {"type": "string"},
+                "design": {"type": "string"},
+                "window": {"type": "integer", "minimum": 0},
+                "source": {"enum": ["memo", "cache", "sim"]},
+                "seconds": {"type": "number"},
+                "attempts": {"type": "integer", "minimum": 0},
+                "cycles": {"type": "integer", "minimum": 0},
+                "instructions": {"type": "integer", "minimum": 0},
+                "ipc": {"type": "number"},
+            },
+            "required": ["type", "benchmark", "design", "window", "source",
+                         "seconds", "attempts"],
+            "additionalProperties": False,
+        },
+        {
+            "type": "object",
+            "properties": {
+                "type": {"const": "failure"},
+                "benchmark": {"type": "string"},
+                "design": {"type": "string"},
+                "window": {"type": "integer", "minimum": 0},
+                "label": {"type": "string"},
+                "kind": {"enum": ["transient", "permanent"]},
+                "attempts": {"type": "integer", "minimum": 1},
+                "seconds": {"type": "number"},
+                "error_type": {"type": "string"},
+                "message": {"type": "string"},
+            },
+            "required": ["type", "benchmark", "design", "window", "label",
+                         "kind", "attempts", "seconds", "error_type",
+                         "message"],
+            "additionalProperties": False,
+        },
+        {
+            "type": "object",
+            "properties": {
+                "type": {"const": "summary"},
+                "wall_seconds": {"type": "number"},
+                "points": {"type": "integer", "minimum": 0},
+                "ok": {"type": "boolean"},
+                "simulated": {"type": "integer", "minimum": 0},
+                "from_cache": {"type": "integer", "minimum": 0},
+                "from_memo": {"type": "integer", "minimum": 0},
+                "failed": {"type": "integer", "minimum": 0},
+                "cache": {"type": "object"},
+            },
+            "required": ["type", "wall_seconds", "points", "ok", "simulated",
+                         "from_cache", "from_memo", "failed", "cache"],
+            "additionalProperties": False,
+        },
+    ],
+}
+
+
+# ---------------------------------------------------------------------------
+# validation
+# ---------------------------------------------------------------------------
+
+_TYPE_CHECKS = {
+    "object": lambda value: isinstance(value, dict),
+    "array": lambda value: isinstance(value, list),
+    "string": lambda value: isinstance(value, str),
+    "integer": lambda value: isinstance(value, int)
+    and not isinstance(value, bool),
+    "number": lambda value: isinstance(value, (int, float))
+    and not isinstance(value, bool),
+    "boolean": lambda value: isinstance(value, bool),
+    "null": lambda value: value is None,
+}
+
+
+def _check(instance: Any, schema: Dict[str, Any], path: str) -> None:
+    """Interpret the keyword subset our schemas use; raise SchemaError."""
+    if "oneOf" in schema:
+        errors = []
+        matches = 0
+        for index, option in enumerate(schema["oneOf"]):
+            try:
+                _check(instance, option, path)
+                matches += 1
+            except SchemaError as error:
+                errors.append(f"[{index}] {error}")
+        if matches != 1:
+            raise SchemaError(
+                f"matched {matches} of {len(schema['oneOf'])} oneOf "
+                f"alternatives: {'; '.join(errors)}", path)
+        return
+    if "const" in schema and instance != schema["const"]:
+        raise SchemaError(f"expected {schema['const']!r}, got {instance!r}",
+                          path)
+    if "enum" in schema and instance not in schema["enum"]:
+        raise SchemaError(f"{instance!r} not in enum {schema['enum']!r}", path)
+    if "type" in schema:
+        expected = schema["type"]
+        names = expected if isinstance(expected, list) else [expected]
+        if not any(_TYPE_CHECKS[name](instance) for name in names):
+            raise SchemaError(
+                f"expected type {expected}, got {type(instance).__name__}",
+                path)
+    if "minimum" in schema and isinstance(instance, (int, float)) \
+            and not isinstance(instance, bool):
+        if instance < schema["minimum"]:
+            raise SchemaError(
+                f"{instance} below minimum {schema['minimum']}", path)
+    if isinstance(instance, dict):
+        for name in schema.get("required", ()):
+            if name not in instance:
+                raise SchemaError(f"missing required property {name!r}", path)
+        properties = schema.get("properties", {})
+        for name, value in instance.items():
+            if name in properties:
+                _check(value, properties[name], f"{path}/{name}")
+            elif schema.get("additionalProperties", True) is False:
+                raise SchemaError(f"unexpected property {name!r}", path)
+    if isinstance(instance, list) and "items" in schema:
+        for index, item in enumerate(instance):
+            _check(item, schema["items"], f"{path}[{index}]")
+
+
+def _validate(instance: Any, schema: Dict[str, Any], label: str) -> None:
+    try:
+        import jsonschema
+    except ImportError:
+        _check(instance, schema, label)
+        return
+    try:
+        jsonschema.validate(instance, schema)
+    except jsonschema.ValidationError as error:
+        path = "/".join(str(part) for part in error.absolute_path)
+        raise SchemaError(f"{label}: {error.message}",
+                          path or label) from error
+
+
+def validate_event(record: Any) -> None:
+    """Validate one events-JSONL record against :data:`EVENT_SCHEMA`."""
+    _validate(record, EVENT_SCHEMA, "event")
+
+
+def validate_chrome_trace(document: Any) -> None:
+    """Validate a Chrome trace document against
+    :data:`CHROME_TRACE_SCHEMA`."""
+    _validate(document, CHROME_TRACE_SCHEMA, "chrome-trace")
+
+
+def validate_telemetry_record(record: Any) -> None:
+    """Validate one telemetry-JSONL record against
+    :data:`TELEMETRY_SCHEMA`."""
+    _validate(record, TELEMETRY_SCHEMA, "telemetry")

@@ -1,0 +1,73 @@
+"""Sweep telemetry: a JSONL stream of everything a ``run_grid`` did.
+
+``run_grid(..., telemetry=TelemetryWriter(path))`` streams one record
+per resolved grid point *as it lands* (so a watcher — or a post-mortem
+after a crashed sweep — sees partial progress), plus a ``start`` header
+and a closing ``summary``:
+
+* ``start``   — grid shape, worker count, scale, schema version;
+* ``point``   — provenance (``memo`` / ``cache`` / ``sim``), wall time,
+  execution attempts, and headline result stats;
+* ``failure`` — one per point that exhausted its retry policy (the
+  same fields :class:`~repro.experiments.resilience.PointFailure`
+  records);
+* ``summary`` — totals plus a cache-counter snapshot (hits, misses,
+  stores, I/O errors).
+
+Every record validates against
+:data:`repro.observe.schema.TELEMETRY_SCHEMA`; bump
+:data:`TELEMETRY_SCHEMA_VERSION` on any breaking format change.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Optional, Union
+
+#: Format version stamped into the ``start`` record.
+TELEMETRY_SCHEMA_VERSION = 1
+
+
+class TelemetryWriter:
+    """Appends JSONL telemetry records to a file or stream.
+
+    Args:
+        target: a filesystem path (opened for writing, truncating any
+            previous stream) or an open text stream with a ``write``
+            method (left open on :meth:`close`).
+
+    Each :meth:`emit` writes one line and flushes, so a concurrently
+    tailing consumer — and a post-mortem after a killed sweep — sees
+    every record that was produced.  Writers are also context
+    managers: ``with TelemetryWriter(path) as telemetry: ...``.
+    """
+
+    def __init__(self, target: Union[str, IO[str]]):
+        if hasattr(target, "write"):
+            self._stream: Optional[IO[str]] = target  # type: ignore[assignment]
+            self._owns_stream = False
+        else:
+            self._stream = open(target, "w")
+            self._owns_stream = True
+        self.records = 0
+
+    def emit(self, record: dict) -> None:
+        """Write one telemetry record as a JSON line and flush."""
+        if self._stream is None:
+            raise ValueError("telemetry writer is closed")
+        self._stream.write(json.dumps(record, sort_keys=True))
+        self._stream.write("\n")
+        self._stream.flush()
+        self.records += 1
+
+    def close(self) -> None:
+        """Close the underlying file (no-op for caller-owned streams)."""
+        if self._stream is not None and self._owns_stream:
+            self._stream.close()
+        self._stream = None
+
+    def __enter__(self) -> "TelemetryWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -5,11 +5,17 @@ from .counters import Counters
 from .metrics import RunMetrics, bypass_rates, ipc_improvement
 from .report import format_barchart, format_table, format_percent
 from .timeline import Timeline, TimelineSample
+from .trace import EventKind, STAGE_OF, STAGES, TraceEvent, TraceRecorder
 
 __all__ = [
     "CacheStats",
     "Counters",
+    "EventKind",
     "RunMetrics",
+    "STAGE_OF",
+    "STAGES",
+    "TraceEvent",
+    "TraceRecorder",
     "bypass_rates",
     "ipc_improvement",
     "format_table",

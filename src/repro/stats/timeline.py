@@ -56,6 +56,26 @@ class Timeline:
             bypassed=counters.bypassed_reads + counters.bypassed_writes,
         ))
 
+    def finalize(self, cycle: int, counters, rf_reads: int,
+                 rf_writes: int) -> None:
+        """Record the end-of-run sample if the grid missed it.
+
+        A run whose length is not a multiple of ``interval`` would
+        otherwise silently drop its drain tail — the final
+        ``cycles % interval`` cycles (plus any residual write-queue
+        flush) would appear in no sample.  The engine calls this once
+        after the drain; it is a no-op when the last grid-aligned
+        sample already covers ``cycle``.
+        """
+        if self.samples and self.samples[-1].cycle >= cycle:
+            return
+        self.samples.append(TimelineSample(
+            cycle=cycle,
+            instructions=counters.instructions,
+            rf_accesses=rf_reads + rf_writes,
+            bypassed=counters.bypassed_reads + counters.bypassed_writes,
+        ))
+
     # -- derived series -----------------------------------------------------
 
     def ipc_series(self) -> List[float]:

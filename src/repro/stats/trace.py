@@ -1,0 +1,254 @@
+"""Cycle-level event tracing.
+
+Aggregate :class:`~repro.stats.counters.Counters` say *how many* stalls,
+evictions, or bypasses a run had; they cannot say *when* or *why*.  A
+:class:`TraceRecorder` captures typed, per-cycle events emitted by the
+engine (:mod:`repro.gpu.sm`) and the collector providers
+(:mod:`repro.core.boc`, :mod:`repro.core.rfc`) into a bounded ring
+buffer, with running per-kind / per-reason / per-warp aggregation that
+covers *every* emitted event even after the ring starts dropping old
+ones.
+
+The recorder is strictly optional: an engine constructed without one
+performs no tracing work at all (each emit site is guarded by a single
+``is not None`` check), so the untraced hot path is unchanged.
+
+Event taxonomy (``EventKind``), with the counter each reconciles to:
+
+========================  =====================================  =========
+kind                      meaning                                counter
+========================  =====================================  =========
+``issue``                 instruction entered the collectors     ``issued``
+``issue_stall``           issue blocked (reason: ``scoreboard``  ``issue_stalls_*``
+                          or ``collector``)
+``dispatch``              operands complete, sent to a unit      —
+``dispatch_stall``        dispatch blocked (reason:              ``exec_busy_stalls``
+                          ``exec_busy``)
+``bank_conflict``         RF accesses serialized by a busy bank  ``bank_conflicts``
+``boc_hit``               source operand forwarded (no RF read)  ``bypassed_reads``
+``boc_insert``            value deposited into collector store   ``boc_writes``
+``boc_evict``             value left the store (reason:          ``boc_evictions``
+                          ``capacity`` or ``slide``)             (capacity only)
+``eviction_writeback``    dirty evictee forced to write the RF   ``eviction_writebacks``
+``write_eliminated``      RF write removed (reason:              ``bypassed_writes``
+                          ``consolidated`` or ``transient``)
+``writeback``             physical RF write performed (reason:   ``rf_writes``
+                          ``granted`` or ``drain``)
+``commit``                instruction retired                    ``instructions``
+========================  =====================================  =========
+
+Every kind maps to a pipeline stage (``STAGE_OF``) for the per-stage
+rollup: ``issue``, ``collect``, ``dispatch``, or ``writeback``.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..errors import SimulationError
+
+
+class EventKind(str, enum.Enum):
+    """The typed event vocabulary (values are the wire names)."""
+
+    ISSUE = "issue"
+    ISSUE_STALL = "issue_stall"
+    DISPATCH = "dispatch"
+    DISPATCH_STALL = "dispatch_stall"
+    BANK_CONFLICT = "bank_conflict"
+    BOC_HIT = "boc_hit"
+    BOC_INSERT = "boc_insert"
+    BOC_EVICT = "boc_evict"
+    EVICTION_WRITEBACK = "eviction_writeback"
+    WRITE_ELIMINATED = "write_eliminated"
+    WRITEBACK = "writeback"
+    COMMIT = "commit"
+
+
+#: Pipeline stage of each event kind (the per-stage rollup axis).
+STAGE_OF: Dict[EventKind, str] = {
+    EventKind.ISSUE: "issue",
+    EventKind.ISSUE_STALL: "issue",
+    EventKind.DISPATCH: "dispatch",
+    EventKind.DISPATCH_STALL: "dispatch",
+    EventKind.BANK_CONFLICT: "collect",
+    EventKind.BOC_HIT: "collect",
+    EventKind.BOC_INSERT: "collect",
+    EventKind.BOC_EVICT: "collect",
+    EventKind.EVICTION_WRITEBACK: "writeback",
+    EventKind.WRITE_ELIMINATED: "writeback",
+    EventKind.WRITEBACK: "writeback",
+    EventKind.COMMIT: "writeback",
+}
+
+#: Rollup order for reports.
+STAGES: Tuple[str, ...] = ("issue", "collect", "dispatch", "writeback")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event.
+
+    ``warp`` is ``-1`` for events not owned by a warp (bank conflicts
+    are attributed to the arbitration cycle, not a requester).  Optional
+    fields are populated per kind: ``reason`` for stalls / evictions /
+    writebacks, ``register`` for operand-store and RF traffic, ``bank``
+    for bank conflicts, ``trace_index`` / ``opcode`` for instruction
+    lifecycle events.  ``count`` lets one record stand for several
+    identical simultaneous events (e.g. all conflicts of one
+    arbitration round); aggregation honours it.
+    """
+
+    cycle: int
+    kind: EventKind
+    warp: int = -1
+    reason: Optional[str] = None
+    register: Optional[int] = None
+    bank: Optional[int] = None
+    trace_index: Optional[int] = None
+    opcode: Optional[str] = None
+    count: int = 1
+
+    def as_dict(self) -> dict:
+        """A JSON-ready dict with ``None`` fields omitted."""
+        record = {"cycle": self.cycle, "kind": self.kind.value,
+                  "warp": self.warp, "count": self.count}
+        for name in ("reason", "register", "bank", "trace_index", "opcode"):
+            value = getattr(self, name)
+            if value is not None:
+                record[name] = value
+        return record
+
+
+class TraceRecorder:
+    """A bounded ring buffer of :class:`TraceEvent` with live rollups.
+
+    Args:
+        capacity: maximum retained events; older events are dropped
+            (``dropped`` counts them) while the aggregates keep covering
+            everything ever emitted.
+        kinds: optional subset of :class:`EventKind` to record; events
+            of other kinds are ignored entirely (not emitted, not
+            aggregated, not counted as dropped).
+
+    The aggregates — ``counts``, per-reason, per-warp, per-stage — are
+    maintained on emit, so they are exact over the whole run regardless
+    of ring evictions; the ring itself retains the *last* ``capacity``
+    events for inspection and export.
+    """
+
+    def __init__(self, capacity: int = 65536,
+                 kinds: Optional[Iterable[EventKind]] = None):
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.kinds = None if kinds is None else frozenset(EventKind(k) for k in kinds)
+        self.events: "deque[TraceEvent]" = deque(maxlen=capacity)
+        self.emitted = 0  # events accepted (recorded or later dropped)
+        #: total per kind, including count-weighted records.
+        self.counts: Dict[EventKind, int] = {}
+        #: total per (kind, reason); reason ``None`` for reasonless kinds.
+        self.reason_counts: Dict[Tuple[EventKind, Optional[str]], int] = {}
+        #: total per (kind, warp).
+        self.warp_counts: Dict[Tuple[EventKind, int], int] = {}
+
+    # -- recording ---------------------------------------------------------
+
+    def emit(
+        self,
+        cycle: int,
+        kind: EventKind,
+        warp: int = -1,
+        reason: Optional[str] = None,
+        register: Optional[int] = None,
+        bank: Optional[int] = None,
+        trace_index: Optional[int] = None,
+        opcode: Optional[str] = None,
+        count: int = 1,
+    ) -> None:
+        """Record one event (or ``count`` identical simultaneous ones)."""
+        if self.kinds is not None and kind not in self.kinds:
+            return
+        self.emitted += 1
+        self.counts[kind] = self.counts.get(kind, 0) + count
+        key = (kind, reason)
+        self.reason_counts[key] = self.reason_counts.get(key, 0) + count
+        wkey = (kind, warp)
+        self.warp_counts[wkey] = self.warp_counts.get(wkey, 0) + count
+        self.events.append(TraceEvent(
+            cycle=cycle, kind=kind, warp=warp, reason=reason,
+            register=register, bank=bank, trace_index=trace_index,
+            opcode=opcode, count=count,
+        ))
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted from the ring (aggregates still include them)."""
+        return self.emitted - len(self.events)
+
+    # -- aggregation -------------------------------------------------------
+
+    def count(self, kind: EventKind, reason: Optional[str] = ...,
+              ) -> int:
+        """Total occurrences of ``kind`` (optionally of one ``reason``)."""
+        kind = EventKind(kind)
+        if reason is ...:
+            return self.counts.get(kind, 0)
+        return self.reason_counts.get((kind, reason), 0)
+
+    def stage_counts(self) -> Dict[str, int]:
+        """Event totals rolled up by pipeline stage."""
+        rollup = {stage: 0 for stage in STAGES}
+        for kind, total in self.counts.items():
+            rollup[STAGE_OF[kind]] += total
+        return rollup
+
+    def warp_summary(self) -> Dict[int, Dict[str, int]]:
+        """Per-warp event totals: ``{warp: {kind_value: count}}``."""
+        summary: Dict[int, Dict[str, int]] = {}
+        for (kind, warp), total in self.warp_counts.items():
+            summary.setdefault(warp, {})[kind.value] = total
+        return summary
+
+    def commits(self, warp: Optional[int] = None) -> List[TraceEvent]:
+        """Retained ``commit`` events, optionally for one warp.
+
+        Only meaningful while the ring has not dropped events (check
+        ``dropped``); the differential-oracle harness sizes the ring to
+        the whole run before relying on this.
+        """
+        return [event for event in self.events
+                if event.kind is EventKind.COMMIT
+                and (warp is None or event.warp == warp)]
+
+    def format(self) -> str:
+        """A human-readable rollup (the ``repro trace`` summary)."""
+        lines = [f"{self.emitted} events recorded "
+                 f"({self.dropped} dropped from the ring, "
+                 f"capacity {self.capacity})"]
+        for stage in STAGES:
+            kinds = [k for k in EventKind if STAGE_OF[k] is not None
+                     and STAGE_OF[k] == stage and k in self.counts]
+            if not kinds:
+                continue
+            lines.append(f"  {stage}:")
+            for kind in kinds:
+                reasons = {
+                    reason: total
+                    for (k, reason), total in sorted(
+                        self.reason_counts.items(),
+                        key=lambda item: (item[0][1] or ""),
+                    )
+                    if k is kind and reason is not None
+                }
+                detail = ""
+                if reasons:
+                    detail = " (" + ", ".join(
+                        f"{reason}: {total}" for reason, total in reasons.items()
+                    ) + ")"
+                lines.append(f"    {kind.value:20s} {self.counts[kind]:10d}"
+                             f"{detail}")
+        return "\n".join(lines)

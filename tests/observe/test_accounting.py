@@ -1,0 +1,139 @@
+"""Property-based accounting: trace totals reconcile with Counters.
+
+Over seeded random kernels (the ``test_properties`` program strategy,
+extended to multiple warps), every aggregate the recorder maintains must
+agree exactly with the corresponding ``Counters`` field — the recorder
+is a second, independent bookkeeper of the same run, so any divergence
+is a lost or double-counted event.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import BOWConfig, WritebackPolicy
+from repro.core.bow_sm import simulate_bow, simulate_design
+from repro.isa import Instruction
+from repro.isa.opcodes import opcode_by_name
+from repro.isa.registers import Register
+from repro.kernels.trace import KernelTrace, WarpTrace
+from repro.stats.trace import EventKind, TraceRecorder
+
+_ALU_OPS = ["mov", "add", "sub", "mul", "mad", "and", "or", "xor",
+            "shl", "shr", "min", "max", "sel"]
+_REG = st.integers(min_value=0, max_value=11)
+
+
+@st.composite
+def any_instruction(draw):
+    kind = draw(st.integers(min_value=0, max_value=9))
+    if kind <= 5:
+        name = draw(st.sampled_from(_ALU_OPS))
+        opcode = opcode_by_name(name)
+        sources = tuple(
+            Register(draw(_REG)) for _ in range(opcode.num_sources)
+        )
+        return Instruction(
+            opcode=opcode,
+            dest=Register(draw(_REG)),
+            sources=sources,
+            immediate=draw(st.integers(min_value=0, max_value=0xFFFF)),
+        )
+    if kind <= 7:
+        return Instruction(
+            opcode=opcode_by_name("ld.global"),
+            dest=Register(draw(_REG)),
+            sources=(Register(draw(_REG)),),
+        )
+    if kind == 8:
+        return Instruction(
+            opcode=opcode_by_name("st.global"),
+            sources=(Register(draw(_REG)), Register(draw(_REG))),
+        )
+    return Instruction(opcode=opcode_by_name("nop"))
+
+
+@st.composite
+def kernel_traces(draw, max_warps=3, max_size=20):
+    warps = draw(st.integers(min_value=1, max_value=max_warps))
+    return KernelTrace(name="prop", warps=[
+        WarpTrace(warp_id, draw(st.lists(any_instruction(), min_size=1,
+                                         max_size=max_size)))
+        for warp_id in range(warps)
+    ])
+
+
+def _reconcile(recorder: TraceRecorder, counters) -> None:
+    """The full event-kind <-> counter correspondence table."""
+    assert recorder.count(EventKind.ISSUE) == counters.issued
+    assert recorder.count(EventKind.COMMIT) == counters.instructions
+    assert (recorder.count(EventKind.ISSUE_STALL, "scoreboard")
+            == counters.issue_stalls_scoreboard)
+    assert (recorder.count(EventKind.ISSUE_STALL, "collector")
+            == counters.issue_stalls_collector)
+    assert (recorder.count(EventKind.DISPATCH_STALL, "exec_busy")
+            == counters.exec_busy_stalls)
+    assert (recorder.count(EventKind.BANK_CONFLICT)
+            == counters.bank_conflicts)
+    assert recorder.count(EventKind.BOC_HIT) == counters.bypassed_reads
+    assert recorder.count(EventKind.BOC_INSERT) == counters.boc_writes
+    assert (recorder.count(EventKind.BOC_EVICT, "capacity")
+            == counters.boc_evictions)
+    assert (recorder.count(EventKind.EVICTION_WRITEBACK)
+            == counters.eviction_writebacks)
+    assert (recorder.count(EventKind.WRITE_ELIMINATED)
+            == counters.bypassed_writes)
+    assert recorder.count(EventKind.WRITEBACK) == counters.rf_writes
+    # Structural sanity on top of the exact identities.
+    assert recorder.count(EventKind.ISSUE) == recorder.count(EventKind.COMMIT)
+    assert (recorder.count(EventKind.BOC_EVICT, "capacity")
+            >= counters.eviction_writebacks)
+
+
+class TestWriteThroughReconciliation:
+    @given(kernel_traces(), st.integers(min_value=1, max_value=5),
+           st.integers(min_value=0, max_value=3))
+    @settings(max_examples=30, deadline=None)
+    def test_totals_reconcile(self, trace, window, seed):
+        recorder = TraceRecorder()
+        bow = BOWConfig(window_size=window,
+                        writeback=WritebackPolicy.WRITE_THROUGH)
+        result = simulate_bow(trace, bow=bow, memory_seed=seed,
+                              recorder=recorder)
+        _reconcile(recorder, result.counters)
+        # Write-through never eliminates writes nor evicts dirty values.
+        assert recorder.count(EventKind.WRITE_ELIMINATED) == 0
+        assert recorder.count(EventKind.EVICTION_WRITEBACK) == 0
+
+
+class TestWriteBackReconciliation:
+    @given(kernel_traces(), st.integers(min_value=1, max_value=4),
+           st.integers(min_value=1, max_value=5))
+    @settings(max_examples=30, deadline=None)
+    def test_totals_reconcile_under_capacity_pressure(self, trace, window,
+                                                      capacity):
+        # Tiny operand stores force capacity evictions and their
+        # writebacks, exercising the eviction accounting.
+        recorder = TraceRecorder()
+        bow = BOWConfig(window_size=window,
+                        writeback=WritebackPolicy.WRITE_BACK,
+                        capacity_entries=capacity)
+        result = simulate_bow(trace, bow=bow, memory_seed=1,
+                              recorder=recorder)
+        _reconcile(recorder, result.counters)
+
+
+class TestCrossDesignInvariants:
+    @given(kernel_traces(max_warps=2, max_size=15),
+           st.integers(min_value=0, max_value=3))
+    @settings(max_examples=15, deadline=None)
+    def test_identical_instructions_across_designs(self, trace, seed):
+        totals = set()
+        for design in ("baseline", "bow", "bow-wb"):
+            recorder = TraceRecorder(kinds={EventKind.COMMIT})
+            result = simulate_design(design, trace, window_size=3,
+                                     memory_seed=seed, recorder=recorder)
+            assert (recorder.count(EventKind.COMMIT)
+                    == result.counters.instructions)
+            totals.add(recorder.count(EventKind.COMMIT))
+        assert len(totals) == 1

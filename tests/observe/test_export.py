@@ -1,0 +1,85 @@
+"""Tests for the Chrome-trace / CSV / JSONL exporters."""
+
+import csv
+import json
+
+import pytest
+
+from repro.observe.export import (
+    CSV_COLUMNS,
+    chrome_trace,
+    write_chrome_trace,
+    write_events_csv,
+    write_events_jsonl,
+)
+from repro.stats.trace import EventKind, TraceRecorder
+
+
+@pytest.fixture
+def recorder():
+    rec = TraceRecorder()
+    rec.emit(1, EventKind.ISSUE, warp=0, trace_index=0, opcode="MOV")
+    rec.emit(2, EventKind.ISSUE_STALL, warp=1, reason="scoreboard")
+    rec.emit(3, EventKind.BANK_CONFLICT, bank=2, count=3)
+    rec.emit(4, EventKind.WRITEBACK, warp=0, reason="granted", register=5,
+             bank=1)
+    rec.emit(5, EventKind.COMMIT, warp=0, trace_index=0, opcode="MOV")
+    return rec
+
+
+class TestChromeTrace:
+    def test_metadata_names_process_and_warps(self, recorder):
+        doc = chrome_trace(recorder, process_name="TEST/bow")
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in meta}
+        assert "TEST/bow" in names
+        assert "warp 0" in names
+        assert "sm-wide" in names  # the bank-conflict lane (warp -1)
+
+    def test_one_instant_event_per_retained_record(self, recorder):
+        doc = chrome_trace(recorder)
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert len(instants) == len(recorder.events)
+        by_name = {e["name"]: e for e in instants}
+        conflict = by_name["bank_conflict"]
+        assert conflict["ts"] == 3
+        assert conflict["tid"] == 0  # warp -1 maps to lane 0
+        assert conflict["args"]["count"] == 3
+        assert conflict["args"]["bank"] == 2
+
+    def test_other_data_carries_aggregates(self, recorder):
+        doc = chrome_trace(recorder)
+        other = doc["otherData"]
+        assert other["emitted"] == 5
+        assert other["dropped"] == 0
+        assert other["counts"]["bank_conflict"] == 3
+
+    def test_write_round_trips_through_json(self, recorder, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(recorder, str(path))
+        assert json.loads(path.read_text()) == chrome_trace(recorder)
+
+
+class TestCsv:
+    def test_header_and_rows(self, recorder, tmp_path):
+        path = tmp_path / "events.csv"
+        write_events_csv(recorder, str(path))
+        with open(path, newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == list(CSV_COLUMNS)
+        assert len(rows) == 1 + len(recorder.events)
+        stall = rows[2]
+        assert stall[rows[0].index("kind")] == "issue_stall"
+        assert stall[rows[0].index("reason")] == "scoreboard"
+        assert stall[rows[0].index("register")] == ""  # absent field
+
+
+class TestJsonl:
+    def test_one_object_per_event_none_omitted(self, recorder, tmp_path):
+        path = tmp_path / "events.jsonl"
+        write_events_jsonl(recorder, str(path))
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        assert records == [event.as_dict() for event in recorder.events]
+        assert "reason" not in records[0]  # ISSUE has no reason
+        assert records[1]["reason"] == "scoreboard"

@@ -1,0 +1,129 @@
+"""Unit tests for the TraceRecorder ring buffer and its rollups."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.stats.trace import (
+    STAGE_OF,
+    STAGES,
+    EventKind,
+    TraceEvent,
+    TraceRecorder,
+)
+
+
+class TestTaxonomy:
+    def test_every_kind_has_a_stage(self):
+        for kind in EventKind:
+            assert STAGE_OF[kind] in STAGES
+
+    def test_wire_names_are_unique(self):
+        values = [kind.value for kind in EventKind]
+        assert len(values) == len(set(values))
+
+
+class TestEvent:
+    def test_as_dict_omits_none_fields(self):
+        event = TraceEvent(cycle=3, kind=EventKind.ISSUE, warp=1)
+        assert event.as_dict() == {
+            "cycle": 3, "kind": "issue", "warp": 1, "count": 1,
+        }
+
+    def test_as_dict_keeps_populated_fields(self):
+        event = TraceEvent(cycle=9, kind=EventKind.WRITEBACK, warp=0,
+                           reason="granted", register=4, bank=2)
+        record = event.as_dict()
+        assert record["reason"] == "granted"
+        assert record["register"] == 4
+        assert record["bank"] == 2
+
+
+class TestRing:
+    def test_capacity_validated(self):
+        with pytest.raises(SimulationError):
+            TraceRecorder(capacity=0)
+
+    def test_ring_drops_oldest_but_aggregates_cover_all(self):
+        recorder = TraceRecorder(capacity=4)
+        for cycle in range(10):
+            recorder.emit(cycle, EventKind.ISSUE, warp=0)
+        assert recorder.emitted == 10
+        assert recorder.dropped == 6
+        assert [event.cycle for event in recorder.events] == [6, 7, 8, 9]
+        assert recorder.count(EventKind.ISSUE) == 10
+
+    def test_kinds_filter_ignores_other_kinds_entirely(self):
+        recorder = TraceRecorder(kinds={EventKind.COMMIT})
+        recorder.emit(1, EventKind.ISSUE, warp=0)
+        recorder.emit(2, EventKind.COMMIT, warp=0)
+        assert recorder.emitted == 1
+        assert recorder.dropped == 0
+        assert recorder.count(EventKind.ISSUE) == 0
+        assert recorder.count(EventKind.COMMIT) == 1
+
+    def test_kinds_filter_accepts_wire_names(self):
+        recorder = TraceRecorder(kinds=["commit"])
+        assert recorder.kinds == frozenset({EventKind.COMMIT})
+
+
+class TestAggregation:
+    def test_count_is_weighted(self):
+        recorder = TraceRecorder()
+        recorder.emit(5, EventKind.BANK_CONFLICT, bank=1, count=3)
+        recorder.emit(6, EventKind.BANK_CONFLICT, bank=0, count=2)
+        assert recorder.count(EventKind.BANK_CONFLICT) == 5
+        assert len(recorder.events) == 2
+
+    def test_reason_breakdown(self):
+        recorder = TraceRecorder()
+        recorder.emit(1, EventKind.ISSUE_STALL, warp=0, reason="scoreboard")
+        recorder.emit(2, EventKind.ISSUE_STALL, warp=0, reason="scoreboard")
+        recorder.emit(3, EventKind.ISSUE_STALL, warp=1, reason="collector")
+        assert recorder.count(EventKind.ISSUE_STALL) == 3
+        assert recorder.count(EventKind.ISSUE_STALL, "scoreboard") == 2
+        assert recorder.count(EventKind.ISSUE_STALL, "collector") == 1
+        assert recorder.count(EventKind.ISSUE_STALL, "nonesuch") == 0
+
+    def test_stage_counts_roll_up_by_pipeline_stage(self):
+        recorder = TraceRecorder()
+        recorder.emit(1, EventKind.ISSUE, warp=0)
+        recorder.emit(1, EventKind.ISSUE_STALL, warp=1, reason="scoreboard")
+        recorder.emit(2, EventKind.BOC_HIT, warp=0, register=3)
+        rollup = recorder.stage_counts()
+        assert rollup["issue"] == 2
+        assert rollup["collect"] == 1
+        assert rollup["dispatch"] == 0
+        assert rollup["writeback"] == 0
+
+    def test_warp_summary(self):
+        recorder = TraceRecorder()
+        recorder.emit(1, EventKind.COMMIT, warp=0)
+        recorder.emit(2, EventKind.COMMIT, warp=0)
+        recorder.emit(3, EventKind.COMMIT, warp=1)
+        summary = recorder.warp_summary()
+        assert summary[0]["commit"] == 2
+        assert summary[1]["commit"] == 1
+
+    def test_commits_filterable_by_warp(self):
+        recorder = TraceRecorder()
+        recorder.emit(1, EventKind.COMMIT, warp=0, trace_index=0)
+        recorder.emit(2, EventKind.ISSUE, warp=1)
+        recorder.emit(3, EventKind.COMMIT, warp=1, trace_index=0)
+        assert len(recorder.commits()) == 2
+        assert [event.warp for event in recorder.commits(warp=1)] == [1]
+
+
+class TestFormat:
+    def test_format_mentions_drops_and_reasons(self):
+        recorder = TraceRecorder(capacity=2)
+        for cycle in range(5):
+            recorder.emit(cycle, EventKind.ISSUE_STALL, warp=0,
+                          reason="scoreboard")
+        text = recorder.format()
+        assert "5 events recorded" in text
+        assert "3 dropped" in text
+        assert "scoreboard: 5" in text
+
+    def test_format_empty_recorder(self):
+        text = TraceRecorder().format()
+        assert "0 events recorded" in text

@@ -1,0 +1,152 @@
+"""Schema tests: real exporter output validates, malformed input fails.
+
+Both validator paths are covered: the ``jsonschema`` package (present
+in CI) and the built-in fallback interpreter ``_check`` (exercised
+directly so the no-dependency path cannot rot).
+"""
+
+import json
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.observe.export import chrome_trace, write_events_jsonl
+from repro.observe.schema import (
+    CHROME_TRACE_SCHEMA,
+    EVENT_SCHEMA,
+    TELEMETRY_SCHEMA,
+    _check,
+    validate_chrome_trace,
+    validate_event,
+    validate_telemetry_record,
+)
+from repro.stats.trace import EventKind, TraceRecorder
+
+
+@pytest.fixture
+def recorder():
+    rec = TraceRecorder()
+    rec.emit(1, EventKind.ISSUE, warp=0, trace_index=0, opcode="MOV")
+    rec.emit(2, EventKind.ISSUE_STALL, warp=0, reason="collector")
+    rec.emit(3, EventKind.BANK_CONFLICT, bank=1, count=2)
+    rec.emit(4, EventKind.COMMIT, warp=0, trace_index=0, opcode="MOV")
+    return rec
+
+
+class TestRealOutputValidates:
+    def test_chrome_trace_document(self, recorder):
+        validate_chrome_trace(chrome_trace(recorder))
+
+    def test_events_jsonl(self, recorder, tmp_path):
+        path = tmp_path / "events.jsonl"
+        write_events_jsonl(recorder, str(path))
+        for line in path.read_text().splitlines():
+            validate_event(json.loads(line))
+
+    def test_simulated_trace_validates(self, oracle_runs):
+        point = oracle_runs[("NW", "bow")]
+        validate_chrome_trace(chrome_trace(point.recorder))
+
+
+class TestRejection:
+    def test_unknown_event_kind(self):
+        with pytest.raises(SchemaError):
+            validate_event({"cycle": 1, "kind": "teleport", "warp": 0,
+                            "count": 1})
+
+    def test_missing_required_field(self):
+        with pytest.raises(SchemaError):
+            validate_event({"cycle": 1, "kind": "issue", "warp": 0})
+
+    def test_unexpected_property(self):
+        with pytest.raises(SchemaError):
+            validate_event({"cycle": 1, "kind": "issue", "warp": 0,
+                            "count": 1, "color": "red"})
+
+    def test_negative_cycle(self):
+        with pytest.raises(SchemaError):
+            validate_event({"cycle": -1, "kind": "issue", "warp": 0,
+                            "count": 1})
+
+    def test_bool_is_not_an_integer(self):
+        with pytest.raises(SchemaError):
+            validate_event({"cycle": True, "kind": "issue", "warp": 0,
+                            "count": 1})
+
+    def test_chrome_trace_rejects_bad_phase(self, recorder):
+        doc = chrome_trace(recorder)
+        doc["traceEvents"][-1]["ph"] = "X"
+        with pytest.raises(SchemaError):
+            validate_chrome_trace(doc)
+
+    def test_telemetry_rejects_unknown_type(self):
+        with pytest.raises(SchemaError):
+            validate_telemetry_record({"type": "gossip"})
+
+    def test_telemetry_rejects_bad_source(self):
+        with pytest.raises(SchemaError):
+            validate_telemetry_record({
+                "type": "point", "benchmark": "NW", "design": "bow",
+                "window": 3, "source": "wishful", "seconds": 0.1,
+                "attempts": 1,
+            })
+
+
+class TestFallbackInterpreter:
+    """``_check`` must agree with jsonschema on these documents."""
+
+    def test_accepts_valid_event(self):
+        _check({"cycle": 1, "kind": "issue", "warp": 0, "count": 1},
+               EVENT_SCHEMA, "event")
+
+    def test_accepts_valid_telemetry_point(self):
+        _check({"type": "point", "benchmark": "NW", "design": "bow",
+                "window": 3, "source": "sim", "seconds": 0.5,
+                "attempts": 1, "cycles": 100, "instructions": 50,
+                "ipc": 0.5}, TELEMETRY_SCHEMA, "telemetry")
+
+    def test_oneof_requires_exactly_one_match(self):
+        with pytest.raises(SchemaError) as excinfo:
+            _check({"type": "gossip"}, TELEMETRY_SCHEMA, "telemetry")
+        assert "oneOf" in str(excinfo.value)
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(SchemaError):
+            _check({"cycle": "one", "kind": "issue", "warp": 0, "count": 1},
+                   EVENT_SCHEMA, "event")
+
+    def test_rejects_below_minimum(self):
+        with pytest.raises(SchemaError):
+            _check({"cycle": 1, "kind": "issue", "warp": -2, "count": 1},
+                   EVENT_SCHEMA, "event")
+
+    def test_chrome_document_via_fallback(self):
+        recorder = TraceRecorder()
+        recorder.emit(1, EventKind.ISSUE, warp=0)
+        _check(chrome_trace(recorder), CHROME_TRACE_SCHEMA, "chrome")
+
+    def test_agrees_with_jsonschema_on_corpus(self, recorder):
+        jsonschema = pytest.importorskip("jsonschema")
+        corpus = [
+            ({"cycle": 1, "kind": "issue", "warp": 0, "count": 1},
+             EVENT_SCHEMA),
+            ({"cycle": 1, "kind": "nope", "warp": 0, "count": 1},
+             EVENT_SCHEMA),
+            ({"type": "summary", "wall_seconds": 1.0, "points": 4,
+              "ok": True, "simulated": 4, "from_cache": 0, "from_memo": 0,
+              "failed": 0, "cache": {}}, TELEMETRY_SCHEMA),
+            ({"type": "summary"}, TELEMETRY_SCHEMA),
+            (chrome_trace(recorder), CHROME_TRACE_SCHEMA),
+        ]
+        for instance, schema in corpus:
+            try:
+                jsonschema.validate(instance, schema)
+                reference_ok = True
+            except jsonschema.ValidationError:
+                reference_ok = False
+            try:
+                _check(instance, schema, "corpus")
+                fallback_ok = True
+            except SchemaError:
+                fallback_ok = False
+            assert fallback_ok == reference_ok, instance

@@ -1,0 +1,167 @@
+"""Tests for the sweep-telemetry stream (writer + run_grid wiring)."""
+
+import io
+import json
+
+import pytest
+
+from repro.experiments.grid import run_grid
+from repro.experiments.runner import RunScale, clear_cache, set_cache
+from repro.observe.schema import validate_telemetry_record
+from repro.observe.telemetry import TELEMETRY_SCHEMA_VERSION, TelemetryWriter
+
+SCALE = RunScale(num_warps=2, trace_scale=0.1)
+
+
+@pytest.fixture(autouse=True)
+def isolated_caches():
+    clear_cache()
+    previous = set_cache(None)
+    yield
+    set_cache(previous)
+    clear_cache()
+
+
+def _records(stream: io.StringIO):
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+class TestWriter:
+    def test_path_target_owns_the_file(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        with TelemetryWriter(str(path)) as telemetry:
+            telemetry.emit({"type": "start"})
+            telemetry.emit({"type": "summary"})
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert telemetry.records == 2
+        assert json.loads(lines[0]) == {"type": "start"}
+
+    def test_stream_target_left_open(self):
+        stream = io.StringIO()
+        writer = TelemetryWriter(stream)
+        writer.emit({"a": 1})
+        writer.close()
+        assert not stream.closed
+        assert json.loads(stream.getvalue()) == {"a": 1}
+
+    def test_emit_after_close_raises(self, tmp_path):
+        writer = TelemetryWriter(str(tmp_path / "t.jsonl"))
+        writer.close()
+        with pytest.raises(ValueError):
+            writer.emit({})
+
+    def test_lines_are_flushed_immediately(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        writer = TelemetryWriter(str(path))
+        writer.emit({"type": "start"})
+        # Visible to a tailing reader before close.
+        assert path.read_text().strip()
+        writer.close()
+
+
+class TestGridTelemetry:
+    def test_stream_shape_and_validity(self):
+        stream = io.StringIO()
+        run_grid(("NW", "BFS"), ("baseline", "bow"), (3,), scale=SCALE,
+                 telemetry=TelemetryWriter(stream))
+        records = _records(stream)
+        for record in records:
+            validate_telemetry_record(record)
+        types = [record["type"] for record in records]
+        assert types[0] == "start"
+        assert types[-1] == "summary"
+        assert types.count("point") == 4
+
+    def test_start_record_describes_the_grid(self):
+        stream = io.StringIO()
+        run_grid(("NW",), ("baseline", "bow"), (3,), scale=SCALE,
+                 telemetry=TelemetryWriter(stream))
+        start = _records(stream)[0]
+        assert start["schema"] == TELEMETRY_SCHEMA_VERSION
+        assert start["points"] == 2
+        assert start["benchmarks"] == ["NW"]
+        assert start["designs"] == ["baseline", "bow"]
+        assert start["scale"]["num_warps"] == 2
+
+    def test_point_records_carry_provenance_and_results(self):
+        stream = io.StringIO()
+        grid = run_grid(("NW",), ("bow",), (3,), scale=SCALE,
+                        telemetry=TelemetryWriter(stream))
+        point = [r for r in _records(stream) if r["type"] == "point"][0]
+        assert point["benchmark"] == "NW"
+        assert point["design"] == "bow"
+        assert point["source"] == "sim"
+        assert point["attempts"] >= 1
+        key = ("NW", "bow", 3)
+        assert point["cycles"] == grid.results[key].counters.cycles
+        assert point["ipc"] == pytest.approx(grid.results[key].ipc)
+
+    def test_memo_hits_report_zero_attempts(self):
+        stream = io.StringIO()
+        run_grid(("NW",), ("baseline",), (3,), scale=SCALE)
+        run_grid(("NW",), ("baseline",), (3,), scale=SCALE,
+                 telemetry=TelemetryWriter(stream))
+        point = [r for r in _records(stream) if r["type"] == "point"][0]
+        assert point["source"] == "memo"
+        assert point["attempts"] == 0
+
+    def test_summary_totals(self):
+        stream = io.StringIO()
+        run_grid(("NW",), ("baseline", "bow"), (3,), scale=SCALE,
+                 telemetry=TelemetryWriter(stream))
+        summary = _records(stream)[-1]
+        assert summary["ok"] is True
+        assert summary["points"] == 2
+        assert summary["simulated"] == 2
+        assert summary["failed"] == 0
+        assert summary["wall_seconds"] >= 0
+
+    def test_no_telemetry_keeps_grid_behaviour(self):
+        grid = run_grid(("NW",), ("baseline",), (3,), scale=SCALE)
+        assert grid.simulated == 1
+
+
+class TestFailureTelemetry:
+    def test_failures_streamed_and_summary_not_ok(self, tmp_path):
+        from repro.testing.faults import FaultSpec, injected_faults
+
+        stream = io.StringIO()
+        with injected_faults(7, tmp_path / "faults",
+                             [FaultSpec("raise", times=0,
+                                        match="NW/bow IW3")]):
+            grid = run_grid(("NW",), ("baseline", "bow"), (3,),
+                            scale=RunScale(num_warps=2, trace_scale=0.1,
+                                           memory_seed=7),
+                            strict=False,
+                            telemetry=TelemetryWriter(stream))
+        records = _records(stream)
+        for record in records:
+            validate_telemetry_record(record)
+        failures = [r for r in records if r["type"] == "failure"]
+        assert len(failures) == len(grid.failures) == 1
+        failure = failures[0]
+        assert failure["label"] == "NW/bow IW3"
+        assert failure["kind"] == "permanent"
+        assert failure["attempts"] >= 1
+        summary = records[-1]
+        assert summary["ok"] is False
+        assert summary["failed"] == 1
+
+    def test_strict_failure_still_writes_summary(self, tmp_path):
+        from repro.errors import ExperimentError
+        from repro.testing.faults import FaultSpec, injected_faults
+
+        stream = io.StringIO()
+        with injected_faults(7, tmp_path / "faults",
+                             [FaultSpec("raise", times=0,
+                                        match="NW/bow IW3")]):
+            with pytest.raises(ExperimentError):
+                run_grid(("NW",), ("bow",), (3,),
+                         scale=RunScale(num_warps=2, trace_scale=0.1,
+                                        memory_seed=7),
+                         strict=True,
+                         telemetry=TelemetryWriter(stream))
+        records = _records(stream)
+        assert records[-1]["type"] == "summary"
+        assert records[-1]["ok"] is False

@@ -35,6 +35,55 @@ class TestSampling:
             Timeline(interval=0)
 
 
+class TestFinalize:
+    def test_appends_drain_tail_sample(self):
+        timeline = Timeline(interval=10)
+        timeline.maybe_sample(10, counters(instructions=3), 2, 1)
+        timeline.finalize(17, counters(instructions=9), 4, 3)
+        assert [s.cycle for s in timeline.samples] == [10, 17]
+        assert timeline.samples[-1].instructions == 9
+
+    def test_noop_when_run_ends_on_the_grid(self):
+        timeline = Timeline(interval=10)
+        timeline.maybe_sample(10, counters(instructions=3), 2, 1)
+        timeline.finalize(10, counters(instructions=3), 2, 1)
+        assert [s.cycle for s in timeline.samples] == [10]
+
+    def test_samples_even_when_run_shorter_than_interval(self):
+        timeline = Timeline(interval=100)
+        timeline.finalize(7, counters(instructions=4), 1, 1)
+        assert [s.cycle for s in timeline.samples] == [7]
+
+    def test_engine_run_ends_with_final_cycle_sample(self):
+        # Regression: runs whose length is not a multiple of the
+        # sampling interval used to lose their drain tail entirely.
+        trace = KernelTrace(name="t", warps=[
+            WarpTrace(0, parse_program("""
+                mov.u32 $r1, 0x1
+                add.u32 $r2, $r1, $r1
+                st.global.u32 [$r2], $r1
+            """))
+        ])
+        timeline = Timeline(interval=1000)  # way past the run length
+        engine = SMEngine(trace, timeline=timeline)
+        result = engine.run()
+        assert timeline.samples
+        assert timeline.samples[-1].cycle == result.counters.cycles
+        assert (timeline.samples[-1].instructions
+                == result.counters.instructions)
+
+    def test_engine_tail_not_duplicated_on_aligned_runs(self):
+        trace = KernelTrace(name="t", warps=[
+            WarpTrace(0, parse_program("mov.u32 $r1, 0x1"))
+        ])
+        timeline = Timeline(interval=1)  # every cycle is on the grid
+        engine = SMEngine(trace, timeline=timeline)
+        result = engine.run()
+        cycles = [s.cycle for s in timeline.samples]
+        assert len(cycles) == len(set(cycles))
+        assert cycles[-1] == result.counters.cycles
+
+
 class TestDerivedSeries:
     def _timeline(self):
         timeline = Timeline(interval=10)

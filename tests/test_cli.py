@@ -111,6 +111,99 @@ class TestSweep:
         assert "comma-separated integers" in capsys.readouterr().err
 
 
+class TestSweepTelemetry:
+    @pytest.fixture(autouse=True)
+    def isolated_caches(self):
+        from repro.experiments.runner import clear_cache, set_cache
+
+        clear_cache()
+        previous = set_cache(None)
+        yield
+        set_cache(previous)
+        clear_cache()
+
+    def test_telemetry_written_and_valid(self, tmp_path, capsys):
+        import json
+
+        from repro.observe.schema import validate_telemetry_record
+
+        path = tmp_path / "telemetry.jsonl"
+        assert main(["sweep", "BFS", "--designs", "baseline,bow",
+                     "--warps", "2", "--scale", "0.1", "--no-cache",
+                     "--telemetry", str(path)]) == 0
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        for record in records:
+            validate_telemetry_record(record)
+        assert [r["type"] for r in records] == [
+            "start", "point", "point", "summary",
+        ]
+        assert "telemetry: 4 record(s)" in capsys.readouterr().err
+
+
+class TestTrace:
+    def test_trace_prints_rollup(self, capsys):
+        assert main(["trace", "BFS", "--warps", "2", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "events recorded" in out
+        assert "issue" in out
+        assert "boc_hit" in out  # bow is the default design
+
+    def test_trace_exports_chrome_json(self, tmp_path, capsys):
+        import json
+
+        from repro.observe.schema import validate_chrome_trace
+
+        path = tmp_path / "trace.json"
+        assert main(["trace", "BFS", "--warps", "2", "--scale", "0.1",
+                     "--out", str(path)]) == 0
+        validate_chrome_trace(json.loads(path.read_text()))
+        assert "wrote" in capsys.readouterr().out
+
+    def test_trace_exports_jsonl_and_csv(self, tmp_path):
+        import json
+
+        from repro.observe.schema import validate_event
+
+        jsonl = tmp_path / "events.jsonl"
+        assert main(["trace", "BFS", "--warps", "2", "--scale", "0.1",
+                     "--format", "jsonl", "--out", str(jsonl)]) == 0
+        for line in jsonl.read_text().splitlines():
+            validate_event(json.loads(line))
+        csv_path = tmp_path / "events.csv"
+        assert main(["trace", "BFS", "--warps", "2", "--scale", "0.1",
+                     "--format", "csv", "--out", str(csv_path)]) == 0
+        header = csv_path.read_text().splitlines()[0]
+        assert header.startswith("cycle,kind,warp")
+
+    def test_trace_kinds_filter(self, capsys):
+        assert main(["trace", "BFS", "--warps", "2", "--scale", "0.1",
+                     "--kinds", "commit,issue"]) == 0
+        out = capsys.readouterr().out
+        assert "commit" in out
+        assert "boc_hit" not in out
+
+    def test_trace_bad_kinds_rejected(self, capsys):
+        assert main(["trace", "BFS", "--warps", "2", "--scale", "0.1",
+                     "--kinds", "teleport"]) == 2
+        assert "teleport" not in capsys.readouterr().out
+
+    def test_trace_bad_capacity_rejected(self, capsys):
+        assert main(["trace", "BFS", "--warps", "2", "--scale", "0.1",
+                     "--capacity", "0"]) == 2
+        assert "--capacity" in capsys.readouterr().err
+
+    def test_trace_unknown_design_fails_cleanly(self, capsys):
+        assert main(["trace", "BFS", "--design", "magic",
+                     "--warps", "2", "--scale", "0.1"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_trace_hinted_design_runs(self, capsys):
+        assert main(["trace", "BFS", "--design", "bow-wr",
+                     "--warps", "2", "--scale", "0.1"]) == 0
+        assert "write_eliminated" in capsys.readouterr().out
+
+
 class TestSweepResilience:
     ARGV = ["sweep", "BFS", "NW", "--designs", "baseline,bow",
             "--warps", "2", "--scale", "0.1"]
