@@ -1,0 +1,51 @@
+"""Hot-loop micro-benchmark: raw engine throughput per design.
+
+Unlike the figure benches (which time whole experiment drivers, caches
+included), this bench pins the cost of one uncached ``SMEngine.run`` on
+the QUICK-scale SAD trace for each provider family: the baseline OCU
+pool, BOW write-through, hinted BOW-WR, and the RFC comparison point.
+``cycles_per_sec`` in ``extra_info`` is the figure of merit — compare
+it across commits to catch timing-model slowdowns before they multiply
+across a sweep grid.
+
+The trace is built once outside the timed region (trace generation is
+memoized elsewhere and is not what this bench guards).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bow_sm import simulate_design
+from repro.experiments.runner import QUICK, benchmark_trace, design_spec
+
+#: The register-hungry Parboil kernel — the paper's stress case, and
+#: the slowest QUICK-scale point, so regressions show up loudest here.
+BENCH = "SAD"
+WINDOW = 3
+
+DESIGNS = ("baseline", "bow", "bow-wr", "rfc")
+
+
+@pytest.mark.parametrize("design", DESIGNS)
+def test_engine_throughput(benchmark, design):
+    spec = design_spec(design)
+    trace = benchmark_trace(
+        BENCH, QUICK, window_size=WINDOW if spec.hinted else None
+    )
+
+    def run():
+        return simulate_design(
+            design, trace, window_size=WINDOW,
+            memory_seed=QUICK.memory_seed,
+        )
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1,
+                                warmup_rounds=1)
+    cycles = result.counters.cycles
+    assert cycles > 0
+    benchmark.extra_info["design"] = design
+    benchmark.extra_info["cycles"] = cycles
+    benchmark.extra_info["cycles_per_sec"] = round(
+        cycles / benchmark.stats.stats.min
+    )

@@ -2,7 +2,6 @@
 
 from conftest import run_once
 
-import pytest
 
 from repro.experiments.ablations import reorder_study, warp_scaling
 from repro.experiments.simt_study import simt_suite_study

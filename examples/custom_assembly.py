@@ -10,7 +10,7 @@ Usage::
     python examples/custom_assembly.py
 """
 
-from repro import WritebackPolicy, BOWConfig, simulate_design
+from repro import simulate_design
 from repro.compiler.writeback import classify_linear_writes
 from repro.gpu.reference import execute_reference
 from repro.isa import parse_program

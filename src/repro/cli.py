@@ -2,7 +2,8 @@
 
 Commands:
 
-* ``list``                      — benchmarks and experiments available.
+* ``list``                      — benchmarks and experiments available
+  (``--designs`` adds the design registry).
 * ``run BENCH [--design D]``    — simulate one benchmark, print metrics.
 * ``sweep [BENCH ...]``         — run a benchmark x design x IW grid in
   parallel (``--jobs``) with a persistent on-disk run cache
@@ -44,13 +45,15 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=__version__)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list benchmarks and experiments")
+    list_cmd = sub.add_parser("list", help="list benchmarks and experiments")
+    list_cmd.add_argument("--designs", action="store_true",
+                          help="also list the registered designs")
 
     run = sub.add_parser("run", help="simulate one benchmark")
     run.add_argument("benchmark")
     run.add_argument("--design", default="bow",
-                     help="baseline | bow | bow-wb | bow-wr | "
-                          "bow-wr-half | rfc")
+                     help="a registered design name "
+                          "(see `repro list --designs`; default: bow)")
     run.add_argument("--window", type=int, default=3)
     run.add_argument("--warps", type=int, default=16)
     run.add_argument("--scale", type=float, default=0.25)
@@ -104,8 +107,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "trace", help="simulate one benchmark with cycle-level tracing")
     trace.add_argument("benchmark")
     trace.add_argument("--design", default="bow",
-                       help="baseline | bow | bow-wb | bow-wr | "
-                            "bow-wr-half | rfc")
+                       help="a registered design name "
+                            "(see `repro list --designs`; default: bow)")
     trace.add_argument("--window", type=int, default=3)
     trace.add_argument("--warps", type=int, default=16)
     trace.add_argument("--scale", type=float, default=0.25)
@@ -146,7 +149,7 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_list() -> int:
+def _cmd_list(args) -> int:
     from .experiments.registry import EXPERIMENTS
     from .kernels.suites import BENCHMARKS
 
@@ -156,14 +159,26 @@ def _cmd_list() -> int:
     print("\nExperiments (paper artifacts):")
     for key, (description, _) in EXPERIMENTS.items():
         print(f"  {key:8s} {description}")
+    if args.designs:
+        from .core.designs import design_specs
+
+        print("\nDesigns (registry):")
+        for spec in design_specs():
+            flags = ",".join(
+                flag for flag, on in
+                (("hinted", spec.hinted), ("windowless", spec.windowless))
+                if on
+            ) or "-"
+            print(f"  {spec.name:12s} {flags:18s} {spec.description}")
     return 0
 
 
 def _cmd_run(args) -> int:
     from .energy import EnergyModel
-    from .experiments.runner import RunScale, run_design
+    from .experiments.runner import RunScale, run_design, validate_design
     from .stats.report import format_percent
 
+    validate_design(args.design)
     scale = RunScale(num_warps=args.warps, trace_scale=args.scale,
                      memory_seed=args.seed)
     base = run_design(args.benchmark, "baseline", scale=scale)
@@ -251,12 +266,12 @@ def _cmd_sweep(args) -> int:
 def _cmd_trace(args) -> int:
     from .core.bow_sm import simulate_design
     from .experiments.runner import (RunScale, benchmark_trace,
-                                     validate_design)
+                                     design_spec)
     from .observe.export import (write_chrome_trace, write_events_csv,
                                  write_events_jsonl)
     from .stats.trace import EventKind, TraceRecorder
 
-    validate_design(args.design)
+    spec = design_spec(args.design)
     if args.capacity < 1:
         print("error: --capacity must be >= 1", file=sys.stderr)
         return 2
@@ -274,10 +289,9 @@ def _cmd_trace(args) -> int:
             return 2
     scale = RunScale(num_warps=args.warps, trace_scale=args.scale,
                      memory_seed=args.seed)
-    hinted = args.design in ("bow-wr", "bow-wr-half")
     trace = benchmark_trace(
         args.benchmark, scale,
-        window_size=args.window if hinted else None,
+        window_size=args.window if spec.hinted else None,
     )
     recorder = TraceRecorder(capacity=args.capacity, kinds=kinds)
     result = simulate_design(
@@ -358,7 +372,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     try:
         if args.command == "list":
-            return _cmd_list()
+            return _cmd_list(args)
         if args.command == "run":
             return _cmd_run(args)
         if args.command == "sweep":

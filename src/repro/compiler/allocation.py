@@ -11,13 +11,12 @@ blocks for the same RF).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import FrozenSet, Sequence
 
 from ..errors import CompilerError
 from ..isa import Instruction
 from ..kernels.cfg import KernelCFG
-from .liveness import compute_liveness
-from .writeback import WritebackClass, classify_cfg, classify_linear_writes
+from .writeback import classify_cfg, classify_linear_writes
 
 
 @dataclass(frozen=True)

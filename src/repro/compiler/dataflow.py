@@ -7,7 +7,7 @@ additional analyses (e.g. anticipated uses) can reuse it.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, Iterable, Set
+from typing import Callable, Dict, FrozenSet, Set
 
 from ..errors import CompilerError
 from ..kernels.cfg import KernelCFG

@@ -19,9 +19,8 @@ Two uses here:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import FrozenSet, List, Optional, Sequence, Set
 
-from ..errors import CompilerError
 from ..isa import Instruction
 from ..isa.registers import SINK_REGISTER
 from ..kernels.cfg import KernelCFG

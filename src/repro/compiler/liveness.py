@@ -11,7 +11,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Tuple
 
-from ..isa import Instruction
 from ..isa.registers import SINK_REGISTER
 from ..kernels.cfg import KernelCFG
 from .dataflow import BackwardDataflow, Fact

@@ -11,7 +11,7 @@ their instruction indices differ by less than ``IW``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterator, Sequence
 
 from ..errors import CompilerError
 from ..isa import Instruction

@@ -13,7 +13,7 @@ between the compiler, the timing model, and the energy model.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from .errors import ConfigError
 

@@ -7,6 +7,8 @@
   collector with forwarding logic, FIFO capacity management, and the
   three writeback policies (write-through BOW, write-back, and
   compiler-guided BOW-WR).
+* :mod:`repro.core.designs` — the declarative design registry; every
+  runnable design point is one :class:`~repro.core.designs.DesignSpec`.
 * :mod:`repro.core.bow_sm` — one-call simulation entry points plugging
   the BOC into the baseline SM engine.
 * :mod:`repro.core.rfc` — the register-file-cache comparison point.
@@ -20,6 +22,16 @@ from .window import (
     table1_write_counts,
 )
 from .boc import BOWCollectors
+from .designs import (
+    DesignSpec,
+    design_names,
+    design_specs,
+    get_design,
+    known_designs,
+    register_design,
+    temporary_design,
+    unregister_design,
+)
 from .bow_sm import simulate_bow, simulate_design, DESIGNS
 from .rfc import RFCCollectors, simulate_rfc, RFC_ENTRIES_PER_WARP
 from .occupancy import (
@@ -34,6 +46,14 @@ __all__ = [
     "writeback_eliminated_counts",
     "table1_write_counts",
     "BOWCollectors",
+    "DesignSpec",
+    "design_names",
+    "design_specs",
+    "get_design",
+    "known_designs",
+    "register_design",
+    "temporary_design",
+    "unregister_design",
     "simulate_bow",
     "simulate_design",
     "DESIGNS",

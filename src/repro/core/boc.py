@@ -26,14 +26,12 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ..config import BOWConfig, EvictionPolicy, WritebackPolicy
 from ..errors import SimulationError
-from ..isa import WritebackHint
-from ..isa.registers import SINK_REGISTER
 from ..gpu.banks import AccessRequest
-from ..gpu.collector import InflightInstruction, OperandProvider
+from ..gpu.collector import InflightInstruction, OperandProvider, ensure_decoded
 from ..stats.trace import EventKind
 
 
@@ -71,6 +69,8 @@ class BOWCollectors(OperandProvider):
         self.bow = bow
         self.window_size = bow.window_size
         self.capacity = bow.effective_capacity
+        self._lru = bow.eviction is EvictionPolicy.LRU
+        self._compiler_policy = bow.writeback is WritebackPolicy.COMPILER
         self._warps: Dict[int, _WarpBOC] = {}
         #: occupancy histogram: {entries_in_use: warp-cycles}, sampled
         #: each cycle for warps with work in flight (Figure 9).
@@ -193,43 +193,48 @@ class BOWCollectors(OperandProvider):
         warp.seq += 1
         self._slide_window(warp)
 
+        dec = ensure_decoded(entry, self.engine)
         counters = self.engine.counters
         recorder = self.engine.recorder
+        seq = warp.seq
+        window_size = self.window_size
+        last_access = warp.last_access
+        entries = warp.entries
+        operand_values = entry.operand_values
         pending: List[int] = []
-        for slot, src in enumerate(entry.inst.sources):
+        for slot, reg_id in enumerate(dec.source_ids):
+            last = last_access.get(reg_id)
             resident = (
-                self._in_window(warp, src.id) and src.id in warp.entries
+                last is not None
+                and seq - last < window_size
+                and reg_id in entries
             )
-            self._refresh(warp, src.id)
+            last_access[reg_id] = seq
             if resident:
-                entry.operand_values[slot] = warp.entries[src.id].value
-                if self.bow.eviction is EvictionPolicy.LRU:
-                    warp.entries.move_to_end(src.id)
+                operand_values[slot] = entries[reg_id].value
+                if self._lru:
+                    entries.move_to_end(reg_id)
                 counters.bypassed_reads += 1
                 counters.boc_reads += 1
                 if recorder is not None:
                     recorder.emit(
                         self.engine.cycle, EventKind.BOC_HIT,
-                        warp=warp.warp_id, register=src.id,
+                        warp=warp.warp_id, register=reg_id,
                         trace_index=entry.trace_index,
-                        opcode=entry.inst.opcode.name,
+                        opcode=dec.opcode_name,
                     )
             else:
                 pending.append(slot)
         entry.pending_slots = pending
 
-        dest = entry.inst.dest
-        if dest is not None and dest != SINK_REGISTER:
-            if not self._dest_skips_window(entry):
-                self._refresh(warp, dest.id)
+        dest_id = dec.rf_dest_id
+        if dest_id is not None and not self._dest_skips_window(dec):
+            last_access[dest_id] = seq
         warp.inflight.append(entry)
 
-    def _dest_skips_window(self, entry: InflightInstruction) -> bool:
+    def _dest_skips_window(self, dec) -> bool:
         """RF-only values never enter the window (no reuse to serve)."""
-        return (
-            self.bow.writeback is WritebackPolicy.COMPILER
-            and entry.inst.hint is WritebackHint.RF_ONLY
-        )
+        return self._compiler_policy and dec.hint_rf_only
 
     def read_requests(self, cycle: int) -> List[AccessRequest]:
         requests = []
@@ -243,14 +248,12 @@ class BOWCollectors(OperandProvider):
                 # baseline OCU each slot replaces); operands of a single
                 # instruction still serialize.
                 slot = entry.pending_slots[0]
-                register_id = entry.inst.sources[slot].id
+                dec = entry.dec
                 requests.append(
                     AccessRequest(
-                        bank=self.engine.regfile.bank_of(
-                            warp.warp_id, register_id
-                        ),
+                        bank=dec.source_banks[slot],
                         warp_id=warp.warp_id,
-                        register_id=register_id,
+                        register_id=dec.source_ids[slot],
                         tag=(entry.key, slot),
                         age=entry.issue_cycle,
                     )
@@ -273,13 +276,14 @@ class BOWCollectors(OperandProvider):
             raise SimulationError(f"out-of-order operand delivery {tag!r}")
         entry.pending_slots.pop(0)
         entry.operand_values[slot] = value
-        register_id = entry.inst.sources[slot].id
+        source_ids = entry.dec.source_ids
+        register_id = source_ids[slot]
         # Duplicate sources ($rN appearing in several slots) share one
         # fetch: the forwarding logic serves the remaining slots from
         # the just-filled value.
         duplicates = [
             s for s in entry.pending_slots
-            if entry.inst.sources[s].id == register_id
+            if source_ids[s] == register_id
         ]
         for dup in duplicates:
             entry.pending_slots.remove(dup)
@@ -303,7 +307,7 @@ class BOWCollectors(OperandProvider):
         ready = []
         for warp in self._warps.values():
             for entry in warp.inflight:
-                if entry.operands_ready and entry.dispatch_cycle is None:
+                if not entry.pending_slots and entry.dispatch_cycle is None:
                     ready.append(entry)
         return ready
 
@@ -315,21 +319,21 @@ class BOWCollectors(OperandProvider):
 
     def on_complete(self, entry: InflightInstruction, value: Optional[int]) -> None:
         warp = self._warp(entry.warp_id)
-        dest = entry.inst.dest
-        if dest is None or value is None or dest == SINK_REGISTER:
+        dest_id = entry.dec.rf_dest_id
+        if dest_id is None or value is None:
             self.engine.release_scoreboard(entry)
             return
 
         policy = self.bow.writeback
-        in_window = self._in_window(warp, dest.id)
+        in_window = self._in_window(warp, dest_id)
 
         if policy is WritebackPolicy.WRITE_THROUGH:
             if in_window:
-                self._deposit(warp, dest.id, value, dirty=False, transient=False)
+                self._deposit(warp, dest_id, value, dirty=False, transient=False)
             self.engine.enqueue_rf_write(entry, value)
         elif policy is WritebackPolicy.WRITE_BACK:
             if in_window:
-                self._deposit(warp, dest.id, value, dirty=True, transient=False)
+                self._deposit(warp, dest_id, value, dirty=True, transient=False)
             else:
                 self.engine.enqueue_rf_write(entry, value)
         else:  # compiler-guided (BOW-WR)
@@ -341,12 +345,12 @@ class BOWCollectors(OperandProvider):
 
     def _complete_with_hint(self, warp: _WarpBOC, entry: InflightInstruction,
                             value: int, in_window: bool) -> None:
-        hint = entry.inst.hint
-        dest_id = entry.inst.dest.id  # type: ignore[union-attr]
-        if hint is WritebackHint.RF_ONLY:
+        dec = entry.dec
+        dest_id = dec.rf_dest_id
+        if dec.hint_rf_only:
             self.engine.enqueue_rf_write(entry, value)
             return
-        transient = hint is WritebackHint.OC_ONLY
+        transient = dec.hint_oc_only
         if in_window:
             self._deposit(warp, dest_id, value, dirty=True, transient=transient)
         elif transient:

@@ -1,28 +1,23 @@
 """One-call simulation entry points for every design point.
 
-``simulate_design`` runs a named design over a trace; the name registry
-(``DESIGNS``) covers the paper's configurations: the unmodified GPU,
-baseline BOW (write-through), BOW-WB, BOW-WR, the half-size BOW-WR, and
-the RFC comparison point.
+``simulate_design`` runs a named design over a trace by resolving the
+name through the declarative registry (:mod:`repro.core.designs`),
+which covers the paper's configurations: the unmodified GPU, baseline
+BOW (write-through), BOW-WB, BOW-WR, the half-size BOW-WR, and the RFC
+comparison point.  ``DESIGNS`` remains as a compatibility view of the
+registry's BOW-config factories.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Optional
 
-from ..config import (
-    BOWConfig,
-    GPUConfig,
-    WritebackPolicy,
-    baseline_config,
-    bow_config,
-    bow_wb_config,
-    bow_wr_config,
-)
+from ..config import BOWConfig, GPUConfig
 from ..errors import SimulationError
 from ..gpu.sm import SimulationResult, SMEngine
 from ..kernels.trace import KernelTrace
 from .boc import BOWCollectors
+from .designs import design_specs, get_design, known_designs
 
 
 def simulate_bow(
@@ -47,6 +42,8 @@ def simulate_bow(
         recorder: optional :class:`~repro.stats.trace.TraceRecorder`
             receiving cycle-level events (``None`` = no tracing work).
     """
+    from ..config import bow_config
+
     bow = bow or bow_config()
     if not bow.enabled:
         engine = SMEngine(trace, config=config, memory_seed=memory_seed,
@@ -63,25 +60,20 @@ def simulate_bow(
     return engine.run()
 
 
-def _run_rfc(trace: KernelTrace, config: Optional[GPUConfig],
-             memory_seed: int,
-             preload: Optional[Dict[int, int]] = None,
-             recorder=None) -> SimulationResult:
-    from .rfc import simulate_rfc
-
-    return simulate_rfc(trace, config=config, memory_seed=memory_seed,
-                        preload=preload, recorder=recorder)
+def _registry_bow_configs() -> Dict[str, Callable[[int], Optional[BOWConfig]]]:
+    return {
+        spec.name: spec.bow_config
+        for spec in design_specs()
+        if spec.bow_config is not None
+    }
 
 
-#: Named design points used across the experiment drivers.  Each value
-#: is a factory of the BOWConfig (or ``None`` for non-BOW designs).
-DESIGNS: Dict[str, Callable[[int], Optional[BOWConfig]]] = {
-    "baseline": lambda iw: baseline_config(),
-    "bow": lambda iw: bow_config(iw),
-    "bow-wb": lambda iw: bow_wb_config(iw),
-    "bow-wr": lambda iw: bow_wr_config(iw),
-    "bow-wr-half": lambda iw: bow_wr_config(iw, half_size=True),
-}
+#: Named BOW design points (compatibility view of the registry): each
+#: value is a factory of the design's BOWConfig keyed by the window.
+#: Non-BOW designs (``rfc``) live in the registry only.
+DESIGNS: Dict[str, Callable[[int], Optional[BOWConfig]]] = (
+    _registry_bow_configs()
+)
 
 
 def simulate_design(
@@ -93,17 +85,19 @@ def simulate_design(
     preload: Optional[Dict[int, int]] = None,
     recorder=None,
 ) -> SimulationResult:
-    """Run a named design (see ``DESIGNS`` plus ``"rfc"``) over ``trace``."""
-    if design == "rfc":
-        return _run_rfc(trace, config, memory_seed, preload, recorder)
+    """Run a named design (see :func:`repro.core.designs.design_names`)."""
     try:
-        factory = DESIGNS[design]
+        spec = get_design(design)
     except KeyError:
-        known = ", ".join(sorted(DESIGNS) + ["rfc"])
         raise SimulationError(
-            f"unknown design {design!r}; known: {known}"
+            f"unknown design {design!r}; known: {known_designs()}"
         ) from None
-    return simulate_bow(
-        trace, bow=factory(window_size), config=config,
-        memory_seed=memory_seed, preload=preload, recorder=recorder,
+    engine = SMEngine(
+        trace,
+        config=config,
+        provider_factory=lambda eng: spec.provider(eng, window_size),
+        memory_seed=memory_seed,
+        preload=preload,
+        recorder=recorder,
     )
+    return engine.run()

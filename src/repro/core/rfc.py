@@ -21,14 +21,13 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..config import GPUConfig
 from ..errors import SimulationError
 from ..gpu.banks import AccessRequest
-from ..gpu.collector import InflightInstruction, OperandProvider
+from ..gpu.collector import InflightInstruction, OperandProvider, ensure_decoded
 from ..gpu.sm import SimulationResult, SMEngine
-from ..isa.registers import SINK_REGISTER
 from ..kernels.trace import KernelTrace
 from ..stats.trace import EventKind
 
@@ -79,7 +78,8 @@ class RFCCollectors(OperandProvider):
         return len(self._collecting) < self.num_units
 
     def insert(self, entry: InflightInstruction) -> None:
-        entry.pending_slots = list(range(len(entry.inst.sources)))
+        dec = ensure_decoded(entry, self.engine)
+        entry.pending_slots = list(range(dec.num_sources))
         self._collecting.append(entry)
 
     # -- collection: every operand passes the single port; cache hits
@@ -89,23 +89,25 @@ class RFCCollectors(OperandProvider):
         self._deliver_due_hits(cycle)
         requests = []
         counters = self.engine.counters
+        serving = self._serving
+        hit_delta = max(1, self.engine.config.rf_read_latency - 1)
         for entry in self._collecting:
             if not entry.pending_slots:
                 continue
             slot = entry.pending_slots[0]
             tag = (entry.key, slot)
-            if tag in self._serving:
+            if tag in serving:
                 continue  # a cache hit for this slot is already in flight
-            register_id = entry.inst.sources[slot].id
+            dec = entry.dec
+            register_id = dec.source_ids[slot]
             cache = self._cache(entry.warp_id)
             line = cache.lines.get(register_id)
             if line is not None:
                 # Cache hit: no bank access, and one cycle less than a
                 # full RF read (the cache sits closer to the collectors)
                 # — but the collection pipeline itself remains.
-                self._serving.add(tag)
-                due = cycle + max(1, self.engine.config.rf_read_latency - 1)
-                self._hits_due.setdefault(due, []).append(
+                serving.add(tag)
+                self._hits_due.setdefault(cycle + hit_delta, []).append(
                     (entry.key, slot, line.value)
                 )
                 counters.bypassed_reads += 1
@@ -115,12 +117,12 @@ class RFCCollectors(OperandProvider):
                         self.engine.cycle, EventKind.BOC_HIT,
                         warp=entry.warp_id, register=register_id,
                         trace_index=entry.trace_index,
-                        opcode=entry.inst.opcode.name,
+                        opcode=dec.opcode_name,
                     )
                 continue
             requests.append(
                 AccessRequest(
-                    bank=self.engine.regfile.bank_of(entry.warp_id, register_id),
+                    bank=dec.source_banks[slot],
                     warp_id=entry.warp_id,
                     register_id=register_id,
                     tag=tag,
@@ -157,7 +159,7 @@ class RFCCollectors(OperandProvider):
         entry.operand_values[slot] = value
 
     def ready_entries(self) -> List[InflightInstruction]:
-        return [e for e in self._collecting if e.operands_ready]
+        return [e for e in self._collecting if not e.pending_slots]
 
     def on_dispatch(self, entry: InflightInstruction) -> None:
         self._collecting.remove(entry)
@@ -165,21 +167,21 @@ class RFCCollectors(OperandProvider):
     # -- writeback: allocate every result in the cache ----------------------
 
     def on_complete(self, entry: InflightInstruction, value: Optional[int]) -> None:
-        dest = entry.inst.dest
-        if dest is None or value is None or dest == SINK_REGISTER:
+        dest_id = entry.dec.rf_dest_id
+        if dest_id is None or value is None:
             self.engine.release_scoreboard(entry)
             return
         cache = self._cache(entry.warp_id)
         counters = self.engine.counters
         recorder = self.engine.recorder
-        old = cache.lines.pop(dest.id, None)
+        old = cache.lines.pop(dest_id, None)
         if old is not None and old.dirty:
             counters.bypassed_writes += 1  # consolidated in the cache
             if recorder is not None:
                 recorder.emit(
                     self.engine.cycle, EventKind.WRITE_ELIMINATED,
                     warp=cache.warp_id, reason="consolidated",
-                    register=dest.id,
+                    register=dest_id,
                 )
         while len(cache.lines) >= self.entries_per_warp:
             victim_id, victim = cache.lines.popitem(last=False)
@@ -201,12 +203,12 @@ class RFCCollectors(OperandProvider):
                         self.engine.cycle, EventKind.EVICTION_WRITEBACK,
                         warp=cache.warp_id, register=victim_id,
                     )
-        cache.lines[dest.id] = _CacheLine(value=value, dirty=True)
+        cache.lines[dest_id] = _CacheLine(value=value, dirty=True)
         counters.boc_writes += 1
         if recorder is not None:
             recorder.emit(
                 self.engine.cycle, EventKind.BOC_INSERT,
-                warp=cache.warp_id, reason="dirty", register=dest.id,
+                warp=cache.warp_id, reason="dirty", register=dest_id,
             )
         self.engine.release_scoreboard(entry)
 

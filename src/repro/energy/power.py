@@ -23,7 +23,7 @@ from typing import Optional
 from ..config import BOWConfig, GPUConfig
 from ..errors import SimulationError
 from ..stats.counters import Counters
-from ..stats.report import format_percent, format_table
+from ..stats.report import format_table
 from .cacti import INTERCONNECT_POWER_W
 from .model import EnergyModel
 from .static import StaticEnergyModel

@@ -17,12 +17,7 @@ from typing import Optional
 from ..config import BOWConfig, GPUConfig
 from ..errors import SimulationError
 from ..stats.counters import Counters
-from .cacti import (
-    BOC_PARAMS,
-    ComponentParams,
-    REGISTER_BANK_PARAMS,
-    boc_params_for_capacity,
-)
+from .cacti import REGISTER_BANK_PARAMS, boc_params_for_capacity
 
 
 @dataclass(frozen=True)

@@ -27,7 +27,7 @@ from ..config import (
     WritebackPolicy,
 )
 from ..compiler.allocation import AllocationResult, effective_register_demand
-from ..core.bow_sm import simulate_bow, simulate_design
+from ..core.bow_sm import simulate_bow
 from ..core.window import read_bypass_counts
 from ..kernels.suites import benchmark_names, get_profile
 from ..kernels.synthetic import generate_kernel

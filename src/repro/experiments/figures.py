@@ -8,10 +8,9 @@ against.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Tuple
 
-from ..compiler.writeback import WritebackClass
 from ..config import bow_wr_config
 from ..core.occupancy import (
     OccupancySample,
@@ -20,7 +19,6 @@ from ..core.occupancy import (
 )
 from ..core.window import read_bypass_counts, write_bypass_opportunity_counts
 from ..energy.model import EnergyModel
-from ..errors import ExperimentError
 from ..isa import WritebackHint
 from ..isa.registers import SINK_REGISTER
 from ..kernels.suites import benchmark_names

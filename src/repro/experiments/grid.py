@@ -578,9 +578,10 @@ def run_grid(
 
     Args:
         benchmarks: Table III benchmark names.
-        designs: entries of ``DESIGNS`` plus ``"rfc"``.
-        windows: instruction windows; designs that ignore the window
-            (baseline, rfc) contribute one point regardless.
+        designs: registered design names (see
+            :func:`repro.core.designs.design_names`).
+        windows: instruction windows; windowless designs (baseline,
+            rfc) contribute one point regardless.
         scale: run size; also the source of every point's memory seed.
         jobs: worker processes; ``None`` uses :func:`default_jobs`,
             ``1`` runs serially in-process (no executor).

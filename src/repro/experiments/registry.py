@@ -7,7 +7,7 @@ and the command line both go through here.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Dict, Optional
 
 from ..errors import ExperimentError
 from .figures import (

@@ -29,7 +29,8 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, Optional, Tuple
 
-from ..core.bow_sm import DESIGNS, simulate_design
+from ..core.bow_sm import simulate_design
+from ..core.designs import DesignSpec, get_design, known_designs
 from ..errors import ExperimentError
 from ..gpu.sm import SimulationResult
 from ..kernels.suites import get_profile
@@ -62,12 +63,6 @@ class RunScale:
 
 QUICK = RunScale(num_warps=16, trace_scale=0.25)
 FULL = RunScale(num_warps=32, trace_scale=0.5)
-
-#: Designs whose traces must carry compiler hints.
-_HINTED_DESIGNS = frozenset({"bow-wr", "bow-wr-half"})
-
-#: Designs that ignore the instruction window.
-_WINDOWLESS_DESIGNS = frozenset({"baseline", "rfc"})
 
 _trace_cache: Dict[Tuple, KernelTrace] = {}
 _run_cache: Dict[Tuple, SimulationResult] = {}
@@ -128,16 +123,29 @@ def reset_simulations_counter() -> None:
     _simulations_run = 0
 
 
+def design_spec(design: str) -> DesignSpec:
+    """The registry spec for ``design``, as an :class:`ExperimentError`.
+
+    Every experiment-layer surface (runner, grid, CLI, figures,
+    ablations) resolves design names through here, so an unknown name
+    produces the same message everywhere.
+    """
+    try:
+        return get_design(design)
+    except KeyError:
+        raise ExperimentError(
+            f"unknown design {design!r}; known: {known_designs()}"
+        ) from None
+
+
 def effective_window(design: str, window_size: int) -> int:
     """The window a design actually uses (0 when it ignores the knob)."""
-    return 0 if design in _WINDOWLESS_DESIGNS else window_size
+    return 0 if design_spec(design).windowless else window_size
 
 
 def validate_design(design: str) -> None:
     """Raise :class:`ExperimentError` unless ``design`` is runnable."""
-    if design not in DESIGNS and design != "rfc":
-        known = ", ".join(sorted(DESIGNS) + ["rfc"])
-        raise ExperimentError(f"unknown design {design!r}; known: {known}")
+    design_spec(design)
 
 
 def memo_key(
@@ -202,10 +210,9 @@ def execute_run(
     here, which is what makes the invocation counter trustworthy.
     """
     global _simulations_run
-    validate_design(design)
-    hinted = design in _HINTED_DESIGNS
+    spec = design_spec(design)
     trace = benchmark_trace(
-        benchmark, scale, window_size=window_size if hinted else None
+        benchmark, scale, window_size=window_size if spec.hinted else None
     )
     _simulations_run += 1
     return simulate_design(
@@ -227,8 +234,10 @@ def run_design(
 
     Args:
         benchmark: a Table III benchmark name.
-        design: one of ``DESIGNS`` plus ``"rfc"``.
-        window_size: the instruction window (ignored by baseline/rfc).
+        design: a registered design name (see
+            :func:`repro.core.designs.design_names`).
+        window_size: the instruction window (ignored by windowless
+            designs).
         scale: run size.
     """
     validate_design(design)

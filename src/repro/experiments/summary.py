@@ -10,10 +10,9 @@ experiment summary`` and by the release-check bench.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from ..config import bow_wr_config
-from ..energy.model import EnergyModel
 from ..kernels.suites import benchmark_names
 from ..stats.report import format_table
 from .figures import (

@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
-from ..config import BOWConfig, GPUConfig, bow_config, bow_wr_config
+from ..config import GPUConfig, bow_config, bow_wr_config
 from ..core.window import table1_write_counts
 from ..energy.area import AreaModel, AreaReport
 from ..energy.cacti import BOC_PARAMS, REGISTER_BANK_PARAMS

@@ -11,14 +11,17 @@ choice), then the oldest read.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List
 
 from ..errors import SimulationError
 
 
-@dataclass(frozen=True)
 class AccessRequest:
     """One bank access request.
+
+    A plain ``__slots__`` record rather than a dataclass: requests are
+    rebuilt every cycle from collector/queue state, so construction is
+    on the engine's hottest path.
 
     Attributes:
         bank: target bank index.
@@ -29,11 +32,22 @@ class AccessRequest:
         age: request age used for oldest-first arbitration (lower = older).
     """
 
-    bank: int
-    warp_id: int
-    register_id: int
-    tag: object
-    age: int = 0
+    __slots__ = ("bank", "warp_id", "register_id", "tag", "age")
+
+    def __init__(self, bank: int, warp_id: int, register_id: int,
+                 tag: object, age: int = 0):
+        self.bank = bank
+        self.warp_id = warp_id
+        self.register_id = register_id
+        self.tag = tag
+        self.age = age
+
+    def __repr__(self) -> str:
+        return (
+            f"AccessRequest(bank={self.bank}, warp_id={self.warp_id}, "
+            f"register_id={self.register_id}, tag={self.tag!r}, "
+            f"age={self.age})"
+        )
 
 
 @dataclass

@@ -1,26 +1,31 @@
-"""Operand collection: the provider interface and the baseline OCU pool.
+"""Operand collection: the provider protocol and the baseline OCU pool.
 
 The engine (:mod:`repro.gpu.sm`) is agnostic to how operands reach an
 instruction: it talks to an :class:`OperandProvider`, which owns the
-collector storage.  The baseline provider models conventional operand
-collector units — a shared pool, three operand entries each, a single
-read port per unit, every operand fetched from the RF.  The BOW provider
-(:mod:`repro.core.boc`) implements the same interface with per-warp
-bypassing collectors.
+collector storage.  Every design point in the registry
+(:mod:`repro.core.designs`) is "an engine plus a provider":
+
+* :class:`BaselineCollectorPool` (here) — conventional operand collector
+  units, every operand fetched from the RF;
+* :class:`~repro.core.boc.BOWCollectors` — per-warp bypassing collectors
+  implementing the BOW writeback policies;
+* :class:`~repro.core.rfc.RFCCollectors` — conventional collectors
+  backed by a register-file cache (the closest prior design).
+
+All three implement the same protocol, so adding a design never touches
+the engine.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import SimulationError
 from ..isa import Instruction
-from ..isa.registers import SINK_REGISTER
 from .banks import AccessRequest
+from .decode import DecodedOp
 
 
-@dataclass
 class InflightInstruction:
     """One instruction between issue and completion.
 
@@ -35,27 +40,79 @@ class InflightInstruction:
         operand_values: collected source values by operand slot.
         pending_slots: operand slots still waiting on an RF read, in
             request order (the single collector port serializes them).
+        dec: the instruction's :class:`~repro.gpu.decode.DecodedOp`.
+            The engine issues entries with it populated; entries built
+            by hand (tests, external drivers) may leave it ``None`` and
+            the provider decodes lazily on insert.
+        key: ``(warp_id, trace_index)`` — the entry's identity.
     """
 
-    warp_id: int
-    trace_index: int
-    inst: Instruction
-    issue_cycle: int
-    dispatch_cycle: Optional[int] = None
-    operand_values: Dict[int, int] = field(default_factory=dict)
-    pending_slots: List[int] = field(default_factory=list)
+    __slots__ = ("warp_id", "trace_index", "inst", "issue_cycle",
+                 "dispatch_cycle", "operand_values", "pending_slots",
+                 "dec", "key")
 
-    @property
-    def key(self) -> Tuple[int, int]:
-        return (self.warp_id, self.trace_index)
+    def __init__(
+        self,
+        warp_id: int,
+        trace_index: int,
+        inst: Instruction,
+        issue_cycle: int,
+        dispatch_cycle: Optional[int] = None,
+        operand_values: Optional[Dict[int, int]] = None,
+        pending_slots: Optional[List[int]] = None,
+        dec: Optional[DecodedOp] = None,
+    ):
+        self.warp_id = warp_id
+        self.trace_index = trace_index
+        self.inst = inst
+        self.issue_cycle = issue_cycle
+        self.dispatch_cycle = dispatch_cycle
+        self.operand_values = {} if operand_values is None else operand_values
+        self.pending_slots = [] if pending_slots is None else pending_slots
+        self.dec = dec
+        self.key = (warp_id, trace_index)
 
     @property
     def operands_ready(self) -> bool:
         return not self.pending_slots
 
+    def __repr__(self) -> str:
+        return (
+            f"InflightInstruction(warp={self.warp_id}, "
+            f"trace_index={self.trace_index}, inst={self.inst!s}, "
+            f"issue_cycle={self.issue_cycle})"
+        )
+
 
 class OperandProvider:
-    """Interface between the engine and a collector organization."""
+    """The protocol between the engine and a collector organization.
+
+    The engine drives a provider through three groups of hooks, all of
+    which a conforming implementation must honor:
+
+    **Issue / read-request path** — :meth:`can_accept` gates issue;
+    :meth:`insert` accepts a new entry (forwarding and window sliding /
+    eviction happen here); :meth:`read_requests` exposes this cycle's
+    RF reads (one per collector port; the engine drops tags already in
+    flight); :meth:`deliver` returns a granted read's data.
+
+    **Dispatch path** — :meth:`ready_entries` lists operand-complete
+    entries; :meth:`on_dispatch` frees the collector slot.
+
+    **Write-route path** — :meth:`on_complete` routes a result (RF
+    queue via :meth:`SMEngine.enqueue_rf_write`, collector storage, or
+    both: this is where the writeback policies differ) and must
+    eventually call :meth:`SMEngine.release_scoreboard` exactly once
+    per entry (directly, or via a ``release_on_grant`` queued write);
+    :meth:`drain` flushes anything that still owes RF writes at kernel
+    end.
+
+    Providers emit their design-specific trace events (BOC hits,
+    inserts, evictions, eliminated writes) through ``engine.recorder``,
+    guarded by ``is not None`` so the untraced hot path does no tracing
+    work; engine-level events (issue, dispatch, writeback, commit) are
+    emitted by the stages.
+    """
 
     def can_accept(self, warp_id: int) -> bool:
         """Can a new instruction of ``warp_id`` enter the collectors?"""
@@ -93,6 +150,15 @@ class OperandProvider:
         """Kernel end: flush any state that still owes RF writes."""
 
 
+def ensure_decoded(entry: InflightInstruction, engine) -> DecodedOp:
+    """The entry's decode record, decoding lazily for hand-built entries."""
+    dec = entry.dec
+    if dec is None:
+        dec = DecodedOp(entry.warp_id, entry.inst, engine.config)
+        entry.dec = dec
+    return dec
+
+
 class BaselineCollectorPool(OperandProvider):
     """Conventional OCUs: shared pool, no bypassing (Figure 2).
 
@@ -117,9 +183,10 @@ class BaselineCollectorPool(OperandProvider):
         return len(self._collecting) < self.num_units
 
     def insert(self, entry: InflightInstruction) -> None:
-        if not self.can_accept(entry.warp_id):
+        if len(self._collecting) >= self.num_units:
             raise SimulationError("insert called with no free OCU")
-        entry.pending_slots = list(range(len(entry.inst.sources)))
+        dec = ensure_decoded(entry, self.engine)
+        entry.pending_slots = list(range(dec.num_sources))
         self._occupied[entry.key] = entry
         self._collecting.append(entry)
 
@@ -128,15 +195,16 @@ class BaselineCollectorPool(OperandProvider):
     def read_requests(self, cycle: int) -> List[AccessRequest]:
         requests = []
         for entry in self._collecting:
-            if not entry.pending_slots:
+            pending = entry.pending_slots
+            if not pending:
                 continue
-            slot = entry.pending_slots[0]
-            register_id = entry.inst.sources[slot].id
+            slot = pending[0]
+            dec = entry.dec
             requests.append(
                 AccessRequest(
-                    bank=self.engine.regfile.bank_of(entry.warp_id, register_id),
+                    bank=dec.source_banks[slot],
                     warp_id=entry.warp_id,
-                    register_id=register_id,
+                    register_id=dec.source_ids[slot],
                     tag=(entry.key, slot),
                     age=entry.issue_cycle,
                 )
@@ -152,7 +220,7 @@ class BaselineCollectorPool(OperandProvider):
         entry.operand_values[slot] = value
 
     def ready_entries(self) -> List[InflightInstruction]:
-        return [e for e in self._collecting if e.operands_ready]
+        return [e for e in self._collecting if not e.pending_slots]
 
     def on_dispatch(self, entry: InflightInstruction) -> None:
         self._collecting.remove(entry)
@@ -161,8 +229,7 @@ class BaselineCollectorPool(OperandProvider):
 
     def on_complete(self, entry: InflightInstruction, value: Optional[int]) -> None:
         self._occupied.pop(entry.key, None)
-        if (value is None or entry.inst.dest is None
-                or entry.inst.dest == SINK_REGISTER):
+        if value is None or entry.dec.rf_dest_id is None:
             # Predicate-only results ($o127 sink) never touch the banks.
             self.engine.release_scoreboard(entry)
             return

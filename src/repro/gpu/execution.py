@@ -8,7 +8,7 @@ tracked in a cycle-indexed map the engine drains.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
 from ..config import GPUConfig
 from ..errors import SimulationError
@@ -70,4 +70,14 @@ class ExecutionUnits:
         bucket = self._bucket(op_class)
         if not self.can_dispatch(op_class):
             raise SimulationError(f"dispatch over capacity for {op_class}")
+        self._used[bucket] = self._used.get(bucket, 0) + 1
+
+    # -- decoded fast path: the caller already holds the bucket ---------
+
+    def can_dispatch_bucket(self, bucket: OpClass) -> bool:
+        """`can_dispatch` for a pre-bucketed class (decode-cache path)."""
+        return self._used.get(bucket, 0) < self._capacity[bucket]
+
+    def dispatch_bucket(self, bucket: OpClass) -> None:
+        """`dispatch` for a pre-bucketed class the caller just checked."""
         self._used[bucket] = self._used.get(bucket, 0) + 1

@@ -15,10 +15,10 @@ load imbalance when they are not.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
-from ..config import BOWConfig, GPUConfig
+from ..config import GPUConfig
 from ..errors import SimulationError
 from ..kernels.trace import KernelTrace, WarpTrace
 from ..stats.counters import Counters

@@ -16,7 +16,7 @@ bypassing does not change results.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 from ..config import GPUConfig
 from ..errors import SimulationError

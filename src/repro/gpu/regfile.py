@@ -10,7 +10,6 @@ from __future__ import annotations
 from typing import Dict, Tuple
 
 from ..config import GPUConfig
-from ..errors import SimulationError
 
 
 class BankedRegisterFile:

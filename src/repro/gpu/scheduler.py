@@ -13,7 +13,7 @@ provided for the scheduler-sensitivity ablation.
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence
+from typing import List, Sequence
 
 from ..config import SchedulerPolicy
 from ..errors import SimulationError
@@ -49,13 +49,22 @@ class GTOScheduler(WarpSchedulerBase):
     def __init__(self, scheduler_id: int, warp_ids: Sequence[int]):
         super().__init__(scheduler_id, warp_ids)
         self._greedy: int | None = None
+        # The ownership set is fixed, so every possible priority order
+        # (oldest-first, or one greedy warp hoisted) can be cached; the
+        # issue stage calls candidate_order every cycle.
+        self._oldest_first = sorted(self.warp_ids)
+        self._members = frozenset(self.warp_ids)
+        self._orders: dict = {}
 
     def candidate_order(self) -> List[int]:
-        ordered = sorted(self.warp_ids)
-        if self._greedy is not None and self._greedy in self.warp_ids:
-            ordered.remove(self._greedy)
-            ordered.insert(0, self._greedy)
-        return ordered
+        greedy = self._greedy
+        if greedy is None or greedy not in self._members:
+            return self._oldest_first
+        order = self._orders.get(greedy)
+        if order is None:
+            order = [greedy] + [w for w in self._oldest_first if w != greedy]
+            self._orders[greedy] = order
+        return order
 
     def note_issue(self, warp_id: int) -> None:
         self._greedy = warp_id
@@ -117,9 +126,10 @@ class LRRScheduler(WarpSchedulerBase):
     def __init__(self, scheduler_id: int, warp_ids: Sequence[int]):
         super().__init__(scheduler_id, warp_ids)
         self._pointer = 0
+        self._ordered = sorted(self.warp_ids)
 
     def candidate_order(self) -> List[int]:
-        ordered = sorted(self.warp_ids)
+        ordered = self._ordered
         pivot = self._pointer % len(ordered)
         self._pointer += 1
         return ordered[pivot:] + ordered[:pivot]

@@ -50,6 +50,22 @@ class Scoreboard:
             self._pending_preds[warp_id] = set()
         return self._pending_preds[warp_id]
 
+    def warp_views(self, warp_id: int):
+        """Direct references to ``warp_id``'s hazard state.
+
+        Returns ``(pending_dests, pending_reads, pending_preds)`` — the
+        *live* set/dict objects this scoreboard mutates, so the engine's
+        issue stage can check and update hazards without per-cycle
+        method dispatch.  The scoreboard's own API (`reserve`,
+        `release`, ...) stays consistent with any change made through a
+        view, because they are the same objects.
+        """
+        return (
+            self._warp(warp_id),
+            self._warp_reads(warp_id),
+            self._warp_preds(warp_id),
+        )
+
     def can_issue(self, warp_id: int, inst: Instruction) -> bool:
         """True when ``inst`` has no RAW, WAW or WAR hazard in ``warp_id``."""
         pending = self._warp(warp_id)

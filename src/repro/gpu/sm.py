@@ -1,80 +1,87 @@
 """The cycle-level SM engine.
 
 One :class:`SMEngine` simulates a single streaming multiprocessor
-running a :class:`~repro.kernels.trace.KernelTrace`.  The pipeline per
-cycle, processed back-to-front so results never skip a stage:
+running a :class:`~repro.kernels.trace.KernelTrace`.  The engine is a
+thin conductor: each cycle it runs four explicit pipeline stages
+(:mod:`repro.gpu.stages`) back-to-front so results never skip a stage —
+complete, banks (writeback + operand reads), dispatch (+ execute), and
+issue.  All mutable pipeline state lives in one shared
+:class:`~repro.gpu.stages.EngineState`; static per-instruction facts
+are precomputed once per trace by the decode cache
+(:mod:`repro.gpu.decode`).
 
-1. **writeback** — queued RF writes arbitrate for bank ports together
-   with operand reads; granted writes may release the scoreboard.
-2. **complete** — functional units finishing this cycle hand results to
-   the operand provider, which routes them (RF queue / collector / both,
-   depending on the design).
-3. **dispatch** — instructions whose operands are complete go to a
-   functional unit, round-robin across warps, limited by unit widths.
-4. **collect** — collectors request missing operands; the bank arbiter
-   grants at most one access per bank.
-5. **issue** — schedulers pick warps (GTO by default); the next trace
-   instruction issues when the scoreboard is clear, the provider has
-   room, and no branch is unresolved.
-
-The engine also executes instruction *semantics* (functional layer):
-operand values travel through collectors and forwarding paths exactly as
-the hardware would move them, and tests compare final memory/register
-images across designs to prove bypassing preserves results.
+Operand movement is delegated to an
+:class:`~repro.gpu.collector.OperandProvider` — the one pluggable
+surface that distinguishes the simulated designs (baseline OCUs, BOW
+collectors, RFC).  The engine also executes instruction *semantics*
+(functional layer): operand values travel through collectors and
+forwarding paths exactly as the hardware would move them, and tests
+compare final memory/register images across designs to prove bypassing
+preserves results.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..config import GPUConfig
 from ..errors import DeadlockError, SimulationError
-from ..isa import Instruction, OpClass
-from ..isa.registers import SINK_REGISTER
+from ..isa import Instruction
 from ..kernels.trace import KernelTrace
 from ..stats.counters import Counters
 from ..stats.trace import EventKind
-from .banks import AccessRequest, BankArbiter
+from .banks import BankArbiter
 from .collector import BaselineCollectorPool, InflightInstruction, OperandProvider
-from .execution import ExecutionUnits, latency_for
+from .decode import DecodedOp, decode_warp
+from .execution import ExecutionUnits
 from .memory import MemoryModel
 from .regfile import BankedRegisterFile
 from .scheduler import make_scheduler
 from .scoreboard import Scoreboard
+from .stages import (
+    BankStage,
+    CompleteStage,
+    DispatchStage,
+    EngineState,
+    IssueStage,
+    QueuedWrite,
+)
 
 #: Cycles without any progress before the engine declares a deadlock.
 _DEADLOCK_LIMIT = 20_000
 
 
-@dataclass
-class _QueuedWrite:
-    """One pending RF write awaiting a bank port."""
-
-    warp_id: int
-    register_id: int
-    value: int
-    age: int
-    entry: Optional[InflightInstruction] = None
-    release_on_grant: bool = False
-
-
-@dataclass
 class _WarpState:
-    """Issue-side state of one warp."""
+    """Issue-side state of one warp.
 
-    warp_id: int
-    trace: List[Instruction]
-    pc: int = 0
-    control_pending: bool = False
+    Besides the program counter, a warp caches direct references to its
+    decode records and its scoreboard views (the *same* set/dict objects
+    the :class:`~repro.gpu.scoreboard.Scoreboard` owns), so the issue
+    stage checks hazards without per-cycle lookups.
+    """
+
+    __slots__ = ("warp_id", "trace", "pc", "control_pending", "end",
+                 "decoded", "sb_pending", "sb_reads", "sb_preds")
+
+    def __init__(self, warp_id: int, trace: List[Instruction]):
+        self.warp_id = warp_id
+        self.trace = trace
+        self.pc = 0
+        self.control_pending = False
+        self.end = len(trace)
+        self.decoded: List[DecodedOp] = []
+        self.sb_pending: set = set()
+        self.sb_reads: dict = {}
+        self.sb_preds: set = set()
 
     @property
     def done(self) -> bool:
-        return self.pc >= len(self.trace)
+        return self.pc >= self.end
 
     @property
     def next_instruction(self) -> Optional[Instruction]:
-        return None if self.done else self.trace[self.pc]
+        return None if self.pc >= self.end else self.trace[self.pc]
 
 
 @dataclass
@@ -126,9 +133,29 @@ class SMEngine:
             _WarpState(warp.warp_id, list(warp.instructions)) for warp in trace
         ]
         self.warps.sort(key=lambda w: w.warp_id)
+        self._warp_by_id: Dict[int, _WarpState] = {}
+        for warp in self.warps:
+            warp.decoded = decode_warp(warp.warp_id, warp.trace, self.config)
+            warp.sb_pending, warp.sb_reads, warp.sb_preds = (
+                self.scoreboard.warp_views(warp.warp_id)
+            )
+            self._warp_by_id[warp.warp_id] = warp
         self._warp_index_by_id = {
             warp.warp_id: index for index, warp in enumerate(self.warps)
         }
+
+        self.state = EngineState()
+        self.state.active_warps = sum(1 for warp in self.warps if warp.end)
+
+        # Warp-uniform predicate file (the lane-accurate version lives in
+        # repro.simt): (warp_id, predicate_id) -> bool.
+        self.predicates: Dict[Tuple[int, int], bool] = {}
+        # Optional per-interval sampler (see repro.stats.timeline).
+        self.timeline = timeline
+        # Optional cycle-level event recorder (see repro.stats.trace).
+        # Every emit site is guarded by one `is not None` check so the
+        # untraced hot path does no tracing work at all.
+        self.recorder = recorder
 
         factory = provider_factory or (
             lambda engine: BaselineCollectorPool(
@@ -138,30 +165,28 @@ class SMEngine:
         self.provider: OperandProvider = factory(self)
 
         self.schedulers = self._build_schedulers()
+        self.stages = (
+            CompleteStage(self),
+            BankStage(self),
+            DispatchStage(self),
+            IssueStage(self),
+        )
 
-        self.cycle = 0
-        self._write_queue: List[_QueuedWrite] = []
-        self._completions: Dict[int, List[Tuple[InflightInstruction, Optional[int]]]] = {}
-        self._in_flight = 0
-        self._dispatch_rotor = 0
-        self._write_age = 0
-        # Granted reads in flight through the bank/crossbar pipeline:
-        # delivery cycle -> [(tag, warp_id, register_id)].
-        self._reads_in_flight: Dict[int, List[Tuple[object, int, int]]] = {}
-        self._inflight_read_tags: set = set()
-        # Per-warp issued-but-undispatched memory instructions: memory
-        # effects apply at dispatch, so dispatching them in program order
-        # preserves same-address load/store ordering within a warp.
-        self._undispatched_mem: Dict[int, set] = {}
-        # Warp-uniform predicate file (the lane-accurate version lives in
-        # repro.simt): (warp_id, predicate_id) -> bool.
-        self.predicates: Dict[Tuple[int, int], bool] = {}
-        # Optional per-interval sampler (see repro.stats.timeline).
-        self.timeline = timeline
-        # Optional cycle-level event recorder (see repro.stats.trace).
-        # Every emit site below is guarded by one `is not None` check so
-        # the untraced hot path does no tracing work at all.
-        self.recorder = recorder
+    @property
+    def cycle(self) -> int:
+        """Current simulated cycle (lives in the shared EngineState)."""
+        return self.state.cycle
+
+    @cycle.setter
+    def cycle(self, value: int) -> None:
+        self.state.cycle = value
+
+    def warp_state(self, warp_id: int) -> _WarpState:
+        """The issue-side state of ``warp_id``."""
+        try:
+            return self._warp_by_id[warp_id]
+        except KeyError:
+            raise SimulationError(f"unknown warp id {warp_id}") from None
 
     def _build_schedulers(self):
         groups: Dict[int, List[int]] = {}
@@ -200,13 +225,15 @@ class SMEngine:
         if warp_id is None or register_id is None:
             raise SimulationError("enqueue_rf_write needs a target register")
         self.regfile.poke(warp_id, register_id, value)
-        self._write_age += 1
-        self._write_queue.append(
-            _QueuedWrite(
+        state = self.state
+        state.write_age += 1
+        state.write_queue.append(
+            QueuedWrite(
                 warp_id=warp_id,
                 register_id=register_id,
                 value=value,
-                age=self._write_age,
+                age=state.write_age,
+                bank=self.regfile.bank_of(warp_id, register_id),
                 entry=entry if release_on_grant else None,
                 release_on_grant=release_on_grant,
             )
@@ -214,30 +241,32 @@ class SMEngine:
 
     def release_scoreboard(self, entry: InflightInstruction) -> None:
         """Release ``entry``'s destination and retire the instruction."""
-        warp = self.warps[self._warp_index(entry.warp_id)]
+        warp = self.warp_state(entry.warp_id)
         self.scoreboard.release(entry.warp_id, entry.inst)
         if entry.inst.is_control:
             warp.control_pending = False
         self._retire(entry)
 
     def _retire(self, entry: InflightInstruction) -> None:
-        self._in_flight -= 1
-        self.counters.instructions += 1
+        self.state.in_flight -= 1
+        counters = self.counters
+        counters.instructions += 1
         if self.recorder is not None:
             self.recorder.emit(
-                self.cycle, EventKind.COMMIT, warp=entry.warp_id,
+                self.state.cycle, EventKind.COMMIT, warp=entry.warp_id,
                 trace_index=entry.trace_index, opcode=entry.inst.opcode.name,
             )
-        if entry.inst.is_memory:
-            self.counters.mem_instructions += 1
+        is_memory = entry.inst.is_memory
+        if is_memory:
+            counters.mem_instructions += 1
         if entry.dispatch_cycle is not None:
             wait = entry.dispatch_cycle - entry.issue_cycle
-            lifetime = self.cycle - entry.issue_cycle
-            self.counters.oc_wait_cycles += wait
-            self.counters.lifetime_cycles += lifetime
-            if entry.inst.is_memory:
-                self.counters.oc_wait_cycles_memory += wait
-                self.counters.lifetime_cycles_memory += lifetime
+            lifetime = self.state.cycle - entry.issue_cycle
+            counters.oc_wait_cycles += wait
+            counters.lifetime_cycles += lifetime
+            if is_memory:
+                counters.oc_wait_cycles_memory += wait
+                counters.lifetime_cycles_memory += lifetime
 
     def _warp_index(self, warp_id: int) -> int:
         try:
@@ -251,143 +280,61 @@ class SMEngine:
 
     def run(self, max_cycles: int = 5_000_000) -> SimulationResult:
         """Simulate until every warp drains (or raise on deadlock)."""
+        state = self.state
+        counters = self.counters
+        timeline = self.timeline
+        new_cycle = self.units.new_cycle
+        complete, banks, dispatch, issue = (
+            stage.run for stage in self.stages
+        )
         idle_cycles = 0
-        while not self._finished():
-            if self.cycle >= max_cycles:
-                raise DeadlockError("max_cycles exceeded", self.cycle)
-            progress = self._step()
-            idle_cycles = 0 if progress else idle_cycles + 1
-            if idle_cycles > _DEADLOCK_LIMIT:
-                raise DeadlockError("no forward progress", self.cycle)
+        while state.active_warps or state.in_flight or state.write_queue:
+            if state.cycle >= max_cycles:
+                raise DeadlockError("max_cycles exceeded", state.cycle)
+            state.cycle += 1
+            new_cycle()
+            progress = complete() | banks() | dispatch() | issue()
+            counters.cycles = state.cycle
+            if timeline is not None:
+                timeline.maybe_sample(
+                    state.cycle, counters,
+                    self.regfile.reads, self.regfile.writes,
+                )
+            if progress:
+                idle_cycles = 0
+            else:
+                idle_cycles += 1
+                if idle_cycles > _DEADLOCK_LIMIT:
+                    raise DeadlockError("no forward progress", state.cycle)
         self.provider.drain()
         self._drain_write_queue()
-        self.counters.rf_reads = self.regfile.reads
-        self.counters.rf_writes = self.regfile.writes
-        if self.timeline is not None:
+        counters.rf_reads = self.regfile.reads
+        counters.rf_writes = self.regfile.writes
+        if timeline is not None:
             # The drain tail (provider flush + residual writes) falls
             # between sampling-grid points; emit one final sample so the
             # series always reaches the end of the run.
-            self.timeline.finalize(
-                self.counters.cycles, self.counters,
+            timeline.finalize(
+                counters.cycles, counters,
                 self.regfile.reads, self.regfile.writes,
             )
         return SimulationResult(
-            counters=self.counters,
+            counters=counters,
             register_image=self.regfile.snapshot(),
             memory_image=self.memory.image_snapshot(),
         )
 
     def _finished(self) -> bool:
+        state = self.state
         return (
-            all(warp.done for warp in self.warps)
-            and self._in_flight == 0
-            and not self._write_queue
+            state.active_warps == 0
+            and state.in_flight == 0
+            and not state.write_queue
         )
-
-    def _step(self) -> bool:
-        """Advance one cycle; returns whether any event happened."""
-        self.cycle += 1
-        self.units.new_cycle()
-        progress = False
-
-        progress |= self._complete_stage()
-        progress |= self._memory_and_bank_stage()
-        progress |= self._dispatch_stage()
-        progress |= self._issue_stage()
-        self.counters.cycles = self.cycle
-        if self.timeline is not None:
-            self.timeline.maybe_sample(
-                self.cycle, self.counters,
-                self.regfile.reads, self.regfile.writes,
-            )
-        return progress
-
-    # -- completion -------------------------------------------------------
-
-    def _complete_stage(self) -> bool:
-        finishing = self._completions.pop(self.cycle, None)
-        if not finishing:
-            return False
-        for entry, value in finishing:
-            self.provider.on_complete(entry, value)
-        return True
-
-    # -- banks: reads + writes arbitrate together ---------------------------
-
-    def _memory_and_bank_stage(self) -> bool:
-        delivered = self._deliver_due_reads()
-        reads = [
-            request
-            for request in self.provider.read_requests(self.cycle)
-            if request.tag not in self._inflight_read_tags
-        ]
-        writes = [
-            AccessRequest(
-                bank=self.regfile.bank_of(qw.warp_id, qw.register_id),
-                warp_id=qw.warp_id,
-                register_id=qw.register_id,
-                tag=index,
-                age=qw.age,
-            )
-            for index, qw in enumerate(self._write_queue)
-        ]
-        if not reads and not writes:
-            return delivered
-
-        result = self.arbiter.arbitrate(reads, writes)
-        self.counters.bank_conflicts += result.conflicts
-        if self.recorder is not None and result.conflicts:
-            self.recorder.emit(self.cycle, EventKind.BANK_CONFLICT,
-                               count=result.conflicts)
-
-        granted_write_indexes = sorted(
-            (request.tag for request in result.granted_writes), reverse=True
-        )
-        for index in granted_write_indexes:
-            queued = self._write_queue.pop(index)
-            self.regfile.write(queued.warp_id, queued.register_id, queued.value)
-            if self.recorder is not None:
-                self.recorder.emit(
-                    self.cycle, EventKind.WRITEBACK, warp=queued.warp_id,
-                    reason="granted", register=queued.register_id,
-                    bank=self.regfile.bank_of(queued.warp_id,
-                                              queued.register_id),
-                )
-            if queued.release_on_grant and queued.entry is not None:
-                self.release_scoreboard(queued.entry)
-
-        # Granted reads occupy the bank port now; the data lands in the
-        # collector after the bank/crossbar pipeline latency.
-        due = self.cycle + max(1, self.config.rf_read_latency)
-        for request in result.granted_reads:
-            self._inflight_read_tags.add(request.tag)
-            self._reads_in_flight.setdefault(due, []).append(
-                (request.tag, request.warp_id, request.register_id)
-            )
-
-        return bool(result.granted_reads or result.granted_writes or delivered)
-
-    def _deliver_due_reads(self) -> bool:
-        due = self._reads_in_flight.pop(self.cycle, None)
-        if not due:
-            return False
-        width = self.config.crossbar_width
-        if width and len(due) > width:
-            # The crossbar moves at most `width` operands per cycle;
-            # the overflow slips to the next cycle.
-            due, deferred = due[:width], due[width:]
-            self._reads_in_flight.setdefault(self.cycle + 1, []).extend(
-                deferred
-            )
-        for tag, warp_id, register_id in due:
-            self._inflight_read_tags.discard(tag)
-            value = self.regfile.read(warp_id, register_id)
-            self.provider.deliver(tag, value)
-        return True
 
     def _drain_write_queue(self) -> None:
         """Flush writes left after the last instruction retires."""
-        for queued in self._write_queue:
+        for queued in self.state.write_queue:
             self.regfile.write(queued.warp_id, queued.register_id, queued.value)
             self.counters.cycles += 1  # each residual write costs a port cycle
             if self.recorder is not None:
@@ -396,185 +343,7 @@ class SMEngine:
                     warp=queued.warp_id, reason="drain",
                     register=queued.register_id,
                 )
-        self._write_queue.clear()
-
-    # -- dispatch -----------------------------------------------------------
-
-    def _dispatch_stage(self) -> bool:
-        ready = self.provider.ready_entries()
-        if not ready:
-            return False
-        # Round-robin across warps (paper SS IV-A), oldest-first per warp.
-        ready.sort(key=lambda e: (e.warp_id, e.issue_cycle, e.trace_index))
-        warp_order = sorted({entry.warp_id for entry in ready})
-        if warp_order:
-            rotor = self._dispatch_rotor % len(warp_order)
-            warp_order = warp_order[rotor:] + warp_order[:rotor]
-            self._dispatch_rotor += 1
-        by_warp: Dict[int, List[InflightInstruction]] = {}
-        for entry in ready:
-            by_warp.setdefault(entry.warp_id, []).append(entry)
-
-        dispatched = False
-        for warp_id in warp_order:
-            for entry in by_warp[warp_id]:
-                if entry.inst.is_memory and not self._memory_order_clear(entry):
-                    continue
-                if not self.units.can_dispatch(entry.inst.op_class):
-                    self.counters.exec_busy_stalls += 1
-                    if self.recorder is not None:
-                        self.recorder.emit(
-                            self.cycle, EventKind.DISPATCH_STALL,
-                            warp=entry.warp_id, reason="exec_busy",
-                            trace_index=entry.trace_index,
-                            opcode=entry.inst.opcode.name,
-                        )
-                    continue
-                self.units.dispatch(entry.inst.op_class)
-                self.provider.on_dispatch(entry)
-                entry.dispatch_cycle = self.cycle
-                if self.recorder is not None:
-                    self.recorder.emit(
-                        self.cycle, EventKind.DISPATCH, warp=entry.warp_id,
-                        trace_index=entry.trace_index,
-                        opcode=entry.inst.opcode.name,
-                    )
-                self.scoreboard.release_reads(entry.warp_id, entry.inst)
-                if entry.inst.is_memory:
-                    self._undispatched_mem[entry.warp_id].discard(
-                        entry.trace_index
-                    )
-                if entry.inst.is_control:
-                    # The next PC is determined once the branch leaves the
-                    # collector; issue of the successor may resume.
-                    self.warps[self._warp_index(entry.warp_id)].control_pending = False
-                self._start_execution(entry)
-                dispatched = True
-        return dispatched
-
-    def _memory_order_clear(self, entry: InflightInstruction) -> bool:
-        """Is ``entry`` the oldest undispatched memory op of its warp?"""
-        pending = self._undispatched_mem.get(entry.warp_id)
-        return not pending or min(pending) == entry.trace_index
-
-    def _start_execution(self, entry: InflightInstruction) -> None:
-        inst = entry.inst
-        if inst.is_memory:
-            latency = self.memory.latency(inst, entry.warp_id, entry.trace_index)
-        else:
-            latency = latency_for(inst, self.config)
-        value = self._execute(entry)
-        finish = self.cycle + max(1, latency)
-        self._completions.setdefault(finish, []).append((entry, value))
-
-    def _guard_satisfied(self, entry: InflightInstruction) -> bool:
-        guard = entry.inst.predicate
-        if guard is None:
-            return True
-        value = self.predicates.get((entry.warp_id, guard.id), False)
-        return (not value) if guard.negated else value
-
-    def _execute(self, entry: InflightInstruction) -> Optional[int]:
-        """Functional semantics using the *collected* operand values."""
-        inst = entry.inst
-        if not self._guard_satisfied(entry):
-            # Predicated off: consumes the pipeline slot, produces nothing.
-            return None
-        operands = [
-            entry.operand_values.get(slot, 0)
-            for slot in range(len(inst.sources))
-        ]
-        while len(operands) < 3:
-            operands.append(inst.immediate or 0)
-
-        if inst.is_load:
-            address = self.memory.thread_address(entry.warp_id, operands[0])
-            return self.memory.load(address)
-        if inst.is_store:
-            address = self.memory.thread_address(entry.warp_id, operands[0])
-            self.memory.store(address, operands[1])
-            return None
-        if inst.is_control or inst.op_class is OpClass.NOP:
-            return None
-        if inst.opcode.semantic is None:
-            raise SimulationError(f"no semantics for {inst.opcode.name}")
-        if inst.dest is None:
-            return None
-        value = inst.opcode.semantic(operands[0], operands[1], operands[2])
-        if inst.pred_dest is not None:
-            self.predicates[(entry.warp_id, inst.pred_dest.id)] = bool(value)
-        return value
-
-    # -- issue ----------------------------------------------------------------
-
-    def _issue_stage(self) -> bool:
-        issued_any = False
-        warp_by_id = {warp.warp_id: warp for warp in self.warps}
-        for scheduler in self.schedulers:
-            budget = self.config.issue_width_per_scheduler
-            for warp_id in scheduler.candidate_order():
-                if budget == 0:
-                    break
-                warp = warp_by_id[warp_id]
-                issued_here = 0
-                while budget > 0 and self._try_issue(warp):
-                    issued_here += 1
-                    budget -= 1
-                    issued_any = True
-                if issued_here:
-                    scheduler.note_issue(warp_id)
-                else:
-                    # Drained warps must report stalls too: a two-level
-                    # scheduler has to swap them out of the active set
-                    # or pending warps would starve.
-                    scheduler.note_stall(warp_id)
-        return issued_any
-
-    def _try_issue(self, warp: _WarpState) -> bool:
-        inst = warp.next_instruction
-        if inst is None or warp.control_pending:
-            return False
-        if not self.scoreboard.can_issue(warp.warp_id, inst):
-            self.counters.issue_stalls_scoreboard += 1
-            if self.recorder is not None:
-                self.recorder.emit(
-                    self.cycle, EventKind.ISSUE_STALL, warp=warp.warp_id,
-                    reason="scoreboard", trace_index=warp.pc,
-                    opcode=inst.opcode.name,
-                )
-            return False
-        if not self.provider.can_accept(warp.warp_id):
-            self.counters.issue_stalls_collector += 1
-            if self.recorder is not None:
-                self.recorder.emit(
-                    self.cycle, EventKind.ISSUE_STALL, warp=warp.warp_id,
-                    reason="collector", trace_index=warp.pc,
-                    opcode=inst.opcode.name,
-                )
-            return False
-
-        entry = InflightInstruction(
-            warp_id=warp.warp_id,
-            trace_index=warp.pc,
-            inst=inst,
-            issue_cycle=self.cycle,
-        )
-        self.scoreboard.reserve(warp.warp_id, inst)
-        self.scoreboard.reserve_reads(warp.warp_id, inst)
-        self.provider.insert(entry)
-        if inst.is_memory:
-            self._undispatched_mem.setdefault(warp.warp_id, set()).add(warp.pc)
-        warp.pc += 1
-        self._in_flight += 1
-        self.counters.issued += 1
-        if self.recorder is not None:
-            self.recorder.emit(
-                self.cycle, EventKind.ISSUE, warp=warp.warp_id,
-                trace_index=entry.trace_index, opcode=inst.opcode.name,
-            )
-        if inst.is_control:
-            warp.control_pending = True
-        return True
+        self.state.write_queue.clear()
 
 
 def simulate_baseline(

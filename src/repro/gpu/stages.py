@@ -1,0 +1,454 @@
+"""Pipeline stages of the SM engine.
+
+:class:`~repro.gpu.sm.SMEngine` processes one cycle back-to-front so
+results never skip a stage; each step of that reverse walk is an
+explicit stage object here, all sharing one typed :class:`EngineState`:
+
+1. :class:`CompleteStage` — functional units finishing this cycle hand
+   results to the operand provider, which routes them (RF queue /
+   collector / both, depending on the design).
+2. :class:`BankStage` — queued RF writes arbitrate for bank ports
+   together with the provider's operand reads; granted writes may
+   release the scoreboard, granted reads enter the bank/crossbar
+   pipeline and deliver after ``rf_read_latency``.
+3. :class:`DispatchStage` — instructions whose operands are complete go
+   to a functional unit, round-robin across warps, limited by unit
+   widths; execution semantics run here and schedule a completion.
+4. :class:`IssueStage` — schedulers pick warps (GTO by default); the
+   next trace instruction issues when the scoreboard is clear, the
+   provider has room, and no branch is unresolved.
+
+The stages read static per-instruction facts from the decode cache
+(:mod:`repro.gpu.decode`) instead of re-deriving them per cycle; the
+simulated machine is cycle-for-cycle identical to the pre-stage engine.
+Stage objects hold only references into the engine — all mutable
+per-run state lives in :class:`EngineState`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+from ..stats.trace import EventKind
+from .banks import AccessRequest
+from .collector import InflightInstruction
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .sm import SMEngine
+
+
+class QueuedWrite:
+    """One pending RF write awaiting a bank port."""
+
+    __slots__ = ("warp_id", "register_id", "value", "age", "bank",
+                 "entry", "release_on_grant")
+
+    def __init__(self, warp_id: int, register_id: int, value: int, age: int,
+                 bank: int, entry: Optional[InflightInstruction] = None,
+                 release_on_grant: bool = False):
+        self.warp_id = warp_id
+        self.register_id = register_id
+        self.value = value
+        self.age = age
+        self.bank = bank
+        self.entry = entry
+        self.release_on_grant = release_on_grant
+
+
+class EngineState:
+    """All mutable per-run pipeline state, shared by the stages.
+
+    Attributes:
+        cycle: current simulated cycle (0 before the first step).
+        write_queue: RF writes awaiting a bank port, oldest first.
+        completions: finish cycle -> [(entry, result value)].
+        reads_in_flight: granted reads in the bank/crossbar pipeline,
+            delivery cycle -> [(tag, warp_id, register_id)].
+        inflight_read_tags: tags of granted-but-undelivered reads (the
+            provider must not re-request them).
+        in_flight: issued-but-unretired instruction count.
+        active_warps: warps that still have instructions to issue.
+        dispatch_rotor: round-robin pivot of the dispatch stage.
+        write_age: monotonic age stamp for write arbitration.
+        undispatched_mem: per-warp trace indexes of issued-but-
+            undispatched memory ops (dispatch keeps program order so
+            same-address load/store ordering holds within a warp).
+    """
+
+    __slots__ = ("cycle", "write_queue", "completions", "reads_in_flight",
+                 "inflight_read_tags", "in_flight", "active_warps",
+                 "dispatch_rotor", "write_age", "undispatched_mem")
+
+    def __init__(self) -> None:
+        self.cycle = 0
+        self.write_queue: List[QueuedWrite] = []
+        self.completions: Dict[
+            int, List[Tuple[InflightInstruction, Optional[int]]]
+        ] = {}
+        self.reads_in_flight: Dict[int, List[Tuple[object, int, int]]] = {}
+        self.inflight_read_tags: Set[object] = set()
+        self.in_flight = 0
+        self.active_warps = 0
+        self.dispatch_rotor = 0
+        self.write_age = 0
+        self.undispatched_mem: Dict[int, Set[int]] = {}
+
+
+class _Stage:
+    """A pipeline stage bound to one engine."""
+
+    __slots__ = ("engine", "state")
+
+    def __init__(self, engine: "SMEngine"):
+        self.engine = engine
+        self.state = engine.state
+
+    def run(self) -> bool:
+        """Process one cycle; returns whether any event happened."""
+        raise NotImplementedError
+
+
+class CompleteStage(_Stage):
+    """Hand finishing results to the provider for writeback routing."""
+
+    __slots__ = ()
+
+    def run(self) -> bool:
+        state = self.state
+        finishing = state.completions.pop(state.cycle, None)
+        if not finishing:
+            return False
+        on_complete = self.engine.provider.on_complete
+        for entry, value in finishing:
+            on_complete(entry, value)
+        return True
+
+
+class BankStage(_Stage):
+    """Reads and writes arbitrate together for the single-ported banks."""
+
+    __slots__ = ("_read_due_delta",)
+
+    def __init__(self, engine: "SMEngine"):
+        super().__init__(engine)
+        self._read_due_delta = max(1, engine.config.rf_read_latency)
+
+    def run(self) -> bool:
+        engine = self.engine
+        state = self.state
+        cycle = state.cycle
+        delivered = self._deliver_due_reads(cycle)
+        tags = state.inflight_read_tags
+        reads = engine.provider.read_requests(cycle)
+        if tags and reads:
+            reads = [request for request in reads if request.tag not in tags]
+        write_queue = state.write_queue
+        if write_queue:
+            writes = [
+                AccessRequest(
+                    bank=qw.bank,
+                    warp_id=qw.warp_id,
+                    register_id=qw.register_id,
+                    tag=index,
+                    age=qw.age,
+                )
+                for index, qw in enumerate(write_queue)
+            ]
+        else:
+            writes = []
+        if not reads and not writes:
+            return delivered
+
+        result = engine.arbiter.arbitrate(reads, writes)
+        recorder = engine.recorder
+        engine.counters.bank_conflicts += result.conflicts
+        if recorder is not None and result.conflicts:
+            recorder.emit(cycle, EventKind.BANK_CONFLICT,
+                          count=result.conflicts)
+
+        if result.granted_writes:
+            regfile_write = engine.regfile.write
+            for index in sorted(
+                (request.tag for request in result.granted_writes),
+                reverse=True,
+            ):
+                queued = write_queue.pop(index)
+                regfile_write(queued.warp_id, queued.register_id,
+                              queued.value)
+                if recorder is not None:
+                    recorder.emit(
+                        cycle, EventKind.WRITEBACK, warp=queued.warp_id,
+                        reason="granted", register=queued.register_id,
+                        bank=queued.bank,
+                    )
+                if queued.release_on_grant and queued.entry is not None:
+                    engine.release_scoreboard(queued.entry)
+
+        if result.granted_reads:
+            # Granted reads occupy the bank port now; the data lands in
+            # the collector after the bank/crossbar pipeline latency.
+            due = cycle + self._read_due_delta
+            pending = state.reads_in_flight.setdefault(due, [])
+            for request in result.granted_reads:
+                tags.add(request.tag)
+                pending.append(
+                    (request.tag, request.warp_id, request.register_id)
+                )
+            return True
+        return bool(result.granted_writes or delivered)
+
+    def _deliver_due_reads(self, cycle: int) -> bool:
+        state = self.state
+        due = state.reads_in_flight.pop(cycle, None)
+        if not due:
+            return False
+        engine = self.engine
+        width = engine.config.crossbar_width
+        if width and len(due) > width:
+            # The crossbar moves at most `width` operands per cycle;
+            # the overflow slips to the next cycle.
+            due, deferred = due[:width], due[width:]
+            state.reads_in_flight.setdefault(cycle + 1, []).extend(deferred)
+        discard = state.inflight_read_tags.discard
+        regfile_read = engine.regfile.read
+        deliver = engine.provider.deliver
+        for tag, warp_id, register_id in due:
+            discard(tag)
+            deliver(tag, regfile_read(warp_id, register_id))
+        return True
+
+
+class DispatchStage(_Stage):
+    """Send operand-complete instructions to the functional units."""
+
+    __slots__ = ()
+
+    def run(self) -> bool:
+        engine = self.engine
+        ready = engine.provider.ready_entries()
+        if not ready:
+            return False
+        state = self.state
+        cycle = state.cycle
+        counters = engine.counters
+        recorder = engine.recorder
+        units = engine.units
+        undispatched_mem = state.undispatched_mem
+        # Round-robin across warps (paper SS IV-A), oldest-first per warp.
+        ready.sort(key=lambda e: (e.warp_id, e.issue_cycle, e.trace_index))
+        warp_order = sorted({entry.warp_id for entry in ready})
+        rotor = state.dispatch_rotor % len(warp_order)
+        warp_order = warp_order[rotor:] + warp_order[:rotor]
+        state.dispatch_rotor += 1
+        by_warp: Dict[int, List[InflightInstruction]] = {}
+        for entry in ready:
+            by_warp.setdefault(entry.warp_id, []).append(entry)
+
+        dispatched = False
+        for warp_id in warp_order:
+            for entry in by_warp[warp_id]:
+                dec = entry.dec
+                if dec.is_memory:
+                    # Memory effects apply at dispatch: only the oldest
+                    # undispatched memory op of the warp may go.
+                    pending = undispatched_mem.get(warp_id)
+                    if pending and min(pending) != entry.trace_index:
+                        continue
+                bucket = dec.bucket
+                if not units.can_dispatch_bucket(bucket):
+                    counters.exec_busy_stalls += 1
+                    if recorder is not None:
+                        recorder.emit(
+                            cycle, EventKind.DISPATCH_STALL,
+                            warp=warp_id, reason="exec_busy",
+                            trace_index=entry.trace_index,
+                            opcode=dec.opcode_name,
+                        )
+                    continue
+                units.dispatch_bucket(bucket)
+                engine.provider.on_dispatch(entry)
+                entry.dispatch_cycle = cycle
+                if recorder is not None:
+                    recorder.emit(
+                        cycle, EventKind.DISPATCH, warp=warp_id,
+                        trace_index=entry.trace_index,
+                        opcode=dec.opcode_name,
+                    )
+                # Drop the scoreboard's WAR reader marks: the operands
+                # are collected.
+                reads = engine.warp_state(warp_id).sb_reads
+                for reg_id in dec.source_ids:
+                    remaining = reads.get(reg_id, 0) - 1
+                    if remaining > 0:
+                        reads[reg_id] = remaining
+                    else:
+                        reads.pop(reg_id, None)
+                if dec.is_memory:
+                    undispatched_mem[warp_id].discard(entry.trace_index)
+                if dec.is_control:
+                    # The next PC is determined once the branch leaves
+                    # the collector; issue of the successor may resume.
+                    engine.warp_state(warp_id).control_pending = False
+                self._start_execution(entry, dec)
+                dispatched = True
+        return dispatched
+
+    def _start_execution(self, entry: InflightInstruction, dec) -> None:
+        engine = self.engine
+        state = self.state
+        if dec.is_memory:
+            latency = engine.memory.latency(dec.inst, entry.warp_id,
+                                            entry.trace_index)
+        else:
+            latency = dec.latency
+        value = self._execute(entry, dec)
+        finish = state.cycle + (latency if latency > 1 else 1)
+        state.completions.setdefault(finish, []).append((entry, value))
+
+    def _execute(self, entry: InflightInstruction, dec) -> Optional[int]:
+        """Functional semantics using the *collected* operand values."""
+        engine = self.engine
+        warp_id = entry.warp_id
+        if dec.guard_id is not None:
+            value = engine.predicates.get((warp_id, dec.guard_id), False)
+            if not (not value if dec.guard_negated else value):
+                # Predicated off: consumes the slot, produces nothing.
+                return None
+        operand_values = entry.operand_values
+        operands = [operand_values.get(slot, 0)
+                    for slot in range(dec.num_sources)]
+        while len(operands) < 3:
+            operands.append(dec.imm_pad)
+
+        if dec.is_load:
+            address = engine.memory.thread_address(warp_id, operands[0])
+            return engine.memory.load(address)
+        if dec.is_store:
+            address = engine.memory.thread_address(warp_id, operands[0])
+            engine.memory.store(address, operands[1])
+            return None
+        if dec.is_control or dec.is_nop:
+            return None
+        if dec.semantic is None:
+            from ..errors import SimulationError
+
+            raise SimulationError(f"no semantics for {dec.opcode_name}")
+        if dec.dest_id is None:
+            return None
+        value = dec.semantic(operands[0], operands[1], operands[2])
+        if dec.pred_dest_id is not None:
+            engine.predicates[(warp_id, dec.pred_dest_id)] = bool(value)
+        return value
+
+
+class IssueStage(_Stage):
+    """Schedulers pick warps; hazard-free instructions enter collectors."""
+
+    __slots__ = ("_issue_width",)
+
+    def __init__(self, engine: "SMEngine"):
+        super().__init__(engine)
+        self._issue_width = engine.config.issue_width_per_scheduler
+
+    def run(self) -> bool:
+        engine = self.engine
+        state = self.state
+        counters = engine.counters
+        recorder = engine.recorder
+        provider = engine.provider
+        can_accept = provider.can_accept
+        insert = provider.insert
+        cycle = state.cycle
+        warp_by_id = engine._warp_by_id
+        issue_width = self._issue_width
+        issued_any = False
+        for scheduler in engine.schedulers:
+            budget = issue_width
+            for warp_id in scheduler.candidate_order():
+                if budget == 0:
+                    break
+                warp = warp_by_id[warp_id]
+                issued_here = 0
+                decoded = warp.decoded
+                sb_pending = warp.sb_pending
+                sb_reads = warp.sb_reads
+                sb_preds = warp.sb_preds
+                while budget > 0:
+                    pc = warp.pc
+                    if pc >= warp.end or warp.control_pending:
+                        break
+                    dec = decoded[pc]
+                    # Scoreboard: RAW / WAW / WAR / predicate hazards.
+                    stalled = False
+                    for reg_id in dec.source_ids:
+                        if reg_id in sb_pending:
+                            stalled = True  # RAW
+                            break
+                    dest_id = dec.rf_dest_id
+                    if not stalled:
+                        if dest_id is not None and (
+                            dest_id in sb_pending  # WAW
+                            or sb_reads.get(dest_id)  # WAR
+                        ):
+                            stalled = True
+                        elif (dec.guard_id is not None
+                              and dec.guard_id in sb_preds):
+                            stalled = True  # guard not resolved yet
+                        elif (dec.pred_dest_id is not None
+                              and dec.pred_dest_id in sb_preds):
+                            stalled = True  # predicate WAW
+                    if stalled:
+                        counters.issue_stalls_scoreboard += 1
+                        if recorder is not None:
+                            recorder.emit(
+                                cycle, EventKind.ISSUE_STALL, warp=warp_id,
+                                reason="scoreboard", trace_index=pc,
+                                opcode=dec.opcode_name,
+                            )
+                        break
+                    if not can_accept(warp_id):
+                        counters.issue_stalls_collector += 1
+                        if recorder is not None:
+                            recorder.emit(
+                                cycle, EventKind.ISSUE_STALL, warp=warp_id,
+                                reason="collector", trace_index=pc,
+                                opcode=dec.opcode_name,
+                            )
+                        break
+
+                    entry = InflightInstruction(warp_id, pc, dec.inst,
+                                                cycle, dec=dec)
+                    if dest_id is not None:
+                        sb_pending.add(dest_id)
+                    if dec.pred_dest_id is not None:
+                        sb_preds.add(dec.pred_dest_id)
+                    for reg_id in dec.source_ids:
+                        sb_reads[reg_id] = sb_reads.get(reg_id, 0) + 1
+                    insert(entry)
+                    if dec.is_memory:
+                        state.undispatched_mem.setdefault(
+                            warp_id, set()
+                        ).add(pc)
+                    warp.pc = pc + 1
+                    if pc + 1 == warp.end:
+                        state.active_warps -= 1
+                    state.in_flight += 1
+                    counters.issued += 1
+                    if recorder is not None:
+                        recorder.emit(
+                            cycle, EventKind.ISSUE, warp=warp_id,
+                            trace_index=pc, opcode=dec.opcode_name,
+                        )
+                    if dec.is_control:
+                        warp.control_pending = True
+                    issued_here += 1
+                    budget -= 1
+                    issued_any = True
+                if issued_here:
+                    scheduler.note_issue(warp_id)
+                else:
+                    # Drained warps must report stalls too: a two-level
+                    # scheduler has to swap them out of the active set
+                    # or pending warps would starve.
+                    scheduler.note_stall(warp_id)
+        return issued_any

@@ -34,7 +34,7 @@ from typing import Optional, Tuple
 
 from ..errors import EncodingError
 from .instruction import Instruction, WritebackHint
-from .opcodes import OPCODE_TABLE, Opcode
+from .opcodes import OPCODE_TABLE
 from .registers import Predicate, Register
 
 _NO_REG = 0xFF

@@ -23,7 +23,7 @@ IW=3 values read off the paper's Figure 3 — they are calibration
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from ..errors import KernelError

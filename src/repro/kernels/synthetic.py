@@ -23,11 +23,11 @@ from __future__ import annotations
 import random
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field, replace
-from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Optional, Sequence
 
 from ..errors import KernelError
 from ..isa import Instruction, Register, opcode_by_name
-from .cfg import BasicBlock, Edge, KernelCFG
+from .cfg import KernelCFG
 from .trace import KernelTrace, WarpTrace
 
 _ALU_2SRC = ("add", "sub", "mul", "and", "or", "xor", "shl", "shr", "min", "max")

@@ -11,9 +11,8 @@ latency draws.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict
 
-import numpy as np
 
 from ..errors import SimulationError
 from .mask import ActiveMask

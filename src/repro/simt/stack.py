@@ -15,10 +15,10 @@ reproducible.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
-from ..errors import KernelError, SimulationError
+from ..errors import KernelError
 from ..isa import Instruction
 from ..kernels.cfg import BasicBlock, KernelCFG
 from .dominators import immediate_post_dominators

@@ -9,7 +9,7 @@ time.  Attach one to the engine via ``SMEngine(..., timeline=...)``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
 
 from ..errors import SimulationError
 

@@ -3,7 +3,6 @@ compiler contribution (SS IV-B)."""
 
 import pytest
 
-from repro.compiler.liveness import compute_liveness
 from repro.compiler.writeback import (
     WritebackClass,
     annotate_cfg,
@@ -14,7 +13,6 @@ from repro.compiler.writeback import (
 from repro.errors import CompilerError
 from repro.isa import WritebackHint, parse_program
 from repro.kernels.cfg import BasicBlock, Edge, KernelCFG, straightline_kernel
-from repro.kernels.snippets import btree_snippet
 
 
 def classify(text, window_size=3, live_out=frozenset()):

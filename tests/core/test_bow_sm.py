@@ -98,7 +98,6 @@ class TestWindowSweep:
         assert counters.total_writes <= small_trace.total_writes
 
     def test_bigger_window_bypasses_more(self, small_trace):
-        r2 = simulate_bow(small_trace, memory_seed=11)
         from repro.config import bow_config
 
         r5 = simulate_bow(small_trace, bow=bow_config(5), memory_seed=11)

@@ -1,6 +1,5 @@
 """Tests for the register-file-cache comparison design."""
 
-import pytest
 
 from repro.core.rfc import RFC_ENTRIES_PER_WARP, simulate_rfc
 from repro.gpu.reference import execute_reference

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.config import BOWConfig, GPUConfig, baseline_config, bow_wr_config
+from repro.config import BOWConfig, baseline_config, bow_wr_config
 from repro.energy.static import StaticEnergyModel, total_energy
 from repro.errors import SimulationError
 from repro.stats.counters import Counters

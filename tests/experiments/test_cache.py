@@ -1,7 +1,6 @@
 """Tests for the persistent on-disk run cache."""
 
 import errno
-import json
 import warnings
 
 import pytest

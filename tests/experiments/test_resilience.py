@@ -20,13 +20,7 @@ from repro.errors import (
 from repro.experiments.cache import RunCache
 from repro.experiments.grid import run_grid
 from repro.experiments.resilience import (
-    DEFAULT_POLICY,
-    NO_RETRY,
-    PERMANENT,
-    TRANSIENT,
-    PointFailure,
-    RetryPolicy,
-    classify_failure,
+    NO_RETRY, PERMANENT, TRANSIENT, RetryPolicy, classify_failure,
     describe_failure,
 )
 from repro.experiments.runner import RunScale, clear_cache, set_cache

@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import SimulationError
 from repro.gpu.launch import partition_warps, simulate_launch
-from repro.gpu.reference import execute_reference
 from repro.isa import parse_program
 from repro.kernels.trace import KernelTrace, WarpTrace
 

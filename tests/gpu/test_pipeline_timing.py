@@ -10,7 +10,6 @@ Machine defaults that the arithmetic uses: ALU latency 4, SFU 16,
 rf_read_latency 3, dual-issue GTO, write-priority banks.
 """
 
-import pytest
 
 from repro.core.bow_sm import simulate_design
 from repro.isa import parse_program

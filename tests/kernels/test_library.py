@@ -11,16 +11,8 @@ from repro.core.bow_sm import simulate_design
 from repro.errors import KernelError
 from repro.gpu.memory import MemoryModel
 from repro.kernels.library import (
-    INPUT_BASE,
-    LIBRARY,
-    OUTPUT_BASE,
-    dot_product,
-    prefix_sum,
-    read_outputs,
-    reduction_sum,
-    saxpy,
-    stencil3,
-    vector_add,
+    INPUT_BASE, LIBRARY, dot_product, prefix_sum, read_outputs,
+    reduction_sum, saxpy, stencil3, vector_add,
 )
 
 N = 6

@@ -1,6 +1,5 @@
 """Tests for the synthetic kernel generator."""
 
-from dataclasses import replace
 
 import pytest
 

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.compiler import compute_liveness  # noqa: F401 (import sanity)
 from repro.errors import CompilerError
 from repro.isa import parse_program
 from repro.kernels.cfg import BasicBlock, Edge, KernelCFG

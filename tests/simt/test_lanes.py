@@ -1,10 +1,8 @@
 """Tests for lane-wise execution and predication."""
 
 import numpy as np
-import pytest
 
 from repro.isa import parse_program
-from repro.kernels.cfg import straightline_kernel
 from repro.simt.lanes import LaneState, execute_masked_trace
 from repro.simt.mask import FULL_MASK, WARP_WIDTH, ActiveMask
 from repro.simt.stack import MaskedInstruction, expand_masked_trace

@@ -1,10 +1,9 @@
 """Tests for the SIMT reconvergence stack."""
 
-import pytest
 
 from repro.isa import parse_program
 from repro.kernels.cfg import BasicBlock, Edge, KernelCFG
-from repro.simt.mask import FULL_MASK, WARP_WIDTH, ActiveMask
+from repro.simt.mask import FULL_MASK
 from repro.simt.stack import expand_masked_trace, simd_efficiency
 
 

@@ -6,13 +6,7 @@ benchmark -> (compiler) -> timing simulation -> counters -> energy.
 
 import pytest
 
-from repro import (
-    BOWConfig,
-    EnergyModel,
-    WritebackPolicy,
-    build_benchmark_trace,
-    simulate_design,
-)
+from repro import EnergyModel, build_benchmark_trace, simulate_design
 from repro.compiler import compile_kernel
 from repro.core.window import read_bypass_counts
 from repro.gpu.reference import execute_reference

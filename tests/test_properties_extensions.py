@@ -7,7 +7,6 @@ pass's two contracts (semantics preserved, locality never regresses).
 
 from __future__ import annotations
 
-import random as random_module
 
 from hypothesis import given, settings, strategies as st
 
@@ -65,7 +64,6 @@ def diamond_chain_cfg(draw):
     """A random chain of diamonds and loops (structured control flow)."""
     segments = draw(st.integers(min_value=1, max_value=3))
     blocks = []
-    labels = []
     counter = 0
 
     def alu(dest, src_a, src_b):
