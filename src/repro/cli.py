@@ -60,6 +60,14 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=7,
                      help="memory-latency seed (default matches the "
                           "experiment drivers)")
+    run.add_argument("--sms", type=int, default=None, metavar="N",
+                     help="simulate the launch across N SMs and report "
+                          "device-level numbers (default: the design's "
+                          "registry default, see `repro list --designs`)")
+    run.add_argument("--jobs", type=int, default=1,
+                     help="worker threads dispatching the per-SM engines "
+                          "for --sms (results are identical at any job "
+                          "count; default: 1)")
 
     sweep = sub.add_parser(
         "sweep", help="run a benchmark x design x IW grid, cached")
@@ -74,6 +82,9 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--warps", type=int, default=16)
     sweep.add_argument("--scale", type=float, default=0.25)
     sweep.add_argument("--seed", type=int, default=7)
+    sweep.add_argument("--sms", type=int, default=None, metavar="N",
+                       help="partition every grid point across N SMs "
+                            "(device-scale sweep; default: 1 SM)")
     sweep.add_argument("--cache-dir", default=None,
                        help="run-cache directory (default: "
                             "$REPRO_CACHE_DIR or ~/.cache/repro-bow/runs)")
@@ -169,25 +180,34 @@ def _cmd_list(args) -> int:
                 (("hinted", spec.hinted), ("windowless", spec.windowless))
                 if on
             ) or "-"
-            print(f"  {spec.name:12s} {flags:18s} {spec.description}")
+            print(f"  {spec.name:12s} {flags:18s} sms={spec.num_sms:<3d} "
+                  f"{spec.description}")
+        print("  (sms=N is the design's default SM count; override with "
+              "`repro run --sms`)")
     return 0
 
 
 def _cmd_run(args) -> int:
     from .energy import EnergyModel
-    from .experiments.runner import RunScale, run_design, validate_design
+    from .experiments.runner import (RunScale, resolve_num_sms, run_design,
+                                     using_device_dispatch, validate_design)
     from .stats.report import format_percent
 
     validate_design(args.design)
+    num_sms = resolve_num_sms(args.sms, args.design)
     scale = RunScale(num_warps=args.warps, trace_scale=args.scale,
-                     memory_seed=args.seed)
-    base = run_design(args.benchmark, "baseline", scale=scale)
-    result = run_design(args.benchmark, args.design,
-                        window_size=args.window, scale=scale)
+                     memory_seed=args.seed, num_sms=num_sms)
+    with using_device_dispatch(args.jobs):
+        base = run_design(args.benchmark, "baseline", scale=scale)
+        result = run_design(args.benchmark, args.design,
+                            window_size=args.window, scale=scale)
     counters = result.counters
-    print(f"{args.benchmark.upper()} on {args.design} (IW={args.window}):")
+    device = f", {num_sms} SMs" if num_sms > 1 else ""
+    print(f"{args.benchmark.upper()} on {args.design} "
+          f"(IW={args.window}{device}):")
     print(f"  cycles            {counters.cycles}")
-    print(f"  IPC               {result.ipc:.3f} "
+    ipc_label = "device IPC" if num_sms > 1 else "IPC"
+    print(f"  {ipc_label:17s} {result.ipc:.3f} "
           f"({format_percent(result.ipc / base.ipc - 1.0)} vs baseline)")
     print(f"  RF reads/writes   {counters.rf_reads} / {counters.rf_writes}")
     print(f"  reads bypassed    {format_percent(counters.read_bypass_rate)}")
@@ -201,7 +221,7 @@ def _cmd_sweep(args) -> int:
     from .experiments.cache import RunCache, default_cache_dir
     from .experiments.grid import run_grid
     from .experiments.resilience import DEFAULT_POLICY, RetryPolicy
-    from .experiments.runner import RunScale
+    from .experiments.runner import RunScale, resolve_num_sms
     from .kernels.suites import benchmark_names
 
     benchmarks = tuple(args.benchmarks) or benchmark_names()
@@ -220,7 +240,8 @@ def _cmd_sweep(args) -> int:
         print("error: --retries must be >= 1", file=sys.stderr)
         return 2
     scale = RunScale(num_warps=args.warps, trace_scale=args.scale,
-                     memory_seed=args.seed)
+                     memory_seed=args.seed,
+                     num_sms=resolve_num_sms(args.sms))
     if args.no_cache:
         cache = None
     else:

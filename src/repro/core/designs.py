@@ -58,6 +58,9 @@ class DesignSpec:
             traces must be hint-compiled for the window under test.
         windowless: the design ignores the instruction-window knob
             (cache keys collapse every window to 0).
+        num_sms: default SM count for device-scale runs of this design
+            (``repro run --sms`` overrides it).  1 means the design's
+            canonical numbers are single-SM, as the paper reports them.
     """
 
     name: str
@@ -66,6 +69,14 @@ class DesignSpec:
     bow_config: Optional[BowConfigFactory] = field(default=None, repr=False)
     hinted: bool = False
     windowless: bool = False
+    num_sms: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_sms < 1:
+            raise SimulationError(
+                f"design {self.name!r}: num_sms must be >= 1, "
+                f"got {self.num_sms}"
+            )
 
 
 _REGISTRY: Dict[str, DesignSpec] = {}

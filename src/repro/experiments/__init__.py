@@ -48,6 +48,7 @@ from .figures import (
     fig7_write_destinations,
     fig8_ocu_occupancy,
     fig9_boc_occupancy,
+    fig10_device_ipc,
     fig10_ipc_improvement,
     fig11_halfsize_ipc,
     fig12_oc_residency,
@@ -88,6 +89,7 @@ __all__ = [
     "fig7_write_destinations",
     "fig8_ocu_occupancy",
     "fig9_boc_occupancy",
+    "fig10_device_ipc",
     "fig10_ipc_improvement",
     "fig11_halfsize_ipc",
     "fig12_oc_residency",

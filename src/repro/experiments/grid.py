@@ -230,7 +230,9 @@ class GridResult:
             rows,
             title=(f"Sweep: {len(self.records)} runs, jobs={self.jobs}, "
                    f"{self.scale.num_warps} warps x{self.scale.trace_scale} "
-                   f"seed {self.scale.memory_seed}"),
+                   f"seed {self.scale.memory_seed}"
+                   + (f", {self.scale.num_sms} SMs"
+                      if self.scale.num_sms > 1 else "")),
         )
         summary = (
             f"\n{self.simulated} simulated, {self.from_cache} from disk "
@@ -645,6 +647,7 @@ def run_grid(
                 "num_warps": scale.num_warps,
                 "trace_scale": scale.trace_scale,
                 "memory_seed": scale.memory_seed,
+                "num_sms": scale.num_sms,
             },
         })
 

@@ -17,6 +17,7 @@ from .figures import (
     fig7_write_destinations,
     fig8_ocu_occupancy,
     fig9_boc_occupancy,
+    fig10_device_ipc,
     fig10_ipc_improvement,
     fig11_halfsize_ipc,
     fig12_oc_residency,
@@ -34,6 +35,11 @@ from .tables import (
 
 def _fig10_report(scale: RunScale) -> str:
     bow, bow_wr = fig10_ipc_improvement(scale=scale)
+    return bow.format() + "\n\n" + bow_wr.format()
+
+
+def _fig10b_report(scale: RunScale) -> str:
+    bow, bow_wr = fig10_device_ipc(scale=scale)
     return bow.format() + "\n\n" + bow_wr.format()
 
 
@@ -94,6 +100,8 @@ EXPERIMENTS: Dict[str, tuple] = {
     "fig9": ("BOC entry occupancy",
              lambda scale: fig9_boc_occupancy(scale=scale).format()),
     "fig10": ("IPC improvement (BOW and BOW-WR)", _fig10_report),
+    "fig10b": ("IPC improvement at device scale (multi-SM)",
+               _fig10b_report),
     "fig11": ("IPC improvement with half-size BOCs",
               lambda scale: fig11_halfsize_ipc(scale=scale).format()),
     "fig12": ("OC-stage residency, normalized",

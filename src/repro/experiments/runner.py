@@ -26,6 +26,7 @@ Grid fan-out lives in :mod:`repro.experiments.grid` (``run_grid``).
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, replace
 from typing import Dict, Optional, Tuple
 
@@ -47,22 +48,36 @@ class RunScale:
     Attributes:
         num_warps: warps per launch (the SM supports up to 32).
         trace_scale: multiplier on each benchmark's nominal trace length.
-        memory_seed: seed of the deterministic memory-latency model.
+        memory_seed: seed of the deterministic memory-latency model
+            (also the seed of the device layer's CTA partitioner).
+        num_sms: SMs the launch is partitioned across.  1 (the default)
+            simulates a single SM exactly as before; larger values
+            route the point through :mod:`repro.gpu.device` and report
+            device-level numbers (device IPC, merged counters).
     """
 
     num_warps: int = 16
     trace_scale: float = 0.25
     memory_seed: int = 7
+    num_sms: int = 1
 
     def __post_init__(self) -> None:
         if self.num_warps < 1:
             raise ExperimentError("num_warps must be >= 1")
         if self.trace_scale <= 0:
             raise ExperimentError("trace_scale must be positive")
+        if self.num_sms < 1:
+            raise ExperimentError(
+                f"num_sms must be >= 1, got {self.num_sms}"
+            )
 
 
 QUICK = RunScale(num_warps=16, trace_scale=0.25)
 FULL = RunScale(num_warps=32, trace_scale=0.5)
+
+#: The QUICK grid at device scale: the same launches partitioned over
+#: four SMs (4 CTAs of 4 warps), the benchmark harness's device point.
+DEVICE_QUICK = RunScale(num_warps=16, trace_scale=0.25, num_sms=4)
 
 _trace_cache: Dict[Tuple, KernelTrace] = {}
 _run_cache: Dict[Tuple, SimulationResult] = {}
@@ -148,12 +163,34 @@ def validate_design(design: str) -> None:
     design_spec(design)
 
 
+def resolve_num_sms(num_sms: Optional[int], design: Optional[str] = None
+                    ) -> int:
+    """The SM count a CLI surface should run at.
+
+    ``None`` falls back to the design's registry default (or 1 without
+    a design); invalid values raise the same
+    :class:`~repro.errors.ExperimentError` every experiment surface
+    uses, so ``--sms 0`` fails identically on ``run`` and ``sweep``.
+    """
+    if num_sms is None:
+        return design_spec(design).num_sms if design is not None else 1
+    if num_sms < 1:
+        raise ExperimentError(f"num_sms must be >= 1, got {num_sms}")
+    return num_sms
+
+
+def device_scale(scale: RunScale, num_sms: int) -> RunScale:
+    """``scale`` re-targeted at ``num_sms`` SMs (validated)."""
+    return replace(scale, num_sms=resolve_num_sms(num_sms))
+
+
 def memo_key(
     benchmark: str, design: str, window_size: int, scale: RunScale
 ) -> Tuple:
     """The process-local memo key of one design point."""
     return (benchmark.upper(), design, effective_window(design, window_size),
-            scale.num_warps, scale.trace_scale, scale.memory_seed)
+            scale.num_warps, scale.trace_scale, scale.memory_seed,
+            scale.num_sms)
 
 
 def memo_store(
@@ -197,6 +234,34 @@ def benchmark_trace(
     return trace
 
 
+#: Dispatcher settings for device-scale points resolved by this
+#: process: ``(jobs, executor)``.  Grid workers keep the serial default
+#: (their parallelism is across grid points already); the CLI threads
+#: ``run --sms --jobs`` through :func:`using_device_dispatch`.
+_device_dispatch: Tuple[int, str] = (1, "thread")
+
+
+def set_device_dispatch(jobs: int, executor: str = "thread") -> None:
+    """Set how device-scale runs dispatch their SMs in this process."""
+    global _device_dispatch
+    _device_dispatch = (max(1, int(jobs)), executor)
+
+
+@contextlib.contextmanager
+def using_device_dispatch(jobs: int, executor: str = "thread"):
+    """Temporarily override the device dispatcher (CLI plumbing).
+
+    Device results are bit-identical across job counts and executor
+    kinds, so this changes wall-clock only — cached results stay valid.
+    """
+    previous = _device_dispatch
+    set_device_dispatch(jobs, executor)
+    try:
+        yield
+    finally:
+        set_device_dispatch(*previous)
+
+
 def execute_run(
     benchmark: str,
     design: str,
@@ -208,6 +273,9 @@ def execute_run(
     This is the single place the experiment layer invokes the timing
     simulator; ``run_design`` and the grid workers both come through
     here, which is what makes the invocation counter trustworthy.
+    A scale with ``num_sms > 1`` routes through the device layer
+    (:mod:`repro.gpu.device`) and yields the merged device result;
+    ``num_sms = 1`` is the unchanged single-SM path.
     """
     global _simulations_run
     spec = design_spec(design)
@@ -215,6 +283,14 @@ def execute_run(
         benchmark, scale, window_size=window_size if spec.hinted else None
     )
     _simulations_run += 1
+    if scale.num_sms > 1:
+        from ..gpu.device import simulate_device
+
+        jobs, executor = _device_dispatch
+        return simulate_device(
+            design, trace, num_sms=scale.num_sms, window_size=window_size,
+            memory_seed=scale.memory_seed, jobs=jobs, executor=executor,
+        ).to_simulation_result()
     return simulate_design(
         design, trace, window_size=window_size, memory_seed=scale.memory_seed
     )

@@ -30,8 +30,22 @@ from .collector import (
 from .sm import SMEngine, SimulationResult, simulate_baseline
 from .reference import ReferenceResult, execute_reference
 from .launch import LaunchResult, partition_warps, simulate_launch
+from .device import (
+    DevicePartition,
+    DeviceResult,
+    SMPartition,
+    merge_counters,
+    partition_launch,
+    simulate_device,
+)
 
 __all__ = [
+    "DevicePartition",
+    "DeviceResult",
+    "SMPartition",
+    "merge_counters",
+    "partition_launch",
+    "simulate_device",
     "ReferenceResult",
     "execute_reference",
     "LaunchResult",

@@ -114,8 +114,9 @@ _SCALE_SCHEMA: Dict[str, Any] = {
         "num_warps": {"type": "integer", "minimum": 1},
         "trace_scale": {"type": "number"},
         "memory_seed": {"type": "integer"},
+        "num_sms": {"type": "integer", "minimum": 1},
     },
-    "required": ["num_warps", "trace_scale", "memory_seed"],
+    "required": ["num_warps", "trace_scale", "memory_seed", "num_sms"],
     "additionalProperties": False,
 }
 

@@ -1,0 +1,154 @@
+"""Tests for the perf-regression gate (``tools/update_bench_baseline.py``).
+
+The tool lives outside the package (it is CI plumbing, not simulator
+code), so it is loaded by file path.  These tests pin the comparison
+semantics the CI job relies on: generous threshold, failure on missing
+coverage, and tolerance for new designs and speedups.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+TOOL_PATH = (Path(__file__).parent.parent / "tools"
+             / "update_bench_baseline.py")
+
+
+@pytest.fixture(scope="module")
+def tool():
+    spec = importlib.util.spec_from_file_location("update_bench_baseline",
+                                                  TOOL_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def results_document(rates):
+    """A minimal pytest-benchmark JSON document with our extra_info."""
+    return {
+        "benchmarks": [
+            {"extra_info": {"design": design, "cycles_per_sec": rate,
+                            "cycles": 1000}}
+            for design, rate in rates.items()
+        ],
+    }
+
+
+def baseline_designs(rates):
+    return {design: {"cycles_per_sec": rate, "cycles": 1000}
+            for design, rate in rates.items()}
+
+
+class TestExtractRates:
+    def test_extracts_engine_entries(self, tool):
+        rates = tool.extract_rates(results_document({"bow": 5000}))
+        assert rates == {"bow": {"cycles_per_sec": 5000, "cycles": 1000}}
+
+    def test_ignores_foreign_benches(self, tool):
+        document = {"benchmarks": [
+            {"extra_info": {}},  # a figure bench: no engine fields
+            {"extra_info": {"design": "bow", "cycles_per_sec": 5000}},
+        ]}
+        assert list(tool.extract_rates(document)) == ["bow"]
+
+    def test_empty_document(self, tool):
+        assert tool.extract_rates({}) == {}
+
+
+class TestCompare:
+    def test_identical_passes(self, tool):
+        baseline = baseline_designs({"bow": 1000, "baseline": 2000})
+        current = baseline_designs({"bow": 1000, "baseline": 2000})
+        assert tool.compare(baseline, current) == []
+
+    def test_small_drop_within_threshold_passes(self, tool):
+        baseline = baseline_designs({"bow": 1000})
+        current = baseline_designs({"bow": 800})  # -20% < 25%
+        assert tool.compare(baseline, current, threshold=0.25) == []
+
+    def test_large_drop_fails(self, tool):
+        baseline = baseline_designs({"bow": 1000})
+        current = baseline_designs({"bow": 700})  # -30% > 25%
+        problems = tool.compare(baseline, current, threshold=0.25)
+        assert len(problems) == 1
+        assert "bow" in problems[0]
+        assert "30.0%" in problems[0]
+
+    def test_speedup_passes(self, tool):
+        baseline = baseline_designs({"bow": 1000})
+        current = baseline_designs({"bow": 5000})
+        assert tool.compare(baseline, current) == []
+
+    def test_missing_design_fails(self, tool):
+        baseline = baseline_designs({"bow": 1000, "rfc": 1000})
+        current = baseline_designs({"bow": 1000})
+        problems = tool.compare(baseline, current)
+        assert len(problems) == 1
+        assert "rfc" in problems[0]
+
+    def test_new_design_tolerated(self, tool):
+        # A design added to the bench but not yet in the baseline must
+        # not fail the gate (the baseline refresh lands separately).
+        baseline = baseline_designs({"bow": 1000})
+        current = baseline_designs({"bow": 1000, "shiny": 10})
+        assert tool.compare(baseline, current) == []
+
+    def test_threshold_is_configurable(self, tool):
+        baseline = baseline_designs({"bow": 1000})
+        current = baseline_designs({"bow": 899})  # -10.1%
+        assert tool.compare(baseline, current, threshold=0.25) == []
+        assert tool.compare(baseline, current, threshold=0.10)
+
+
+class TestCheckCommand:
+    def write(self, path, document):
+        path.write_text(json.dumps(document))
+        return path
+
+    def baseline_file(self, tool, tmp_path, rates):
+        return self.write(tmp_path / "baseline.json",
+                          {"designs": baseline_designs(rates)})
+
+    def test_passing_check_exits_zero(self, tool, tmp_path, capsys):
+        baseline = self.baseline_file(tool, tmp_path, {"bow": 1000})
+        results = self.write(tmp_path / "results.json",
+                             results_document({"bow": 1100}))
+        assert tool.main(["--check", str(results),
+                          "--baseline", str(baseline)]) == 0
+        assert "gate passed" in capsys.readouterr().out
+
+    def test_regression_exits_one(self, tool, tmp_path, capsys):
+        baseline = self.baseline_file(tool, tmp_path, {"bow": 1000})
+        results = self.write(tmp_path / "results.json",
+                             results_document({"bow": 100}))
+        assert tool.main(["--check", str(results),
+                          "--baseline", str(baseline)]) == 1
+        assert "FAILED" in capsys.readouterr().err
+
+    def test_missing_baseline_exits_one(self, tool, tmp_path, capsys):
+        results = self.write(tmp_path / "results.json",
+                             results_document({"bow": 1000}))
+        assert tool.main(["--check", str(results),
+                          "--baseline", str(tmp_path / "nope.json")]) == 1
+        assert "no baseline" in capsys.readouterr().err
+
+    def test_bad_threshold_rejected(self, tool, tmp_path):
+        results = self.write(tmp_path / "results.json",
+                             results_document({"bow": 1000}))
+        with pytest.raises(SystemExit):
+            tool.main(["--check", str(results), "--threshold", "2.0"])
+
+
+class TestCommittedBaseline:
+    def test_baseline_matches_bench_designs(self, tool):
+        """The committed baseline covers exactly the bench's designs."""
+        document = json.loads(tool.BASELINE_PATH.read_text())
+        from benchmarks.test_engine_perf import DESIGNS
+
+        assert sorted(document["designs"]) == sorted(DESIGNS)
+        for recorded in document["designs"].values():
+            assert recorded["cycles_per_sec"] > 0

@@ -32,6 +32,48 @@ class TestRun:
         assert code == 1
 
 
+class TestRunDevice:
+    def test_run_sms_prints_device_ipc(self, capsys):
+        code = main(["run", "BFS", "--warps", "8", "--scale", "0.1",
+                     "--sms", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 SMs" in out
+        assert "device IPC" in out
+
+    def test_run_sms_jobs_accepted(self, capsys):
+        code = main(["run", "BFS", "--warps", "8", "--scale", "0.1",
+                     "--sms", "2", "--jobs", "2"])
+        assert code == 0
+        assert "device IPC" in capsys.readouterr().out
+
+    def test_run_single_sm_unchanged(self, capsys):
+        code = main(["run", "BFS", "--warps", "4", "--scale", "0.1",
+                     "--sms", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "device IPC" not in out
+        assert "IPC" in out
+
+    def test_run_zero_sms_fails_cleanly(self, capsys):
+        code = main(["run", "BFS", "--warps", "4", "--scale", "0.1",
+                     "--sms", "0"])
+        assert code == 1
+        assert "num_sms" in capsys.readouterr().err
+
+    def test_run_negative_sms_fails_cleanly(self, capsys):
+        code = main(["run", "BFS", "--warps", "4", "--scale", "0.1",
+                     "--sms", "-2"])
+        assert code == 1
+        assert "num_sms" in capsys.readouterr().err
+
+    def test_list_designs_show_sms_default(self, capsys):
+        assert main(["list", "--designs"]) == 0
+        out = capsys.readouterr().out
+        assert "sms=1" in out
+        assert "--sms" in out  # the discoverability hint
+
+
 class TestRunSeed:
     def test_seed_flag_accepted(self, capsys):
         code = main(["run", "BFS", "--warps", "2", "--scale", "0.1",
@@ -109,6 +151,29 @@ class TestSweep:
                      "--warps", "2", "--scale", "0.1", "--no-cache"])
         assert code == 2
         assert "comma-separated integers" in capsys.readouterr().err
+
+    def test_sweep_sms_reports_device_points(self, capsys):
+        code = main(["sweep", "BFS", "--designs", "bow",
+                     "--warps", "8", "--scale", "0.1", "--no-cache",
+                     "--sms", "2"])
+        assert code == 0
+        assert "2 SMs" in capsys.readouterr().out
+
+    def test_sweep_zero_sms_fails_cleanly(self, capsys):
+        code = main(["sweep", "BFS", "--designs", "bow",
+                     "--warps", "8", "--scale", "0.1", "--no-cache",
+                     "--sms", "0"])
+        assert code == 1
+        assert "num_sms" in capsys.readouterr().err
+
+    def test_device_and_single_sm_cached_separately(self, tmp_path, capsys):
+        argv = ["sweep", "BFS", "--designs", "bow", "--warps", "8",
+                "--scale", "0.1", "--cache-dir", str(tmp_path / "runs")]
+        assert main(argv + ["--sms", "2"]) == 0
+        assert "1 simulated" in capsys.readouterr().out
+        # The single-SM point is a different key: it must simulate too.
+        assert main(argv) == 0
+        assert "1 simulated" in capsys.readouterr().out
 
 
 class TestSweepTelemetry:

@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Maintain and enforce the engine throughput baseline.
+
+``benchmarks/BENCH_engine.json`` records the committed cycles/sec of
+every design in ``benchmarks/test_engine_perf.py``.  CI's
+perf-regression job re-runs that bench with ``--benchmark-json`` and
+calls this script in ``--check`` mode, which fails (exit 1) when any
+design's throughput dropped more than ``--threshold`` (default 25%)
+below the baseline.
+
+Refresh the baseline after an intentional perf change::
+
+    python tools/update_bench_baseline.py
+
+Check a fresh pytest-benchmark results file against the baseline::
+
+    python tools/update_bench_baseline.py --check results.json
+
+The comparison is deliberately generous (25%, minimum over 3 rounds)
+so machine-to-machine noise does not fail CI, while the order-of-
+magnitude slowdowns worth catching still do.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+from typing import Dict, List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "benchmarks" / "BENCH_engine.json"
+BENCH_FILE = REPO_ROOT / "benchmarks" / "test_engine_perf.py"
+DEFAULT_THRESHOLD = 0.25
+
+
+def extract_rates(results: dict) -> Dict[str, dict]:
+    """Per-design throughput from a pytest-benchmark JSON document.
+
+    Returns ``{design: {"cycles_per_sec": int, "cycles": int}}`` for
+    every benchmark entry that carries the engine bench's
+    ``extra_info`` fields; entries without them are ignored.
+    """
+    rates: Dict[str, dict] = {}
+    for entry in results.get("benchmarks", []):
+        info = entry.get("extra_info", {})
+        if "design" not in info or "cycles_per_sec" not in info:
+            continue
+        rates[info["design"]] = {
+            "cycles_per_sec": int(info["cycles_per_sec"]),
+            "cycles": int(info.get("cycles", 0)),
+        }
+    return rates
+
+
+def compare(baseline: Dict[str, dict], current: Dict[str, dict],
+            threshold: float = DEFAULT_THRESHOLD) -> List[str]:
+    """Regression messages (empty = the gate passes).
+
+    A design regresses when its cycles/sec dropped more than
+    ``threshold`` below the baseline; a design present in the baseline
+    but missing from the results is also a failure (the bench stopped
+    covering it).  Designs that got *faster*, or new designs not yet in
+    the baseline, pass.
+    """
+    problems = []
+    for design, recorded in sorted(baseline.items()):
+        reference = recorded["cycles_per_sec"]
+        if design not in current:
+            problems.append(f"{design}: missing from results "
+                            "(bench no longer covers it?)")
+            continue
+        measured = current[design]["cycles_per_sec"]
+        if reference <= 0:
+            continue
+        drop = 1.0 - measured / reference
+        if drop > threshold:
+            problems.append(
+                f"{design}: {measured} cycles/sec is {drop:.1%} below "
+                f"the baseline {reference} (threshold {threshold:.0%})"
+            )
+    return problems
+
+
+def run_bench(json_path: Path) -> dict:
+    """Run the engine bench, returning its pytest-benchmark document."""
+    command = [
+        sys.executable, "-m", "pytest", str(BENCH_FILE),
+        "--benchmark-only", "-q",
+        f"--benchmark-json={json_path}",
+    ]
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    if src not in env.get("PYTHONPATH", "").split(os.pathsep):
+        env["PYTHONPATH"] = os.pathsep.join(
+            part for part in (src, env.get("PYTHONPATH")) if part
+        )
+    completed = subprocess.run(command, cwd=REPO_ROOT, env=env)
+    if completed.returncode != 0:
+        raise SystemExit(f"engine bench failed (exit {completed.returncode})")
+    return json.loads(json_path.read_text())
+
+
+def refresh(baseline_path: Path = BASELINE_PATH) -> Dict[str, dict]:
+    """Re-run the bench and rewrite the committed baseline."""
+    with tempfile.TemporaryDirectory() as tmp:
+        results = run_bench(Path(tmp) / "results.json")
+    rates = extract_rates(results)
+    if not rates:
+        raise SystemExit("no engine bench entries found in the results")
+    document = {
+        "bench": "benchmarks/test_engine_perf.py",
+        "metric": "cycles_per_sec (min over rounds)",
+        "threshold": DEFAULT_THRESHOLD,
+        "designs": rates,
+    }
+    baseline_path.write_text(json.dumps(document, indent=2, sort_keys=True)
+                             + "\n")
+    return rates
+
+
+def check(results_path: Path, baseline_path: Path = BASELINE_PATH,
+          threshold: float = DEFAULT_THRESHOLD) -> int:
+    """Compare a results file against the baseline; 0 = gate passes."""
+    if not baseline_path.exists():
+        print(f"error: no baseline at {baseline_path}; "
+              "run tools/update_bench_baseline.py first", file=sys.stderr)
+        return 1
+    baseline = json.loads(baseline_path.read_text())["designs"]
+    current = extract_rates(json.loads(results_path.read_text()))
+    problems = compare(baseline, current, threshold)
+    if problems:
+        print("perf regression gate FAILED:", file=sys.stderr)
+        for line in problems:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    for design, recorded in sorted(baseline.items()):
+        measured = current[design]["cycles_per_sec"]
+        delta = measured / recorded["cycles_per_sec"] - 1.0
+        print(f"  {design:12s} {measured:>12d} cycles/sec "
+              f"({delta:+.1%} vs baseline)")
+    print("perf regression gate passed")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check", metavar="RESULTS.json", type=Path, default=None,
+        help="compare a pytest-benchmark JSON file against the baseline "
+             "instead of refreshing it",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=BASELINE_PATH,
+        help=f"baseline file (default: {BASELINE_PATH})",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help="maximum tolerated cycles/sec drop, as a fraction "
+             f"(default: {DEFAULT_THRESHOLD})",
+    )
+    args = parser.parse_args(argv)
+    if args.threshold <= 0 or args.threshold >= 1:
+        parser.error("--threshold must be between 0 and 1 (exclusive)")
+    if args.check is not None:
+        return check(args.check, args.baseline, args.threshold)
+    rates = refresh(args.baseline)
+    for design, recorded in sorted(rates.items()):
+        print(f"  {design:12s} {recorded['cycles_per_sec']:>12d} cycles/sec")
+    print(f"baseline written to {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
