@@ -15,6 +15,16 @@ Commands:
   print the per-stage event rollup, and optionally export the events
   (``--out`` + ``--format chrome|jsonl|csv``) for ``chrome://tracing``
   or downstream tooling.
+* ``serve [--port P]``          — run the asyncio sweep service: an
+  always-on server that accepts sweep jobs over newline-delimited
+  JSON, deduplicates identical in-flight points across clients
+  (single-flight on the run-cache key), and batches new work into
+  the cached, fault-tolerant grid engine.
+* ``loadgen [--clients N]``     — drive a running ``serve`` with N
+  concurrent clients requesting an identical grid (cold pass + warm
+  pass), print throughput/latency, and optionally write the
+  ``BENCH_service.json`` report (``--bench-out``); ``--expect-dedup``
+  turns the single-flight claims into exit-code assertions for CI.
 * ``experiment ID``             — regenerate a paper table/figure.
 * ``ablation NAME``             — run one of the ablation studies.
 * ``compile FILE``              — assemble + classify a kernel file,
@@ -137,6 +147,71 @@ def _build_parser() -> argparse.ArgumentParser:
                        choices=["chrome", "jsonl", "csv"],
                        help="export format for --out (default: chrome "
                             "trace-event JSON for chrome://tracing)")
+
+    serve = sub.add_parser(
+        "serve", help="run the single-flight sweep service")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8337,
+                       help="TCP port to listen on (0 picks an "
+                            "ephemeral port; default: 8337)")
+    serve.add_argument("--jobs", type=int, default=1,
+                       help="worker processes inside each batched grid "
+                            "call (default: 1)")
+    serve.add_argument("--batch-window", type=float, default=None,
+                       metavar="SECONDS",
+                       help="how long the dispatcher lingers after new "
+                            "work arrives so concurrent submissions "
+                            "share one batch (default: 0.02)")
+    serve.add_argument("--max-batch", type=int, default=None, metavar="N",
+                       help="largest number of points dispatched as one "
+                            "grid call (default: 64)")
+    serve.add_argument("--cache-dir", default=None,
+                       help="run-cache directory (default: "
+                            "$REPRO_CACHE_DIR or ~/.cache/repro-bow/runs)")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="serve without an on-disk run cache")
+    serve.add_argument("--retries", type=int, default=None, metavar="N",
+                       help="attempts per point before its waiters see "
+                            "a failure (default: the sweep policy)")
+    serve.add_argument("--timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-point wall-clock budget inside batches")
+    serve.add_argument("--telemetry-dir", default=None, metavar="DIR",
+                       help="stream per-job telemetry to DIR/job-NNNN"
+                            ".jsonl plus a service-wide service.jsonl")
+
+    loadgen = sub.add_parser(
+        "loadgen", help="benchmark a running sweep service")
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, default=8337)
+    loadgen.add_argument("--clients", type=int, default=8,
+                         help="concurrent client connections per pass "
+                              "(default: 8)")
+    loadgen.add_argument("--points", type=int, default=None, metavar="M",
+                         help="cap each client's request at the first M "
+                              "points of the expanded grid")
+    loadgen.add_argument("--benchmarks", default="BFS,NW",
+                         help="comma-separated benchmark list")
+    loadgen.add_argument("--designs", default="baseline,bow",
+                         help="comma-separated design list")
+    loadgen.add_argument("--windows", default="3",
+                         help="comma-separated instruction windows")
+    loadgen.add_argument("--warps", type=int, default=4)
+    loadgen.add_argument("--scale", type=float, default=0.1)
+    loadgen.add_argument("--seed", type=int, default=7)
+    loadgen.add_argument("--sms", type=int, default=None, metavar="N",
+                         help="request device-scale points across N SMs")
+    loadgen.add_argument("--priority", type=int, default=0)
+    loadgen.add_argument("--bench-out", default=None, metavar="FILE",
+                         help="write the JSON throughput/latency report "
+                              "to FILE (the BENCH_service.json artifact)")
+    loadgen.add_argument("--expect-dedup", action="store_true",
+                         help="exit 1 unless the cold pass executed each "
+                              "unique point exactly once and the warm "
+                              "pass simulated nothing")
+    loadgen.add_argument("--shutdown", action="store_true",
+                         help="ask the server to shut down after the "
+                              "final pass (CI cleanup)")
 
     experiment = sub.add_parser("experiment",
                                 help="regenerate a paper table/figure")
@@ -269,19 +344,25 @@ def _cmd_sweep(args) -> int:
         print(f"telemetry: {telemetry.records} record(s) -> "
               f"{args.telemetry}", file=sys.stderr)
     print(grid.format())
+    # Report every diagnostic before deciding the exit code: a partial
+    # grid always exits 3 (the documented --keep-going contract), even
+    # when an --expect-warm/--expect-sims expectation also failed —
+    # failed points are the more fundamental problem, and CI scripts
+    # key on the documented code.
+    expectation_failed = False
     if args.expect_warm and grid.simulated:
         print(f"error: expected a warm cache but {grid.simulated} run(s) "
               f"had to be simulated", file=sys.stderr)
-        return 1
+        expectation_failed = True
     if args.expect_sims is not None and grid.simulated != args.expect_sims:
         print(f"error: expected exactly {args.expect_sims} simulated "
               f"run(s) but {grid.simulated} were", file=sys.stderr)
-        return 1
+        expectation_failed = True
     if grid.failures:
         print(f"warning: {len(grid.failures)} grid point(s) failed; "
               f"see the failure table above", file=sys.stderr)
         return 3
-    return 0
+    return 1 if expectation_failed else 0
 
 
 def _cmd_trace(args) -> int:
@@ -338,6 +419,102 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .experiments.cache import RunCache, default_cache_dir
+    from .experiments.resilience import DEFAULT_POLICY, RetryPolicy
+    from .observe.telemetry import TelemetryWriter
+    from .service import SweepService, serve
+
+    if args.retries is not None and args.retries < 1:
+        print("error: --retries must be >= 1", file=sys.stderr)
+        return 2
+    if args.no_cache:
+        cache = None
+    else:
+        cache = RunCache(args.cache_dir or default_cache_dir())
+    retry = RetryPolicy(
+        max_attempts=(DEFAULT_POLICY.max_attempts if args.retries is None
+                      else args.retries),
+        timeout=args.timeout,
+    )
+    telemetry = None
+    if args.telemetry_dir:
+        import os
+
+        os.makedirs(args.telemetry_dir, exist_ok=True)
+        telemetry = TelemetryWriter(
+            os.path.join(args.telemetry_dir, "service.jsonl"))
+    kwargs = {}
+    if args.batch_window is not None:
+        kwargs["batch_window"] = args.batch_window
+    if args.max_batch is not None:
+        kwargs["max_batch"] = args.max_batch
+    service = SweepService(
+        cache=cache, jobs=args.jobs, retry=retry, telemetry=telemetry,
+        telemetry_dir=args.telemetry_dir, **kwargs,
+    )
+    try:
+        asyncio.run(serve(
+            args.host, args.port, service=service,
+            announce=lambda line: print(line, file=sys.stderr, flush=True),
+        ))
+    except KeyboardInterrupt:
+        print("interrupted; shutting down", file=sys.stderr)
+    finally:
+        if telemetry is not None:
+            telemetry.close()
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    from .experiments.runner import RunScale, resolve_num_sms
+    from .service import format_report, run_loadgen
+
+    benchmarks = tuple(
+        name.strip() for name in args.benchmarks.split(",") if name.strip()
+    )
+    designs = tuple(
+        name.strip() for name in args.designs.split(",") if name.strip()
+    )
+    try:
+        windows = tuple(
+            int(item) for item in args.windows.split(",") if item.strip()
+        )
+    except ValueError:
+        print(f"error: --windows expects comma-separated integers, "
+              f"got {args.windows!r}", file=sys.stderr)
+        return 2
+    if args.clients < 1:
+        print("error: --clients must be >= 1", file=sys.stderr)
+        return 2
+    if args.points is not None and args.points < 1:
+        print("error: --points must be >= 1", file=sys.stderr)
+        return 2
+    scale = RunScale(num_warps=args.warps, trace_scale=args.scale,
+                     memory_seed=args.seed,
+                     num_sms=resolve_num_sms(args.sms))
+    report = run_loadgen(
+        args.host, args.port, clients=args.clients, benchmarks=benchmarks,
+        designs=designs, windows=windows, scale=scale,
+        max_points=args.points, priority=args.priority,
+        shutdown=args.shutdown, report_path=args.bench_out,
+    )
+    print(format_report(report))
+    if args.bench_out:
+        print(f"report -> {args.bench_out}", file=sys.stderr)
+    if args.expect_dedup and not report["single_flight"]["dedup_ok"]:
+        flight = report["single_flight"]
+        print(f"error: single-flight dedup violated: cold executed "
+              f"{flight['cold_resolved_once']} of "
+              f"{report['unique_points']} unique point(s) "
+              f"({flight['cold_simulated']} simulated), warm simulated "
+              f"{flight['warm_simulated']}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_experiment(args) -> int:
     from .experiments.registry import run_experiment
     from .experiments.runner import FULL, QUICK
@@ -368,7 +545,7 @@ def _cmd_compile(args) -> int:
     from .isa import parse_program
     from .stats.report import format_table
 
-    with open(args.file) as handle:
+    with open(args.file, encoding="utf-8") as handle:
         program = parse_program(handle.read())
     decisions = {
         item.index: item for item in
@@ -400,6 +577,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_sweep(args)
         if args.command == "trace":
             return _cmd_trace(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "loadgen":
+            return _cmd_loadgen(args)
         if args.command == "experiment":
             return _cmd_experiment(args)
         if args.command == "ablation":

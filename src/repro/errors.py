@@ -142,6 +142,17 @@ class SweepPointError(ExperimentError):
                              self.traceback_text))
 
 
+class ServiceError(ReproError):
+    """The sweep service was asked for something it cannot do.
+
+    Covers protocol-level failures (a malformed request, an unknown
+    operation) and client-side transport failures (the server went
+    away mid-request).  Simulation failures inside a job are *not*
+    ``ServiceError``\\ s — they surface as the original
+    :class:`SweepPointError` per affected point.
+    """
+
+
 class SchemaError(ReproError):
     """An exported artifact does not match its checked-in schema.
 

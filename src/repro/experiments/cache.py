@@ -186,7 +186,7 @@ class RunCache:
 
     def _read_text(self, path: Path) -> str:
         """Read one entry's payload (fault-injection seam)."""
-        return path.read_text()
+        return path.read_text(encoding="utf-8")
 
     def _write_entry(self, path: Path, text: str) -> None:
         """Atomically publish one entry (fault-injection seam)."""
@@ -195,7 +195,7 @@ class RunCache:
             dir=path.parent, prefix=f".{path.stem[:8]}-", suffix=".tmp"
         )
         try:
-            with os.fdopen(fd, "w") as handle:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 handle.write(text)
             os.replace(temp_name, path)
         except OSError:

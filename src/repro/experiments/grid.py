@@ -575,6 +575,7 @@ def run_grid(
     retry: Optional[RetryPolicy] = None,
     strict: bool = True,
     telemetry=None,
+    points: Optional[Sequence[GridPoint]] = None,
 ) -> GridResult:
     """Resolve the full ``benchmarks x designs x windows`` grid.
 
@@ -584,6 +585,13 @@ def run_grid(
             :func:`repro.core.designs.design_names`).
         windows: instruction windows; windowless designs (baseline,
             rfc) contribute one point regardless.
+        points: explicit grid points to resolve *instead of* the
+            ``benchmarks x designs x windows`` cross-product — the
+            reentrant entry the sweep service batches through.  Each
+            item is a :class:`GridPoint` (or a ``(benchmark, design,
+            window)`` tuple); windows are normalized to each design's
+            effective window and duplicates collapse, exactly as in
+            the cross-product path.
         scale: run size; also the source of every point's memory seed.
         jobs: worker processes; ``None`` uses :func:`default_jobs`,
             ``1`` runs serially in-process (no executor).
@@ -613,20 +621,26 @@ def run_grid(
     if disk is not None and not isinstance(disk, RunCache):
         raise ExperimentError("cache must be a RunCache or None")
 
-    for design in designs:
+    if points is not None:
+        requested = [point if isinstance(point, GridPoint)
+                     else GridPoint(*point) for point in points]
+    else:
+        requested = [GridPoint(benchmark, design, window)
+                     for benchmark in benchmarks
+                     for design in designs
+                     for window in windows]
+    for design in {point.design for point in requested}:
         runner.validate_design(design)
 
-    points: List[GridPoint] = []
+    points = []
     seen = set()
-    for benchmark in benchmarks:
-        for design in designs:
-            for window in windows:
-                effective = runner.effective_window(design, window)
-                key = (benchmark.upper(), design, effective)
-                if key in seen:
-                    continue
-                seen.add(key)
-                points.append(GridPoint(benchmark, design, effective))
+    for point in requested:
+        effective = runner.effective_window(point.design, point.window)
+        key = (point.benchmark.upper(), point.design, effective)
+        if key in seen:
+            continue
+        seen.add(key)
+        points.append(GridPoint(point.benchmark, point.design, effective))
     if not points:
         raise ExperimentError("empty grid: no benchmarks/designs/windows")
 

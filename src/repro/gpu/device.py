@@ -201,12 +201,19 @@ class DeviceResult:
         return self.ipc / len(self.per_sm)
 
     def load_imbalance(self) -> float:
-        """Slowest SM's cycles over the mean (1.0 = perfectly balanced)."""
+        """Slowest SM's cycles over the mean (1.0 = perfectly balanced).
+
+        When every SM reports zero cycles the SMs are degenerate but
+        *balanced* — each did exactly as much work as the mean — so the
+        ratio is 1.0, keeping the "1.0 = perfectly balanced" contract.
+        An empty device (no occupied SMs) has no load to compare and
+        returns 0.0.
+        """
         cycles = [r.counters.cycles for r in self.per_sm.values()]
         if not cycles:
             return 0.0
         mean = sum(cycles) / len(cycles)
-        return max(cycles) / mean if mean else 0.0
+        return max(cycles) / mean if mean else 1.0
 
     def to_simulation_result(self) -> SimulationResult:
         """The device run as one :class:`SimulationResult`.

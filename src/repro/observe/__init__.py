@@ -29,7 +29,12 @@ from .schema import (
     validate_event,
     validate_telemetry_record,
 )
-from .telemetry import TELEMETRY_SCHEMA_VERSION, TelemetryWriter
+from .telemetry import (
+    TELEMETRY_SCHEMA_VERSION,
+    StampedTelemetry,
+    TelemetryTee,
+    TelemetryWriter,
+)
 
 __all__ = [
     "CHROME_TRACE_SCHEMA",
@@ -39,6 +44,8 @@ __all__ = [
     "STAGES",
     "TELEMETRY_SCHEMA",
     "TELEMETRY_SCHEMA_VERSION",
+    "StampedTelemetry",
+    "TelemetryTee",
     "TelemetryWriter",
     "TraceEvent",
     "TraceRecorder",

@@ -76,14 +76,14 @@ def chrome_trace(recorder: TraceRecorder, process_name: str = "SM0") -> dict:
 def write_chrome_trace(recorder: TraceRecorder, path: str,
                        process_name: str = "SM0") -> None:
     """Write the Chrome trace-event JSON document to ``path``."""
-    with open(path, "w") as handle:
+    with open(path, "w", encoding="utf-8") as handle:
         json.dump(chrome_trace(recorder, process_name=process_name), handle)
         handle.write("\n")
 
 
 def write_events_csv(recorder: TraceRecorder, path: str) -> None:
     """Write the retained events as CSV (header + one row per event)."""
-    with open(path, "w", newline="") as handle:
+    with open(path, "w", newline="", encoding="utf-8") as handle:
         writer = csv.writer(handle)
         writer.writerow(CSV_COLUMNS)
         for event in recorder.events:
@@ -93,7 +93,7 @@ def write_events_csv(recorder: TraceRecorder, path: str) -> None:
 
 def write_events_jsonl(recorder: TraceRecorder, path: str) -> None:
     """Write the retained events as JSONL (one object per line)."""
-    with open(path, "w") as handle:
+    with open(path, "w", encoding="utf-8") as handle:
         for event in recorder.events:
             handle.write(json.dumps(event.as_dict(), sort_keys=True))
             handle.write("\n")

@@ -28,6 +28,41 @@ from typing import IO, Optional, Union
 TELEMETRY_SCHEMA_VERSION = 1
 
 
+class TelemetryTee:
+    """Fans :meth:`emit` out to several telemetry sinks.
+
+    The sweep service uses this to stream one job's records both to
+    the job's own per-job file and to the service-wide stream.  Sinks
+    are anything with an ``emit(dict)`` method; ``None`` entries are
+    skipped so callers can pass optional sinks directly.  The tee does
+    not own its sinks — closing them is the caller's job.
+    """
+
+    def __init__(self, *sinks) -> None:
+        self._sinks = [sink for sink in sinks if sink is not None]
+
+    def emit(self, record: dict) -> None:
+        for sink in self._sinks:
+            sink.emit(record)
+
+
+class StampedTelemetry:
+    """A telemetry sink that merges fixed fields into every record.
+
+    ``StampedTelemetry(writer, job=3).emit({"type": "job-point"})``
+    writes ``{"job": 3, "type": "job-point"}`` — how the service-wide
+    stream tags which job each record belongs to.  Record fields win
+    over stamped fields on collision.
+    """
+
+    def __init__(self, sink, **fields) -> None:
+        self._sink = sink
+        self._fields = dict(fields)
+
+    def emit(self, record: dict) -> None:
+        self._sink.emit({**self._fields, **record})
+
+
 class TelemetryWriter:
     """Appends JSONL telemetry records to a file or stream.
 
@@ -47,7 +82,7 @@ class TelemetryWriter:
             self._stream: Optional[IO[str]] = target  # type: ignore[assignment]
             self._owns_stream = False
         else:
-            self._stream = open(target, "w")
+            self._stream = open(target, "w", encoding="utf-8")
             self._owns_stream = True
         self.records = 0
 
@@ -55,7 +90,11 @@ class TelemetryWriter:
         """Write one telemetry record as a JSON line and flush."""
         if self._stream is None:
             raise ValueError("telemetry writer is closed")
-        self._stream.write(json.dumps(record, sort_keys=True))
+        # ensure_ascii=False keeps non-ASCII benchmark/design names
+        # readable in the stream; file targets are opened as UTF-8 so
+        # the bytes are well-defined on every platform.
+        self._stream.write(json.dumps(record, sort_keys=True,
+                                      ensure_ascii=False))
         self._stream.write("\n")
         self._stream.flush()
         self.records += 1

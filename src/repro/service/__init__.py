@@ -1,0 +1,46 @@
+"""Simulation-as-a-service: the async single-flight sweep server.
+
+The library's sweep machinery (``run_grid`` + ``RunCache``) wrapped in
+a long-running job service:
+
+* :mod:`repro.service.core` — :class:`SweepService`, the in-process
+  engine: single-flight dedup of in-flight points, a warm dict cache
+  over the on-disk :class:`~repro.experiments.cache.RunCache`, and a
+  priority queue batching new points into reentrant ``run_grid`` calls;
+* :mod:`repro.service.server` — the JSONL-over-TCP wire layer
+  (``repro serve``);
+* :mod:`repro.service.client` — :class:`ServiceClient` and the
+  measured load generator (``repro loadgen``), which emits the
+  ``BENCH_service.json`` throughput/latency report.
+
+See DESIGN.md §10 for the architecture and failure semantics.
+"""
+
+from .client import ServiceClient, format_report, run_loadgen
+from .core import (
+    SERVICE_SCHEMA_VERSION,
+    JobResult,
+    PointOutcome,
+    PointSpec,
+    ServiceStats,
+    SweepService,
+    expand_points,
+)
+from .server import SweepServer, parse_scale, parse_sweep_specs, serve
+
+__all__ = [
+    "SERVICE_SCHEMA_VERSION",
+    "JobResult",
+    "PointOutcome",
+    "PointSpec",
+    "ServiceClient",
+    "ServiceStats",
+    "SweepServer",
+    "SweepService",
+    "expand_points",
+    "format_report",
+    "parse_scale",
+    "parse_sweep_specs",
+    "run_loadgen",
+    "serve",
+]

@@ -1,0 +1,321 @@
+"""Client side of the sweep service: a connection class and a load
+generator.
+
+:class:`ServiceClient` is a thin JSONL-over-TCP connection (one
+request/response pair at a time, matching the server's protocol).
+
+:func:`run_loadgen` is the measured "heavy traffic" harness: it points
+``--clients`` concurrent connections at one server, each requesting an
+*identical* grid, and runs the whole thing twice — a **cold** pass
+(nothing warm, so the single-flight registry must collapse the N
+identical jobs into one simulation per unique point) and a **warm**
+pass (every point a dict hit).  Per-pass wall time, latency
+percentiles, throughput (points served/sec), and the service's counter
+deltas land in a JSON report (``BENCH_service.json`` in CI), and the
+dedup claims become assertable numbers:
+
+* cold pass: ``simulated == unique_points`` — N clients cost one
+  simulation per point;
+* warm pass: ``simulated == 0`` — the common case is a dict lookup.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import ServiceError
+from ..experiments.runner import RunScale
+from .core import SERVICE_SCHEMA_VERSION, expand_points
+
+#: Seconds the loadgen keeps retrying its first connection (the CI
+#: smoke starts the server as a background job, so there is a race).
+CONNECT_RETRY_SECONDS = 10.0
+
+
+class ServiceClient:
+    """One JSONL connection to a sweep server (async)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8337) -> None:
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def connect(self,
+                      retry_seconds: float = 0.0) -> "ServiceClient":
+        """Open the connection, optionally retrying a refused server."""
+        deadline = time.monotonic() + retry_seconds
+        while True:
+            try:
+                self._reader, self._writer = await asyncio.open_connection(
+                    self.host, self.port)
+                return self
+            except OSError as error:
+                if time.monotonic() >= deadline:
+                    raise ServiceError(
+                        f"cannot connect to {self.host}:{self.port}: "
+                        f"{error}") from None
+                await asyncio.sleep(0.1)
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._reader = self._writer = None
+
+    async def __aenter__(self) -> "ServiceClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def request(self, payload: dict) -> dict:
+        """One request/response round trip; raises on protocol errors."""
+        if self._writer is None:
+            raise ServiceError("client is not connected")
+        self._writer.write(json.dumps(payload).encode("utf-8") + b"\n")
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ServiceError("server closed the connection")
+        return json.loads(line.decode("utf-8"))
+
+    async def ping(self) -> dict:
+        return await self.request({"op": "ping"})
+
+    async def stats(self) -> dict:
+        response = await self.request({"op": "stats"})
+        if not response.get("ok"):
+            raise ServiceError(f"stats failed: {response.get('error')}")
+        return response
+
+    async def sweep(self, *, points: Sequence[Sequence] = None,
+                    benchmarks: Sequence[str] = (),
+                    designs: Sequence[str] = (),
+                    windows: Sequence[int] = (3,),
+                    scale: Optional[RunScale] = None,
+                    priority: int = 0) -> dict:
+        request: Dict[str, object] = {"op": "sweep", "priority": priority}
+        if points is not None:
+            request["points"] = [list(point) for point in points]
+        else:
+            request["benchmarks"] = list(benchmarks)
+            request["designs"] = list(designs)
+            request["windows"] = list(windows)
+        if scale is not None:
+            request["scale"] = {
+                "num_warps": scale.num_warps,
+                "trace_scale": scale.trace_scale,
+                "memory_seed": scale.memory_seed,
+                "num_sms": scale.num_sms,
+            }
+        return await self.request(request)
+
+    async def shutdown(self) -> dict:
+        return await self.request({"op": "shutdown"})
+
+
+def _latency_summary(latencies: List[float]) -> Dict[str, float]:
+    ordered = sorted(latencies)
+    if not ordered:
+        return {"mean": 0.0, "p50": 0.0, "p95": 0.0, "max": 0.0}
+
+    def percentile(fraction: float) -> float:
+        index = min(len(ordered) - 1, int(fraction * len(ordered)))
+        return ordered[index]
+
+    return {
+        "mean": sum(ordered) / len(ordered),
+        "p50": percentile(0.50),
+        "p95": percentile(0.95),
+        "max": ordered[-1],
+    }
+
+
+async def _run_pass(host: str, port: int, clients: int,
+                    points: List[List], scale: RunScale,
+                    priority: int) -> dict:
+    """One pass: ``clients`` concurrent identical sweep jobs."""
+
+    async def one_client() -> dict:
+        client = ServiceClient(host, port)
+        await client.connect()
+        try:
+            started = time.perf_counter()
+            response = await client.sweep(points=points, scale=scale,
+                                          priority=priority)
+            seconds = time.perf_counter() - started
+        finally:
+            await client.close()
+        if not response.get("ok"):
+            raise ServiceError(
+                f"sweep failed: {response.get('error', response)}")
+        return {"seconds": seconds, "response": response}
+
+    started = time.perf_counter()
+    finished = await asyncio.gather(*[one_client() for _ in range(clients)])
+    wall = time.perf_counter() - started
+    latencies = [item["seconds"] for item in finished]
+    served = sum(len(item["response"]["points"]) for item in finished)
+    sources: Dict[str, int] = {}
+    for item in finished:
+        for source, count in item["response"]["sources"].items():
+            sources[source] = sources.get(source, 0) + count
+    return {
+        "wall_seconds": wall,
+        "points_served": served,
+        "points_per_sec": served / wall if wall else 0.0,
+        "latency": _latency_summary(latencies),
+        "client_sources": sources,
+    }
+
+
+async def _loadgen_async(host: str, port: int, *, clients: int,
+                         benchmarks: Sequence[str],
+                         designs: Sequence[str],
+                         windows: Sequence[int],
+                         scale: RunScale,
+                         max_points: Optional[int],
+                         priority: int,
+                         shutdown: bool) -> dict:
+    specs = expand_points(benchmarks, designs, windows, scale)
+    if max_points is not None:
+        if max_points < 1:
+            raise ServiceError(f"--points must be >= 1, got {max_points}")
+        specs = specs[:max_points]
+    wire_points = [[spec.benchmark, spec.design, spec.window]
+                   for spec in specs]
+
+    control = ServiceClient(host, port)
+    await control.connect(retry_seconds=CONNECT_RETRY_SECONDS)
+    try:
+        await control.ping()
+        report: dict = {
+            "schema": SERVICE_SCHEMA_VERSION,
+            "host": host,
+            "port": port,
+            "clients": clients,
+            "benchmarks": sorted({spec.benchmark for spec in specs}),
+            "designs": sorted({spec.design for spec in specs}),
+            "windows": sorted({spec.window for spec in specs}),
+            "scale": {
+                "num_warps": scale.num_warps,
+                "trace_scale": scale.trace_scale,
+                "memory_seed": scale.memory_seed,
+                "num_sms": scale.num_sms,
+            },
+            "unique_points": len(specs),
+            "requested_per_client": len(wire_points),
+            "passes": {},
+        }
+        for name in ("cold", "warm"):
+            before = (await control.stats())["stats"]
+            result = await _run_pass(host, port, clients, wire_points,
+                                     scale, priority)
+            after = (await control.stats())["stats"]
+            result["service"] = {
+                key: after[key] - before[key] for key in after
+            }
+            report["passes"][name] = result
+        cold = report["passes"]["cold"]["service"]
+        warm = report["passes"]["warm"]["service"]
+        report["single_flight"] = {
+            # The cold pass may legitimately resolve points from the
+            # on-disk cache or a pre-warmed memo; the dedup claim is
+            # that *at most* one execution per unique point happened,
+            # and that nothing was executed twice.
+            "cold_simulated": cold["simulated"],
+            "cold_resolved_once": (cold["simulated"] + cold["from_cache"]
+                                   + cold["from_memo"]),
+            "cold_coalesced": cold["coalesced"],
+            "cold_warm_hits": cold["warm_hits"],
+            "warm_simulated": warm["simulated"],
+            "warm_hits": warm["warm_hits"],
+            "dedup_ok": (
+                cold["simulated"] <= len(specs)
+                and (cold["simulated"] + cold["from_cache"]
+                     + cold["from_memo"]) == len(specs)
+                and warm["simulated"] == 0
+                and warm["warm_hits"] == clients * len(specs)
+            ),
+        }
+        if shutdown:
+            await control.shutdown()
+    finally:
+        await control.close()
+    return report
+
+
+def run_loadgen(
+    host: str = "127.0.0.1",
+    port: int = 8337,
+    *,
+    clients: int = 8,
+    benchmarks: Sequence[str] = ("BFS", "NW"),
+    designs: Sequence[str] = ("baseline", "bow"),
+    windows: Sequence[int] = (3,),
+    scale: RunScale = None,
+    max_points: Optional[int] = None,
+    priority: int = 0,
+    shutdown: bool = False,
+    report_path: Optional[str] = None,
+) -> dict:
+    """Drive a running server with concurrent identical jobs; report.
+
+    Runs a cold pass and a warm pass of ``clients`` concurrent
+    connections (see the module docstring) and returns the combined
+    report; with ``report_path`` the report is also written as JSON
+    (the ``BENCH_service.json`` CI artifact).  ``shutdown`` sends the
+    server a shutdown op after the final pass.
+    """
+    if clients < 1:
+        raise ServiceError(f"clients must be >= 1, got {clients}")
+    if scale is None:
+        scale = RunScale(num_warps=4, trace_scale=0.1)
+    report = asyncio.run(_loadgen_async(
+        host, port, clients=clients, benchmarks=benchmarks,
+        designs=designs, windows=windows, scale=scale,
+        max_points=max_points, priority=priority, shutdown=shutdown,
+    ))
+    if report_path:
+        with open(report_path, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return report
+
+
+def format_report(report: dict) -> str:
+    """A human-readable summary of one loadgen report."""
+    lines = [
+        f"loadgen: {report['clients']} client(s) x "
+        f"{report['requested_per_client']} point(s) "
+        f"({report['unique_points']} unique) against "
+        f"{report['host']}:{report['port']}",
+    ]
+    for name, data in report["passes"].items():
+        latency = data["latency"]
+        service = data["service"]
+        lines.append(
+            f"  {name:4s}: {data['points_served']} point(s) in "
+            f"{data['wall_seconds']:.2f}s = "
+            f"{data['points_per_sec']:.1f} points/sec | latency "
+            f"mean {latency['mean']:.3f}s p95 {latency['p95']:.3f}s | "
+            f"simulated {service['simulated']}, "
+            f"coalesced {service['coalesced']}, "
+            f"warm hits {service['warm_hits']}"
+        )
+    flight = report["single_flight"]
+    verdict = "OK" if flight["dedup_ok"] else "FAILED"
+    lines.append(
+        f"  single-flight {verdict}: cold executed "
+        f"{flight['cold_resolved_once']}/{report['unique_points']} "
+        f"unique point(s) once ({flight['cold_simulated']} simulated), "
+        f"warm simulated {flight['warm_simulated']}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,582 @@
+"""Single-flight sweep service: the in-process job engine.
+
+:class:`SweepService` turns the library's sweep machinery
+(:func:`~repro.experiments.grid.run_grid` + the on-disk
+:class:`~repro.experiments.cache.RunCache`) into a long-running,
+concurrency-safe job engine.  Clients submit sweep specs — lists of
+``(benchmark, design, window)`` points at one
+:class:`~repro.experiments.runner.RunScale` — and the service resolves
+each point through four layers:
+
+1. **warm dict cache** — results this process has already produced, a
+   plain dict lookup keyed by :func:`~repro.experiments.cache.run_key`;
+2. **single-flight registry** — points currently *in flight* for any
+   client: a later request for the same key attaches to the existing
+   :class:`asyncio.Future` instead of scheduling new work, so N
+   concurrent clients asking for the same grid cost one simulation;
+3. **priority queue + batching** — genuinely new points are queued
+   (lower ``priority`` first, FIFO within a priority) and drained in
+   batches; each batch becomes one reentrant ``run_grid(points=...)``
+   call on a reused thread-pool executor, preserving the grid engine's
+   memo/disk-cache layering and retry/drain semantics unchanged;
+4. **``run_grid`` itself** — which still consults the process memo and
+   the ``RunCache`` before simulating, so a service restart only costs
+   disk reads, not recomputation.
+
+Failures keep their library semantics: a point that exhausts its
+:class:`~repro.experiments.resilience.RetryPolicy` resolves its future
+with the same :class:`~repro.errors.SweepPointError` a strict sweep
+would raise, every job sharing that flight sees it, and the key leaves
+the registry so a later request can retry.
+
+Telemetry: with a ``telemetry_dir`` every job streams JSONL records
+(``job-start`` / ``job-point`` / ``job-failure`` / ``job-summary``)
+to its own ``job-NNNN.jsonl`` file; a service-wide sink (``telemetry``)
+additionally receives every job's records stamped with the job id,
+plus one ``batch`` record per dispatched batch — see
+:class:`~repro.observe.telemetry.TelemetryTee` /
+:class:`~repro.observe.telemetry.StampedTelemetry`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import time
+from dataclasses import dataclass, field, fields
+from functools import partial
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ReproError, ServiceError
+from ..experiments import runner
+from ..experiments.cache import RunCache, run_key
+from ..experiments.grid import GridPoint, run_grid
+from ..experiments.resilience import RetryPolicy
+from ..experiments.runner import RunScale
+from ..gpu.sm import SimulationResult
+from ..observe.telemetry import StampedTelemetry, TelemetryTee, TelemetryWriter
+
+#: Version stamped into service telemetry and loadgen reports.
+SERVICE_SCHEMA_VERSION = 1
+
+#: How long the dispatcher waits after a wake-up for more points to
+#: accumulate before cutting a batch (seconds).  Small enough to be
+#: invisible per-job, large enough that a burst of concurrent clients
+#: lands in one ``run_grid`` call.
+DEFAULT_BATCH_WINDOW = 0.02
+
+#: Largest number of points dispatched as one ``run_grid`` call.
+DEFAULT_MAX_BATCH = 64
+
+
+@dataclass(frozen=True)
+class PointSpec:
+    """One fully-normalized grid point at a concrete scale.
+
+    ``window`` is always the design's *effective* window and
+    ``benchmark`` is upper-cased, so equal specs produce equal
+    :meth:`key` digests — the invariant the single-flight registry
+    relies on.  Build through :meth:`create`, which normalizes and
+    validates.
+    """
+
+    benchmark: str
+    design: str
+    window: int
+    scale: RunScale
+
+    @classmethod
+    def create(cls, benchmark: str, design: str, window: int,
+               scale: RunScale) -> "PointSpec":
+        runner.validate_design(design)
+        return cls(
+            benchmark=benchmark.upper(),
+            design=design,
+            window=runner.effective_window(design, window),
+            scale=scale,
+        )
+
+    def key(self) -> str:
+        """The content-addressed cache key (shared with ``RunCache``)."""
+        return run_key(self.benchmark, self.design, self.window, self.scale)
+
+    def label(self) -> str:
+        suffix = f" IW{self.window}" if self.window else ""
+        return f"{self.benchmark}/{self.design}{suffix}"
+
+
+@dataclass
+class ServiceStats:
+    """Monotonic counters describing everything the service resolved.
+
+    ``points_requested`` splits exactly into ``warm_hits`` (dict-cache
+    lookups), ``coalesced`` (attached to an in-flight future), and
+    ``scheduled`` (genuinely new work).  ``simulated`` / ``from_cache``
+    / ``from_memo`` describe how scheduled points resolved inside
+    ``run_grid``, so ``simulated`` is the number the single-flight
+    claim is measured by.
+    """
+
+    jobs: int = 0
+    points_requested: int = 0
+    warm_hits: int = 0
+    coalesced: int = 0
+    scheduled: int = 0
+    batches: int = 0
+    simulated: int = 0
+    from_cache: int = 0
+    from_memo: int = 0
+    failures: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {item.name: getattr(self, item.name)
+                for item in fields(self)}
+
+    def snapshot(self) -> "ServiceStats":
+        return ServiceStats(**self.as_dict())
+
+
+@dataclass(frozen=True)
+class PointOutcome:
+    """How one requested point resolved for one job.
+
+    ``source`` is ``warm`` / ``flight`` / ``memo`` / ``cache`` /
+    ``sim`` — the first two are service-layer provenance, the rest are
+    ``run_grid``'s own record for the batch that carried the point.
+    """
+
+    spec: PointSpec
+    key: str
+    result: Optional[SimulationResult]
+    source: str
+    seconds: float
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+
+@dataclass
+class JobResult:
+    """Everything one :meth:`SweepService.submit` call resolved."""
+
+    job_id: int
+    outcomes: List[PointOutcome] = field(default_factory=list)
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return all(outcome.ok for outcome in self.outcomes)
+
+    @property
+    def failed(self) -> int:
+        return sum(1 for outcome in self.outcomes if not outcome.ok)
+
+    def sources(self) -> Dict[str, int]:
+        tally: Dict[str, int] = {}
+        for outcome in self.outcomes:
+            tally[outcome.source] = tally.get(outcome.source, 0) + 1
+        return tally
+
+
+class _Queued:
+    """A scheduled point plus the future its waiters share."""
+
+    __slots__ = ("spec", "key", "future")
+
+    def __init__(self, spec: PointSpec, key: str,
+                 future: "asyncio.Future") -> None:
+        self.spec = spec
+        self.key = key
+        self.future = future
+
+
+class SweepService:
+    """The single-flight job engine (see the module docstring).
+
+    Not thread-safe: construct and drive it from one event loop.  The
+    blocking ``run_grid`` calls run on a private, reused
+    thread-pool executor so the loop stays responsive while a batch
+    simulates.
+
+    Args:
+        cache: optional :class:`RunCache` shared with the batch runs.
+        jobs: worker processes *inside* each ``run_grid`` call
+            (1 = serial, the safe default for a service that already
+            interleaves batches).
+        retry: per-point retry policy for batch runs.
+        batch_window: seconds the dispatcher lingers after a wake-up so
+            a burst of submissions lands in one batch.
+        max_batch: largest single ``run_grid`` call.
+        telemetry: optional service-wide sink (``emit(dict)``).
+        telemetry_dir: when set, each job streams its records to
+            ``<dir>/job-NNNN.jsonl``.
+    """
+
+    def __init__(
+        self,
+        cache: Optional[RunCache] = None,
+        jobs: int = 1,
+        retry: Optional[RetryPolicy] = None,
+        batch_window: float = DEFAULT_BATCH_WINDOW,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        telemetry=None,
+        telemetry_dir: Optional[str] = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ServiceError(f"max_batch must be >= 1, got {max_batch}")
+        if batch_window < 0:
+            raise ServiceError(
+                f"batch_window must be >= 0, got {batch_window}")
+        self._cache = cache
+        self._jobs = max(1, int(jobs))
+        self._retry = retry
+        self._batch_window = batch_window
+        self._max_batch = max_batch
+        self._telemetry = telemetry
+        self._telemetry_dir = (Path(telemetry_dir)
+                               if telemetry_dir is not None else None)
+        self.stats = ServiceStats()
+        self._warm: Dict[str, SimulationResult] = {}
+        self._inflight: Dict[str, "asyncio.Future"] = {}
+        self._queue: List[Tuple[int, int, _Queued]] = []
+        self._seq = 0
+        self._job_ids = 0
+        self._wakeup: Optional[asyncio.Event] = None
+        self._dispatcher: Optional["asyncio.Task"] = None
+        self._executor = None
+        self._closed = False
+
+    # -- lifecycle ----------------------------------------------------
+
+    async def start(self) -> "SweepService":
+        """Start the dispatcher task (idempotent)."""
+        if self._dispatcher is not None:
+            return self
+        from concurrent.futures import ThreadPoolExecutor
+
+        if self._telemetry_dir is not None:
+            self._telemetry_dir.mkdir(parents=True, exist_ok=True)
+        self._wakeup = asyncio.Event()
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-service")
+        self._dispatcher = asyncio.ensure_future(self._dispatch_loop())
+        self._closed = False
+        return self
+
+    async def close(self) -> None:
+        """Stop the dispatcher; in-flight futures fail with ServiceError."""
+        self._closed = True
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+            self._dispatcher = None
+        for future in self._inflight.values():
+            if not future.done():
+                future.set_exception(ServiceError("service shut down"))
+        self._inflight.clear()
+        self._queue.clear()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    async def __aenter__(self) -> "SweepService":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # -- submission ---------------------------------------------------
+
+    async def submit(self, specs: Sequence[PointSpec],
+                     priority: int = 0) -> JobResult:
+        """Resolve every spec, sharing flights with concurrent jobs.
+
+        Returns a :class:`JobResult` with one :class:`PointOutcome`
+        per *unique* requested point (duplicates within one job
+        collapse).  Point failures are outcomes, not exceptions — a
+        job only raises for service-level problems (shutdown).
+        """
+        if self._dispatcher is None or self._closed:
+            raise ServiceError("service is not running (call start())")
+        if not specs:
+            raise ServiceError("empty job: no points")
+        self._job_ids += 1
+        job_id = self._job_ids
+        self.stats.jobs += 1
+        started = time.perf_counter()
+        telemetry = self._job_telemetry(job_id)
+
+        waiters: List[Tuple[PointSpec, str, object, str]] = []
+        seen_keys = set()
+        for spec in specs:
+            key = spec.key()
+            if key in seen_keys:
+                continue
+            seen_keys.add(key)
+            self.stats.points_requested += 1
+            if key in self._warm:
+                self.stats.warm_hits += 1
+                waiters.append((spec, key, self._warm[key], "warm"))
+            elif key in self._inflight:
+                self.stats.coalesced += 1
+                waiters.append((spec, key, self._inflight[key], "flight"))
+            else:
+                self.stats.scheduled += 1
+                future = asyncio.get_running_loop().create_future()
+                self._inflight[key] = future
+                self._seq += 1
+                heapq.heappush(self._queue,
+                               (priority, self._seq,
+                                _Queued(spec, key, future)))
+                waiters.append((spec, key, future, "queued"))
+        if self._wakeup is not None:
+            self._wakeup.set()
+
+        if telemetry is not None:
+            telemetry.emit({
+                "type": "job-start",
+                "schema": SERVICE_SCHEMA_VERSION,
+                "points": len(waiters),
+                "priority": priority,
+                "scale": _scale_dict(specs[0].scale),
+            })
+
+        job = JobResult(job_id=job_id)
+        for spec, key, pending, how in waiters:
+            outcome = await self._await_point(spec, key, pending, how)
+            job.outcomes.append(outcome)
+            if telemetry is not None:
+                telemetry.emit(_outcome_record(outcome))
+        job.seconds = time.perf_counter() - started
+        if telemetry is not None:
+            telemetry.emit({
+                "type": "job-summary",
+                "points": len(job.outcomes),
+                "failed": job.failed,
+                "seconds": job.seconds,
+                "sources": job.sources(),
+            })
+        self._close_job_telemetry(telemetry)
+        return job
+
+    async def _await_point(self, spec: PointSpec, key: str, pending,
+                           how: str) -> PointOutcome:
+        if how == "warm":
+            return PointOutcome(spec=spec, key=key, result=pending,
+                                source="warm", seconds=0.0)
+        started = time.perf_counter()
+        try:
+            # shield: one cancelled client must not kill a flight that
+            # other clients are attached to.
+            result, source, seconds = await asyncio.shield(pending)
+        except asyncio.CancelledError:
+            raise
+        except ReproError as error:
+            return PointOutcome(
+                spec=spec, key=key, result=None,
+                source="flight" if how == "flight" else "failed",
+                seconds=time.perf_counter() - started,
+                error=str(error), error_type=type(error).__name__,
+            )
+        if how == "flight":
+            return PointOutcome(spec=spec, key=key, result=result,
+                                source="flight",
+                                seconds=time.perf_counter() - started)
+        return PointOutcome(spec=spec, key=key, result=result,
+                            source=source, seconds=seconds)
+
+    # -- dispatch -----------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            await self._wakeup.wait()
+            self._wakeup.clear()
+            if not self._queue:
+                continue
+            if self._batch_window:
+                # Linger so a burst of concurrent submissions becomes
+                # one batch instead of many single-point ones.
+                await asyncio.sleep(self._batch_window)
+            while self._queue:
+                batch = self._pop_batch()
+                if batch:
+                    await self._run_batch(batch)
+
+    def _pop_batch(self) -> List[_Queued]:
+        """Highest-priority points sharing one scale, up to max_batch.
+
+        ``run_grid`` takes a single :class:`RunScale`, so a batch is
+        cut at the first scale boundary; points at other scales stay
+        queued for the next batch.
+        """
+        batch: List[_Queued] = []
+        leftover: List[Tuple[int, int, _Queued]] = []
+        scale: Optional[RunScale] = None
+        while self._queue and len(batch) < self._max_batch:
+            entry = heapq.heappop(self._queue)
+            queued = entry[2]
+            if scale is None:
+                scale = queued.spec.scale
+            if queued.spec.scale == scale:
+                batch.append(queued)
+            else:
+                leftover.append(entry)
+        for entry in leftover:
+            heapq.heappush(self._queue, entry)
+        return batch
+
+    async def _run_batch(self, batch: List[_Queued]) -> None:
+        scale = batch[0].spec.scale
+        points = [GridPoint(q.spec.benchmark, q.spec.design, q.spec.window)
+                  for q in batch]
+        self.stats.batches += 1
+        started = time.perf_counter()
+        loop = asyncio.get_running_loop()
+        try:
+            grid = await loop.run_in_executor(
+                self._executor,
+                partial(run_grid, (), (), (), scale=scale, jobs=self._jobs,
+                        cache=self._cache, retry=self._retry, strict=False,
+                        points=points),
+            )
+        except Exception as error:  # noqa: BLE001 — fail the whole batch
+            for queued in batch:
+                self._inflight.pop(queued.key, None)
+                if not queued.future.done():
+                    queued.future.set_exception(
+                        ServiceError(f"batch execution failed: {error}"))
+            return
+        provenance = {
+            (record.point.benchmark.upper(), record.point.design,
+             record.point.window): (record.source, record.seconds)
+            for record in grid.records
+        }
+        for queued in batch:
+            self._inflight.pop(queued.key, None)
+            spec = queued.spec
+            try:
+                result = grid.get(spec.benchmark, spec.design, spec.window)
+            except ReproError as error:
+                self.stats.failures += 1
+                if not queued.future.done():
+                    queued.future.set_exception(error)
+                continue
+            source, seconds = provenance.get(
+                (spec.benchmark, spec.design, spec.window), ("sim", 0.0))
+            if source == "sim":
+                self.stats.simulated += 1
+            elif source == "cache":
+                self.stats.from_cache += 1
+            else:
+                self.stats.from_memo += 1
+            self._warm[queued.key] = result
+            if not queued.future.done():
+                queued.future.set_result((result, source, seconds))
+        if self._telemetry is not None:
+            self._telemetry.emit({
+                "type": "batch",
+                "schema": SERVICE_SCHEMA_VERSION,
+                "points": len(batch),
+                "seconds": time.perf_counter() - started,
+                "simulated": grid.simulated,
+                "from_cache": grid.from_cache,
+                "from_memo": grid.from_memo,
+                "failed": grid.failed,
+                "scale": _scale_dict(scale),
+            })
+
+    # -- telemetry plumbing -------------------------------------------
+
+    def _job_telemetry(self, job_id: int):
+        """The sink one job's records go to (per-job file + stamped
+        service-wide stream), or ``None`` when neither is configured."""
+        writer = None
+        if self._telemetry_dir is not None:
+            writer = TelemetryWriter(
+                str(self._telemetry_dir / f"job-{job_id:04d}.jsonl"))
+        stamped = (StampedTelemetry(self._telemetry, job=job_id)
+                   if self._telemetry is not None else None)
+        if writer is None and stamped is None:
+            return None
+        tee = TelemetryTee(writer, stamped)
+        tee._owned_writer = writer  # closed by _close_job_telemetry
+        return tee
+
+    @staticmethod
+    def _close_job_telemetry(telemetry) -> None:
+        writer = getattr(telemetry, "_owned_writer", None)
+        if writer is not None:
+            writer.close()
+
+    # -- introspection ------------------------------------------------
+
+    @property
+    def warm_points(self) -> int:
+        """Entries in the warm dict cache."""
+        return len(self._warm)
+
+    @property
+    def inflight_points(self) -> int:
+        """Keys currently registered as in flight."""
+        return len(self._inflight)
+
+
+def _scale_dict(scale: RunScale) -> Dict[str, object]:
+    return {
+        "num_warps": scale.num_warps,
+        "trace_scale": scale.trace_scale,
+        "memory_seed": scale.memory_seed,
+        "num_sms": scale.num_sms,
+    }
+
+
+def _outcome_record(outcome: PointOutcome) -> dict:
+    record = {
+        "type": "job-point" if outcome.ok else "job-failure",
+        "benchmark": outcome.spec.benchmark,
+        "design": outcome.spec.design,
+        "window": outcome.spec.window,
+        "source": outcome.source,
+        "seconds": outcome.seconds,
+    }
+    if outcome.ok:
+        record["cycles"] = outcome.result.counters.cycles
+        record["ipc"] = outcome.result.ipc
+    else:
+        record["error_type"] = outcome.error_type or ""
+        record["message"] = outcome.error or ""
+    return record
+
+
+def expand_points(
+    benchmarks: Sequence[str],
+    designs: Sequence[str],
+    windows: Sequence[int],
+    scale: RunScale,
+) -> List[PointSpec]:
+    """The deduplicated cross-product as normalized :class:`PointSpec`\\ s.
+
+    The client-side mirror of ``run_grid``'s grid enumeration: windows
+    collapse to effective windows, so the result's length is the
+    number of *unique* simulations the request can cost.
+    """
+    specs: List[PointSpec] = []
+    seen = set()
+    for benchmark in benchmarks:
+        for design in designs:
+            for window in windows:
+                spec = PointSpec.create(benchmark, design, window, scale)
+                if spec in seen:
+                    continue
+                seen.add(spec)
+                specs.append(spec)
+    if not specs:
+        raise ServiceError("empty sweep: no benchmarks/designs/windows")
+    return specs

@@ -1,0 +1,250 @@
+"""The wire layer: a newline-delimited-JSON asyncio sweep server.
+
+One TCP connection carries any number of requests, one JSON object per
+line; every request gets exactly one JSON response line.  Operations:
+
+* ``{"op": "ping"}`` — liveness probe; echoes the library version.
+* ``{"op": "stats"}`` — the service's monotonic counters (loadgen
+  computes per-pass deltas from two snapshots).
+* ``{"op": "sweep", ...}`` — submit a job and block until it resolves.
+  The sweep is either a cross-product (``benchmarks`` x ``designs`` x
+  ``windows``) or an explicit ``points`` list of ``[benchmark, design,
+  window]`` triples; ``scale`` carries ``num_warps`` / ``trace_scale``
+  / ``memory_seed`` / ``num_sms`` and ``priority`` orders the queue
+  (lower first).  The response has one entry per unique point with
+  provenance (``warm`` / ``flight`` / ``memo`` / ``cache`` / ``sim``)
+  so a client can verify single-flight behaviour end to end.
+* ``{"op": "shutdown"}`` — acknowledge, then stop the server.
+
+Responses always carry ``"ok"``; protocol failures (bad JSON, unknown
+op, unknown benchmark/design) answer ``{"ok": false, "error": ...}``
+on the same connection instead of dropping it, so one bad client
+request cannot take a shared connection down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional, Sequence
+
+from .. import __version__
+from ..errors import ReproError, ServiceError
+from ..experiments.runner import RunScale
+from .core import (
+    SERVICE_SCHEMA_VERSION,
+    PointSpec,
+    SweepService,
+    expand_points,
+)
+
+#: Largest accepted request line (a full-suite sweep spec is ~1 KB;
+#: this bounds a malicious or corrupt client's memory cost).
+MAX_REQUEST_BYTES = 1 << 20
+
+
+def parse_scale(payload: Optional[dict]) -> RunScale:
+    """A :class:`RunScale` from its wire form (missing fields default)."""
+    payload = payload or {}
+    known = {"num_warps", "trace_scale", "memory_seed", "num_sms"}
+    unknown = set(payload) - known
+    if unknown:
+        raise ServiceError(f"unknown scale field(s): {sorted(unknown)}")
+    try:
+        return RunScale(**payload)
+    except TypeError as error:
+        raise ServiceError(f"bad scale: {error}") from None
+
+
+def parse_sweep_specs(request: dict) -> Sequence[PointSpec]:
+    """The normalized point list one ``sweep`` request asks for."""
+    scale = parse_scale(request.get("scale"))
+    if "points" in request:
+        points = request["points"]
+        if not isinstance(points, list) or not points:
+            raise ServiceError("points must be a non-empty list")
+        specs = []
+        seen = set()
+        for item in points:
+            if not (isinstance(item, (list, tuple)) and len(item) == 3):
+                raise ServiceError(
+                    "each point must be [benchmark, design, window]")
+            benchmark, design, window = item
+            spec = PointSpec.create(benchmark, design, int(window), scale)
+            if spec in seen:
+                continue
+            seen.add(spec)
+            specs.append(spec)
+        return specs
+    benchmarks = request.get("benchmarks") or []
+    designs = request.get("designs") or []
+    windows = request.get("windows") or [3]
+    if not benchmarks or not designs:
+        raise ServiceError("sweep needs benchmarks+designs or points")
+    return expand_points(benchmarks, designs, windows, scale)
+
+
+class SweepServer:
+    """Serves a :class:`SweepService` over TCP (JSON lines).
+
+    Start with :meth:`start` (binds; ``port=0`` picks an ephemeral
+    port, exposed as :attr:`port`), then either :meth:`serve_until_shutdown`
+    or your own wait; :meth:`close` tears down the listener and the
+    underlying service.
+    """
+
+    def __init__(self, service: SweepService, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._shutdown = asyncio.Event()
+
+    async def start(self) -> "SweepServer":
+        await self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port,
+            limit=MAX_REQUEST_BYTES)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def serve_until_shutdown(self) -> None:
+        """Block until a client sends ``{"op": "shutdown"}``."""
+        await self._shutdown.wait()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.close()
+        self._shutdown.set()
+
+    async def __aenter__(self) -> "SweepServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # -- connection handling ------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    await self._send(writer, {
+                        "ok": False, "error": "request too large"})
+                    break
+                if not line:
+                    break
+                response, stop = await self._respond(line)
+                await self._send(writer, response)
+                if stop:
+                    self._shutdown.set()
+                    break
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _respond(self, line: bytes):
+        """(response dict, stop?) for one raw request line."""
+        try:
+            request = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            return {"ok": False, "error": f"bad request: {error}"}, False
+        if not isinstance(request, dict):
+            return {"ok": False, "error": "request must be an object"}, False
+        op = request.get("op")
+        try:
+            if op == "ping":
+                return {"ok": True, "op": "ping",
+                        "version": __version__,
+                        "schema": SERVICE_SCHEMA_VERSION}, False
+            if op == "stats":
+                return {"ok": True, "op": "stats",
+                        "stats": self.service.stats.as_dict(),
+                        "warm_points": self.service.warm_points,
+                        "inflight_points": self.service.inflight_points,
+                        }, False
+            if op == "sweep":
+                return await self._handle_sweep(request), False
+            if op == "shutdown":
+                return {"ok": True, "op": "shutdown"}, True
+        except ReproError as error:
+            return {"ok": False, "op": op, "error": str(error),
+                    "error_type": type(error).__name__}, False
+        return {"ok": False,
+                "error": f"unknown op {op!r} (ping/stats/sweep/shutdown)",
+                }, False
+
+    async def _handle_sweep(self, request: dict) -> dict:
+        specs = parse_sweep_specs(request)
+        priority = int(request.get("priority", 0))
+        job = await self.service.submit(specs, priority=priority)
+        points = []
+        for outcome in job.outcomes:
+            entry = {
+                "benchmark": outcome.spec.benchmark,
+                "design": outcome.spec.design,
+                "window": outcome.spec.window,
+                "source": outcome.source,
+                "seconds": outcome.seconds,
+                "ok": outcome.ok,
+            }
+            if outcome.ok:
+                entry["cycles"] = outcome.result.counters.cycles
+                entry["instructions"] = outcome.result.counters.instructions
+                entry["ipc"] = outcome.result.ipc
+            else:
+                entry["error_type"] = outcome.error_type
+                entry["error"] = outcome.error
+            points.append(entry)
+        return {
+            "ok": job.ok,
+            "op": "sweep",
+            "job": job.job_id,
+            "seconds": job.seconds,
+            "points": points,
+            "sources": job.sources(),
+            "failed": job.failed,
+        }
+
+    @staticmethod
+    async def _send(writer: asyncio.StreamWriter, payload: dict) -> None:
+        writer.write(json.dumps(payload).encode("utf-8") + b"\n")
+        await writer.drain()
+
+
+async def serve(
+    host: str = "127.0.0.1",
+    port: int = 8337,
+    *,
+    service: Optional[SweepService] = None,
+    ready: Optional["asyncio.Event"] = None,
+    announce=None,
+) -> None:
+    """Run a sweep server until a client asks it to shut down.
+
+    ``announce`` (a callable taking one line of text) is told the
+    bound address once listening — the CLI prints it, tests capture
+    it; ``ready`` is set at the same moment for in-process callers.
+    """
+    server = SweepServer(service or SweepService(), host=host, port=port)
+    await server.start()
+    if announce is not None:
+        announce(f"repro service listening on {server.host}:{server.port}")
+    if ready is not None:
+        ready.set()
+    try:
+        await server.serve_until_shutdown()
+    finally:
+        await server.close()

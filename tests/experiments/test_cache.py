@@ -217,6 +217,46 @@ class TestGracefulDegradation:
         assert "1 I/O error" in text
         assert "cache disabled" in text
 
+    def test_reenable_resets_counter_and_restores_service(
+            self, tmp_path, monkeypatch):
+        """After the disk "heals", reenable() re-arms the cache: the
+        consecutive-error counter restarts from zero (a fresh disable
+        needs a full threshold of *new* errors) and get/put work again.
+        Each disable is its own counted event — not double-counted by
+        the errors that preceded the reenable."""
+        cache = RunCache(tmp_path / "runs", error_threshold=2)
+        boom = lambda self, path, text: (_ for _ in ()).throw(  # noqa: E731
+            OSError(errno.ENOSPC, "no space left on device"))
+        monkeypatch.setattr(RunCache, "_write_entry", boom)
+        result = execute_run("BFS", "baseline", scale=TINY)
+        key = run_key("BFS", "baseline", 0, TINY)
+        with pytest.warns(CacheDegradedWarning):
+            cache.put(key, result)
+            cache.put(key, result)
+        assert cache.disabled
+        assert cache.stats.disables == 1
+        assert cache.stats.io_errors == 2
+
+        monkeypatch.undo()  # the disk heals
+        cache.reenable()
+        assert not cache.disabled
+        cache.put(key, result)
+        assert cache.stats.stores == 1
+        assert cache.get(key) is not None
+        assert cache.stats.hits == 1
+
+        # The internal counter really was reset: one new error sits
+        # below the threshold, a second disables again — and that is
+        # counted as a second disable, not a continuation of the first.
+        monkeypatch.setattr(RunCache, "_write_entry", boom)
+        cache.put(key, result)
+        assert not cache.disabled
+        with pytest.warns(CacheDegradedWarning):
+            cache.put(key, result)
+        assert cache.disabled
+        assert cache.stats.disables == 2
+        assert cache.stats.io_errors == 4
+
 
 class TestRunDesignIntegration:
     def test_cross_process_equivalent_hit(self, cache):

@@ -62,6 +62,54 @@ class TestGridShape:
             grid.get("BFS", "bow", 3)
 
 
+class TestExplicitPoints:
+    """``run_grid(points=...)`` — the reentrant entry the sweep service
+    batches through — bypasses the cross-product enumeration."""
+
+    def test_explicit_points_resolve(self):
+        from repro.experiments.grid import GridPoint
+
+        grid = run_grid((), (), (), scale=TINY, cache=None, points=[
+            GridPoint("BFS", "baseline", 3),
+            GridPoint("NW", "bow", 3),
+        ])
+        assert len(grid.results) == 2
+        assert grid.get("BFS", "baseline", 3) is not None
+        assert grid.get("NW", "bow", 3) is not None
+
+    def test_tuples_accepted(self):
+        grid = run_grid((), (), (), scale=TINY, cache=None,
+                        points=[("BFS", "baseline", 3)])
+        assert grid.get("BFS", "baseline", 3) is not None
+
+    def test_points_normalize_and_deduplicate(self):
+        # Case-folding plus effective-window collapse: both entries are
+        # the same baseline point, so only one simulation runs.
+        grid = run_grid((), (), (), scale=TINY, cache=None, points=[
+            ("bfs", "baseline", 2),
+            ("BFS", "baseline", 3),
+        ])
+        assert len(grid.results) == 1
+        assert grid.simulated == 1
+
+    def test_explicit_points_match_cross_product(self):
+        explicit = run_grid((), (), (), scale=TINY, cache=None, points=[
+            ("BFS", "bow", 3)])
+        clear_cache()
+        product = run_grid(("BFS",), ("bow",), (3,), scale=TINY, cache=None)
+        assert (explicit.get("BFS", "bow", 3)
+                == product.get("BFS", "bow", 3))
+
+    def test_empty_points_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_grid((), (), (), scale=TINY, cache=None, points=[])
+
+    def test_unknown_design_in_points_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_grid((), (), (), scale=TINY, cache=None,
+                     points=[("BFS", "quantum", 3)])
+
+
 class TestSerialParity:
     def test_grid_matches_run_design(self):
         grid = run_grid(BENCHES, DESIGNS, (3,), scale=TINY, cache=None)

@@ -217,6 +217,27 @@ class TestAggregation:
     def test_load_imbalance_at_least_one(self, device_run):
         assert device_run.load_imbalance() >= 1.0
 
+    def test_load_imbalance_all_zero_cycles_is_balanced(self, device_run):
+        """Degenerate-but-balanced: every SM at zero cycles means every
+        SM did exactly the mean amount of work, so the ratio is 1.0 —
+        not the old 0.0, which read as "better than balanced"."""
+        import dataclasses
+
+        zeroed = {
+            sm_id: dataclasses.replace(
+                result,
+                counters=dataclasses.replace(result.counters, cycles=0))
+            for sm_id, result in device_run.per_sm.items()
+        }
+        degenerate = dataclasses.replace(device_run, per_sm=zeroed)
+        assert degenerate.load_imbalance() == 1.0
+
+    def test_load_imbalance_empty_device_is_zero(self, device_run):
+        import dataclasses
+
+        empty = dataclasses.replace(device_run, per_sm={})
+        assert empty.load_imbalance() == 0.0
+
     def test_format_mentions_every_sm(self, device_run):
         text = device_run.format()
         assert "device IPC" in text

@@ -60,6 +60,108 @@ class TestWriter:
         writer.close()
 
 
+class TestEncodingRegression:
+    """File I/O must pin ``encoding="utf-8"`` — on a platform whose
+    locale encoding cannot represent the payload (e.g. cp1252), an
+    unpinned ``open`` corrupts or crashes on non-ASCII content."""
+
+    #: Contains U+0394 (GREEK CAPITAL LETTER DELTA), absent from cp1252.
+    NON_ASCII = "BFS-Δ"
+
+    @pytest.fixture
+    def hostile_locale(self, monkeypatch):
+        """Make unpinned text opens default to cp1252 (``os.fdopen``
+        and ``pathlib`` route through ``io.open``; plain calls through
+        ``builtins.open``)."""
+        import builtins
+
+        real_open = builtins.open
+
+        def locale_open(file, mode="r", *args, **kwargs):
+            # encoding is positional arg 3 (after mode and buffering);
+            # only inject when the call left it unset.
+            if ("b" not in mode and len(args) < 2
+                    and kwargs.get("encoding") is None):
+                kwargs["encoding"] = "cp1252"
+            return real_open(file, mode, *args, **kwargs)
+
+        monkeypatch.setattr(builtins, "open", locale_open)
+        monkeypatch.setattr(io, "open", locale_open)
+
+    def test_telemetry_writes_utf8_under_hostile_locale(
+            self, tmp_path, hostile_locale):
+        path = tmp_path / "telemetry.jsonl"
+        with TelemetryWriter(str(path)) as telemetry:
+            telemetry.emit({"type": "start", "benchmark": self.NON_ASCII})
+        record = json.loads(path.read_bytes().decode("utf-8"))
+        assert record["benchmark"] == self.NON_ASCII
+
+    def test_cache_round_trips_utf8_under_hostile_locale(
+            self, tmp_path, hostile_locale):
+        from repro.experiments.cache import RunCache, run_key
+        from repro.experiments.runner import execute_run
+
+        cache = RunCache(tmp_path / "runs")
+        result = execute_run("BFS", "baseline", scale=SCALE)
+        key = run_key("BFS", "baseline", 0, SCALE)
+        cache.put(key, result)
+        assert cache.stats.io_errors == 0
+        assert cache.get(key) == result
+        # The entry read/write helpers are pinned to UTF-8, so a
+        # payload cp1252 cannot encode still round-trips byte-exact.
+        target = tmp_path / "runs" / "probe.json"
+        cache._write_entry(target, json.dumps(
+            {"benchmark": self.NON_ASCII}, ensure_ascii=False))
+        assert (json.loads(target.read_bytes().decode("utf-8"))
+                == {"benchmark": self.NON_ASCII})
+        assert (json.loads(cache._read_text(target))["benchmark"]
+                == self.NON_ASCII)
+
+
+class TestTee:
+    def test_fans_out_to_every_sink(self):
+        left, right = io.StringIO(), io.StringIO()
+        from repro.observe.telemetry import TelemetryTee
+
+        tee = TelemetryTee(TelemetryWriter(left), TelemetryWriter(right))
+        tee.emit({"type": "start"})
+        assert json.loads(left.getvalue()) == {"type": "start"}
+        assert json.loads(right.getvalue()) == {"type": "start"}
+
+    def test_none_sinks_skipped(self):
+        from repro.observe.telemetry import TelemetryTee
+
+        stream = io.StringIO()
+        tee = TelemetryTee(None, TelemetryWriter(stream), None)
+        tee.emit({"a": 1})
+        assert json.loads(stream.getvalue()) == {"a": 1}
+
+    def test_empty_tee_is_a_no_op(self):
+        from repro.observe.telemetry import TelemetryTee
+
+        TelemetryTee(None).emit({"a": 1})  # must not raise
+
+
+class TestStamped:
+    def test_fixed_fields_merged_into_every_record(self):
+        from repro.observe.telemetry import StampedTelemetry
+
+        stream = io.StringIO()
+        stamped = StampedTelemetry(TelemetryWriter(stream), job=3)
+        stamped.emit({"type": "job-point"})
+        stamped.emit({"type": "job-summary"})
+        records = _records(stream)
+        assert all(record["job"] == 3 for record in records)
+
+    def test_record_fields_win_on_collision(self):
+        from repro.observe.telemetry import StampedTelemetry
+
+        stream = io.StringIO()
+        stamped = StampedTelemetry(TelemetryWriter(stream), job=3)
+        stamped.emit({"type": "x", "job": 9})
+        assert _records(stream)[0]["job"] == 9
+
+
 class TestGridTelemetry:
     def test_stream_shape_and_validity(self):
         stream = io.StringIO()

@@ -408,3 +408,145 @@ class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestSweepExitCodePrecedence:
+    """All diagnostics print, then the highest-priority code wins:
+    failed grid points (3) beat failed expectations (1)."""
+
+    ARGV = ["sweep", "BFS", "NW", "--designs", "baseline,bow",
+            "--warps", "2", "--scale", "0.1"]
+
+    @pytest.fixture(autouse=True)
+    def isolated_caches(self):
+        from repro.experiments.runner import clear_cache, set_cache
+
+        clear_cache()
+        previous = set_cache(None)
+        yield
+        set_cache(previous)
+        clear_cache()
+
+    @pytest.fixture
+    def faulted(self, tmp_path):
+        from repro.testing.faults import FaultSpec, injected_faults
+
+        with injected_faults(7, tmp_path / "faults",
+                             [FaultSpec("raise", times=0,
+                                        match="BFS/bow IW3")]):
+            yield
+
+    def test_failures_beat_expect_warm(self, faulted, capsys):
+        code = main(self.ARGV + ["--no-cache", "--keep-going",
+                                 "--expect-warm"])
+        assert code == 3
+        err = capsys.readouterr().err
+        # Both diagnostics are reported even though only one code wins.
+        assert "expected a warm cache" in err
+        assert "grid point(s) failed" in err
+
+    def test_failures_beat_expect_sims(self, faulted, capsys):
+        code = main(self.ARGV + ["--no-cache", "--keep-going",
+                                 "--expect-sims", "4"])
+        assert code == 3
+        err = capsys.readouterr().err
+        assert "expected exactly 4 simulated" in err
+        assert "grid point(s) failed" in err
+
+    def test_expectations_alone_still_exit_1(self, capsys):
+        code = main(self.ARGV + ["--no-cache", "--expect-warm",
+                                 "--expect-sims", "0"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "expected a warm cache" in err
+        assert "expected exactly 0 simulated" in err
+
+
+class TestServeLoadgenCLI:
+    @pytest.fixture(autouse=True)
+    def isolated_caches(self):
+        from repro.experiments.runner import clear_cache, set_cache
+
+        clear_cache()
+        previous = set_cache(None)
+        yield
+        set_cache(previous)
+        clear_cache()
+
+    @pytest.fixture
+    def running_server(self):
+        """An in-process sweep server on a background thread."""
+        import asyncio
+        import threading
+
+        from repro.service import SweepServer, SweepService
+
+        holder = {}
+        ready = threading.Event()
+
+        def run():
+            async def body():
+                server = SweepServer(SweepService(cache=None))
+                await server.start()
+                holder["port"] = server.port
+                ready.set()
+                try:
+                    await server.serve_until_shutdown()
+                finally:
+                    await server.close()
+
+            asyncio.run(body())
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        assert ready.wait(timeout=10.0)
+        yield holder["port"]
+        thread.join(timeout=30.0)
+        assert not thread.is_alive()
+
+    def test_loadgen_round_trip_with_expect_dedup(self, running_server,
+                                                  tmp_path, capsys):
+        import json
+
+        bench = tmp_path / "BENCH_service.json"
+        code = main(["loadgen", "--port", str(running_server),
+                     "--clients", "4", "--benchmarks", "BFS",
+                     "--designs", "baseline,bow", "--warps", "2",
+                     "--scale", "0.1", "--expect-dedup", "--shutdown",
+                     "--bench-out", str(bench)])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "single-flight OK" in captured.out
+        assert str(bench) in captured.err
+        report = json.loads(bench.read_text(encoding="utf-8"))
+        assert report["single_flight"]["dedup_ok"]
+        assert report["unique_points"] == 2
+
+    def test_loadgen_bad_clients_exits_2(self, capsys):
+        code = main(["loadgen", "--clients", "0"])
+        assert code == 2
+        assert "--clients" in capsys.readouterr().err
+
+    def test_loadgen_bad_points_exits_2(self, capsys):
+        code = main(["loadgen", "--points", "0"])
+        assert code == 2
+        assert "--points" in capsys.readouterr().err
+
+    def test_loadgen_bad_windows_exits_2(self, capsys):
+        code = main(["loadgen", "--windows", "abc"])
+        assert code == 2
+        assert "comma-separated integers" in capsys.readouterr().err
+
+    def test_loadgen_unreachable_server_is_a_clean_error(self, capsys,
+                                                         monkeypatch):
+        from repro.service import client as client_module
+
+        monkeypatch.setattr(client_module, "CONNECT_RETRY_SECONDS", 0.2)
+        code = main(["loadgen", "--port", "1", "--clients", "1"])
+        assert code == 1
+        assert "cannot connect" in capsys.readouterr().err
+
+    def test_serve_bad_retries_exits_2(self, capsys):
+        code = main(["serve", "--retries", "0"])
+        assert code == 2
+        assert "--retries" in capsys.readouterr().err
