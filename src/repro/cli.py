@@ -19,7 +19,11 @@ Commands:
   always-on server that accepts sweep jobs over newline-delimited
   JSON, deduplicates identical in-flight points across clients
   (single-flight on the run-cache key), and batches new work into
-  the cached, fault-tolerant grid engine.
+  the cached, fault-tolerant grid engine.  Production knobs:
+  ``--max-queued`` / ``--max-inflight`` shed load with ``overloaded``
+  responses, ``--journal`` enables crash-safe recovery of in-flight
+  jobs, and SIGTERM (or a drain-mode shutdown request) drains
+  gracefully within ``--drain-timeout`` seconds.
 * ``loadgen [--clients N]``     — drive a running ``serve`` with N
   concurrent clients requesting an identical grid (cold pass + warm
   pass), print throughput/latency, and optionally write the
@@ -30,6 +34,11 @@ Commands:
 * ``compile FILE``              — assemble + classify a kernel file,
   printing the BOW-WR hints (like ``examples/compiler_walkthrough.py``
   but for your own code).
+* ``chaos-serve``               — service-layer chaos drill: SIGKILL a
+  serving process mid-sweep, restart it over the same cache/journal,
+  and assert the recovery invariants (zero duplicated simulations,
+  dedup still holds), plus overload-shedding and graceful-drain
+  checks (see :mod:`repro.testing.chaos_service`).
 
 ``sweep --telemetry FILE`` additionally streams one JSONL record per
 resolved grid point (wall time, attempts, cache provenance) plus a
@@ -178,7 +187,24 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="per-point wall-clock budget inside batches")
     serve.add_argument("--telemetry-dir", default=None, metavar="DIR",
                        help="stream per-job telemetry to DIR/job-NNNN"
-                            ".jsonl plus a service-wide service.jsonl")
+                            ".jsonl plus a service-wide service.jsonl "
+                            "(appended across restarts)")
+    serve.add_argument("--journal", default=None, metavar="FILE",
+                       help="crash-safe write-ahead job journal; on "
+                            "restart, scheduled-but-unresolved points "
+                            "are recovered against the warm cache")
+    serve.add_argument("--max-queued", type=int, default=None, metavar="N",
+                       help="admission bound on queued points; jobs "
+                            "that would exceed it are shed with an "
+                            "'overloaded' response (default: unbounded)")
+    serve.add_argument("--max-inflight", type=int, default=None,
+                       metavar="N",
+                       help="admission bound on concurrently active "
+                            "jobs (default: unbounded)")
+    serve.add_argument("--drain-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="hard bound on graceful drain (SIGTERM or "
+                            "drain-mode shutdown; default: 30)")
 
     loadgen = sub.add_parser(
         "loadgen", help="benchmark a running sweep service")
@@ -232,6 +258,21 @@ def _build_parser() -> argparse.ArgumentParser:
                                  help="assemble + classify a kernel file")
     compile_cmd.add_argument("file")
     compile_cmd.add_argument("--window", type=int, default=3)
+
+    chaos_serve = sub.add_parser(
+        "chaos-serve",
+        help="service-layer chaos drill: kill/restart recovery, "
+             "overload shedding, graceful drain")
+    chaos_serve.add_argument("--keep", action="store_true",
+                             help="keep the scratch directory (journal, "
+                                  "cache, telemetry) for inspection")
+    chaos_serve.add_argument("--scenario", default="all",
+                             choices=["all", "recovery", "overload"],
+                             help="which drill to run (default: all)")
+    chaos_serve.add_argument("--root", default=None, metavar="DIR",
+                             help="pin the scratch directory (implies "
+                                  "--keep; CI points this at the "
+                                  "artifact path)")
     return parser
 
 
@@ -444,8 +485,11 @@ def _cmd_serve(args) -> int:
         import os
 
         os.makedirs(args.telemetry_dir, exist_ok=True)
+        # append=True keeps the service-wide stream continuous across
+        # restarts (a recovered incarnation must not erase the history
+        # the post-mortem needs).
         telemetry = TelemetryWriter(
-            os.path.join(args.telemetry_dir, "service.jsonl"))
+            os.path.join(args.telemetry_dir, "service.jsonl"), append=True)
     kwargs = {}
     if args.batch_window is not None:
         kwargs["batch_window"] = args.batch_window
@@ -453,12 +497,18 @@ def _cmd_serve(args) -> int:
         kwargs["max_batch"] = args.max_batch
     service = SweepService(
         cache=cache, jobs=args.jobs, retry=retry, telemetry=telemetry,
-        telemetry_dir=args.telemetry_dir, **kwargs,
+        telemetry_dir=args.telemetry_dir, journal=args.journal or None,
+        max_queued_points=args.max_queued,
+        max_inflight_jobs=args.max_inflight, **kwargs,
     )
+    serve_kwargs = {}
+    if args.drain_timeout is not None:
+        serve_kwargs["drain_timeout"] = args.drain_timeout
     try:
         asyncio.run(serve(
             args.host, args.port, service=service,
             announce=lambda line: print(line, file=sys.stderr, flush=True),
+            **serve_kwargs,
         ))
     except KeyboardInterrupt:
         print("interrupted; shutting down", file=sys.stderr)
@@ -587,6 +637,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_ablation(args)
         if args.command == "compile":
             return _cmd_compile(args)
+        if args.command == "chaos-serve":
+            from .testing import chaos_service
+
+            return chaos_service.run(scenario=args.scenario,
+                                     keep=args.keep, root=args.root)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

@@ -153,6 +153,51 @@ class ServiceError(ReproError):
     """
 
 
+class ServiceOverloadedError(ServiceError):
+    """The sweep service shed this request to protect itself.
+
+    Raised at admission time when accepting the job would exceed the
+    configured ``max_queued_points`` / ``max_inflight_jobs`` bounds, or
+    when the service is draining and no longer accepts work.  Carries
+    the server's backoff hint so clients can retry politely.
+
+    Attributes:
+        retry_after_ms: suggested client backoff in milliseconds.
+    """
+
+    def __init__(self, message: str, retry_after_ms: int = 1000):
+        self.retry_after_ms = int(retry_after_ms)
+        super().__init__(message)
+
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.retry_after_ms))
+
+
+class ServiceTimeoutError(ServiceError):
+    """A queued point outlived its job's ``deadline_ms`` before dispatch.
+
+    Only queued-but-unstarted work expires: a point whose batch is
+    already executing runs to completion (and lands in the warm cache),
+    so an expired waiter never wastes a simulation that other clients
+    could share.
+
+    Attributes:
+        label: the expired point's display label.
+        deadline_ms: the job deadline that expired.
+    """
+
+    def __init__(self, label: str, deadline_ms: float):
+        self.label = label
+        self.deadline_ms = deadline_ms
+        super().__init__(
+            f"{label} expired before dispatch "
+            f"(deadline {deadline_ms:.0f} ms)"
+        )
+
+    def __reduce__(self):
+        return (type(self), (self.label, self.deadline_ms))
+
+
 class SchemaError(ReproError):
     """An exported artifact does not match its checked-in schema.
 

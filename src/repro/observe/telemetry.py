@@ -70,6 +70,11 @@ class TelemetryWriter:
         target: a filesystem path (opened for writing, truncating any
             previous stream) or an open text stream with a ``write``
             method (left open on :meth:`close`).
+        append: open a path target for appending instead of
+            truncating — how a restarted sweep server keeps its
+            service-wide stream continuous across incarnations.
+        fsync: fsync after every record, for streams that must
+            survive a SIGKILL (costs a syscall per record).
 
     Each :meth:`emit` writes one line and flushes, so a concurrently
     tailing consumer — and a post-mortem after a killed sweep — sees
@@ -77,13 +82,16 @@ class TelemetryWriter:
     managers: ``with TelemetryWriter(path) as telemetry: ...``.
     """
 
-    def __init__(self, target: Union[str, IO[str]]):
+    def __init__(self, target: Union[str, IO[str]],
+                 append: bool = False, fsync: bool = False):
         if hasattr(target, "write"):
             self._stream: Optional[IO[str]] = target  # type: ignore[assignment]
             self._owns_stream = False
         else:
-            self._stream = open(target, "w", encoding="utf-8")
+            self._stream = open(target, "a" if append else "w",
+                                encoding="utf-8")
             self._owns_stream = True
+        self._fsync = fsync
         self.records = 0
 
     def emit(self, record: dict) -> None:
@@ -97,6 +105,13 @@ class TelemetryWriter:
                                       ensure_ascii=False))
         self._stream.write("\n")
         self._stream.flush()
+        if self._fsync:
+            import os
+
+            try:
+                os.fsync(self._stream.fileno())
+            except (OSError, ValueError):
+                pass  # non-file streams (StringIO) have no fileno
         self.records += 1
 
     def close(self) -> None:

@@ -3,6 +3,15 @@ generator.
 
 :class:`ServiceClient` is a thin JSONL-over-TCP connection (one
 request/response pair at a time, matching the server's protocol).
+Constructed with a :class:`~repro.experiments.resilience.RetryPolicy`
+it becomes resilient: idempotent requests (ping / stats / sweep) that
+hit a dead or dying connection reconnect and resend with
+deterministic-jittered exponential backoff, and an ``overloaded``
+response is retried after the server's ``retry_after_ms`` hint.
+Resubmitting a sweep is safe by construction — points are
+content-addressed (:meth:`~repro.service.core.PointSpec.key`), so the
+server's single-flight registry and warm cache absorb the duplicate
+instead of simulating twice.
 
 :func:`run_loadgen` is the measured "heavy traffic" harness: it points
 ``--clients`` concurrent connections at one server, each requesting an
@@ -22,11 +31,13 @@ dedup claims become assertable numbers:
 from __future__ import annotations
 
 import asyncio
+import hashlib
 import json
 import time
 from typing import Dict, List, Optional, Sequence
 
 from ..errors import ServiceError
+from ..experiments.resilience import RetryPolicy
 from ..experiments.runner import RunScale
 from .core import SERVICE_SCHEMA_VERSION, expand_points
 
@@ -34,13 +45,32 @@ from .core import SERVICE_SCHEMA_VERSION, expand_points
 #: smoke starts the server as a background job, so there is a race).
 CONNECT_RETRY_SECONDS = 10.0
 
+#: Operations safe to resend after a transport failure.  ``sweep`` is
+#: idempotent because points are content-addressed: the server's
+#: single-flight registry / warm cache dedup a resubmission.
+#: ``shutdown`` is *not* retried — resending it to a server that
+#: already acted on it is a different request.
+IDEMPOTENT_OPS = frozenset({"ping", "stats", "sweep"})
+
 
 class ServiceClient:
-    """One JSONL connection to a sweep server (async)."""
+    """One JSONL connection to a sweep server (async).
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 8337) -> None:
+    Args:
+        host, port: the server address.
+        retry: optional :class:`RetryPolicy`; when set, idempotent
+            requests survive connection loss (reconnect + resend with
+            jittered exponential backoff) and honor the server's
+            ``retry_after_ms`` backoff hint on ``overloaded``
+            responses.  ``None`` (the default) keeps the strict
+            one-shot transport of a test harness.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8337,
+                 retry: Optional[RetryPolicy] = None) -> None:
         self.host = host
         self.port = port
+        self.retry = retry
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
 
@@ -75,8 +105,46 @@ class ServiceClient:
     async def __aexit__(self, *exc_info) -> None:
         await self.close()
 
-    async def request(self, payload: dict) -> dict:
-        """One request/response round trip; raises on protocol errors."""
+    async def request(self, payload: dict,
+                      idempotent: Optional[bool] = None) -> dict:
+        """One request/response round trip; raises on protocol errors.
+
+        With a :class:`RetryPolicy` configured and an idempotent
+        operation (``idempotent`` defaults from :data:`IDEMPOTENT_OPS`),
+        transport failures — connection refused/reset mid-flight, a
+        torn response line — reconnect and resend up to
+        ``retry.max_attempts`` times with jittered exponential
+        backoff; ``overloaded`` responses wait out the server's
+        ``retry_after_ms`` hint before resending.
+        """
+        if idempotent is None:
+            idempotent = (isinstance(payload, dict)
+                          and payload.get("op") in IDEMPOTENT_OPS)
+        if self.retry is None or not idempotent:
+            return await self._roundtrip(payload)
+        attempts = max(1, self.retry.max_attempts)
+        for attempt in range(1, attempts + 1):
+            try:
+                if self._writer is None:
+                    await self.connect()
+                response = await self._roundtrip(payload)
+            except (OSError, ValueError, ServiceError) as error:
+                await self.close()
+                if attempt >= attempts:
+                    raise ServiceError(
+                        f"request to {self.host}:{self.port} failed after "
+                        f"{attempt} attempt(s): {error}") from None
+                await asyncio.sleep(self._backoff(attempt))
+                continue
+            if (response.get("error_type") == "ServiceOverloadedError"
+                    and attempt < attempts):
+                await asyncio.sleep(self._backoff(
+                    attempt, response.get("retry_after_ms")))
+                continue
+            return response
+        return response  # pragma: no cover — loop always returns/raises
+
+    async def _roundtrip(self, payload: dict) -> dict:
         if self._writer is None:
             raise ServiceError("client is not connected")
         self._writer.write(json.dumps(payload).encode("utf-8") + b"\n")
@@ -85,6 +153,24 @@ class ServiceClient:
         if not line:
             raise ServiceError("server closed the connection")
         return json.loads(line.decode("utf-8"))
+
+    def _backoff(self, attempt: int,
+                 retry_after_ms: Optional[float] = None) -> float:
+        """Deterministic-jittered delay before resend ``attempt``.
+
+        The jitter fraction (0.5–1.0 of the policy delay) derives from
+        a hash of the address and attempt number, so a fleet of
+        clients desynchronizes without any client being random —
+        reruns reproduce the exact same schedule.  A server-provided
+        ``retry_after_ms`` hint acts as a floor.
+        """
+        base = self.retry.delay(attempt)
+        digest = hashlib.sha256(
+            f"{self.host}:{self.port}:{attempt}".encode("utf-8")).digest()
+        delay = base * (0.5 + digest[0] / 512)
+        if retry_after_ms:
+            delay = max(delay, float(retry_after_ms) / 1000.0)
+        return delay
 
     async def ping(self) -> dict:
         return await self.request({"op": "ping"})
@@ -100,8 +186,11 @@ class ServiceClient:
                     designs: Sequence[str] = (),
                     windows: Sequence[int] = (3,),
                     scale: Optional[RunScale] = None,
-                    priority: int = 0) -> dict:
+                    priority: int = 0,
+                    deadline_ms: Optional[float] = None) -> dict:
         request: Dict[str, object] = {"op": "sweep", "priority": priority}
+        if deadline_ms is not None:
+            request["deadline_ms"] = deadline_ms
         if points is not None:
             request["points"] = [list(point) for point in points]
         else:
@@ -117,8 +206,17 @@ class ServiceClient:
             }
         return await self.request(request)
 
-    async def shutdown(self) -> dict:
-        return await self.request({"op": "shutdown"})
+    async def shutdown(self, mode: Optional[str] = None,
+                       drain_timeout: Optional[float] = None) -> dict:
+        """Ask the server to stop; ``mode="drain"`` finishes in-flight
+        work first (bounded by ``drain_timeout`` seconds).  Never
+        retried: resending a shutdown is not idempotent."""
+        request: Dict[str, object] = {"op": "shutdown"}
+        if mode is not None:
+            request["mode"] = mode
+        if drain_timeout is not None:
+            request["drain_timeout"] = drain_timeout
+        return await self.request(request, idempotent=False)
 
 
 def _latency_summary(latencies: List[float]) -> Dict[str, float]:

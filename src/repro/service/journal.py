@@ -1,0 +1,255 @@
+"""Crash-safe write-ahead job journal for the sweep service.
+
+The :class:`~repro.service.core.SweepService` records every job and
+point transition to an append-only JSONL journal *before* acting on
+it, so a server killed mid-sweep can reconstruct what it owed its
+clients.  Records (all carry ``"schema"``):
+
+* ``service-start``   — one per service incarnation (monotonically
+  numbered), written when the service starts over this journal;
+* ``job-accepted``    — a job passed admission control (job id, point
+  count, priority, deadline, scale);
+* ``point-scheduled`` — a point entered the dispatch queue (key plus
+  the full coordinates needed to re-create it);
+* ``point-resolved``  — a point left the in-flight registry (``ok``,
+  provenance ``source``: ``sim`` / ``cache`` / ``memo`` / ``failed``
+  / ``expired``);
+* ``job-finished``    — the job's waiters were all answered.
+
+**Durability**: every record is flushed and (by default) fsynced, so
+the journal survives a SIGKILL up to the last completed ``record()``
+call.  Writes degrade like the run cache: an ``OSError`` is counted,
+and after ``error_threshold`` failures the journal self-disables with
+one :class:`JournalDegradedWarning` instead of taking the service
+down — a full disk costs recovery fidelity, never availability.
+
+**Corruption tolerance**: :func:`read_records` skips lines that do not
+parse (torn tails from a crash mid-write, injected corruption) and
+counts them, so one bad line never hides the rest of the history.
+
+:func:`replay` folds a journal into a :class:`JournalState`: which
+jobs were accepted but never finished, and — the part recovery acts
+on — which points were scheduled but never resolved.  Replaying those
+points through the warm :class:`~repro.experiments.cache.RunCache`
+completes the interrupted work with zero duplicated simulations.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+#: Bump on any breaking change to the record format.
+JOURNAL_SCHEMA_VERSION = 1
+
+#: Write failures tolerated before a journal self-disables.
+DEFAULT_ERROR_THRESHOLD = 8
+
+
+class JournalDegradedWarning(RuntimeWarning):
+    """Emitted once when a :class:`Journal` self-disables."""
+
+
+class Journal:
+    """Append-only JSONL journal with fsync-per-record durability.
+
+    Args:
+        path: journal file (created, or appended to across restarts).
+        fsync: fsync after every record (the crash-safety contract;
+            disable only in tests that measure throughput).
+        error_threshold: swallowed write failures before the journal
+            self-disables for the rest of the process.
+    """
+
+    def __init__(self, path: Union[str, Path], fsync: bool = True,
+                 error_threshold: int = DEFAULT_ERROR_THRESHOLD):
+        self.path = Path(path)
+        self.fsync = fsync
+        self.error_threshold = max(1, int(error_threshold))
+        self.records = 0
+        self.write_errors = 0
+        self._disabled = False
+        self._stream = None
+
+    @property
+    def disabled(self) -> bool:
+        """Whether repeated write failures disabled this journal."""
+        return self._disabled
+
+    def open(self) -> "Journal":
+        """Open (or re-open) the journal file for appending."""
+        if self._stream is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._stream = open(self.path, "a", encoding="utf-8")
+        return self
+
+    def record(self, record_type: str, **fields) -> None:
+        """Durably append one record; never raises ``OSError``."""
+        if self._disabled:
+            return
+        if self._stream is None:
+            self.open()
+        payload = {"schema": JOURNAL_SCHEMA_VERSION,
+                   "type": record_type, **fields}
+        text = json.dumps(payload, sort_keys=True, ensure_ascii=False)
+        try:
+            self._write_line(text)
+        except OSError as error:
+            self.write_errors += 1
+            if (not self._disabled
+                    and self.write_errors >= self.error_threshold):
+                self._disabled = True
+                warnings.warn(
+                    f"job journal at {self.path} disabled after "
+                    f"{self.write_errors} write errors (last: {error}); "
+                    f"recovery fidelity degraded, service continues",
+                    JournalDegradedWarning,
+                    stacklevel=2,
+                )
+            return
+        self.records += 1
+
+    def _write_line(self, text: str) -> None:
+        """Append one line durably (fault-injection seam)."""
+        self._stream.write(text + "\n")
+        self._stream.flush()
+        if self.fsync:
+            os.fsync(self._stream.fileno())
+
+    def close(self) -> None:
+        if self._stream is not None:
+            try:
+                self._stream.close()
+            except OSError:
+                pass
+            self._stream = None
+
+    def __enter__(self) -> "Journal":
+        return self.open()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_records(path: Union[str, Path]) -> Tuple[List[dict], int]:
+    """``(records, corrupt_lines)`` from one journal file.
+
+    Lines that fail to parse as JSON objects — a torn tail from a
+    crash mid-write, injected corruption — are skipped and counted,
+    never fatal.  A missing file reads as an empty journal.
+    """
+    records: List[dict] = []
+    corrupt = 0
+    try:
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    corrupt += 1
+                    continue
+                if not isinstance(record, dict) or "type" not in record:
+                    corrupt += 1
+                    continue
+                records.append(record)
+    except FileNotFoundError:
+        pass
+    return records, corrupt
+
+
+@dataclass
+class JournalState:
+    """What a journal says the service owed when it last stopped.
+
+    Attributes:
+        incarnations: ``service-start`` records seen (the next
+            incarnation number is ``incarnations + 1``).
+        unfinished_jobs: ``(incarnation, job_id)`` pairs accepted but
+            never finished.
+        unresolved_points: key -> point dict (``benchmark`` /
+            ``design`` / ``window`` / ``scale``) for every point whose
+            last event is ``point-scheduled``.
+        resolved: count of ``point-resolved`` records.
+        resolved_sims: resolved records whose provenance was ``sim``
+            (what the chaos driver's zero-duplication ledger counts).
+        corrupt_lines: lines skipped as unparseable.
+    """
+
+    incarnations: int = 0
+    unfinished_jobs: List[Tuple[int, int]] = field(default_factory=list)
+    unresolved_points: Dict[str, dict] = field(default_factory=dict)
+    resolved: int = 0
+    resolved_sims: int = 0
+    corrupt_lines: int = 0
+
+    @property
+    def needs_recovery(self) -> bool:
+        return bool(self.unresolved_points)
+
+
+def replay(path: Union[str, Path]) -> JournalState:
+    """Fold a journal file into its :class:`JournalState`.
+
+    The per-key state machine is last-event-wins: a key scheduled,
+    resolved, then scheduled again (a retry after a failure) is
+    unresolved.  Records with missing fields are tolerated and count
+    as corrupt rather than crashing recovery.
+    """
+    records, corrupt = read_records(path)
+    state = JournalState(corrupt_lines=corrupt)
+    open_jobs: Dict[Tuple[int, int], bool] = {}
+    incarnation = 0
+    for record in records:
+        kind = record["type"]
+        if kind == "service-start":
+            state.incarnations += 1
+            incarnation = record.get("incarnation", state.incarnations)
+        elif kind == "job-accepted":
+            job = record.get("job")
+            if job is None:
+                state.corrupt_lines += 1
+                continue
+            open_jobs[(incarnation, job)] = True
+        elif kind == "job-finished":
+            job = record.get("job")
+            open_jobs.pop((incarnation, job), None)
+        elif kind == "point-scheduled":
+            key = record.get("key")
+            point = {name: record.get(name)
+                     for name in ("benchmark", "design", "window",
+                                  "scale")}
+            if key is None or None in point.values():
+                state.corrupt_lines += 1
+                continue
+            state.unresolved_points[key] = point
+        elif kind == "point-resolved":
+            key = record.get("key")
+            if key is None:
+                state.corrupt_lines += 1
+                continue
+            state.unresolved_points.pop(key, None)
+            state.resolved += 1
+            if record.get("source") == "sim":
+                state.resolved_sims += 1
+        # Unknown record types from newer schemas are skipped, not
+        # fatal: an old binary can still recover what it understands.
+    state.unfinished_jobs = sorted(open_jobs)
+    return state
+
+
+def open_journal(
+    journal: Union[None, str, Path, Journal],
+) -> Optional[Journal]:
+    """Coerce a path-or-journal argument into an opened journal."""
+    if journal is None:
+        return None
+    if isinstance(journal, Journal):
+        return journal.open()
+    return Journal(journal).open()

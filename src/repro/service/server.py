@@ -5,27 +5,37 @@ line; every request gets exactly one JSON response line.  Operations:
 
 * ``{"op": "ping"}`` — liveness probe; echoes the library version.
 * ``{"op": "stats"}`` — the service's monotonic counters (loadgen
-  computes per-pass deltas from two snapshots).
+  computes per-pass deltas from two snapshots) plus live gauges
+  (``queued_points``, ``active_jobs``, ``draining``).
 * ``{"op": "sweep", ...}`` — submit a job and block until it resolves.
   The sweep is either a cross-product (``benchmarks`` x ``designs`` x
   ``windows``) or an explicit ``points`` list of ``[benchmark, design,
   window]`` triples; ``scale`` carries ``num_warps`` / ``trace_scale``
-  / ``memory_seed`` / ``num_sms`` and ``priority`` orders the queue
-  (lower first).  The response has one entry per unique point with
+  / ``memory_seed`` / ``num_sms``, ``priority`` orders the queue
+  (lower first), and ``deadline_ms`` expires points still queued when
+  it elapses.  The response has one entry per unique point with
   provenance (``warm`` / ``flight`` / ``memo`` / ``cache`` / ``sim``)
   so a client can verify single-flight behaviour end to end.
-* ``{"op": "shutdown"}`` — acknowledge, then stop the server.
+* ``{"op": "shutdown"}`` — acknowledge, then stop the server.  With
+  ``"mode": "drain"`` the server first stops accepting jobs, finishes
+  everything in flight (bounded by ``drain_timeout`` seconds), and
+  reports whether the drain completed cleanly.
 
 Responses always carry ``"ok"``; protocol failures (bad JSON, unknown
 op, unknown benchmark/design) answer ``{"ok": false, "error": ...}``
 on the same connection instead of dropping it, so one bad client
-request cannot take a shared connection down.
+request cannot take a shared connection down.  A shed job answers
+``"error_type": "ServiceOverloadedError"`` with a ``retry_after_ms``
+backoff hint.  Clients that disconnect mid-response are counted
+(``stats.disconnects``) and their connection torn down cleanly —
+never propagated.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import signal
 from typing import Optional, Sequence
 
 from .. import __version__
@@ -41,6 +51,9 @@ from .core import (
 #: Largest accepted request line (a full-suite sweep spec is ~1 KB;
 #: this bounds a malicious or corrupt client's memory cost).
 MAX_REQUEST_BYTES = 1 << 20
+
+#: Default hard bound on a drain-mode shutdown (seconds).
+DEFAULT_DRAIN_TIMEOUT = 30.0
 
 
 def parse_scale(payload: Optional[dict]) -> RunScale:
@@ -90,14 +103,17 @@ class SweepServer:
     Start with :meth:`start` (binds; ``port=0`` picks an ephemeral
     port, exposed as :attr:`port`), then either :meth:`serve_until_shutdown`
     or your own wait; :meth:`close` tears down the listener and the
-    underlying service.
+    underlying service.  ``drain_timeout`` bounds drain-mode shutdowns
+    (wire-requested or SIGTERM-triggered) that do not name their own.
     """
 
     def __init__(self, service: SweepService, host: str = "127.0.0.1",
-                 port: int = 0) -> None:
+                 port: int = 0,
+                 drain_timeout: float = DEFAULT_DRAIN_TIMEOUT) -> None:
         self.service = service
         self.host = host
         self.port = port
+        self.drain_timeout = drain_timeout
         self._server: Optional[asyncio.AbstractServer] = None
         self._shutdown = asyncio.Event()
 
@@ -112,6 +128,18 @@ class SweepServer:
     async def serve_until_shutdown(self) -> None:
         """Block until a client sends ``{"op": "shutdown"}``."""
         await self._shutdown.wait()
+
+    async def drain(self, timeout: Optional[float] = None) -> bool:
+        """Drain the service, then release :meth:`serve_until_shutdown`.
+
+        Returns ``True`` when every accepted point finished within the
+        budget (``timeout``, defaulting to the server's
+        ``drain_timeout``).
+        """
+        budget = self.drain_timeout if timeout is None else timeout
+        drained = await self.service.drain(budget)
+        self._shutdown.set()
+        return drained
 
     async def close(self) -> None:
         if self._server is not None:
@@ -146,8 +174,14 @@ class SweepServer:
                 if stop:
                     self._shutdown.set()
                     break
-        except (ConnectionError, asyncio.CancelledError):
-            pass
+        except asyncio.CancelledError:
+            raise  # server teardown cancels handlers; do not swallow
+        except ConnectionError:
+            # The client vanished mid-request or mid-response
+            # (BrokenPipeError / ConnectionResetError).  Any job it
+            # submitted keeps running — its results warm the cache for
+            # everyone else; the connection is just counted and closed.
+            self.service.stats.disconnects += 1
         finally:
             try:
                 writer.close()
@@ -174,14 +208,27 @@ class SweepServer:
                         "stats": self.service.stats.as_dict(),
                         "warm_points": self.service.warm_points,
                         "inflight_points": self.service.inflight_points,
+                        "queued_points": self.service.queued_points,
+                        "active_jobs": self.service.active_jobs,
+                        "draining": self.service.draining,
                         }, False
             if op == "sweep":
                 return await self._handle_sweep(request), False
             if op == "shutdown":
+                if request.get("mode") == "drain":
+                    timeout = request.get("drain_timeout")
+                    drained = await self.drain(
+                        None if timeout is None else float(timeout))
+                    return {"ok": True, "op": "shutdown",
+                            "mode": "drain", "drained": drained}, True
                 return {"ok": True, "op": "shutdown"}, True
         except ReproError as error:
-            return {"ok": False, "op": op, "error": str(error),
-                    "error_type": type(error).__name__}, False
+            response = {"ok": False, "op": op, "error": str(error),
+                        "error_type": type(error).__name__}
+            retry_after = getattr(error, "retry_after_ms", None)
+            if retry_after is not None:
+                response["retry_after_ms"] = retry_after
+            return response, False
         return {"ok": False,
                 "error": f"unknown op {op!r} (ping/stats/sweep/shutdown)",
                 }, False
@@ -189,7 +236,10 @@ class SweepServer:
     async def _handle_sweep(self, request: dict) -> dict:
         specs = parse_sweep_specs(request)
         priority = int(request.get("priority", 0))
-        job = await self.service.submit(specs, priority=priority)
+        deadline_ms = request.get("deadline_ms")
+        job = await self.service.submit(
+            specs, priority=priority,
+            deadline_ms=None if deadline_ms is None else float(deadline_ms))
         points = []
         for outcome in job.outcomes:
             entry = {
@@ -220,6 +270,7 @@ class SweepServer:
 
     @staticmethod
     async def _send(writer: asyncio.StreamWriter, payload: dict) -> None:
+        """Write one response line (fault-injection seam)."""
         writer.write(json.dumps(payload).encode("utf-8") + b"\n")
         await writer.drain()
 
@@ -229,6 +280,7 @@ async def serve(
     port: int = 8337,
     *,
     service: Optional[SweepService] = None,
+    drain_timeout: float = DEFAULT_DRAIN_TIMEOUT,
     ready: Optional["asyncio.Event"] = None,
     announce=None,
 ) -> None:
@@ -237,14 +289,68 @@ async def serve(
     ``announce`` (a callable taking one line of text) is told the
     bound address once listening — the CLI prints it, tests capture
     it; ``ready`` is set at the same moment for in-process callers.
+
+    On platforms that support it, SIGTERM triggers a graceful drain
+    (stop accepting, finish in flight, flush journal/telemetry, exit)
+    bounded by ``drain_timeout``.  When the service's journal shows
+    scheduled-but-unresolved points from a previous incarnation,
+    recovery runs in the background as soon as the listener is up —
+    concurrent client requests for the same points coalesce with the
+    recovery job instead of duplicating work.
     """
-    server = SweepServer(service or SweepService(), host=host, port=port)
+    server = SweepServer(service or SweepService(), host=host, port=port,
+                         drain_timeout=drain_timeout)
     await server.start()
     if announce is not None:
         announce(f"repro service listening on {server.host}:{server.port}")
     if ready is not None:
         ready.set()
+
+    loop = asyncio.get_running_loop()
+
+    def _on_sigterm() -> None:
+        if announce is not None:
+            announce("SIGTERM: draining "
+                     f"(timeout {server.drain_timeout:.0f}s)")
+        asyncio.ensure_future(server.drain())
+
+    try:
+        loop.add_signal_handler(signal.SIGTERM, _on_sigterm)
+    except (NotImplementedError, RuntimeError, ValueError):
+        pass  # non-main thread or platform without signal support
+
+    recovery_task = None
+    state = server.service.journal_state
+    if state is not None and state.needs_recovery:
+        if announce is not None:
+            announce(f"journal shows {len(state.unresolved_points)} "
+                     f"unresolved point(s) from "
+                     f"{len(state.unfinished_jobs)} job(s); recovering")
+
+        async def _recover() -> None:
+            try:
+                report = await server.service.recover()
+            except ServiceError as error:
+                if announce is not None:
+                    announce(f"recovery failed: {error}")
+                return
+            if announce is not None:
+                announce(f"recovered {report.replayed} point(s) "
+                         f"({report.failed} failed, "
+                         f"{report.skipped} skipped)")
+
+        recovery_task = asyncio.ensure_future(_recover())
     try:
         await server.serve_until_shutdown()
     finally:
+        if recovery_task is not None and not recovery_task.done():
+            recovery_task.cancel()
+            try:
+                await recovery_task
+            except asyncio.CancelledError:
+                pass
+        try:
+            loop.remove_signal_handler(signal.SIGTERM)
+        except (NotImplementedError, RuntimeError, ValueError):
+            pass
         await server.close()

@@ -11,8 +11,17 @@ directory — the same faults fire at ``jobs=1`` and ``jobs=8``.
 (``python -m repro.testing.chaos``): a QUICK sweep under injected
 faults that asserts graceful degradation end to end.
 
+:mod:`repro.testing.chaos_service` is the service-layer drill
+(``repro chaos-serve``): real ``repro serve`` processes hard-killed
+mid-batch, restarted over the same cache/journal, and asserted to
+recover with zero duplicated simulations, plus overload-shedding and
+graceful-drain checks.  The fault injector gains service seams for it
+(:data:`repro.testing.faults.SERVICE_KINDS`): ``kill-server``,
+``journal-corrupt`` / ``journal-error``, ``conn-drop``, and
+``slow-write``.
+
 Nothing in :mod:`repro` proper imports this package; it exists for the
-test suite, the chaos-smoke CI job, and anyone hardening a deployment.
+test suite, the chaos CI jobs, and anyone hardening a deployment.
 """
 
 from .faults import (

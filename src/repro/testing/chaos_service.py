@@ -1,0 +1,452 @@
+"""Service-layer chaos drill: ``repro chaos-serve``.
+
+Where :mod:`repro.testing.chaos` batters the library sweep engine,
+this driver batters the *service* — real ``repro serve`` processes,
+real TCP, real SIGKILL — and asserts the robustness guarantees the
+hardened service claims:
+
+1. **Kill-and-restart recovery** — a server with ``--journal`` is
+   hard-killed (``kill-server`` fault: ``os._exit`` mid-batch, the
+   SIGKILL stand-in) while a sweep is executing.  The journal replay
+   shows the owed points; a second server started over the same cache
+   and journal recovers them with **zero duplicated simulations**
+   (everything that finished before the kill comes back from the
+   ``RunCache``), and ``loadgen --expect-dedup`` still passes against
+   the recovered server.
+2. **Overload shedding** — with ``--max-queued`` exceeded, the server
+   answers ``overloaded`` (typed, with a ``retry_after_ms`` hint)
+   instead of growing without bound; a resilient
+   :class:`~repro.service.ServiceClient` retries through the hint and
+   eventually succeeds; already-accepted work is unaffected.
+3. **Graceful drain** — a drain-mode shutdown finishes all accepted
+   in-flight points within ``drain_timeout`` and exits 0; SIGTERM
+   triggers the same drain path.
+
+Exit status 0 means every check passed; the first failed check prints
+a ``chaos-serve: FAIL`` line and exits 1.  ``--keep`` preserves the
+scratch directory (journal, cache, server logs, telemetry) for
+post-mortems; CI uploads it as an artifact.
+
+The driver re-invokes itself (``--serve-child``) to start each server
+subprocess so the kill-server fault plan is installed *inside* the
+serving process before ``repro serve`` takes over.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import shutil
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from ..errors import ReproError
+from ..experiments.cache import RunCache
+from ..experiments.runner import RunScale
+from ..service import ServiceClient, replay, run_loadgen
+from .faults import KILL_EXIT_CODE, FaultPlan, FaultSpec, install
+
+#: The grid the killed sweep requests (distinct scale from the loadgen
+#: grid so the two never share cache keys): 2 benchmarks x 2 designs.
+SWEEP_BENCHMARKS = ("SAD", "BFS")
+SWEEP_DESIGNS = ("baseline", "bow")
+SWEEP_SCALE = RunScale(num_warps=2, trace_scale=0.1)
+
+#: The point whose simulation hard-exits the first server.  Submission
+#: order makes it late in the batch, so earlier points are already in
+#: the run cache when the process dies — exactly the state recovery
+#: must not re-simulate.
+VICTIM = "BFS/bow IW3"
+
+#: The loadgen grid (served at the loadgen default scale, 4 warps).
+LOADGEN_BENCHMARKS = ("SAD",)
+LOADGEN_DESIGNS = ("baseline", "bow")
+
+#: Seconds to wait for a server to announce, recover, or exit.
+WAIT_SECONDS = 60.0
+
+
+def _log(message: str) -> None:
+    print(f"chaos-serve: {message}", file=sys.stderr)
+
+
+def _check(ok: bool, message: str) -> None:
+    if not ok:
+        _log(f"FAIL {message}")
+        raise SystemExit(1)
+    _log(f"ok   {message}")
+
+
+def _wait_exit(proc: subprocess.Popen) -> Optional[int]:
+    """The process's exit code, or ``None`` if it outlives the wait."""
+    try:
+        return proc.wait(timeout=WAIT_SECONDS)
+    except subprocess.TimeoutExpired:
+        return None
+
+
+def _free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def _child_env() -> dict:
+    """The server subprocess environment: make ``repro`` importable
+    the same way it is for the driver."""
+    env = dict(os.environ)
+    package_root = str(Path(__file__).resolve().parent.parent.parent)
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = (f"{package_root}{os.pathsep}{existing}"
+                         if existing else package_root)
+    return env
+
+
+def _wait_for_line(log_path: Path, needle: str,
+                   proc: subprocess.Popen) -> None:
+    deadline = time.monotonic() + WAIT_SECONDS
+    while time.monotonic() < deadline:
+        if log_path.exists() and needle in log_path.read_text(
+                encoding="utf-8", errors="replace"):
+            return
+        if proc.poll() is not None:
+            raise SystemExit(_fail(
+                f"server exited early (rc={proc.returncode}) waiting "
+                f"for {needle!r}; log: {log_path}"))
+        time.sleep(0.05)
+    raise SystemExit(_fail(f"timed out waiting for {needle!r} in "
+                           f"{log_path}"))
+
+
+def _fail(message: str) -> int:
+    _log(f"FAIL {message}")
+    return 1
+
+
+def _spawn_server(root: Path, name: str, port: int, *,
+                  journal: Path, cache_dir: Path,
+                  extra: Sequence[str] = (),
+                  kill_match: Optional[str] = None) -> subprocess.Popen:
+    """Start one ``repro serve`` subprocess (via ``--serve-child``)."""
+    log_path = root / f"{name}.log"
+    argv = [sys.executable, "-m", "repro.testing.chaos_service",
+            "--serve-child", "--port", str(port),
+            "--journal", str(journal), "--cache-dir", str(cache_dir),
+            "--fault-state", str(root / f"{name}-faults"),
+            "--telemetry-dir", str(root / f"{name}-telemetry")]
+    if kill_match:
+        argv += ["--kill-match", kill_match]
+    if extra:
+        argv += ["--", *extra]  # passthrough flags for `repro serve`
+    with open(log_path, "w", encoding="utf-8") as log:
+        proc = subprocess.Popen(argv, stdout=log,
+                                stderr=subprocess.STDOUT,
+                                env=_child_env())
+    _wait_for_line(log_path, "listening", proc)
+    return proc
+
+
+def _request(port: int, payload: dict,
+             connect_seconds: float = 10.0) -> dict:
+    """One synchronous request/response against a running server."""
+
+    async def roundtrip() -> dict:
+        client = ServiceClient("127.0.0.1", port)
+        await client.connect(retry_seconds=connect_seconds)
+        try:
+            return await client.request(payload)
+        finally:
+            await client.close()
+
+    return asyncio.run(roundtrip())
+
+
+def _stats(port: int) -> dict:
+    return _request(port, {"op": "stats"})
+
+
+def _sweep_points() -> List[List]:
+    return [[benchmark, design, 3]
+            for benchmark in SWEEP_BENCHMARKS
+            for design in SWEEP_DESIGNS]
+
+
+def _scale_payload(scale: RunScale) -> dict:
+    return {"num_warps": scale.num_warps,
+            "trace_scale": scale.trace_scale,
+            "memory_seed": scale.memory_seed,
+            "num_sms": scale.num_sms}
+
+
+def _wait_for_recovery(port: int, expected_points: int) -> dict:
+    """Poll ``stats`` until the background recovery job completes."""
+    deadline = time.monotonic() + WAIT_SECONDS
+    while time.monotonic() < deadline:
+        response = _stats(port)
+        stats = response["stats"]
+        if (stats["recovered_points"] >= expected_points
+                and response["active_jobs"] == 0
+                and response["inflight_points"] == 0):
+            return response
+        time.sleep(0.1)
+    raise SystemExit(_fail("timed out waiting for journal recovery"))
+
+
+def _loadgen_dedup(port: int, label: str) -> None:
+    report = run_loadgen(
+        "127.0.0.1", port, clients=4,
+        benchmarks=LOADGEN_BENCHMARKS, designs=LOADGEN_DESIGNS,
+        windows=(3,),
+    )
+    _check(report["single_flight"]["dedup_ok"],
+           f"loadgen dedup holds {label} "
+           f"(cold resolved {report['single_flight']['cold_resolved_once']}"
+           f"/{report['unique_points']} once, warm simulated "
+           f"{report['single_flight']['warm_simulated']})")
+
+
+# -- scenario 1: kill mid-batch, restart, recover ----------------------
+
+def _scenario_recovery(root: Path) -> None:
+    journal = root / "journal.jsonl"
+    cache_dir = root / "cache"
+    unique = len(_sweep_points())
+
+    _log("recovery: starting server 1 with a kill-server fault at "
+         f"{VICTIM}")
+    port1 = _free_port()
+    server1 = _spawn_server(root, "server1", port1, journal=journal,
+                            cache_dir=cache_dir, kill_match=VICTIM)
+    try:
+        _loadgen_dedup(port1, "before the kill")
+        entries_before = RunCache(cache_dir).entry_count()
+
+        _log(f"recovery: submitting a {unique}-point sweep; the server "
+             f"dies mid-batch")
+        try:
+            response = _request(port1, {
+                "op": "sweep", "points": _sweep_points(),
+                "scale": _scale_payload(SWEEP_SCALE)})
+        except (ReproError, OSError):
+            response = None  # connection died with the server — expected
+        _check(response is None,
+               "sweep connection died with the server")
+        rc = _wait_exit(server1)
+        _check(rc == KILL_EXIT_CODE,
+               f"server 1 hard-exited mid-batch (rc={rc})")
+    finally:
+        if server1.poll() is None:
+            server1.kill()
+
+    state = replay(journal)
+    cached = RunCache(cache_dir).entry_count() - entries_before
+    _check(state.needs_recovery
+           and len(state.unresolved_points) == unique,
+           f"journal shows all {unique} sweep point(s) unresolved")
+    _check(len(state.unfinished_jobs) >= 1,
+           f"journal shows {len(state.unfinished_jobs)} unfinished "
+           f"job(s)")
+    _check(1 <= cached < unique,
+           f"{cached} point(s) reached the run cache before the kill")
+
+    _log("recovery: restarting over the same cache + journal")
+    port2 = _free_port()
+    server2 = _spawn_server(root, "server2", port2, journal=journal,
+                            cache_dir=cache_dir)
+    try:
+        response = _wait_for_recovery(port2, unique)
+        stats = response["stats"]
+        _check(stats["recovered_jobs"] >= 1,
+               f"stats report {stats['recovered_jobs']} recovered "
+               f"job(s)")
+        _check(stats["recovered_points"] == unique,
+               f"all {unique} owed point(s) recovered")
+        _check(stats["simulated"] == unique - cached,
+               f"zero duplicated simulations: {stats['simulated']} "
+               f"simulated == {unique} owed - {cached} cached")
+        _check(stats["from_cache"] == cached,
+               f"{cached} recovered point(s) came from the warm cache")
+        _loadgen_dedup(port2, "after recovery")
+        response = _request(port2, {"op": "shutdown", "mode": "drain"})
+        _check(bool(response.get("ok")) and bool(response.get("drained")),
+               "post-recovery drain shutdown completed cleanly")
+        rc = _wait_exit(server2)
+        _check(rc == 0, f"server 2 exited cleanly (rc={rc})")
+    finally:
+        if server2.poll() is None:
+            server2.kill()
+
+
+# -- scenario 2: overload shedding + graceful drain --------------------
+
+def _scenario_overload(root: Path) -> None:
+    journal = root / "overload-journal.jsonl"
+    cache_dir = root / "overload-cache"
+
+    _log("overload: starting a server with --max-queued 2, "
+         "--max-batch 1 and a slow batch window")
+    port = _free_port()
+    server = _spawn_server(
+        root, "overload", port, journal=journal, cache_dir=cache_dir,
+        extra=["--max-queued", "2", "--max-batch", "1",
+               "--batch-window", "0.6", "--drain-timeout", "30"])
+    try:
+        asyncio.run(_overload_async(port))
+        _log("overload: SIGTERM drains the server")
+        server.send_signal(signal.SIGTERM)
+        rc = _wait_exit(server)
+        _check(rc == 0, f"SIGTERM drain exited cleanly (rc={rc})")
+        log_text = (root / "overload.log").read_text(encoding="utf-8")
+        _check("SIGTERM: draining" in log_text,
+               "server announced the SIGTERM drain")
+    finally:
+        if server.poll() is None:
+            server.kill()
+
+
+async def _overload_async(port: int) -> None:
+    from ..experiments.resilience import RetryPolicy
+
+    scale = _scale_payload(SWEEP_SCALE)
+    first = [["SAD", "baseline", 3], ["SAD", "bow", 3]]
+    second = [["BFS", "baseline", 3], ["BFS", "bow", 3]]
+
+    client_a = ServiceClient("127.0.0.1", port)
+    await client_a.connect(retry_seconds=10.0)
+    client_b = ServiceClient("127.0.0.1", port)
+    await client_b.connect()
+    try:
+        # Client A fills the queue; the 0.6 s batch window keeps its
+        # points queued long enough for B to hit the bound.
+        job_a = asyncio.ensure_future(client_a.request(
+            {"op": "sweep", "points": first, "scale": scale}))
+        await asyncio.sleep(0.2)
+        shed = await client_b.request(
+            {"op": "sweep", "points": second, "scale": scale})
+        _check(not shed.get("ok")
+               and shed.get("error_type") == "ServiceOverloadedError",
+               "second job shed with a typed overloaded response")
+        _check(int(shed.get("retry_after_ms", 0)) > 0,
+               f"overloaded response carries retry_after_ms="
+               f"{shed.get('retry_after_ms')}")
+
+        # A resilient client retries through the hint and succeeds
+        # once A's points drain.
+        retry_client = ServiceClient(
+            "127.0.0.1", port,
+            retry=RetryPolicy(max_attempts=8, backoff_base=0.2))
+        await retry_client.connect()
+        try:
+            retried = await retry_client.sweep(points=second,
+                                               scale=SWEEP_SCALE)
+        finally:
+            await retry_client.close()
+        _check(retried.get("ok"),
+               "resilient client succeeded after backoff")
+
+        response_a = await job_a
+        _check(response_a.get("ok"),
+               "already-accepted job finished despite the shed load")
+    finally:
+        await client_a.close()
+        await client_b.close()
+
+
+# -- the --serve-child entry ------------------------------------------
+
+def _serve_child(args) -> int:
+    """Install the fault plan, then become ``repro serve``."""
+    from .. import cli
+
+    if args.kill_match:
+        install(FaultPlan(args.fault_seed, args.fault_state,
+                          [FaultSpec("kill-server", times=1,
+                                     match=args.kill_match)]))
+    serve_argv = ["serve", "--host", "127.0.0.1",
+                  "--port", str(args.port),
+                  "--journal", args.journal,
+                  "--cache-dir", args.cache_dir,
+                  "--telemetry-dir", args.telemetry_dir,
+                  *args.serve_args]
+    return cli.main(serve_argv)
+
+
+# -- entry points ------------------------------------------------------
+
+def run(scenario: str = "all", keep: bool = False,
+        root: Optional[str] = None) -> int:
+    """Run the drill; returns the process exit code.
+
+    ``root`` pins the scratch directory (CI points it at the artifact
+    upload path); by default a temp directory is used and removed on
+    success.  On failure the directory is always kept for post-mortem.
+    """
+    if root is None:
+        root_path = Path(tempfile.mkdtemp(prefix="repro-chaos-serve-"))
+    else:
+        root_path = Path(root)
+        root_path.mkdir(parents=True, exist_ok=True)
+        keep = True
+    _log(f"scratch directory: {root_path}")
+    failed = False
+    try:
+        if scenario in ("all", "recovery"):
+            _scenario_recovery(root_path)
+        if scenario in ("all", "overload"):
+            _scenario_overload(root_path)
+    except SystemExit as stop:
+        failed = True
+        return int(stop.code or 1)
+    finally:
+        if failed or keep:
+            _log(f"artifacts in {root_path}")
+        else:
+            shutil.rmtree(root_path, ignore_errors=True)
+    _log("all checks passed")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.testing.chaos_service",
+        description="service-layer chaos drill (CI)",
+    )
+    parser.add_argument("--scenario", default="all",
+                        choices=["all", "recovery", "overload"])
+    parser.add_argument("--keep", action="store_true",
+                        help="keep the scratch directory")
+    parser.add_argument("--root", default=None, metavar="DIR",
+                        help="pin the scratch directory (implies --keep; "
+                             "CI points this at the artifact path)")
+    parser.add_argument("--serve-child", action="store_true",
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--port", type=int, default=0,
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--journal", default="", help=argparse.SUPPRESS)
+    parser.add_argument("--cache-dir", default="",
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--telemetry-dir", default="",
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--fault-state", default="",
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--fault-seed", type=int, default=11,
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--kill-match", default="",
+                        help=argparse.SUPPRESS)
+    parser.add_argument("serve_args", nargs="*",
+                        help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+    if args.serve_child:
+        return _serve_child(args)
+    return run(scenario=args.scenario, keep=args.keep, root=args.root)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,12 +10,21 @@ chaos-smoke job can prove it:
   EACCES), *where* (a substring match on the point label or cache
   key), *how often* (a deterministic per-token probability), and *how
   many times* before the fault heals;
-* :func:`install` monkeypatches the two seams the engine already
-  exposes — ``runner.execute_run`` (every simulator invocation funnels
-  through it) and the ``RunCache._read_text``/``_write_entry`` I/O
-  methods — and registers a pool-worker initializer on the grid so the
-  hooks are active inside workers even under spawn-based
-  multiprocessing (fork inherits them automatically).
+* :func:`install` monkeypatches the seams the engine already exposes —
+  ``runner.execute_run`` (every simulator invocation funnels through
+  it), the ``RunCache._read_text``/``_write_entry`` I/O methods, the
+  sweep service's ``Journal._write_line`` durability seam and
+  ``SweepServer._send`` wire seam — and registers a pool-worker
+  initializer on the grid so the hooks are active inside workers even
+  under spawn-based multiprocessing (fork inherits them
+  automatically).
+
+Service faults (:data:`SERVICE_KINDS`) extend the drill to the layer
+real traffic hits: ``kill-server`` hard-exits the serving *process*
+mid-batch (the SIGKILL stand-in the chaos-serve recovery drill builds
+on), ``journal-corrupt`` / ``journal-error`` tear or fail journal
+lines, and ``conn-drop`` / ``slow-write`` abort or stall wire
+responses mid-send.
 
 **Determinism.**  Whether a fault fires depends only on the plan's
 seed, the spec, and the token (point label / cache key) — never on
@@ -52,6 +61,14 @@ RUN_KINDS = frozenset({"raise", "oserror", "kill", "hang", "deadlock"})
 #: Fault kinds hooked into the ``RunCache`` I/O seams.
 CACHE_KINDS = frozenset({"cache-corrupt", "cache-enospc", "cache-eacces"})
 
+#: Fault kinds hooked into the sweep-service seams: ``kill-server``
+#: (hard process exit mid-batch, fired from the run seam),
+#: ``journal-corrupt`` / ``journal-error`` (torn or failing journal
+#: lines), ``conn-drop`` (abort the transport mid-response) and
+#: ``slow-write`` (half the response, a ``duration`` stall, the rest).
+SERVICE_KINDS = frozenset({"kill-server", "journal-corrupt",
+                           "journal-error", "conn-drop", "slow-write"})
+
 
 class InjectedFaultError(SimulationError):
     """A deterministic *permanent* failure raised by a ``raise`` spec."""
@@ -83,8 +100,12 @@ class FaultSpec:
             ``0`` means never heal.
         duration: sleep seconds for ``hang``.
         match: substring filter — on the point label
-            (``"SAD/bow IW3"``) for run faults, on the cache key for
-            cache faults.  Empty matches everything.
+            (``"SAD/bow IW3"``) for run faults (including
+            ``kill-server``), on the cache key for cache faults, on
+            the serialized line for journal and wire faults (so
+            ``match='point-resolved'`` targets journal resolutions and
+            ``match='"op": "sweep"'`` targets sweep responses).  Empty
+            matches everything.
     """
 
     kind: str
@@ -94,8 +115,9 @@ class FaultSpec:
     match: str = ""
 
     def __post_init__(self) -> None:
-        if self.kind not in RUN_KINDS | CACHE_KINDS:
-            known = ", ".join(sorted(RUN_KINDS | CACHE_KINDS))
+        known_kinds = RUN_KINDS | CACHE_KINDS | SERVICE_KINDS
+        if self.kind not in known_kinds:
+            known = ", ".join(sorted(known_kinds))
             raise ExperimentError(
                 f"unknown fault kind {self.kind!r}; known: {known}")
         if not 0.0 <= self.rate <= 1.0:
@@ -179,12 +201,18 @@ class FaultPlan:
         window = runner.effective_window(design, window_size)
         token = f"{benchmark.upper()}/{design} IW{window}"
         for index, spec in enumerate(self.specs):
-            if spec.kind not in RUN_KINDS:
+            if spec.kind not in RUN_KINDS and spec.kind != "kill-server":
                 continue
             if not self._claim(index, token):
                 continue
             if spec.kind == "hang":
                 time.sleep(spec.duration)
+            elif spec.kind == "kill-server":
+                # The SIGKILL stand-in: take down the *whole process*
+                # (server included) with no cleanup, mid-batch.  The
+                # journal's fsync-per-record contract is what makes
+                # this recoverable.
+                os._exit(KILL_EXIT_CODE)
             elif spec.kind == "kill":
                 if multiprocessing.parent_process() is not None:
                     os._exit(KILL_EXIT_CODE)
@@ -217,6 +245,29 @@ class FaultPlan:
                 text = text[: max(1, len(text) // 2)]  # torn write
         return text
 
+    def filter_journal_write(self, text: str) -> str:
+        """Raise or tear one journal line per the plan.
+
+        The token is the serialized record, so ``match`` selects by
+        record type or any field value.
+        """
+        for index, spec in enumerate(self.specs):
+            if spec.kind == "journal-error" and self._claim(index, text):
+                raise OSError(
+                    errno.EIO, "injected journal write failure")
+            if spec.kind == "journal-corrupt" and self._claim(index, text):
+                text = text[: max(1, len(text) // 2)]  # torn line
+        return text
+
+    def fire_send(self, text: str) -> Optional[FaultSpec]:
+        """The wire fault (if any) claimed for one response line."""
+        for index, spec in enumerate(self.specs):
+            if spec.kind not in ("conn-drop", "slow-write"):
+                continue
+            if self._claim(index, text):
+                return spec
+        return None
+
 
 # -- installation ------------------------------------------------------
 
@@ -232,24 +283,35 @@ def active_plan() -> Optional[FaultPlan]:
 def install(plan: FaultPlan) -> FaultPlan:
     """Install ``plan``'s hooks process-wide; returns the plan.
 
-    Patches ``runner.execute_run`` and the ``RunCache`` I/O seams, and
-    registers a pool-worker initializer so freshly spawned workers
-    install the same plan.  Only one plan can be active at a time;
-    :func:`uninstall` (or the :func:`injected_faults` context manager)
-    restores the originals.
+    Patches ``runner.execute_run``, the ``RunCache`` I/O seams, the
+    service journal's ``_write_line`` seam and the sweep server's
+    ``_send`` wire seam, and registers a pool-worker initializer so
+    freshly spawned workers install the same plan.  Only one plan can
+    be active at a time; :func:`uninstall` (or the
+    :func:`injected_faults` context manager) restores the originals.
     """
     global _active
     if _active is not None:
         raise ExperimentError("a fault plan is already installed")
+    # Imported here, not at module top: the fault injector must stay
+    # importable (and cheap) without dragging in the asyncio service
+    # stack, which only exists on the serving side of a chaos drill.
+    from ..service.journal import Journal
+    from ..service.server import SweepServer
+
     _active = plan
     _saved["execute_run"] = runner.execute_run
     _saved["_read_text"] = RunCache._read_text
     _saved["_write_entry"] = RunCache._write_entry
     _saved["_pool_initializer"] = grid._pool_initializer
+    _saved["_write_line"] = Journal._write_line
+    _saved["_send"] = SweepServer.__dict__["_send"]
 
     original_execute = runner.execute_run
     original_read = RunCache._read_text
     original_write = RunCache._write_entry
+    original_write_line = Journal._write_line
+    original_send = SweepServer._send
 
     def execute_run(benchmark, design, window_size=3, scale=runner.QUICK):
         plan.fire_run_faults(benchmark, design, window_size)
@@ -264,9 +326,36 @@ def install(plan: FaultPlan) -> FaultPlan:
         return original_write(self, path,
                               plan.filter_cache_write(path.stem, text))
 
+    def _write_line(self, text):
+        return original_write_line(self, plan.filter_journal_write(text))
+
+    async def _send(writer, payload):
+        import asyncio as _asyncio
+        import json as _json
+
+        text = _json.dumps(payload)
+        spec = plan.fire_send(text)
+        if spec is not None and spec.kind == "conn-drop":
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+            raise ConnectionResetError("injected connection drop")
+        if spec is not None and spec.kind == "slow-write":
+            data = text.encode("utf-8")
+            half = max(1, len(data) // 2)
+            writer.write(data[:half])
+            await writer.drain()
+            await _asyncio.sleep(spec.duration)
+            writer.write(data[half:] + b"\n")
+            await writer.drain()
+            return
+        await original_send(writer, payload)
+
     runner.execute_run = execute_run
     RunCache._read_text = _read_text
     RunCache._write_entry = _write_entry
+    Journal._write_line = _write_line
+    SweepServer._send = staticmethod(_send)
     grid._pool_initializer = (_install_in_worker, (plan,))
     return plan
 
@@ -276,10 +365,15 @@ def uninstall() -> None:
     global _active
     if _active is None:
         return
+    from ..service.journal import Journal
+    from ..service.server import SweepServer
+
     runner.execute_run = _saved.pop("execute_run")
     RunCache._read_text = _saved.pop("_read_text")
     RunCache._write_entry = _saved.pop("_write_entry")
     grid._pool_initializer = _saved.pop("_pool_initializer")
+    Journal._write_line = _saved.pop("_write_line")
+    SweepServer._send = _saved.pop("_send")
     _active = None
 
 

@@ -1,0 +1,114 @@
+"""Unit tests for the chaos-serve drill's plumbing.
+
+The full kill/recover/drain drill runs real subprocesses and lives in
+the CI ``service-chaos`` job (``python -m repro chaos-serve``); these
+tests pin the driver's helpers so a refactor cannot silently break the
+drill's arithmetic.
+"""
+
+import os
+import socket
+
+import pytest
+
+from repro.experiments.runner import RunScale
+from repro.testing import chaos_service
+
+
+def test_free_port_is_bindable():
+    port = chaos_service._free_port()
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", port))
+
+
+def test_child_env_makes_repro_importable():
+    import repro
+
+    env = chaos_service._child_env()
+    root = os.path.dirname(os.path.dirname(os.path.abspath(
+        repro.__file__)))
+    assert env["PYTHONPATH"].split(os.pathsep)[0] == root
+
+
+def test_sweep_points_cover_the_kill_grid():
+    points = chaos_service._sweep_points()
+    assert len(points) == 4
+    assert ["BFS", "bow", 3] in points
+    # The victim point must be in the grid or the kill never fires.
+    assert chaos_service.VICTIM == "BFS/bow IW3"
+
+
+def test_sweep_and_loadgen_grids_never_share_cache_keys():
+    """The recovery arithmetic depends on the killed sweep's points
+    being disjoint from the loadgen's (different RunScale)."""
+    assert chaos_service.SWEEP_SCALE != RunScale(num_warps=4,
+                                                trace_scale=0.1)
+
+
+def test_scale_payload_round_trips():
+    payload = chaos_service._scale_payload(chaos_service.SWEEP_SCALE)
+    assert RunScale(**payload) == chaos_service.SWEEP_SCALE
+
+
+def test_check_failure_exits_nonzero():
+    chaos_service._check(True, "fine")
+    with pytest.raises(SystemExit):
+        chaos_service._check(False, "doomed")
+
+
+def test_fail_returns_exit_code():
+    assert chaos_service._fail("boom") == 1
+
+
+def test_main_rejects_unknown_scenario():
+    with pytest.raises(SystemExit):
+        chaos_service.main(["--scenario", "armageddon"])
+
+
+class TestRunDispatcher:
+    """``run()`` scratch-directory lifecycle, with the scenarios
+    themselves stubbed out (the real ones run subprocesses in CI)."""
+
+    def test_success_removes_the_temp_scratch_dir(self, monkeypatch):
+        seen = []
+        monkeypatch.setattr(chaos_service, "_scenario_recovery",
+                            seen.append)
+        monkeypatch.setattr(chaos_service, "_scenario_overload",
+                            seen.append)
+        assert chaos_service.run() == 0
+        assert len(seen) == 2
+        assert seen[0] == seen[1]  # both scenarios share one root
+        assert not seen[0].exists()
+
+    def test_explicit_root_implies_keep(self, monkeypatch, tmp_path):
+        monkeypatch.setattr(chaos_service, "_scenario_overload",
+                            lambda root: None)
+        root = tmp_path / "artifacts"
+        rc = chaos_service.main(["--scenario", "overload",
+                                 "--root", str(root)])
+        assert rc == 0
+        assert root.is_dir()
+
+    def test_failed_check_keeps_the_scratch_dir(self, monkeypatch):
+        roots = []
+
+        def doomed(root):
+            roots.append(root)
+            chaos_service._check(False, "injected failure")
+
+        monkeypatch.setattr(chaos_service, "_scenario_recovery", doomed)
+        assert chaos_service.run(scenario="recovery") == 1
+        assert roots[0].exists()
+        import shutil
+
+        shutil.rmtree(roots[0], ignore_errors=True)
+
+    def test_keep_flag_preserves_the_temp_dir(self, monkeypatch):
+        roots = []
+        monkeypatch.setattr(chaos_service, "_scenario_recovery",
+                            roots.append)
+        assert chaos_service.run(scenario="recovery", keep=True) == 0
+        assert roots[0].exists()
+        import shutil
+
+        shutil.rmtree(roots[0], ignore_errors=True)

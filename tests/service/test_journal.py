@@ -1,0 +1,164 @@
+"""Tests for the crash-safe write-ahead job journal."""
+
+import json
+
+import pytest
+
+from repro.service import (
+    JOURNAL_SCHEMA_VERSION,
+    Journal,
+    JournalDegradedWarning,
+    read_records,
+    replay,
+)
+
+
+def make_journal(tmp_path, **kwargs) -> Journal:
+    return Journal(tmp_path / "journal.jsonl", **kwargs)
+
+
+class TestJournalWrites:
+    def test_records_land_as_schema_stamped_jsonl(self, tmp_path):
+        with make_journal(tmp_path) as journal:
+            journal.record("service-start", incarnation=1)
+            journal.record("job-accepted", job=1, points=2)
+        records, corrupt = read_records(journal.path)
+        assert corrupt == 0
+        assert [r["type"] for r in records] == ["service-start",
+                                                "job-accepted"]
+        assert all(r["schema"] == JOURNAL_SCHEMA_VERSION for r in records)
+        assert records[1]["points"] == 2
+
+    def test_append_across_incarnations(self, tmp_path):
+        with make_journal(tmp_path) as journal:
+            journal.record("service-start", incarnation=1)
+        with make_journal(tmp_path) as journal:
+            journal.record("service-start", incarnation=2)
+        records, _ = read_records(journal.path)
+        assert [r["incarnation"] for r in records] == [1, 2]
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        records, corrupt = read_records(tmp_path / "nope.jsonl")
+        assert records == [] and corrupt == 0
+
+    def test_write_errors_self_disable_with_one_warning(self, tmp_path,
+                                                        monkeypatch):
+        journal = make_journal(tmp_path, error_threshold=2).open()
+
+        def boom(self, text):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(Journal, "_write_line", boom)
+        journal.record("job-accepted", job=1)  # swallowed, under threshold
+        assert not journal.disabled
+        with pytest.warns(JournalDegradedWarning):
+            journal.record("job-accepted", job=2)
+        assert journal.disabled
+        assert journal.write_errors == 2
+        journal.record("job-accepted", job=3)  # no-op once disabled
+        assert journal.write_errors == 2
+        journal.close()
+
+
+class TestCorruptionTolerance:
+    def test_torn_tail_and_garbage_lines_skipped(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        good = json.dumps({"schema": 1, "type": "job-accepted", "job": 1})
+        path.write_text(
+            good + "\n"
+            + "not json at all\n"
+            + json.dumps(["a", "list"]) + "\n"
+            + json.dumps({"no": "type field"}) + "\n"
+            + good[: len(good) // 2],  # torn tail from a crash mid-write
+            encoding="utf-8")
+        records, corrupt = read_records(path)
+        assert len(records) == 1
+        assert corrupt == 4
+
+    def test_replay_counts_corruption_without_failing(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text("garbage\n", encoding="utf-8")
+        state = replay(path)
+        assert state.corrupt_lines == 1
+        assert not state.needs_recovery
+
+
+def write_journal(path, records):
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps({"schema": 1, **record}) + "\n")
+
+
+POINT = {"benchmark": "BFS", "design": "bow", "window": 3,
+         "scale": {"num_warps": 2, "trace_scale": 0.1,
+                   "memory_seed": 7, "num_sms": 1}}
+
+
+class TestReplay:
+    def test_resolved_points_do_not_need_recovery(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        write_journal(path, [
+            {"type": "service-start", "incarnation": 1},
+            {"type": "job-accepted", "job": 1},
+            {"type": "point-scheduled", "key": "k1", **POINT},
+            {"type": "point-resolved", "key": "k1", "ok": True,
+             "source": "sim"},
+            {"type": "job-finished", "job": 1},
+        ])
+        state = replay(path)
+        assert not state.needs_recovery
+        assert state.unfinished_jobs == []
+        assert state.resolved == 1
+        assert state.resolved_sims == 1
+        assert state.incarnations == 1
+
+    def test_scheduled_but_unresolved_points_surface(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        write_journal(path, [
+            {"type": "service-start", "incarnation": 1},
+            {"type": "job-accepted", "job": 1},
+            {"type": "point-scheduled", "key": "k1", **POINT},
+            {"type": "point-scheduled", "key": "k2", **POINT},
+            {"type": "point-resolved", "key": "k1", "ok": True,
+             "source": "cache"},
+        ])
+        state = replay(path)
+        assert state.needs_recovery
+        assert set(state.unresolved_points) == {"k2"}
+        assert state.unresolved_points["k2"]["benchmark"] == "BFS"
+        assert state.unfinished_jobs == [(1, 1)]
+
+    def test_last_event_wins_on_reschedule(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        write_journal(path, [
+            {"type": "point-scheduled", "key": "k1", **POINT},
+            {"type": "point-resolved", "key": "k1", "ok": False,
+             "source": "failed"},
+            {"type": "point-scheduled", "key": "k1", **POINT},
+        ])
+        state = replay(path)
+        assert set(state.unresolved_points) == {"k1"}
+
+    def test_unknown_record_types_skipped(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        write_journal(path, [
+            {"type": "service-start", "incarnation": 1},
+            {"type": "from-the-future", "payload": 1},
+        ])
+        state = replay(path)
+        assert state.incarnations == 1
+        assert not state.needs_recovery
+
+    def test_jobs_tracked_per_incarnation(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        write_journal(path, [
+            {"type": "service-start", "incarnation": 1},
+            {"type": "job-accepted", "job": 1},
+            {"type": "service-start", "incarnation": 2},
+            {"type": "job-accepted", "job": 1},
+            {"type": "job-finished", "job": 1},
+        ])
+        state = replay(path)
+        # Incarnation 2 finished *its* job 1; incarnation 1's is owed.
+        assert state.unfinished_jobs == [(1, 1)]
+        assert state.incarnations == 2

@@ -1,0 +1,657 @@
+"""Robustness tests: admission control, deadlines, drain, recovery.
+
+Covers the production-hardening layer of the sweep service — the
+pieces a happy-path test never exercises: load shedding with
+``retry_after_ms`` hints, job deadlines expiring queued points, the
+close/drain state machine resolving every pending waiter, journal
+replay after a crash, and the wire layer surviving clients that
+vanish mid-response.
+"""
+
+import asyncio
+import heapq
+import json
+import socket
+import struct
+import threading
+import time
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.errors import (
+    ServiceError,
+    ServiceOverloadedError,
+    ServiceTimeoutError,
+)
+from repro.experiments import runner
+from repro.experiments.cache import RunCache
+from repro.experiments.resilience import RetryPolicy
+from repro.experiments.runner import (
+    RunScale,
+    clear_cache,
+    reset_simulations_counter,
+    set_cache,
+    simulations_run,
+)
+from repro.service import (
+    PointSpec,
+    ServiceClient,
+    SweepServer,
+    SweepService,
+    read_records,
+    replay,
+    run_loadgen,
+)
+from repro.service.core import (
+    MAX_RETRY_AFTER_MS,
+    MIN_RETRY_AFTER_MS,
+    _Queued,
+)
+
+TINY = RunScale(num_warps=2, trace_scale=0.1)
+OTHER = RunScale(num_warps=2, trace_scale=0.1, memory_seed=11)
+
+
+@pytest.fixture(autouse=True)
+def isolated_caches():
+    clear_cache()
+    previous = set_cache(None)
+    reset_simulations_counter()
+    yield
+    set_cache(previous)
+    clear_cache()
+
+
+def spec(benchmark="BFS", design="bow", window=3, scale=TINY):
+    return PointSpec.create(benchmark, design, window, scale)
+
+
+def slow_execute(monkeypatch, seconds, only_design=None):
+    """Make simulations slow so queue states become observable."""
+    real_execute = runner.execute_run
+
+    def slowed(benchmark, design, *args, **kwargs):
+        if only_design is None or design == only_design:
+            time.sleep(seconds)
+        return real_execute(benchmark, design, *args, **kwargs)
+
+    monkeypatch.setattr(runner, "execute_run", slowed)
+
+
+class TestCloseResolvesWaiters:
+    """Satellite regression: close() must never strand a waiter."""
+
+    def test_close_with_queued_waiters_returns_instead_of_hanging(self):
+        async def scenario():
+            # A batch window far longer than the test: the points stay
+            # queued forever unless close() resolves them.
+            service = await SweepService(cache=None,
+                                         batch_window=30.0).start()
+            job_task = asyncio.ensure_future(
+                service.submit([spec(), spec("NW")]))
+            await asyncio.sleep(0.05)
+            await service.close()
+            return await asyncio.wait_for(job_task, timeout=2.0)
+
+        job = asyncio.run(scenario())
+        assert len(job.outcomes) == 2
+        assert not job.ok
+        for outcome in job.outcomes:
+            assert outcome.error_type == "ServiceError"
+            assert "service closed" in outcome.error
+        assert simulations_run() == 0
+
+    def test_close_mid_batch_resolves_waiters(self, monkeypatch):
+        slow_execute(monkeypatch, 0.3)
+
+        async def scenario():
+            service = await SweepService(cache=None,
+                                         batch_window=0.0).start()
+            job_task = asyncio.ensure_future(service.submit([spec()]))
+            await asyncio.sleep(0.1)  # batch dispatched, simulating
+            await service.close()
+            return await asyncio.wait_for(job_task, timeout=5.0)
+
+        job = asyncio.run(scenario())
+        assert not job.ok
+        assert "service closed" in job.outcomes[0].error
+
+    def test_double_close_is_idempotent(self, tmp_path):
+        async def scenario():
+            service = await SweepService(
+                cache=None, journal=tmp_path / "journal.jsonl").start()
+            await service.submit([spec()])
+            await service.close()
+            await service.close()
+            return service
+
+        service = asyncio.run(scenario())
+        records, _ = read_records(tmp_path / "journal.jsonl")
+        stops = [r for r in records if r["type"] == "service-stop"]
+        assert len(stops) == 1
+        assert service.stats.jobs == 1
+
+
+class TestAdmissionControl:
+    def test_queue_bound_sheds_with_retry_hint(self):
+        async def scenario():
+            service = await SweepService(cache=None, batch_window=0.3,
+                                         max_queued_points=2).start()
+            first = asyncio.ensure_future(
+                service.submit([spec(), spec("NW")]))
+            await asyncio.sleep(0.05)  # both points queued, none cut yet
+            with pytest.raises(ServiceOverloadedError) as excinfo:
+                await service.submit([spec("SAD"), spec("STO")])
+            job = await first
+            await service.close()
+            return service, excinfo.value, job
+
+        service, error, job = asyncio.run(scenario())
+        assert MIN_RETRY_AFTER_MS <= error.retry_after_ms <= \
+            MAX_RETRY_AFTER_MS
+        assert service.stats.overloaded == 1
+        assert job.ok  # the admitted job was unaffected by the shed one
+
+    def test_inflight_jobs_bound_sheds_whole_jobs(self):
+        async def scenario():
+            service = await SweepService(cache=None, batch_window=0.2,
+                                         max_inflight_jobs=1).start()
+            first = asyncio.ensure_future(service.submit([spec()]))
+            await asyncio.sleep(0.05)
+            with pytest.raises(ServiceOverloadedError):
+                await service.submit([spec("NW")])
+            job = await first
+            await service.close()
+            return service, job
+
+        service, job = asyncio.run(scenario())
+        assert job.ok
+        assert service.stats.overloaded == 1
+
+    def test_warm_points_do_not_count_against_the_queue_bound(self):
+        async def scenario():
+            async with SweepService(cache=None,
+                                    max_queued_points=1) as service:
+                await service.submit([spec()])
+                # spec() is warm now; only spec("NW") is a new point,
+                # so this fits the 1-point queue bound.
+                return await service.submit([spec(), spec("NW")])
+
+        job = asyncio.run(scenario())
+        assert job.ok
+        assert len(job.outcomes) == 2
+
+    def test_shed_job_leaves_no_trace(self):
+        """Admission is atomic: a shed job must not leak queue entries
+        or in-flight registrations that would poison later submits."""
+        async def scenario():
+            service = await SweepService(cache=None, batch_window=0.3,
+                                         max_queued_points=1).start()
+            first = asyncio.ensure_future(service.submit([spec()]))
+            await asyncio.sleep(0.05)
+            with pytest.raises(ServiceOverloadedError):
+                await service.submit([spec("NW"), spec("SAD")])
+            assert service.inflight_points == 1  # only the first job's
+            assert service.queued_points == 1
+            job = await first
+            # Capacity freed: the formerly-shed points are admitted.
+            retried = await service.submit([spec("NW")])
+            await service.close()
+            return job, retried
+
+        job, retried = asyncio.run(scenario())
+        assert job.ok and retried.ok
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ServiceError):
+            SweepService(max_queued_points=0)
+        with pytest.raises(ServiceError):
+            SweepService(max_inflight_jobs=0)
+
+    def test_retry_after_stays_in_bounds(self):
+        service = SweepService(cache=None)
+        assert MIN_RETRY_AFTER_MS <= service.retry_after_ms() <= \
+            MAX_RETRY_AFTER_MS
+
+
+class TestDeadlines:
+    def test_expired_points_never_simulate_but_siblings_complete(
+            self, monkeypatch):
+        slow_execute(monkeypatch, 0.5)
+
+        async def scenario():
+            # max_batch=1 + no window: the first point dispatches
+            # immediately and pins the (1-worker) executor for 0.5 s,
+            # far past the 150 ms deadline of its queued siblings.
+            service = await SweepService(cache=None, batch_window=0.0,
+                                         max_batch=1).start()
+            job = await service.submit(
+                [spec(), spec("NW"), spec("SAD")], deadline_ms=150)
+            await service.close()
+            return service, job
+
+        service, job = asyncio.run(scenario())
+        by_bench = {o.spec.benchmark: o for o in job.outcomes}
+        assert by_bench["BFS"].ok  # dispatched points run to completion
+        for bench in ("NW", "SAD"):
+            outcome = by_bench[bench]
+            assert not outcome.ok
+            assert outcome.source == "expired"
+            assert outcome.error_type == ServiceTimeoutError.__name__
+            assert "deadline" in outcome.error
+        assert simulations_run() == 1
+        assert service.stats.expired == 2
+        assert service.inflight_points == 0
+
+    def test_expired_key_can_be_rescheduled_later(self):
+        async def scenario():
+            service = await SweepService(cache=None,
+                                         batch_window=0.5).start()
+            first = await service.submit([spec()], deadline_ms=50)
+            second = await service.submit([spec()])
+            await service.close()
+            return first, second
+
+        first, second = asyncio.run(scenario())
+        assert not first.ok
+        assert first.outcomes[0].source == "expired"
+        assert second.ok
+
+    def test_nonpositive_deadline_rejected(self):
+        async def scenario():
+            async with SweepService(cache=None) as service:
+                await service.submit([spec()], deadline_ms=0)
+
+        with pytest.raises(ServiceError):
+            asyncio.run(scenario())
+
+
+class TestDrain:
+    def test_drain_finishes_accepted_work_and_sheds_new_jobs(self):
+        async def scenario():
+            service = await SweepService(cache=None,
+                                         batch_window=0.1).start()
+            accepted = asyncio.ensure_future(
+                service.submit([spec(), spec("NW")]))
+            await asyncio.sleep(0.02)
+            drain_task = asyncio.ensure_future(service.drain(timeout=30.0))
+            await asyncio.sleep(0.01)
+            assert service.draining
+            with pytest.raises(ServiceOverloadedError):
+                await service.submit([spec("SAD")])
+            job = await accepted
+            drained = await drain_task
+            return service, job, drained
+
+        service, job, drained = asyncio.run(scenario())
+        assert drained is True
+        assert job.ok  # accepted before drain, finished during it
+        assert service.stats.overloaded == 1
+
+    def test_drain_timeout_force_closes(self, monkeypatch):
+        slow_execute(monkeypatch, 0.8)
+
+        async def scenario():
+            service = await SweepService(cache=None,
+                                         batch_window=0.0).start()
+            job_task = asyncio.ensure_future(service.submit([spec()]))
+            await asyncio.sleep(0.05)
+            drained = await service.drain(timeout=0.1)
+            job = await asyncio.wait_for(job_task, timeout=5.0)
+            return drained, job
+
+        drained, job = asyncio.run(scenario())
+        assert drained is False
+        assert not job.ok
+        assert "service closed" in job.outcomes[0].error
+
+    def test_drain_of_idle_service_is_immediate(self):
+        async def scenario():
+            service = await SweepService(cache=None).start()
+            return await service.drain(timeout=5.0)
+
+        assert asyncio.run(scenario()) is True
+
+
+class TestJournaledRecovery:
+    def test_lifecycle_stamps_incarnations(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+
+        async def session():
+            async with SweepService(cache=None, journal=path) as service:
+                await service.submit([spec()])
+
+        asyncio.run(session())
+        state = replay(path)
+        assert state.incarnations == 1
+        assert state.resolved == 1
+        assert not state.needs_recovery
+        asyncio.run(session())
+        assert replay(path).incarnations == 2
+
+    def test_recover_replays_owed_points_without_resimulating(
+            self, tmp_path):
+        """The crash-recovery contract: points the journal shows as
+        scheduled-but-unresolved are resubmitted, and work that already
+        landed in the RunCache is answered from disk — only the
+        genuinely interrupted point simulates."""
+        cache_dir = tmp_path / "runs"
+        finished, interrupted = spec(), spec("NW")
+
+        async def before_crash():
+            async with SweepService(cache=RunCache(cache_dir)) as service:
+                await service.submit([finished])
+
+        asyncio.run(before_crash())
+        assert simulations_run() == 1
+        clear_cache()  # the "crash": a fresh process keeps only disk
+        reset_simulations_counter()
+
+        # The journal a SIGKILLed service leaves behind: both points
+        # scheduled, neither resolved, the job never finished.
+        path = tmp_path / "journal.jsonl"
+        records = [{"type": "service-start", "incarnation": 1},
+                   {"type": "job-accepted", "job": 1, "points": 2}]
+        for point in (finished, interrupted):
+            records.append({
+                "type": "point-scheduled", "job": 1, "key": point.key(),
+                "benchmark": point.benchmark, "design": point.design,
+                "window": point.window,
+                "scale": {"num_warps": point.scale.num_warps,
+                          "trace_scale": point.scale.trace_scale,
+                          "memory_seed": point.scale.memory_seed,
+                          "num_sms": point.scale.num_sms}})
+        path.write_text("".join(json.dumps({"schema": 1, **r}) + "\n"
+                                for r in records), encoding="utf-8")
+
+        async def restart():
+            async with SweepService(cache=RunCache(cache_dir),
+                                    journal=path) as service:
+                assert service.journal_state.needs_recovery
+                report = await service.recover()
+                return service, report
+
+        service, report = asyncio.run(restart())
+        assert report.unfinished_jobs == 1
+        assert report.unresolved_points == 2
+        assert report.replayed == 2
+        assert report.failed == 0 and report.skipped == 0
+        assert service.stats.recovered_jobs == 1
+        assert service.stats.recovered_points == 2
+        assert simulations_run() == 1  # only the interrupted point
+        assert service.stats.from_cache == 1
+        assert not replay(path).needs_recovery  # recovery was journaled
+
+    def test_recover_skips_unreconstructible_points(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text(json.dumps({
+            "schema": 1, "type": "point-scheduled", "key": "k1",
+            "benchmark": "BFS", "design": "warp-drive", "window": 3,
+            "scale": {"num_warps": 2}}) + "\n", encoding="utf-8")
+
+        async def restart():
+            async with SweepService(cache=None, journal=path) as service:
+                return await service.recover()
+
+        report = asyncio.run(restart())
+        assert report.skipped == 1
+        assert report.replayed == 0
+
+    def test_recover_requires_a_running_service(self):
+        with pytest.raises(ServiceError):
+            asyncio.run(SweepService(cache=None).recover())
+
+
+def push_entry(service, loop, point, priority, state="queued"):
+    entry = _Queued(point, point.key(), loop.create_future())
+    entry.state = state
+    service._seq += 1
+    if state == "queued":
+        service._queued_count += 1
+    heapq.heappush(service._queue, (priority, service._seq, entry))
+    return entry
+
+
+class TestQueueOrderingProperties:
+    """Property tests for the dispatch order invariants."""
+
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(priorities=st.lists(st.integers(-3, 3), min_size=1,
+                               max_size=40))
+    def test_batches_drain_by_priority_then_fifo(self, priorities):
+        async def scenario():
+            service = SweepService(cache=None, max_batch=len(priorities))
+            loop = asyncio.get_running_loop()
+            entries = [push_entry(service, loop, spec(), priority)
+                       for priority in priorities]
+            return entries, service._pop_batch()
+
+        entries, batch = asyncio.run(scenario())
+        expected = [entry for _, entry in
+                    sorted(enumerate(entries),
+                           key=lambda item: (priorities[item[0]], item[0]))]
+        assert batch == expected
+        assert all(entry.state == "dispatched" for entry in batch)
+
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(expired=st.lists(st.booleans(), min_size=1, max_size=30))
+    def test_expired_entries_never_dispatch(self, expired):
+        async def scenario():
+            service = SweepService(cache=None, max_batch=len(expired))
+            loop = asyncio.get_running_loop()
+            entries = [push_entry(service, loop, spec(), 0,
+                                  state="expired" if gone else "queued")
+                       for gone in expired]
+            return entries, service._pop_batch()
+
+        entries, batch = asyncio.run(scenario())
+        live = [entry for entry, gone in zip(entries, expired) if not gone]
+        assert batch == live  # FIFO among survivors, no expired entry
+
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(scales=st.lists(st.booleans(), min_size=1, max_size=20))
+    def test_batches_cut_at_scale_boundaries(self, scales):
+        async def scenario():
+            service = SweepService(cache=None, max_batch=len(scales))
+            loop = asyncio.get_running_loop()
+            entries = [push_entry(service, loop,
+                                  spec(scale=OTHER if other else TINY), 0)
+                       for other in scales]
+            return entries, service._pop_batch()
+
+        entries, batch = asyncio.run(scenario())
+        first_scale = entries[0].spec.scale
+        assert all(entry.spec.scale == first_scale for entry in batch)
+        assert len(batch) == sum(
+            1 for entry in entries if entry.spec.scale == first_scale)
+
+
+class TestWireDisconnects:
+    """Satellite: clients vanishing mid-response are counted, never
+    fatal, and never take the service down with them."""
+
+    def test_aborted_client_is_counted_and_server_survives(self):
+        async def scenario():
+            async with SweepServer(SweepService(cache=None)) as server:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port)
+                writer.write(json.dumps({
+                    "op": "sweep", "points": [["BFS", "bow", 3]],
+                    "scale": {"num_warps": 2, "trace_scale": 0.1},
+                }).encode() + b"\n")
+                await writer.drain()
+                await asyncio.sleep(0.02)  # let the server read it
+                # A plain close would FIN politely and the response
+                # write would succeed; SO_LINGER 0 turns the abort
+                # into a hard RST, the "client process died" case.
+                sock = writer.get_extra_info("socket")
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                                struct.pack("ii", 1, 0))
+                writer.transport.abort()
+
+                deadline = asyncio.get_running_loop().time() + 10.0
+                async with ServiceClient(port=server.port) as client:
+                    while True:
+                        stats = (await client.stats())["stats"]
+                        if stats["disconnects"] >= 1:
+                            break
+                        assert asyncio.get_running_loop().time() < \
+                            deadline, "disconnect never counted"
+                        await asyncio.sleep(0.05)
+                    # The survivor still gets full service, and the
+                    # aborted client's job completed server-side.
+                    follow_up = await client.sweep(
+                        points=[["BFS", "bow", 3]], scale=TINY)
+                return stats, follow_up
+
+        stats, follow_up = asyncio.run(scenario())
+        assert stats["disconnects"] >= 1
+        assert follow_up["ok"]
+        assert follow_up["points"][0]["source"] in ("warm", "flight")
+        assert simulations_run() == 1
+
+    def test_overloaded_wire_response_and_resilient_client(self):
+        async def scenario():
+            service = SweepService(cache=None, batch_window=0.4,
+                                   max_queued_points=1)
+            async with SweepServer(service) as server:
+                async with ServiceClient(port=server.port) as first:
+                    filling = asyncio.ensure_future(first.sweep(
+                        points=[["BFS", "bow", 3]], scale=TINY))
+                    await asyncio.sleep(0.05)
+                    # A strict client sees the typed shed response...
+                    async with ServiceClient(port=server.port) as strict:
+                        shed = await strict.sweep(
+                            points=[["NW", "bow", 3]], scale=TINY)
+                    # ...a resilient one backs off and lands the job.
+                    retry = ServiceClient(
+                        port=server.port,
+                        retry=RetryPolicy(max_attempts=8,
+                                          backoff_base=0.1))
+                    await retry.connect()
+                    try:
+                        healed = await retry.sweep(
+                            points=[["NW", "bow", 3]], scale=TINY)
+                    finally:
+                        await retry.close()
+                    filled = await filling
+                return service, shed, healed, filled
+
+        service, shed, healed, filled = asyncio.run(scenario())
+        assert not shed["ok"]
+        assert shed["error_type"] == "ServiceOverloadedError"
+        assert shed["retry_after_ms"] >= MIN_RETRY_AFTER_MS
+        assert healed["ok"] and filled["ok"]
+        assert service.stats.overloaded >= 1
+
+    def test_drain_mode_shutdown_finishes_inflight_work(self):
+        async def scenario():
+            server = SweepServer(SweepService(cache=None,
+                                              batch_window=0.2))
+            await server.start()
+            waiter = asyncio.ensure_future(server.serve_until_shutdown())
+            async with ServiceClient(port=server.port) as sweeper:
+                inflight = asyncio.ensure_future(sweeper.sweep(
+                    points=[["BFS", "bow", 3]], scale=TINY))
+                await asyncio.sleep(0.05)
+                async with ServiceClient(port=server.port) as control:
+                    ack = await control.shutdown(mode="drain",
+                                                 drain_timeout=30.0)
+                swept = await inflight
+            await asyncio.wait_for(waiter, timeout=5.0)
+            await server.close()
+            return ack, swept
+
+        ack, swept = asyncio.run(scenario())
+        assert ack["ok"] and ack["mode"] == "drain"
+        assert ack["drained"] is True
+        assert swept["ok"]  # accepted before the drain, so it finished
+
+
+class ServerThread:
+    """A sweep server on a background thread (mirrors test_server)."""
+
+    def __init__(self):
+        self.port = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def __enter__(self):
+        self._thread.start()
+        assert self._ready.wait(timeout=10.0), "server did not start"
+        return self
+
+    def __exit__(self, *exc_info):
+        self._thread.join(timeout=30.0)
+        assert not self._thread.is_alive(), "server did not shut down"
+
+    def _run(self):
+        async def main():
+            server = SweepServer(SweepService(cache=None))
+            await server.start()
+            self.port = server.port
+            self._ready.set()
+            try:
+                await server.serve_until_shutdown()
+            finally:
+                await server.close()
+
+        asyncio.run(main())
+
+
+def churn_connections(port, rounds):
+    """Clients killed mid-stream: write half a request line, then RST
+    the socket (SO_LINGER 0) so the server's pending read hits a dead
+    peer mid-request."""
+    partial = json.dumps({
+        "op": "sweep", "points": [["BFS", "bow", 3]],
+        "scale": {"num_warps": 2, "trace_scale": 0.1, "memory_seed": 11},
+    }).encode()[:20]  # no trailing newline: the request never completes
+    for _ in range(rounds):
+        sock = socket.create_connection(("127.0.0.1", port), timeout=5.0)
+        try:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                            struct.pack("ii", 1, 0))
+            sock.sendall(partial)
+            time.sleep(0.05)
+        finally:
+            sock.close()
+
+
+class TestLoadgenUnderChurn:
+    def test_dedup_survives_connection_churn(self):
+        """Satellite: run_loadgen's single-flight claim must hold while
+        other clients are being killed mid-request — every churned
+        connection costs the server a disconnect, and none of it may
+        disturb the dedup accounting."""
+        with ServerThread() as running:
+            churn = threading.Thread(
+                target=churn_connections, args=(running.port, 6))
+            churn.start()
+            try:
+                report = run_loadgen(
+                    port=running.port, clients=4,
+                    benchmarks=("BFS", "NW"), designs=("baseline", "bow"),
+                    windows=(3,), scale=TINY, shutdown=False)
+            finally:
+                churn.join(timeout=30.0)
+            assert not churn.is_alive()
+
+            async def finish():
+                async with ServiceClient(port=running.port) as client:
+                    stats = (await client.stats())["stats"]
+                    await client.shutdown()
+                    return stats
+
+            stats = asyncio.run(finish())
+
+        assert report["single_flight"]["dedup_ok"]
+        assert report["unique_points"] == 4
+        assert stats["disconnects"] >= 1
+        # The loadgen grid simulated exactly once per unique point;
+        # the churned connections never cost a simulation.
+        assert stats["simulated"] == report["unique_points"]

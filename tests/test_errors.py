@@ -12,6 +12,9 @@ from repro.errors import (
     KernelError,
     ParseError,
     ReproError,
+    ServiceError,
+    ServiceOverloadedError,
+    ServiceTimeoutError,
     SimulationError,
 )
 
@@ -49,3 +52,29 @@ def test_deadlock_error_carries_cycle():
     err = DeadlockError("stuck", cycle=123)
     assert err.cycle == 123
     assert "123" in str(err)
+
+
+def test_service_errors_form_a_hierarchy():
+    assert issubclass(ServiceOverloadedError, ServiceError)
+    assert issubclass(ServiceTimeoutError, ServiceError)
+
+
+def test_overloaded_error_carries_retry_hint_and_pickles():
+    import pickle
+
+    err = ServiceOverloadedError("queue full", retry_after_ms=750)
+    assert err.retry_after_ms == 750
+    clone = pickle.loads(pickle.dumps(err))
+    assert clone.retry_after_ms == 750
+    assert str(clone) == str(err)
+
+
+def test_timeout_error_formats_deadline_and_pickles():
+    import pickle
+
+    err = ServiceTimeoutError("BFS/bow IW3", deadline_ms=200.0)
+    assert "BFS/bow IW3" in str(err)
+    assert "200" in str(err)
+    clone = pickle.loads(pickle.dumps(err))
+    assert clone.label == "BFS/bow IW3"
+    assert clone.deadline_ms == 200.0
