@@ -29,6 +29,18 @@ Commands:
   pass), print throughput/latency, and optionally write the
   ``BENCH_service.json`` report (``--bench-out``); ``--expect-dedup``
   turns the single-flight claims into exit-code assertions for CI.
+* ``fuzz``                      — differential fuzzing: seed-driven
+  random kernels (``repro.fuzz``) run through every registered design
+  — single-SM and, with ``--sms N``, device-scale — and diffed
+  against the functional reference; the first mismatch is shrunk to a
+  minimal repro, written to ``--corpus-dir`` as a JSONL trace-case,
+  and exits with status 4.  ``--inject-bug KIND`` fuzzes a
+  deliberately broken design alongside (the harness's self-test).
+* ``trace-import FILE``         — run an external JSONL trace-case
+  (the documented corpus format, see
+  :data:`repro.observe.schema.TRACE_CASE_SCHEMA`) through the normal
+  launch path and print its counters; ``--verify`` additionally diffs
+  the run against the reference (mismatch exits 4).
 * ``experiment ID``             — regenerate a paper table/figure.
 * ``ablation NAME``             — run one of the ablation studies.
 * ``compile FILE``              — assemble + classify a kernel file,
@@ -238,6 +250,49 @@ def _build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--shutdown", action="store_true",
                          help="ask the server to shut down after the "
                               "final pass (CI cleanup)")
+
+    fuzz = sub.add_parser(
+        "fuzz", help="differential-fuzz every design vs the reference")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="first case seed; case i uses seed+i "
+                           "(default: 0)")
+    fuzz.add_argument("--cases", type=int, default=50,
+                      help="generated cases per campaign (default: 50)")
+    fuzz.add_argument("--designs", default=None,
+                      help="comma-separated design list (default: every "
+                           "registered design)")
+    fuzz.add_argument("--sms", type=int, default=1, metavar="N",
+                      help="additionally run every design at device "
+                           "scale across N SMs (default: 1 = single-SM "
+                           "only)")
+    fuzz.add_argument("--corpus-dir", default=None, metavar="DIR",
+                      help="write the minimized repro of a mismatch to "
+                           "DIR as a JSONL trace-case")
+    fuzz.add_argument("--max-shrink", type=int, default=500, metavar="N",
+                      help="shrinker budget in predicate evaluations "
+                           "(default: 500)")
+    fuzz.add_argument("--inject-bug", default=None, metavar="KIND",
+                      help="register a deliberately broken design and "
+                           "fuzz it alongside (see repro.testing.bugs."
+                           "BUG_KINDS); the campaign must catch it")
+
+    trace_import = sub.add_parser(
+        "trace-import",
+        help="run an external JSONL trace-case through the launch path")
+    trace_import.add_argument("file", help="a JSONL trace-case (the "
+                                           "corpus / ingestion format)")
+    trace_import.add_argument("--design", default=None,
+                              help="design to run (default: the case's "
+                                   "recorded designs, else baseline)")
+    trace_import.add_argument("--sms", type=int, default=None, metavar="N",
+                              help="override the case's SM count")
+    trace_import.add_argument("--window", type=int, default=None,
+                              help="override the case's instruction "
+                                   "window")
+    trace_import.add_argument("--verify", action="store_true",
+                              help="also diff the run against the "
+                                   "functional reference; a mismatch "
+                                   "exits with status 4")
 
     experiment = sub.add_parser("experiment",
                                 help="regenerate a paper table/figure")
@@ -565,6 +620,116 @@ def _cmd_loadgen(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    from .fuzz import run_fuzz
+    from .testing.bugs import BUG_KINDS
+
+    if args.cases < 1:
+        print("error: --cases must be >= 1", file=sys.stderr)
+        return 2
+    if args.sms < 1:
+        print("error: --sms must be >= 1", file=sys.stderr)
+        return 2
+    if args.max_shrink < 0:
+        print("error: --max-shrink must be >= 0", file=sys.stderr)
+        return 2
+    if args.inject_bug is not None and args.inject_bug not in BUG_KINDS:
+        print(f"error: --inject-bug expects one of: "
+              f"{', '.join(BUG_KINDS)}", file=sys.stderr)
+        return 2
+    designs = None
+    if args.designs:
+        designs = tuple(
+            name.strip() for name in args.designs.split(",") if name.strip()
+        )
+        if not designs:
+            print("error: --designs expects a comma-separated design "
+                  "list", file=sys.stderr)
+            return 2
+    report = run_fuzz(
+        seed=args.seed, cases=args.cases, designs=designs, sms=args.sms,
+        corpus_dir=args.corpus_dir, max_shrink=args.max_shrink,
+        inject_bug=args.inject_bug,
+        log=lambda line: print(line, file=sys.stderr),
+    )
+    if report.ok:
+        print(f"fuzz: {report.cases} case(s) x "
+              f"{len(report.designs)} design(s) = {report.runs} run(s), "
+              f"no mismatches (seeds {args.seed}.."
+              f"{args.seed + report.cases - 1})")
+        return 0
+    failure = report.failure
+    print(f"fuzz: MISMATCH at seed {failure.seed} on "
+          f"{failure.design!r} (num_sms={failure.num_sms}) after "
+          f"{report.runs} run(s):", file=sys.stderr)
+    for mismatch in failure.mismatches:
+        print(f"  {mismatch}", file=sys.stderr)
+    shrink = failure.shrink
+    print(f"  minimized to {shrink.case.trace.total_instructions} "
+          f"instruction(s) / {shrink.case.trace.num_warps} warp(s) "
+          f"in {shrink.attempts} attempt(s) "
+          f"(-{shrink.removed_instructions} insts, "
+          f"-{shrink.removed_warps} warps)", file=sys.stderr)
+    if failure.corpus_path is not None:
+        print(f"  repro -> {failure.corpus_path}", file=sys.stderr)
+    else:
+        print("  (pass --corpus-dir to save the minimized repro)",
+              file=sys.stderr)
+    return 4
+
+
+def _cmd_trace_import(args) -> int:
+    from dataclasses import replace
+
+    from .core.bow_sm import simulate_design
+    from .fuzz.differential import compare_case
+    from .gpu.device import simulate_device
+    from .kernels.external import load_case
+
+    if args.sms is not None and args.sms < 1:
+        print("error: --sms must be >= 1", file=sys.stderr)
+        return 2
+    if args.window is not None and args.window < 0:
+        print("error: --window must be >= 0", file=sys.stderr)
+        return 2
+    case = load_case(args.file)
+    if args.sms is not None:
+        case = replace(case, num_sms=args.sms)
+    if args.window is not None:
+        case = replace(case, window=args.window)
+    if args.design:
+        designs = (args.design,)
+    else:
+        designs = case.designs or ("baseline",)
+
+    failed = False
+    for design in designs:
+        if case.num_sms == 1:
+            result = simulate_design(
+                design, case.trace, window_size=case.window,
+                memory_seed=case.memory_seed)
+        else:
+            result = simulate_device(
+                design, case.trace, num_sms=case.num_sms,
+                window_size=case.window, memory_seed=case.memory_seed,
+                jobs=1, executor="serial",
+            ).to_simulation_result()
+        print(f"{case.name} on {design} (IW={case.window}, "
+              f"{case.num_sms} SM(s), {case.trace.num_warps} warp(s)):")
+        print(f"  cycles       {result.counters.cycles}")
+        print(f"  instructions {result.counters.instructions}")
+        print(f"  IPC          {result.ipc:.3f}")
+        if args.verify:
+            mismatches = compare_case(case, design)
+            if mismatches:
+                failed = True
+                for mismatch in mismatches:
+                    print(f"  MISMATCH {mismatch}", file=sys.stderr)
+            else:
+                print("  verified against the functional reference")
+    return 4 if failed else 0
+
+
 def _cmd_experiment(args) -> int:
     from .experiments.registry import run_experiment
     from .experiments.runner import FULL, QUICK
@@ -631,6 +796,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_serve(args)
         if args.command == "loadgen":
             return _cmd_loadgen(args)
+        if args.command == "fuzz":
+            return _cmd_fuzz(args)
+        if args.command == "trace-import":
+            return _cmd_trace_import(args)
         if args.command == "experiment":
             return _cmd_experiment(args)
         if args.command == "ablation":

@@ -69,7 +69,13 @@ def _sweep_once(
             keep_flags[index] = False
             continue
         if inst.dest is not None and inst.dest != SINK_REGISTER:
-            live.discard(inst.dest.id)
+            if inst.predicate is None:
+                live.discard(inst.dest.id)
+            else:
+                # A predicated write is a conditional merge: when the
+                # guard is false the old value survives, so the older
+                # producer must stay live.
+                live.add(inst.dest.id)
         for src in inst.sources:
             live.add(src.id)
     if all(keep_flags):

@@ -4,6 +4,14 @@ BOW-WR's writeback classifier needs, for every program point, the set of
 registers that may be read again before being overwritten.  This module
 runs the classic liveness dataflow and exposes per-instruction live-out
 sets inside each block.
+
+Predicated writes are *conditional merges*, not kills: ``@p op rd, ...``
+behaves as ``rd = p ? op(...) : rd``, so the incoming value of ``rd``
+may survive the instruction (and is in fact read by it).  Treating such
+a write as a definite kill would let the classifier mark the older
+producer transient (OC-only) even though a runtime-false guard leaves
+its value architecturally visible — exactly the miscompile the
+differential fuzzer catches.
 """
 
 from __future__ import annotations
@@ -17,7 +25,12 @@ from .dataflow import BackwardDataflow, Fact
 
 
 def _block_use_def(instructions) -> Tuple[FrozenSet[int], FrozenSet[int]]:
-    """Upward-exposed uses and definitions of a block body."""
+    """Upward-exposed uses and definitions of a block body.
+
+    Only unpredicated writes count as definitions; a predicated write is
+    a conditional merge whose destination is also an upward-exposed use
+    (the old value flows through when the guard is false).
+    """
     uses: set = set()
     defs: set = set()
     for inst in instructions:
@@ -25,7 +38,10 @@ def _block_use_def(instructions) -> Tuple[FrozenSet[int], FrozenSet[int]]:
             if src.id not in defs:
                 uses.add(src.id)
         if inst.dest is not None and inst.dest != SINK_REGISTER:
-            defs.add(inst.dest.id)
+            if inst.predicate is None:
+                defs.add(inst.dest.id)
+            elif inst.dest.id not in defs:
+                uses.add(inst.dest.id)
     return frozenset(uses), frozenset(defs)
 
 
@@ -79,7 +95,11 @@ def compute_liveness(cfg: KernelCFG,
             inst = block.instructions[index]
             facts[index] = frozenset(live)
             if inst.dest is not None and inst.dest != SINK_REGISTER:
-                live.discard(inst.dest.id)
+                if inst.predicate is None:
+                    live.discard(inst.dest.id)
+                else:
+                    # Conditional merge: the old value may survive.
+                    live.add(inst.dest.id)
             for src in inst.sources:
                 live.add(src.id)
         per_instruction[block.label] = facts

@@ -15,7 +15,10 @@ The decision rule follows the paper's wording: a value can stay
 collector-resident as long as the gap between consecutive accesses to it
 stays below the window size (the extended instruction window); the first
 access gap at or above the window size means the reader must find the
-value in the RF.
+value in the RF.  Predicated redefinitions do not end a value's read
+chain — the guard may be false at runtime, leaving the older value
+visible to readers beyond it — so chains extend to the next
+*unpredicated* write.
 
 Two variants are provided:
 
@@ -133,31 +136,37 @@ def classify_linear_writes(
     if window_size < 1:
         raise CompilerError(f"window_size must be >= 1, got {window_size}")
 
-    # Index reads and writes per register.
+    # Index reads and writes per register.  A predicated write is only a
+    # *conditional* redefinition (``rd = p ? v : rd``): it cannot end the
+    # previous value's read chain, because a runtime-false guard leaves
+    # the old value architecturally visible to every later reader.  Only
+    # the next unpredicated write is a definite kill.
     reads: Dict[int, List[int]] = {}
-    writes: Dict[int, List[int]] = {}
+    writes: Dict[int, List[Tuple[int, bool]]] = {}
     for index, inst in enumerate(instructions):
         for src in inst.sources:
             reads.setdefault(src.id, []).append(index)
         if inst.dest is not None and inst.dest != SINK_REGISTER:
-            writes.setdefault(inst.dest.id, []).append(index)
+            writes.setdefault(inst.dest.id, []).append(
+                (index, inst.predicate is not None)
+            )
 
     results: List[WriteClassification] = []
     for reg_id, write_list in sorted(writes.items()):
         reg_reads = reads.get(reg_id, [])
-        for position, write_index in enumerate(write_list):
-            next_write = (
-                write_list[position + 1]
-                if position + 1 < len(write_list)
-                else None
+        for position, (write_index, _) in enumerate(write_list):
+            next_kill = next(
+                (later for later, predicated in write_list[position + 1:]
+                 if not predicated),
+                None,
             )
             chain = [
                 r for r in reg_reads
-                if r > write_index and (next_write is None or r <= next_write)
+                if r > write_index and (next_kill is None or r <= next_kill)
             ]
             # A read at the redefinition index itself (e.g. ``add r, r, x``)
             # consumes the old value; reads beyond it consume the new one.
-            live_after = next_write is None and reg_id in live_out
+            live_after = next_kill is None and reg_id in live_out
             writeback, forwarded, needs_rf = _classify_chain(
                 write_index, chain, live_after, window_size
             )

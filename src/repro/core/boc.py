@@ -348,6 +348,20 @@ class BOWCollectors(OperandProvider):
         dec = entry.dec
         dest_id = dec.rf_dest_id
         if dec.hint_rf_only:
+            # The new value goes straight to the RF, but a resident copy
+            # of the *old* value (deposited by an earlier BOTH write and
+            # kept windowed by recent reads) would now serve stale
+            # forwards — invalidate it.  If it was dirty, its RF write
+            # is consolidated away: this newer write supersedes it.
+            stale = warp.entries.pop(dest_id, None)
+            if stale is not None and stale.dirty:
+                self.engine.counters.bypassed_writes += 1
+                if self.engine.recorder is not None:
+                    self.engine.recorder.emit(
+                        self.engine.cycle, EventKind.WRITE_ELIMINATED,
+                        warp=warp.warp_id, reason="consolidated",
+                        register=dest_id,
+                    )
             self.engine.enqueue_rf_write(entry, value)
             return
         transient = dec.hint_oc_only

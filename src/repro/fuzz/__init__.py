@@ -1,0 +1,51 @@
+"""Differential fuzzing of the simulator against its reference.
+
+Three cooperating pieces:
+
+* :mod:`repro.fuzz.generator` — seed-driven adversarial kernel
+  generation through the :class:`~repro.kernels.builder.KernelBuilder`
+  invariants (structured, reducible CFGs; operand-count and
+  register-pressure extremes; divergence-heavy control flow);
+* :mod:`repro.fuzz.differential` — the executor running every
+  registered design (single-SM and device-scale) over each generated
+  case and diffing images, counters, and commit streams against
+  :func:`~repro.gpu.reference.execute_reference`;
+* :mod:`repro.fuzz.shrink` — greedy delta-debugging of a failing case
+  down to a minimal repro, written to the corpus in the JSONL
+  trace-case format (:mod:`repro.kernels.external`).
+
+The CLI surface is ``repro fuzz`` / ``repro trace-import``.
+"""
+
+from .differential import (
+    FuzzFailure,
+    FuzzReport,
+    Mismatch,
+    case_for,
+    compare_case,
+    run_fuzz,
+)
+from .generator import (
+    DEFAULT_CONFIG,
+    FuzzCase,
+    FuzzConfig,
+    generate_case,
+    generate_cfg,
+)
+from .shrink import ShrinkResult, shrink_case
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "FuzzCase",
+    "FuzzConfig",
+    "FuzzFailure",
+    "FuzzReport",
+    "Mismatch",
+    "case_for",
+    "compare_case",
+    "generate_case",
+    "generate_cfg",
+    "run_fuzz",
+    "ShrinkResult",
+    "shrink_case",
+]

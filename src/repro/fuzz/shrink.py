@@ -1,0 +1,150 @@
+"""Greedy trace minimization for differential failures.
+
+A raw fuzz failure is hundreds of dynamic instructions across several
+warps; almost none of them matter.  The shrinker reduces a failing
+:class:`~repro.kernels.external.TraceCase` while a caller-supplied
+``reproduces`` predicate keeps returning ``True``, using the classic
+delta-debugging ladder:
+
+1. drop whole warps (the coarsest unit);
+2. drop instruction chunks per warp, halving the chunk size from half
+   the warp down to single instructions (so a pass over a warp costs
+   ``O(n log n)`` predicate calls, not ``O(n^2)``);
+3. repeat until a full sweep removes nothing or the attempt budget is
+   exhausted.
+
+Removing instructions from a trace always yields a valid trace —
+reads of never-written registers fall back to the deterministic
+launch-time values in the engine *and* the reference, so a truncated
+program is still a well-posed differential question.  Warp ids are
+preserved (not renumbered): memory latency and initial register values
+are keyed by global warp id, so renumbering would change behaviour and
+lose the repro.
+
+The shrinker is deliberately pure trace surgery: it never re-expands
+the CFG, so a minimized case replays bit-identically forever from its
+corpus file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, List
+
+from ..kernels.external import TraceCase
+from ..kernels.trace import KernelTrace, WarpTrace
+
+#: ``reproduces(case) -> bool`` — True while the failure still fires.
+Predicate = Callable[[TraceCase], bool]
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one shrink run.
+
+    Attributes:
+        case: the minimized failing case.
+        attempts: predicate evaluations performed.
+        removed_warps / removed_instructions: how much was shaved off.
+    """
+
+    case: TraceCase
+    attempts: int
+    removed_warps: int
+    removed_instructions: int
+
+
+class _Budget:
+    """Attempt counter shared by the shrink passes."""
+
+    def __init__(self, limit: int):
+        self.limit = limit
+        self.spent = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self.spent >= self.limit
+
+
+def _with_warps(case: TraceCase, warps: List[WarpTrace]) -> TraceCase:
+    trace = KernelTrace(name=case.trace.name, warps=warps)
+    return replace(case, trace=trace)
+
+
+def _try(case: TraceCase, reproduces: Predicate, budget: _Budget) -> bool:
+    budget.spent += 1
+    return reproduces(case)
+
+
+def _drop_warps(case: TraceCase, reproduces: Predicate,
+                budget: _Budget) -> TraceCase:
+    changed = True
+    while changed and not budget.exhausted:
+        changed = False
+        warps = case.trace.warps
+        if len(warps) <= 1:
+            break
+        for index in range(len(warps)):
+            if budget.exhausted:
+                break
+            candidate = _with_warps(
+                case, warps[:index] + warps[index + 1:])
+            if _try(candidate, reproduces, budget):
+                case = candidate
+                changed = True
+                break  # restart: indices shifted
+    return case
+
+
+def _drop_chunks(case: TraceCase, reproduces: Predicate,
+                 budget: _Budget) -> TraceCase:
+    for position, warp in enumerate(case.trace.warps):
+        size = max(1, len(warp.instructions) // 2)
+        while size >= 1 and not budget.exhausted:
+            start = 0
+            while start < len(warp.instructions) and not budget.exhausted:
+                instructions = (warp.instructions[:start]
+                                + warp.instructions[start + size:])
+                warps = list(case.trace.warps)
+                warps[position] = WarpTrace(warp_id=warp.warp_id,
+                                            instructions=instructions)
+                candidate = _with_warps(case, warps)
+                if _try(candidate, reproduces, budget):
+                    case = candidate
+                    warp = candidate.trace.warps[position]
+                else:
+                    start += size
+            if size == 1:
+                break
+            size //= 2
+    return case
+
+
+def shrink_case(case: TraceCase, reproduces: Predicate,
+                max_attempts: int = 500) -> ShrinkResult:
+    """Minimize ``case`` while ``reproduces`` holds.
+
+    ``case`` itself must reproduce (the caller established that); the
+    result is the smallest case found within ``max_attempts``
+    predicate evaluations — greedy, so a local minimum, which is what
+    a human debugging the repro needs.
+    """
+    original_warps = case.trace.num_warps
+    original_instructions = case.trace.total_instructions
+    budget = _Budget(max_attempts)
+
+    while not budget.exhausted:
+        before = (case.trace.num_warps, case.trace.total_instructions)
+        case = _drop_warps(case, reproduces, budget)
+        case = _drop_chunks(case, reproduces, budget)
+        after = (case.trace.num_warps, case.trace.total_instructions)
+        if after == before:
+            break  # fixpoint
+
+    return ShrinkResult(
+        case=case,
+        attempts=budget.spent,
+        removed_warps=original_warps - case.trace.num_warps,
+        removed_instructions=(original_instructions
+                              - case.trace.total_instructions),
+    )

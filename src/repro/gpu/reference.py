@@ -40,6 +40,23 @@ class ReferenceResult:
     memory: Dict[int, int]
     committed: Tuple[Tuple[int, int, str], ...] = ()
 
+    @property
+    def instructions(self) -> int:
+        """Dynamic instruction count (length of the commit stream)."""
+        return len(self.committed)
+
+    def commits_by_warp(self) -> Dict[int, List[Tuple[int, str]]]:
+        """The commit stream regrouped per warp, in program order.
+
+        Keys are warp ids; values are ``(trace_index, opcode_name)``
+        lists — the shape the differential harness compares engine
+        commit events against.
+        """
+        grouped: Dict[int, List[Tuple[int, str]]] = {}
+        for warp_id, index, opcode_name in self.committed:
+            grouped.setdefault(warp_id, []).append((index, opcode_name))
+        return grouped
+
 
 def execute_reference(
     trace: KernelTrace,

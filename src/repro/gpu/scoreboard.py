@@ -34,6 +34,11 @@ class Scoreboard:
         # Predicate registers with in-flight producers (set.* compares):
         # a guarded instruction must wait for its guard.
         self._pending_preds: Dict[int, Set[int]] = {}
+        # Predicate registers with in-flight *guard readers* (issued,
+        # guard not yet sampled at dispatch), reference-counted: a
+        # predicate writer must not overtake them (predicate WAR — the
+        # exact analog of ``_pending_reads`` for the predicate file).
+        self._pending_pred_reads: Dict[int, Dict[int, int]] = {}
 
     def _warp(self, warp_id: int) -> Set[int]:
         if warp_id not in self._pending:
@@ -50,20 +55,27 @@ class Scoreboard:
             self._pending_preds[warp_id] = set()
         return self._pending_preds[warp_id]
 
+    def _warp_pred_reads(self, warp_id: int) -> Dict[int, int]:
+        if warp_id not in self._pending_pred_reads:
+            self._pending_pred_reads[warp_id] = {}
+        return self._pending_pred_reads[warp_id]
+
     def warp_views(self, warp_id: int):
         """Direct references to ``warp_id``'s hazard state.
 
-        Returns ``(pending_dests, pending_reads, pending_preds)`` — the
-        *live* set/dict objects this scoreboard mutates, so the engine's
-        issue stage can check and update hazards without per-cycle
-        method dispatch.  The scoreboard's own API (`reserve`,
-        `release`, ...) stays consistent with any change made through a
-        view, because they are the same objects.
+        Returns ``(pending_dests, pending_reads, pending_preds,
+        pending_pred_reads)`` — the *live* set/dict objects this
+        scoreboard mutates, so the engine's issue stage can check and
+        update hazards without per-cycle method dispatch.  The
+        scoreboard's own API (`reserve`, `release`, ...) stays
+        consistent with any change made through a view, because they
+        are the same objects.
         """
         return (
             self._warp(warp_id),
             self._warp_reads(warp_id),
             self._warp_preds(warp_id),
+            self._warp_pred_reads(warp_id),
         )
 
     def can_issue(self, warp_id: int, inst: Instruction) -> bool:
@@ -80,8 +92,12 @@ class Scoreboard:
         pending_preds = self._warp_preds(warp_id)
         if inst.predicate is not None and inst.predicate.id in pending_preds:
             return False  # guard not resolved yet
-        if inst.pred_dest is not None and inst.pred_dest.id in pending_preds:
-            return False  # predicate WAW
+        if inst.pred_dest is not None:
+            if inst.pred_dest.id in pending_preds:
+                return False  # predicate WAW
+            if self._warp_pred_reads(warp_id).get(inst.pred_dest.id):
+                return False  # predicate WAR: an earlier guard reader
+                #               has not sampled its guard yet
         return True
 
     def reserve(self, warp_id: int, inst: Instruction) -> None:
@@ -104,10 +120,18 @@ class Scoreboard:
             self._warp_preds(warp_id).discard(inst.pred_dest.id)
 
     def reserve_reads(self, warp_id: int, inst: Instruction) -> None:
-        """Mark ``inst``'s sources as having an in-flight reader (at issue)."""
+        """Mark ``inst``'s sources as having an in-flight reader (at issue).
+
+        A guarding predicate is a source too: it is sampled at dispatch,
+        so a younger predicate writer must not overtake it.
+        """
         reads = self._warp_reads(warp_id)
         for src in inst.sources:
             reads[src.id] = reads.get(src.id, 0) + 1
+        if inst.predicate is not None:
+            pred_reads = self._warp_pred_reads(warp_id)
+            pred_reads[inst.predicate.id] = (
+                pred_reads.get(inst.predicate.id, 0) + 1)
 
     def release_reads(self, warp_id: int, inst: Instruction) -> None:
         """Drop the reader marks (called once operands are collected)."""
@@ -118,6 +142,13 @@ class Scoreboard:
                 reads[src.id] = remaining
             else:
                 reads.pop(src.id, None)
+        if inst.predicate is not None:
+            pred_reads = self._warp_pred_reads(warp_id)
+            remaining = pred_reads.get(inst.predicate.id, 0) - 1
+            if remaining > 0:
+                pred_reads[inst.predicate.id] = remaining
+            else:
+                pred_reads.pop(inst.predicate.id, None)
 
     def pending_count(self, warp_id: int) -> int:
         return len(self._warp(warp_id))

@@ -62,7 +62,8 @@ class _WarpState:
     """
 
     __slots__ = ("warp_id", "trace", "pc", "control_pending", "end",
-                 "decoded", "sb_pending", "sb_reads", "sb_preds")
+                 "decoded", "sb_pending", "sb_reads", "sb_preds",
+                 "sb_pred_reads")
 
     def __init__(self, warp_id: int, trace: List[Instruction]):
         self.warp_id = warp_id
@@ -74,6 +75,7 @@ class _WarpState:
         self.sb_pending: set = set()
         self.sb_reads: dict = {}
         self.sb_preds: set = set()
+        self.sb_pred_reads: dict = {}
 
     @property
     def done(self) -> bool:
@@ -136,7 +138,8 @@ class SMEngine:
         self._warp_by_id: Dict[int, _WarpState] = {}
         for warp in self.warps:
             warp.decoded = decode_warp(warp.warp_id, warp.trace, self.config)
-            warp.sb_pending, warp.sb_reads, warp.sb_preds = (
+            (warp.sb_pending, warp.sb_reads, warp.sb_preds,
+             warp.sb_pred_reads) = (
                 self.scoreboard.warp_views(warp.warp_id)
             )
             self._warp_by_id[warp.warp_id] = warp

@@ -275,14 +275,23 @@ class DispatchStage(_Stage):
                         opcode=dec.opcode_name,
                     )
                 # Drop the scoreboard's WAR reader marks: the operands
-                # are collected.
-                reads = engine.warp_state(warp_id).sb_reads
+                # are collected, and the guard is sampled this cycle
+                # (in _execute), so younger writers may proceed.
+                warp_state = engine.warp_state(warp_id)
+                reads = warp_state.sb_reads
                 for reg_id in dec.source_ids:
                     remaining = reads.get(reg_id, 0) - 1
                     if remaining > 0:
                         reads[reg_id] = remaining
                     else:
                         reads.pop(reg_id, None)
+                if dec.guard_id is not None:
+                    pred_reads = warp_state.sb_pred_reads
+                    remaining = pred_reads.get(dec.guard_id, 0) - 1
+                    if remaining > 0:
+                        pred_reads[dec.guard_id] = remaining
+                    else:
+                        pred_reads.pop(dec.guard_id, None)
                 if dec.is_memory:
                     undispatched_mem[warp_id].discard(entry.trace_index)
                 if dec.is_control:
@@ -373,6 +382,7 @@ class IssueStage(_Stage):
                 sb_pending = warp.sb_pending
                 sb_reads = warp.sb_reads
                 sb_preds = warp.sb_preds
+                sb_pred_reads = warp.sb_pred_reads
                 while budget > 0:
                     pc = warp.pc
                     if pc >= warp.end or warp.control_pending:
@@ -394,9 +404,13 @@ class IssueStage(_Stage):
                         elif (dec.guard_id is not None
                               and dec.guard_id in sb_preds):
                             stalled = True  # guard not resolved yet
-                        elif (dec.pred_dest_id is not None
-                              and dec.pred_dest_id in sb_preds):
-                            stalled = True  # predicate WAW
+                        elif dec.pred_dest_id is not None and (
+                            dec.pred_dest_id in sb_preds  # predicate WAW
+                            # predicate WAR: an older guard reader has
+                            # not sampled its guard at dispatch yet
+                            or sb_pred_reads.get(dec.pred_dest_id)
+                        ):
+                            stalled = True
                     if stalled:
                         counters.issue_stalls_scoreboard += 1
                         if recorder is not None:
@@ -424,6 +438,9 @@ class IssueStage(_Stage):
                         sb_preds.add(dec.pred_dest_id)
                     for reg_id in dec.source_ids:
                         sb_reads[reg_id] = sb_reads.get(reg_id, 0) + 1
+                    if dec.guard_id is not None:
+                        sb_pred_reads[dec.guard_id] = (
+                            sb_pred_reads.get(dec.guard_id, 0) + 1)
                     insert(entry)
                     if dec.is_memory:
                         state.undispatched_mem.setdefault(

@@ -72,6 +72,13 @@ def _instruction_from_dict(data: Dict) -> Instruction:
     )
 
 
+#: Public names for the per-instruction record codec: the external
+#: trace-case format (:mod:`repro.kernels.external`) shares it, so one
+#: instruction encodes identically in both formats.
+instruction_to_dict = _instruction_to_dict
+instruction_from_dict = _instruction_from_dict
+
+
 def trace_to_dict(trace: KernelTrace) -> Dict:
     """Serialize a kernel trace to a JSON-compatible dict.
 

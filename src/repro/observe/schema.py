@@ -201,6 +201,66 @@ TELEMETRY_SCHEMA: Dict[str, Any] = {
 }
 
 
+#: One line of an external trace-case JSONL file
+#: (:mod:`repro.kernels.external`): a ``header`` with the launch
+#: parameters, one ``warp`` record per warp, and one ``inst`` record
+#: per dynamic instruction.  This is the interchange contract for both
+#: the fuzz corpus (``tests/corpus/``) and third-party trace ingestion
+#: (``repro trace-import``).
+TRACE_CASE_SCHEMA: Dict[str, Any] = {
+    "$schema": "https://json-schema.org/draft/2020-12/schema",
+    "$id": "repro/observe/trace-case.schema.json",
+    "title": "repro external trace-case record",
+    "oneOf": [
+        {
+            "type": "object",
+            "properties": {
+                "type": {"const": "header"},
+                "schema": {"type": "integer", "minimum": 1},
+                "name": {"type": "string"},
+                "window": {"type": "integer", "minimum": 0},
+                "memory_seed": {"type": "integer"},
+                "num_sms": {"type": "integer", "minimum": 1},
+                "num_warps": {"type": "integer", "minimum": 0},
+                "designs": {"type": "array", "items": {"type": "string"}},
+                "meta": {"type": "object"},
+            },
+            "required": ["type", "schema", "name", "window",
+                         "memory_seed", "num_sms", "num_warps"],
+            "additionalProperties": False,
+        },
+        {
+            "type": "object",
+            "properties": {
+                "type": {"const": "warp"},
+                "warp_id": {"type": "integer", "minimum": 0},
+                "instructions": {"type": "integer", "minimum": 0},
+            },
+            "required": ["type", "warp_id", "instructions"],
+            "additionalProperties": False,
+        },
+        {
+            "type": "object",
+            "properties": {
+                "type": {"const": "inst"},
+                "warp": {"type": "integer", "minimum": 0},
+                "op": {"type": "string"},
+                "dest": {"type": "integer", "minimum": 0},
+                "src": {"type": "array", "items": {"type": "integer"}},
+                "imm": {"type": "integer"},
+                # [predicate id, negated] — mixed element types, so the
+                # pair's shape is checked by the instruction decoder.
+                "guard": {"type": "array"},
+                "pdest": {"type": "integer", "minimum": 0},
+                "hint": {"enum": ["BOTH", "OC_ONLY", "RF_ONLY"]},
+            },
+            "required": ["type", "warp", "op"],
+            "additionalProperties": False,
+        },
+    ],
+}
+
+
 # ---------------------------------------------------------------------------
 # validation
 # ---------------------------------------------------------------------------
@@ -295,3 +355,9 @@ def validate_telemetry_record(record: Any) -> None:
     """Validate one telemetry-JSONL record against
     :data:`TELEMETRY_SCHEMA`."""
     _validate(record, TELEMETRY_SCHEMA, "telemetry")
+
+
+def validate_trace_case_record(record: Any) -> None:
+    """Validate one trace-case JSONL record against
+    :data:`TRACE_CASE_SCHEMA`."""
+    _validate(record, TRACE_CASE_SCHEMA, "trace-case")

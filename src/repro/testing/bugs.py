@@ -1,0 +1,105 @@
+"""Deliberately broken operand providers: the fuzzer's fault seam.
+
+A differential fuzzer that has never caught anything proves nothing —
+the harness could be comparing a design against itself, running zero
+instructions, or swallowing mismatches.  This module supplies known
+bugs to catch: :class:`CorruptingCollectorPool` is the conventional
+baseline pool with one seeded defect in the operand path, registered
+as a temporary design via :func:`injected_bug` so the whole fuzz
+pipeline (generate -> diff -> shrink -> corpus) exercises end to end
+against a guaranteed failure.
+
+The defects are deterministic (a modular counter, no randomness), so a
+caught case shrinks reliably and its minimized corpus file replays the
+same mismatch forever.  Three kinds cover the three writeback seams:
+
+* ``corrupt-deliver`` — an RF read's data is flipped on the way into
+  the collector (models a bypass-network data error);
+* ``corrupt-writeback`` — a completed result is perturbed before the
+  RF write (models a result-bus error);
+* ``drop-writeback`` — a completed result's RF write is silently
+  elided (models the exact failure BOW-WR's hint machinery would
+  exhibit if it misclassified a live value as dead).
+
+Nothing in :mod:`repro` proper imports this module; it exists for the
+fuzz self-tests and the CLI's ``repro fuzz --inject-bug``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, Optional
+
+from ..core.designs import DesignSpec, temporary_design
+from ..errors import SimulationError
+from ..gpu.collector import BaselineCollectorPool, InflightInstruction
+
+#: Every injectable defect kind.
+BUG_KINDS = ("corrupt-deliver", "corrupt-writeback", "drop-writeback")
+
+#: Fire the defect on every Nth event of its seam: frequent enough
+#: that any non-trivial case trips it, sparse enough that shrinking
+#: has slack to remove instructions.
+_PERIOD = 3
+
+#: XOR mask applied by the corrupting kinds (nonzero, so the value
+#: always changes).
+_FLIP = 0x5A5A
+
+
+class CorruptingCollectorPool(BaselineCollectorPool):
+    """The baseline OCU pool with one deterministic, seeded defect."""
+
+    def __init__(self, engine, num_units: int, kind: str):
+        if kind not in BUG_KINDS:
+            raise SimulationError(
+                f"unknown bug kind {kind!r}; expected one of {BUG_KINDS}"
+            )
+        super().__init__(engine, num_units)
+        self.kind = kind
+        self._deliveries = 0
+        self._completions = 0
+
+    def deliver(self, tag: object, value: int) -> None:
+        if self.kind == "corrupt-deliver":
+            self._deliveries += 1
+            if self._deliveries % _PERIOD == 0:
+                value ^= _FLIP
+        super().deliver(tag, value)
+
+    def on_complete(self, entry: InflightInstruction,
+                    value: Optional[int]) -> None:
+        if value is not None and entry.dec.rf_dest_id is not None:
+            self._completions += 1
+            if self._completions % _PERIOD == 0:
+                if self.kind == "corrupt-writeback":
+                    value = (value ^ _FLIP) & 0xFFFFFFFF
+                elif self.kind == "drop-writeback":
+                    # Elide the RF write but keep the pipeline legal:
+                    # the slot frees and the scoreboard releases exactly
+                    # once, as the provider contract requires.
+                    self._occupied.pop(entry.key, None)
+                    self.engine.release_scoreboard(entry)
+                    return
+        super().on_complete(entry, value)
+
+
+def buggy_design_spec(kind: str, name: str = "buggy") -> DesignSpec:
+    """A registry spec for the baseline pool broken with ``kind``."""
+    def provider(engine, window_size: int) -> CorruptingCollectorPool:
+        return CorruptingCollectorPool(
+            engine, engine.config.num_operand_collectors, kind)
+
+    return DesignSpec(
+        name=name,
+        description=f"deliberately broken baseline ({kind})",
+        provider=provider,
+        windowless=True,
+    )
+
+
+@contextlib.contextmanager
+def injected_bug(kind: str, name: str = "buggy") -> Iterator[DesignSpec]:
+    """Register the broken design for the duration of a ``with`` block."""
+    with temporary_design(buggy_design_spec(kind, name)) as spec:
+        yield spec

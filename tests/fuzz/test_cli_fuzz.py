@@ -1,0 +1,121 @@
+"""CLI surface of ``repro fuzz`` and ``repro trace-import``.
+
+Exit-code conventions (matching the rest of the CLI): ``2`` for bad
+arguments, ``1`` for runtime errors (missing files, unknown designs),
+``4`` for a differential mismatch, ``0`` for a clean run.
+"""
+
+from pathlib import Path
+
+from repro.cli import main
+
+CORPUS_DIR = Path(__file__).resolve().parent.parent / "corpus"
+
+FAST = ["--cases", "2"]
+
+
+class TestFuzzArguments:
+    def test_zero_cases_rejected(self, capsys):
+        assert main(["fuzz", "--cases", "0"]) == 2
+        assert "--cases" in capsys.readouterr().err
+
+    def test_zero_sms_rejected(self, capsys):
+        assert main(["fuzz", "--sms", "0", *FAST]) == 2
+        assert "--sms" in capsys.readouterr().err
+
+    def test_negative_max_shrink_rejected(self, capsys):
+        assert main(["fuzz", "--max-shrink", "-1", *FAST]) == 2
+        assert "--max-shrink" in capsys.readouterr().err
+
+    def test_unknown_bug_kind_rejected(self, capsys):
+        assert main(["fuzz", "--inject-bug", "bogus", *FAST]) == 2
+        assert "--inject-bug" in capsys.readouterr().err
+
+    def test_empty_designs_rejected(self, capsys):
+        assert main(["fuzz", "--designs", " , ", *FAST]) == 2
+        assert "--designs" in capsys.readouterr().err
+
+    def test_unknown_design_is_runtime_error(self, capsys):
+        assert main(["fuzz", "--designs", "nonsense", *FAST]) == 1
+        assert "nonsense" in capsys.readouterr().err
+
+
+class TestFuzzRuns:
+    def test_clean_smoke_run(self, capsys):
+        code = main(["fuzz", "--seed", "0", "--cases", "2",
+                     "--designs", "baseline,bow-wr"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "no mismatches" in out
+        assert "2 case(s)" in out
+
+    def test_injected_bug_exits_4_and_writes_corpus(self, tmp_path, capsys):
+        code = main(["fuzz", "--seed", "0", "--cases", "5",
+                     "--inject-bug", "corrupt-writeback",
+                     "--corpus-dir", str(tmp_path)])
+        assert code == 4
+        err = capsys.readouterr().err
+        assert "MISMATCH" in err
+        assert "minimized to" in err
+        written = list(tmp_path.glob("*.jsonl"))
+        assert len(written) == 1
+
+
+class TestTraceImport:
+    def test_corpus_case_replays(self, capsys):
+        path = CORPUS_DIR / "max-operands.jsonl"
+        code = main(["trace-import", str(path), "--design", "baseline",
+                     "--verify"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "instructions" in out
+        assert "verified against the functional reference" in out
+
+    def test_counters_match_direct_simulation(self, capsys):
+        from repro.core.bow_sm import simulate_design
+        from repro.kernels.external import load_case
+
+        path = CORPUS_DIR / "divergence-nest.jsonl"
+        case = load_case(path)
+        direct = simulate_design("baseline", case.trace,
+                                 window_size=case.window,
+                                 memory_seed=case.memory_seed)
+        assert main(["trace-import", str(path),
+                     "--design", "baseline"]) == 0
+        out = capsys.readouterr().out
+        assert f"cycles       {direct.counters.cycles}" in out
+        assert f"instructions {direct.counters.instructions}" in out
+
+    def test_multi_sm_header_takes_device_path(self, capsys):
+        path = CORPUS_DIR / "zero-trip-loop.jsonl"
+        code = main(["trace-import", str(path), "--design", "baseline",
+                     "--verify"])
+        assert code == 0
+        assert "2 SM(s)" in capsys.readouterr().out
+
+    def test_window_and_sms_overrides(self, capsys):
+        path = CORPUS_DIR / "max-operands.jsonl"
+        code = main(["trace-import", str(path), "--design", "baseline",
+                     "--sms", "2", "--window", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "IW=4" in out
+        assert "2 SM(s)" in out
+
+    def test_bad_sms_rejected(self, capsys):
+        path = CORPUS_DIR / "max-operands.jsonl"
+        assert main(["trace-import", str(path), "--sms", "0"]) == 2
+        assert "--sms" in capsys.readouterr().err
+
+    def test_bad_window_rejected(self, capsys):
+        path = CORPUS_DIR / "max-operands.jsonl"
+        assert main(["trace-import", str(path), "--window", "-1"]) == 2
+        assert "--window" in capsys.readouterr().err
+
+    def test_missing_file_is_runtime_error(self, capsys, tmp_path):
+        assert main(["trace-import", str(tmp_path / "nope.jsonl")]) == 1
+
+    def test_malformed_file_is_runtime_error(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"type": "inst", "warp": 0, "op": "add"}\n')
+        assert main(["trace-import", str(bad)]) == 1

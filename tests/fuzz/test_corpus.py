@@ -1,0 +1,63 @@
+"""Corpus replay: every checked-in JSONL case stays architecturally clean.
+
+Minimized fuzz failures and hand-written adversarial kernels live in
+``tests/corpus/`` in the documented trace-case format.  Each one is
+replayed here against every design it names (all registered designs by
+default) — once a bug is fixed, its minimized repro regresses forever.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.designs import design_names
+from repro.fuzz.differential import compare_case
+from repro.kernels.external import corpus_paths, load_case
+from repro.observe.schema import validate_trace_case_record
+
+CORPUS_DIR = Path(__file__).resolve().parent.parent / "corpus"
+
+CASES = corpus_paths(CORPUS_DIR)
+
+
+def _case_id(path: Path) -> str:
+    return path.stem
+
+
+def test_corpus_is_not_empty():
+    assert CASES, f"no corpus cases found under {CORPUS_DIR}"
+
+
+@pytest.mark.parametrize("path", CASES, ids=_case_id)
+def test_every_record_matches_the_schema(path):
+    with path.open(encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                validate_trace_case_record(json.loads(line))
+
+
+@pytest.mark.parametrize("path", CASES, ids=_case_id)
+def test_case_replays_clean(path):
+    case = load_case(path)
+    designs = case.designs or design_names()
+    failures = []
+    for design in designs:
+        for mismatch in compare_case(case, design):
+            failures.append(str(mismatch))
+    assert not failures, "\n".join(failures)
+
+
+@pytest.mark.parametrize("path", CASES, ids=_case_id)
+def test_case_round_trips_through_the_codec(path):
+    from repro.kernels.external import case_from_records, case_to_records
+
+    case = load_case(path)
+    again = case_from_records(list(case_to_records(case)))
+    assert again.window == case.window
+    assert again.memory_seed == case.memory_seed
+    assert again.num_sms == case.num_sms
+    assert again.designs == case.designs
+    assert again.trace.num_warps == case.trace.num_warps
+    assert again.trace.total_instructions == case.trace.total_instructions

@@ -1,0 +1,103 @@
+"""Tests for the differential executor and the fuzz campaign driver."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.fuzz.differential import (
+    FuzzReport,
+    case_for,
+    compare_case,
+    run_fuzz,
+)
+from repro.fuzz.generator import FuzzConfig, generate_case
+from repro.kernels.external import load_case
+from repro.testing.bugs import BUG_KINDS
+
+QUICK = FuzzConfig(max_trace_instructions=80, max_warps=3)
+
+ALL_DESIGNS = ("baseline", "bow", "bow-wb", "bow-wr", "bow-wr-half", "rfc")
+
+
+class TestCompareCase:
+    @pytest.mark.parametrize("design", ALL_DESIGNS)
+    def test_clean_on_every_design(self, design):
+        fuzz_case = generate_case(3, QUICK)
+        case = case_for(fuzz_case, design)
+        assert compare_case(case, design) == []
+
+    def test_clean_on_device_layer(self):
+        fuzz_case = generate_case(3, QUICK)
+        case = case_for(fuzz_case, "baseline", num_sms=2)
+        assert compare_case(case, "baseline") == []
+
+    def test_unknown_design_raises(self):
+        fuzz_case = generate_case(3, QUICK)
+        case = case_for(fuzz_case, "baseline")
+        with pytest.raises(SimulationError):
+            compare_case(case, "nonsense")
+
+    def test_hinted_designs_get_hinted_traces(self):
+        fuzz_case = generate_case(3, QUICK)
+        assert case_for(fuzz_case, "bow-wr").trace is fuzz_case.hinted
+        assert case_for(fuzz_case, "baseline").trace is fuzz_case.plain
+
+
+class TestRunFuzzClean:
+    def test_small_clean_campaign(self):
+        report = run_fuzz(seed=0, cases=2, config=QUICK)
+        assert isinstance(report, FuzzReport)
+        assert report.ok
+        assert report.failure is None
+        assert report.cases == 2
+        assert report.runs == 2 * len(report.designs)
+
+    def test_multi_sm_campaign(self):
+        report = run_fuzz(seed=0, cases=1, sms=2,
+                          designs=("baseline",), config=QUICK)
+        assert report.ok
+        # Each case runs at num_sms=1 AND num_sms=2.
+        assert report.runs == 2
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(SimulationError):
+            run_fuzz(cases=0, config=QUICK)
+        with pytest.raises(SimulationError):
+            run_fuzz(sms=0, config=QUICK)
+        with pytest.raises(SimulationError):
+            run_fuzz(designs=("nonsense",), config=QUICK)
+
+
+class TestInjectedBugEndToEnd:
+    """The acceptance loop: an injected provider bug must be caught,
+    shrunk, and written to the corpus in the documented format."""
+
+    @pytest.mark.parametrize("kind", BUG_KINDS)
+    def test_bug_is_caught(self, kind, tmp_path):
+        report = run_fuzz(seed=0, cases=5, corpus_dir=tmp_path,
+                          inject_bug=kind, config=QUICK)
+        assert not report.ok
+        failure = report.failure
+        assert failure.design == "buggy"
+        assert failure.mismatches
+
+    def test_failure_is_shrunk_and_replayable(self, tmp_path):
+        report = run_fuzz(seed=0, cases=5, corpus_dir=tmp_path,
+                          inject_bug="corrupt-writeback", config=QUICK)
+        failure = report.failure
+        shrink = failure.shrink
+        # Strictly smaller than the generated case, and still failing.
+        assert shrink.removed_instructions > 0
+        assert failure.corpus_path is not None
+        assert failure.corpus_path.exists()
+        # The corpus file round-trips through the documented format and
+        # carries its provenance.
+        replayed = load_case(failure.corpus_path)
+        assert replayed.trace.num_warps == shrink.case.trace.num_warps
+        assert replayed.meta["fuzz_seed"] == failure.seed
+        assert "buggy" in replayed.designs
+
+    def test_no_corpus_dir_still_reports(self):
+        report = run_fuzz(seed=0, cases=5, inject_bug="corrupt-deliver",
+                          config=QUICK)
+        assert not report.ok
+        assert report.failure.corpus_path is None

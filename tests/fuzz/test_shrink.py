@@ -1,0 +1,84 @@
+"""Unit tests for the greedy delta-debugging shrinker."""
+
+from repro.fuzz.shrink import ShrinkResult, shrink_case
+from repro.kernels.builder import KernelBuilder
+from repro.kernels.external import TraceCase
+
+
+def _case(num_warps: int = 4, body: int = 16) -> TraceCase:
+    b = KernelBuilder("shrink-me")
+    for i in range(body):
+        b.add(1 + (i % 8), 1 + ((i + 1) % 8), imm=i)
+    b.st(addr=1, value=2)
+    b.exit()
+    return TraceCase(trace=b.trace(num_warps=num_warps), window=2,
+                     memory_seed=3)
+
+
+def _needle(case: TraceCase):
+    """The 'bug': any trace containing warp 2's st.global reproduces."""
+    def reproduces(candidate: TraceCase) -> bool:
+        for warp in candidate.trace:
+            if warp.warp_id == 2 and any(
+                inst.opcode.name == "st.global"
+                for inst in warp.instructions
+            ):
+                return True
+        return False
+    return reproduces
+
+
+class TestShrinkCase:
+    def test_minimizes_to_the_needle(self):
+        case = _case()
+        result = shrink_case(case, _needle(case))
+        assert isinstance(result, ShrinkResult)
+        assert result.case.trace.num_warps == 1
+        assert result.case.trace.total_instructions == 1
+        only = next(iter(result.case.trace))
+        assert only.warp_id == 2
+        assert only.instructions[0].opcode.name == "st.global"
+
+    def test_reports_removal_stats(self):
+        case = _case()
+        total = case.trace.total_instructions
+        result = shrink_case(case, _needle(case))
+        assert result.removed_warps == 3
+        assert result.removed_instructions == total - 1
+        assert result.attempts > 0
+
+    def test_preserves_launch_parameters(self):
+        case = _case()
+        result = shrink_case(case, _needle(case))
+        assert result.case.window == case.window
+        assert result.case.memory_seed == case.memory_seed
+        assert result.case.num_sms == case.num_sms
+
+    def test_respects_attempt_budget(self):
+        case = _case(num_warps=6, body=32)
+        result = shrink_case(case, _needle(case), max_attempts=5)
+        assert result.attempts <= 5
+
+    def test_keeps_at_least_one_warp_when_nothing_shrinks(self):
+        case = _case(num_warps=2, body=2)
+        result = shrink_case(case, lambda candidate: True)
+        assert result.case.trace.num_warps >= 1
+
+    def test_predicate_exceptions_propagate(self):
+        """The shrinker's contract: predicates must not raise.
+
+        The differential harness wraps its predicate so a crashing
+        candidate counts as "does not reproduce"; the shrinker itself
+        stays transparent to errors.
+        """
+        import pytest
+
+        case = _case(num_warps=2, body=4)
+
+        def touchy(candidate: TraceCase) -> bool:
+            if candidate.trace.num_warps < 2:
+                raise RuntimeError("boom")
+            return True
+
+        with pytest.raises(RuntimeError):
+            shrink_case(case, touchy)

@@ -1,0 +1,140 @@
+"""Property-based tests (hypothesis) for generated kernel CFGs.
+
+The fuzz generator (:mod:`repro.fuzz.generator`) promises that every
+CFG it composes through :class:`~repro.kernels.builder.KernelBuilder`
+upholds the :class:`~repro.kernels.cfg.KernelCFG` invariants: the graph
+validates, every block is sealed (terminated by a control transfer or an
+exit), and the entry can always reach an exit — so trace expansion
+terminates.  These are exactly the invariants the differential fuzzer
+relies on; here they get direct property coverage over many seeds.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.fuzz.generator import (
+    DEFAULT_CONFIG,
+    FuzzConfig,
+    expand_warps,
+    generate_case,
+    generate_cfg,
+)
+from repro.isa.registers import SINK_REGISTER
+
+SEEDS = st.integers(min_value=0, max_value=10**6)
+
+#: A quicker config for properties that expand traces.
+_SMALL = FuzzConfig(max_trace_instructions=96, max_warps=3)
+
+
+class TestGeneratedCfgInvariants:
+    @given(seed=SEEDS)
+    @settings(max_examples=60, deadline=None)
+    def test_cfg_validates(self, seed):
+        cfg = generate_cfg(seed)
+        for block in cfg:
+            block.validate()  # does not raise
+        cfg._validate_edges()  # every edge targets a defined block
+
+    @given(seed=SEEDS)
+    @settings(max_examples=60, deadline=None)
+    def test_every_block_is_sealed(self, seed):
+        """Sealed: an exit (no edges) or 1-2 edges with a terminator."""
+        cfg = generate_cfg(seed)
+        for block in cfg:
+            assert len(block.edges) <= 2
+            if len(block.edges) == 2:
+                # Two-way blocks always end in the branch instruction
+                # the builder emitted when it sealed them.
+                assert block.instructions
+                assert block.instructions[-1].opcode.name == "bra"
+                total = sum(edge.probability for edge in block.edges)
+                assert abs(total - 1.0) < 1e-9
+
+    @given(seed=SEEDS)
+    @settings(max_examples=60, deadline=None)
+    def test_entry_reaches_an_exit(self, seed):
+        cfg = generate_cfg(seed)
+        pending = [cfg.entry]
+        seen = set()
+        reachable_exit = False
+        while pending:
+            label = pending.pop()
+            if label in seen:
+                continue
+            seen.add(label)
+            block = cfg.blocks[label]
+            if block.is_exit:
+                reachable_exit = True
+            pending.extend(edge.target for edge in block.edges)
+        assert reachable_exit
+
+    @given(seed=SEEDS)
+    @settings(max_examples=40, deadline=None)
+    def test_register_ids_stay_architectural(self, seed):
+        """No operand ever touches the reserved sink register."""
+        cfg = generate_cfg(seed)
+        for block in cfg:
+            for inst in block.instructions:
+                for src in inst.sources:
+                    assert 0 <= src.id < SINK_REGISTER.id
+                if inst.dest is not None and inst.dest != SINK_REGISTER:
+                    assert 0 <= inst.dest.id < SINK_REGISTER.id
+
+
+class TestExpansionProperties:
+    @given(seed=SEEDS, num_warps=st.integers(min_value=1, max_value=3))
+    @settings(max_examples=30, deadline=None)
+    def test_expansion_is_deterministic(self, seed, num_warps):
+        cfg = generate_cfg(seed, _SMALL)
+        first = expand_warps(cfg, num_warps, seed,
+                             _SMALL.max_trace_instructions)
+        second = expand_warps(cfg, num_warps, seed,
+                              _SMALL.max_trace_instructions)
+        for a, b in zip(first, second):
+            assert a.warp_id == b.warp_id
+            assert [i.uid for i in a.instructions] == [
+                i.uid for i in b.instructions
+            ]
+
+    @given(seed=SEEDS)
+    @settings(max_examples=30, deadline=None)
+    def test_expansion_terminates_within_budget(self, seed):
+        cfg = generate_cfg(seed, _SMALL)
+        for warp in expand_warps(cfg, 2, seed,
+                                 _SMALL.max_trace_instructions):
+            assert len(warp.instructions) <= _SMALL.max_trace_instructions
+
+    @given(seed=SEEDS)
+    @settings(max_examples=15, deadline=None)
+    def test_plain_and_hinted_expansions_share_control_flow(self, seed):
+        """Hint compilation must not change the dynamic path (uids)."""
+        case = generate_case(seed, _SMALL)
+        for plain, hinted in zip(case.plain, case.hinted):
+            assert plain.warp_id == hinted.warp_id
+            assert [i.uid for i in plain.instructions] == [
+                i.uid for i in hinted.instructions
+            ]
+        # ... and the hinted expansion actually carries the hint bits of
+        # the compiled CFG (same objects, by uid).
+        hints = {
+            inst.uid: inst.hint
+            for block in case.cfg
+            for inst in block.instructions
+        }
+        for warp in case.hinted:
+            for inst in warp.instructions:
+                assert inst.hint == hints[inst.uid]
+
+    @given(seed=SEEDS)
+    @settings(max_examples=20, deadline=None)
+    def test_case_parameters_in_range(self, seed):
+        case = generate_case(seed, _SMALL)
+        assert 1 <= case.num_warps <= _SMALL.max_warps
+        assert case.window in _SMALL.windows
+        assert 0 <= case.memory_seed < (1 << 16)
+        assert case.trace_for(hinted=True) is case.hinted
+        assert case.trace_for(hinted=False) is case.plain
+
+    def test_default_config_is_the_module_default(self):
+        assert generate_cfg(7).name == generate_cfg(
+            7, DEFAULT_CONFIG).name
