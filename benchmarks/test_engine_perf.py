@@ -1,12 +1,20 @@
 """Hot-loop micro-benchmark: raw engine throughput per design.
 
 Unlike the figure benches (which time whole experiment drivers, caches
-included), this bench pins the cost of one uncached ``SMEngine.run`` on
-the QUICK-scale SAD trace for each provider family: the baseline OCU
-pool, BOW write-through, hinted BOW-WR, and the RFC comparison point.
+included), this bench pins the cost of one uncached ``SMEngine.run``:
+
+* ``test_engine_throughput`` times the QUICK-scale SAD trace for each
+  provider family (baseline OCU pool, BOW write-through, hinted BOW-WR,
+  RFC) — the register-hungry stress case where busy cycles dominate;
+* ``test_engine_throughput_membound`` times a DRAM-bound VectorAdd —
+  the streaming case where most cycles are memory stalls, which is
+  where the event-horizon fast-forward pays off hardest.
+
 ``cycles_per_sec`` in ``extra_info`` is the figure of merit — compare
 it across commits to catch timing-model slowdowns before they multiply
-across a sweep grid.
+across a sweep grid.  ``fast_forwarded_cycles`` records how many of
+those cycles were jumped rather than ticked, so a throughput change can
+be attributed to per-tick cost vs. fast-forward coverage.
 
 The trace is built once outside the timed region (trace generation is
 memoized elsewhere and is not what this bench guards).
@@ -14,10 +22,13 @@ memoized elsewhere and is not what this bench guards).
 
 from __future__ import annotations
 
+import gc
+
 import pytest
 
+from repro.config import GPUConfig
 from repro.core.bow_sm import simulate_design
-from repro.experiments.runner import QUICK, benchmark_trace, design_spec
+from repro.experiments.runner import QUICK, RunScale, benchmark_trace, design_spec
 
 #: The register-hungry Parboil kernel — the paper's stress case, and
 #: the slowest QUICK-scale point, so regressions show up loudest here.
@@ -26,6 +37,48 @@ WINDOW = 3
 
 DESIGNS = ("baseline", "bow", "bow-wr", "rfc")
 
+#: The memory-heavy point: the streaming CUDA SDK kernel with a
+#: DRAM-bound access mix (streaming kernels have near-zero reuse, so
+#: the default cache-friendly mix undersells their stall time).  Eight
+#: warps keep the memory pipe busy without hiding the latency.
+MEM_BENCH = "VECTORADD"
+MEM_SCALE = RunScale(num_warps=8, trace_scale=0.25)
+MEM_CONFIG = GPUConfig(mem_l1_hit_rate=0.0, mem_l2_hit_rate=0.15)
+MEM_DESIGNS = ("baseline", "bow")
+
+
+def _time_design(benchmark, design, trace, bench=BENCH, config=None,
+                 memory_seed=None):
+    seed = QUICK.memory_seed if memory_seed is None else memory_seed
+
+    def run():
+        # Collector pauses belong to the allocator, not the engine;
+        # keep them out of the timed region (standard bench hygiene).
+        gc.disable()
+        try:
+            return simulate_design(
+                design, trace, window_size=WINDOW, config=config,
+                memory_seed=seed,
+            )
+        finally:
+            gc.enable()
+
+    # min-over-5 rounds: the figure of merit is best-case throughput,
+    # and on shared hosts three rounds routinely miss it by 5-10%.
+    result = benchmark.pedantic(run, rounds=5, iterations=1,
+                                warmup_rounds=1)
+    cycles = result.counters.cycles
+    assert cycles > 0
+    benchmark.extra_info["bench"] = bench
+    benchmark.extra_info["design"] = design
+    benchmark.extra_info["cycles"] = cycles
+    benchmark.extra_info["fast_forwarded_cycles"] = (
+        result.counters.fast_forwarded_cycles
+    )
+    benchmark.extra_info["cycles_per_sec"] = round(
+        cycles / benchmark.stats.stats.min
+    )
+
 
 @pytest.mark.parametrize("design", DESIGNS)
 def test_engine_throughput(benchmark, design):
@@ -33,19 +86,14 @@ def test_engine_throughput(benchmark, design):
     trace = benchmark_trace(
         BENCH, QUICK, window_size=WINDOW if spec.hinted else None
     )
+    _time_design(benchmark, design, trace)
 
-    def run():
-        return simulate_design(
-            design, trace, window_size=WINDOW,
-            memory_seed=QUICK.memory_seed,
-        )
 
-    result = benchmark.pedantic(run, rounds=3, iterations=1,
-                                warmup_rounds=1)
-    cycles = result.counters.cycles
-    assert cycles > 0
-    benchmark.extra_info["design"] = design
-    benchmark.extra_info["cycles"] = cycles
-    benchmark.extra_info["cycles_per_sec"] = round(
-        cycles / benchmark.stats.stats.min
+@pytest.mark.parametrize("design", MEM_DESIGNS)
+def test_engine_throughput_membound(benchmark, design):
+    spec = design_spec(design)
+    trace = benchmark_trace(
+        MEM_BENCH, MEM_SCALE, window_size=WINDOW if spec.hinted else None
     )
+    _time_design(benchmark, design, trace, bench=f"{MEM_BENCH}-mem",
+                 config=MEM_CONFIG, memory_seed=MEM_SCALE.memory_seed)

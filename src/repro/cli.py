@@ -99,6 +99,11 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="worker threads dispatching the per-SM engines "
                           "for --sms (results are identical at any job "
                           "count; default: 1)")
+    run.add_argument("--no-fast-forward", action="store_true",
+                     help="tick the engine cycle-by-cycle instead of "
+                          "jumping provably idle spans (results are "
+                          "bit-identical; this is the diagnostic kill "
+                          "switch, and it bypasses the run caches)")
 
     sweep = sub.add_parser(
         "sweep", help="run a benchmark x design x IW grid, cached")
@@ -361,14 +366,16 @@ def _cmd_list(args) -> int:
 def _cmd_run(args) -> int:
     from .energy import EnergyModel
     from .experiments.runner import (RunScale, resolve_num_sms, run_design,
-                                     using_device_dispatch, validate_design)
+                                     using_device_dispatch,
+                                     using_fast_forward, validate_design)
     from .stats.report import format_percent
 
     validate_design(args.design)
     num_sms = resolve_num_sms(args.sms, args.design)
     scale = RunScale(num_warps=args.warps, trace_scale=args.scale,
                      memory_seed=args.seed, num_sms=num_sms)
-    with using_device_dispatch(args.jobs):
+    with using_device_dispatch(args.jobs), \
+            using_fast_forward(not args.no_fast_forward):
         base = run_design(args.benchmark, "baseline", scale=scale)
         result = run_design(args.benchmark, args.design,
                             window_size=args.window, scale=scale)
@@ -377,6 +384,13 @@ def _cmd_run(args) -> int:
     print(f"{args.benchmark.upper()} on {args.design} "
           f"(IW={args.window}{device}):")
     print(f"  cycles            {counters.cycles}")
+    if num_sms > 1 or not counters.cycles:
+        # Device rollups sum the counter across SMs while cycles is the
+        # slowest SM's finish time, so a fraction would mislead.
+        print(f"  fast-forwarded    {counters.fast_forwarded_cycles} cycles")
+    else:
+        print(f"  fast-forwarded    {counters.fast_forwarded_cycles} cycles "
+              f"({format_percent(counters.fast_forwarded_cycles / counters.cycles)})")
     ipc_label = "device IPC" if num_sms > 1 else "IPC"
     print(f"  {ipc_label:17s} {result.ipc:.3f} "
           f"({format_percent(result.ipc / base.ipc - 1.0)} vs baseline)")
@@ -662,6 +676,10 @@ def _cmd_fuzz(args) -> int:
     print(f"fuzz: MISMATCH at seed {failure.seed} on "
           f"{failure.design!r} (num_sms={failure.num_sms}) after "
           f"{report.runs} run(s):", file=sys.stderr)
+    if failure.fast_forward_only:
+        print("  per-cycle re-run matches the reference: the divergence "
+              "is in the fast-forward machinery, not the design model",
+              file=sys.stderr)
     for mismatch in failure.mismatches:
         print(f"  {mismatch}", file=sys.stderr)
     shrink = failure.shrink

@@ -110,6 +110,11 @@ class GPUConfig:
     mem_l2_hit_latency: int = 120
     mem_global_latency: int = 350
     shared_mem_latency: int = 24
+    # Where global accesses land (fractions; the remainder goes to
+    # DRAM).  The defaults model a cache-friendly mix; streaming
+    # kernels can be pinned DRAM-bound by zeroing the hit rates.
+    mem_l1_hit_rate: float = 0.55
+    mem_l2_hit_rate: float = 0.30
     num_alu_units: int = 4
     num_sfu_units: int = 1
     num_mem_units: int = 1
@@ -136,6 +141,12 @@ class GPUConfig:
         for name in positive_fields:
             if getattr(self, name) <= 0:
                 raise ConfigError(f"{name} must be positive, got {getattr(self, name)}")
+        if (self.mem_l1_hit_rate < 0 or self.mem_l2_hit_rate < 0
+                or self.mem_l1_hit_rate + self.mem_l2_hit_rate > 1.0):
+            raise ConfigError(
+                "cache hit rates must be non-negative and sum to <= 1, got "
+                f"l1={self.mem_l1_hit_rate} l2={self.mem_l2_hit_rate}"
+            )
         if self.crossbar_width < 0:
             raise ConfigError(
                 f"crossbar_width must be >= 0, got {self.crossbar_width}"

@@ -54,10 +54,16 @@ class _WarpBOC:
     last_access: Dict[int, int] = field(default_factory=dict)
     entries: "OrderedDict[int, _BocEntry]" = field(default_factory=OrderedDict)
     inflight: List[InflightInstruction] = field(default_factory=list)
+    #: Last cycle whose occupancy sample has been accumulated into the
+    #: histogram (see BOWCollectors._settle).
+    settled: int = 0
 
 
 class BOWCollectors(OperandProvider):
     """Per-warp BOCs implementing the three BOW writeback policies."""
+
+    prefilters_inflight = True  # read_requests skips in-flight tags
+    tick_guards = True  # heads_pending / stable ready list maintained
 
     def __init__(self, engine, bow: BOWConfig):
         if not bow.enabled:
@@ -72,14 +78,43 @@ class BOWCollectors(OperandProvider):
         self._lru = bow.eviction is EvictionPolicy.LRU
         self._compiler_policy = bow.writeback is WritebackPolicy.COMPILER
         self._warps: Dict[int, _WarpBOC] = {}
-        #: occupancy histogram: {entries_in_use: warp-cycles}, sampled
-        #: each cycle for warps with work in flight (Figure 9).
+        # Operand-complete entries, maintained incrementally at the
+        # ready transition (fully bypassed insert, or last delivery)
+        # so ready_entries never rescans every warp's inflight list.
+        self._ready: List[InflightInstruction] = []
+        self.heads_pending = 0
+        #: occupancy histogram: {entries_in_use: warp-cycles}, one
+        #: sample per cycle per warp with work in flight (Figure 9).
+        #: Maintained lazily: a warp's (busy, entries-in-use) state only
+        #: changes at an insert, delivery, dispatch, or completion, so
+        #: each of those settles the constant span since the previous
+        #: mutation in one bulk add instead of sampling every cycle.
         self.occupancy_histogram: Dict[int, int] = {}
 
     def _warp(self, warp_id: int) -> _WarpBOC:
         if warp_id not in self._warps:
             self._warps[warp_id] = _WarpBOC(warp_id)
         return self._warps[warp_id]
+
+    def _settle(self, warp: _WarpBOC, through: int) -> None:
+        """Accumulate owed occupancy samples for cycles up to ``through``.
+
+        Between two mutations a warp's sampled state is constant, so
+        the whole span lands in one histogram bucket.  The per-cycle
+        sampling point sits in the bank stage — after completions and
+        operand deliveries, before dispatch and issue — so pre-sample
+        mutators (``on_complete``, ``deliver``) settle through the
+        *previous* cycle and post-sample mutators (``insert``,
+        ``on_dispatch``) settle through the current one.  The result is
+        numerically identical to sampling every cycle.
+        """
+        owed = through - warp.settled
+        if owed > 0:
+            if warp.inflight:
+                used = len(warp.entries)
+                histogram = self.occupancy_histogram
+                histogram[used] = histogram.get(used, 0) + owed
+            warp.settled = through
 
     # ------------------------------------------------------------------
     # window bookkeeping
@@ -94,13 +129,22 @@ class BOWCollectors(OperandProvider):
 
     def _slide_window(self, warp: _WarpBOC) -> None:
         """Evict operands whose last access just fell out of the window."""
+        entries = warp.entries
+        if not entries:
+            return
+        # Inline of _in_window over every resident operand — this runs
+        # once per issued instruction, so the per-entry cost matters.
+        seq = warp.seq
+        window_size = self.window_size
+        last_access = warp.last_access
         expired = [
             reg_id
-            for reg_id, entry in warp.entries.items()
-            if not self._in_window(warp, reg_id)
+            for reg_id in entries
+            if (last := last_access.get(reg_id)) is None
+            or seq - last >= window_size
         ]
         for reg_id in expired:
-            self._dispose(warp, warp.entries.pop(reg_id), reason="slide")
+            self._dispose(warp, entries.pop(reg_id), reason="slide")
 
     def _dispose(self, warp: _WarpBOC, entry: _BocEntry, reason: str) -> None:
         """Final disposition of a value leaving the BOC.
@@ -190,6 +234,7 @@ class BOWCollectors(OperandProvider):
         warp = self._warp(entry.warp_id)
         if len(warp.inflight) >= self.window_size:
             raise SimulationError("insert into a full BOC")
+        self._settle(warp, self.engine.state.cycle)
         warp.seq += 1
         self._slide_window(warp)
 
@@ -226,6 +271,10 @@ class BOWCollectors(OperandProvider):
             else:
                 pending.append(slot)
         entry.pending_slots = pending
+        if pending:
+            self.heads_pending += 1
+        else:
+            self._ready.append(entry)
 
         dest_id = dec.rf_dest_id
         if dest_id is not None and not self._dest_skips_window(dec):
@@ -238,9 +287,10 @@ class BOWCollectors(OperandProvider):
 
     def read_requests(self, cycle: int) -> List[AccessRequest]:
         requests = []
+        # Skip slots whose read was already granted (the engine would
+        # filter them anyway; not building the request is cheaper).
+        inflight_tags = self.engine.state.inflight_read_tags
         for warp in self._warps.values():
-            if warp.inflight:
-                self._sample_occupancy(warp)
             for entry in warp.inflight:
                 if not entry.pending_slots:
                     continue
@@ -248,25 +298,26 @@ class BOWCollectors(OperandProvider):
                 # baseline OCU each slot replaces); operands of a single
                 # instruction still serialize.
                 slot = entry.pending_slots[0]
-                dec = entry.dec
-                requests.append(
-                    AccessRequest(
+                request = entry.head_request
+                if request is None or request.tag[1] != slot:
+                    dec = entry.dec
+                    request = AccessRequest(
                         bank=dec.source_banks[slot],
                         warp_id=warp.warp_id,
                         register_id=dec.source_ids[slot],
                         tag=(entry.key, slot),
                         age=entry.issue_cycle,
                     )
-                )
+                    entry.head_request = request
+                if request.tag in inflight_tags:
+                    continue
+                requests.append(request)
         return requests
-
-    def _sample_occupancy(self, warp: _WarpBOC) -> None:
-        used = len(warp.entries)
-        self.occupancy_histogram[used] = self.occupancy_histogram.get(used, 0) + 1
 
     def deliver(self, tag: object, value: int) -> None:
         key, slot = tag
         warp = self._warp(key[0])
+        self._settle(warp, self.engine.state.cycle - 1)
         for entry in warp.inflight:
             if entry.key == key:
                 break
@@ -297,6 +348,9 @@ class BOWCollectors(OperandProvider):
                     trace_index=entry.trace_index,
                     opcode=entry.inst.opcode.name,
                 )
+        if not entry.pending_slots:
+            self.heads_pending -= 1
+            self._ready.append(entry)
         # An RF fill deposits the value for later forwarding — but only
         # while the register is still windowed (it may have slid while
         # the read waited on a bank port).
@@ -304,21 +358,20 @@ class BOWCollectors(OperandProvider):
             self._deposit(warp, register_id, value, dirty=False, transient=False)
 
     def ready_entries(self) -> List[InflightInstruction]:
-        ready = []
-        for warp in self._warps.values():
-            for entry in warp.inflight:
-                if not entry.pending_slots and entry.dispatch_cycle is None:
-                    ready.append(entry)
-        return ready
+        return self._ready
 
     def on_dispatch(self, entry: InflightInstruction) -> None:
         # The instruction slot frees once the operands are consumed; the
         # window (and any deposited operand values) persists via the
         # per-register access clock.
-        self._warp(entry.warp_id).inflight.remove(entry)
+        warp = self._warp(entry.warp_id)
+        self._settle(warp, self.engine.state.cycle)
+        warp.inflight.remove(entry)
+        self._ready.remove(entry)
 
     def on_complete(self, entry: InflightInstruction, value: Optional[int]) -> None:
         warp = self._warp(entry.warp_id)
+        self._settle(warp, self.engine.state.cycle - 1)
         dest_id = entry.dec.rf_dest_id
         if dest_id is None or value is None:
             self.engine.release_scoreboard(entry)

@@ -27,6 +27,7 @@ def simulate_bow(
     memory_seed: int = 0,
     preload: Optional[Dict[int, int]] = None,
     recorder=None,
+    fast_forward: bool = True,
 ) -> SimulationResult:
     """Simulate ``trace`` on a BOW-enabled SM.
 
@@ -47,7 +48,8 @@ def simulate_bow(
     bow = bow or bow_config()
     if not bow.enabled:
         engine = SMEngine(trace, config=config, memory_seed=memory_seed,
-                          preload=preload, recorder=recorder)
+                          preload=preload, recorder=recorder,
+                          fast_forward=fast_forward)
         return engine.run()
     engine = SMEngine(
         trace,
@@ -56,6 +58,7 @@ def simulate_bow(
         memory_seed=memory_seed,
         preload=preload,
         recorder=recorder,
+        fast_forward=fast_forward,
     )
     return engine.run()
 
@@ -84,6 +87,7 @@ def simulate_design(
     memory_seed: int = 0,
     preload: Optional[Dict[int, int]] = None,
     recorder=None,
+    fast_forward: bool = True,
 ) -> SimulationResult:
     """Run a named design (see :func:`repro.core.designs.design_names`)."""
     try:
@@ -99,5 +103,6 @@ def simulate_design(
         memory_seed=memory_seed,
         preload=preload,
         recorder=recorder,
+        fast_forward=fast_forward,
     )
     return engine.run()

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import Dict, List, Optional, Tuple
 
 from ..config import GPUConfig
@@ -52,6 +53,10 @@ class _WarpCache:
 class RFCCollectors(OperandProvider):
     """Conventional collectors backed by a per-warp register-file cache."""
 
+    shared_pool = True  # can_accept gates on the pool, not the warp
+    prefilters_inflight = True  # read_requests skips in-flight tags
+    tick_guards = True  # heads_pending / due_heap / stable ready list
+
     def __init__(self, engine, num_units: int,
                  entries_per_warp: int = RFC_ENTRIES_PER_WARP):
         if entries_per_warp < 1:
@@ -61,10 +66,18 @@ class RFCCollectors(OperandProvider):
         self.entries_per_warp = entries_per_warp
         self._caches: Dict[int, _WarpCache] = {}
         self._collecting: List[InflightInstruction] = []
+        # Operand-complete entries, maintained incrementally at the
+        # ready transition so ready_entries never rescans the pool.
+        self._ready: List[InflightInstruction] = []
+        self.heads_pending = 0
         # Cache hits in service: the RFC is organized like the RF, so a
         # hit takes the same pipelined read latency — it skips only the
         # bank port (and its conflicts).
         self._hits_due: Dict[int, List[Tuple[Tuple[int, int], int, int]]] = {}
+        # Min-heap of the due cycles present in _hits_due; the engine's
+        # tick guard and fast-forward horizon both peek it in O(1).
+        # Hits deliver exactly at their due cycle, so heads never stale.
+        self.due_heap: List[int] = []
         self._serving: set = set()
 
     def _cache(self, warp_id: int) -> _WarpCache:
@@ -81,6 +94,10 @@ class RFCCollectors(OperandProvider):
         dec = ensure_decoded(entry, self.engine)
         entry.pending_slots = list(range(dec.num_sources))
         self._collecting.append(entry)
+        if entry.pending_slots:
+            self.heads_pending += 1
+        else:
+            self._ready.append(entry)
 
     # -- collection: every operand passes the single port; cache hits
     # skip the bank, not the port ------------------------------------------
@@ -90,6 +107,7 @@ class RFCCollectors(OperandProvider):
         requests = []
         counters = self.engine.counters
         serving = self._serving
+        inflight_tags = self.engine.state.inflight_read_tags
         hit_delta = max(1, self.engine.config.rf_read_latency - 1)
         for entry in self._collecting:
             if not entry.pending_slots:
@@ -107,9 +125,12 @@ class RFCCollectors(OperandProvider):
                 # full RF read (the cache sits closer to the collectors)
                 # — but the collection pipeline itself remains.
                 serving.add(tag)
-                self._hits_due.setdefault(cycle + hit_delta, []).append(
-                    (entry.key, slot, line.value)
-                )
+                due = cycle + hit_delta
+                bucket = self._hits_due.get(due)
+                if bucket is None:
+                    bucket = self._hits_due[due] = []
+                    heappush(self.due_heap, due)
+                bucket.append((entry.key, slot, line.value))
                 counters.bypassed_reads += 1
                 counters.boc_reads += 1
                 if self.engine.recorder is not None:
@@ -120,18 +141,38 @@ class RFCCollectors(OperandProvider):
                         opcode=dec.opcode_name,
                     )
                 continue
-            requests.append(
-                AccessRequest(
+            if tag in inflight_tags:
+                # The bank read was already granted; the engine would
+                # filter a re-request, so don't build it.  (The cache
+                # check above must still run first: a concurrent fill
+                # schedules a hit exactly as on the unfiltered path.)
+                continue
+            request = entry.head_request
+            if request is None or request.tag[1] != slot:
+                request = AccessRequest(
                     bank=dec.source_banks[slot],
                     warp_id=entry.warp_id,
                     register_id=register_id,
                     tag=tag,
                     age=entry.issue_cycle,
                 )
-            )
+                entry.head_request = request
+            requests.append(request)
         return requests
 
+    def next_event_cycle(self) -> Optional[int]:
+        """Earliest pending cache-hit delivery (fast-forward horizon).
+
+        Hits serialize through the pipelined collector port, so a hit
+        scheduled at cycle *c* lands at ``c + hit_delta`` — the engine
+        must tick that cycle even if every other structure is idle.
+        """
+        return self.due_heap[0] if self.due_heap else None
+
     def _deliver_due_hits(self, cycle: int) -> None:
+        heap = self.due_heap
+        while heap and heap[0] <= cycle:
+            heappop(heap)
         for key, slot, value in self._hits_due.pop(cycle, ()):
             self._serving.discard((key, slot))
             for entry in self._collecting:
@@ -143,6 +184,9 @@ class RFCCollectors(OperandProvider):
                 raise SimulationError(f"out-of-order hit delivery {key}/{slot}")
             entry.pending_slots.pop(0)
             entry.operand_values[slot] = value
+            if not entry.pending_slots:
+                self.heads_pending -= 1
+                self._ready.append(entry)
 
     def deliver(self, tag: object, value: int) -> None:
         key, slot = tag
@@ -157,12 +201,16 @@ class RFCCollectors(OperandProvider):
             raise SimulationError(f"out-of-order operand delivery {tag!r}")
         entry.pending_slots.pop(0)
         entry.operand_values[slot] = value
+        if not entry.pending_slots:
+            self.heads_pending -= 1
+            self._ready.append(entry)
 
     def ready_entries(self) -> List[InflightInstruction]:
-        return [e for e in self._collecting if not e.pending_slots]
+        return self._ready
 
     def on_dispatch(self, entry: InflightInstruction) -> None:
         self._collecting.remove(entry)
+        self._ready.remove(entry)
 
     # -- writeback: allocate every result in the cache ----------------------
 
@@ -236,6 +284,7 @@ def simulate_rfc(
     entries_per_warp: int = RFC_ENTRIES_PER_WARP,
     preload: Optional[Dict[int, int]] = None,
     recorder=None,
+    fast_forward: bool = True,
 ) -> SimulationResult:
     """Run the RFC comparison design over ``trace``."""
     engine = SMEngine(
@@ -247,5 +296,6 @@ def simulate_rfc(
         memory_seed=memory_seed,
         preload=preload,
         recorder=recorder,
+        fast_forward=fast_forward,
     )
     return engine.run()

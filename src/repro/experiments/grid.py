@@ -671,7 +671,7 @@ def run_grid(
             key = (record.point.benchmark.upper(), record.point.design,
                    record.point.window)
             run = result.results[key]
-            telemetry.emit({
+            record_fields = {
                 "type": "point",
                 "benchmark": record.point.benchmark.upper(),
                 "design": record.point.design,
@@ -682,7 +682,15 @@ def run_grid(
                 "cycles": run.counters.cycles,
                 "instructions": run.counters.instructions,
                 "ipc": run.ipc,
-            })
+            }
+            if record.source == "sim":
+                # Only a fresh simulation says anything about the
+                # engine's fast-forward coverage; memo/cache hits
+                # would just replay a stale number.
+                record_fields["fast_forwarded_cycles"] = (
+                    run.counters.fast_forwarded_cycles
+                )
+            telemetry.emit(record_fields)
         if progress is not None:
             done = len(result.records) + len(result.failures)
             progress(

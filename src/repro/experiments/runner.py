@@ -262,6 +262,44 @@ def using_device_dispatch(jobs: int, executor: str = "thread"):
         set_device_dispatch(*previous)
 
 
+#: Whether engines launched by this process use event-horizon
+#: fast-forward.  Results are bit-identical either way (the engine's
+#: core contract, enforced by the differential suites), so this is a
+#: diagnostic kill switch, not a result knob — which is also why it is
+#: deliberately NOT part of any cache key.
+_fast_forward: bool = True
+
+
+def set_fast_forward(enabled: bool) -> None:
+    """Set whether this process's simulator runs fast-forward."""
+    global _fast_forward
+    _fast_forward = bool(enabled)
+
+
+def fast_forward_enabled() -> bool:
+    """Whether engines launched by this process fast-forward."""
+    return _fast_forward
+
+
+@contextlib.contextmanager
+def using_fast_forward(enabled: bool):
+    """Temporarily override the fast-forward kill switch (CLI plumbing).
+
+    With fast-forward *disabled*, :func:`run_design` bypasses the memo
+    and the on-disk cache in both directions: a ``--no-fast-forward``
+    run exists to exercise the per-cycle engine path, so serving it a
+    cached (fast-forwarded) result would defeat its purpose, and its
+    own result is not stored because ``fast_forwarded_cycles`` would
+    poison later cache hits.
+    """
+    previous = _fast_forward
+    set_fast_forward(enabled)
+    try:
+        yield
+    finally:
+        set_fast_forward(previous)
+
+
 def execute_run(
     benchmark: str,
     design: str,
@@ -290,9 +328,11 @@ def execute_run(
         return simulate_device(
             design, trace, num_sms=scale.num_sms, window_size=window_size,
             memory_seed=scale.memory_seed, jobs=jobs, executor=executor,
+            fast_forward=_fast_forward,
         ).to_simulation_result()
     return simulate_design(
-        design, trace, window_size=window_size, memory_seed=scale.memory_seed
+        design, trace, window_size=window_size, memory_seed=scale.memory_seed,
+        fast_forward=_fast_forward,
     )
 
 
@@ -317,6 +357,12 @@ def run_design(
         scale: run size.
     """
     validate_design(design)
+    if not _fast_forward:
+        # Kill-switch runs exist to exercise the per-cycle path: don't
+        # serve them cached fast-forwarded results, don't store theirs
+        # (see using_fast_forward).
+        return execute_run(benchmark, design, window_size=window_size,
+                           scale=scale)
     key = memo_key(benchmark, design, window_size, scale)
     if key in _run_cache:
         return _run_cache[key]

@@ -77,19 +77,21 @@ def _last_writes(trace: KernelTrace) -> Dict[Tuple[int, int], object]:
     return last
 
 
-def _run_case(case: TraceCase, design: str):
+def _run_case(case: TraceCase, design: str, fast_forward: bool = True):
     """Execute ``case`` on ``design``; -> (SimulationResult, recorders)."""
     if case.num_sms <= 1:
         recorder = TraceRecorder(capacity=RECORDER_CAPACITY)
         result = simulate_design(
             design, case.trace, window_size=case.window,
-            memory_seed=case.memory_seed, recorder=recorder)
+            memory_seed=case.memory_seed, recorder=recorder,
+            fast_forward=fast_forward)
         return result, [recorder]
     device = simulate_device(
         design, case.trace, num_sms=case.num_sms, window_size=case.window,
         memory_seed=case.memory_seed, jobs=1, executor="serial",
         recorder_factory=lambda sm_id: TraceRecorder(
             capacity=RECORDER_CAPACITY),
+        fast_forward=fast_forward,
     )
     recorders = [device.recorders[sm_id]
                  for sm_id in sorted(device.recorders)]
@@ -176,13 +178,16 @@ def _commit_detail(reference: ReferenceResult,
 
 
 def compare_case(case: TraceCase, design: str,
-                 reference: Optional[ReferenceResult] = None
-                 ) -> List[Mismatch]:
+                 reference: Optional[ReferenceResult] = None,
+                 fast_forward: bool = True) -> List[Mismatch]:
     """Run ``case`` on ``design`` and diff it against the reference.
 
     Returns every observed divergence (empty list = architecturally
     equivalent).  ``reference`` may be passed in to amortize the
     functional execution across designs sharing a trace.
+    ``fast_forward=False`` runs the engine cycle-by-cycle — the
+    campaign uses it to attribute a mismatch to the design model vs.
+    the event-horizon machinery.
     """
     try:
         spec = get_design(design)
@@ -193,7 +198,7 @@ def compare_case(case: TraceCase, design: str,
     if reference is None:
         reference = execute_reference(case.trace,
                                       memory_seed=case.memory_seed)
-    result, recorders = _run_case(case, design)
+    result, recorders = _run_case(case, design, fast_forward=fast_forward)
     mismatches: List[Mismatch] = []
 
     def found(kind: str, detail: str) -> None:
@@ -237,7 +242,13 @@ def case_for(fuzz_case: FuzzCase, design: str,
 
 @dataclass
 class FuzzFailure:
-    """A caught, minimized differential failure."""
+    """A caught, minimized differential failure.
+
+    ``fast_forward_only`` is True when the same case re-run with the
+    engine's per-cycle kill switch matched the reference — i.e. the
+    divergence is in the event-horizon fast-forward machinery, not in
+    the design model itself.
+    """
 
     seed: int
     design: str
@@ -245,6 +256,7 @@ class FuzzFailure:
     mismatches: List[Mismatch]
     shrink: ShrinkResult
     corpus_path: Optional[Path] = None
+    fast_forward_only: bool = False
 
     @property
     def case(self) -> TraceCase:
@@ -345,12 +357,23 @@ def run_fuzz(
                     runs += 1
                     if not mismatches:
                         continue
+                    # Attribute the mismatch before reporting: re-run
+                    # the same case with fast-forward killed.  A clean
+                    # per-cycle run pins the bug on the event-horizon
+                    # machinery rather than the design model.
+                    slow_mismatches = compare_case(
+                        case, design, reference=references[key],
+                        fast_forward=False)
+                    fast_forward_only = not slow_mismatches
                     if log is not None:
+                        blame = ("fast-forward machinery"
+                                 if fast_forward_only else "design model")
                         log(f"seed {case_seed}: MISMATCH on {design} "
-                            f"(num_sms={num_sms}); shrinking ...")
+                            f"(num_sms={num_sms}, {blame}); shrinking ...")
                     case = replace(case, meta=dict(
                         case.meta,
                         mismatch=[m.kind for m in mismatches],
+                        fast_forward_only=fast_forward_only,
                     ))
                     shrink = shrink_case(case, _reproduces(design),
                                          max_attempts=max_shrink)
@@ -373,6 +396,7 @@ def run_fuzz(
                             mismatches=mismatches,
                             shrink=shrink,
                             corpus_path=corpus_path,
+                            fast_forward_only=fast_forward_only,
                         ),
                     )
             if log is not None and (index + 1) % 10 == 0:

@@ -59,6 +59,11 @@ class ArbitrationResult:
     conflicts: int = 0
 
 
+def _request_age(request: AccessRequest) -> int:
+    """Arbitration priority: oldest issue cycle wins the port."""
+    return request.age
+
+
 class BankArbiter:
     """Single-port-per-bank arbitration with write priority."""
 
@@ -77,23 +82,61 @@ class BankArbiter:
         Denied requests count as conflicts; the caller retries them next
         cycle (requests are regenerated from collector/queue state).
         """
-        by_bank: Dict[int, Dict[str, List[AccessRequest]]] = {}
+        # Fast paths: a lone request can't conflict with anything, and
+        # when every request targets a distinct bank they are all
+        # granted as-is — both cases skip the per-bank bucketing and
+        # the per-bank age sorts entirely.
+        if isinstance(reads, list) and isinstance(writes, list):
+            total = len(reads) + len(writes)
+            if total == 0:
+                return ArbitrationResult()
+            if total == 1:
+                request = (reads or writes)[0]
+                self._check(request)
+                if reads:
+                    return ArbitrationResult(granted_reads=[request])
+                return ArbitrationResult(granted_writes=[request])
+            if total <= self.num_banks:
+                banks = {request.bank for request in writes}
+                for request in reads:
+                    banks.add(request.bank)
+                if len(banks) == total:
+                    if not (min(banks) >= 0 and max(banks) < self.num_banks):
+                        for request in writes:
+                            self._check(request)
+                        for request in reads:
+                            self._check(request)
+                    return ArbitrationResult(granted_reads=list(reads),
+                                             granted_writes=list(writes))
+        # Contended path.  The winner per bank is the oldest request,
+        # first-arrived on age ties — min() with a stable scan returns
+        # exactly what the previous sort-then-[0] did, without sorting
+        # the losers.
+        by_bank: Dict[int, tuple] = {}
         for request in writes:
             self._check(request)
-            by_bank.setdefault(request.bank, {"r": [], "w": []})["w"].append(request)
+            bucket = by_bank.get(request.bank)
+            if bucket is None:
+                bucket = by_bank[request.bank] = ([], [])
+            bucket[1].append(request)
         for request in reads:
             self._check(request)
-            by_bank.setdefault(request.bank, {"r": [], "w": []})["r"].append(request)
+            bucket = by_bank.get(request.bank)
+            if bucket is None:
+                bucket = by_bank[request.bank] = ([], [])
+            bucket[0].append(request)
 
         result = ArbitrationResult()
-        for bank_requests in by_bank.values():
-            write_list = sorted(bank_requests["w"], key=lambda r: r.age)
-            read_list = sorted(bank_requests["r"], key=lambda r: r.age)
+        for read_list, write_list in by_bank.values():
             if write_list:
-                result.granted_writes.append(write_list[0])
+                result.granted_writes.append(
+                    write_list[0] if len(write_list) == 1
+                    else min(write_list, key=_request_age))
                 result.conflicts += len(write_list) - 1 + len(read_list)
             elif read_list:
-                result.granted_reads.append(read_list[0])
+                result.granted_reads.append(
+                    read_list[0] if len(read_list) == 1
+                    else min(read_list, key=_request_age))
                 result.conflicts += len(read_list) - 1
         return result
 

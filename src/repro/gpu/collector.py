@@ -45,11 +45,16 @@ class InflightInstruction:
             by hand (tests, external drivers) may leave it ``None`` and
             the provider decodes lazily on insert.
         key: ``(warp_id, trace_index)`` — the entry's identity.
+        head_request: cached :class:`AccessRequest` for the head pending
+            slot.  A stalled slot re-requests the same bank every cycle
+            until granted, so providers reuse the object instead of
+            rebuilding it (they invalidate by comparing the cached
+            tag's slot against the current head).
     """
 
     __slots__ = ("warp_id", "trace_index", "inst", "issue_cycle",
                  "dispatch_cycle", "operand_values", "pending_slots",
-                 "dec", "key")
+                 "dec", "key", "head_request")
 
     def __init__(
         self,
@@ -71,6 +76,7 @@ class InflightInstruction:
         self.pending_slots = [] if pending_slots is None else pending_slots
         self.dec = dec
         self.key = (warp_id, trace_index)
+        self.head_request: Optional[AccessRequest] = None
 
     @property
     def operands_ready(self) -> bool:
@@ -114,6 +120,49 @@ class OperandProvider:
     emitted by the stages.
     """
 
+    #: True when :meth:`can_accept` ignores ``warp_id`` (one shared
+    #: structure gates every warp).  The issue stage exploits this: one
+    #: acceptance check settles every collector-stalled warp at once.
+    #: Per-warp organizations (the BOW per-warp collectors) keep False.
+    shared_pool = False
+
+    #: True when :meth:`read_requests` already skips tags in
+    #: ``engine.state.inflight_read_tags``, letting the bank stage drop
+    #: its per-cycle safety re-filter.  External providers keep False
+    #: and get filtered by the engine.
+    prefilters_inflight = False
+
+    #: True when the provider honors the tick-guard contract, letting
+    #: the engine skip whole stage calls on cycles it can prove them
+    #: idle.  The contract:
+    #:
+    #: * ``heads_pending`` counts entries whose head operand slot still
+    #:   awaits data (requesting a bank port, granted-in-flight, or in
+    #:   provider-internal service).  The engine only calls the bank
+    #:   stage when ``heads_pending`` exceeds the granted-in-flight tag
+    #:   count (or writes / due deliveries exist), so the count may
+    #:   over-approximate requestable heads but never under-approximate.
+    #: * ``due_heap`` is a min-heap of provider-internal delivery
+    #:   cycles (e.g. RFC cache hits) that :meth:`read_requests` must
+    #:   be called on; providers without internal timers share the
+    #:   empty-tuple default.
+    #: * the list returned by :meth:`ready_entries` keeps a stable
+    #:   identity (mutated in place), so the engine can test it for
+    #:   emptiness without a call.
+    #: * :meth:`read_requests` is side-effect-free on cycles where no
+    #:   head is requestable and no ``due_heap`` entry is due.
+    #:
+    #: External providers keep False and every stage runs every cycle.
+    tick_guards = False
+
+    #: Entries whose head operand slot still awaits data (see
+    #: ``tick_guards``).  Guarded providers maintain this incrementally.
+    heads_pending = 0
+
+    #: Min-heap of provider-internal delivery cycles (see
+    #: ``tick_guards``).
+    due_heap: tuple = ()
+
     def can_accept(self, warp_id: int) -> bool:
         """Can a new instruction of ``warp_id`` enter the collectors?"""
         raise NotImplementedError
@@ -131,7 +180,12 @@ class OperandProvider:
         raise NotImplementedError
 
     def ready_entries(self) -> List[InflightInstruction]:
-        """Instructions whose operands are complete, oldest-first per warp."""
+        """Instructions whose operands are complete, oldest-first per warp.
+
+        Callers treat the result as a read-only view: providers may
+        return internal state, so the dispatch stage copies before it
+        reorders.
+        """
         raise NotImplementedError
 
     def on_dispatch(self, entry: InflightInstruction) -> None:
@@ -148,6 +202,30 @@ class OperandProvider:
 
     def drain(self) -> None:
         """Kernel end: flush any state that still owes RF writes."""
+
+    # -- event-horizon fast-forward hooks -------------------------------
+
+    def next_event_cycle(self) -> Optional[int]:
+        """Earliest future cycle with a provider-internal event.
+
+        The engine's fast-forward loop never skips past this cycle.
+        ``None`` means the provider has no self-scheduled events (it
+        only reacts to engine-driven deliveries and completions, which
+        the engine tracks itself).  Implementations with internal
+        timers — e.g. the RFC's pipelined cache-hit deliveries — must
+        report their earliest due cycle here.
+        """
+        return None
+
+    def on_fast_forward(self, span: int) -> None:
+        """The engine skipped ``span`` provably idle cycles in bulk.
+
+        Replay any per-cycle observational work the provider performs
+        even when nothing moves (e.g. BOW occupancy sampling inside
+        :meth:`read_requests`, which is not called for skipped cycles).
+        Architectural state must not change: by construction nothing
+        could make progress in the span.
+        """
 
 
 def ensure_decoded(entry: InflightInstruction, engine) -> DecodedOp:
@@ -168,6 +246,10 @@ class BaselineCollectorPool(OperandProvider):
     bank accepts the write.
     """
 
+    shared_pool = True  # can_accept gates on the pool, not the warp
+    prefilters_inflight = True  # read_requests skips in-flight tags
+    tick_guards = True  # heads_pending / stable ready list maintained
+
     def __init__(self, engine, num_units: int):
         if num_units < 1:
             raise SimulationError(f"num_units must be >= 1, got {num_units}")
@@ -176,6 +258,11 @@ class BaselineCollectorPool(OperandProvider):
         self._occupied: Dict[Tuple[int, int], InflightInstruction] = {}
         # Entries currently collecting (i.e. consuming an OCU).
         self._collecting: List[InflightInstruction] = []
+        # Operand-complete entries, maintained incrementally at the
+        # ready transition (insert with no sources, or last delivery)
+        # so ready_entries never rescans the pool.
+        self._ready: List[InflightInstruction] = []
+        self.heads_pending = 0
 
     # -- issue ----------------------------------------------------------
 
@@ -189,26 +276,37 @@ class BaselineCollectorPool(OperandProvider):
         entry.pending_slots = list(range(dec.num_sources))
         self._occupied[entry.key] = entry
         self._collecting.append(entry)
+        if entry.pending_slots:
+            self.heads_pending += 1
+        else:
+            self._ready.append(entry)
 
     # -- collection ------------------------------------------------------
 
     def read_requests(self, cycle: int) -> List[AccessRequest]:
         requests = []
+        # Skip slots whose read was already granted (the engine would
+        # filter them anyway; not building the request is cheaper).
+        inflight_tags = self.engine.state.inflight_read_tags
         for entry in self._collecting:
             pending = entry.pending_slots
             if not pending:
                 continue
             slot = pending[0]
-            dec = entry.dec
-            requests.append(
-                AccessRequest(
+            request = entry.head_request
+            if request is None or request.tag[1] != slot:
+                dec = entry.dec
+                request = AccessRequest(
                     bank=dec.source_banks[slot],
                     warp_id=entry.warp_id,
                     register_id=dec.source_ids[slot],
                     tag=(entry.key, slot),
                     age=entry.issue_cycle,
                 )
-            )
+                entry.head_request = request
+            if request.tag in inflight_tags:
+                continue
+            requests.append(request)
         return requests
 
     def deliver(self, tag: object, value: int) -> None:
@@ -218,12 +316,16 @@ class BaselineCollectorPool(OperandProvider):
             raise SimulationError(f"unexpected operand delivery {tag!r}")
         entry.pending_slots.pop(0)
         entry.operand_values[slot] = value
+        if not entry.pending_slots:
+            self.heads_pending -= 1
+            self._ready.append(entry)
 
     def ready_entries(self) -> List[InflightInstruction]:
-        return [e for e in self._collecting if not e.pending_slots]
+        return self._ready
 
     def on_dispatch(self, entry: InflightInstruction) -> None:
         self._collecting.remove(entry)
+        self._ready.remove(entry)
 
     # -- writeback --------------------------------------------------------
 

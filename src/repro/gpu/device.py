@@ -263,16 +263,16 @@ class DeviceResult:
         )
 
 
-def _run_sm(args: Tuple[str, KernelTrace, int, Optional[GPUConfig], int],
+def _run_sm(args: Tuple[str, KernelTrace, int, Optional[GPUConfig], int, bool],
             recorder=None) -> Tuple[float, SimulationResult]:
     """Simulate one SM partition; the unit of (possibly remote) dispatch."""
-    design, sm_trace, window_size, config, memory_seed = args
+    design, sm_trace, window_size, config, memory_seed, fast_forward = args
     from ..core.bow_sm import simulate_design
 
     started = time.perf_counter()
     result = simulate_design(design, sm_trace, window_size=window_size,
                              config=config, memory_seed=memory_seed,
-                             recorder=recorder)
+                             recorder=recorder, fast_forward=fast_forward)
     return time.perf_counter() - started, result
 
 
@@ -399,6 +399,7 @@ def simulate_device(
     retry=None,
     recorder_factory: Optional[Callable[[int], object]] = None,
     progress: Optional[Callable[[str], None]] = None,
+    fast_forward: bool = True,
 ) -> DeviceResult:
     """Simulate ``design`` over ``trace`` at device scale.
 
@@ -429,6 +430,8 @@ def simulate_device(
             per-SM recorders land on ``DeviceResult.recorders``.
             Requires an in-process executor (serial or thread).
         progress: optional callback receiving one line per finished SM.
+        fast_forward: forwarded to every SM engine; ``False`` ticks
+            each engine cycle-by-cycle (the event-horizon kill switch).
 
     Raises:
         SimulationError: on an invalid configuration, or — after every
@@ -463,7 +466,8 @@ def simulate_device(
                      for sm in partition.sms}
 
     work = [
-        (sm.sm_id, (design, sm.trace, window_size, config, memory_seed))
+        (sm.sm_id, (design, sm.trace, window_size, config, memory_seed,
+                    fast_forward))
         for sm in partition.sms
     ]
     per_sm: Dict[int, SimulationResult] = {}

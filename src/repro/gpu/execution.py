@@ -34,50 +34,65 @@ def latency_for(inst: Instruction, config: GPUConfig) -> int:
     raise SimulationError(f"latency_for called for memory op {inst.opcode.name}")
 
 
+#: Dispatch-bucket indices.  ``DecodedOp.bucket`` carries one of these
+#: so the per-cycle budget check is two list indexings instead of dict
+#: lookups keyed by enum members (enum ``__hash__`` is measurable
+#: overhead on the hottest dispatch path).  Control and NOP resolve in
+#: the scheduler/branch unit; model them as sharing the ALU ports.
+BUCKET_ALU, BUCKET_SFU, BUCKET_MEM = 0, 1, 2
+
+_BUCKET_OF: Dict[OpClass, int] = {
+    OpClass.ALU: BUCKET_ALU,
+    OpClass.SFU: BUCKET_SFU,
+    OpClass.MEM_LOAD: BUCKET_MEM,
+    OpClass.MEM_STORE: BUCKET_MEM,
+    OpClass.CONTROL: BUCKET_ALU,
+    OpClass.NOP: BUCKET_ALU,
+}
+
+
 class ExecutionUnits:
     """Per-class dispatch-width tracker for one cycle."""
 
     def __init__(self, config: GPUConfig):
         self.config = config
-        self._capacity = {
-            OpClass.ALU: config.num_alu_units,
-            OpClass.SFU: config.num_sfu_units,
-            OpClass.MEM_LOAD: config.num_mem_units,
-            OpClass.MEM_STORE: config.num_mem_units,
-            # Control and NOP resolve in the scheduler/branch unit; model
-            # them as sharing the ALU dispatch ports.
-            OpClass.CONTROL: config.num_alu_units,
-            OpClass.NOP: config.num_alu_units,
-        }
-        self._used: Dict[OpClass, int] = {}
+        self._capacity = [
+            config.num_alu_units,  # BUCKET_ALU
+            config.num_sfu_units,  # BUCKET_SFU
+            config.num_mem_units,  # BUCKET_MEM
+        ]
+        self._used = [0, 0, 0]
+        # True when any dispatch happened since the last reset; lets
+        # the engine skip new_cycle() on untouched cycles.
+        self._any = False
 
     def new_cycle(self) -> None:
         """Reset this cycle's dispatch budget."""
-        self._used = {}
+        if self._any:
+            used = self._used
+            used[0] = used[1] = used[2] = 0
+            self._any = False
 
-    def _bucket(self, op_class: OpClass) -> OpClass:
-        if op_class in (OpClass.MEM_LOAD, OpClass.MEM_STORE):
-            return OpClass.MEM_LOAD
-        if op_class in (OpClass.CONTROL, OpClass.NOP):
-            return OpClass.ALU
-        return op_class
+    def _bucket(self, op_class: OpClass) -> int:
+        return _BUCKET_OF[op_class]
 
     def can_dispatch(self, op_class: OpClass) -> bool:
-        bucket = self._bucket(op_class)
-        return self._used.get(bucket, 0) < self._capacity[bucket]
+        bucket = _BUCKET_OF[op_class]
+        return self._used[bucket] < self._capacity[bucket]
 
     def dispatch(self, op_class: OpClass) -> None:
-        bucket = self._bucket(op_class)
         if not self.can_dispatch(op_class):
             raise SimulationError(f"dispatch over capacity for {op_class}")
-        self._used[bucket] = self._used.get(bucket, 0) + 1
+        self._used[_BUCKET_OF[op_class]] += 1
+        self._any = True
 
     # -- decoded fast path: the caller already holds the bucket ---------
 
-    def can_dispatch_bucket(self, bucket: OpClass) -> bool:
+    def can_dispatch_bucket(self, bucket: int) -> bool:
         """`can_dispatch` for a pre-bucketed class (decode-cache path)."""
-        return self._used.get(bucket, 0) < self._capacity[bucket]
+        return self._used[bucket] < self._capacity[bucket]
 
-    def dispatch_bucket(self, bucket: OpClass) -> None:
+    def dispatch_bucket(self, bucket: int) -> None:
         """`dispatch` for a pre-bucketed class the caller just checked."""
-        self._used[bucket] = self._used.get(bucket, 0) + 1
+        self._used[bucket] += 1
+        self._any = True

@@ -22,6 +22,13 @@ from ..errors import SimulationError
 class WarpSchedulerBase:
     """Shared bookkeeping: which warps this scheduler owns."""
 
+    #: True when :meth:`idle_span_limit` can return something other
+    #: than ``None`` over the scheduler's lifetime, so the engine's
+    #: fast-forward horizon must consult it every idle cycle.  Static
+    #: unlimited schedulers (GTO, LRR, an undersubscribed two-level)
+    #: keep False and are skipped entirely.
+    dynamic_idle_limit = False
+
     def __init__(self, scheduler_id: int, warp_ids: Sequence[int]):
         if not warp_ids:
             raise SimulationError(f"scheduler {scheduler_id} owns no warps")
@@ -37,6 +44,25 @@ class WarpSchedulerBase:
 
     def note_stall(self, warp_id: int) -> None:
         """Record that ``warp_id`` could not issue when tried."""
+
+    # -- event-horizon fast-forward hooks -------------------------------
+    #
+    # During a provably idle span the engine charges stalls in bulk
+    # instead of ticking every cycle; these hooks let it replay the
+    # scheduler's per-cycle behaviour without calling candidate_order
+    # (which may mutate rotation state) once per skipped cycle.
+
+    def idle_span_limit(self) -> int | None:
+        """Max skippable idle cycles, or ``None`` for unlimited.
+
+        Return 0 when consecutive stalls change future scheduling
+        decisions in ways a bulk update cannot replay (e.g. two-level
+        demotion), forcing the engine back to per-cycle stepping.
+        """
+        return None
+
+    def on_idle_span(self, span: int) -> None:
+        """Replay the effect of ``span`` all-stall cycles in bulk."""
 
 
 class GTOScheduler(WarpSchedulerBase):
@@ -73,6 +99,11 @@ class GTOScheduler(WarpSchedulerBase):
         if warp_id == self._greedy:
             self._greedy = None
 
+    def on_idle_span(self, span: int) -> None:
+        # Every owned warp stalls each idle cycle, so the greedy warp
+        # (if any) was noted stalled and cleared.
+        self._greedy = None
+
 
 class TwoLevelScheduler(WarpSchedulerBase):
     """Two-level scheduling (Gebhart et al.).
@@ -97,6 +128,9 @@ class TwoLevelScheduler(WarpSchedulerBase):
         ordered = sorted(warp_ids)
         self.active: List[int] = ordered[:active_size]
         self.pending: List[int] = ordered[active_size:]
+        # The pending queue's *size* is invariant (note_stall swaps one
+        # for one), so whether idle_span_limit can ever bite is fixed.
+        self.dynamic_idle_limit = bool(self.pending)
         self._stalls: dict = {}
 
     def candidate_order(self) -> List[int]:
@@ -119,6 +153,14 @@ class TwoLevelScheduler(WarpSchedulerBase):
             self.pending.append(warp_id)
             self.active.append(self.pending.pop(0))
 
+    def idle_span_limit(self) -> int | None:
+        # With warps waiting to be promoted, each stalled cycle moves
+        # the demotion counters and may reshuffle the active set —
+        # per-cycle stepping is the only faithful replay.  Once the
+        # pending queue is empty note_stall is a no-op (see above) and
+        # idle spans may be skipped freely.
+        return 0 if self.pending else None
+
 
 class LRRScheduler(WarpSchedulerBase):
     """Loose round-robin: rotate priority one warp per cycle."""
@@ -127,12 +169,22 @@ class LRRScheduler(WarpSchedulerBase):
         super().__init__(scheduler_id, warp_ids)
         self._pointer = 0
         self._ordered = sorted(self.warp_ids)
+        # The ownership set is fixed, so all rotations can be cached
+        # instead of rebuilt by slicing every cycle.
+        self._rotations = [
+            self._ordered[pivot:] + self._ordered[:pivot]
+            for pivot in range(len(self._ordered))
+        ]
 
     def candidate_order(self) -> List[int]:
-        ordered = self._ordered
-        pivot = self._pointer % len(ordered)
+        pivot = self._pointer % len(self._ordered)
         self._pointer += 1
-        return ordered[pivot:] + ordered[:pivot]
+        return self._rotations[pivot]
+
+    def on_idle_span(self, span: int) -> None:
+        # candidate_order advances the pointer once per cycle whether
+        # or not anything issues; replay the skipped rotations.
+        self._pointer += span
 
 
 def make_scheduler(policy: SchedulerPolicy, scheduler_id: int,

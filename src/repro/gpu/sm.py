@@ -33,9 +33,9 @@ from ..stats.counters import Counters
 from ..stats.trace import EventKind
 from .banks import BankArbiter
 from .collector import BaselineCollectorPool, InflightInstruction, OperandProvider
-from .decode import DecodedOp, decode_warp
+from .decode import DecodedOp, decode_warp_cached
 from .execution import ExecutionUnits
-from .memory import MemoryModel
+from .memory import CacheMix, MemoryModel
 from .regfile import BankedRegisterFile
 from .scheduler import make_scheduler
 from .scoreboard import Scoreboard
@@ -111,8 +111,12 @@ class SMEngine:
         timeline=None,
         preload: Optional[Dict[int, int]] = None,
         recorder=None,
+        fast_forward: bool = True,
     ):
         self.config = config or GPUConfig()
+        #: Event-horizon fast-forward kill switch.  ``False`` keeps the
+        #: original tick-every-cycle loop as the reference path.
+        self.fast_forward = bool(fast_forward)
         if trace.num_warps > self.config.max_warps_per_sm:
             raise SimulationError(
                 f"{trace.num_warps} warps exceed the SM limit "
@@ -121,7 +125,11 @@ class SMEngine:
         self.trace = trace
         self.counters = Counters()
         self.regfile = BankedRegisterFile(self.config)
-        self.memory = MemoryModel(self.config, seed=memory_seed)
+        self.memory = MemoryModel(
+            self.config, seed=memory_seed,
+            mix=CacheMix(l1_hit=self.config.mem_l1_hit_rate,
+                         l2_hit=self.config.mem_l2_hit_rate),
+        )
         if preload:
             # Launch-time input data (absolute addresses; use
             # MemoryModel.thread_address to target a warp's window).
@@ -137,7 +145,8 @@ class SMEngine:
         self.warps.sort(key=lambda w: w.warp_id)
         self._warp_by_id: Dict[int, _WarpState] = {}
         for warp in self.warps:
-            warp.decoded = decode_warp(warp.warp_id, warp.trace, self.config)
+            warp.decoded = decode_warp_cached(trace, warp.warp_id,
+                                              warp.trace, self.config)
             (warp.sb_pending, warp.sb_reads, warp.sb_preds,
              warp.sb_pred_reads) = (
                 self.scoreboard.warp_views(warp.warp_id)
@@ -174,6 +183,17 @@ class SMEngine:
             DispatchStage(self),
             IssueStage(self),
         )
+        # The fast-forward jump reuses the stall profile the issue
+        # stage charged on the (idle) cycle being extended.
+        self._issue_stage = self.stages[3]
+        # Horizon shortcuts: only schedulers whose idle_span_limit can
+        # ever bite are consulted per idle cycle, and a tick-guarded
+        # provider's due heap is peeked instead of called.
+        self._limit_schedulers = [
+            scheduler for scheduler in self.schedulers
+            if scheduler.dynamic_idle_limit
+        ]
+        self._peek_provider_due = getattr(self.provider, "tick_guards", False)
 
     @property
     def cycle(self) -> int:
@@ -230,23 +250,27 @@ class SMEngine:
         self.regfile.poke(warp_id, register_id, value)
         state = self.state
         state.write_age += 1
-        state.write_queue.append(
-            QueuedWrite(
-                warp_id=warp_id,
-                register_id=register_id,
-                value=value,
-                age=state.write_age,
-                bank=self.regfile.bank_of(warp_id, register_id),
-                entry=entry if release_on_grant else None,
-                release_on_grant=release_on_grant,
-            )
+        queued = QueuedWrite(
+            warp_id=warp_id,
+            register_id=register_id,
+            value=value,
+            age=state.write_age,
+            bank=self.regfile.bank_of(warp_id, register_id),
+            entry=entry if release_on_grant else None,
+            release_on_grant=release_on_grant,
         )
+        state.write_queue.append(queued)
+        state.write_requests.append(queued.request)
 
     def release_scoreboard(self, entry: InflightInstruction) -> None:
         """Release ``entry``'s destination and retire the instruction."""
         warp = self.warp_state(entry.warp_id)
+        # Releasing shrinks this warp's scoreboard views (and may clear
+        # its pending branch), so its cached stall outcome is stale.
+        self.state.issue_dirty.append(entry.warp_id)
         self.scoreboard.release(entry.warp_id, entry.inst)
-        if entry.inst.is_control:
+        dec = entry.dec
+        if dec.is_control if dec is not None else entry.inst.is_control:
             warp.control_pending = False
         self._retire(entry)
 
@@ -259,7 +283,8 @@ class SMEngine:
                 self.state.cycle, EventKind.COMMIT, warp=entry.warp_id,
                 trace_index=entry.trace_index, opcode=entry.inst.opcode.name,
             )
-        is_memory = entry.inst.is_memory
+        dec = entry.dec
+        is_memory = dec.is_memory if dec is not None else entry.inst.is_memory
         if is_memory:
             counters.mem_instructions += 1
         if entry.dispatch_cycle is not None:
@@ -286,21 +311,86 @@ class SMEngine:
         state = self.state
         counters = self.counters
         timeline = self.timeline
+        fast_forward = self.fast_forward
         new_cycle = self.units.new_cycle
+        provider = self.provider
         complete, banks, dispatch, issue = (
             stage.run for stage in self.stages
         )
+        # Tick guards: providers that maintain head-pressure counts (see
+        # OperandProvider.tick_guards) let the loop prove whole stages
+        # idle from O(1) peeks and skip the calls.  Each guard is exact
+        # about *progress* — a skipped stage is one that would have
+        # returned False — so counters, events, and state are identical
+        # with guards on or off; external providers take every call.
+        use_guards = getattr(provider, "tick_guards", False)
+        completion_heap = state.completion_heap
+        read_heap = state.read_heap
+        write_requests = state.write_requests
+        inflight_tags = state.inflight_read_tags
+        due_heap = provider.due_heap if use_guards else ()
+        ready_list = provider.ready_entries() if use_guards else None
+        deliver_reads = self.stages[1]._deliver_due_reads
+        collect = self.stages[1].collect
+        units = self.units
+        # Inline mirror of IssueStage's stable-profile cycle (its
+        # dirty/occupancy checks plus the O(1) charge) saves two call
+        # frames on the most common cycle shape.  It must replicate the
+        # stage's fast path exactly, so it only arms when no recorder
+        # wants per-cycle stall events; any other cycle falls through
+        # to the real issue() call.
+        issue_stage = self.stages[3]
+        issue_dirty = state.issue_dirty
+        issue_replay_ok = getattr(issue_stage, "_replay_ok", False)
+        issue_inline = use_guards and self.recorder is None
         idle_cycles = 0
         while state.active_warps or state.in_flight or state.write_queue:
             if state.cycle >= max_cycles:
                 raise DeadlockError("max_cycles exceeded", state.cycle)
-            state.cycle += 1
-            new_cycle()
-            progress = complete() | banks() | dispatch() | issue()
-            counters.cycles = state.cycle
+            cycle = state.cycle = state.cycle + 1
+            if units._any:
+                new_cycle()
+            if use_guards:
+                progress = (
+                    complete()
+                    if completion_heap and completion_heap[0] <= cycle
+                    else False
+                )
+                if read_heap and read_heap[0] <= cycle:
+                    progress |= deliver_reads(cycle)
+                if (
+                    write_requests
+                    or provider.heads_pending > len(inflight_tags)
+                    or (due_heap and due_heap[0] <= cycle)
+                ):
+                    progress |= collect(cycle)
+                if ready_list:
+                    progress |= dispatch()
+                profile = issue_stage._profile
+                if (
+                    issue_inline
+                    and profile is not None
+                    and not issue_dirty
+                    and (state.active_warps or not issue_replay_ok)
+                    and (
+                        profile.occupancy_gen == state.occupancy_gen
+                        or not profile.collector_ids
+                    )
+                ):
+                    # Stable profile: same charge _run_profile's fast
+                    # path would make, without entering the stage.
+                    profile.occupancy_gen = state.occupancy_gen
+                    counters.issue_stalls_scoreboard += profile.n_scoreboard
+                    counters.issue_stalls_collector += profile.n_collector
+                    issue_stage._pending_idle += 1
+                else:
+                    progress |= issue()
+            else:
+                progress = complete() | banks() | dispatch() | issue()
+            counters.cycles = cycle
             if timeline is not None:
                 timeline.maybe_sample(
-                    state.cycle, counters,
+                    cycle, counters,
                     self.regfile.reads, self.regfile.writes,
                 )
             if progress:
@@ -309,6 +399,10 @@ class SMEngine:
                 idle_cycles += 1
                 if idle_cycles > _DEADLOCK_LIMIT:
                     raise DeadlockError("no forward progress", state.cycle)
+                if fast_forward:
+                    span = self._fast_forward_span(idle_cycles, max_cycles)
+                    if span > 0:
+                        idle_cycles += self._apply_fast_forward(span)
         self.provider.drain()
         self._drain_write_queue()
         counters.rf_reads = self.regfile.reads
@@ -326,6 +420,133 @@ class SMEngine:
             register_image=self.regfile.snapshot(),
             memory_image=self.memory.image_snapshot(),
         )
+
+    # ------------------------------------------------------------------
+    # event-horizon fast-forward
+    # ------------------------------------------------------------------
+
+    def _fast_forward_span(self, idle_cycles: int, max_cycles: int) -> int:
+        """How many provably idle cycles follow the current one.
+
+        The horizon is the earliest future cycle at which *anything*
+        could change: the next scheduled completion, the next bank/
+        crossbar read delivery, the provider's next internal event
+        (e.g. an RFC hit delivery), a scheduler whose bulk behaviour is
+        not derivable (two-level demotion), or the deadlock /
+        ``max_cycles`` boundaries — those last cycles must be simulated
+        (or reached) per-cycle so the raise fires with the reference
+        cycle number.  Every cycle strictly before the horizon is idle
+        by construction, so the loop may jump to ``horizon - 1`` and
+        charge the span in bulk.
+        """
+        state = self.state
+        cycle = state.cycle
+        # Jumping *to* max_cycles is fine: the loop-top check then
+        # raises with the same cycle stamp as the per-cycle path.
+        horizon = min(
+            max_cycles + 1,
+            cycle + (_DEADLOCK_LIMIT - idle_cycles) + 1,
+        )
+        # The stages drain every due heap head when it falls due, so at
+        # this point (after the cycle's stages ran) a bare peek is the
+        # exact earliest future event — no stale-head sweep needed.
+        heap = state.completion_heap
+        if heap and heap[0] < horizon:
+            horizon = heap[0]
+        heap = state.read_heap
+        if heap and heap[0] < horizon:
+            horizon = heap[0]
+        if self._peek_provider_due:
+            heap = self.provider.due_heap
+            if heap and heap[0] < horizon:
+                horizon = heap[0]
+        else:
+            due = self.provider.next_event_cycle()
+            if due is not None and due < horizon:
+                horizon = due
+        for scheduler in self._limit_schedulers:
+            limit = scheduler.idle_span_limit()
+            if limit is not None and cycle + 1 + limit < horizon:
+                horizon = cycle + 1 + limit
+        return horizon - 1 - cycle
+
+    def _apply_fast_forward(self, span: int) -> int:
+        """Charge ``span`` skipped idle cycles in bulk; returns the span.
+
+        Replays exactly what the per-cycle loop would have recorded for
+        each skipped cycle: one issue-stall counter bump and one
+        (coalesced, ``count=span``) ISSUE_STALL event per stalled warp,
+        dispatch-rotor advance when ready entries exist, exec-busy
+        stalls for ready-but-undispatchable entries, scheduler and
+        provider bulk hooks, and the owed timeline samples.
+
+        The issue profile is the stall log the issue stage charged on
+        the idle cycle being extended: issue-relevant state only
+        changes at an issue, a dispatch, or a scoreboard release, all
+        of which make their cycle a progress cycle — so across a
+        provably idle span the per-cycle walk would re-derive exactly
+        those charges.  The dispatch side is re-derived here instead,
+        because a provider-internal delivery (e.g. an RFC cache hit)
+        can make an entry ready without counting as progress; if any
+        ready entry could actually dispatch, the jump is aborted and
+        the caller falls back to per-cycle stepping — a bulk charge
+        must never guess.
+        """
+        state = self.state
+        provider = self.provider
+        recorder = self.recorder
+        counters = self.counters
+        profile = self._issue_stage.current_stalls()
+        ready = provider.ready_entries()
+        blocked = []
+        if ready:
+            undispatched_mem = state.undispatched_mem
+            can_dispatch = self.units.can_dispatch_bucket
+            for entry in ready:
+                dec = entry.dec
+                if dec.is_memory:
+                    pending = undispatched_mem.get(entry.warp_id)
+                    if pending and min(pending) != entry.trace_index:
+                        continue
+                if can_dispatch(dec.bucket):
+                    return 0
+                blocked.append(entry)
+
+        start = state.cycle
+        state.cycle += span
+        counters.cycles = state.cycle
+        counters.fast_forwarded_cycles += span
+        stamp = start + 1  # coalesced events carry the first skipped cycle
+        for warp_id, reason, pc, opcode_name in profile:
+            if reason == "scoreboard":
+                counters.issue_stalls_scoreboard += span
+            else:
+                counters.issue_stalls_collector += span
+            if recorder is not None:
+                recorder.emit(
+                    stamp, EventKind.ISSUE_STALL, warp=warp_id,
+                    reason=reason, trace_index=pc,
+                    opcode=opcode_name, count=span,
+                )
+        for entry in blocked:
+            counters.exec_busy_stalls += span
+            if recorder is not None:
+                recorder.emit(
+                    stamp, EventKind.DISPATCH_STALL, warp=entry.warp_id,
+                    reason="exec_busy", trace_index=entry.trace_index,
+                    opcode=entry.dec.opcode_name, count=span,
+                )
+        if ready:
+            state.dispatch_rotor += span
+        for scheduler in self.schedulers:
+            scheduler.on_idle_span(span)
+        provider.on_fast_forward(span)
+        if self.timeline is not None:
+            self.timeline.advance(
+                start, state.cycle, counters,
+                self.regfile.reads, self.regfile.writes,
+            )
+        return span
 
     def _finished(self) -> bool:
         state = self.state
@@ -347,6 +568,7 @@ class SMEngine:
                     register=queued.register_id,
                 )
         self.state.write_queue.clear()
+        self.state.write_requests.clear()
 
 
 def simulate_baseline(
@@ -355,8 +577,10 @@ def simulate_baseline(
     memory_seed: int = 0,
     preload: Optional[Dict[int, int]] = None,
     recorder=None,
+    fast_forward: bool = True,
 ) -> SimulationResult:
     """Run the unmodified-GPU configuration over ``trace``."""
     engine = SMEngine(trace, config=config, memory_seed=memory_seed,
-                      preload=preload, recorder=recorder)
+                      preload=preload, recorder=recorder,
+                      fast_forward=fast_forward)
     return engine.run()

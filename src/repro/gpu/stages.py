@@ -27,6 +27,7 @@ per-run state lives in :class:`EngineState`.
 
 from __future__ import annotations
 
+from heapq import heappop, heappush
 from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from ..stats.trace import EventKind
@@ -41,7 +42,7 @@ class QueuedWrite:
     """One pending RF write awaiting a bank port."""
 
     __slots__ = ("warp_id", "register_id", "value", "age", "bank",
-                 "entry", "release_on_grant")
+                 "entry", "release_on_grant", "request")
 
     def __init__(self, warp_id: int, register_id: int, value: int, age: int,
                  bank: int, entry: Optional[InflightInstruction] = None,
@@ -53,6 +54,13 @@ class QueuedWrite:
         self.bank = bank
         self.entry = entry
         self.release_on_grant = release_on_grant
+        # The bank request is immutable for the write's whole queue
+        # life, so it is built once here instead of every cycle the
+        # write waits for a port.  Its tag is the QueuedWrite itself.
+        self.request = AccessRequest(
+            bank=bank, warp_id=warp_id, register_id=register_id,
+            tag=self, age=age,
+        )
 
 
 class EngineState:
@@ -73,15 +81,33 @@ class EngineState:
         undispatched_mem: per-warp trace indexes of issued-but-
             undispatched memory ops (dispatch keeps program order so
             same-address load/store ordering holds within a warp).
+        completion_heap: min-heap of the due cycles present in
+            ``completions`` — the engine's event-horizon loop peeks it
+            for the earliest future completion in O(1).
+        read_heap: min-heap of the due cycles present in
+            ``reads_in_flight``.
+        issue_dirty: warp ids whose issue-relevant state (pc,
+            scoreboard views, ``control_pending``) changed since the
+            issue stage last derived their hazard outcome.  Dispatches
+            and scoreboard releases append here; the issue stage
+            consumes the list every cycle, so it stays short.  Warps
+            not on the list provably stall exactly as they did last
+            cycle, which lets the issue stage patch a cached stall
+            profile instead of re-walking every warp.
     """
 
-    __slots__ = ("cycle", "write_queue", "completions", "reads_in_flight",
-                 "inflight_read_tags", "in_flight", "active_warps",
-                 "dispatch_rotor", "write_age", "undispatched_mem")
+    __slots__ = ("cycle", "write_queue", "write_requests", "completions",
+                 "reads_in_flight", "inflight_read_tags", "in_flight",
+                 "active_warps", "dispatch_rotor", "write_age",
+                 "undispatched_mem", "completion_heap", "read_heap",
+                 "issue_dirty", "occupancy_gen")
 
     def __init__(self) -> None:
         self.cycle = 0
         self.write_queue: List[QueuedWrite] = []
+        # Mirror of write_queue's prebuilt AccessRequests, maintained
+        # incrementally so the bank stage never rebuilds it per cycle.
+        self.write_requests: List[AccessRequest] = []
         self.completions: Dict[
             int, List[Tuple[InflightInstruction, Optional[int]]]
         ] = {}
@@ -92,6 +118,30 @@ class EngineState:
         self.dispatch_rotor = 0
         self.write_age = 0
         self.undispatched_mem: Dict[int, Set[int]] = {}
+        self.completion_heap: List[int] = []
+        self.read_heap: List[int] = []
+        self.issue_dirty: List[int] = []
+        # Generation of provider occupancy (inserts and dispatches):
+        # the key for cached "collector" stall outcomes.
+        self.occupancy_gen = 0
+
+
+def next_due_cycle(heap: List[int], table: Dict[int, list],
+                   cycle: int) -> Optional[int]:
+    """The earliest due cycle after ``cycle``, discarding stale heads.
+
+    A heap entry goes stale when its bucket was drained at its due
+    cycle (the dict key is popped but the heap entry stays); stale
+    heads are lazily removed here and by the stages' per-cycle hygiene
+    pops, so the peek stays amortized O(log n).
+    """
+    while heap:
+        due = heap[0]
+        if due <= cycle or due not in table:
+            heappop(heap)
+            continue
+        return due
+    return None
 
 
 class _Stage:
@@ -115,7 +165,14 @@ class CompleteStage(_Stage):
 
     def run(self) -> bool:
         state = self.state
-        finishing = state.completions.pop(state.cycle, None)
+        cycle = state.cycle
+        heap = state.completion_heap
+        if not heap or heap[0] > cycle:
+            # Nothing can be due: every completions key is on the heap.
+            return False
+        while heap and heap[0] <= cycle:
+            heappop(heap)
+        finishing = state.completions.pop(cycle, None)
         if not finishing:
             return False
         on_complete = self.engine.provider.on_complete
@@ -127,39 +184,88 @@ class CompleteStage(_Stage):
 class BankStage(_Stage):
     """Reads and writes arbitrate together for the single-ported banks."""
 
-    __slots__ = ("_read_due_delta",)
+    __slots__ = ("_read_due_delta", "_crossbar_width", "_read_requests",
+                 "_filter_inflight", "_arbitrate", "_num_banks",
+                 "_check_request")
 
     def __init__(self, engine: "SMEngine"):
         super().__init__(engine)
         self._read_due_delta = max(1, engine.config.rf_read_latency)
+        self._crossbar_width = engine.config.crossbar_width
+        self._read_requests = engine.provider.read_requests
+        # Providers that declare prefilters_inflight skip already-granted
+        # tags themselves; others get the engine-level safety filter.
+        self._filter_inflight = not getattr(
+            engine.provider, "prefilters_inflight", False
+        )
+        # The arbiter is fixed at engine construction; bind its entry
+        # points once instead of chasing engine.arbiter every cycle.
+        self._arbitrate = engine.arbiter.arbitrate
+        self._num_banks = engine.arbiter.num_banks
+        self._check_request = engine.arbiter._check
 
     def run(self) -> bool:
+        cycle = self.state.cycle
+        return self._deliver_due_reads(cycle) | self.collect(cycle)
+
+    def collect(self, cycle: int) -> bool:
+        """The request/arbitrate half of the stage (deliveries aside).
+
+        The engine's tick-guarded loop calls the two halves separately —
+        deliveries only when the read heap says something is due,
+        collection only when a head is requestable, a write waits, or a
+        provider-internal delivery lands this cycle.
+        """
         engine = self.engine
         state = self.state
-        cycle = state.cycle
-        delivered = self._deliver_due_reads(cycle)
         tags = state.inflight_read_tags
-        reads = engine.provider.read_requests(cycle)
-        if tags and reads:
+        reads = self._read_requests(cycle)
+        if tags and reads and self._filter_inflight:
             reads = [request for request in reads if request.tag not in tags]
-        write_queue = state.write_queue
-        if write_queue:
-            writes = [
-                AccessRequest(
-                    bank=qw.bank,
-                    warp_id=qw.warp_id,
-                    register_id=qw.register_id,
-                    tag=index,
-                    age=qw.age,
+        writes = state.write_requests
+        if not reads and len(writes) == 1:
+            # Lone write: nothing to conflict with, grant in place —
+            # the same bookkeeping the granted_writes loop below does,
+            # minus the arbitration round trip.
+            request = writes[0]
+            if not 0 <= request.bank < self._num_banks:
+                self._check_request(request)  # raises
+            queued = request.tag
+            state.write_queue.remove(queued)
+            del writes[0]
+            engine.regfile.write(queued.warp_id, queued.register_id,
+                                 queued.value)
+            recorder = engine.recorder
+            if recorder is not None:
+                recorder.emit(
+                    cycle, EventKind.WRITEBACK, warp=queued.warp_id,
+                    reason="granted", register=queued.register_id,
+                    bank=queued.bank,
                 )
-                for index, qw in enumerate(write_queue)
-            ]
-        else:
-            writes = []
-        if not reads and not writes:
-            return delivered
+            if queued.release_on_grant and queued.entry is not None:
+                engine.release_scoreboard(queued.entry)
+            return True
+        if not writes:
+            if not reads:
+                return False
+            if len(reads) == 1:
+                # Lone read: nothing to conflict with, grant in place
+                # without building an ArbitrationResult.
+                request = reads[0]
+                if not 0 <= request.bank < self._num_banks:
+                    self._check_request(request)  # raises
+                due = cycle + self._read_due_delta
+                pending = state.reads_in_flight.get(due)
+                if pending is None:
+                    pending = state.reads_in_flight[due] = []
+                    heappush(state.read_heap, due)
+                tags.add(request.tag)
+                pending.append(
+                    (request.tag, request.warp_id, request.register_id)
+                )
+                return True
 
-        result = engine.arbiter.arbitrate(reads, writes)
+        result = self._arbitrate(reads, writes)
         recorder = engine.recorder
         engine.counters.bank_conflicts += result.conflicts
         if recorder is not None and result.conflicts:
@@ -168,11 +274,11 @@ class BankStage(_Stage):
 
         if result.granted_writes:
             regfile_write = engine.regfile.write
-            for index in sorted(
-                (request.tag for request in result.granted_writes),
-                reverse=True,
-            ):
-                queued = write_queue.pop(index)
+            write_queue = state.write_queue
+            for request in result.granted_writes:
+                queued = request.tag
+                write_queue.remove(queued)
+                writes.remove(request)
                 regfile_write(queued.warp_id, queued.register_id,
                               queued.value)
                 if recorder is not None:
@@ -188,27 +294,40 @@ class BankStage(_Stage):
             # Granted reads occupy the bank port now; the data lands in
             # the collector after the bank/crossbar pipeline latency.
             due = cycle + self._read_due_delta
-            pending = state.reads_in_flight.setdefault(due, [])
+            pending = state.reads_in_flight.get(due)
+            if pending is None:
+                pending = state.reads_in_flight[due] = []
+                heappush(state.read_heap, due)
             for request in result.granted_reads:
                 tags.add(request.tag)
                 pending.append(
                     (request.tag, request.warp_id, request.register_id)
                 )
             return True
-        return bool(result.granted_writes or delivered)
+        return bool(result.granted_writes)
 
     def _deliver_due_reads(self, cycle: int) -> bool:
         state = self.state
+        heap = state.read_heap
+        if not heap or heap[0] > cycle:
+            # Nothing can be due: every reads_in_flight key is on the heap.
+            return False
+        while heap and heap[0] <= cycle:
+            heappop(heap)
         due = state.reads_in_flight.pop(cycle, None)
         if not due:
             return False
         engine = self.engine
-        width = engine.config.crossbar_width
+        width = self._crossbar_width
         if width and len(due) > width:
             # The crossbar moves at most `width` operands per cycle;
             # the overflow slips to the next cycle.
             due, deferred = due[:width], due[width:]
-            state.reads_in_flight.setdefault(cycle + 1, []).extend(deferred)
+            overflow = state.reads_in_flight.get(cycle + 1)
+            if overflow is None:
+                overflow = state.reads_in_flight[cycle + 1] = []
+                heappush(heap, cycle + 1)
+            overflow.extend(deferred)
         discard = state.inflight_read_tags.discard
         regfile_read = engine.regfile.read
         deliver = engine.provider.deliver
@@ -218,14 +337,23 @@ class BankStage(_Stage):
         return True
 
 
+def _dispatch_age(entry):
+    """Oldest-first dispatch order within one warp's ready bucket."""
+    return (entry.issue_cycle, entry.trace_index)
+
+
 class DispatchStage(_Stage):
     """Send operand-complete instructions to the functional units."""
 
-    __slots__ = ()
+    __slots__ = ("_ready_entries",)
+
+    def __init__(self, engine: "SMEngine"):
+        super().__init__(engine)
+        self._ready_entries = engine.provider.ready_entries
 
     def run(self) -> bool:
         engine = self.engine
-        ready = engine.provider.ready_entries()
+        ready = self._ready_entries()
         if not ready:
             return False
         state = self.state
@@ -234,72 +362,98 @@ class DispatchStage(_Stage):
         recorder = engine.recorder
         units = engine.units
         undispatched_mem = state.undispatched_mem
-        # Round-robin across warps (paper SS IV-A), oldest-first per warp.
-        ready.sort(key=lambda e: (e.warp_id, e.issue_cycle, e.trace_index))
-        warp_order = sorted({entry.warp_id for entry in ready})
-        rotor = state.dispatch_rotor % len(warp_order)
-        warp_order = warp_order[rotor:] + warp_order[:rotor]
+        if len(ready) > 1:
+            # Round-robin across warps (paper SS IV-A), oldest-first
+            # per warp.  ``ready`` is the provider's own list, so order
+            # (and iterate) a copy — on_dispatch mutates the original.
+            # Grouping first and sorting the (tiny) per-warp buckets
+            # orders exactly like one global (warp, issue, trace) sort
+            # — (issue_cycle, trace_index) is unique within a warp —
+            # without building a key tuple per entry.
+            by_warp: Dict[int, List[InflightInstruction]] = {}
+            for entry in ready:
+                bucket = by_warp.get(entry.warp_id)
+                if bucket is None:
+                    bucket = by_warp[entry.warp_id] = []
+                bucket.append(entry)
+            warp_order = sorted(by_warp)
+            rotor = state.dispatch_rotor % len(warp_order)
+            warp_order = warp_order[rotor:] + warp_order[:rotor]
+            for bucket in by_warp.values():
+                if len(bucket) > 1:
+                    bucket.sort(key=_dispatch_age)
+            ready = [
+                entry
+                for warp_id in warp_order
+                for entry in by_warp[warp_id]
+            ]
+        else:
+            ready = (ready[0],)
+        # A lone entry needs no ordering, but the rotor still advances:
+        # it only ticks on cycles with ready entries, exactly as before.
         state.dispatch_rotor += 1
-        by_warp: Dict[int, List[InflightInstruction]] = {}
-        for entry in ready:
-            by_warp.setdefault(entry.warp_id, []).append(entry)
 
         dispatched = False
-        for warp_id in warp_order:
-            for entry in by_warp[warp_id]:
-                dec = entry.dec
-                if dec.is_memory:
-                    # Memory effects apply at dispatch: only the oldest
-                    # undispatched memory op of the warp may go.
-                    pending = undispatched_mem.get(warp_id)
-                    if pending and min(pending) != entry.trace_index:
-                        continue
-                bucket = dec.bucket
-                if not units.can_dispatch_bucket(bucket):
-                    counters.exec_busy_stalls += 1
-                    if recorder is not None:
-                        recorder.emit(
-                            cycle, EventKind.DISPATCH_STALL,
-                            warp=warp_id, reason="exec_busy",
-                            trace_index=entry.trace_index,
-                            opcode=dec.opcode_name,
-                        )
+        on_dispatch = engine.provider.on_dispatch
+        for entry in ready:
+            warp_id = entry.warp_id
+            dec = entry.dec
+            if dec.is_memory:
+                # Memory effects apply at dispatch: only the oldest
+                # undispatched memory op of the warp may go.
+                pending = undispatched_mem.get(warp_id)
+                if pending and min(pending) != entry.trace_index:
                     continue
-                units.dispatch_bucket(bucket)
-                engine.provider.on_dispatch(entry)
-                entry.dispatch_cycle = cycle
+            bucket = dec.bucket
+            if not units.can_dispatch_bucket(bucket):
+                counters.exec_busy_stalls += 1
                 if recorder is not None:
                     recorder.emit(
-                        cycle, EventKind.DISPATCH, warp=warp_id,
+                        cycle, EventKind.DISPATCH_STALL,
+                        warp=warp_id, reason="exec_busy",
                         trace_index=entry.trace_index,
                         opcode=dec.opcode_name,
                     )
-                # Drop the scoreboard's WAR reader marks: the operands
-                # are collected, and the guard is sampled this cycle
-                # (in _execute), so younger writers may proceed.
-                warp_state = engine.warp_state(warp_id)
-                reads = warp_state.sb_reads
-                for reg_id in dec.source_ids:
-                    remaining = reads.get(reg_id, 0) - 1
-                    if remaining > 0:
-                        reads[reg_id] = remaining
-                    else:
-                        reads.pop(reg_id, None)
-                if dec.guard_id is not None:
-                    pred_reads = warp_state.sb_pred_reads
-                    remaining = pred_reads.get(dec.guard_id, 0) - 1
-                    if remaining > 0:
-                        pred_reads[dec.guard_id] = remaining
-                    else:
-                        pred_reads.pop(dec.guard_id, None)
-                if dec.is_memory:
-                    undispatched_mem[warp_id].discard(entry.trace_index)
-                if dec.is_control:
-                    # The next PC is determined once the branch leaves
-                    # the collector; issue of the successor may resume.
-                    engine.warp_state(warp_id).control_pending = False
-                self._start_execution(entry, dec)
-                dispatched = True
+                continue
+            units.dispatch_bucket(bucket)
+            on_dispatch(entry)
+            state.occupancy_gen += 1
+            entry.dispatch_cycle = cycle
+            if recorder is not None:
+                recorder.emit(
+                    cycle, EventKind.DISPATCH, warp=warp_id,
+                    trace_index=entry.trace_index,
+                    opcode=dec.opcode_name,
+                )
+            # Drop the scoreboard's WAR reader marks: the operands
+            # are collected, and the guard is sampled this cycle
+            # (in _execute), so younger writers may proceed.
+            warp_state = engine.warp_state(warp_id)
+            # Dispatch drops this warp's WAR reader marks, may resolve
+            # its branch, and frees a provider slot — issue-relevant.
+            state.issue_dirty.append(warp_id)
+            reads = warp_state.sb_reads
+            for reg_id in dec.source_ids:
+                remaining = reads.get(reg_id, 0) - 1
+                if remaining > 0:
+                    reads[reg_id] = remaining
+                else:
+                    reads.pop(reg_id, None)
+            if dec.guard_id is not None:
+                pred_reads = warp_state.sb_pred_reads
+                remaining = pred_reads.get(dec.guard_id, 0) - 1
+                if remaining > 0:
+                    pred_reads[dec.guard_id] = remaining
+                else:
+                    pred_reads.pop(dec.guard_id, None)
+            if dec.is_memory:
+                undispatched_mem[warp_id].discard(entry.trace_index)
+            if dec.is_control:
+                # The next PC is determined once the branch leaves
+                # the collector; issue of the successor may resume.
+                warp_state.control_pending = False
+            self._start_execution(entry, dec)
+            dispatched = True
         return dispatched
 
     def _start_execution(self, entry: InflightInstruction, dec) -> None:
@@ -312,7 +466,11 @@ class DispatchStage(_Stage):
             latency = dec.latency
         value = self._execute(entry, dec)
         finish = state.cycle + (latency if latency > 1 else 1)
-        state.completions.setdefault(finish, []).append((entry, value))
+        bucket = state.completions.get(finish)
+        if bucket is None:
+            bucket = state.completions[finish] = []
+            heappush(state.completion_heap, finish)
+        bucket.append((entry, value))
 
     def _execute(self, entry: InflightInstruction, dec) -> Optional[int]:
         """Functional semantics using the *collected* operand values."""
@@ -323,11 +481,19 @@ class DispatchStage(_Stage):
             if not (not value if dec.guard_negated else value):
                 # Predicated off: consumes the slot, produces nothing.
                 return None
-        operand_values = entry.operand_values
-        operands = [operand_values.get(slot, 0)
-                    for slot in range(dec.num_sources)]
-        while len(operands) < 3:
-            operands.append(dec.imm_pad)
+        get = entry.operand_values.get
+        num_sources = dec.num_sources
+        pad = dec.imm_pad
+        # Unrolled operand materialization (two sources is by far the
+        # common shape): same values the generic pad loop would build.
+        if num_sources == 2:
+            operands = (get(0, 0), get(1, 0), pad)
+        elif num_sources == 1:
+            operands = (get(0, 0), pad, pad)
+        elif num_sources == 0:
+            operands = (pad, pad, pad)
+        else:
+            operands = (get(0, 0), get(1, 0), get(2, 0))
 
         if dec.is_load:
             address = engine.memory.thread_address(warp_id, operands[0])
@@ -350,16 +516,528 @@ class DispatchStage(_Stage):
         return value
 
 
-class IssueStage(_Stage):
-    """Schedulers pick warps; hazard-free instructions enter collectors."""
+class _IssueProfile:
+    """Per-warp hazard-walk outcomes, patched in place across cycles.
 
-    __slots__ = ("_issue_width",)
+    ``slots`` holds one ``[warp, charge]`` pair per schedulable warp in
+    walk order (scheduler by scheduler); ``charge`` is ``None``
+    (drained / branch pending, nothing to charge) or the
+    ``(warp_id, reason, pc, opcode)`` stall record.  ``bounds`` marks
+    each scheduler's ``(start, end)`` span of ``slots``, with
+    per-scheduler stall sums in ``sched_sb`` / ``sched_col`` and the
+    grand totals in ``n_scoreboard`` / ``n_collector`` — so both a
+    fully stable cycle and an untouched scheduler inside a sparse walk
+    charge in O(1).  ``collector_ids`` tracks which warps are
+    collector-stalled (the only outcomes that depend on provider
+    occupancy); ``occupancy_gen`` is the occupancy generation the
+    profile was last validated against.
+    """
+
+    __slots__ = ("slots", "index", "bounds", "sched_of", "sched_sb",
+                 "sched_col", "n_scoreboard", "n_collector",
+                 "collector_ids", "occupancy_gen")
+
+    def __init__(self, slots, bounds, occupancy_gen):
+        self.slots = slots
+        self.bounds = bounds
+        self.index = {
+            pair[0].warp_id: i for i, pair in enumerate(slots)
+        }
+        sched_of = {}
+        sched_sb = []
+        sched_col = []
+        collector_ids = set()
+        for sched_idx, (start, end) in enumerate(bounds):
+            n_sb = 0
+            n_col = 0
+            for warp, charge in slots[start:end]:
+                sched_of[warp.warp_id] = sched_idx
+                if charge is None:
+                    continue
+                if charge[1] == "scoreboard":
+                    n_sb += 1
+                else:
+                    n_col += 1
+                    collector_ids.add(warp.warp_id)
+            sched_sb.append(n_sb)
+            sched_col.append(n_col)
+        self.sched_of = sched_of
+        self.sched_sb = sched_sb
+        self.sched_col = sched_col
+        self.n_scoreboard = sum(sched_sb)
+        self.n_collector = sum(sched_col)
+        self.collector_ids = collector_ids
+        self.occupancy_gen = occupancy_gen
+
+    def patch(self, warp_id: int, outcome) -> None:
+        """Replace one warp's outcome, keeping the sums consistent."""
+        slot = self.slots[self.index[warp_id]]
+        old = slot[1]
+        if old is outcome:
+            return
+        sched_idx = self.sched_of[warp_id]
+        if old is not None:
+            if old[1] == "scoreboard":
+                self.n_scoreboard -= 1
+                self.sched_sb[sched_idx] -= 1
+            else:
+                self.n_collector -= 1
+                self.sched_col[sched_idx] -= 1
+                self.collector_ids.discard(warp_id)
+        if outcome is not None:
+            if outcome[1] == "scoreboard":
+                self.n_scoreboard += 1
+                self.sched_sb[sched_idx] += 1
+            else:
+                self.n_collector += 1
+                self.sched_col[sched_idx] += 1
+                self.collector_ids.add(warp_id)
+        slot[1] = outcome
+
+
+#: Sentinel: the re-derived warp could issue, so this cycle must run a
+#: real (sparse) walk.
+_ISSUABLE = object()
+
+
+class IssueStage(_Stage):
+    """Schedulers pick warps; hazard-free instructions enter collectors.
+
+    The full hazard walk touches every schedulable warp every cycle,
+    which dominates the engine's per-cycle cost during long memory
+    stalls.  Its outcome, however, is a pure function of issue-relevant
+    state — warp PCs, ``control_pending``, the scoreboard views, and
+    provider occupancy — all of which only change at an issue, a
+    dispatch, or a scoreboard release.  The engine records *which*
+    warps those events touched in ``EngineState.issue_dirty``, so after
+    one fruitless walk this stage keeps an :class:`_IssueProfile` and,
+    instead of re-walking, re-derives only the dirty warps and patches
+    the profile.  A stable stall cycle charges its counters from the
+    precomputed sums in O(1); a cycle where one completion released one
+    warp costs one hazard re-check instead of a full walk; and when a
+    re-derived warp turns out issuable, a *sparse* walk runs: it visits
+    the scheduler order as usual but performs the hazard checks only
+    for warps whose outcome could have moved (the dirty ones and the
+    collector-stalled ones), charging every other warp straight from
+    the profile — the profile itself is patched with what the walk
+    learns, so it survives issue cycles instead of being rebuilt by a
+    full walk afterwards.  Warps the walk leaves in an unknown state
+    (they issued, or the issue budget ran out mid-warp) are marked
+    dirty for the next cycle.  The cache never guesses: every charge
+    either comes from a live hazard check or from an outcome proven
+    unchanged since one.
+
+    The O(1) stall path replays the walk's scheduler side effects
+    through ``on_idle_span(1)`` — exactly the bulk-idle contract the
+    fast-forward path uses — which is only valid for schedulers whose
+    ``idle_span_limit()`` is statically ``None`` (greedy reset, LRR
+    pointer advance).  A two-level scheduler with a pending set mutates
+    state per ``note_stall``, so profiling is disabled for it up front
+    and every cycle takes the full walk.
+    """
+
+    __slots__ = ("_issue_width", "_replay_ok", "_profile", "last_stalls",
+                 "_member_sets", "_pending_idle")
 
     def __init__(self, engine: "SMEngine"):
         super().__init__(engine)
         self._issue_width = engine.config.issue_width_per_scheduler
+        # idle_span_limit() is a static property of each scheduler (a
+        # two-level pending set never changes size), so one check at
+        # construction decides profile eligibility for the whole run.
+        self._replay_ok = all(
+            scheduler.idle_span_limit() is None
+            for scheduler in engine.schedulers
+        )
+        self._profile: Optional[_IssueProfile] = None
+        # Ownership is fixed, so each scheduler's member set can back a
+        # fast "does this scheduler hold any live warp" test.
+        self._member_sets = [
+            frozenset(scheduler.warp_ids)
+            for scheduler in engine.schedulers
+        ]
+        # Stall charges of the most recent full walk; the fast-forward
+        # jump reads current_stalls() (profile-aware) instead.
+        self.last_stalls: List[tuple] = []
+        # All-stall cycles whose per-scheduler bulk-idle hooks are still
+        # owed.  on_idle_span spans compose additively (greedy reset is
+        # idempotent, LRR pointers sum), so the O(1) stall path just
+        # counts cycles here and the batch is flushed the moment any
+        # walk is about to consult scheduler state (candidate_order).
+        self._pending_idle = 0
+
+    def current_stalls(self) -> List[tuple]:
+        """The stall charges of the cycle just simulated.
+
+        The fast-forward jump replays these (coalesced) for every
+        skipped cycle: across a provably idle span nothing
+        issue-relevant can change, so the per-cycle walk would re-derive
+        exactly the same charges.
+        """
+        profile = self._profile
+        if profile is not None:
+            return [
+                charge for _, charge in profile.slots if charge is not None
+            ]
+        return self.last_stalls
+
+    def _derive_outcome(self, warp, can_accept):
+        """One warp's walk outcome: a charge tuple, None, or _ISSUABLE."""
+        pc = warp.pc
+        if pc >= warp.end or warp.control_pending:
+            return None
+        dec = warp.decoded[pc]
+        sb_pending = warp.sb_pending
+        for reg_id in dec.source_ids:
+            if reg_id in sb_pending:  # RAW
+                return (warp.warp_id, "scoreboard", pc, dec.opcode_name)
+        dest_id = dec.rf_dest_id
+        if dest_id is not None and (
+            dest_id in sb_pending  # WAW
+            or warp.sb_reads.get(dest_id)  # WAR
+        ):
+            return (warp.warp_id, "scoreboard", pc, dec.opcode_name)
+        if dec.guard_id is not None and dec.guard_id in warp.sb_preds:
+            return (warp.warp_id, "scoreboard", pc, dec.opcode_name)
+        if dec.pred_dest_id is not None and (
+            dec.pred_dest_id in warp.sb_preds
+            or warp.sb_pred_reads.get(dec.pred_dest_id)
+        ):
+            return (warp.warp_id, "scoreboard", pc, dec.opcode_name)
+        if not can_accept(warp.warp_id):
+            return (warp.warp_id, "collector", pc, dec.opcode_name)
+        return _ISSUABLE
+
+    def _run_profile(self, profile: _IssueProfile) -> bool:
+        """Charge the cached profile, patching dirty warps first."""
+        engine = self.engine
+        state = self.state
+        dirty = state.issue_dirty
+        occ = state.occupancy_gen
+        collector_ids = profile.collector_ids
+        occ_moved = occ != profile.occupancy_gen and collector_ids
+        if dirty or occ_moved:
+            provider = engine.provider
+            can_accept = provider.can_accept
+            index = profile.index
+            slots = profile.slots
+            derive = self._derive_outcome
+            seen = set()
+            live = set()
+            for warp_id in dirty:
+                if warp_id in seen:
+                    continue
+                seen.add(warp_id)
+                outcome = derive(slots[index[warp_id]][0], can_accept)
+                if outcome is _ISSUABLE:
+                    live.add(warp_id)  # re-derived live by the walk
+                else:
+                    profile.patch(warp_id, outcome)
+            dirty.clear()
+            if occ_moved:
+                # Occupancy moved (an issue filled or a dispatch freed
+                # a unit).  Non-dirty collector-stalled warps kept their
+                # scoreboard outcome (stalls there outrank acceptance),
+                # so only the acceptance half needs a re-check — and a
+                # shared pool answers it once for every warp.
+                if provider.shared_pool:
+                    for warp_id in collector_ids:
+                        if warp_id not in seen:
+                            if can_accept(warp_id):
+                                live.update(
+                                    w for w in collector_ids
+                                    if w not in seen
+                                )
+                            break
+                else:
+                    for warp_id in collector_ids:
+                        if warp_id not in seen and can_accept(warp_id):
+                            live.add(warp_id)
+            if live:
+                # seen minus live = warps just proven still-stalled;
+                # the sparse walk may skip their hazard checks too.
+                return self._sparse_walk(profile, seen - live, live)
+        profile.occupancy_gen = occ
+        counters = engine.counters
+        counters.issue_stalls_scoreboard += profile.n_scoreboard
+        counters.issue_stalls_collector += profile.n_collector
+        recorder = engine.recorder
+        if recorder is not None:
+            cycle = state.cycle
+            for _, charge in profile.slots:
+                if charge is not None:
+                    recorder.emit(
+                        cycle, EventKind.ISSUE_STALL, warp=charge[0],
+                        reason=charge[1], trace_index=charge[2],
+                        opcode=charge[3],
+                    )
+        self._pending_idle += 1
+        return False
+
+    def _sparse_walk(self, profile: _IssueProfile, settled: set,
+                     live: set) -> bool:
+        """A real walk that hazard-checks only warps that may move.
+
+        ``settled`` holds the dirty warps whose re-derivation just
+        proved them still stalled; ``live`` the ones found issuable.
+        Every other warp gets a live check only if it is
+        collector-stalled (an issue here consumes provider slots
+        mid-walk); the rest provably charge the same stall as the
+        profile records, so the walk takes them from the cache.
+        Scheduler calls, budget accounting, and event emission follow
+        the full walk exactly — including stopping the moment a
+        scheduler's budget runs out, after which the remaining warps of
+        that scheduler are neither charged nor noted, just as the full
+        walk leaves them unvisited.  A scheduler that owns no *live*
+        warp cannot issue this cycle (settled warps just re-derived
+        stalled, collector-stalled warps can only stay stalled while
+        the walk fills provider slots, unmoved warps provably repeat),
+        so it stalls wholesale: its members charge from the
+        per-scheduler profile sums — which patch() keeps current — and
+        its only side effect is the bulk-idle hook, with no per-warp
+        visits at all.
+        """
+        engine = self.engine
+        state = self.state
+        counters = engine.counters
+        recorder = engine.recorder
+        provider = engine.provider
+        can_accept = provider.can_accept
+        insert = provider.insert
+        cycle = state.cycle
+        issue_width = self._issue_width
+        slots = profile.slots
+        index = profile.index
+        dirty = state.issue_dirty
+        collector_ids = profile.collector_ids
+        bounds = profile.bounds
+        issued_any = False
+        pending_idle = self._pending_idle
+        if pending_idle:
+            # Owed bulk-idle spans must land before candidate_order is
+            # consulted (greedy reset, LRR pointer advance).
+            self._pending_idle = 0
+            for scheduler in engine.schedulers:
+                scheduler.on_idle_span(pending_idle)
+        for sched_idx, scheduler in enumerate(engine.schedulers):
+            if live.isdisjoint(self._member_sets[sched_idx]):
+                # No member of this scheduler can issue this cycle, so
+                # every member stalls exactly as the (patched) profile
+                # records: issues in *other* schedulers only consume
+                # provider slots, which can't unstall anyone.  The
+                # whole scheduler charges in O(1) like an idle cycle.
+                counters.issue_stalls_scoreboard += (
+                    profile.sched_sb[sched_idx])
+                counters.issue_stalls_collector += (
+                    profile.sched_col[sched_idx])
+                if recorder is not None:
+                    start, end = bounds[sched_idx]
+                    for _warp, charge in slots[start:end]:
+                        if charge is not None:
+                            recorder.emit(
+                                cycle, EventKind.ISSUE_STALL,
+                                warp=charge[0], reason=charge[1],
+                                trace_index=charge[2], opcode=charge[3],
+                            )
+                scheduler.on_idle_span(1)
+                continue
+            budget = issue_width
+            note_stall = scheduler.note_stall
+            for warp_id in scheduler.candidate_order():
+                if budget == 0:
+                    break
+                if warp_id in settled:
+                    # Just re-derived against this cycle's state: the
+                    # recorded outcome is current, take it below.
+                    pass
+                elif warp_id in live or warp_id in collector_ids:
+                    # A live check: found issuable just now, or
+                    # collector-stalled (issues this walk consume
+                    # provider slots mid-walk).
+                    if warp_id not in live and not can_accept(warp_id):
+                        # Not dirty, so the scoreboard half of its
+                        # profiled outcome is still current; with the
+                        # provider still full it recharges the recorded
+                        # collector stall — no hazard re-derivation.
+                        note_stall(warp_id)
+                        charge = slots[index[warp_id]][1]
+                        counters.issue_stalls_collector += 1
+                        if recorder is not None:
+                            recorder.emit(
+                                cycle, EventKind.ISSUE_STALL,
+                                warp=charge[0], reason=charge[1],
+                                trace_index=charge[2], opcode=charge[3],
+                            )
+                        continue
+                    live.discard(warp_id)
+                    slot = slots[index[warp_id]]
+                    warp = slot[0]
+                    issued_here = 0
+                    fresh_charge = None
+                    decoded = warp.decoded
+                    sb_pending = warp.sb_pending
+                    sb_reads = warp.sb_reads
+                    sb_preds = warp.sb_preds
+                    sb_pred_reads = warp.sb_pred_reads
+                    while budget > 0:
+                        pc = warp.pc
+                        if pc >= warp.end or warp.control_pending:
+                            break
+                        dec = decoded[pc]
+                        stalled = False
+                        for reg_id in dec.source_ids:
+                            if reg_id in sb_pending:
+                                stalled = True  # RAW
+                                break
+                        dest_id = dec.rf_dest_id
+                        if not stalled:
+                            if dest_id is not None and (
+                                dest_id in sb_pending  # WAW
+                                or sb_reads.get(dest_id)  # WAR
+                            ):
+                                stalled = True
+                            elif (dec.guard_id is not None
+                                  and dec.guard_id in sb_preds):
+                                stalled = True
+                            elif dec.pred_dest_id is not None and (
+                                dec.pred_dest_id in sb_preds
+                                or sb_pred_reads.get(dec.pred_dest_id)
+                            ):
+                                stalled = True
+                        if stalled:
+                            counters.issue_stalls_scoreboard += 1
+                            fresh_charge = (
+                                warp_id, "scoreboard", pc, dec.opcode_name
+                            )
+                            if recorder is not None:
+                                recorder.emit(
+                                    cycle, EventKind.ISSUE_STALL,
+                                    warp=warp_id, reason="scoreboard",
+                                    trace_index=pc, opcode=dec.opcode_name,
+                                )
+                            break
+                        if not can_accept(warp_id):
+                            counters.issue_stalls_collector += 1
+                            fresh_charge = (
+                                warp_id, "collector", pc, dec.opcode_name
+                            )
+                            if recorder is not None:
+                                recorder.emit(
+                                    cycle, EventKind.ISSUE_STALL,
+                                    warp=warp_id, reason="collector",
+                                    trace_index=pc, opcode=dec.opcode_name,
+                                )
+                            break
+
+                        entry = InflightInstruction(warp_id, pc, dec.inst,
+                                                    cycle, dec=dec)
+                        if dest_id is not None:
+                            sb_pending.add(dest_id)
+                        if dec.pred_dest_id is not None:
+                            sb_preds.add(dec.pred_dest_id)
+                        for reg_id in dec.source_ids:
+                            sb_reads[reg_id] = sb_reads.get(reg_id, 0) + 1
+                        if dec.guard_id is not None:
+                            sb_pred_reads[dec.guard_id] = (
+                                sb_pred_reads.get(dec.guard_id, 0) + 1)
+                        insert(entry)
+                        state.occupancy_gen += 1
+                        if dec.is_memory:
+                            state.undispatched_mem.setdefault(
+                                warp_id, set()
+                            ).add(pc)
+                        warp.pc = pc + 1
+                        if pc + 1 == warp.end:
+                            state.active_warps -= 1
+                        state.in_flight += 1
+                        counters.issued += 1
+                        if recorder is not None:
+                            recorder.emit(
+                                cycle, EventKind.ISSUE, warp=warp_id,
+                                trace_index=pc, opcode=dec.opcode_name,
+                            )
+                        if dec.is_control:
+                            warp.control_pending = True
+                        issued_here += 1
+                        budget -= 1
+                        issued_any = True
+                    if issued_here:
+                        scheduler.note_issue(warp_id)
+                    else:
+                        note_stall(warp_id)
+                    if fresh_charge is not None or (
+                        warp.pc >= warp.end or warp.control_pending
+                    ):
+                        # The while loop ended on a definite outcome
+                        # (a stall, drained, or a pending branch) —
+                        # record it so the next cycle starts current.
+                        profile.patch(warp_id, fresh_charge)
+                    else:
+                        # Budget ran out mid-warp: its next outcome is
+                        # unknown, re-derive it next cycle.
+                        profile.patch(warp_id, None)
+                        dirty.append(warp_id)
+                    continue
+                else:
+                    note_stall(warp_id)
+                    charge = slots[index[warp_id]][1]
+                    if charge is None:
+                        continue
+                    if charge[1] == "scoreboard":
+                        counters.issue_stalls_scoreboard += 1
+                    else:
+                        counters.issue_stalls_collector += 1
+                    if recorder is not None:
+                        recorder.emit(
+                            cycle, EventKind.ISSUE_STALL, warp=charge[0],
+                            reason=charge[1], trace_index=charge[2],
+                            opcode=charge[3],
+                        )
+                    continue
+                # settled warp: charge the freshly patched outcome.
+                note_stall(warp_id)
+                charge = slots[index[warp_id]][1]
+                if charge is not None:
+                    if charge[1] == "scoreboard":
+                        counters.issue_stalls_scoreboard += 1
+                    else:
+                        counters.issue_stalls_collector += 1
+                    if recorder is not None:
+                        recorder.emit(
+                            cycle, EventKind.ISSUE_STALL, warp=charge[0],
+                            reason=charge[1], trace_index=charge[2],
+                            opcode=charge[3],
+                        )
+        if live:
+            # Issuable warps the walk never reached (an earlier warp
+            # consumed their scheduler's budget): their profile slots
+            # are stale and their dirty marks were consumed above, so
+            # re-mark them for the next cycle.
+            dirty.extend(live)
+        # The walk issued (the warp that triggered it is reached with
+        # budget in hand unless an earlier warp issued first), so the
+        # provider occupancy moved; leaving occupancy_gen stale makes
+        # the next cycle re-derive the collector-stalled warps.
+        return issued_any
 
     def run(self) -> bool:
+        state = self.state
+        if state.active_warps == 0 and self._replay_ok:
+            # Drain phase: every warp has issued its last instruction,
+            # so the walk can never charge a stall again — only the
+            # schedulers' idle bookkeeping remains, and for replay-ok
+            # schedulers that is exactly the bulk-idle hook.
+            self._profile = None
+            self.last_stalls = ()
+            state.issue_dirty.clear()
+            self._pending_idle += 1
+            return False
+        profile = self._profile
+        if profile is not None:
+            return self._run_profile(profile)
+        return self._walk()
+
+    def _walk(self) -> bool:
         engine = self.engine
         state = self.state
         counters = engine.counters
@@ -371,13 +1049,25 @@ class IssueStage(_Stage):
         warp_by_id = engine._warp_by_id
         issue_width = self._issue_width
         issued_any = False
+        stall_log: List[tuple] = []
+        visited: List[list] = []
+        bounds: List[tuple] = []
+        pending_idle = self._pending_idle
+        if pending_idle:
+            # Owed bulk-idle spans land before candidate_order is read.
+            self._pending_idle = 0
+            for scheduler in engine.schedulers:
+                scheduler.on_idle_span(pending_idle)
         for scheduler in engine.schedulers:
+            bound_start = len(visited)
             budget = issue_width
+            note_stall = scheduler.note_stall
             for warp_id in scheduler.candidate_order():
                 if budget == 0:
                     break
                 warp = warp_by_id[warp_id]
                 issued_here = 0
+                fresh_charge = None
                 decoded = warp.decoded
                 sb_pending = warp.sb_pending
                 sb_reads = warp.sb_reads
@@ -413,6 +1103,10 @@ class IssueStage(_Stage):
                             stalled = True
                     if stalled:
                         counters.issue_stalls_scoreboard += 1
+                        fresh_charge = (
+                            warp_id, "scoreboard", pc, dec.opcode_name
+                        )
+                        stall_log.append(fresh_charge)
                         if recorder is not None:
                             recorder.emit(
                                 cycle, EventKind.ISSUE_STALL, warp=warp_id,
@@ -422,6 +1116,10 @@ class IssueStage(_Stage):
                         break
                     if not can_accept(warp_id):
                         counters.issue_stalls_collector += 1
+                        fresh_charge = (
+                            warp_id, "collector", pc, dec.opcode_name
+                        )
+                        stall_log.append(fresh_charge)
                         if recorder is not None:
                             recorder.emit(
                                 cycle, EventKind.ISSUE_STALL, warp=warp_id,
@@ -442,6 +1140,7 @@ class IssueStage(_Stage):
                         sb_pred_reads[dec.guard_id] = (
                             sb_pred_reads.get(dec.guard_id, 0) + 1)
                     insert(entry)
+                    state.occupancy_gen += 1
                     if dec.is_memory:
                         state.undispatched_mem.setdefault(
                             warp_id, set()
@@ -467,5 +1166,17 @@ class IssueStage(_Stage):
                     # Drained warps must report stalls too: a two-level
                     # scheduler has to swap them out of the active set
                     # or pending warps would starve.
-                    scheduler.note_stall(warp_id)
+                    note_stall(warp_id)
+                    visited.append([warp, fresh_charge])
+            bounds.append((bound_start, len(visited)))
+        self.last_stalls = stall_log
+        # The walk ran against live state, so pending dirty marks are
+        # consumed regardless of outcome.
+        state.issue_dirty.clear()
+        if not issued_any and self._replay_ok:
+            # A fruitless walk visited every schedulable warp (the
+            # budget was never consumed): its outcome list is a
+            # complete, patchable profile for the following cycles.
+            self._profile = _IssueProfile(visited, bounds,
+                                          state.occupancy_gen)
         return issued_any

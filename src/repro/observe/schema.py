@@ -156,6 +156,10 @@ TELEMETRY_SCHEMA: Dict[str, Any] = {
                 "cycles": {"type": "integer", "minimum": 0},
                 "instructions": {"type": "integer", "minimum": 0},
                 "ipc": {"type": "number"},
+                # Schema v2: how many of the point's cycles the engine
+                # jumped rather than ticked.  Optional — memo/cache
+                # sourced points (and v1 streams) omit it.
+                "fast_forwarded_cycles": {"type": "integer", "minimum": 0},
             },
             "required": ["type", "benchmark", "design", "window", "source",
                          "seconds", "attempts"],

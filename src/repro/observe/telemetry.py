@@ -25,7 +25,12 @@ import json
 from typing import IO, Optional, Union
 
 #: Format version stamped into the ``start`` record.
-TELEMETRY_SCHEMA_VERSION = 1
+#:
+#: v2: ``point`` records gained the optional ``fast_forwarded_cycles``
+#: field (cycles the event-horizon engine jumped rather than ticked).
+#: Purely additive — v1 consumers that ignore unknown fields keep
+#: working, and v1 streams validate against the v2 schema.
+TELEMETRY_SCHEMA_VERSION = 2
 
 
 class TelemetryTee:

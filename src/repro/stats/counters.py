@@ -43,6 +43,12 @@ class Counters:
         lifetime_cycles_memory: the portion for memory instructions.
         mem_instructions: dynamic memory instructions completed.
         exec_busy_stalls: dispatches delayed by a busy functional unit.
+        fast_forwarded_cycles: cycles the event-horizon loop skipped
+            instead of ticking (a subset of ``cycles``; all of them
+            were provably idle and their stalls are charged in bulk).
+            Zero on the reference per-cycle path — and thus the one
+            counter that legitimately differs between a fast-forward
+            and a ``--no-fast-forward`` run of the same workload.
     """
 
     rf_reads: int = 0
@@ -67,6 +73,7 @@ class Counters:
     lifetime_cycles_memory: int = 0
     mem_instructions: int = 0
     exec_busy_stalls: int = 0
+    fast_forwarded_cycles: int = 0
 
     def __add__(self, other: "Counters") -> "Counters":
         if not isinstance(other, Counters):

@@ -56,6 +56,26 @@ class Timeline:
             bypassed=counters.bypassed_reads + counters.bypassed_writes,
         ))
 
+    def advance(self, from_cycle: int, to_cycle: int, counters,
+                rf_reads: int, rf_writes: int) -> None:
+        """Emit the samples owed for a jumped span ``(from_cycle, to_cycle]``.
+
+        The engine's fast-forward loop moves the clock over spans in
+        which no counter can change, so every sampling-grid point
+        inside the span carries the same (current) cumulative payload —
+        but the grid itself must not develop holes: downstream series
+        difference consecutive samples by cycle.  This replays the
+        ``maybe_sample`` calls the skipped cycles would have made.
+        """
+        first = from_cycle - from_cycle % self.interval + self.interval
+        for cycle in range(first, to_cycle + 1, self.interval):
+            self.samples.append(TimelineSample(
+                cycle=cycle,
+                instructions=counters.instructions,
+                rf_accesses=rf_reads + rf_writes,
+                bypassed=counters.bypassed_reads + counters.bypassed_writes,
+            ))
+
     def finalize(self, cycle: int, counters, rf_reads: int,
                  rf_writes: int) -> None:
         """Record the end-of-run sample if the grid missed it.

@@ -1,0 +1,57 @@
+"""Fuzz-smoke for the fast-forward cross-check (blame attribution).
+
+On any mismatch the campaign re-runs the case with ``fast_forward``
+killed before reporting: a clean per-cycle run pins the divergence on
+the event-horizon machinery (``FuzzFailure.fast_forward_only``), a
+dirty one on the design model.  These tests drive both outcomes — a
+seeded provider bug that reproduces either way, and a synthetic
+fault injected into the jump path itself that only the fast run can
+hit — plus the plain all-designs smoke run CI leans on.
+"""
+
+from __future__ import annotations
+
+from repro.fuzz.differential import run_fuzz
+from repro.fuzz.generator import FuzzConfig
+from repro.gpu.sm import SMEngine
+
+QUICK = FuzzConfig(max_trace_instructions=80, max_warps=3)
+
+
+class TestCrossCheckSmoke:
+    def test_clean_campaign_across_all_designs(self):
+        report = run_fuzz(seed=0, cases=2, config=QUICK)
+        assert report.ok
+        assert report.failure is None
+
+    def test_design_model_bug_is_blamed_on_the_design(self, tmp_path):
+        # A seeded operand-path defect mismatches with fast-forward on
+        # AND off, so the cross-check must not blame the jump logic.
+        report = run_fuzz(seed=0, cases=5, inject_bug="corrupt-deliver",
+                          config=QUICK, max_shrink=30,
+                          corpus_dir=tmp_path)
+        assert not report.ok
+        assert report.failure.fast_forward_only is False
+        # The attribution travels with the corpus case's metadata.
+        assert report.failure.shrink.case.meta["fast_forward_only"] is False
+
+    def test_fast_forward_only_divergence_is_attributed(self, monkeypatch):
+        # Fault the jump path itself: a store that only happens when a
+        # span is actually skipped.  The per-cycle re-run never calls
+        # _apply_fast_forward, comes back clean, and the blame lands on
+        # the fast-forward machinery.
+        real = SMEngine._apply_fast_forward
+
+        def corrupting(self, span):
+            applied = real(self, span)
+            if applied:
+                self.memory.store(0xDEAD000, 0x1)
+            return applied
+
+        monkeypatch.setattr(SMEngine, "_apply_fast_forward", corrupting)
+        report = run_fuzz(seed=0, cases=5, designs=("baseline",),
+                          config=QUICK, max_shrink=10)
+        assert not report.ok
+        failure = report.failure
+        assert failure.fast_forward_only is True
+        assert any(m.kind == "memory" for m in failure.mismatches)

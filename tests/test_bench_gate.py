@@ -46,7 +46,8 @@ def baseline_designs(rates):
 class TestExtractRates:
     def test_extracts_engine_entries(self, tool):
         rates = tool.extract_rates(results_document({"bow": 5000}))
-        assert rates == {"bow": {"cycles_per_sec": 5000, "cycles": 1000}}
+        assert rates == {"bow": {"cycles_per_sec": 5000, "cycles": 1000,
+                                 "fast_forwarded_cycles": 0}}
 
     def test_ignores_foreign_benches(self, tool):
         document = {"benchmarks": [
@@ -54,6 +55,18 @@ class TestExtractRates:
             {"extra_info": {"design": "bow", "cycles_per_sec": 5000}},
         ]}
         assert list(tool.extract_rates(document)) == ["bow"]
+
+    def test_bench_tag_qualifies_the_key(self, tool):
+        document = {"benchmarks": [
+            {"extra_info": {"bench": "SAD", "design": "bow",
+                            "cycles_per_sec": 5000}},
+            {"extra_info": {"bench": "VECTORADD-mem", "design": "bow",
+                            "cycles_per_sec": 9000,
+                            "fast_forwarded_cycles": 800}},
+        ]}
+        rates = tool.extract_rates(document)
+        assert sorted(rates) == ["SAD/bow", "VECTORADD-mem/bow"]
+        assert rates["VECTORADD-mem/bow"]["fast_forwarded_cycles"] == 800
 
     def test_empty_document(self, tool):
         assert tool.extract_rates({}) == {}
@@ -104,6 +117,31 @@ class TestCompare:
         assert tool.compare(baseline, current, threshold=0.10)
 
 
+class TestImprovements:
+    def test_large_gain_noticed(self, tool):
+        baseline = baseline_designs({"bow": 1000})
+        current = baseline_designs({"bow": 1500})  # +50% > 25%
+        notices = tool.improvements(baseline, current, threshold=0.25)
+        assert len(notices) == 1
+        assert "re-baseline" in notices[0]
+
+    def test_small_gain_quiet(self, tool):
+        baseline = baseline_designs({"bow": 1000})
+        current = baseline_designs({"bow": 1200})  # +20% < 25%
+        assert tool.improvements(baseline, current, threshold=0.25) == []
+
+    def test_drop_is_not_an_improvement(self, tool):
+        baseline = baseline_designs({"bow": 1000})
+        current = baseline_designs({"bow": 100})
+        assert tool.improvements(baseline, current) == []
+
+    def test_missing_entry_skipped(self, tool):
+        baseline = baseline_designs({"bow": 1000, "rfc": 1000})
+        current = baseline_designs({"bow": 5000})
+        notices = tool.improvements(baseline, current)
+        assert len(notices) == 1 and "bow" in notices[0]
+
+
 class TestCheckCommand:
     def write(self, path, document):
         path.write_text(json.dumps(document))
@@ -120,6 +158,16 @@ class TestCheckCommand:
         assert tool.main(["--check", str(results),
                           "--baseline", str(baseline)]) == 0
         assert "gate passed" in capsys.readouterr().out
+
+    def test_large_gain_passes_with_notice(self, tool, tmp_path, capsys):
+        baseline = self.baseline_file(tool, tmp_path, {"bow": 1000})
+        results = self.write(tmp_path / "results.json",
+                             results_document({"bow": 2000}))
+        assert tool.main(["--check", str(results),
+                          "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "perf progress notice" in out
+        assert "gate passed" in out
 
     def test_regression_exits_one(self, tool, tmp_path, capsys):
         baseline = self.baseline_file(tool, tmp_path, {"bow": 1000})
@@ -145,10 +193,13 @@ class TestCheckCommand:
 
 class TestCommittedBaseline:
     def test_baseline_matches_bench_designs(self, tool):
-        """The committed baseline covers exactly the bench's designs."""
+        """The committed baseline covers exactly the bench's entries."""
         document = json.loads(tool.BASELINE_PATH.read_text())
-        from benchmarks.test_engine_perf import DESIGNS
+        from benchmarks.test_engine_perf import (BENCH, DESIGNS, MEM_BENCH,
+                                                 MEM_DESIGNS)
 
-        assert sorted(document["designs"]) == sorted(DESIGNS)
+        expected = [f"{BENCH}/{design}" for design in DESIGNS]
+        expected += [f"{MEM_BENCH}-mem/{design}" for design in MEM_DESIGNS]
+        assert sorted(document["designs"]) == sorted(expected)
         for recorded in document["designs"].values():
             assert recorded["cycles_per_sec"] > 0

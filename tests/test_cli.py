@@ -21,6 +21,30 @@ class TestRun:
         assert "IPC" in out
         assert "reads bypassed" in out
 
+    def test_run_reports_fast_forwarded_cycles(self, capsys):
+        code = main(["run", "BFS", "--warps", "4", "--scale", "0.1"])
+        assert code == 0
+        assert "fast-forwarded" in capsys.readouterr().out
+
+    def test_no_fast_forward_flag(self, capsys):
+        code = main(["run", "BFS", "--warps", "4", "--scale", "0.1",
+                     "--no-fast-forward"])
+        assert code == 0
+        out = capsys.readouterr().out
+        # The reference path ticks every cycle, so nothing is jumped.
+        assert "fast-forwarded    0 cycles" in out
+
+    def test_no_fast_forward_matches_default(self, capsys):
+        assert main(["run", "BFS", "--warps", "4", "--scale", "0.1"]) == 0
+        default = capsys.readouterr().out
+        assert main(["run", "BFS", "--warps", "4", "--scale", "0.1",
+                     "--no-fast-forward"]) == 0
+        reference = capsys.readouterr().out
+        # Identical report except the fast-forwarded line itself.
+        scrub = lambda text: [line for line in text.splitlines()
+                              if "fast-forwarded" not in line]
+        assert scrub(default) == scrub(reference)
+
     def test_unknown_benchmark_fails_cleanly(self, capsys):
         code = main(["run", "DOOM", "--warps", "2", "--scale", "0.1"])
         assert code == 1

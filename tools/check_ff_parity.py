@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Fast-forward parity gate: one benchmark, every design, on vs off.
+
+CI runs this in the fuzz-smoke and perf jobs as a cheap end-to-end
+check that the event-horizon loop is an optimization only: for the
+chosen benchmark trace, a run with fast-forward enabled must be
+bit-identical to the per-cycle reference run for every registered
+design — same counters (``fast_forwarded_cycles`` aside, the one
+field that measures the optimization itself), same register image,
+same memory image.
+
+Exit status: 0 when every design matches, 1 on any divergence (with
+a per-field diff on stderr).  Usage:
+
+    PYTHONPATH=src python tools/check_ff_parity.py [BENCHMARK]
+
+The default benchmark is SAD at the experiment layer's QUICK scale;
+pass any registered benchmark name to point the gate elsewhere.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import sys
+
+from repro.core.bow_sm import simulate_design
+from repro.core.designs import design_names
+from repro.experiments.runner import QUICK, benchmark_trace, design_spec
+
+WINDOW = 3
+
+
+def comparable(result) -> dict:
+    counters = dataclasses.asdict(result.counters)
+    counters.pop("fast_forwarded_cycles", None)
+    return {
+        "counters": counters,
+        "registers": result.register_image,
+        "memory": result.memory_image,
+    }
+
+
+def check(benchmark: str) -> int:
+    failures = 0
+    for design in design_names():
+        spec = design_spec(design)
+        trace = benchmark_trace(
+            benchmark, QUICK, window_size=WINDOW if spec.hinted else None
+        )
+        fast = simulate_design(
+            design, trace, window_size=WINDOW,
+            memory_seed=QUICK.memory_seed, fast_forward=True,
+        )
+        slow = simulate_design(
+            design, trace, window_size=WINDOW,
+            memory_seed=QUICK.memory_seed, fast_forward=False,
+        )
+        a, b = comparable(fast), comparable(slow)
+        jumped = fast.counters.fast_forwarded_cycles
+        if a == b:
+            pct = 100.0 * jumped / max(1, fast.counters.cycles)
+            print(
+                f"{benchmark}/{design}: OK "
+                f"({fast.counters.cycles} cycles, "
+                f"{jumped} fast-forwarded, {pct:.0f}%)"
+            )
+            continue
+        failures += 1
+        print(f"{benchmark}/{design}: MISMATCH", file=sys.stderr)
+        for section in a:
+            if a[section] == b[section]:
+                continue
+            if section == "counters":
+                for key in a[section]:
+                    if a[section][key] != b[section][key]:
+                        print(
+                            f"  counters.{key}: fast={a[section][key]} "
+                            f"slow={b[section][key]}",
+                            file=sys.stderr,
+                        )
+            else:
+                print(f"  {section} images differ", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(check(sys.argv[1] if len(sys.argv) > 1 else "SAD"))

@@ -18,7 +18,11 @@ Check a fresh pytest-benchmark results file against the baseline::
 
 The comparison is deliberately generous (25%, minimum over 3 rounds)
 so machine-to-machine noise does not fail CI, while the order-of-
-magnitude slowdowns worth catching still do.
+magnitude slowdowns worth catching still do.  The gate is two-sided
+but only fails downward: an entry more than ``--threshold`` *above*
+its baseline prints an "improvement available, re-baseline" notice
+(exit stays 0), because a stale slow baseline would silently tolerate
+a real regression of the same size.
 """
 
 from __future__ import annotations
@@ -39,20 +43,27 @@ DEFAULT_THRESHOLD = 0.25
 
 
 def extract_rates(results: dict) -> Dict[str, dict]:
-    """Per-design throughput from a pytest-benchmark JSON document.
+    """Per-entry throughput from a pytest-benchmark JSON document.
 
-    Returns ``{design: {"cycles_per_sec": int, "cycles": int}}`` for
-    every benchmark entry that carries the engine bench's
-    ``extra_info`` fields; entries without them are ignored.
+    Returns ``{"BENCH/design": {"cycles_per_sec": int, "cycles": int,
+    "fast_forwarded_cycles": int}}`` for every benchmark entry that
+    carries the engine bench's ``extra_info`` fields; entries without
+    them are ignored.  Entries predating the ``bench`` tag fall back
+    to the design name alone.
     """
     rates: Dict[str, dict] = {}
     for entry in results.get("benchmarks", []):
         info = entry.get("extra_info", {})
         if "design" not in info or "cycles_per_sec" not in info:
             continue
-        rates[info["design"]] = {
+        key = info["design"]
+        if "bench" in info:
+            key = f"{info['bench']}/{key}"
+        rates[key] = {
             "cycles_per_sec": int(info["cycles_per_sec"]),
             "cycles": int(info.get("cycles", 0)),
+            "fast_forwarded_cycles": int(
+                info.get("fast_forwarded_cycles", 0)),
         }
     return rates
 
@@ -86,6 +97,31 @@ def compare(baseline: Dict[str, dict], current: Dict[str, dict],
     return problems
 
 
+def improvements(baseline: Dict[str, dict], current: Dict[str, dict],
+                 threshold: float = DEFAULT_THRESHOLD) -> List[str]:
+    """Progress notices: entries that beat the baseline by > threshold.
+
+    These never fail the gate — they flag that the committed baseline
+    has fallen behind an intentional speedup and should be refreshed,
+    so the regression gate regains its bite (a stale, slow baseline
+    tolerates a real regression of the same size as the speedup).
+    """
+    notices = []
+    for design, recorded in sorted(baseline.items()):
+        reference = recorded["cycles_per_sec"]
+        if design not in current or reference <= 0:
+            continue
+        measured = current[design]["cycles_per_sec"]
+        gain = measured / reference - 1.0
+        if gain > threshold:
+            notices.append(
+                f"{design}: {measured} cycles/sec is {gain:.1%} above "
+                f"the baseline {reference} — improvement available, "
+                "re-baseline with tools/update_bench_baseline.py"
+            )
+    return notices
+
+
 def run_bench(json_path: Path) -> dict:
     """Run the engine bench, returning its pytest-benchmark document."""
     command = [
@@ -114,7 +150,7 @@ def refresh(baseline_path: Path = BASELINE_PATH) -> Dict[str, dict]:
         raise SystemExit("no engine bench entries found in the results")
     document = {
         "bench": "benchmarks/test_engine_perf.py",
-        "metric": "cycles_per_sec (min over rounds)",
+        "metric": "cycles_per_sec (min over 5 rounds)",
         "threshold": DEFAULT_THRESHOLD,
         "designs": rates,
     }
@@ -141,8 +177,10 @@ def check(results_path: Path, baseline_path: Path = BASELINE_PATH,
     for design, recorded in sorted(baseline.items()):
         measured = current[design]["cycles_per_sec"]
         delta = measured / recorded["cycles_per_sec"] - 1.0
-        print(f"  {design:12s} {measured:>12d} cycles/sec "
+        print(f"  {design:24s} {measured:>12d} cycles/sec "
               f"({delta:+.1%} vs baseline)")
+    for line in improvements(baseline, current, threshold):
+        print(f"perf progress notice: {line}")
     print("perf regression gate passed")
     return 0
 
@@ -170,7 +208,7 @@ def main(argv=None) -> int:
         return check(args.check, args.baseline, args.threshold)
     rates = refresh(args.baseline)
     for design, recorded in sorted(rates.items()):
-        print(f"  {design:12s} {recorded['cycles_per_sec']:>12d} cycles/sec")
+        print(f"  {design:24s} {recorded['cycles_per_sec']:>12d} cycles/sec")
     print(f"baseline written to {args.baseline}")
     return 0
 
