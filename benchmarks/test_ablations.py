@@ -5,9 +5,8 @@ calls out: scheduler sensitivity, eviction policy, capacity and window
 sweeps, and the effective-RF-size claim of SS IV-B.2a.
 """
 
-from conftest import run_once
-
 import pytest
+from conftest import run_once
 
 from repro.experiments.ablations import (
     capacity_sweep,

@@ -1,8 +1,7 @@
 """SS V-A comparison against Register File Caching (RFC)."""
 
-from conftest import BENCH_SCALE, run_once
-
 import pytest
+from conftest import BENCH_SCALE, run_once
 
 from repro.experiments.figures import rfc_comparison
 

@@ -1,8 +1,7 @@
 """Table IV + SS IV-C/V-A: BOC overheads, storage and area arithmetic."""
 
-from conftest import run_once
-
 import pytest
+from conftest import run_once
 
 from repro.experiments.tables import table4_overheads
 

@@ -17,6 +17,7 @@ Quickstart::
     print(bow.ipc / base.ipc - 1.0)  # IPC improvement
 """
 
+from .compiler import compile_kernel
 from .config import (
     BOWConfig,
     GPUConfig,
@@ -27,6 +28,8 @@ from .config import (
     bow_wb_config,
     bow_wr_config,
 )
+from .core import simulate_bow, simulate_design, simulate_rfc
+from .energy import EnergyModel
 from .errors import (
     CompilerError,
     ConfigError,
@@ -39,10 +42,11 @@ from .errors import (
     ReproError,
     SimulationError,
 )
+from .gpu import SimulationResult, simulate_baseline
 from .isa import Instruction, Register, WritebackHint, parse_program
 from .kernels import (
-    BenchmarkProfile,
     BENCHMARKS,
+    BenchmarkProfile,
     KernelTrace,
     WarpTrace,
     benchmark_names,
@@ -50,10 +54,6 @@ from .kernels import (
     build_benchmark_trace,
     get_profile,
 )
-from .compiler import compile_kernel
-from .core import simulate_bow, simulate_design, simulate_rfc
-from .gpu import simulate_baseline, SimulationResult
-from .energy import EnergyModel
 from .stats import Counters, RunMetrics
 
 __version__ = "1.0.0"

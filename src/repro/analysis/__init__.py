@@ -1,0 +1,68 @@
+"""Telemetry-to-figures analysis: loaders, a figure registry, a theme.
+
+The repo's sweeps, services, traces, and benches all emit
+machine-readable streams; this package turns them into *figures* — the
+IPC-vs-IW frontiers, stall breakdowns, and throughput charts the ASCII
+reports cannot draw.  The shape follows the figure-registry pattern:
+
+* :mod:`repro.analysis.frame`   — a tiny column-store table (the
+  pandas stand-in; ``Frame.to_pandas()`` converts when pandas exists);
+* :mod:`repro.analysis.loaders` — schema-validated, torn-tail-tolerant
+  readers from telemetry JSONL / trace exports / bench JSONs to frames;
+* :mod:`repro.analysis.figures` — the declarative name -> generator
+  registry (``FIGURES``), each generator a pure frames -> (spec, table)
+  function;
+* :mod:`repro.analysis.theme`   — the one publication theme stamped on
+  every spec;
+* :mod:`repro.analysis.render`  — emits ``<name>.vl.json`` (Vega-Lite,
+  validated against ``FIGURE_SPEC_SCHEMA``) plus the backing
+  ``<name>.csv``.
+
+Driven by ``python -m repro figures`` (see DESIGN.md §12).
+"""
+
+from .figures import (
+    FIGURES,
+    FigureInputs,
+    FigureSpec,
+    figure_names,
+    figure_spec,
+    register_figure,
+)
+from .frame import Frame
+from .loaders import (
+    build_bench_df,
+    build_failures_df,
+    build_points_df,
+    build_trace_df,
+)
+from .render import (
+    RenderedFigure,
+    RenderReport,
+    build_inputs,
+    render_figure,
+    render_figures,
+)
+from .theme import PALETTE, THEME_CONFIG, apply_theme
+
+__all__ = [
+    "FIGURES",
+    "Frame",
+    "FigureInputs",
+    "FigureSpec",
+    "PALETTE",
+    "RenderReport",
+    "RenderedFigure",
+    "THEME_CONFIG",
+    "apply_theme",
+    "build_bench_df",
+    "build_failures_df",
+    "build_inputs",
+    "build_points_df",
+    "build_trace_df",
+    "figure_names",
+    "figure_spec",
+    "register_figure",
+    "render_figure",
+    "render_figures",
+]

@@ -1,0 +1,599 @@
+"""The declarative figure registry: name -> generator over frames.
+
+Each registered figure is a pure function from loaded frames
+(:class:`FigureInputs`) to a ``(vega_lite_spec, backing_table)`` pair.
+The renderer (:mod:`repro.analysis.render`) themes the spec, points its
+``data.url`` at the backing CSV, validates it against
+:data:`repro.observe.schema.FIGURE_SPEC_SCHEMA`, and writes both files;
+the generators here only decide *what* is plotted.
+
+Adding a figure is one function::
+
+    @register_figure(
+        "my_figure",
+        title="...",
+        requires=("points",),
+        paper="Fig. 10",
+    )
+    def my_figure(inputs):
+        table = ...  # a Frame
+        spec = {"mark": "bar", "encoding": {...}, "description": "..."}
+        return spec, table
+
+and one per-figure test in ``tests/analysis/test_figures.py`` pinning
+that it renders from the checked-in fixture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..errors import AnalysisError
+from .frame import Frame
+from .theme import design_color_scale
+
+#: Input slot names a figure may require.
+INPUT_KINDS = ("points", "failures", "trace", "bench")
+
+
+@dataclass
+class FigureInputs:
+    """The loaded frames a ``repro figures`` invocation has available."""
+
+    points: Optional[Frame] = None
+    failures: Optional[Frame] = None
+    trace: Optional[Frame] = None
+    bench: Optional[Frame] = None
+
+    def get(self, kind: str) -> Optional[Frame]:
+        if kind not in INPUT_KINDS:
+            raise AnalysisError(f"unknown figure input kind {kind!r}")
+        return getattr(self, kind)
+
+    def missing(self, kinds: Tuple[str, ...]) -> List[str]:
+        """Which of the named input slots are not loaded."""
+        return [kind for kind in kinds if self.get(kind) is None]
+
+
+Builder = Callable[[FigureInputs], Tuple[Dict[str, Any], Frame]]
+
+
+@dataclass(frozen=True)
+class FigureSpec:
+    """One registry entry: metadata plus the generator function."""
+
+    name: str
+    title: str
+    requires: Tuple[str, ...]
+    builder: Builder
+    caption: str = ""
+    paper: Optional[str] = None
+    optional: Tuple[str, ...] = field(default=())
+
+    def build(self, inputs: FigureInputs) -> Tuple[Dict[str, Any], Frame]:
+        missing = inputs.missing(self.requires)
+        if missing:
+            raise AnalysisError(
+                f"figure {self.name!r} needs {', '.join(missing)} input(s)"
+            )
+        spec, table = self.builder(inputs)
+        if len(table) == 0:
+            raise AnalysisError(
+                f"figure {self.name!r}: no rows survived filtering — "
+                f"the input data has nothing to plot"
+            )
+        return spec, table
+
+
+#: The registry: figure name -> :class:`FigureSpec`, registration order.
+FIGURES: Dict[str, FigureSpec] = {}
+
+
+def register_figure(
+    name: str,
+    title: str,
+    requires: Tuple[str, ...],
+    caption: str = "",
+    paper: Optional[str] = None,
+    optional: Tuple[str, ...] = (),
+) -> Callable[[Builder], Builder]:
+    """Class the decorated function as the generator for ``name``."""
+
+    def wrap(builder: Builder) -> Builder:
+        if name in FIGURES:
+            raise AnalysisError(f"duplicate figure name {name!r}")
+        for kind in (*requires, *optional):
+            if kind not in INPUT_KINDS:
+                raise AnalysisError(
+                    f"figure {name!r}: unknown input kind {kind!r}"
+                )
+        FIGURES[name] = FigureSpec(
+            name=name,
+            title=title,
+            requires=tuple(requires),
+            builder=builder,
+            caption=caption,
+            paper=paper,
+            optional=tuple(optional),
+        )
+        return builder
+
+    return wrap
+
+
+def figure_names() -> List[str]:
+    """Registered figure names, registration order."""
+    return list(FIGURES)
+
+
+def figure_spec(name: str) -> FigureSpec:
+    try:
+        return FIGURES[name]
+    except KeyError:
+        known = ", ".join(FIGURES) or "-"
+        raise AnalysisError(f"unknown figure {name!r} (have: {known})") from None
+
+
+def _mean(values: List[Any]) -> Optional[float]:
+    numbers = [value for value in values if isinstance(value, (int, float))]
+    if not numbers:
+        return None
+    return sum(numbers) / len(numbers)
+
+
+def _single_sm(row: Dict[str, Any]) -> bool:
+    return (row["num_sms"] or 1) == 1
+
+
+# ---------------------------------------------------------------------------
+# the registered figures
+# ---------------------------------------------------------------------------
+
+
+@register_figure(
+    "ipc_iw_frontier",
+    title="IPC vs. instruction window across designs",
+    requires=("points",),
+    caption=(
+        "Per-benchmark IPC as the operand-window size grows, one line "
+        "per registered design; windowless designs plot at IW=0."
+    ),
+    paper="Fig. 10a / Fig. 11",
+)
+def ipc_iw_frontier(inputs: FigureInputs) -> Tuple[Dict[str, Any], Frame]:
+    points = inputs.points.filter(
+        lambda row: row["ipc"] is not None and _single_sm(row)
+    )
+    rows = []
+    for (benchmark, design, window), group in points.groupby(
+        "benchmark", "design", "window"
+    ):
+        rows.append(
+            {
+                "benchmark": benchmark,
+                "design": design,
+                "window": window,
+                "ipc": _mean(group["ipc"]),
+            }
+        )
+    table = Frame.from_records(
+        rows, columns=("benchmark", "design", "window", "ipc")
+    ).sort("benchmark", "design", "window")
+    spec = {
+        "description": (
+            "IPC-vs-IW frontier: per-benchmark IPC against the operand "
+            "window size, one series per design."
+        ),
+        "mark": {"type": "line", "point": True},
+        "encoding": {
+            "x": {
+                "field": "window",
+                "type": "quantitative",
+                "title": "instruction window (IW)",
+                "axis": {"tickMinStep": 1},
+            },
+            "y": {
+                "field": "ipc",
+                "type": "quantitative",
+                "title": "IPC",
+            },
+            "color": {
+                "field": "design",
+                "type": "nominal",
+                "title": "design",
+                "scale": design_color_scale(table.unique("design")),
+            },
+            "facet": {
+                "field": "benchmark",
+                "type": "nominal",
+                "title": "benchmark",
+            },
+        },
+        "columns": 3,
+    }
+    return spec, table
+
+
+@register_figure(
+    "device_ipc_scaling",
+    title="Device IPC vs. SM count",
+    requires=("points",),
+    caption=(
+        "Device-level IPC as the launch is partitioned across more "
+        "SMs, one series per design (telemetry streams swept with "
+        "different --sms settings)."
+    ),
+    paper="Fig. 10b (device extension)",
+)
+def device_ipc_scaling(inputs: FigureInputs) -> Tuple[Dict[str, Any], Frame]:
+    points = inputs.points.filter(
+        lambda row: row["ipc"] is not None and row["num_sms"] is not None
+    )
+    rows = []
+    for (benchmark, design, num_sms), group in points.groupby(
+        "benchmark", "design", "num_sms"
+    ):
+        rows.append(
+            {
+                "benchmark": benchmark,
+                "design": design,
+                "num_sms": num_sms,
+                "ipc": _mean(group["ipc"]),
+            }
+        )
+    table = Frame.from_records(
+        rows, columns=("benchmark", "design", "num_sms", "ipc")
+    ).sort("benchmark", "design", "num_sms")
+    spec = {
+        "description": (
+            "Device-IPC scaling: device IPC against the SM count the "
+            "launch was partitioned across."
+        ),
+        "mark": {"type": "line", "point": True},
+        "encoding": {
+            "x": {
+                "field": "num_sms",
+                "type": "quantitative",
+                "title": "SMs",
+                "axis": {"tickMinStep": 1},
+            },
+            "y": {
+                "field": "ipc",
+                "type": "quantitative",
+                "title": "device IPC",
+            },
+            "color": {
+                "field": "design",
+                "type": "nominal",
+                "title": "design",
+                "scale": design_color_scale(table.unique("design")),
+            },
+            "facet": {
+                "field": "benchmark",
+                "type": "nominal",
+                "title": "benchmark",
+            },
+        },
+        "columns": 3,
+    }
+    return spec, table
+
+
+@register_figure(
+    "stall_breakdown",
+    title="Issue/dispatch stall reasons",
+    requires=("trace",),
+    caption=(
+        "Count-weighted stall events from a cycle-level trace, broken "
+        "down by pipeline stage and recorded reason."
+    ),
+    paper="§ IV (stall taxonomy)",
+)
+def stall_breakdown(inputs: FigureInputs) -> Tuple[Dict[str, Any], Frame]:
+    stalls = inputs.trace.filter(
+        lambda row: row["kind"] in ("issue_stall", "dispatch_stall")
+    )
+    rows = []
+    for (stage, kind, reason), group in stalls.groupby("stage", "kind", "reason"):
+        rows.append(
+            {
+                "stage": stage,
+                "kind": kind,
+                "reason": reason or "unattributed",
+                "events": sum(group["count"]),
+            }
+        )
+    table = Frame.from_records(
+        rows, columns=("stage", "kind", "reason", "events")
+    ).sort("events", reverse=True)
+    spec = {
+        "description": (
+            "Issue-stall breakdown: count-weighted stall events per "
+            "recorded reason, colored by stall kind."
+        ),
+        "mark": "bar",
+        "encoding": {
+            "y": {
+                "field": "reason",
+                "type": "nominal",
+                "title": "stall reason",
+                "sort": "-x",
+            },
+            "x": {
+                "field": "events",
+                "type": "quantitative",
+                "title": "stalled cycles (count-weighted events)",
+            },
+            "color": {
+                "field": "kind",
+                "type": "nominal",
+                "title": "stall kind",
+            },
+            "tooltip": [
+                {"field": "reason", "type": "nominal"},
+                {"field": "kind", "type": "nominal"},
+                {"field": "events", "type": "quantitative"},
+            ],
+        },
+    }
+    return spec, table
+
+
+@register_figure(
+    "boc_composition",
+    title="BOC traffic composition",
+    requires=("trace",),
+    caption=(
+        "Operand-store traffic from a cycle-level trace: hits "
+        "(forwarded reads), inserts, and evictions, stacked by the "
+        "recorded reason."
+    ),
+    paper="Fig. 8 / Fig. 9",
+)
+def boc_composition(inputs: FigureInputs) -> Tuple[Dict[str, Any], Frame]:
+    events = inputs.trace.filter(
+        lambda row: row["kind"] in ("boc_hit", "boc_insert", "boc_evict")
+    )
+    rows = []
+    for (kind, reason), group in events.groupby("kind", "reason"):
+        rows.append(
+            {
+                "kind": kind,
+                "reason": reason or "direct",
+                "events": sum(group["count"]),
+            }
+        )
+    table = Frame.from_records(rows, columns=("kind", "reason", "events")).sort(
+        "kind", "reason"
+    )
+    spec = {
+        "description": (
+            "BOC hit/insert/evict composition, stacked by recorded "
+            "reason (slide vs. capacity vs. drain evictions)."
+        ),
+        "mark": "bar",
+        "encoding": {
+            "x": {
+                "field": "kind",
+                "type": "nominal",
+                "title": "BOC event",
+                "sort": ["boc_hit", "boc_insert", "boc_evict"],
+            },
+            "y": {
+                "field": "events",
+                "type": "quantitative",
+                "title": "count-weighted events",
+                "stack": "zero",
+            },
+            "color": {
+                "field": "reason",
+                "type": "nominal",
+                "title": "reason",
+            },
+            "tooltip": [
+                {"field": "kind", "type": "nominal"},
+                {"field": "reason", "type": "nominal"},
+                {"field": "events", "type": "quantitative"},
+            ],
+        },
+    }
+    return spec, table
+
+
+@register_figure(
+    "sweep_health",
+    title="Sweep cache/retry health",
+    requires=("points",),
+    optional=("failures",),
+    caption=(
+        "Where every resolved grid point came from (memo / disk cache "
+        "/ fresh simulation / failed), per benchmark — the dashboard "
+        "view of sweep provenance and retry health."
+    ),
+)
+def sweep_health(inputs: FigureInputs) -> Tuple[Dict[str, Any], Frame]:
+    rows = []
+    for (benchmark, source), group in inputs.points.groupby("benchmark", "source"):
+        rows.append(
+            {
+                "benchmark": benchmark,
+                "source": source,
+                "points": len(group),
+                "attempts": sum(
+                    value for value in group["attempts"] if value is not None
+                ),
+            }
+        )
+    if inputs.failures is not None:
+        for (benchmark,), group in inputs.failures.groupby("benchmark"):
+            rows.append(
+                {
+                    "benchmark": benchmark,
+                    "source": "failed",
+                    "points": len(group),
+                    "attempts": sum(
+                        value for value in group["attempts"] if value is not None
+                    ),
+                }
+            )
+    table = Frame.from_records(
+        rows, columns=("benchmark", "source", "points", "attempts")
+    ).sort("benchmark", "source")
+    spec = {
+        "description": (
+            "Sweep health: per-benchmark provenance composition of "
+            "resolved grid points, including failures; attempts ride "
+            "in the tooltip."
+        ),
+        "mark": "bar",
+        "encoding": {
+            "x": {
+                "field": "benchmark",
+                "type": "nominal",
+                "title": "benchmark",
+            },
+            "y": {
+                "field": "points",
+                "type": "quantitative",
+                "title": "grid points",
+                "stack": "zero",
+            },
+            "color": {
+                "field": "source",
+                "type": "nominal",
+                "title": "provenance",
+                "scale": {
+                    "domain": ["memo", "cache", "sim", "failed"],
+                    "range": ["#009E73", "#0072B2", "#E69F00", "#D55E00"],
+                },
+            },
+            "tooltip": [
+                {"field": "benchmark", "type": "nominal"},
+                {"field": "source", "type": "nominal"},
+                {"field": "points", "type": "quantitative"},
+                {"field": "attempts", "type": "quantitative"},
+            ],
+        },
+    }
+    return spec, table
+
+
+@register_figure(
+    "engine_throughput",
+    title="Engine throughput and fast-forward share",
+    requires=("bench",),
+    caption=(
+        "Committed engine-bench baseline: simulated cycles/sec per "
+        "benchmark x design case (bars), with the share of cycles the "
+        "event-horizon loop jumped overlaid (points, right axis)."
+    ),
+)
+def engine_throughput(inputs: FigureInputs) -> Tuple[Dict[str, Any], Frame]:
+    engine = inputs.bench.where(kind="engine")
+    table = engine.select(
+        "case", "benchmark", "design", "cycles_per_sec", "ff_share"
+    ).sort("case")
+    spec = {
+        "description": (
+            "Engine throughput: cycles/sec per bench case with the "
+            "fast-forwarded cycle share overlaid on an independent "
+            "axis."
+        ),
+        "encoding": {
+            "x": {
+                "field": "case",
+                "type": "nominal",
+                "title": "benchmark / design",
+                "sort": None,
+            },
+        },
+        "layer": [
+            {
+                "mark": "bar",
+                "encoding": {
+                    "y": {
+                        "field": "cycles_per_sec",
+                        "type": "quantitative",
+                        "title": "cycles / second",
+                    },
+                    "color": {
+                        "field": "design",
+                        "type": "nominal",
+                        "title": "design",
+                        "scale": design_color_scale(table.unique("design")),
+                    },
+                },
+            },
+            {
+                "mark": {"type": "point", "filled": True, "size": 70},
+                "encoding": {
+                    "y": {
+                        "field": "ff_share",
+                        "type": "quantitative",
+                        "title": "fast-forwarded share",
+                        "axis": {"format": ".0%"},
+                    },
+                    "color": {"value": "#000000"},
+                },
+            },
+        ],
+        "resolve": {"scale": {"y": "independent"}},
+    }
+    return spec, table
+
+
+@register_figure(
+    "service_throughput",
+    title="Sweep-service throughput: cold vs. warm",
+    requires=("bench",),
+    caption=(
+        "Load-generator report: points served per second on the cold "
+        "pass (single-flight simulations) vs. the warm pass (pure "
+        "cache hits); log scale because the gap is the whole point."
+    ),
+)
+def service_throughput(inputs: FigureInputs) -> Tuple[Dict[str, Any], Frame]:
+    service = inputs.bench.where(kind="service")
+    table = service.select(
+        "file",
+        "bench_pass",
+        "points_per_sec",
+        "points_served",
+        "simulated",
+        "latency_p50",
+        "latency_p95",
+    ).sort("file", "bench_pass")
+    spec = {
+        "description": (
+            "Service throughput: points/sec for the cold and warm "
+            "load-generator passes, log-scaled."
+        ),
+        "mark": "bar",
+        "encoding": {
+            "x": {
+                "field": "bench_pass",
+                "type": "nominal",
+                "title": "pass",
+                "sort": ["cold", "warm"],
+            },
+            "y": {
+                "field": "points_per_sec",
+                "type": "quantitative",
+                "title": "points / second",
+                "scale": {"type": "log"},
+            },
+            "color": {
+                "field": "file",
+                "type": "nominal",
+                "title": "report",
+            },
+            "tooltip": [
+                {"field": "bench_pass", "type": "nominal"},
+                {"field": "points_per_sec", "type": "quantitative"},
+                {"field": "latency_p50", "type": "quantitative"},
+                {"field": "latency_p95", "type": "quantitative"},
+            ],
+        },
+    }
+    return spec, table

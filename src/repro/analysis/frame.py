@@ -1,0 +1,233 @@
+"""A tiny column-oriented data table — the pandas stand-in.
+
+The analysis loaders (:mod:`repro.analysis.loaders`) and figure
+generators (:mod:`repro.analysis.figures`) operate on :class:`Frame`, a
+deliberately small subset of the pandas ``DataFrame`` surface: named
+columns over aligned row lists, filtering, sorting, group-by, and CSV
+serialization.  The subset is enough for every registered figure, keeps
+the pipeline importable on a bare ``numpy``-only install (this repo's
+baseline), and converts losslessly to a real ``DataFrame`` via
+:meth:`Frame.to_pandas` when pandas happens to be importable.
+
+Frames are immutable by convention: every transform returns a new
+:class:`Frame` sharing nothing with its source, so a figure generator
+cannot corrupt the loader output another generator is about to read.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..errors import AnalysisError
+
+
+def _sort_token(value: Any) -> Tuple[int, Any]:
+    """A totally-ordered proxy for a heterogeneous cell value.
+
+    ``None`` sorts first, then booleans/numbers, then everything else by
+    its string form — so a column mixing ``None`` with ints (an optional
+    telemetry field) still sorts deterministically.
+    """
+    if value is None:
+        return (0, 0)
+    if isinstance(value, bool):
+        return (1, int(value))
+    if isinstance(value, (int, float)):
+        return (1, value)
+    return (2, str(value))
+
+
+class Frame:
+    """An ordered mapping of column name -> equal-length value list."""
+
+    def __init__(
+        self,
+        columns: Mapping[str, Sequence[Any]],
+        meta: Optional[Mapping[str, Any]] = None,
+    ):
+        self._columns: Dict[str, List[Any]] = {
+            name: list(values) for name, values in columns.items()
+        }
+        lengths = {len(values) for values in self._columns.values()}
+        if len(lengths) > 1:
+            raise AnalysisError(
+                f"ragged frame: column lengths {sorted(lengths)} differ"
+            )
+        self._length = lengths.pop() if lengths else 0
+        #: Loader provenance (corrupt-line counts, stream counts, ...).
+        self.meta: Dict[str, Any] = dict(meta or {})
+
+    @classmethod
+    def from_records(
+        cls,
+        records: Iterable[Mapping[str, Any]],
+        columns: Optional[Sequence[str]] = None,
+        meta: Optional[Mapping[str, Any]] = None,
+    ) -> "Frame":
+        """Build a frame from row dicts.
+
+        ``columns`` fixes the column set and order; without it, the
+        union of keys in first-seen order is used.  Missing cells are
+        ``None``.
+        """
+        rows = [dict(record) for record in records]
+        if columns is None:
+            names: List[str] = []
+            for row in rows:
+                for key in row:
+                    if key not in names:
+                        names.append(key)
+        else:
+            names = list(columns)
+        data = {name: [row.get(name) for row in rows] for name in names}
+        return cls(data, meta=meta)
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def columns(self) -> Tuple[str, ...]:
+        return tuple(self._columns)
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._columns
+
+    def __getitem__(self, name: str) -> List[Any]:
+        return self.column(name)
+
+    def column(self, name: str) -> List[Any]:
+        """The values of one column (a copy; frames are immutable)."""
+        try:
+            return list(self._columns[name])
+        except KeyError:
+            raise AnalysisError(
+                f"no column {name!r} (have: {', '.join(self._columns) or '-'})"
+            ) from None
+
+    def rows(self) -> Iterator[Dict[str, Any]]:
+        """Iterate rows as dicts (column order preserved)."""
+        names = self.columns
+        for index in range(self._length):
+            yield {name: self._columns[name][index] for name in names}
+
+    def to_records(self) -> List[Dict[str, Any]]:
+        return list(self.rows())
+
+    def __repr__(self) -> str:
+        return f"Frame({self._length} rows x {len(self._columns)} columns)"
+
+    # -- transforms -------------------------------------------------------
+
+    def filter(self, predicate: Callable[[Dict[str, Any]], bool]) -> "Frame":
+        """Rows for which ``predicate(row_dict)`` is true."""
+        return Frame.from_records(
+            [row for row in self.rows() if predicate(row)],
+            columns=self.columns,
+            meta=self.meta,
+        )
+
+    def where(self, **equals: Any) -> "Frame":
+        """Rows whose named columns equal the given values."""
+        return self.filter(
+            lambda row: all(row.get(name) == value for name, value in equals.items())
+        )
+
+    def select(self, *names: str) -> "Frame":
+        """A frame restricted to the named columns, in that order."""
+        return Frame(
+            {name: self.column(name) for name in names},
+            meta=self.meta,
+        )
+
+    def assign(self, name: str, fn: Callable[[Dict[str, Any]], Any]) -> "Frame":
+        """Add (or replace) a column computed per row."""
+        data = {column: self.column(column) for column in self.columns}
+        data[name] = [fn(row) for row in self.rows()]
+        return Frame(data, meta=self.meta)
+
+    def sort(self, *names: str, reverse: bool = False) -> "Frame":
+        """Rows sorted by the named columns (stable, None-first)."""
+        for name in names:
+            self.column(name)  # raise on unknown columns up front
+        rows = sorted(
+            self.rows(),
+            key=lambda row: tuple(_sort_token(row[name]) for name in names),
+            reverse=reverse,
+        )
+        return Frame.from_records(rows, columns=self.columns, meta=self.meta)
+
+    def unique(self, name: str) -> List[Any]:
+        """Distinct values of one column, first-seen order."""
+        seen: List[Any] = []
+        for value in self.column(name):
+            if value not in seen:
+                seen.append(value)
+        return seen
+
+    def groupby(self, *names: str) -> Iterator[Tuple[Tuple[Any, ...], "Frame"]]:
+        """Iterate ``(key_tuple, sub_frame)`` in first-seen key order."""
+        for name in names:
+            self.column(name)
+        groups: Dict[Tuple[Any, ...], List[Dict[str, Any]]] = {}
+        for row in self.rows():
+            key = tuple(row[name] for name in names)
+            groups.setdefault(key, []).append(row)
+        for key, rows in groups.items():
+            yield key, Frame.from_records(rows, columns=self.columns)
+
+    # -- serialization ----------------------------------------------------
+
+    def to_csv(self, target: Any = None) -> Optional[str]:
+        """Write the frame as CSV (header + rows).
+
+        ``target`` is a filesystem path or an open text stream; with no
+        target, the CSV text is returned.  ``None`` cells serialize as
+        empty, matching the trace CSV exporter's convention.
+        """
+        if target is None:
+            buffer = io.StringIO()
+            self.to_csv(buffer)
+            return buffer.getvalue()
+        if hasattr(target, "write"):
+            writer = csv.writer(target)
+            writer.writerow(self.columns)
+            for row in self.rows():
+                writer.writerow(
+                    ["" if row[name] is None else row[name] for name in self.columns]
+                )
+            return None
+        with open(target, "w", newline="", encoding="utf-8") as handle:
+            self.to_csv(handle)
+        return None
+
+    def to_pandas(self):
+        """This frame as a ``pandas.DataFrame``.
+
+        pandas is an *optional* dependency of the analysis layer; the
+        import is deferred so the whole pipeline works without it, and
+        an explicit request on a pandas-less install fails with a typed,
+        actionable error instead of a bare ImportError.
+        """
+        try:
+            import pandas
+        except ImportError as error:
+            raise AnalysisError(
+                "pandas is not installed; Frame.to_pandas() needs it "
+                "(the rest of repro.analysis does not)"
+            ) from error
+        return pandas.DataFrame({name: self.column(name) for name in self.columns})

@@ -1,0 +1,354 @@
+"""Schema-validated readers: telemetry / trace / bench files -> frames.
+
+Every loader returns a :class:`~repro.analysis.frame.Frame` whose
+``meta`` records what was *skipped* — torn tails from a crashed sweep,
+injected corruption, records that no longer validate — so a dashboard
+can distinguish "clean stream" from "salvaged stream" instead of
+silently plotting the survivors.  The tolerance rules match the service
+journal reader (:func:`repro.service.journal.read_records`): a line
+that fails to parse or validate is counted and skipped, never fatal;
+a missing *start* record downgrades the stream-level columns to
+``None`` rather than rejecting the points.
+
+Loaders:
+
+* :func:`build_points_df`   — ``point`` records from one or more sweep
+  telemetry streams (schema v1 and v2), stamped with each stream's
+  scale so multi-stream frames can compare ``num_sms`` / warp counts;
+* :func:`build_failures_df` — ``failure`` records, same stamping;
+* :func:`build_trace_df`    — trace event exports (JSONL or CSV), with
+  the per-kind pipeline ``stage`` joined on;
+* :func:`build_bench_df`    — the committed ``benchmarks/BENCH_*.json``
+  reports (engine throughput and service load-generator formats).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+from ..errors import AnalysisError, SchemaError
+from ..observe.schema import validate_event, validate_telemetry_record
+from ..stats.trace import STAGE_OF, EventKind
+from .frame import Frame
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+#: Column order of :func:`build_points_df` frames.
+POINT_COLUMNS = (
+    "benchmark",
+    "design",
+    "window",
+    "source",
+    "seconds",
+    "attempts",
+    "cycles",
+    "instructions",
+    "ipc",
+    "fast_forwarded_cycles",
+    "num_warps",
+    "trace_scale",
+    "num_sms",
+    "schema",
+    "stream",
+)
+
+#: Column order of :func:`build_failures_df` frames.
+FAILURE_COLUMNS = (
+    "benchmark",
+    "design",
+    "window",
+    "label",
+    "kind",
+    "attempts",
+    "seconds",
+    "error_type",
+    "message",
+    "num_sms",
+    "schema",
+    "stream",
+)
+
+#: Column order of :func:`build_trace_df` frames.
+TRACE_COLUMNS = (
+    "cycle",
+    "kind",
+    "stage",
+    "warp",
+    "count",
+    "reason",
+    "register",
+    "bank",
+    "trace_index",
+    "opcode",
+)
+
+#: Column order of :func:`build_bench_df` frames.
+BENCH_COLUMNS = (
+    "file",
+    "kind",
+    "case",
+    "benchmark",
+    "design",
+    "cycles",
+    "cycles_per_sec",
+    "fast_forwarded_cycles",
+    "ff_share",
+    "bench_pass",
+    "points_per_sec",
+    "points_served",
+    "simulated",
+    "latency_p50",
+    "latency_p95",
+)
+
+
+def _stream_name(path: PathLike) -> str:
+    return os.path.basename(os.fspath(path))
+
+
+def _iter_valid_records(
+    path: PathLike, counts: Dict[str, int]
+) -> Iterator[dict]:
+    """Telemetry records from one JSONL stream, salvage-style.
+
+    Unparseable lines (torn tails, corruption) bump
+    ``counts["corrupt_lines"]``; parseable-but-invalid records bump
+    ``counts["invalid_records"]``.  A missing file raises — pointing the
+    CLI at a typo'd path should not read as an empty sweep.
+    """
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                counts["corrupt_lines"] += 1
+                continue
+            try:
+                validate_telemetry_record(record)
+            except SchemaError:
+                counts["invalid_records"] += 1
+                continue
+            yield record
+
+
+def _load_telemetry(
+    paths: Tuple[PathLike, ...], record_type: str, columns: Tuple[str, ...]
+) -> Frame:
+    if not paths:
+        raise AnalysisError("no telemetry files given")
+    counts = {"corrupt_lines": 0, "invalid_records": 0}
+    rows: List[Dict[str, Any]] = []
+    streams = 0
+    for path in paths:
+        streams += 1
+        stream = _stream_name(path)
+        scale: Dict[str, Any] = {}
+        schema_version: Optional[int] = None
+        for record in _iter_valid_records(path, counts):
+            if record["type"] == "start":
+                scale = dict(record.get("scale", {}))
+                schema_version = record.get("schema")
+                continue
+            if record["type"] != record_type:
+                continue
+            row = {name: record.get(name) for name in columns}
+            row["num_warps"] = scale.get("num_warps")
+            row["trace_scale"] = scale.get("trace_scale")
+            row["num_sms"] = scale.get("num_sms")
+            row["schema"] = schema_version
+            row["stream"] = stream
+            rows.append({name: row.get(name) for name in columns})
+    meta = dict(counts)
+    meta["streams"] = streams
+    return Frame.from_records(rows, columns=columns, meta=meta)
+
+
+def build_points_df(*paths: PathLike) -> Frame:
+    """``point`` records from one or more sweep telemetry streams.
+
+    Works on schema v1 and v2 streams alike — the v2-only
+    ``fast_forwarded_cycles`` column is ``None`` where a stream (or a
+    memo/cache-sourced point) omits it.  Each point is stamped with its
+    stream's ``start`` scale (``num_warps`` / ``trace_scale`` /
+    ``num_sms``), schema version, and file name, so frames built from
+    several sweeps — e.g. one per ``--sms`` setting — stay separable.
+    """
+    return _load_telemetry(paths, "point", POINT_COLUMNS)
+
+
+def build_failures_df(*paths: PathLike) -> Frame:
+    """``failure`` records from one or more sweep telemetry streams."""
+    return _load_telemetry(paths, "failure", FAILURE_COLUMNS)
+
+
+_TRACE_INT_FIELDS = ("cycle", "warp", "count", "register", "bank", "trace_index")
+
+#: Fields an event record may carry (the CSV column vocabulary).
+POSSIBLE_EVENT_FIELDS = frozenset(
+    ("cycle", "kind", "warp", "count", "reason", "register", "bank",
+     "trace_index", "opcode")
+)
+
+
+def _trace_row(record: Dict[str, Any]) -> Dict[str, Any]:
+    row = {name: record.get(name) for name in TRACE_COLUMNS}
+    row["count"] = 1 if row["count"] is None else row["count"]
+    row["stage"] = STAGE_OF[EventKind(record["kind"])]
+    return row
+
+
+def build_trace_df(path: PathLike, format: Optional[str] = None) -> Frame:
+    """Trace events from a ``repro trace --out`` export.
+
+    ``format`` is ``"jsonl"`` or ``"csv"``; by default it is inferred
+    from the file extension (anything not ``.csv`` reads as JSONL, the
+    tolerant format).  JSONL lines are validated against
+    :data:`~repro.observe.schema.EVENT_SCHEMA` with the same
+    skip-and-count salvage rules as the telemetry loaders; CSV rows with
+    non-numeric required cells are counted as corrupt.
+    """
+    if format is None:
+        format = "csv" if os.fspath(path).lower().endswith(".csv") else "jsonl"
+    if format not in ("jsonl", "csv"):
+        raise AnalysisError(f"unknown trace format {format!r} (jsonl or csv)")
+    counts = {"corrupt_lines": 0, "invalid_records": 0}
+    rows: List[Dict[str, Any]] = []
+    if format == "jsonl":
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    counts["corrupt_lines"] += 1
+                    continue
+                try:
+                    validate_event(record)
+                except SchemaError:
+                    counts["invalid_records"] += 1
+                    continue
+                rows.append(_trace_row(record))
+    else:
+        with open(path, newline="", encoding="utf-8") as handle:
+            for record in csv.DictReader(handle):
+                cleaned: Dict[str, Any] = {
+                    name: value
+                    for name, value in record.items()
+                    if value not in ("", None)
+                }
+                try:
+                    for name in _TRACE_INT_FIELDS:
+                        if name in cleaned:
+                            cleaned[name] = int(cleaned[name])
+                    validate_event(
+                        {
+                            name: value
+                            for name, value in cleaned.items()
+                            if name in POSSIBLE_EVENT_FIELDS
+                        }
+                    )
+                except (ValueError, SchemaError):
+                    counts["invalid_records"] += 1
+                    continue
+                rows.append(_trace_row(cleaned))
+    return Frame.from_records(rows, columns=TRACE_COLUMNS, meta=dict(counts))
+
+
+def _engine_rows(path: PathLike, document: dict) -> List[Dict[str, Any]]:
+    designs = document.get("designs")
+    if not isinstance(designs, dict):
+        raise AnalysisError(f"{path}: engine bench JSON without a designs map")
+    rows = []
+    for case in sorted(designs):
+        entry = designs[case]
+        if not isinstance(entry, dict) or "cycles_per_sec" not in entry:
+            raise AnalysisError(f"{path}: malformed engine bench entry {case!r}")
+        benchmark, _, design = case.partition("/")
+        cycles = entry.get("cycles")
+        forwarded = entry.get("fast_forwarded_cycles")
+        share = None
+        if isinstance(cycles, int) and cycles > 0 and isinstance(forwarded, int):
+            share = forwarded / cycles
+        rows.append(
+            {
+                "file": _stream_name(path),
+                "kind": "engine",
+                "case": case,
+                "benchmark": benchmark,
+                "design": design or None,
+                "cycles": cycles,
+                "cycles_per_sec": entry["cycles_per_sec"],
+                "fast_forwarded_cycles": forwarded,
+                "ff_share": share,
+            }
+        )
+    return rows
+
+
+def _service_rows(path: PathLike, document: dict) -> List[Dict[str, Any]]:
+    passes = document.get("passes")
+    if not isinstance(passes, dict):
+        raise AnalysisError(f"{path}: service bench JSON without a passes map")
+    rows = []
+    for name in sorted(passes):
+        entry = passes[name]
+        if not isinstance(entry, dict) or "points_per_sec" not in entry:
+            raise AnalysisError(f"{path}: malformed service bench pass {name!r}")
+        latency = entry.get("latency", {})
+        service = entry.get("service", {})
+        rows.append(
+            {
+                "file": _stream_name(path),
+                "kind": "service",
+                "case": name,
+                "bench_pass": name,
+                "points_per_sec": entry["points_per_sec"],
+                "points_served": entry.get("points_served"),
+                "simulated": service.get("simulated"),
+                "latency_p50": latency.get("p50"),
+                "latency_p95": latency.get("p95"),
+            }
+        )
+    return rows
+
+
+def build_bench_df(*paths: PathLike) -> Frame:
+    """Rows from committed ``BENCH_*.json`` reports.
+
+    Both committed formats are understood and distinguished by the
+    ``kind`` column: the engine throughput baseline (a ``designs`` map
+    of ``benchmark/design`` cases; gains ``ff_share`` =
+    ``fast_forwarded_cycles / cycles``) and the service load-generator
+    report (a ``passes`` map with throughput and latency percentiles).
+    A file that is neither raises :class:`~repro.errors.AnalysisError`.
+    """
+    if not paths:
+        raise AnalysisError("no bench files given")
+    rows: List[Dict[str, Any]] = []
+    for path in paths:
+        with open(path, encoding="utf-8") as handle:
+            try:
+                document = json.load(handle)
+            except json.JSONDecodeError as error:
+                raise AnalysisError(f"{path}: not JSON ({error})") from error
+        if not isinstance(document, dict):
+            raise AnalysisError(f"{path}: expected a JSON object")
+        # Order matters: the service report also carries a "designs"
+        # key (the requested design *list*), so sniff "passes" first.
+        if "passes" in document:
+            rows.extend(_service_rows(path, document))
+        elif "designs" in document:
+            rows.extend(_engine_rows(path, document))
+        else:
+            raise AnalysisError(
+                f"{path}: unrecognized bench format (no designs/passes map)"
+            )
+    return Frame.from_records(rows, columns=BENCH_COLUMNS, meta={"files": len(paths)})

@@ -1,0 +1,160 @@
+"""Render registered figures to ``<name>.vl.json`` + ``<name>.csv``.
+
+The renderer is the only writer in the pipeline: it themes a
+generator's spec, points ``data.url`` at the backing CSV it writes
+next to the spec, stamps provenance into ``usermeta``, and validates
+the result against
+:data:`repro.observe.schema.FIGURE_SPEC_SCHEMA` *before* anything
+touches disk — an invalid spec is a bug in a generator, and it fails
+the render instead of shipping an artifact no consumer can trust.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from .. import __version__
+from ..errors import AnalysisError
+from ..observe.schema import validate_figure_spec
+from .figures import FIGURES, FigureInputs, figure_spec
+from .frame import Frame
+from .loaders import (
+    build_bench_df,
+    build_failures_df,
+    build_points_df,
+    build_trace_df,
+)
+from .theme import apply_theme
+
+#: What one figure emits per format choice.
+FORMATS = ("both", "spec", "csv")
+
+
+@dataclass(frozen=True)
+class RenderedFigure:
+    """What one figure render produced."""
+
+    name: str
+    rows: int
+    spec_path: Optional[str] = None
+    csv_path: Optional[str] = None
+
+    @property
+    def paths(self) -> List[str]:
+        return [path for path in (self.spec_path, self.csv_path) if path]
+
+
+@dataclass
+class RenderReport:
+    """The outcome of a :func:`render_figures` invocation."""
+
+    rendered: List[RenderedFigure] = field(default_factory=list)
+    skipped: List[Tuple[str, str]] = field(default_factory=list)
+
+
+def render_figure(
+    name: str,
+    inputs: FigureInputs,
+    out_dir: str,
+    format: str = "both",
+) -> RenderedFigure:
+    """Render one registered figure into ``out_dir``.
+
+    Returns the written paths; raises
+    :class:`~repro.errors.AnalysisError` when the figure is unknown,
+    its required inputs are missing, or it has no data to plot.
+    """
+    if format not in FORMATS:
+        raise AnalysisError(f"unknown render format {format!r} (use {FORMATS})")
+    entry = figure_spec(name)
+    spec, table = entry.build(inputs)
+    spec = apply_theme(spec)
+    spec["data"] = {"url": f"{name}.csv"}
+    spec.setdefault("title", entry.title)
+    spec["usermeta"] = {
+        "figure": name,
+        "paper": entry.paper or "",
+        "generator": f"repro figures {__version__}",
+        "rows": len(table),
+    }
+    validate_figure_spec(spec)
+    os.makedirs(out_dir, exist_ok=True)
+    spec_path = csv_path = None
+    if format in ("both", "csv"):
+        csv_path = os.path.join(out_dir, f"{name}.csv")
+        table.to_csv(csv_path)
+    if format in ("both", "spec"):
+        spec_path = os.path.join(out_dir, f"{name}.vl.json")
+        with open(spec_path, "w", encoding="utf-8") as handle:
+            json.dump(spec, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return RenderedFigure(
+        name=name,
+        rows=len(table),
+        spec_path=spec_path,
+        csv_path=csv_path,
+    )
+
+
+def render_figures(
+    inputs: FigureInputs,
+    out_dir: str,
+    only: Optional[Sequence[str]] = None,
+    format: str = "both",
+    log: Optional[Callable[[str], None]] = None,
+) -> RenderReport:
+    """Render every registered figure the inputs can feed.
+
+    Without ``only``, figures whose required inputs were not loaded are
+    *skipped* (reported in the result) — pointing the CLI at telemetry
+    alone should render the telemetry figures, not fail on the trace
+    ones.  With ``only``, the named figures are mandatory: a missing
+    input or empty table raises.
+    """
+    names = list(only) if only is not None else list(FIGURES)
+    report = RenderReport()
+    for name in names:
+        entry = figure_spec(name)
+        missing = inputs.missing(entry.requires)
+        if missing and only is None:
+            reason = f"missing {', '.join(missing)} input(s)"
+            report.skipped.append((name, reason))
+            if log is not None:
+                log(f"skipped {name}: {reason}")
+            continue
+        rendered = render_figure(name, inputs, out_dir, format=format)
+        report.rendered.append(rendered)
+        if log is not None:
+            log(
+                f"wrote {name} ({rendered.rows} row(s)) -> "
+                + ", ".join(os.path.basename(p) for p in rendered.paths)
+            )
+    return report
+
+
+def build_inputs(
+    telemetry: Sequence[str] = (),
+    trace: Optional[str] = None,
+    bench: Sequence[str] = (),
+) -> FigureInputs:
+    """Load CLI-style file arguments into :class:`FigureInputs`."""
+    points: Optional[Frame] = None
+    failures: Optional[Frame] = None
+    trace_frame: Optional[Frame] = None
+    bench_frame: Optional[Frame] = None
+    if telemetry:
+        points = build_points_df(*telemetry)
+        failures = build_failures_df(*telemetry)
+    if trace is not None:
+        trace_frame = build_trace_df(trace)
+    if bench:
+        bench_frame = build_bench_df(*bench)
+    return FigureInputs(
+        points=points,
+        failures=failures,
+        trace=trace_frame,
+        bench=bench_frame,
+    )

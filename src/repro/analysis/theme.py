@@ -1,0 +1,129 @@
+"""The one publication theme every rendered figure spec carries.
+
+A Vega-Lite spec is self-contained: the renderer does not get to
+inject styling later, so the theme must ride inside every emitted
+``.vl.json``.  :func:`apply_theme` stamps the schema URL, a default
+view size, and the shared ``config`` block onto a bare spec; anything
+the figure generator already set wins over the theme default, so a
+figure can opt out of one knob without forking the theme.
+
+The categorical palette is Okabe-Ito — colorblind-safe, print-safe,
+and long enough for the design registry; design names get pinned
+colors so BOW is the same orange in every figure of a report.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Dict, List
+
+#: The Vega-Lite dialect every emitted spec declares.
+VEGA_LITE_SCHEMA_URL = "https://vega.github.io/schema/vega-lite/v5.json"
+
+#: Okabe-Ito categorical palette (colorblind-safe).
+PALETTE: List[str] = [
+    "#0072B2",  # blue
+    "#E69F00",  # orange
+    "#009E73",  # bluish green
+    "#D55E00",  # vermillion
+    "#CC79A7",  # reddish purple
+    "#56B4E9",  # sky blue
+    "#F0E442",  # yellow
+    "#000000",  # black
+]
+
+#: Pinned series colors for the design registry, in frontier order.
+DESIGN_COLORS: Dict[str, str] = {
+    "baseline": "#0072B2",
+    "bow": "#E69F00",
+    "bow-wr": "#D55E00",
+    "rfc": "#009E73",
+    "infinite-oc": "#CC79A7",
+    "reference": "#56B4E9",
+}
+
+#: Default single-view size (per facet for faceted specs).
+DEFAULT_WIDTH = 360
+DEFAULT_HEIGHT = 240
+
+#: The shared ``config`` block (font stack, axis/legend styling).
+THEME_CONFIG: Dict[str, Any] = {
+    "font": "Helvetica, Arial, sans-serif",
+    "axis": {
+        "labelFontSize": 11,
+        "titleFontSize": 12,
+        "grid": True,
+        "gridColor": "#e0e0e0",
+        "domainColor": "#444444",
+        "tickColor": "#444444",
+    },
+    "legend": {
+        "labelFontSize": 11,
+        "titleFontSize": 12,
+        "orient": "right",
+    },
+    "title": {
+        "fontSize": 14,
+        "anchor": "start",
+        "fontWeight": "bold",
+    },
+    "view": {
+        "stroke": "transparent",
+    },
+    "range": {
+        "category": PALETTE,
+    },
+    "bar": {
+        "opacity": 0.9,
+    },
+    "line": {
+        "strokeWidth": 2,
+    },
+    "point": {
+        "filled": True,
+        "size": 55,
+    },
+}
+
+
+def design_color_scale(designs: List[str]) -> Dict[str, List[str]]:
+    """A Vega-Lite color ``scale`` pinning each design's series color.
+
+    Designs without a pinned entry fall back to palette order, so a
+    future registry addition renders without a theme edit.
+    """
+    spare = [color for color in PALETTE if color not in DESIGN_COLORS.values()]
+    colors = []
+    for index, design in enumerate(designs):
+        fallback = spare[index % len(spare)] if spare else PALETTE[index % len(PALETTE)]
+        colors.append(DESIGN_COLORS.get(design, fallback))
+    return {"domain": list(designs), "range": colors}
+
+
+def _merge_defaults(target: Dict[str, Any], defaults: Dict[str, Any]) -> None:
+    """Recursively fill ``defaults`` into ``target`` without overriding."""
+    for key, value in defaults.items():
+        if key not in target:
+            target[key] = copy.deepcopy(value)
+        elif isinstance(target[key], dict) and isinstance(value, dict):
+            _merge_defaults(target[key], value)
+
+
+def apply_theme(spec: Dict[str, Any]) -> Dict[str, Any]:
+    """A themed deep copy of ``spec`` (the input is left untouched).
+
+    Stamps ``$schema``, the default view size (single-view and layered
+    specs only — faceted specs size per facet via their generator), and
+    the publication ``config``; spec-provided values win on conflict.
+    """
+    themed = copy.deepcopy(spec)
+    themed.setdefault("$schema", VEGA_LITE_SCHEMA_URL)
+    faceted = "facet" in themed or (
+        isinstance(themed.get("encoding"), dict) and "facet" in themed["encoding"]
+    )
+    if not faceted:
+        themed.setdefault("width", DEFAULT_WIDTH)
+        themed.setdefault("height", DEFAULT_HEIGHT)
+    config = themed.setdefault("config", {})
+    _merge_defaults(config, THEME_CONFIG)
+    return themed

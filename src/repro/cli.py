@@ -51,6 +51,12 @@ Commands:
   and assert the recovery invariants (zero duplicated simulations,
   dedup still holds), plus overload-shedding and graceful-drain
   checks (see :mod:`repro.testing.chaos_service`).
+* ``figures``                   — render the registered publication
+  figures (:mod:`repro.analysis`) from sweep telemetry
+  (``--telemetry``, repeatable), a trace export (``--trace``), and/or
+  bench reports (``--bench``, repeatable) into ``--out`` as
+  Vega-Lite ``<name>.vl.json`` specs plus backing ``<name>.csv``
+  tables; ``--list`` prints the registry, ``--only`` picks figures.
 
 ``sweep --telemetry FILE`` additionally streams one JSONL record per
 resolved grid point (wall time, attempts, cache provenance) plus a
@@ -333,6 +339,37 @@ def _build_parser() -> argparse.ArgumentParser:
                              help="pin the scratch directory (implies "
                                   "--keep; CI points this at the "
                                   "artifact path)")
+
+    figures = sub.add_parser(
+        "figures",
+        help="render publication figures from telemetry/trace/bench files")
+    figures.add_argument("--telemetry", action="append", default=[],
+                         metavar="FILE",
+                         help="sweep telemetry JSONL stream (repeat to "
+                              "combine sweeps, e.g. one per --sms "
+                              "setting); feeds the points/failures "
+                              "figures")
+    figures.add_argument("--trace", default=None, metavar="FILE",
+                         help="trace event export from `repro trace "
+                              "--out` (JSONL or CSV; inferred from the "
+                              "extension); feeds the stall/BOC figures")
+    figures.add_argument("--bench", action="append", default=[],
+                         metavar="FILE",
+                         help="BENCH_*.json report (repeatable); feeds "
+                              "the throughput figures")
+    figures.add_argument("--out", default="reports/figures", metavar="DIR",
+                         help="output directory (default: reports/"
+                              "figures)")
+    figures.add_argument("--only", default=None,
+                         help="comma-separated figure names to render "
+                              "(default: every figure the inputs can "
+                              "feed); missing inputs become errors")
+    figures.add_argument("--list", action="store_true", dest="list_figures",
+                         help="print the figure registry and exit")
+    figures.add_argument("--format", default="both",
+                         choices=["both", "spec", "csv"],
+                         help="emit the Vega-Lite spec, the backing CSV, "
+                              "or both (default: both)")
     return parser
 
 
@@ -453,6 +490,8 @@ def _cmd_sweep(args) -> int:
     if args.telemetry:
         print(f"telemetry: {telemetry.records} record(s) -> "
               f"{args.telemetry}", file=sys.stderr)
+        print(f"(render charts from it: python -m repro figures "
+              f"--telemetry {args.telemetry})", file=sys.stderr)
     print(grid.format())
     # Report every diagnostic before deciding the exit code: a partial
     # grid always exits 3 (the documented --keep-going contract), even
@@ -748,6 +787,50 @@ def _cmd_trace_import(args) -> int:
     return 4 if failed else 0
 
 
+def _cmd_figures(args) -> int:
+    from .analysis import FIGURES, build_inputs, render_figures
+
+    if args.list_figures:
+        print("Figures (repro.analysis registry):")
+        for name, entry in FIGURES.items():
+            requires = "+".join(entry.requires)
+            paper = f"  [{entry.paper}]" if entry.paper else ""
+            print(f"  {name:20s} {requires:14s} {entry.title}{paper}")
+        return 0
+    if not args.telemetry and not args.trace and not args.bench:
+        print("error: give at least one input (--telemetry/--trace/"
+              "--bench), or --list to see the registry", file=sys.stderr)
+        return 2
+    only = None
+    if args.only:
+        only = [name.strip() for name in args.only.split(",") if name.strip()]
+        unknown = [name for name in only if name not in FIGURES]
+        if unknown:
+            print(f"error: unknown figure(s): {', '.join(unknown)} "
+                  f"(see `repro figures --list`)", file=sys.stderr)
+            return 2
+    inputs = build_inputs(
+        telemetry=args.telemetry, trace=args.trace, bench=args.bench,
+    )
+    for kind in ("points", "trace"):
+        frame = inputs.get(kind)
+        if frame is None or not frame.meta:
+            continue
+        salvaged = (frame.meta.get("corrupt_lines", 0)
+                    + frame.meta.get("invalid_records", 0))
+        if salvaged:
+            print(f"warning: {kind}: skipped {salvaged} corrupt/invalid "
+                  f"record(s)", file=sys.stderr)
+    report = render_figures(
+        inputs, args.out, only=only, format=args.format,
+        log=lambda line: print(line, file=sys.stderr),
+    )
+    print(f"rendered {len(report.rendered)} figure(s) -> {args.out}"
+          + (f" ({len(report.skipped)} skipped for missing inputs)"
+             if report.skipped else ""))
+    return 0 if report.rendered else 1
+
+
 def _cmd_experiment(args) -> int:
     from .experiments.registry import run_experiment
     from .experiments.runner import FULL, QUICK
@@ -824,6 +907,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_ablation(args)
         if args.command == "compile":
             return _cmd_compile(args)
+        if args.command == "figures":
+            return _cmd_figures(args)
         if args.command == "chaos-serve":
             from .testing import chaos_service
 

@@ -8,30 +8,30 @@ over kernel CFGs, plus the dynamic (trace-level) variants used by the
 motivation figures.
 """
 
-from .dataflow import BackwardDataflow
-from .liveness import LivenessResult, compute_liveness
-from .reuse import ReuseEvent, reuse_distances, read_bypass_fraction
-from .writeback import (
-    WritebackClass,
-    WriteClassification,
-    classify_linear_writes,
-    classify_cfg,
-    annotate_cfg,
-    hint_distribution,
-)
 from .allocation import AllocationResult, effective_register_demand
+from .dataflow import BackwardDataflow
+from .dce import (
+    DceResult,
+    dead_write_fraction,
+    eliminate_dead_code,
+    eliminate_dead_code_block,
+)
+from .liveness import LivenessResult, compute_liveness
 from .pipeline import CompiledKernel, compile_kernel
+from .reuse import ReuseEvent, read_bypass_fraction, reuse_distances
 from .scheduling import (
     ScheduleResult,
     build_dependence_dag,
     schedule_block,
     schedule_kernel,
 )
-from .dce import (
-    DceResult,
-    dead_write_fraction,
-    eliminate_dead_code,
-    eliminate_dead_code_block,
+from .writeback import (
+    WritebackClass,
+    WriteClassification,
+    annotate_cfg,
+    classify_cfg,
+    classify_linear_writes,
+    hint_distribution,
 )
 
 __all__ = [

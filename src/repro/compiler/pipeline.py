@@ -16,8 +16,8 @@ from ..kernels.cfg import KernelCFG
 from .allocation import AllocationResult, effective_register_demand
 from .liveness import LivenessResult, compute_liveness
 from .writeback import (
-    WriteClassification,
     WritebackClass,
+    WriteClassification,
     annotate_cfg,
     classify_cfg,
     hint_distribution,

@@ -15,13 +15,8 @@
 * :mod:`repro.core.occupancy` — collector occupancy studies (Figures 8/9).
 """
 
-from .window import (
-    read_bypass_counts,
-    write_bypass_opportunity_counts,
-    writeback_eliminated_counts,
-    table1_write_counts,
-)
 from .boc import BOWCollectors
+from .bow_sm import DESIGNS, simulate_bow, simulate_design
 from .designs import (
     DesignSpec,
     design_names,
@@ -32,12 +27,17 @@ from .designs import (
     temporary_design,
     unregister_design,
 )
-from .bow_sm import simulate_bow, simulate_design, DESIGNS
-from .rfc import RFCCollectors, simulate_rfc, RFC_ENTRIES_PER_WARP
 from .occupancy import (
-    source_operand_histogram,
-    boc_occupancy_histogram,
     OccupancySample,
+    boc_occupancy_histogram,
+    source_operand_histogram,
+)
+from .rfc import RFC_ENTRIES_PER_WARP, RFCCollectors, simulate_rfc
+from .window import (
+    read_bypass_counts,
+    table1_write_counts,
+    write_bypass_opportunity_counts,
+    writeback_eliminated_counts,
 )
 
 __all__ = [

@@ -12,8 +12,8 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..config import BOWConfig, GPUConfig, bow_wr_config
-from ..kernels.trace import KernelTrace
 from ..gpu.sm import SMEngine
+from ..kernels.trace import KernelTrace
 from .boc import BOWCollectors
 
 

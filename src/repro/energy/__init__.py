@@ -8,21 +8,21 @@ reproduces the paper's normalized dynamic-energy results (Figure 13)
 and overhead percentages.
 """
 
+from .area import AreaModel, AreaReport
 from .cacti import (
     BOC_PARAMS,
-    REGISTER_BANK_PARAMS,
     INTERCONNECT_POWER_W,
+    REGISTER_BANK_PARAMS,
     ComponentParams,
 )
 from .model import EnergyBreakdown, EnergyModel
-from .area import AreaModel, AreaReport
+from .power import RF_SHARE_OF_CHIP_POWER, PowerReport, power_report
 from .static import (
     StaticBreakdown,
     StaticEnergyModel,
     TotalEnergyReport,
     total_energy,
 )
-from .power import PowerReport, RF_SHARE_OF_CHIP_POWER, power_report
 
 __all__ = [
     "BOC_PARAMS",

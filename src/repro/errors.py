@@ -208,3 +208,13 @@ class SchemaError(ReproError):
     def __init__(self, message: str, path: str = ""):
         self.path = path
         super().__init__(f"{message} (at {path})" if path else message)
+
+
+class AnalysisError(ReproError):
+    """The telemetry-to-figures pipeline cannot produce an artifact.
+
+    Raised by :mod:`repro.analysis` when a loader is pointed at data it
+    cannot interpret, a figure is asked to render without its required
+    inputs, or an optional dependency (pandas) is missing for an
+    explicitly requested conversion.
+    """

@@ -20,7 +20,22 @@ from .cache import (
     RunCache,
     run_key,
 )
+from .figures import (
+    fig10_device_ipc,
+    fig10_ipc_improvement,
+    fig11_halfsize_ipc,
+    fig12_oc_residency,
+    fig13_energy,
+    fig1_onchip_memory,
+    fig3_bypass_opportunity,
+    fig4_oc_latency,
+    fig7_write_destinations,
+    fig8_ocu_occupancy,
+    fig9_boc_occupancy,
+    rfc_comparison,
+)
 from .grid import GridPoint, GridResult, RunRecord, run_grid
+from .registry import EXPERIMENTS, run_experiment
 from .resilience import (
     DEFAULT_POLICY,
     NO_RETRY,
@@ -31,9 +46,9 @@ from .resilience import (
     classify_failure,
 )
 from .runner import (
-    RunScale,
-    QUICK,
     FULL,
+    QUICK,
+    RunScale,
     cache_stats,
     clear_cache,
     get_cache,
@@ -41,22 +56,7 @@ from .runner import (
     set_cache,
     simulations_run,
 )
-from .figures import (
-    fig1_onchip_memory,
-    fig3_bypass_opportunity,
-    fig4_oc_latency,
-    fig7_write_destinations,
-    fig8_ocu_occupancy,
-    fig9_boc_occupancy,
-    fig10_device_ipc,
-    fig10_ipc_improvement,
-    fig11_halfsize_ipc,
-    fig12_oc_residency,
-    fig13_energy,
-    rfc_comparison,
-)
 from .tables import table1_btree, table2_configuration, table4_overheads
-from .registry import EXPERIMENTS, run_experiment
 
 __all__ = [
     "RunScale",

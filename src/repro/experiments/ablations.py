@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
+from ..compiler.allocation import AllocationResult, effective_register_demand
 from ..config import (
     BOWConfig,
     EvictionPolicy,
@@ -26,7 +27,6 @@ from ..config import (
     SchedulerPolicy,
     WritebackPolicy,
 )
-from ..compiler.allocation import AllocationResult, effective_register_demand
 from ..core.bow_sm import simulate_bow
 from ..core.window import read_bypass_counts
 from ..kernels.suites import benchmark_names, get_profile

@@ -11,17 +11,17 @@ from typing import Dict, Optional
 
 from ..errors import ExperimentError
 from .figures import (
+    fig10_device_ipc,
+    fig10_ipc_improvement,
+    fig11_halfsize_ipc,
+    fig12_oc_residency,
+    fig13_energy,
     fig1_onchip_memory,
     fig3_bypass_opportunity,
     fig4_oc_latency,
     fig7_write_destinations,
     fig8_ocu_occupancy,
     fig9_boc_occupancy,
-    fig10_device_ipc,
-    fig10_ipc_improvement,
-    fig11_halfsize_ipc,
-    fig12_oc_residency,
-    fig13_energy,
     rfc_comparison,
 )
 from .runner import QUICK, RunScale
@@ -124,6 +124,28 @@ EXPERIMENTS: Dict[str, tuple] = {
 }
 
 
+#: Experiment id -> registered `repro figures` name(s) that draw the
+#: same artifact as a real (Vega-Lite) chart instead of ASCII — the
+#: pointer rendered under the matching reports.
+VECTOR_FIGURES: Dict[str, tuple] = {
+    "fig8": ("boc_composition",),
+    "fig9": ("boc_composition",),
+    "fig10": ("ipc_iw_frontier",),
+    "fig10b": ("device_ipc_scaling",),
+    "fig11": ("ipc_iw_frontier",),
+}
+
+
+def _figures_pointer(key: str) -> str:
+    names = VECTOR_FIGURES.get(key)
+    if not names:
+        return ""
+    return (
+        f"\n\n[vector chart: sweep with --telemetry, then "
+        f"`repro figures --only {','.join(names)}` — see DESIGN.md SS12]"
+    )
+
+
 def run_experiment(
     experiment_id: str,
     scale: RunScale = QUICK,
@@ -145,8 +167,8 @@ def run_experiment(
         )
     _, driver = EXPERIMENTS[key]
     if jobs is None:
-        return driver(scale)
+        return driver(scale) + _figures_pointer(key)
     from .grid import using_jobs
 
     with using_jobs(jobs):
-        return driver(scale)
+        return driver(scale) + _figures_pointer(key)

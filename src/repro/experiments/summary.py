@@ -16,12 +16,12 @@ from ..config import bow_wr_config
 from ..kernels.suites import benchmark_names
 from ..stats.report import format_table
 from .figures import (
-    fig3_bypass_opportunity,
-    fig7_write_destinations,
     fig10_ipc_improvement,
     fig11_halfsize_ipc,
     fig12_oc_residency,
     fig13_energy,
+    fig3_bypass_opportunity,
+    fig7_write_destinations,
     rfc_comparison,
 )
 from .grid import run_grid

@@ -11,25 +11,12 @@ through the :class:`~repro.gpu.collector.OperandProvider` interface, so
 baseline and bypassing runs share every other pipeline mechanism.
 """
 
-from .banks import BankArbiter, AccessRequest
-from .regfile import BankedRegisterFile
-from .scoreboard import Scoreboard
-from .scheduler import (
-    make_scheduler,
-    GTOScheduler,
-    LRRScheduler,
-    TwoLevelScheduler,
-)
-from .execution import ExecutionUnits, latency_for
-from .memory import MemoryModel
+from .banks import AccessRequest, BankArbiter
 from .collector import (
+    BaselineCollectorPool,
     InflightInstruction,
     OperandProvider,
-    BaselineCollectorPool,
 )
-from .sm import SMEngine, SimulationResult, simulate_baseline
-from .reference import ReferenceResult, execute_reference
-from .launch import LaunchResult, partition_warps, simulate_launch
 from .device import (
     DevicePartition,
     DeviceResult,
@@ -38,6 +25,19 @@ from .device import (
     partition_launch,
     simulate_device,
 )
+from .execution import ExecutionUnits, latency_for
+from .launch import LaunchResult, partition_warps, simulate_launch
+from .memory import MemoryModel
+from .reference import ReferenceResult, execute_reference
+from .regfile import BankedRegisterFile
+from .scheduler import (
+    GTOScheduler,
+    LRRScheduler,
+    TwoLevelScheduler,
+    make_scheduler,
+)
+from .scoreboard import Scoreboard
+from .sm import SimulationResult, SMEngine, simulate_baseline
 
 __all__ = [
     "DevicePartition",

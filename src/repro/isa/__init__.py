@@ -7,11 +7,11 @@ operand shape, an assembler for a human-readable text syntax, and a
 binary encoder that carries the two writeback-hint bits BOW-WR adds.
 """
 
-from .opcodes import Opcode, OpClass, OPCODE_TABLE, opcode_by_name
-from .registers import Register, Predicate, SINK_REGISTER
-from .instruction import Instruction, WritebackHint, MemSpace
-from .parser import parse_program, parse_instruction
-from .encoder import encode_instruction, decode_instruction
+from .encoder import decode_instruction, encode_instruction
+from .instruction import Instruction, MemSpace, WritebackHint
+from .opcodes import OPCODE_TABLE, OpClass, Opcode, opcode_by_name
+from .parser import parse_instruction, parse_program
+from .registers import SINK_REGISTER, Predicate, Register
 
 __all__ = [
     "Opcode",

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
 
 from ..errors import IsaError
-from .opcodes import Opcode, OpClass
+from .opcodes import OpClass, Opcode
 from .registers import Predicate, Register
 
 _instruction_ids = itertools.count()

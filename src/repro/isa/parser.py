@@ -33,7 +33,7 @@ from typing import List, Optional, Tuple
 from ..errors import ParseError
 from .instruction import Instruction
 from .opcodes import OPCODE_TABLE, Opcode
-from .registers import Predicate, Register, SINK_REGISTER
+from .registers import SINK_REGISTER, Predicate, Register
 
 _REGISTER_RE = re.compile(r"^\$r(\d+)(?:\.(?:lo|hi))?$")
 _MEM_RE = re.compile(r"^\[\$r(\d+)(?:\+(?:0x)?[0-9a-fA-F]+)?\]$")

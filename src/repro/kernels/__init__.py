@@ -12,16 +12,6 @@ resolved, which is what the analysis passes and the timing model consume.
 """
 
 from .cfg import BasicBlock, KernelCFG
-from .trace import WarpTrace, KernelTrace, RegisterAccess, iter_accesses
-from .snippets import btree_snippet
-from .synthetic import SyntheticKernelSpec, IdiomWeights, generate_kernel
-from .suites import (
-    BenchmarkProfile,
-    BENCHMARKS,
-    benchmark_names,
-    get_profile,
-    build_benchmark_trace,
-)
 from .serialize import (
     load_result,
     load_trace,
@@ -32,6 +22,16 @@ from .serialize import (
     trace_from_dict,
     trace_to_dict,
 )
+from .snippets import btree_snippet
+from .suites import (
+    BENCHMARKS,
+    BenchmarkProfile,
+    benchmark_names,
+    build_benchmark_trace,
+    get_profile,
+)
+from .synthetic import IdiomWeights, SyntheticKernelSpec, generate_kernel
+from .trace import KernelTrace, RegisterAccess, WarpTrace, iter_accesses
 
 __all__ = [
     "load_result",

@@ -31,7 +31,7 @@ from typing import Dict, List, Optional, Sequence, Union
 from ..errors import KernelError
 from ..isa import Instruction
 from ..isa.opcodes import opcode_by_name
-from ..isa.registers import Predicate, Register, SINK_REGISTER
+from ..isa.registers import SINK_REGISTER, Predicate, Register
 from .cfg import BasicBlock, Edge, KernelCFG
 from .trace import KernelTrace, WarpTrace
 

@@ -14,7 +14,13 @@ recorded events into artifacts downstream tooling can consume:
   any downstream consumer) can call.
 """
 
-from ..stats.trace import EventKind, STAGE_OF, STAGES, TraceEvent, TraceRecorder
+from ..stats.trace import (
+    STAGE_OF,
+    STAGES,
+    EventKind,
+    TraceEvent,
+    TraceRecorder,
+)
 from .export import (
     chrome_trace,
     write_chrome_trace,
@@ -24,10 +30,14 @@ from .export import (
 from .schema import (
     CHROME_TRACE_SCHEMA,
     EVENT_SCHEMA,
+    FIGURE_SPEC_SCHEMA,
     TELEMETRY_SCHEMA,
+    TRACE_CASE_SCHEMA,
     validate_chrome_trace,
     validate_event,
+    validate_figure_spec,
     validate_telemetry_record,
+    validate_trace_case_record,
 )
 from .telemetry import (
     TELEMETRY_SCHEMA_VERSION,
@@ -40,10 +50,12 @@ __all__ = [
     "CHROME_TRACE_SCHEMA",
     "EVENT_SCHEMA",
     "EventKind",
+    "FIGURE_SPEC_SCHEMA",
     "STAGE_OF",
     "STAGES",
     "TELEMETRY_SCHEMA",
     "TELEMETRY_SCHEMA_VERSION",
+    "TRACE_CASE_SCHEMA",
     "StampedTelemetry",
     "TelemetryTee",
     "TelemetryWriter",
@@ -52,7 +64,9 @@ __all__ = [
     "chrome_trace",
     "validate_chrome_trace",
     "validate_event",
+    "validate_figure_spec",
     "validate_telemetry_record",
+    "validate_trace_case_record",
     "write_chrome_trace",
     "write_events_csv",
     "write_events_jsonl",

@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import Any, Dict, List
 
 from ..errors import SchemaError
-from ..stats.trace import EventKind, STAGES
+from ..stats.trace import STAGES, EventKind
 
 #: Wire names of every event kind (the ``kind`` enum in the schemas).
 EVENT_KINDS: List[str] = [kind.value for kind in EventKind]
@@ -265,6 +265,145 @@ TRACE_CASE_SCHEMA: Dict[str, Any] = {
 }
 
 
+#: One encoding channel of a figure spec (``x`` / ``y`` / ``color`` /
+#: ``facet`` / one tooltip entry).  ``sort`` and ``value`` are
+#: unconstrained on purpose: Vega-Lite accepts strings, arrays, nulls,
+#: and objects there, and the figure generators use several of them.
+_FIGURE_CHANNEL_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "properties": {
+        "field": {"type": "string"},
+        "type": {"enum": ["quantitative", "nominal", "ordinal", "temporal"]},
+        "title": {"type": ["string", "null"]},
+        "axis": {"type": ["object", "null"]},
+        "legend": {"type": ["object", "null"]},
+        "scale": {"type": ["object", "null"]},
+        "sort": {},
+        "stack": {},
+        "value": {},
+        "aggregate": {"type": "string"},
+        "format": {"type": "string"},
+        "header": {"type": "object"},
+        "columns": {"type": "integer", "minimum": 1},
+    },
+    "additionalProperties": False,
+}
+
+#: The encoding block: a map of known channel names to channel defs
+#: (``tooltip`` may be a list of channel defs).
+_FIGURE_ENCODING_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "properties": {
+        "x": _FIGURE_CHANNEL_SCHEMA,
+        "y": _FIGURE_CHANNEL_SCHEMA,
+        "x2": _FIGURE_CHANNEL_SCHEMA,
+        "y2": _FIGURE_CHANNEL_SCHEMA,
+        "color": _FIGURE_CHANNEL_SCHEMA,
+        "opacity": _FIGURE_CHANNEL_SCHEMA,
+        "size": _FIGURE_CHANNEL_SCHEMA,
+        "shape": _FIGURE_CHANNEL_SCHEMA,
+        "strokeDash": _FIGURE_CHANNEL_SCHEMA,
+        "detail": _FIGURE_CHANNEL_SCHEMA,
+        "order": _FIGURE_CHANNEL_SCHEMA,
+        "text": _FIGURE_CHANNEL_SCHEMA,
+        "row": _FIGURE_CHANNEL_SCHEMA,
+        "column": _FIGURE_CHANNEL_SCHEMA,
+        "facet": _FIGURE_CHANNEL_SCHEMA,
+        "tooltip": {
+            "type": ["object", "array"],
+            "items": _FIGURE_CHANNEL_SCHEMA,
+        },
+    },
+    "additionalProperties": False,
+}
+
+#: A mark: either a shorthand string or a mark-definition object.
+_FIGURE_MARK_SCHEMA: Dict[str, Any] = {
+    "oneOf": [
+        {
+            "enum": ["area", "bar", "circle", "line", "point", "rect",
+                     "rule", "text", "tick"],
+        },
+        {
+            "type": "object",
+            "properties": {
+                "type": {"enum": ["area", "bar", "circle", "line", "point",
+                                  "rect", "rule", "text", "tick"]},
+                "point": {},
+                "filled": {"type": "boolean"},
+                "size": {"type": "number"},
+                "opacity": {"type": "number", "minimum": 0},
+                "interpolate": {"type": "string"},
+                "tooltip": {},
+                "strokeWidth": {"type": "number"},
+            },
+            "required": ["type"],
+            "additionalProperties": False,
+        },
+    ],
+}
+
+#: One layer of a layered figure (a unit view).
+_FIGURE_LAYER_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "properties": {
+        "mark": _FIGURE_MARK_SCHEMA,
+        "encoding": _FIGURE_ENCODING_SCHEMA,
+        "transform": {"type": "array", "items": {"type": "object"}},
+        "name": {"type": "string"},
+    },
+    "required": ["mark"],
+    "additionalProperties": False,
+}
+
+#: A rendered figure spec (``<name>.vl.json``): the Vega-Lite v5 subset
+#: ``repro figures`` emits.  This is a *contract*, not a full Vega-Lite
+#: grammar — a figure generator that reaches for a construct outside it
+#: extends the schema (and the schema tests) first, so every spec a CI
+#: artifact consumer sees is known-renderable.  A spec is either a
+#: single view (``mark`` + ``encoding``) or a layered view (``layer``,
+#: with an optional shared ``encoding``).
+FIGURE_SPEC_SCHEMA: Dict[str, Any] = {
+    "$schema": "https://json-schema.org/draft/2020-12/schema",
+    "$id": "repro/observe/figure-spec.schema.json",
+    "title": "repro analysis figure spec (Vega-Lite v5 subset)",
+    "type": "object",
+    "properties": {
+        "$schema": {
+            "const": "https://vega.github.io/schema/vega-lite/v5.json",
+        },
+        "description": {"type": "string"},
+        "title": {"type": ["string", "object"]},
+        "data": {
+            "type": "object",
+            "properties": {
+                "url": {"type": "string"},
+                "values": {"type": "array", "items": {"type": "object"}},
+                "name": {"type": "string"},
+                "format": {"type": "object"},
+            },
+            "additionalProperties": False,
+        },
+        "mark": _FIGURE_MARK_SCHEMA,
+        "encoding": _FIGURE_ENCODING_SCHEMA,
+        "layer": {"type": "array", "items": _FIGURE_LAYER_SCHEMA},
+        "resolve": {"type": "object"},
+        "transform": {"type": "array", "items": {"type": "object"}},
+        "config": {"type": "object"},
+        "width": {"type": ["integer", "string"]},
+        "height": {"type": ["integer", "string"]},
+        "columns": {"type": "integer", "minimum": 1},
+        "usermeta": {"type": "object"},
+    },
+    "required": ["$schema", "description", "data"],
+    "additionalProperties": False,
+    "oneOf": [
+        {"required": ["mark", "encoding"]},
+        {"required": ["layer"]},
+    ],
+}
+
+
 # ---------------------------------------------------------------------------
 # validation
 # ---------------------------------------------------------------------------
@@ -297,7 +436,9 @@ def _check(instance: Any, schema: Dict[str, Any], path: str) -> None:
             raise SchemaError(
                 f"matched {matches} of {len(schema['oneOf'])} oneOf "
                 f"alternatives: {'; '.join(errors)}", path)
-        return
+        # No early return: JSON Schema applies sibling keywords (type,
+        # properties, required, ...) in addition to oneOf, and the
+        # figure-spec schema relies on that.
     if "const" in schema and instance != schema["const"]:
         raise SchemaError(f"expected {schema['const']!r}, got {instance!r}",
                           path)
@@ -365,3 +506,9 @@ def validate_trace_case_record(record: Any) -> None:
     """Validate one trace-case JSONL record against
     :data:`TRACE_CASE_SCHEMA`."""
     _validate(record, TRACE_CASE_SCHEMA, "trace-case")
+
+
+def validate_figure_spec(document: Any) -> None:
+    """Validate one rendered figure spec against
+    :data:`FIGURE_SPEC_SCHEMA`."""
+    _validate(document, FIGURE_SPEC_SCHEMA, "figure-spec")

@@ -18,11 +18,11 @@ supplies the lane-accurate layer underneath it:
   per-lane addresses.
 """
 
-from .mask import FULL_MASK, WARP_WIDTH, ActiveMask
-from .dominators import immediate_post_dominators
-from .stack import MaskedInstruction, SIMTStack, expand_masked_trace
-from .lanes import LaneState, execute_masked_trace
 from .coalescing import CoalescingStats, transactions_for_addresses
+from .dominators import immediate_post_dominators
+from .lanes import LaneState, execute_masked_trace
+from .mask import FULL_MASK, WARP_WIDTH, ActiveMask
+from .stack import MaskedInstruction, SIMTStack, expand_masked_trace
 
 __all__ = [
     "FULL_MASK",

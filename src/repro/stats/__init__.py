@@ -3,9 +3,9 @@
 from .cache import CacheStats
 from .counters import Counters
 from .metrics import RunMetrics, bypass_rates, ipc_improvement
-from .report import format_barchart, format_table, format_percent
+from .report import format_barchart, format_percent, format_table
 from .timeline import Timeline, TimelineSample
-from .trace import EventKind, STAGE_OF, STAGES, TraceEvent, TraceRecorder
+from .trace import STAGE_OF, STAGES, EventKind, TraceEvent, TraceRecorder
 
 __all__ = [
     "CacheStats",

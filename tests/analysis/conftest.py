@@ -1,0 +1,35 @@
+"""Shared fixtures: the checked-in figure inputs, loaded once."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import build_inputs
+
+FIXTURES = Path(__file__).resolve().parents[1] / "data" / "figures"
+
+#: Every telemetry stream checked in for offline figure generation.
+TELEMETRY_FILES = [
+    FIXTURES / "telemetry_iw_sweep.jsonl",
+    FIXTURES / "telemetry_sms1.jsonl",
+    FIXTURES / "telemetry_sms2.jsonl",
+    FIXTURES / "telemetry_sms4.jsonl",
+    FIXTURES / "telemetry_v1_failures.jsonl",
+]
+
+TRACE_FILE = FIXTURES / "trace_nw_bow.jsonl"
+
+BENCH_FILES = [
+    Path(__file__).resolve().parents[2] / "benchmarks" / "BENCH_engine.json",
+    Path(__file__).resolve().parents[2] / "benchmarks" / "BENCH_service.json",
+]
+
+
+@pytest.fixture(scope="session")
+def inputs():
+    """FigureInputs over every checked-in fixture (loaded once)."""
+    return build_inputs(
+        telemetry=[str(path) for path in TELEMETRY_FILES],
+        trace=str(TRACE_FILE),
+        bench=[str(path) for path in BENCH_FILES],
+    )

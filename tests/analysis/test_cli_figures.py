@@ -1,0 +1,116 @@
+"""Tests for the `repro figures` CLI subcommand."""
+
+import json
+
+from repro.analysis import FIGURES
+from repro.cli import main
+from repro.observe.schema import validate_figure_spec
+
+from .conftest import BENCH_FILES, TELEMETRY_FILES, TRACE_FILE
+
+
+def _full_argv(out_dir):
+    argv = ["figures", "--out", str(out_dir)]
+    for path in TELEMETRY_FILES:
+        argv += ["--telemetry", str(path)]
+    argv += ["--trace", str(TRACE_FILE)]
+    for path in BENCH_FILES:
+        argv += ["--bench", str(path)]
+    return argv
+
+
+class TestFiguresCommand:
+    def test_list_prints_registry(self, capsys):
+        assert main(["figures", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in FIGURES:
+            assert name in out
+
+    def test_full_render_emits_every_figure(self, tmp_path, capsys):
+        assert main(_full_argv(tmp_path)) == 0
+        captured = capsys.readouterr()
+        assert f"rendered {len(FIGURES)} figure(s)" in captured.out
+        for name in FIGURES:
+            spec_path = tmp_path / f"{name}.vl.json"
+            assert spec_path.exists()
+            assert (tmp_path / f"{name}.csv").exists()
+            with open(spec_path, encoding="utf-8") as handle:
+                validate_figure_spec(json.load(handle))
+
+    def test_only_selects_figures(self, tmp_path, capsys):
+        code = main(
+            [
+                "figures",
+                "--telemetry", str(TELEMETRY_FILES[0]),
+                "--only", "ipc_iw_frontier",
+                "--out", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "ipc_iw_frontier.vl.json").exists()
+        assert not (tmp_path / "sweep_health.vl.json").exists()
+
+    def test_format_csv_skips_specs(self, tmp_path, capsys):
+        code = main(
+            [
+                "figures",
+                "--telemetry", str(TELEMETRY_FILES[0]),
+                "--out", str(tmp_path),
+                "--format", "csv",
+            ]
+        )
+        assert code == 0
+        assert not list(tmp_path.glob("*.vl.json"))
+        assert list(tmp_path.glob("*.csv"))
+
+    def test_partial_inputs_skip_and_report(self, tmp_path, capsys):
+        code = main(
+            [
+                "figures",
+                "--trace", str(TRACE_FILE),
+                "--out", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "skipped for missing inputs" in captured.out
+
+    def test_no_inputs_rejected(self, capsys):
+        assert main(["figures"]) == 2
+        assert "--list" in capsys.readouterr().err
+
+    def test_unknown_figure_rejected(self, capsys):
+        code = main(
+            [
+                "figures",
+                "--telemetry", str(TELEMETRY_FILES[0]),
+                "--only", "bogus",
+            ]
+        )
+        assert code == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+    def test_missing_file_is_clean_error(self, tmp_path, capsys):
+        code = main(
+            [
+                "figures",
+                "--telemetry", str(tmp_path / "nope.jsonl"),
+                "--out", str(tmp_path),
+            ]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_salvage_warning_on_torn_stream(self, tmp_path, capsys):
+        torn = tmp_path / "torn.jsonl"
+        source = TELEMETRY_FILES[0].read_text().splitlines()
+        torn.write_text("\n".join(source) + '\n{"type": "poi\n')
+        code = main(
+            [
+                "figures",
+                "--telemetry", str(torn),
+                "--out", str(tmp_path / "figs"),
+            ]
+        )
+        assert code == 0
+        assert "skipped 1 corrupt/invalid" in capsys.readouterr().err

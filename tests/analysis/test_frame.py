@@ -1,0 +1,116 @@
+"""Tests for the Frame column store (the pandas stand-in)."""
+
+import io
+
+import pytest
+
+from repro.analysis import Frame
+from repro.errors import AnalysisError
+
+RECORDS = [
+    {"benchmark": "BFS", "design": "bow", "ipc": 0.5},
+    {"benchmark": "BFS", "design": "baseline", "ipc": 0.4},
+    {"benchmark": "NW", "design": "bow", "ipc": None},
+]
+
+
+class TestConstruction:
+    def test_from_records_unions_columns_first_seen(self):
+        frame = Frame.from_records([{"a": 1}, {"b": 2, "a": 3}])
+        assert frame.columns == ("a", "b")
+        assert frame["a"] == [1, 3]
+        assert frame["b"] == [None, 2]
+
+    def test_explicit_columns_fix_order_and_fill_missing(self):
+        frame = Frame.from_records([{"a": 1}], columns=("b", "a"))
+        assert frame.columns == ("b", "a")
+        assert frame["b"] == [None]
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(AnalysisError, match="ragged"):
+            Frame({"a": [1, 2], "b": [1]})
+
+    def test_empty_frame(self):
+        frame = Frame.from_records([])
+        assert len(frame) == 0
+        assert frame.columns == ()
+
+    def test_unknown_column_is_typed_error(self):
+        frame = Frame.from_records(RECORDS)
+        with pytest.raises(AnalysisError, match="no column 'nope'"):
+            frame.column("nope")
+
+    def test_column_returns_a_copy(self):
+        frame = Frame.from_records(RECORDS)
+        frame["ipc"].append(99)
+        assert len(frame["ipc"]) == 3
+
+
+class TestTransforms:
+    def test_filter_and_where(self):
+        frame = Frame.from_records(RECORDS)
+        assert len(frame.filter(lambda row: row["ipc"] is not None)) == 2
+        assert frame.where(benchmark="BFS", design="bow")["ipc"] == [0.5]
+
+    def test_select_reorders(self):
+        frame = Frame.from_records(RECORDS).select("ipc", "benchmark")
+        assert frame.columns == ("ipc", "benchmark")
+
+    def test_assign_computes_per_row(self):
+        frame = Frame.from_records(RECORDS).assign(
+            "label", lambda row: f"{row['benchmark']}/{row['design']}"
+        )
+        assert frame["label"][0] == "BFS/bow"
+
+    def test_sort_is_stable_and_none_first(self):
+        frame = Frame.from_records(RECORDS).sort("ipc")
+        assert frame["ipc"] == [None, 0.4, 0.5]
+        assert frame.sort("ipc", reverse=True)["ipc"] == [0.5, 0.4, None]
+
+    def test_sort_mixed_types_deterministic(self):
+        frame = Frame.from_records(
+            [{"v": "x"}, {"v": 2}, {"v": None}, {"v": True}]
+        ).sort("v")
+        assert frame["v"] == [None, True, 2, "x"]
+
+    def test_unique_first_seen_order(self):
+        assert Frame.from_records(RECORDS).unique("benchmark") == ["BFS", "NW"]
+
+    def test_groupby_yields_subframes(self):
+        groups = dict(Frame.from_records(RECORDS).groupby("benchmark"))
+        assert set(groups) == {("BFS",), ("NW",)}
+        assert len(groups[("BFS",)]) == 2
+
+    def test_transforms_do_not_mutate_source(self):
+        frame = Frame.from_records(RECORDS)
+        frame.filter(lambda row: False)
+        frame.sort("ipc")
+        assert len(frame) == 3
+
+
+class TestSerialization:
+    def test_to_csv_string_none_as_empty(self):
+        text = Frame.from_records(RECORDS).to_csv()
+        lines = text.splitlines()
+        assert lines[0] == "benchmark,design,ipc"
+        assert lines[3] == "NW,bow,"
+
+    def test_to_csv_stream_and_path_agree(self, tmp_path):
+        frame = Frame.from_records(RECORDS)
+        stream = io.StringIO()
+        frame.to_csv(stream)
+        path = tmp_path / "frame.csv"
+        frame.to_csv(str(path))
+        with open(path, newline="", encoding="utf-8") as handle:
+            assert handle.read() == stream.getvalue() == frame.to_csv()
+
+    def test_to_pandas_gated(self):
+        frame = Frame.from_records(RECORDS)
+        try:
+            import pandas  # noqa: F401
+        except ImportError:
+            with pytest.raises(AnalysisError, match="pandas is not installed"):
+                frame.to_pandas()
+        else:
+            df = frame.to_pandas()
+            assert list(df.columns) == ["benchmark", "design", "ipc"]

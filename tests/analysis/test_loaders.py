@@ -1,0 +1,224 @@
+"""Tests for the schema-validated telemetry/trace/bench loaders."""
+
+import json
+import shutil
+
+import pytest
+
+from repro.analysis import (
+    build_bench_df,
+    build_failures_df,
+    build_points_df,
+    build_trace_df,
+)
+from repro.analysis.loaders import (
+    BENCH_COLUMNS,
+    FAILURE_COLUMNS,
+    POINT_COLUMNS,
+    TRACE_COLUMNS,
+)
+from repro.errors import AnalysisError
+from repro.stats.trace import STAGE_OF, EventKind
+
+from .conftest import BENCH_FILES, FIXTURES, TELEMETRY_FILES, TRACE_FILE
+
+
+class TestPoints:
+    def test_v2_stream_loads_with_scale_stamps(self):
+        frame = build_points_df(FIXTURES / "telemetry_iw_sweep.jsonl")
+        assert frame.columns == POINT_COLUMNS
+        assert len(frame) == 24
+        assert set(frame.unique("num_warps")) == {4}
+        assert set(frame.unique("trace_scale")) == {0.05}
+        assert set(frame.unique("schema")) == {2}
+        assert frame.unique("stream") == ["telemetry_iw_sweep.jsonl"]
+        assert frame.meta == {
+            "corrupt_lines": 0,
+            "invalid_records": 0,
+            "streams": 1,
+        }
+
+    def test_v1_stream_loads_without_v2_columns(self):
+        frame = build_points_df(FIXTURES / "telemetry_v1_failures.jsonl")
+        assert len(frame) == 3
+        assert set(frame.unique("schema")) == {1}
+        # v1 predates fast_forwarded_cycles; the column exists, empty.
+        assert frame["fast_forwarded_cycles"] == [None, None, None]
+        # A memoized point carries no metrics — tolerated, not dropped.
+        memo = frame.where(source="memo")
+        assert len(memo) == 1
+        assert memo["ipc"] == [None]
+
+    def test_multiple_streams_stay_separable(self):
+        frame = build_points_df(
+            FIXTURES / "telemetry_sms1.jsonl",
+            FIXTURES / "telemetry_sms2.jsonl",
+            FIXTURES / "telemetry_sms4.jsonl",
+        )
+        assert frame.meta["streams"] == 3
+        assert sorted(frame.unique("num_sms")) == [1, 2, 4]
+
+    def test_torn_tail_counted_not_fatal(self, tmp_path):
+        source = (FIXTURES / "telemetry_iw_sweep.jsonl").read_text()
+        lines = source.splitlines()
+        torn = tmp_path / "torn.jsonl"
+        # A crash mid-write leaves a truncated final record: drop the
+        # summary line and tear the last point in half.
+        torn.write_text("\n".join(lines[:-2]) + "\n" + lines[-2][:25] + "\n")
+        frame = build_points_df(torn)
+        assert frame.meta["corrupt_lines"] == 1
+        assert len(frame) == 23
+
+    def test_invalid_records_counted_separately(self, tmp_path):
+        stream = tmp_path / "invalid.jsonl"
+        with open(FIXTURES / "telemetry_sms1.jsonl", encoding="utf-8") as src:
+            lines = src.read().splitlines()
+        lines.insert(2, json.dumps({"type": "gossip"}))
+        lines.insert(3, "{not json")
+        stream.write_text("\n".join(lines) + "\n")
+        frame = build_points_df(stream)
+        assert frame.meta == {
+            "corrupt_lines": 1,
+            "invalid_records": 1,
+            "streams": 1,
+        }
+        assert len(frame) == 4
+
+    def test_missing_start_record_downgrades_scale(self, tmp_path):
+        with open(FIXTURES / "telemetry_sms1.jsonl", encoding="utf-8") as src:
+            lines = src.read().splitlines()
+        headless = tmp_path / "headless.jsonl"
+        headless.write_text("\n".join(lines[1:]) + "\n")
+        frame = build_points_df(headless)
+        assert len(frame) == 4
+        assert frame.unique("num_sms") == [None]
+        assert frame.unique("schema") == [None]
+
+    def test_no_paths_rejected(self):
+        with pytest.raises(AnalysisError, match="no telemetry files"):
+            build_points_df()
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(OSError):
+            build_points_df(tmp_path / "nope.jsonl")
+
+
+class TestFailures:
+    def test_failure_records_loaded(self):
+        frame = build_failures_df(FIXTURES / "telemetry_v1_failures.jsonl")
+        assert frame.columns == FAILURE_COLUMNS
+        assert len(frame) == 1
+        row = frame.to_records()[0]
+        assert row["error_type"] == "DeadlockError"
+        assert row["kind"] == "transient"
+        assert row["stream"] == "telemetry_v1_failures.jsonl"
+
+    def test_clean_stream_has_no_failures(self):
+        frame = build_failures_df(FIXTURES / "telemetry_iw_sweep.jsonl")
+        assert len(frame) == 0
+        assert frame.columns == FAILURE_COLUMNS
+
+
+class TestTrace:
+    def test_jsonl_export_loads_with_stages(self):
+        frame = build_trace_df(TRACE_FILE)
+        assert frame.columns == TRACE_COLUMNS
+        assert len(frame) > 0
+        assert frame.meta == {"corrupt_lines": 0, "invalid_records": 0}
+        for row in frame.rows():
+            assert row["stage"] == STAGE_OF[EventKind(row["kind"])]
+            assert row["count"] >= 1
+
+    def test_fixture_covers_the_figure_kinds(self):
+        kinds = set(build_trace_df(TRACE_FILE).unique("kind"))
+        assert {"issue_stall", "boc_hit", "boc_insert", "boc_evict"} <= kinds
+
+    def test_csv_round_trip(self, tmp_path):
+        jsonl = build_trace_df(TRACE_FILE)
+        path = tmp_path / "events.csv"
+        jsonl.select(*TRACE_COLUMNS[:2], *TRACE_COLUMNS[3:]).to_csv(str(path))
+        csv_frame = build_trace_df(path)
+        assert len(csv_frame) == len(jsonl)
+        assert csv_frame["kind"] == jsonl["kind"]
+        assert csv_frame["stage"] == jsonl["stage"]
+        assert csv_frame["cycle"] == jsonl["cycle"]
+
+    def test_csv_bad_rows_counted(self, tmp_path):
+        path = tmp_path / "events.csv"
+        path.write_text(
+            "cycle,kind,warp,count\n"
+            "1,issue,0,1\n"
+            "oops,issue,0,1\n"
+            "2,gossip,0,1\n"
+        )
+        frame = build_trace_df(path)
+        assert len(frame) == 1
+        assert frame.meta["invalid_records"] == 2
+
+    def test_format_inferred_from_extension(self, tmp_path):
+        path = tmp_path / "events.CSV"
+        path.write_text("cycle,kind,warp,count\n1,issue,0,1\n")
+        assert len(build_trace_df(path)) == 1
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(AnalysisError, match="unknown trace format"):
+            build_trace_df(TRACE_FILE, format="parquet")
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        torn = tmp_path / "torn.jsonl"
+        shutil.copy(TRACE_FILE, torn)
+        with open(torn, "a", encoding="utf-8") as handle:
+            handle.write('{"cycle": 7, "ki')
+        frame = build_trace_df(torn)
+        assert frame.meta["corrupt_lines"] == 1
+
+
+class TestBench:
+    def test_engine_and_service_formats_distinguished(self):
+        frame = build_bench_df(*BENCH_FILES)
+        assert frame.columns == BENCH_COLUMNS
+        engine = frame.where(kind="engine")
+        service = frame.where(kind="service")
+        assert len(engine) > 0 and len(service) > 0
+        assert set(service.unique("bench_pass")) == {"cold", "warm"}
+        for row in engine.rows():
+            assert "/" in row["case"]
+            assert row["cycles_per_sec"] > 0
+
+    def test_ff_share_derived_when_present(self):
+        engine = build_bench_df(BENCH_FILES[0])
+        for row in engine.rows():
+            if row["fast_forwarded_cycles"] is not None and row["cycles"]:
+                assert row["ff_share"] == pytest.approx(
+                    row["fast_forwarded_cycles"] / row["cycles"]
+                )
+
+    def test_service_sniffed_before_its_designs_list(self):
+        # The service report carries a "designs" *list*; it must not be
+        # mistaken for the engine format's designs map.
+        frame = build_bench_df(BENCH_FILES[1])
+        assert frame.unique("kind") == ["service"]
+
+    def test_unrecognized_format_rejected(self, tmp_path):
+        path = tmp_path / "BENCH_weird.json"
+        path.write_text('{"hello": 1}')
+        with pytest.raises(AnalysisError, match="unrecognized bench format"):
+            build_bench_df(path)
+
+    def test_not_json_rejected(self, tmp_path):
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text("][")
+        with pytest.raises(AnalysisError, match="not JSON"):
+            build_bench_df(path)
+
+    def test_no_paths_rejected(self):
+        with pytest.raises(AnalysisError, match="no bench files"):
+            build_bench_df()
+
+
+class TestFixtureInventory:
+    def test_all_checked_in_streams_parse_cleanly(self):
+        frame = build_points_df(*TELEMETRY_FILES)
+        assert frame.meta["corrupt_lines"] == 0
+        assert frame.meta["invalid_records"] == 0
+        assert frame.meta["streams"] == len(TELEMETRY_FILES)

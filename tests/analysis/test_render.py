@@ -1,0 +1,126 @@
+"""Tests for the figure renderer (spec + CSV emission, validation)."""
+
+import csv
+import json
+
+import pytest
+
+from repro.analysis import (
+    FIGURES,
+    FigureInputs,
+    apply_theme,
+    build_inputs,
+    render_figure,
+    render_figures,
+)
+from repro.errors import AnalysisError
+from repro.observe.schema import validate_figure_spec
+
+from .conftest import BENCH_FILES, TELEMETRY_FILES, TRACE_FILE
+
+
+class TestTheme:
+    def test_theme_stamps_schema_and_config(self):
+        spec = apply_theme({"mark": "bar", "encoding": {}, "description": "x"})
+        assert spec["$schema"].endswith("vega-lite/v5.json")
+        assert spec["config"]["range"]["category"]
+        assert spec["width"] > 0
+
+    def test_faceted_specs_skip_fixed_size(self):
+        spec = apply_theme(
+            {
+                "mark": "bar",
+                "description": "x",
+                "encoding": {"facet": {"field": "b", "type": "nominal"}},
+            }
+        )
+        assert "width" not in spec
+
+    def test_theme_does_not_mutate_input(self):
+        original = {"mark": "bar", "encoding": {}, "description": "x"}
+        apply_theme(original)
+        assert original == {"mark": "bar", "encoding": {}, "description": "x"}
+
+
+class TestRenderFigure:
+    def test_emits_valid_spec_and_csv(self, inputs, tmp_path):
+        rendered = render_figure("ipc_iw_frontier", inputs, str(tmp_path))
+        assert rendered.rows > 0
+        with open(rendered.spec_path, encoding="utf-8") as handle:
+            spec = json.load(handle)
+        validate_figure_spec(spec)
+        assert spec["data"] == {"url": "ipc_iw_frontier.csv"}
+        assert spec["usermeta"]["figure"] == "ipc_iw_frontier"
+        assert spec["usermeta"]["rows"] == rendered.rows
+        with open(rendered.csv_path, newline="", encoding="utf-8") as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == rendered.rows
+
+    def test_format_spec_only(self, inputs, tmp_path):
+        rendered = render_figure(
+            "boc_composition", inputs, str(tmp_path), format="spec"
+        )
+        assert rendered.csv_path is None
+        assert rendered.paths == [str(tmp_path / "boc_composition.vl.json")]
+
+    def test_format_csv_only(self, inputs, tmp_path):
+        rendered = render_figure(
+            "boc_composition", inputs, str(tmp_path), format="csv"
+        )
+        assert rendered.spec_path is None
+        assert (tmp_path / "boc_composition.csv").exists()
+        assert not (tmp_path / "boc_composition.vl.json").exists()
+
+    def test_unknown_format_rejected(self, inputs, tmp_path):
+        with pytest.raises(AnalysisError, match="unknown render format"):
+            render_figure("boc_composition", inputs, str(tmp_path), format="png")
+
+    def test_unknown_figure_rejected(self, inputs, tmp_path):
+        with pytest.raises(AnalysisError, match="unknown figure"):
+            render_figure("nope", inputs, str(tmp_path))
+
+
+class TestRenderFigures:
+    def test_full_inputs_render_every_figure(self, inputs, tmp_path):
+        report = render_figures(inputs, str(tmp_path))
+        assert [item.name for item in report.rendered] == list(FIGURES)
+        assert report.skipped == []
+        for item in report.rendered:
+            with open(item.spec_path, encoding="utf-8") as handle:
+                validate_figure_spec(json.load(handle))
+
+    def test_partial_inputs_skip_with_reasons(self, inputs, tmp_path):
+        lone = FigureInputs(trace=inputs.trace)
+        lines = []
+        report = render_figures(lone, str(tmp_path), log=lines.append)
+        assert {item.name for item in report.rendered} == {
+            "stall_breakdown",
+            "boc_composition",
+        }
+        skipped = dict(report.skipped)
+        assert "missing points input(s)" in skipped["ipc_iw_frontier"]
+        assert any("skipped" in line for line in lines)
+
+    def test_only_makes_missing_inputs_fatal(self, inputs, tmp_path):
+        lone = FigureInputs(trace=inputs.trace)
+        with pytest.raises(AnalysisError, match="needs bench"):
+            render_figures(lone, str(tmp_path), only=["engine_throughput"])
+
+
+class TestBuildInputs:
+    def test_loads_each_slot(self):
+        inputs = build_inputs(
+            telemetry=[str(TELEMETRY_FILES[0])],
+            trace=str(TRACE_FILE),
+            bench=[str(path) for path in BENCH_FILES],
+        )
+        assert inputs.missing(("points", "failures", "trace", "bench")) == []
+
+    def test_empty_slots_stay_none(self):
+        inputs = build_inputs()
+        assert inputs.missing(("points", "failures", "trace", "bench")) == [
+            "points",
+            "failures",
+            "trace",
+            "bench",
+        ]

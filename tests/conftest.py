@@ -10,6 +10,7 @@ from dataclasses import replace
 
 import pytest
 
+from repro.core.bow_sm import simulate_design
 from repro.gpu.reference import execute_reference
 from repro.kernels.snippets import btree_snippet
 from repro.kernels.suites import get_profile
@@ -18,7 +19,6 @@ from repro.kernels.synthetic import (
     generate_compiled_trace,
     generate_trace,
 )
-from repro.core.bow_sm import simulate_design
 
 #: Memory seed shared by the cached runs.
 SEED = 11

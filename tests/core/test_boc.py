@@ -8,10 +8,10 @@ architectural state.
 import pytest
 
 from repro.config import BOWConfig, WritebackPolicy, baseline_config
+from repro.core.boc import BOWCollectors
 from repro.core.bow_sm import simulate_bow
 from repro.errors import SimulationError
 from repro.gpu.sm import SMEngine
-from repro.core.boc import BOWCollectors
 from repro.isa import WritebackHint, parse_program
 from repro.kernels.trace import KernelTrace, WarpTrace
 

@@ -5,8 +5,8 @@ import pytest
 from repro.config import GPUConfig, baseline_config, bow_config, bow_wr_config
 from repro.energy.area import (
     ADDED_NETWORK_AREA_MM2,
-    AreaModel,
     REGISTER_BANK_AREA_MM2,
+    AreaModel,
 )
 from repro.errors import ConfigError
 

@@ -4,8 +4,8 @@ import pytest
 
 from repro.energy.cacti import (
     BOC_PARAMS,
-    ComponentParams,
     REGISTER_BANK_PARAMS,
+    ComponentParams,
     boc_params_for_capacity,
 )
 from repro.errors import ConfigError

@@ -8,12 +8,12 @@ contention, so improvements are smaller than at full scale).
 import pytest
 
 from repro.experiments.figures import (
-    fig4_oc_latency,
-    fig9_boc_occupancy,
     fig10_ipc_improvement,
     fig11_halfsize_ipc,
     fig12_oc_residency,
     fig13_energy,
+    fig4_oc_latency,
+    fig9_boc_occupancy,
     rfc_comparison,
 )
 from repro.experiments.runner import RunScale, clear_cache

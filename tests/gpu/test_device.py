@@ -16,11 +16,7 @@ import pytest
 from repro.core.bow_sm import simulate_design
 from repro.core.designs import design_names
 from repro.errors import ExperimentError, SimulationError
-from repro.gpu.device import (
-    merge_counters,
-    partition_launch,
-    simulate_device,
-)
+from repro.gpu.device import merge_counters, partition_launch, simulate_device
 from repro.isa import parse_program
 from repro.kernels.synthetic import generate_compiled_trace, generate_trace
 from repro.kernels.trace import KernelTrace, WarpTrace
@@ -272,8 +268,9 @@ class TestValidation:
 
     def test_config_default_sms(self):
         # num_sms=None falls back to config.num_sms.
-        from repro.config import GPUConfig
         from dataclasses import replace
+
+        from repro.config import GPUConfig
 
         config = replace(GPUConfig(), num_sms=2)
         run = simulate_device("bow", launch_trace(16), config=config)

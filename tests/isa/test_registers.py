@@ -6,9 +6,9 @@ from repro.errors import IsaError
 from repro.isa.registers import (
     MAX_PREDICATE_ID,
     MAX_REGISTER_ID,
+    SINK_REGISTER,
     Predicate,
     Register,
-    SINK_REGISTER,
     reg,
 )
 

@@ -13,15 +13,14 @@ from dataclasses import dataclass
 from typing import Dict, Tuple
 
 import pytest
+from tests.conftest import SEED, small_spec
 
 from repro.core.bow_sm import DESIGNS, simulate_design
 from repro.gpu.reference import ReferenceResult, execute_reference
+from repro.gpu.sm import SimulationResult
 from repro.kernels.synthetic import generate_compiled_trace, generate_trace
 from repro.kernels.trace import KernelTrace
 from repro.stats.trace import TraceRecorder
-from repro.gpu.sm import SimulationResult
-
-from tests.conftest import SEED, small_spec
 
 #: The QUICK benchmark subset the oracle sweeps (shrunk specs so the
 #: full designs x benchmarks matrix stays fast).

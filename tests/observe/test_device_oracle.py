@@ -18,18 +18,12 @@ from dataclasses import dataclass
 from typing import Dict, Tuple
 
 import pytest
+from tests.conftest import SEED
+from tests.observe.conftest import ALL_DESIGNS, CAPACITY, WINDOW, OraclePoint
 
 from repro.gpu.device import DeviceResult, simulate_device
 from repro.gpu.sm import SimulationResult
 from repro.stats.trace import TraceRecorder
-
-from tests.conftest import SEED
-from tests.observe.conftest import (
-    ALL_DESIGNS,
-    CAPACITY,
-    WINDOW,
-    OraclePoint,
-)
 
 #: The benchmark the device sweep reuses from the single-SM oracle.
 BENCHMARK = "NW"

@@ -18,16 +18,15 @@ subset, the timing model must be architecturally equivalent to
 """
 
 import pytest
-
-from repro.isa import WritebackHint
-from repro.isa.registers import SINK_REGISTER
-from repro.stats.trace import EventKind
-
 from tests.observe.conftest import (
     ALL_DESIGNS,
     HINTED_DESIGNS,
     ORACLE_BENCHMARKS,
 )
+
+from repro.isa import WritebackHint
+from repro.isa.registers import SINK_REGISTER
+from repro.stats.trace import EventKind
 
 POINTS = [(benchmark, design)
           for benchmark in ORACLE_BENCHMARKS

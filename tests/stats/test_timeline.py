@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.core.boc import BOWCollectors
 from repro.config import BOWConfig
+from repro.core.boc import BOWCollectors
 from repro.errors import SimulationError
 from repro.gpu.sm import SMEngine
 from repro.isa import parse_program

@@ -1,0 +1,162 @@
+#!/usr/bin/env python
+"""Local approximation of ruff's isort rules (`I` in pyproject.toml).
+
+CI enforces import ordering with real ruff (`ruff check .`); this tool
+exists for environments without ruff on the path — it re-implements the
+default isort conventions the repo is kept clean against, close enough
+to catch ordering regressions before they reach CI:
+
+* section order: ``__future__`` < stdlib < third-party < first-party
+  (``repro``) < relative, with a blank line between sections;
+* straight ``import x`` statements before ``from x import y`` within a
+  section, each run sorted case-insensitively by module;
+* relative imports furthest-to-closest (``..`` before ``.``);
+* names inside a ``from`` import ordered by type — CONSTANTS, then
+  CamelCase classes, then everything else — alphabetically within each
+  group (isort's default ``order-by-type``).
+
+Usage: ``python tools/check_import_order.py [PATH ...]`` (defaults to
+the repo's lint roots).  Exits non-zero listing every violation.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import List, Sequence, Tuple
+
+REPO = Path(__file__).resolve().parents[1]
+DEFAULT_ROOTS = ("src", "tests", "benchmarks", "examples", "tools")
+FIRST_PARTY = ("repro",)
+
+_STDLIB = set(getattr(sys, "stdlib_module_names", ()))
+
+
+def _section(node: ast.stmt) -> Tuple[int, int]:
+    """(section rank, relative depth) of one import statement."""
+    if isinstance(node, ast.ImportFrom):
+        if node.level:
+            # Relative: furthest-to-closest, so deeper levels first.
+            return (4, -node.level)
+        module = node.module or ""
+    else:
+        module = node.names[0].name
+    top = module.split(".")[0]
+    if top == "__future__":
+        return (0, 0)
+    if top in _STDLIB:
+        return (1, 0)
+    if top in FIRST_PARTY:
+        return (3, 0)
+    return (2, 0)
+
+
+def _module_key(node: ast.stmt) -> Tuple:
+    kind = 1 if isinstance(node, ast.ImportFrom) else 0
+    if isinstance(node, ast.ImportFrom):
+        module = node.module or ""
+    else:
+        module = node.names[0].name
+    return (kind, module.lower())
+
+
+def _name_rank(name: str) -> int:
+    stripped = name.strip("_")
+    if stripped and stripped == stripped.upper():
+        return 0  # CONSTANT
+    if stripped[:1].isupper():
+        return 1  # CamelCase class
+    return 2
+
+
+def _check_names(node: ast.stmt, path: Path, problems: List[str]) -> None:
+    if not isinstance(node, ast.ImportFrom):
+        return
+    names = [alias.name for alias in node.names]
+    if names == ["*"]:
+        return
+    expected = sorted(names, key=lambda n: (_name_rank(n), n.lower()))
+    if names != expected:
+        problems.append(
+            f"{path}:{node.lineno}: names unsorted: "
+            f"{', '.join(names)} -> {', '.join(expected)}"
+        )
+
+
+def _check_block(
+    block: Sequence[ast.stmt], path: Path, problems: List[str]
+) -> None:
+    keys = [(_section(node), _module_key(node)) for node in block]
+    if keys != sorted(keys):
+        for previous, current in zip(block, block[1:]):
+            if (_section(previous), _module_key(previous)) > (
+                _section(current),
+                _module_key(current),
+            ):
+                problems.append(
+                    f"{path}:{current.lineno}: import out of order "
+                    f"(after line {previous.lineno})"
+                )
+    for previous, current in zip(block, block[1:]):
+        if _section(previous)[0] != _section(current)[0]:
+            gap = current.lineno - (previous.end_lineno or previous.lineno)
+            if gap < 2:
+                problems.append(
+                    f"{path}:{current.lineno}: missing blank line "
+                    f"between import sections"
+                )
+    for node in block:
+        _check_names(node, path, problems)
+
+
+def _blocks(body: Sequence[ast.stmt]):
+    block: List[ast.stmt] = []
+    for node in body:
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            block.append(node)
+            continue
+        if block:
+            yield block
+            block = []
+        for child in (
+            getattr(node, "body", ()),
+            getattr(node, "orelse", ()),
+            getattr(node, "finalbody", ()),
+        ):
+            if child:
+                yield from _blocks(child)
+        for handler in getattr(node, "handlers", ()):
+            yield from _blocks(handler.body)
+    if block:
+        yield block
+
+
+def check_file(path: Path) -> List[str]:
+    problems: List[str] = []
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    for block in _blocks(tree.body):
+        _check_block(block, path, problems)
+    return problems
+
+
+def main(argv: Sequence[str]) -> int:
+    roots = [Path(arg) for arg in argv] or [
+        REPO / root for root in DEFAULT_ROOTS
+    ]
+    problems: List[str] = []
+    for root in roots:
+        files = [root] if root.is_file() else sorted(root.rglob("*.py"))
+        for file in files:
+            problems.extend(check_file(file))
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"{len(problems)} import-order problem(s)")
+        return 1
+    print("import order clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
